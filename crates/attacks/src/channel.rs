@@ -1,0 +1,196 @@
+//! Cache side-channel primitives, expressed as attacker operations on the
+//! simulated machine.
+//!
+//! The attacker shares the machine's caches with the victim. Shared-memory
+//! channels (Flush+Reload, Flush+Flush, Evict+Reload) operate directly on
+//! the victim's probe lines (the attacker has them mapped); non-shared
+//! channels (Prime+Probe, Evict+Time) only ever touch *attacker-owned*
+//! addresses that conflict with the victim's lines in the cache sets.
+//!
+//! Timing measurements use [`condspec_mem::CacheHierarchy::peek_latency`],
+//! which reports
+//! the latency a demand access *would* see without perturbing state —
+//! equivalent to a timed access followed by restoring the line's state,
+//! and exactly the signal `rdtsc`-based attackers extract.
+
+use condspec::Simulator;
+use condspec_mem::LruUpdate;
+
+/// Attacker-owned memory region used to build eviction sets. Kept far
+/// from every gadget address.
+pub const ATTACKER_REGION: u64 = 0x8000_0000;
+
+/// A reload timing is classified as a hit when it does not exceed this
+/// latency (the L1 hit latency of every preset is 2 cycles; 4 leaves
+/// headroom without reaching the L2 latency).
+pub const HIT_THRESHOLD: u64 = 4;
+
+/// Flushes one line (the attacker's `clflush` on shared memory).
+pub fn flush_line(sim: &mut Simulator, vaddr: u64) {
+    let paddr = sim.core().page_table().translate(vaddr);
+    sim.core_mut().hierarchy_mut().flush_line(paddr);
+}
+
+/// Flushes every probe slot of a region (`base + i * stride`).
+pub fn flush_region(sim: &mut Simulator, base: u64, stride: u64, slots: usize) {
+    for i in 0..slots {
+        flush_line(sim, base + i as u64 * stride);
+    }
+}
+
+/// Times a reload of `vaddr` (Flush+Reload / Evict+Reload measurement).
+pub fn reload_latency(sim: &Simulator, vaddr: u64) -> u64 {
+    let paddr = sim.core().page_table().translate(vaddr);
+    sim.core().hierarchy().peek_latency(paddr)
+}
+
+/// Whether a reload of `vaddr` would hit (fast path).
+pub fn reload_hits(sim: &Simulator, vaddr: u64) -> bool {
+    reload_latency(sim, vaddr) <= HIT_THRESHOLD
+}
+
+/// Flush+Flush measurement: flushing a *cached* line is observably slower
+/// than flushing an absent one. Returns `true` when the flush was "slow",
+/// i.e. the line was present. (Destructive: the line is flushed.)
+pub fn flush_was_slow(sim: &mut Simulator, vaddr: u64) -> bool {
+    let paddr = sim.core().page_table().translate(vaddr);
+    sim.core_mut().hierarchy_mut().flush_line(paddr)
+}
+
+/// The attacker-owned line addresses that conflict with `vaddr` in the
+/// L1D (one per way, all inside [`ATTACKER_REGION`]).
+pub fn l1_eviction_set(sim: &Simulator, vaddr: u64) -> Vec<u64> {
+    let paddr = sim.core().page_table().translate(vaddr);
+    let l1d = sim.core().hierarchy().l1d();
+    let ways = l1d.config().ways;
+    l1d.conflicting_lines(paddr, ATTACKER_REGION, ways)
+}
+
+/// Accesses every line of an eviction set (attacker demand accesses),
+/// evicting the target line from L1D and installing the attacker's lines
+/// (the *prime* step of Prime+Probe, and the *evict* step of
+/// Evict+Reload / Evict+Time).
+pub fn prime_set(sim: &mut Simulator, eviction_set: &[u64]) {
+    for &line in eviction_set {
+        sim.core_mut().hierarchy_mut().access_data(line, LruUpdate::Normal);
+    }
+}
+
+/// Evicts `vaddr` from L1D using attacker-owned conflicting accesses.
+pub fn evict_line(sim: &mut Simulator, vaddr: u64) {
+    let set = l1_eviction_set(sim, vaddr);
+    prime_set(sim, &set);
+    // Accessing `ways` distinct conflicting lines fills the whole set,
+    // displacing the target. (True-LRU makes this deterministic.)
+    debug_assert!(!sim.core().hierarchy().l1d().probe(
+        sim.core().page_table().translate(vaddr)
+    ));
+}
+
+/// The *probe* step of Prime+Probe: how many of the attacker's primed
+/// lines are still resident in L1D. A count below the set size means the
+/// victim touched this set.
+pub fn probe_set_hits(sim: &Simulator, eviction_set: &[u64]) -> usize {
+    let l1d = sim.core().hierarchy().l1d();
+    eviction_set.iter().filter(|l| l1d.probe(**l)).count()
+}
+
+/// The Evict+Time style aggregate measurement: total latency of
+/// re-accessing the attacker's lines. Larger totals mean the victim
+/// displaced something.
+pub fn time_set(sim: &Simulator, eviction_set: &[u64]) -> u64 {
+    eviction_set
+        .iter()
+        .map(|l| sim.core().hierarchy().peek_latency(*l))
+        .sum()
+}
+
+/// The L1D set index a virtual address maps to (attacker layout
+/// knowledge, used to exclude known victim addresses from verdicts).
+pub fn l1_set_of(sim: &Simulator, vaddr: u64) -> usize {
+    let paddr = sim.core().page_table().translate(vaddr);
+    sim.core().hierarchy().l1d().set_index(paddr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condspec::{DefenseConfig, SimConfig};
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig::new(DefenseConfig::Origin))
+    }
+
+    #[test]
+    fn flush_then_reload_is_slow() {
+        let mut s = sim();
+        s.core_mut().hierarchy_mut().access_data(0x9000, LruUpdate::Normal);
+        assert!(reload_hits(&s, 0x9000));
+        flush_line(&mut s, 0x9000);
+        assert!(!reload_hits(&s, 0x9000));
+    }
+
+    #[test]
+    fn flush_flush_distinguishes_presence() {
+        let mut s = sim();
+        s.core_mut().hierarchy_mut().access_data(0x9000, LruUpdate::Normal);
+        assert!(flush_was_slow(&mut s, 0x9000), "cached line: slow flush");
+        assert!(!flush_was_slow(&mut s, 0x9000), "now absent: fast flush");
+    }
+
+    #[test]
+    fn eviction_set_conflicts_and_evicts() {
+        let mut s = sim();
+        let target = 0xa040;
+        s.core_mut().hierarchy_mut().access_data(target, LruUpdate::Normal);
+        let set = l1_eviction_set(&s, target);
+        assert_eq!(set.len(), 4, "paper-default L1D is 4-way");
+        for line in &set {
+            assert_eq!(
+                s.core().hierarchy().l1d().set_index(*line),
+                l1_set_of(&s, target)
+            );
+            assert!(*line >= ATTACKER_REGION);
+        }
+        evict_line(&mut s, target);
+        assert!(!reload_hits(&s, target));
+    }
+
+    #[test]
+    fn prime_probe_detects_victim_access() {
+        let mut s = sim();
+        let victim_line = 0xb000;
+        let set = l1_eviction_set(&s, victim_line);
+        prime_set(&mut s, &set);
+        assert_eq!(probe_set_hits(&s, &set), 4, "all primed lines resident");
+        // Victim touches its line: one attacker way is displaced.
+        s.core_mut().hierarchy_mut().access_data(victim_line, LruUpdate::Normal);
+        assert_eq!(probe_set_hits(&s, &set), 3);
+    }
+
+    #[test]
+    fn time_set_grows_after_victim_access() {
+        let mut s = sim();
+        let victim_line = 0xc000;
+        let set = l1_eviction_set(&s, victim_line);
+        prime_set(&mut s, &set);
+        let quiet = time_set(&s, &set);
+        s.core_mut().hierarchy_mut().access_data(victim_line, LruUpdate::Normal);
+        let noisy = time_set(&s, &set);
+        assert!(noisy > quiet, "displacement shows up in aggregate timing");
+    }
+
+    #[test]
+    fn flush_region_clears_all_slots() {
+        let mut s = sim();
+        for i in 0..4u64 {
+            s.core_mut()
+                .hierarchy_mut()
+                .access_data(0x2_0000 + i * 4096, LruUpdate::Normal);
+        }
+        flush_region(&mut s, 0x2_0000, 4096, 4);
+        for i in 0..4u64 {
+            assert!(!reload_hits(&s, 0x2_0000 + i * 4096));
+        }
+    }
+}

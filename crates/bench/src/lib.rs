@@ -1,0 +1,138 @@
+//! Shared experiment-harness helpers for the table/figure reproductions.
+//!
+//! Every `cargo bench` target in this crate regenerates one of the
+//! paper's tables or figures; the sweep logic they share (run a
+//! calibrated benchmark on a configured machine, with warm-up, and
+//! collect the paper's metrics) lives here.
+
+use condspec::{DefenseConfig, LruPolicy, MachineConfig, Report, SimConfig, Simulator};
+use condspec_pipeline::PipelineStats;
+use condspec_workloads::spec::{build_program, WorkloadSpec};
+
+/// Outer iterations per measured benchmark run (~4.8k instructions per
+/// iteration). Chosen so the full Figure 5 sweep finishes in minutes
+/// while staying far beyond the warm-up transient.
+pub const DEFAULT_OUTER_ITERATIONS: u64 = 40;
+
+/// Cycle budget per run; generously above any defense's worst case.
+pub const RUN_BUDGET: u64 = 200_000_000;
+
+/// Outer iterations of the separate warm-up run executed before the
+/// measured run (caches and predictors stay warm across program loads).
+/// Warming by *work* rather than by cycles keeps the measured windows of
+/// different defenses architecturally identical, so normalized cycle
+/// counts compare like for like.
+pub const WARMUP_ITERATIONS: u64 = 6;
+
+/// One benchmark x configuration measurement.
+#[derive(Debug, Clone)]
+pub struct RunMeasurement {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Defense environment.
+    pub defense: DefenseConfig,
+    /// The evaluation report for the measured window.
+    pub report: Report,
+    /// Raw pipeline statistics for the measured window.
+    pub pipeline: PipelineStats,
+}
+
+/// Runs one benchmark under one configuration: load, warm up, measure to
+/// halt, report.
+///
+/// # Panics
+///
+/// Panics if the generated program does not halt within [`RUN_BUDGET`]
+/// (a harness bug, not a measurement).
+pub fn run_benchmark(
+    spec: &WorkloadSpec,
+    config: SimConfig,
+    outer_iterations: u64,
+) -> RunMeasurement {
+    let mut sim = Simulator::new(config);
+    let warmup = build_program(spec, WARMUP_ITERATIONS);
+    sim.load_program(&warmup);
+    let warm = sim.run(RUN_BUDGET);
+    assert!(sim.core().is_halted(), "warm-up must complete: {warm:?}");
+    let program = build_program(spec, outer_iterations);
+    sim.load_program(&program);
+    sim.reset_stats();
+    let result = sim.run(RUN_BUDGET);
+    assert!(
+        sim.core().is_halted(),
+        "{} under {} did not halt ({:?})",
+        spec.name,
+        config.defense,
+        result.exit
+    );
+    RunMeasurement {
+        benchmark: spec.name,
+        defense: config.defense,
+        report: sim.report(),
+        pipeline: *sim.core().stats(),
+    }
+}
+
+/// Runs one benchmark under every defense environment on a machine,
+/// returning measurements in [`DefenseConfig::ALL`] order.
+pub fn run_all_defenses(
+    spec: &WorkloadSpec,
+    machine: MachineConfig,
+    outer_iterations: u64,
+) -> Vec<RunMeasurement> {
+    DefenseConfig::ALL
+        .iter()
+        .map(|d| run_benchmark(spec, SimConfig::on_machine(*d, machine), outer_iterations))
+        .collect()
+}
+
+/// Runs one benchmark under the full defense with a given secure-LRU
+/// policy (the §VII.A study).
+pub fn run_with_lru(
+    spec: &WorkloadSpec,
+    lru: LruPolicy,
+    outer_iterations: u64,
+) -> RunMeasurement {
+    let config = SimConfig {
+        lru_policy: lru,
+        ..SimConfig::new(DefenseConfig::CacheHitTpbuf)
+    };
+    run_benchmark(spec, config, outer_iterations)
+}
+
+/// Normalized execution time (vs the Origin measurement of the same
+/// sweep).
+pub fn normalized(measurement: &RunMeasurement, origin: &RunMeasurement) -> f64 {
+    measurement.report.cycles as f64 / origin.report.cycles.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condspec_workloads::spec::by_name;
+
+    #[test]
+    fn run_benchmark_produces_nonzero_window() {
+        let spec = by_name("sjeng").expect("suite benchmark");
+        let m = run_benchmark(&spec, SimConfig::new(DefenseConfig::Origin), 4);
+        assert!(m.report.cycles > 0);
+        assert!(m.report.committed > 0);
+        assert_eq!(m.defense, DefenseConfig::Origin);
+    }
+
+    #[test]
+    fn defenses_ordering_on_one_benchmark() {
+        let spec = by_name("gcc").expect("suite benchmark");
+        let runs = run_all_defenses(&spec, MachineConfig::paper_default(), 20);
+        assert_eq!(runs.len(), 4);
+        let origin = &runs[0];
+        for r in &runs[1..] {
+            assert!(
+                normalized(r, origin) >= 0.9,
+                "defenses should not speed the machine up: {} {}",
+                r.benchmark,
+                r.defense
+            );
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Hand-rolled argument parsing for the `condspec` command-line driver
+//! (kept dependency-free).
+
+use condspec::{DefenseConfig, MachineConfig};
+use condspec_attacks::AttackScenario;
+use condspec_workloads::GadgetKind;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one side-channel scenario (or all) against one defense (or all).
+    Attack {
+        /// `None` = all six scenarios.
+        scenario: Option<AttackScenario>,
+        /// `None` = all four environments.
+        defense: Option<DefenseConfig>,
+    },
+    /// Run one Spectre variant end-to-end.
+    Variant {
+        /// Which gadget.
+        kind: GadgetKind,
+        /// `None` = all four environments.
+        defense: Option<DefenseConfig>,
+    },
+    /// Run one calibrated benchmark and print its report.
+    Bench {
+        /// Benchmark name from the suite.
+        name: String,
+        /// `None` = all four environments.
+        defense: Option<DefenseConfig>,
+        /// Machine preset.
+        machine: MachineConfig,
+        /// Outer iterations.
+        iterations: u64,
+    },
+    /// Execute a serialized program file.
+    Run {
+        /// Path to a `CONDSPEC` binary program file.
+        file: String,
+        /// `None` = Origin.
+        defense: Option<DefenseConfig>,
+        /// Cycle budget.
+        max_cycles: u64,
+    },
+    /// Serialize a generated benchmark to a program file.
+    Save {
+        /// Benchmark name from the suite.
+        name: String,
+        /// Output path.
+        file: String,
+        /// Outer iterations baked into the program.
+        iterations: u64,
+    },
+    /// Run a gadget attack round with pipeline tracing and dump events.
+    Trace {
+        /// Which gadget.
+        kind: GadgetKind,
+        /// `None` = Cache-hit + TPBuf.
+        defense: Option<DefenseConfig>,
+        /// Maximum events to print.
+        events: usize,
+    },
+    /// List the benchmark suite and machine presets.
+    List,
+    /// Print usage.
+    Help,
+}
+
+/// Error produced when arguments do not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+condspec — Conditional Speculation (HPCA 2019) reproduction driver
+
+USAGE:
+  condspec attack  [--scenario <name>] [--defense <name>]
+  condspec variant --kind <v1|v2|v4|rsb|v1-same-page|v1-set-stride> [--defense <name>]
+  condspec bench   --name <benchmark> [--defense <name>] [--machine <name>] [--iters <n>]
+  condspec run     --file <prog.bin> [--defense <name>] [--max-cycles <n>]
+  condspec save    --name <benchmark> --file <prog.bin> [--iters <n>]
+  condspec trace   --kind <variant> [--defense <name>] [--events <n>]
+  condspec list
+  condspec help
+
+SCENARIOS: flush-reload, flush-flush, evict-reload, prime-probe,
+           prime-probe-noshare, evict-time
+DEFENSES:  origin, baseline, cache-hit, cache-hit-tpbuf
+MACHINES:  paper-default, a57, i7, xeon
+";
+
+fn parse_defense(s: &str) -> Result<DefenseConfig, ParseError> {
+    match s {
+        "origin" => Ok(DefenseConfig::Origin),
+        "baseline" => Ok(DefenseConfig::Baseline),
+        "cache-hit" | "cachehit" => Ok(DefenseConfig::CacheHit),
+        "cache-hit-tpbuf" | "tpbuf" => Ok(DefenseConfig::CacheHitTpbuf),
+        other => Err(ParseError(format!("unknown defense `{other}`"))),
+    }
+}
+
+fn parse_scenario(s: &str) -> Result<AttackScenario, ParseError> {
+    match s {
+        "flush-reload" => Ok(AttackScenario::FlushReloadShared),
+        "flush-flush" => Ok(AttackScenario::FlushFlushShared),
+        "evict-reload" => Ok(AttackScenario::EvictReloadShared),
+        "prime-probe" => Ok(AttackScenario::PrimeProbeShared),
+        "prime-probe-noshare" => Ok(AttackScenario::PrimeProbeNoShare),
+        "evict-time" => Ok(AttackScenario::EvictTimeNoShare),
+        other => Err(ParseError(format!("unknown scenario `{other}`"))),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<GadgetKind, ParseError> {
+    match s {
+        "v1" => Ok(GadgetKind::V1),
+        "v2" => Ok(GadgetKind::V2),
+        "v4" => Ok(GadgetKind::V4),
+        "v1-same-page" => Ok(GadgetKind::V1SamePage),
+        "v1-set-stride" => Ok(GadgetKind::V1SetStride),
+        "rsb" => Ok(GadgetKind::Rsb),
+        other => Err(ParseError(format!("unknown variant `{other}`"))),
+    }
+}
+
+fn parse_machine(s: &str) -> Result<MachineConfig, ParseError> {
+    match s {
+        "paper-default" | "paper" => Ok(MachineConfig::paper_default()),
+        "a57" => Ok(MachineConfig::a57_like()),
+        "i7" => Ok(MachineConfig::i7_like()),
+        "xeon" => Ok(MachineConfig::xeon_like()),
+        other => Err(ParseError(format!("unknown machine `{other}`"))),
+    }
+}
+
+/// Pulls the value of `--flag` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ParseError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(ParseError(format!("{flag} needs a value")));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a human-readable message on unknown
+/// commands, flags or values.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut rest: Vec<String> = rest.to_vec();
+    let parsed = match command.as_str() {
+        "attack" => {
+            let scenario = take_flag(&mut rest, "--scenario")?
+                .map(|s| parse_scenario(&s))
+                .transpose()?;
+            let defense = take_flag(&mut rest, "--defense")?
+                .map(|s| parse_defense(&s))
+                .transpose()?;
+            Command::Attack { scenario, defense }
+        }
+        "variant" => {
+            let kind = take_flag(&mut rest, "--kind")?
+                .ok_or_else(|| ParseError("variant requires --kind".into()))?;
+            let defense = take_flag(&mut rest, "--defense")?
+                .map(|s| parse_defense(&s))
+                .transpose()?;
+            Command::Variant { kind: parse_kind(&kind)?, defense }
+        }
+        "bench" => {
+            let name = take_flag(&mut rest, "--name")?
+                .ok_or_else(|| ParseError("bench requires --name".into()))?;
+            let defense = take_flag(&mut rest, "--defense")?
+                .map(|s| parse_defense(&s))
+                .transpose()?;
+            let machine = take_flag(&mut rest, "--machine")?
+                .map(|s| parse_machine(&s))
+                .transpose()?
+                .unwrap_or_else(MachineConfig::paper_default);
+            let iterations = take_flag(&mut rest, "--iters")?
+                .map(|s| s.parse::<u64>().map_err(|_| ParseError(format!("bad --iters `{s}`"))))
+                .transpose()?
+                .unwrap_or(25);
+            Command::Bench { name, defense, machine, iterations }
+        }
+        "run" => {
+            let file = take_flag(&mut rest, "--file")?
+                .ok_or_else(|| ParseError("run requires --file".into()))?;
+            let defense = take_flag(&mut rest, "--defense")?
+                .map(|s| parse_defense(&s))
+                .transpose()?;
+            let max_cycles = take_flag(&mut rest, "--max-cycles")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --max-cycles `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(100_000_000);
+            Command::Run { file, defense, max_cycles }
+        }
+        "save" => {
+            let name = take_flag(&mut rest, "--name")?
+                .ok_or_else(|| ParseError("save requires --name".into()))?;
+            let file = take_flag(&mut rest, "--file")?
+                .ok_or_else(|| ParseError("save requires --file".into()))?;
+            let iterations = take_flag(&mut rest, "--iters")?
+                .map(|s| s.parse::<u64>().map_err(|_| ParseError(format!("bad --iters `{s}`"))))
+                .transpose()?
+                .unwrap_or(25);
+            Command::Save { name, file, iterations }
+        }
+        "trace" => {
+            let kind = take_flag(&mut rest, "--kind")?
+                .ok_or_else(|| ParseError("trace requires --kind".into()))?;
+            let defense = take_flag(&mut rest, "--defense")?
+                .map(|s| parse_defense(&s))
+                .transpose()?;
+            let events = take_flag(&mut rest, "--events")?
+                .map(|s| s.parse::<usize>().map_err(|_| ParseError(format!("bad --events `{s}`"))))
+                .transpose()?
+                .unwrap_or(120);
+            Command::Trace { kind: parse_kind(&kind)?, defense, events }
+        }
+        "list" => Command::List,
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(ParseError(format!("unknown command `{other}`"))),
+    };
+    if let Command::Help | Command::List = parsed {
+        return Ok(parsed);
+    }
+    if !rest.is_empty() {
+        return Err(ParseError(format!("unexpected arguments: {rest:?}")));
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn attack_defaults_to_full_sweep() {
+        assert_eq!(
+            parse(&argv("attack")).unwrap(),
+            Command::Attack { scenario: None, defense: None }
+        );
+    }
+
+    #[test]
+    fn attack_with_flags() {
+        assert_eq!(
+            parse(&argv("attack --scenario flush-reload --defense origin")).unwrap(),
+            Command::Attack {
+                scenario: Some(AttackScenario::FlushReloadShared),
+                defense: Some(DefenseConfig::Origin),
+            }
+        );
+    }
+
+    #[test]
+    fn variant_requires_kind() {
+        assert!(parse(&argv("variant")).is_err());
+        assert_eq!(
+            parse(&argv("variant --kind v4 --defense baseline")).unwrap(),
+            Command::Variant { kind: GadgetKind::V4, defense: Some(DefenseConfig::Baseline) }
+        );
+    }
+
+    #[test]
+    fn bench_parses_all_flags() {
+        match parse(&argv("bench --name lbm --defense tpbuf --machine i7 --iters 7")).unwrap() {
+            Command::Bench { name, defense, machine, iterations } => {
+                assert_eq!(name, "lbm");
+                assert_eq!(defense, Some(DefenseConfig::CacheHitTpbuf));
+                assert_eq!(machine.name, "I7-like");
+                assert_eq!(iterations, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_and_save_parse() {
+        match parse(&argv("run --file p.bin --defense origin --max-cycles 99")).unwrap() {
+            Command::Run { file, defense, max_cycles } => {
+                assert_eq!(file, "p.bin");
+                assert_eq!(defense, Some(DefenseConfig::Origin));
+                assert_eq!(max_cycles, 99);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("save --name gcc --file out.bin")).unwrap() {
+            Command::Save { name, file, iterations } => {
+                assert_eq!(name, "gcc");
+                assert_eq!(file, "out.bin");
+                assert_eq!(iterations, 25);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("save --name gcc")).is_err());
+    }
+
+    #[test]
+    fn trace_parses() {
+        match parse(&argv("trace --kind v1 --events 10")).unwrap() {
+            Command::Trace { kind, defense, events } => {
+                assert_eq!(kind, GadgetKind::V1);
+                assert_eq!(defense, None);
+                assert_eq!(events, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_values() {
+        assert!(parse(&argv("attack --scenario nope")).is_err());
+        assert!(parse(&argv("bench --name lbm --machine m1")).is_err());
+        assert!(parse(&argv("bench --name lbm --iters many")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("attack --defense")).is_err(), "flag without value");
+        assert!(parse(&argv("attack stray")).is_err(), "stray positional");
+    }
+}

@@ -1,0 +1,238 @@
+//! `condspec` — command-line driver for the Conditional Speculation
+//! reproduction: mount attacks, run calibrated benchmarks, inspect
+//! machine presets.
+
+mod args;
+
+use args::{parse, Command, USAGE};
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_attacks::{run_variant, AttackScenario};
+use condspec_stats::TextTable;
+use condspec_workloads::spec::{build_program, by_name, suite};
+use condspec_workloads::GadgetKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(cmd) => run(cmd),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn defenses(selected: Option<DefenseConfig>) -> Vec<DefenseConfig> {
+    match selected {
+        Some(d) => vec![d],
+        None => DefenseConfig::ALL.to_vec(),
+    }
+}
+
+fn run(cmd: Command) -> ExitCode {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Command::List => {
+            println!("benchmarks (calibrated to the paper's Table V):");
+            let mut t = TextTable::with_columns(&[
+                "name", "L1 hit target", "seq-miss", "stores", "region",
+            ]);
+            for w in suite() {
+                t.row(vec![
+                    w.name.to_string(),
+                    format!("{:.1}%", w.l1_hit_target * 100.0),
+                    format!("{:.1}%", w.seq_miss_fraction * 100.0),
+                    format!("{:.0}%", w.store_fraction * 100.0),
+                    format!("{} MiB", w.region_bytes / (1024 * 1024)),
+                ]);
+            }
+            println!("{t}");
+            println!("machines: paper-default, a57, i7, xeon");
+            println!("defenses: origin, baseline, cache-hit, cache-hit-tpbuf");
+            ExitCode::SUCCESS
+        }
+        Command::Attack { scenario, defense } => {
+            let scenarios = match scenario {
+                Some(s) => vec![s],
+                None => AttackScenario::ALL.to_vec(),
+            };
+            let mut t = TextTable::with_columns(&["scenario", "defense", "result"]);
+            let mut any_unexpected = false;
+            for s in &scenarios {
+                for d in defenses(defense) {
+                    let outcome = s.run(d);
+                    let expected = s.expected_defended(d) != outcome.leaked();
+                    any_unexpected |= !expected;
+                    t.row(vec![
+                        s.label().to_string(),
+                        d.label().to_string(),
+                        verdict(&outcome, expected),
+                    ]);
+                }
+            }
+            println!("{t}");
+            if any_unexpected {
+                eprintln!("some outcomes deviate from the paper's Table IV!");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Command::Variant { kind, defense } => {
+            let mut t = TextTable::with_columns(&["variant", "defense", "result"]);
+            for d in defenses(defense) {
+                let outcome = run_variant(kind, d);
+                let expected = (d == DefenseConfig::Origin) == outcome.leaked()
+                    || kind == GadgetKind::V1SamePage; // same-page evades TPBuf too
+                t.row(vec![format!("{kind:?}"), d.label().to_string(), verdict(&outcome, expected)]);
+            }
+            println!("{t}");
+            ExitCode::SUCCESS
+        }
+        Command::Trace { kind, defense, events } => {
+            use condspec_workloads::gadgets::SpectreGadget;
+            let defense = defense.unwrap_or(DefenseConfig::CacheHitTpbuf);
+            let gadget = SpectreGadget::build(kind);
+            let mut sim = Simulator::new(SimConfig::new(defense));
+            // Warm + train, then trace one malicious round.
+            sim.load_program(&gadget.program);
+            sim.write_memory(gadget.input_addr, gadget.train_input, 8);
+            sim.run(500_000);
+            sim.load_program(&gadget.program);
+            sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
+            if let Some(len) = gadget.len_addr {
+                let pa = sim.core().page_table().translate(len);
+                sim.core_mut().hierarchy_mut().flush_line(pa);
+            }
+            if let Some(slot) = gadget.pointer_slot {
+                let pa = sim.core().page_table().translate(slot);
+                sim.core_mut().hierarchy_mut().flush_line(pa);
+            }
+            if kind == GadgetKind::V2 {
+                let jr = gadget.indirect_pc.expect("v2 gadget");
+                let target = gadget.gadget_entry.expect("v2 gadget");
+                sim.core_mut().frontend_mut().btb_mut().update(jr, target);
+            }
+            sim.core_mut().enable_trace(events);
+            sim.run(500_000);
+            let trace = sim.core_mut().disable_trace().expect("tracing enabled");
+            println!(
+                "{kind:?} attack round under {} — last {} pipeline events:
+",
+                defense.label(),
+                trace.len()
+            );
+            print!("{trace}");
+            ExitCode::SUCCESS
+        }
+        Command::Run { file, defense, max_cycles } => {
+            let bytes = match std::fs::read(&file) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match condspec_isa::binfile::from_bytes(&bytes) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cannot parse {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let defense = defense.unwrap_or(DefenseConfig::Origin);
+            let mut sim = Simulator::new(SimConfig::new(defense));
+            sim.load_program(&program);
+            let result = sim.run(max_cycles);
+            let r = sim.report();
+            println!(
+                "{file}: {} instructions, exit {:?} after {} cycles under {}",
+                program.len(),
+                result.exit,
+                result.cycles,
+                defense.label()
+            );
+            println!("IPC {:.2}, L1D hit {:.1}%", r.ipc, r.l1d_hit_rate * 100.0);
+            println!("nonzero architectural registers:");
+            for reg in condspec_isa::Reg::ALL {
+                let v = sim.read_arch_reg(reg);
+                if v != 0 {
+                    println!("  {reg} = {v:#x}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Command::Save { name, file, iterations } => {
+            let Some(spec) = by_name(&name) else {
+                eprintln!("unknown benchmark `{name}` — try `condspec list`");
+                return ExitCode::FAILURE;
+            };
+            let program = build_program(&spec, iterations);
+            let bytes = condspec_isa::binfile::to_bytes(&program);
+            if let Err(e) = std::fs::write(&file, &bytes) {
+                eprintln!("cannot write {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {file}: {} instructions, {} data segments, {} bytes",
+                program.len(),
+                program.data().len(),
+                bytes.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Command::Bench { name, defense, machine, iterations } => {
+            let Some(spec) = by_name(&name) else {
+                eprintln!("unknown benchmark `{name}` — try `condspec list`");
+                return ExitCode::FAILURE;
+            };
+            let program = build_program(&spec, iterations);
+            let mut t = TextTable::with_columns(&[
+                "defense", "cycles", "IPC", "L1D hit", "blocked", "S-mismatch",
+            ]);
+            let mut origin_cycles: Option<u64> = None;
+            for d in defenses(defense) {
+                let mut sim = Simulator::new(SimConfig::on_machine(d, machine));
+                sim.run_to_halt(&program, 500_000_000);
+                let r = sim.report();
+                let norm = match origin_cycles {
+                    Some(o) => format!("{} ({:.2}x)", r.cycles, r.cycles as f64 / o as f64),
+                    None => {
+                        if d == DefenseConfig::Origin {
+                            origin_cycles = Some(r.cycles);
+                        }
+                        r.cycles.to_string()
+                    }
+                };
+                t.row(vec![
+                    d.label().to_string(),
+                    norm,
+                    format!("{:.2}", r.ipc),
+                    format!("{:.1}%", r.l1d_hit_rate * 100.0),
+                    format!("{:.1}%", r.blocked_rate * 100.0),
+                    format!("{:.1}%", r.s_pattern_mismatch_rate * 100.0),
+                ]);
+            }
+            println!("{name} on {} ({iterations} outer iterations):\n", machine.name);
+            println!("{t}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn verdict(outcome: &condspec_attacks::AttackOutcome, matches_paper: bool) -> String {
+    let base = match outcome.recovered {
+        Some(b) if outcome.leaked() => format!("LEAKED byte {b}"),
+        Some(b) => format!("wrong byte {b}"),
+        None if outcome.candidates.is_empty() => "blocked".to_string(),
+        None => format!("ambiguous ({})", outcome.candidates.len()),
+    };
+    if matches_paper {
+        base
+    } else {
+        format!("{base}  [UNEXPECTED]")
+    }
+}

@@ -1,0 +1,298 @@
+//! Machine and simulation configuration, including the paper's Table III
+//! processor and the §VI.D sensitivity-analysis cores.
+
+use crate::defense::{DependenceKinds, FilterMode, LruPolicy};
+use condspec_frontend::PredictorConfig;
+use condspec_mem::{CacheConfig, HierarchyConfig, TlbConfig};
+use condspec_pipeline::CoreConfig;
+
+/// Which defense mechanism the simulated core runs — the four
+/// experiment environments of §VI.A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefenseConfig {
+    /// Unprotected out-of-order processor.
+    Origin,
+    /// Conditional Speculation blocking every security-dependent access.
+    Baseline,
+    /// Conditional Speculation with the Cache-hit filter.
+    CacheHit,
+    /// Conditional Speculation with Cache-hit + TPBuf filters.
+    CacheHitTpbuf,
+}
+
+impl DefenseConfig {
+    /// All four environments, in the paper's presentation order.
+    pub const ALL: [DefenseConfig; 4] = [
+        DefenseConfig::Origin,
+        DefenseConfig::Baseline,
+        DefenseConfig::CacheHit,
+        DefenseConfig::CacheHitTpbuf,
+    ];
+
+    /// The three protected environments (everything except Origin).
+    pub const DEFENSES: [DefenseConfig; 3] = [
+        DefenseConfig::Baseline,
+        DefenseConfig::CacheHit,
+        DefenseConfig::CacheHitTpbuf,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseConfig::Origin => "Origin",
+            DefenseConfig::Baseline => "Baseline",
+            DefenseConfig::CacheHit => "Cache-hit Filter",
+            DefenseConfig::CacheHitTpbuf => "Cache-hit Filter + TPBuf Filter",
+        }
+    }
+
+    /// The filter mode, or `None` for the unprotected core.
+    pub fn filter_mode(&self) -> Option<FilterMode> {
+        match self {
+            DefenseConfig::Origin => None,
+            DefenseConfig::Baseline => Some(FilterMode::Baseline),
+            DefenseConfig::CacheHit => Some(FilterMode::CacheHit),
+            DefenseConfig::CacheHitTpbuf => Some(FilterMode::CacheHitTpbuf),
+        }
+    }
+}
+
+impl std::fmt::Display for DefenseConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A complete machine description: core geometry, memory hierarchy, TLB
+/// and branch predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Preset name (for reports).
+    pub name: &'static str,
+    /// Pipeline geometry.
+    pub core: CoreConfig,
+    /// Cache hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// TLB geometry.
+    pub tlb: TlbConfig,
+    /// Branch predictor.
+    pub predictor: PredictorConfig,
+}
+
+impl MachineConfig {
+    /// The paper's Table III machine: 4-way OOO, 15 stages, 192-entry
+    /// ROB, 64-entry IQ, 64 KB L1s, 2 MB L2, 8 MB L3.
+    pub fn paper_default() -> Self {
+        MachineConfig {
+            name: "paper-default",
+            core: CoreConfig::paper_default(),
+            hierarchy: HierarchyConfig::paper_default(),
+            tlb: TlbConfig::paper_default(),
+            predictor: PredictorConfig::paper_default(),
+        }
+    }
+
+    /// A mobile-class core (§VI.D "A57-like"): 2-wide, shallow window,
+    /// 32 KB L1s, 1 MB L2, no L3.
+    pub fn a57_like() -> Self {
+        MachineConfig {
+            name: "A57-like",
+            core: CoreConfig {
+                fetch_width: 2,
+                dispatch_width: 2,
+                issue_width: 2,
+                commit_width: 2,
+                rob_entries: 40,
+                iq_entries: 24,
+                ldq_entries: 16,
+                stq_entries: 12,
+                phys_regs: 96,
+                decode_latency: 4,
+                redirect_penalty: 7,
+                spec_store_bypass: true,
+                cache_ports: 1,
+                fetch_queue: 8,
+                mul_latency: 3,
+                block_replay_penalty: 12,
+                icache_filter: false,
+            },
+            hierarchy: HierarchyConfig {
+                l1i: CacheConfig::new(32 * 1024, 2, 64, 2),
+                l1d: CacheConfig::new(32 * 1024, 2, 64, 2),
+                l2: CacheConfig::new(1024 * 1024, 16, 64, 12),
+                l3: None,
+                memory_latency: 160,
+                next_line_prefetch: false,
+            },
+            tlb: TlbConfig { entries: 48, hit_latency: 0, miss_latency: 20 },
+            predictor: PredictorConfig {
+                kind: condspec_frontend::PredictorKind::Tournament,
+                table_bits: 11,
+                btb_entries: 512,
+                ras_entries: 8,
+            },
+        }
+    }
+
+    /// A desktop-class core (§VI.D "Core i7-like"): 4-wide, 168-entry
+    /// ROB, 32 KB L1s, 256 KB L2, 8 MB L3.
+    pub fn i7_like() -> Self {
+        MachineConfig {
+            name: "I7-like",
+            core: CoreConfig {
+                fetch_width: 4,
+                dispatch_width: 4,
+                issue_width: 4,
+                commit_width: 4,
+                rob_entries: 168,
+                iq_entries: 56,
+                ldq_entries: 48,
+                stq_entries: 36,
+                phys_regs: 224,
+                decode_latency: 5,
+                redirect_penalty: 10,
+                spec_store_bypass: true,
+                cache_ports: 2,
+                fetch_queue: 16,
+                mul_latency: 3,
+                block_replay_penalty: 12,
+                icache_filter: false,
+            },
+            hierarchy: HierarchyConfig {
+                l1i: CacheConfig::new(32 * 1024, 8, 64, 2),
+                l1d: CacheConfig::new(32 * 1024, 8, 64, 2),
+                l2: CacheConfig::new(256 * 1024, 8, 64, 10),
+                l3: Some(CacheConfig::new(8 * 1024 * 1024, 16, 64, 40)),
+                memory_latency: 200,
+                next_line_prefetch: false,
+            },
+            tlb: TlbConfig::paper_default(),
+            predictor: PredictorConfig::paper_default(),
+        }
+    }
+
+    /// A server-class core (§VI.D "Xeon E5 v4-like"): 4-wide with a
+    /// deeper window, larger L3, longer memory latency.
+    pub fn xeon_like() -> Self {
+        MachineConfig {
+            name: "Xeon-like",
+            core: CoreConfig {
+                fetch_width: 4,
+                dispatch_width: 4,
+                issue_width: 4,
+                commit_width: 4,
+                rob_entries: 224,
+                iq_entries: 64,
+                ldq_entries: 64,
+                stq_entries: 48,
+                phys_regs: 288,
+                decode_latency: 6,
+                redirect_penalty: 12,
+                spec_store_bypass: true,
+                cache_ports: 2,
+                fetch_queue: 20,
+                mul_latency: 3,
+                block_replay_penalty: 12,
+                icache_filter: false,
+            },
+            hierarchy: HierarchyConfig {
+                l1i: CacheConfig::new(32 * 1024, 8, 64, 2),
+                l1d: CacheConfig::new(32 * 1024, 8, 64, 2),
+                l2: CacheConfig::new(256 * 1024, 8, 64, 12),
+                l3: Some(CacheConfig::new(16 * 1024 * 1024, 16, 64, 50)),
+                memory_latency: 240,
+                next_line_prefetch: false,
+            },
+            tlb: TlbConfig { entries: 128, hit_latency: 0, miss_latency: 24 },
+            predictor: PredictorConfig::paper_default(),
+        }
+    }
+
+    /// The three sensitivity-analysis machines of Table VI.
+    pub fn sensitivity_presets() -> [MachineConfig; 3] {
+        [Self::a57_like(), Self::i7_like(), Self::xeon_like()]
+    }
+}
+
+/// A full simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// The machine to simulate.
+    pub machine: MachineConfig,
+    /// The defense environment.
+    pub defense: DefenseConfig,
+    /// Secure-LRU policy for suspect L1D hits.
+    pub lru_policy: LruPolicy,
+    /// Which producer classes create security dependences.
+    pub dependence_kinds: DependenceKinds,
+}
+
+impl SimConfig {
+    /// Paper-default machine with the given defense, ordinary LRU
+    /// updates, full dependence tracking.
+    pub fn new(defense: DefenseConfig) -> Self {
+        SimConfig {
+            machine: MachineConfig::paper_default(),
+            defense,
+            lru_policy: LruPolicy::Update,
+            dependence_kinds: DependenceKinds::all(),
+        }
+    }
+
+    /// Same defense on a different machine preset.
+    pub fn on_machine(defense: DefenseConfig, machine: MachineConfig) -> Self {
+        SimConfig { machine, ..SimConfig::new(defense) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_iii() {
+        let m = MachineConfig::paper_default();
+        assert_eq!(m.core.rob_entries, 192);
+        assert_eq!(m.core.iq_entries, 64);
+        assert_eq!(m.core.ldq_entries, 32);
+        assert_eq!(m.core.stq_entries, 24);
+        assert_eq!(m.core.commit_width, 4);
+        assert_eq!(m.hierarchy.l1d.size_bytes, 64 * 1024);
+        assert_eq!(m.hierarchy.l1d.ways, 4);
+        assert_eq!(m.hierarchy.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(m.hierarchy.l3.unwrap().size_bytes, 8 * 1024 * 1024);
+        assert_eq!(m.hierarchy.memory_latency, 192);
+        assert_eq!(m.tlb.entries, 64);
+    }
+
+    #[test]
+    fn presets_validate_and_scale_in_complexity() {
+        let a57 = MachineConfig::a57_like();
+        let i7 = MachineConfig::i7_like();
+        let xeon = MachineConfig::xeon_like();
+        for m in [&a57, &i7, &xeon] {
+            m.core.validate();
+        }
+        assert!(a57.core.rob_entries < i7.core.rob_entries);
+        assert!(i7.core.rob_entries < xeon.core.rob_entries);
+        assert!(a57.core.issue_width <= i7.core.issue_width);
+        assert!(a57.hierarchy.l3.is_none());
+    }
+
+    #[test]
+    fn defense_labels_and_modes() {
+        assert_eq!(DefenseConfig::Origin.filter_mode(), None);
+        assert!(DefenseConfig::Baseline.filter_mode().is_some());
+        assert_eq!(DefenseConfig::ALL.len(), 4);
+        assert_eq!(DefenseConfig::DEFENSES.len(), 3);
+        assert_eq!(DefenseConfig::CacheHitTpbuf.to_string(), "Cache-hit Filter + TPBuf Filter");
+    }
+
+    #[test]
+    fn sim_config_constructors() {
+        let c = SimConfig::new(DefenseConfig::CacheHit);
+        assert_eq!(c.machine.name, "paper-default");
+        let c = SimConfig::on_machine(DefenseConfig::Origin, MachineConfig::a57_like());
+        assert_eq!(c.machine.name, "A57-like");
+    }
+}

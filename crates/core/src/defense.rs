@@ -1,0 +1,475 @@
+//! The Conditional Speculation policy: security hazard detection in the
+//! Issue Queue plus the Cache-hit and TPBuf hazard filters.
+
+use crate::matrix::SecurityDependenceMatrix;
+use crate::tpbuf::TpBuf;
+use condspec_mem::LruUpdate;
+use condspec_pipeline::policy::{
+    DispatchInfo, InstClass, IqEntryView, MemAccessQuery, MemDecision, PolicyStats,
+    SecurityPolicy,
+};
+
+/// Which hazard filters are active (the paper's three evaluated
+/// mechanisms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterMode {
+    /// *Baseline*: every security-dependent memory access is unsafe and
+    /// blocks until its dependences clear.
+    Baseline,
+    /// *Cache-hit Filter*: suspect accesses that hit L1D are safe;
+    /// suspect misses block.
+    CacheHit,
+    /// *Cache-hit Filter + TPBuf Filter*: suspect misses additionally
+    /// consult the S-Pattern detector; mismatching misses are safe.
+    CacheHitTpbuf,
+}
+
+impl FilterMode {
+    /// Human-readable mechanism name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FilterMode::Baseline => "baseline",
+            FilterMode::CacheHit => "cache-hit filter",
+            FilterMode::CacheHitTpbuf => "cache-hit + tpbuf filter",
+        }
+    }
+}
+
+/// Replacement-metadata update policy for suspect L1D hits (§VII.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LruPolicy {
+    /// Ordinary LRU update (leaks through replacement state; the paper's
+    /// performance baseline for the discussion section).
+    #[default]
+    Update,
+    /// *No update policy*: suspect hits do not touch LRU state.
+    NoUpdate,
+    /// *Delayed update policy*: the update applies when the load becomes
+    /// non-speculative (at commit).
+    Delayed,
+}
+
+impl LruPolicy {
+    fn to_update(self) -> LruUpdate {
+        match self {
+            LruPolicy::Update => LruUpdate::Normal,
+            LruPolicy::NoUpdate => LruUpdate::None,
+            LruPolicy::Delayed => LruUpdate::Deferred,
+        }
+    }
+}
+
+/// Which producer classes create security dependences. The paper's §VI.C
+/// ablates *branch-memory* speculation alone (23.0% average overhead)
+/// before adding *memory-memory* speculation (the full mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DependenceKinds {
+    /// Track branch → memory security dependences.
+    pub branch: bool,
+    /// Track memory → memory security dependences.
+    pub memory: bool,
+}
+
+impl DependenceKinds {
+    /// The full mechanism (both speculation sources).
+    pub fn all() -> Self {
+        DependenceKinds { branch: true, memory: true }
+    }
+
+    /// Branch-memory dependences only (the §VI.C ablation).
+    pub fn branch_only() -> Self {
+        DependenceKinds { branch: true, memory: false }
+    }
+
+    fn covers(&self, class: InstClass) -> bool {
+        match class {
+            InstClass::Branch => self.branch,
+            InstClass::Memory => self.memory,
+            InstClass::Other => false,
+        }
+    }
+}
+
+impl Default for DependenceKinds {
+    fn default() -> Self {
+        DependenceKinds::all()
+    }
+}
+
+/// The Conditional Speculation mechanism, pluggable into
+/// [`condspec_pipeline::Core`] as its [`SecurityPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// use condspec::defense::{ConditionalSpeculation, FilterMode, LruPolicy, DependenceKinds};
+/// use condspec_pipeline::policy::SecurityPolicy;
+///
+/// let policy = ConditionalSpeculation::new(
+///     64, // IQ entries (matrix dimension)
+///     56, // LSQ entries (TPBuf capacity)
+///     FilterMode::CacheHitTpbuf,
+///     LruPolicy::NoUpdate,
+///     DependenceKinds::all(),
+/// );
+/// assert_eq!(policy.name(), "cache-hit + tpbuf filter");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConditionalSpeculation {
+    mode: FilterMode,
+    lru: LruPolicy,
+    kinds: DependenceKinds,
+    matrix: SecurityDependenceMatrix,
+    /// Tracks which slots currently hold memory instructions, so the
+    /// suspect flag is only raised for loads/stores.
+    slot_is_memory: Vec<bool>,
+    tpbuf: TpBuf,
+    stats: PolicyStats,
+}
+
+impl ConditionalSpeculation {
+    /// Creates the mechanism for a core with `iq_entries` Issue Queue
+    /// slots and `lsq_entries` total LSQ entries.
+    pub fn new(
+        iq_entries: usize,
+        lsq_entries: usize,
+        mode: FilterMode,
+        lru: LruPolicy,
+        kinds: DependenceKinds,
+    ) -> Self {
+        ConditionalSpeculation {
+            mode,
+            lru,
+            kinds,
+            matrix: SecurityDependenceMatrix::new(iq_entries),
+            slot_is_memory: vec![false; iq_entries],
+            tpbuf: TpBuf::new(lsq_entries),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// The active filter mode.
+    pub fn mode(&self) -> FilterMode {
+        self.mode
+    }
+
+    /// The active secure-LRU policy.
+    pub fn lru_policy(&self) -> LruPolicy {
+        self.lru
+    }
+
+    /// The security dependence matrix (inspection/diagnostics).
+    pub fn matrix(&self) -> &SecurityDependenceMatrix {
+        &self.matrix
+    }
+
+    /// The TPBuf (inspection/diagnostics).
+    pub fn tpbuf(&self) -> &TpBuf {
+        &self.tpbuf
+    }
+}
+
+impl SecurityPolicy for ConditionalSpeculation {
+    fn name(&self) -> &'static str {
+        self.mode.label()
+    }
+
+    fn on_dispatch(&mut self, info: DispatchInfo, older: &[IqEntryView]) {
+        // Defensive hygiene for slot reuse: nobody may still depend on a
+        // slot that is being re-populated.
+        self.matrix.clear_column(info.slot);
+        self.slot_is_memory[info.slot] = info.class == InstClass::Memory;
+        if info.class != InstClass::Memory {
+            self.matrix.clear_row(info.slot);
+            return;
+        }
+        // The paper's matrix-initialization formula: producers are valid,
+        // not-yet-issued branch/memory instructions already in the queue
+        // (they necessarily precede the new instruction in program order).
+        let producers: Vec<usize> = older
+            .iter()
+            .filter(|v| !v.issued && self.kinds.covers(v.class))
+            .map(|v| v.slot)
+            .collect();
+        self.matrix.init_row(info.slot, &producers);
+    }
+
+    fn suspect_on_issue(&self, slot: usize) -> bool {
+        self.slot_is_memory[slot] && self.matrix.row_any(slot)
+    }
+
+    fn on_issue(&mut self, slot: usize) {
+        self.matrix.clear_column(slot);
+    }
+
+    fn on_slot_freed(&mut self, slot: usize) {
+        self.matrix.clear_row(slot);
+        self.matrix.clear_column(slot);
+        self.slot_is_memory[slot] = false;
+    }
+
+    fn has_pending_dependence(&self, slot: usize) -> bool {
+        self.matrix.row_any(slot)
+    }
+
+    fn check_mem_access(&mut self, query: &MemAccessQuery) -> MemDecision {
+        if !query.suspect {
+            return MemDecision::Proceed { l1_update: LruUpdate::Normal };
+        }
+        self.stats.suspect_flags += 1;
+        match self.mode {
+            FilterMode::Baseline => {
+                self.stats.blocks += 1;
+                MemDecision::Block
+            }
+            FilterMode::CacheHit => {
+                if query.l1_hit {
+                    MemDecision::Proceed { l1_update: self.lru.to_update() }
+                } else {
+                    self.stats.blocks += 1;
+                    MemDecision::Block
+                }
+            }
+            FilterMode::CacheHitTpbuf => {
+                if query.l1_hit {
+                    MemDecision::Proceed { l1_update: self.lru.to_update() }
+                } else {
+                    self.stats.tpbuf_queries += 1;
+                    if self.tpbuf.matches_s_pattern(query.seq, query.ppn) {
+                        self.stats.blocks += 1;
+                        MemDecision::Block
+                    } else {
+                        self.stats.tpbuf_mismatches += 1;
+                        // A mismatching miss is safe: it may fill the cache
+                        // as a normal access.
+                        MemDecision::Proceed { l1_update: LruUpdate::Normal }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_lsq_allocate(&mut self, seq: u64, is_load: bool) {
+        self.tpbuf.allocate(seq, is_load);
+    }
+
+    fn on_mem_address(&mut self, seq: u64, ppn: u64, suspect: bool) {
+        self.tpbuf.record_address(seq, ppn, suspect);
+    }
+
+    fn on_mem_writeback(&mut self, seq: u64) {
+        self.tpbuf.record_writeback(seq);
+    }
+
+    fn on_lsq_release(&mut self, seq: u64) {
+        self.tpbuf.release(seq);
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PolicyStats::default();
+    }
+
+    fn reset_transient(&mut self) {
+        self.matrix.clear();
+        self.tpbuf.clear();
+        self.slot_is_memory.iter_mut().for_each(|b| *b = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_dispatch(slot: usize, seq: u64) -> DispatchInfo {
+        DispatchInfo { slot, seq, class: InstClass::Memory }
+    }
+
+    fn view(slot: usize, seq: u64, class: InstClass, issued: bool) -> IqEntryView {
+        IqEntryView { slot, seq, class, issued }
+    }
+
+    fn policy(mode: FilterMode) -> ConditionalSpeculation {
+        ConditionalSpeculation::new(8, 8, mode, LruPolicy::Update, DependenceKinds::all())
+    }
+
+    #[test]
+    fn memory_depends_on_unissued_branch_and_memory() {
+        let mut p = policy(FilterMode::Baseline);
+        let older = [
+            view(0, 1, InstClass::Branch, false),
+            view(1, 2, InstClass::Memory, false),
+            view(2, 3, InstClass::Other, false),
+            view(3, 4, InstClass::Branch, true), // already issued
+        ];
+        p.on_dispatch(mem_dispatch(4, 5), &older);
+        assert!(p.suspect_on_issue(4));
+        assert!(p.matrix().get(4, 0));
+        assert!(p.matrix().get(4, 1));
+        assert!(!p.matrix().get(4, 2), "ALU producers are not security hazards");
+        assert!(!p.matrix().get(4, 3), "issued producers are resolved");
+    }
+
+    #[test]
+    fn non_memory_instructions_are_never_suspect() {
+        let mut p = policy(FilterMode::Baseline);
+        let older = [view(0, 1, InstClass::Branch, false)];
+        p.on_dispatch(
+            DispatchInfo { slot: 4, seq: 5, class: InstClass::Other },
+            &older,
+        );
+        assert!(!p.suspect_on_issue(4));
+    }
+
+    #[test]
+    fn branch_only_ablation_skips_memory_producers() {
+        let mut p = ConditionalSpeculation::new(
+            8,
+            8,
+            FilterMode::Baseline,
+            LruPolicy::Update,
+            DependenceKinds::branch_only(),
+        );
+        let older = [view(0, 1, InstClass::Memory, false)];
+        p.on_dispatch(mem_dispatch(1, 2), &older);
+        assert!(!p.suspect_on_issue(1), "memory producers excluded in the ablation");
+        let older = [view(0, 1, InstClass::Branch, false)];
+        p.on_dispatch(mem_dispatch(2, 3), &older);
+        assert!(p.suspect_on_issue(2));
+    }
+
+    #[test]
+    fn issue_clears_dependences() {
+        let mut p = policy(FilterMode::Baseline);
+        p.on_dispatch(mem_dispatch(1, 2), &[view(0, 1, InstClass::Branch, false)]);
+        assert!(p.has_pending_dependence(1));
+        p.on_issue(0); // the branch issues
+        assert!(!p.has_pending_dependence(1));
+        assert!(!p.suspect_on_issue(1));
+    }
+
+    #[test]
+    fn slot_reuse_is_clean() {
+        let mut p = policy(FilterMode::Baseline);
+        p.on_dispatch(mem_dispatch(1, 2), &[view(0, 1, InstClass::Branch, false)]);
+        p.on_slot_freed(1);
+        // Slot 1 is recycled for a plain ALU instruction.
+        p.on_dispatch(DispatchInfo { slot: 1, seq: 9, class: InstClass::Other }, &[]);
+        assert!(!p.suspect_on_issue(1));
+        // And slot 0 recycled while someone depended on it: the column
+        // must have been cleared.
+        p.on_dispatch(mem_dispatch(2, 10), &[view(1, 9, InstClass::Other, false)]);
+        assert!(!p.matrix().get(2, 0));
+    }
+
+    fn q(suspect: bool, l1_hit: bool, seq: u64, ppn: u64) -> MemAccessQuery {
+        MemAccessQuery { seq, slot: 0, suspect, l1_hit, ppn }
+    }
+
+    #[test]
+    fn baseline_blocks_all_suspect_accesses() {
+        let mut p = policy(FilterMode::Baseline);
+        assert_eq!(p.check_mem_access(&q(true, true, 1, 0)), MemDecision::Block);
+        assert_eq!(p.check_mem_access(&q(true, false, 2, 0)), MemDecision::Block);
+        assert!(matches!(
+            p.check_mem_access(&q(false, false, 3, 0)),
+            MemDecision::Proceed { .. }
+        ));
+        assert_eq!(p.stats().blocks, 2);
+        assert_eq!(p.stats().suspect_flags, 2);
+    }
+
+    #[test]
+    fn cache_hit_filter_allows_hits_blocks_misses() {
+        let mut p = policy(FilterMode::CacheHit);
+        assert!(matches!(
+            p.check_mem_access(&q(true, true, 1, 0)),
+            MemDecision::Proceed { .. }
+        ));
+        assert_eq!(p.check_mem_access(&q(true, false, 2, 0)), MemDecision::Block);
+    }
+
+    #[test]
+    fn lru_policy_threads_through_on_suspect_hits() {
+        for (policy_kind, expected) in [
+            (LruPolicy::Update, LruUpdate::Normal),
+            (LruPolicy::NoUpdate, LruUpdate::None),
+            (LruPolicy::Delayed, LruUpdate::Deferred),
+        ] {
+            let mut p = ConditionalSpeculation::new(
+                8,
+                8,
+                FilterMode::CacheHit,
+                policy_kind,
+                DependenceKinds::all(),
+            );
+            match p.check_mem_access(&q(true, true, 1, 0)) {
+                MemDecision::Proceed { l1_update } => assert_eq!(l1_update, expected),
+                MemDecision::Block => panic!("suspect hits proceed under the cache-hit filter"),
+            }
+            // Non-suspect accesses always update normally.
+            match p.check_mem_access(&q(false, true, 2, 0)) {
+                MemDecision::Proceed { l1_update } => assert_eq!(l1_update, LruUpdate::Normal),
+                MemDecision::Block => panic!("non-suspect accesses never block"),
+            }
+        }
+    }
+
+    #[test]
+    fn tpbuf_filter_consults_s_pattern() {
+        let mut p = policy(FilterMode::CacheHitTpbuf);
+        // Arm the S-Pattern: an older suspect load of page 0x80 wrote back.
+        p.on_lsq_allocate(1, true);
+        p.on_mem_address(1, 0x80, true);
+        p.on_mem_writeback(1);
+        // A suspect miss to a different page: unsafe, blocked.
+        assert_eq!(p.check_mem_access(&q(true, false, 2, 0x99)), MemDecision::Block);
+        // A suspect miss to the same page: mismatch, allowed.
+        assert!(matches!(
+            p.check_mem_access(&q(true, false, 3, 0x80)),
+            MemDecision::Proceed { .. }
+        ));
+        assert_eq!(p.stats().tpbuf_queries, 2);
+        assert_eq!(p.stats().tpbuf_mismatches, 1);
+        assert_eq!(p.stats().blocks, 1);
+        // Suspect hits are still allowed by the cache-hit stage.
+        assert!(matches!(
+            p.check_mem_access(&q(true, true, 4, 0x99)),
+            MemDecision::Proceed { .. }
+        ));
+    }
+
+    #[test]
+    fn tpbuf_disarms_on_release() {
+        let mut p = policy(FilterMode::CacheHitTpbuf);
+        p.on_lsq_allocate(1, true);
+        p.on_mem_address(1, 0x80, true);
+        p.on_mem_writeback(1);
+        p.on_lsq_release(1);
+        assert!(matches!(
+            p.check_mem_access(&q(true, false, 2, 0x99)),
+            MemDecision::Proceed { .. }
+        ));
+    }
+
+    #[test]
+    fn reset_transient_clears_everything() {
+        let mut p = policy(FilterMode::CacheHitTpbuf);
+        p.on_dispatch(mem_dispatch(1, 2), &[view(0, 1, InstClass::Branch, false)]);
+        p.on_lsq_allocate(2, true);
+        p.reset_transient();
+        assert!(!p.suspect_on_issue(1));
+        assert_eq!(p.tpbuf().occupancy(), 0);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut p = policy(FilterMode::Baseline);
+        p.check_mem_access(&q(true, false, 1, 0));
+        p.reset_stats();
+        assert_eq!(p.stats(), PolicyStats::default());
+    }
+}

@@ -1,0 +1,215 @@
+//! The security dependence matrix (paper §V.B, Figure 2).
+//!
+//! An N×N bit matrix indexed by Issue Queue position. Bit
+//! `[IQPos_X, IQPos_Y] = 1` means instruction X is security-dependent on
+//! instruction Y. Rows are initialized at dispatch with the paper's
+//! formula:
+//!
+//! ```text
+//! Matrix[X, Y] = (IssueQ[X].opcode == MEMORY)
+//!              & (IssueQ[Y].opcode == MEMORY or BRANCH)
+//!              & IssueQ[Y].valid
+//!              & !IssueQ[Y].issued
+//! ```
+//!
+//! Columns are cleared when the producer issues (dependence clearance);
+//! the row OR is the *suspect speculation* flag at issue select.
+
+/// An N×N single-bit matrix with O(words) row operations and O(N) column
+/// clears, mirroring the RTL structure the paper synthesizes (§VI.E).
+///
+/// # Examples
+///
+/// ```
+/// use condspec::matrix::SecurityDependenceMatrix;
+///
+/// let mut m = SecurityDependenceMatrix::new(64);
+/// m.init_row(3, &[0, 7]);     // inst in slot 3 depends on slots 0 and 7
+/// assert!(m.row_any(3));
+/// m.clear_column(0);          // slot 0 issued
+/// assert!(m.row_any(3));      // still depends on slot 7
+/// m.clear_column(7);
+/// assert!(!m.row_any(3));     // all dependences cleared
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityDependenceMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl SecurityDependenceMatrix {
+    /// Creates an all-zero N×N matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be nonzero");
+        let words_per_row = n.div_ceil(64);
+        SecurityDependenceMatrix { n, words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    /// Matrix dimension (the Issue Queue size).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        debug_assert!(row < self.n, "row {row} out of range");
+        row * self.words_per_row..(row + 1) * self.words_per_row
+    }
+
+    /// Initializes `row` with dependence bits on each producer column,
+    /// clearing any stale bits first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or any producer column is out of range.
+    pub fn init_row(&mut self, row: usize, producers: &[usize]) {
+        self.clear_row(row);
+        let range = self.row_range(row);
+        for &col in producers {
+            assert!(col < self.n, "column {col} out of range");
+            self.bits[range.start + col / 64] |= 1u64 << (col % 64);
+        }
+    }
+
+    /// Sets a single dependence bit.
+    pub fn set(&mut self, row: usize, col: usize) {
+        assert!(col < self.n, "column {col} out of range");
+        let range = self.row_range(row);
+        self.bits[range.start + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Whether `row` still has any outstanding dependence (the row OR that
+    /// produces the suspect speculation flag).
+    pub fn row_any(&self, row: usize) -> bool {
+        self.bits[self.row_range(row)].iter().any(|w| *w != 0)
+    }
+
+    /// Whether the specific bit `[row, col]` is set.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(col < self.n, "column {col} out of range");
+        let range = self.row_range(row);
+        self.bits[range.start + col / 64] & (1u64 << (col % 64)) != 0
+    }
+
+    /// Clears every bit in `row` (the slot was freed or reused).
+    pub fn clear_row(&mut self, row: usize) {
+        let range = self.row_range(row);
+        self.bits[range].iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Clears `col` in every row: the producer in that slot issued, so
+    /// all security dependences on it are released.
+    pub fn clear_column(&mut self, col: usize) {
+        assert!(col < self.n, "column {col} out of range");
+        let word = col / 64;
+        let mask = !(1u64 << (col % 64));
+        for row in 0..self.n {
+            self.bits[row * self.words_per_row + word] &= mask;
+        }
+    }
+
+    /// Total number of set bits (diagnostics).
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears the whole matrix.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Storage cost in bits — the figure the paper's area evaluation
+    /// (§VI.E) synthesizes: N² for a 64-entry IQ is 4096 bits.
+    pub fn storage_bits(&self) -> usize {
+        self.n * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let m = SecurityDependenceMatrix::new(64);
+        for r in 0..64 {
+            assert!(!m.row_any(r));
+        }
+        assert_eq!(m.count_ones(), 0);
+        assert_eq!(m.storage_bits(), 4096);
+    }
+
+    #[test]
+    fn init_row_sets_exactly_producers() {
+        let mut m = SecurityDependenceMatrix::new(8);
+        m.init_row(2, &[0, 5, 7]);
+        assert!(m.get(2, 0));
+        assert!(m.get(2, 5));
+        assert!(m.get(2, 7));
+        assert!(!m.get(2, 1));
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn init_row_clears_stale_bits() {
+        let mut m = SecurityDependenceMatrix::new(8);
+        m.init_row(2, &[1]);
+        m.init_row(2, &[3]);
+        assert!(!m.get(2, 1), "stale bit from the previous occupant cleared");
+        assert!(m.get(2, 3));
+    }
+
+    #[test]
+    fn clear_column_releases_all_rows() {
+        let mut m = SecurityDependenceMatrix::new(8);
+        m.init_row(1, &[4]);
+        m.init_row(2, &[4, 5]);
+        m.clear_column(4);
+        assert!(!m.row_any(1));
+        assert!(m.row_any(2), "still depends on 5");
+        m.clear_column(5);
+        assert!(!m.row_any(2));
+    }
+
+    #[test]
+    fn clear_row_only_affects_that_row() {
+        let mut m = SecurityDependenceMatrix::new(8);
+        m.init_row(1, &[0]);
+        m.init_row(2, &[0]);
+        m.clear_row(1);
+        assert!(!m.row_any(1));
+        assert!(m.row_any(2));
+    }
+
+    #[test]
+    fn works_beyond_64_columns() {
+        let mut m = SecurityDependenceMatrix::new(100);
+        m.init_row(99, &[0, 64, 99]);
+        assert!(m.get(99, 64));
+        assert!(m.get(99, 99));
+        m.clear_column(64);
+        assert!(!m.get(99, 64));
+        assert!(m.row_any(99));
+        assert_eq!(m.storage_bits(), 10_000);
+    }
+
+    #[test]
+    fn set_and_clear_roundtrip() {
+        let mut m = SecurityDependenceMatrix::new(16);
+        m.set(3, 9);
+        assert!(m.get(3, 9));
+        m.clear();
+        assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_column_panics() {
+        let mut m = SecurityDependenceMatrix::new(8);
+        m.set(0, 8);
+    }
+}

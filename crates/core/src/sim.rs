@@ -1,0 +1,274 @@
+//! The top-level simulator facade: a configured core plus reporting.
+
+use crate::config::{DefenseConfig, SimConfig};
+use crate::defense::ConditionalSpeculation;
+use condspec_frontend::FrontEnd;
+use condspec_isa::{Program, Reg};
+use condspec_mem::{CacheHierarchy, PageTable, Tlb};
+use condspec_pipeline::{Core, ExitReason, NullPolicy, RunResult};
+
+/// Summary measurements of a simulation window — one row of the paper's
+/// evaluation tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Defense environment that produced this report.
+    pub defense: DefenseConfig,
+    /// Simulated cycles in the window.
+    pub cycles: u64,
+    /// Instructions committed in the window.
+    pub committed: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Overall L1D demand hit rate (Table V column "L1 Hit Rate").
+    pub l1d_hit_rate: f64,
+    /// Fraction of correct-path loads blocked at least once (Table V
+    /// "Blocked Rate").
+    pub blocked_rate: f64,
+    /// L1D hit rate of suspect speculative accesses (Table V "Cache Hit
+    /// Rate of Speculative Memory Access").
+    pub suspect_hit_rate: f64,
+    /// Fraction of suspect misses that mismatched the S-Pattern (Table V
+    /// "S-Pattern Mismatch Rate").
+    pub s_pattern_mismatch_rate: f64,
+    /// Conditional-branch prediction accuracy.
+    pub branch_accuracy: f64,
+    /// Mispredict squashes in the window.
+    pub mispredict_squashes: u64,
+}
+
+/// A configured machine: the out-of-order core with the chosen defense
+/// installed, ready to run programs.
+///
+/// # Examples
+///
+/// ```
+/// use condspec::{Simulator, SimConfig, DefenseConfig};
+/// use condspec_isa::{ProgramBuilder, Reg, AluOp};
+///
+/// # fn main() -> Result<(), condspec_isa::BuildError> {
+/// let mut sim = Simulator::new(SimConfig::new(DefenseConfig::CacheHitTpbuf));
+/// let mut b = ProgramBuilder::new(0x1000);
+/// b.li(Reg::R1, 41);
+/// b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+/// b.halt();
+/// sim.load_program(&b.build()?);
+/// sim.run(10_000);
+/// assert_eq!(sim.read_arch_reg(Reg::R1), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    core: Core,
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Builds the machine described by `config`.
+    pub fn new(config: SimConfig) -> Self {
+        let m = &config.machine;
+        let policy: Box<dyn condspec_pipeline::SecurityPolicy> = match config.defense.filter_mode()
+        {
+            None => Box::new(NullPolicy),
+            Some(mode) => Box::new(ConditionalSpeculation::new(
+                m.core.iq_entries,
+                m.core.ldq_entries + m.core.stq_entries,
+                mode,
+                config.lru_policy,
+                config.dependence_kinds,
+            )),
+        };
+        let core = Core::new(
+            m.core,
+            FrontEnd::new(m.predictor),
+            CacheHierarchy::new(m.hierarchy),
+            Tlb::new(m.tlb),
+            PageTable::new(),
+            policy,
+        );
+        Simulator { core, config }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Loads a program (resets architectural state, keeps caches and
+    /// predictors warm — see [`Core::load_program`]).
+    pub fn load_program(&mut self, program: &Program) {
+        self.core.load_program(program);
+    }
+
+    /// Runs for at most `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        self.core.run(max_cycles)
+    }
+
+    /// Loads and runs a program to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not halt within `max_cycles` (programs
+    /// in this workspace are expected to halt; a non-halting run is a
+    /// harness bug).
+    pub fn run_to_halt(&mut self, program: &Program, max_cycles: u64) -> RunResult {
+        self.core.load_program(program);
+        let result = self.core.run(max_cycles);
+        assert_eq!(
+            result.exit,
+            ExitReason::Halted,
+            "program did not halt within {max_cycles} cycles under {}",
+            self.config.defense
+        );
+        result
+    }
+
+    /// Architectural register value.
+    pub fn read_arch_reg(&self, reg: Reg) -> u64 {
+        self.core.read_arch_reg(reg)
+    }
+
+    /// Reads simulated memory at a virtual address.
+    pub fn read_memory(&self, vaddr: u64, size: u64) -> u64 {
+        self.core.read_memory(vaddr, size)
+    }
+
+    /// Writes simulated memory at a virtual address.
+    pub fn write_memory(&mut self, vaddr: u64, value: u64, size: u64) {
+        self.core.write_memory(vaddr, value, size);
+    }
+
+    /// Resets all statistics after a warm-up window.
+    pub fn reset_stats(&mut self) {
+        self.core.reset_stats();
+    }
+
+    /// The underlying core (attack orchestration and tests).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Mutable access to the underlying core.
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// Produces the evaluation report for the current statistics window.
+    pub fn report(&self) -> Report {
+        let pstats = self.core.stats();
+        let policy_stats = self.core.policy().stats();
+        Report {
+            defense: self.config.defense,
+            cycles: pstats.cycles,
+            committed: pstats.committed,
+            ipc: pstats.ipc(),
+            l1d_hit_rate: self.core.hierarchy().stats().l1d.rate(),
+            blocked_rate: pstats.blocked_rate(),
+            suspect_hit_rate: pstats.suspect_l1.rate(),
+            s_pattern_mismatch_rate: policy_stats.s_pattern_mismatch_rate(),
+            branch_accuracy: self.core.frontend().conditional_accuracy().rate(),
+            mispredict_squashes: pstats.mispredict_squashes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use condspec_isa::{AluOp, BranchCond, ProgramBuilder};
+
+    fn counting_program(n: u64) -> Program {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, n);
+        b.label("loop").unwrap();
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_defenses_compute_identical_results() {
+        let program = {
+            let mut b = ProgramBuilder::new(0x1000);
+            b.li(Reg::R1, 0x20000);
+            b.li(Reg::R2, 0);
+            b.li(Reg::R3, 0);
+            b.label("loop").unwrap();
+            b.load(Reg::R4, Reg::R1, 0);
+            b.alu(AluOp::Add, Reg::R2, Reg::R2, Reg::R4);
+            b.store(Reg::R2, Reg::R1, 8);
+            b.alu_imm(AluOp::Add, Reg::R3, Reg::R3, 1);
+            b.branch_to(BranchCond::LtU, Reg::R3, Reg::R5, "loop");
+            b.halt();
+            b.data_u64s(0x20000, &[7, 0]);
+            b.build().unwrap()
+        };
+        let mut results = Vec::new();
+        for defense in DefenseConfig::ALL {
+            let mut sim = Simulator::new(SimConfig::new(defense));
+            sim.core_mut().write_memory(0x20000, 7, 8);
+            sim.run_to_halt(&program, 1_000_000);
+            results.push((sim.read_arch_reg(Reg::R2), sim.read_memory(0x20008, 8)));
+        }
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "defenses must not change architectural results: {results:?}"
+        );
+    }
+
+    #[test]
+    fn defenses_only_slow_down() {
+        let program = counting_program(500);
+        let mut cycles = Vec::new();
+        for defense in DefenseConfig::ALL {
+            let mut sim = Simulator::new(SimConfig::new(defense));
+            let r = sim.run_to_halt(&program, 1_000_000);
+            cycles.push(r.cycles);
+        }
+        // Origin is the fastest (or tied).
+        assert!(cycles[0] <= cycles[1], "origin faster than baseline");
+    }
+
+    #[test]
+    fn report_fields_are_sane() {
+        let mut sim = Simulator::new(SimConfig::new(DefenseConfig::CacheHit));
+        sim.run_to_halt(&counting_program(100), 1_000_000);
+        let report = sim.report();
+        assert!(report.cycles > 0);
+        assert!(report.committed >= 202);
+        assert!(report.ipc > 0.0);
+        assert!(report.branch_accuracy >= 0.0 && report.branch_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn runs_on_all_machine_presets() {
+        for machine in [
+            MachineConfig::paper_default(),
+            MachineConfig::a57_like(),
+            MachineConfig::i7_like(),
+            MachineConfig::xeon_like(),
+        ] {
+            let mut sim = Simulator::new(SimConfig::on_machine(
+                DefenseConfig::CacheHitTpbuf,
+                machine,
+            ));
+            let r = sim.run_to_halt(&counting_program(50), 1_000_000);
+            assert_eq!(r.exit, ExitReason::Halted, "{} halted", machine.name);
+            assert_eq!(sim.read_arch_reg(Reg::R1), 50);
+        }
+    }
+
+    #[test]
+    fn reset_stats_clears_window() {
+        let mut sim = Simulator::new(SimConfig::new(DefenseConfig::Origin));
+        sim.run_to_halt(&counting_program(10), 100_000);
+        assert!(sim.report().cycles > 0);
+        sim.reset_stats();
+        assert_eq!(sim.report().cycles, 0);
+        assert_eq!(sim.report().committed, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the defense data structures: the security
+//! dependence matrix against a reference bit-set model, and the TPBuf
+//! against a naive S-Pattern evaluator.
+
+use condspec::matrix::SecurityDependenceMatrix;
+use condspec::tpbuf::TpBuf;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum MatrixOp {
+    InitRow(usize, Vec<usize>),
+    ClearColumn(usize),
+    ClearRow(usize),
+    Set(usize, usize),
+}
+
+proptest! {
+    /// The matrix agrees with a straightforward set-of-(row,col) model
+    /// across arbitrary operation sequences, for dimensions spanning one
+    /// and several 64-bit words per row.
+    #[test]
+    fn matrix_matches_reference(
+        n in prop_oneof![Just(8usize), Just(64), Just(100)],
+        ops_seed in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        // Derive ops from the seed (keeps the strategy independent of n).
+        let mut m = SecurityDependenceMatrix::new(n);
+        let mut model: HashSet<(usize, usize)> = HashSet::new();
+        for (i, seed) in ops_seed.iter().enumerate() {
+            let op = match seed % 4 {
+                0 => MatrixOp::InitRow(
+                    (seed >> 2) as usize % n,
+                    vec![(seed >> 9) as usize % n, (seed >> 17) as usize % n],
+                ),
+                1 => MatrixOp::ClearColumn((seed >> 2) as usize % n),
+                2 => MatrixOp::ClearRow((seed >> 2) as usize % n),
+                _ => MatrixOp::Set((seed >> 2) as usize % n, (seed >> 9) as usize % n),
+            };
+            match &op {
+                MatrixOp::InitRow(r, producers) => {
+                    m.init_row(*r, producers);
+                    model.retain(|(row, _)| row != r);
+                    for p in producers {
+                        model.insert((*r, *p));
+                    }
+                }
+                MatrixOp::ClearColumn(c) => {
+                    m.clear_column(*c);
+                    model.retain(|(_, col)| col != c);
+                }
+                MatrixOp::ClearRow(r) => {
+                    m.clear_row(*r);
+                    model.retain(|(row, _)| row != r);
+                }
+                MatrixOp::Set(r, c) => {
+                    m.set(*r, *c);
+                    model.insert((*r, *c));
+                }
+            }
+            // Full agreement each step (cheap at these sizes).
+            for r in 0..n {
+                prop_assert_eq!(
+                    m.row_any(r),
+                    model.iter().any(|(row, _)| *row == r),
+                    "op {} ({:?}), row {}", i, op, r
+                );
+            }
+            prop_assert_eq!(m.count_ones(), model.len());
+        }
+    }
+
+    /// TPBuf agrees with a naive S-Pattern evaluator over arbitrary
+    /// allocate/address/writeback/release traces.
+    #[test]
+    fn tpbuf_matches_naive_model(
+        events in proptest::collection::vec((0u64..24, 0u8..5, 0u64..4, any::<bool>()), 0..120),
+        query_seq in 0u64..24,
+        query_ppn in 0u64..4,
+    ) {
+        #[derive(Default, Clone, Copy)]
+        struct E {
+            ppn: Option<u64>,
+            s: bool,
+            w: bool,
+        }
+        let mut tp = TpBuf::new(24);
+        let mut model: HashMap<u64, E> = HashMap::new();
+        for (seq, kind, ppn, suspect) in &events {
+            match kind {
+                0 => {
+                    if !model.contains_key(seq) && model.len() < 24 {
+                        tp.allocate(*seq, true);
+                        model.insert(*seq, E::default());
+                    }
+                }
+                1 => {
+                    tp.record_address(*seq, *ppn, *suspect);
+                    if let Some(e) = model.get_mut(seq) {
+                        e.ppn = Some(*ppn);
+                        e.s |= *suspect;
+                    }
+                }
+                2 => {
+                    tp.record_writeback(*seq);
+                    if let Some(e) = model.get_mut(seq) {
+                        e.w = true;
+                    }
+                }
+                _ => {
+                    tp.release(*seq);
+                    model.remove(seq);
+                }
+            }
+            let expected = model.iter().any(|(seq, e)| {
+                *seq < query_seq && e.s && e.w && matches!(e.ppn, Some(p) if p != query_ppn)
+            });
+            prop_assert_eq!(tp.matches_s_pattern(query_seq, query_ppn), expected);
+            prop_assert_eq!(tp.occupancy(), model.len());
+        }
+    }
+
+    /// Monotonicity: arming strictly grows the matched set; releasing
+    /// strictly shrinks it.
+    #[test]
+    fn tpbuf_arming_is_monotonic(ppn_a in 0u64..8, ppn_b in 0u64..8) {
+        let mut tp = TpBuf::new(8);
+        prop_assert!(!tp.matches_s_pattern(10, ppn_b), "empty buffer matches nothing");
+        tp.allocate(1, true);
+        tp.record_address(1, ppn_a, true);
+        prop_assert!(!tp.matches_s_pattern(10, ppn_b), "no writeback yet");
+        tp.record_writeback(1);
+        prop_assert_eq!(tp.matches_s_pattern(10, ppn_b), ppn_a != ppn_b);
+        tp.release(1);
+        prop_assert!(!tp.matches_s_pattern(10, ppn_b));
+    }
+}

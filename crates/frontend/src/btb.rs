@@ -1,0 +1,134 @@
+//! Branch target buffer.
+
+/// A direct-mapped branch target buffer mapping branch PCs to predicted
+/// targets.
+///
+/// The BTB is shared between all code running on the core — there is no
+/// process tagging — which is exactly the property Spectre V2 exploits:
+/// an attacker can *poison* the entry that a victim's indirect jump will
+/// consult.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_frontend::BranchTargetBuffer;
+///
+/// let mut btb = BranchTargetBuffer::new(256);
+/// btb.update(0x400, 0x1000);
+/// assert_eq!(btb.lookup(0x400), Some(0x1000));
+/// assert_eq!(btb.lookup(0x404), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchTargetBuffer {
+    /// (tag, target) per entry; tag is the full PC for exactness.
+    entries: Vec<Option<(u64, u64)>>,
+    mask: u64,
+}
+
+impl BranchTargetBuffer {
+    /// Creates an empty BTB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0 && entries.is_power_of_two(), "BTB entries must be a power of two");
+        BranchTargetBuffer { entries: vec![None; entries], mask: (entries - 1) as u64 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// The predicted target for the branch at `pc`, if a matching entry
+    /// exists.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs or replaces the entry for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = self.index(pc);
+        self.entries[idx] = Some((pc, target));
+    }
+
+    /// Removes the entry for `pc`, if present.
+    pub fn invalidate(&mut self, pc: u64) {
+        let idx = self.index(pc);
+        if matches!(self.entries[idx], Some((tag, _)) if tag == pc) {
+            self.entries[idx] = None;
+        }
+    }
+
+    /// Number of installed entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_on_cold() {
+        let btb = BranchTargetBuffer::new(16);
+        assert_eq!(btb.lookup(0x40), None);
+    }
+
+    #[test]
+    fn update_then_lookup() {
+        let mut btb = BranchTargetBuffer::new(16);
+        btb.update(0x40, 0x999);
+        assert_eq!(btb.lookup(0x40), Some(0x999));
+    }
+
+    #[test]
+    fn conflicting_pcs_evict() {
+        let mut btb = BranchTargetBuffer::new(16);
+        // PCs 0x40 and 0x40 + 16*4 share an index.
+        btb.update(0x40, 0x1);
+        btb.update(0x40 + 64, 0x2);
+        assert_eq!(btb.lookup(0x40), None, "evicted by the alias");
+        assert_eq!(btb.lookup(0x40 + 64), Some(0x2));
+    }
+
+    #[test]
+    fn tag_mismatch_is_miss_not_wrong_target() {
+        let mut btb = BranchTargetBuffer::new(16);
+        btb.update(0x40, 0x1);
+        assert_eq!(btb.lookup(0x40 + 64), None);
+    }
+
+    #[test]
+    fn invalidate() {
+        let mut btb = BranchTargetBuffer::new(16);
+        btb.update(0x40, 0x1);
+        btb.invalidate(0x40);
+        assert_eq!(btb.lookup(0x40), None);
+        assert_eq!(btb.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_and_capacity() {
+        let mut btb = BranchTargetBuffer::new(8);
+        btb.update(0x0, 1);
+        btb.update(0x4, 2);
+        assert_eq!(btb.occupancy(), 2);
+        assert_eq!(btb.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = BranchTargetBuffer::new(12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Branch direction predictors: bimodal, gshare and a tournament
+//! combination of the two.
+
+/// Saturating 2-bit counter helpers.
+fn counter_taken(c: u8) -> bool {
+    c >= 2
+}
+
+fn counter_update(c: u8, taken: bool) -> u8 {
+    if taken {
+        (c + 1).min(3)
+    } else {
+        c.saturating_sub(1)
+    }
+}
+
+/// Which direction-predictor organisation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Per-PC 2-bit counters.
+    Bimodal,
+    /// Global-history XOR PC indexed 2-bit counters.
+    Gshare,
+    /// Alpha 21264-style chooser between bimodal and gshare.
+    Tournament,
+    /// Always predict not-taken (useful for worst-case studies and as the
+    /// "static predictor" the paper notes is easy to attack).
+    StaticNotTaken,
+}
+
+/// A trainable conditional-branch direction predictor.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_frontend::{DirectionPredictor, PredictorKind};
+///
+/// let mut p = DirectionPredictor::new(PredictorKind::Bimodal, 10);
+/// for _ in 0..4 {
+///     p.update(0x400, true);
+/// }
+/// assert!(p.predict(0x400));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectionPredictor {
+    kind: PredictorKind,
+    mask: u64,
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    /// Chooser counters: >=2 selects gshare.
+    chooser: Vec<u8>,
+    history: u64,
+}
+
+impl DirectionPredictor {
+    /// Creates a predictor with `1 << table_bits` entries per table, all
+    /// counters initialised weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits` is 0 or greater than 24.
+    pub fn new(kind: PredictorKind, table_bits: u32) -> Self {
+        assert!((1..=24).contains(&table_bits), "table_bits must be in 1..=24");
+        let n = 1usize << table_bits;
+        DirectionPredictor {
+            kind,
+            mask: (n - 1) as u64,
+            bimodal: vec![1; n],
+            gshare: vec![1; n],
+            chooser: vec![1; n],
+            history: 0,
+        }
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    fn gshare_index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        match self.kind {
+            PredictorKind::StaticNotTaken => false,
+            PredictorKind::Bimodal => counter_taken(self.bimodal[self.bimodal_index(pc)]),
+            PredictorKind::Gshare => counter_taken(self.gshare[self.gshare_index(pc)]),
+            PredictorKind::Tournament => {
+                if counter_taken(self.chooser[self.bimodal_index(pc)]) {
+                    counter_taken(self.gshare[self.gshare_index(pc)])
+                } else {
+                    counter_taken(self.bimodal[self.bimodal_index(pc)])
+                }
+            }
+        }
+    }
+
+    /// Trains the predictor with the resolved outcome of the branch at
+    /// `pc`.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let bi = self.bimodal_index(pc);
+        let gi = self.gshare_index(pc);
+        if self.kind == PredictorKind::Tournament {
+            let bimodal_correct = counter_taken(self.bimodal[bi]) == taken;
+            let gshare_correct = counter_taken(self.gshare[gi]) == taken;
+            if bimodal_correct != gshare_correct {
+                self.chooser[bi] = counter_update(self.chooser[bi], gshare_correct);
+            }
+        }
+        self.bimodal[bi] = counter_update(self.bimodal[bi], taken);
+        self.gshare[gi] = counter_update(self.gshare[gi], taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & self.mask;
+    }
+
+    /// The predictor organisation.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_saturate() {
+        assert_eq!(counter_update(3, true), 3);
+        assert_eq!(counter_update(0, false), 0);
+        assert_eq!(counter_update(1, true), 2);
+        assert_eq!(counter_update(2, false), 1);
+    }
+
+    #[test]
+    fn static_predictor_never_taken() {
+        let mut p = DirectionPredictor::new(PredictorKind::StaticNotTaken, 8);
+        for _ in 0..10 {
+            p.update(0x40, true);
+        }
+        assert!(!p.predict(0x40));
+    }
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut p = DirectionPredictor::new(PredictorKind::Bimodal, 8);
+        assert!(!p.predict(0x40), "cold state is weakly not-taken");
+        p.update(0x40, true);
+        p.update(0x40, true);
+        assert!(p.predict(0x40));
+    }
+
+    #[test]
+    fn gshare_learns_pattern() {
+        // Alternating T/NT at one PC: gshare with history disambiguates,
+        // bimodal cannot do better than ~50%.
+        let mut g = DirectionPredictor::new(PredictorKind::Gshare, 10);
+        let mut correct = 0;
+        let mut taken = false;
+        for i in 0..200 {
+            taken = !taken;
+            if i >= 100 && g.predict(0x80) == taken {
+                correct += 1;
+            }
+            g.update(0x80, taken);
+        }
+        assert!(correct > 90, "gshare should learn the alternation, got {correct}/100");
+    }
+
+    #[test]
+    fn tournament_at_least_matches_bimodal_on_biased_branch() {
+        let mut t = DirectionPredictor::new(PredictorKind::Tournament, 10);
+        for _ in 0..8 {
+            t.update(0x100, true);
+        }
+        assert!(t.predict(0x100));
+    }
+
+    #[test]
+    fn different_pcs_do_not_interfere_in_bimodal() {
+        let mut p = DirectionPredictor::new(PredictorKind::Bimodal, 10);
+        for _ in 0..4 {
+            p.update(0x40, true);
+            p.update(0x44, false);
+        }
+        assert!(p.predict(0x40));
+        assert!(!p.predict(0x44));
+    }
+
+    #[test]
+    #[should_panic(expected = "table_bits")]
+    fn zero_bits_panics() {
+        let _ = DirectionPredictor::new(PredictorKind::Bimodal, 0);
+    }
+}

@@ -1,0 +1,221 @@
+#![warn(missing_docs)]
+
+//! Front-end prediction structures: direction predictors, branch target
+//! buffer and return-address stack.
+//!
+//! Spectre attacks work by *training* these structures: Spectre V1 trains
+//! the direction predictor of a conditional bounds check, Spectre V2
+//! poisons the BTB entry of an indirect jump. The predictors here keep all
+//! state in one shared instance — running the attacker's training program
+//! and then the victim on the same [`FrontEnd`] models the lack of
+//! process/thread isolation in real predictors that the paper's §II.A
+//! points out.
+//!
+//! # Examples
+//!
+//! ```
+//! use condspec_frontend::{FrontEnd, PredictorConfig};
+//!
+//! let mut fe = FrontEnd::new(PredictorConfig::paper_default());
+//! // Train a conditional branch at pc=0x40 as strongly taken.
+//! for _ in 0..4 {
+//!     fe.update_branch(0x40, true, Some(0x100));
+//! }
+//! let p = fe.predict_conditional(0x40);
+//! assert!(p.taken);
+//! assert_eq!(p.target, Some(0x100));
+//! ```
+
+pub mod btb;
+pub mod direction;
+pub mod ras;
+
+pub use btb::BranchTargetBuffer;
+pub use direction::{DirectionPredictor, PredictorKind};
+pub use ras::ReturnAddressStack;
+
+use condspec_stats::RateCounter;
+
+/// Front-end configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Direction predictor flavour.
+    pub kind: PredictorKind,
+    /// log2 of the direction-predictor table size.
+    pub table_bits: u32,
+    /// Number of BTB entries (power of two).
+    pub btb_entries: usize,
+    /// Return-address stack depth.
+    pub ras_entries: usize,
+}
+
+impl PredictorConfig {
+    /// A tournament predictor with 4K-entry tables, 1K-entry BTB and a
+    /// 16-deep RAS — representative of the paper's "generic
+    /// high-performance" core.
+    pub fn paper_default() -> Self {
+        PredictorConfig {
+            kind: PredictorKind::Tournament,
+            table_bits: 12,
+            btb_entries: 1024,
+            ras_entries: 16,
+        }
+    }
+}
+
+/// A conditional-branch prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Predicted target from the BTB, if any. A taken prediction with no
+    /// BTB target falls back to not-taken at fetch.
+    pub target: Option<u64>,
+}
+
+/// The complete speculative front end: direction predictor + BTB + RAS,
+/// with accuracy statistics.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    direction: DirectionPredictor,
+    btb: BranchTargetBuffer,
+    ras: ReturnAddressStack,
+    cond_accuracy: RateCounter,
+    indirect_accuracy: RateCounter,
+}
+
+impl FrontEnd {
+    /// Creates a front end with cold predictors.
+    pub fn new(config: PredictorConfig) -> Self {
+        FrontEnd {
+            direction: DirectionPredictor::new(config.kind, config.table_bits),
+            btb: BranchTargetBuffer::new(config.btb_entries),
+            ras: ReturnAddressStack::new(config.ras_entries),
+            cond_accuracy: RateCounter::new(),
+            indirect_accuracy: RateCounter::new(),
+        }
+    }
+
+    /// Predicts a conditional branch at `pc`.
+    pub fn predict_conditional(&self, pc: u64) -> Prediction {
+        Prediction { taken: self.direction.predict(pc), target: self.btb.lookup(pc) }
+    }
+
+    /// Predicts an indirect jump target at `pc` (BTB only).
+    pub fn predict_indirect(&self, pc: u64) -> Option<u64> {
+        self.btb.lookup(pc)
+    }
+
+    /// Pushes a return address at a call.
+    pub fn on_call(&mut self, return_addr: u64) {
+        self.ras.push(return_addr);
+    }
+
+    /// Predicts (pops) the return target at a `ret`.
+    pub fn predict_return(&mut self) -> Option<u64> {
+        self.ras.pop()
+    }
+
+    /// Updates predictor state when a conditional branch resolves, and
+    /// records whether the earlier prediction was correct.
+    pub fn update_branch(&mut self, pc: u64, taken: bool, target: Option<u64>) {
+        let predicted = self.predict_conditional(pc);
+        let correct = predicted.taken == taken && (!taken || predicted.target == target);
+        self.cond_accuracy.record(correct);
+        self.direction.update(pc, taken);
+        if taken {
+            if let Some(t) = target {
+                self.btb.update(pc, t);
+            }
+        }
+    }
+
+    /// Updates the BTB when an indirect jump resolves.
+    pub fn update_indirect(&mut self, pc: u64, target: u64) {
+        let correct = self.btb.lookup(pc) == Some(target);
+        self.indirect_accuracy.record(correct);
+        self.btb.update(pc, target);
+    }
+
+    /// Conditional-branch prediction accuracy so far.
+    pub fn conditional_accuracy(&self) -> RateCounter {
+        self.cond_accuracy
+    }
+
+    /// Indirect-jump prediction accuracy so far.
+    pub fn indirect_accuracy(&self) -> RateCounter {
+        self.indirect_accuracy
+    }
+
+    /// Resets accuracy statistics, keeping the trained state (used after
+    /// warm-up).
+    pub fn reset_stats(&mut self) {
+        self.cond_accuracy.reset();
+        self.indirect_accuracy.reset();
+    }
+
+    /// Direct mutable access to the BTB (used by Spectre V2 attack
+    /// modelling to poison entries, and by tests).
+    pub fn btb_mut(&mut self) -> &mut BranchTargetBuffer {
+        &mut self.btb
+    }
+
+    /// Read-only access to the return-address stack.
+    pub fn ras(&self) -> &ReturnAddressStack {
+        &self.ras
+    }
+
+    /// Restores the RAS from a snapshot (squash recovery).
+    pub fn restore_ras(&mut self, snap: &ras::RasSnapshot) {
+        self.ras.restore(snap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_flips_prediction() {
+        let mut fe = FrontEnd::new(PredictorConfig::paper_default());
+        for _ in 0..8 {
+            fe.update_branch(0x80, true, Some(0x200));
+        }
+        assert!(fe.predict_conditional(0x80).taken);
+        for _ in 0..8 {
+            fe.update_branch(0x80, false, None);
+        }
+        assert!(!fe.predict_conditional(0x80).taken);
+    }
+
+    #[test]
+    fn btb_poisoning_for_indirect() {
+        let mut fe = FrontEnd::new(PredictorConfig::paper_default());
+        fe.update_indirect(0x1000, 0xdead_0000);
+        assert_eq!(fe.predict_indirect(0x1000), Some(0xdead_0000));
+    }
+
+    #[test]
+    fn ras_roundtrip() {
+        let mut fe = FrontEnd::new(PredictorConfig::paper_default());
+        fe.on_call(0x44);
+        fe.on_call(0x88);
+        assert_eq!(fe.predict_return(), Some(0x88));
+        assert_eq!(fe.predict_return(), Some(0x44));
+        assert_eq!(fe.predict_return(), None);
+    }
+
+    #[test]
+    fn accuracy_tracking() {
+        let mut fe = FrontEnd::new(PredictorConfig::paper_default());
+        // Cold predictor: the first taken resolution is a mispredict.
+        fe.update_branch(0x10, true, Some(0x40));
+        assert_eq!(fe.conditional_accuracy().hits(), 0);
+        for _ in 0..4 {
+            fe.update_branch(0x10, true, Some(0x40));
+        }
+        assert!(fe.conditional_accuracy().rate() > 0.5);
+        fe.reset_stats();
+        assert_eq!(fe.conditional_accuracy().total(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Return-address stack predictor.
+
+/// A bounded return-address stack.
+///
+/// Calls push their return address; returns pop the predicted target.
+/// On overflow the oldest entry is dropped (the stack wraps), matching
+/// hardware RAS behaviour. Squash recovery is supported by
+/// snapshotting/restoring the top-of-stack pointer state via
+/// [`ReturnAddressStack::snapshot`] / [`ReturnAddressStack::restore`].
+///
+/// # Examples
+///
+/// ```
+/// use condspec_frontend::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(4);
+/// ras.push(0x100);
+/// ras.push(0x200);
+/// assert_eq!(ras.pop(), Some(0x200));
+/// assert_eq!(ras.pop(), Some(0x100));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    capacity: usize,
+}
+
+/// An opaque snapshot of the RAS contents, restorable after a squash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RasSnapshot(Vec<u64>);
+
+impl ReturnAddressStack {
+    /// Creates an empty RAS holding at most `capacity` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be nonzero");
+        ReturnAddressStack { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Pushes a return address; drops the oldest entry when full.
+    pub fn push(&mut self, return_addr: u64) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(return_addr);
+    }
+
+    /// Pops the predicted return target, or `None` when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.entries.pop()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Captures the current contents for later [`restore`].
+    ///
+    /// [`restore`]: ReturnAddressStack::restore
+    pub fn snapshot(&self) -> RasSnapshot {
+        RasSnapshot(self.entries.clone())
+    }
+
+    /// Restores the contents captured by [`snapshot`] (squash recovery).
+    ///
+    /// [`snapshot`]: ReturnAddressStack::snapshot
+    pub fn restore(&mut self, snap: &RasSnapshot) {
+        self.entries = snap.0.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(8);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert!(ras.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None, "1 was dropped on overflow");
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(0xa);
+        let snap = ras.snapshot();
+        ras.push(0xb);
+        ras.pop();
+        ras.pop();
+        ras.restore(&snap);
+        assert_eq!(ras.depth(), 1);
+        assert_eq!(ras.pop(), Some(0xa));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

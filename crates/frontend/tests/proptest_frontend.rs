@@ -1,0 +1,154 @@
+//! Property tests for the front-end predictors: accuracy on biased and
+//! patterned streams, BTB correctness as a direct-mapped tag store, and
+//! RAS stack discipline against a reference model.
+
+use condspec_frontend::{
+    BranchTargetBuffer, DirectionPredictor, FrontEnd, PredictorConfig, PredictorKind,
+    ReturnAddressStack,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// On a randomly biased branch, the PC-indexed predictors converge to
+    /// better than a coin over the second half of the stream. (Gshare is
+    /// excluded here: its history-scattered index cannot learn a *random*
+    /// bias within a short stream — that is what the tournament's chooser
+    /// is for; gshare's patterned-stream strength has its own unit test.)
+    #[test]
+    fn predictors_learn_biased_streams(
+        kind_sel in 0u8..2,
+        outcomes in proptest::collection::vec(0u32..100, 200..400),
+        bias in 80u32..100,
+    ) {
+        let kind = match kind_sel {
+            0 => PredictorKind::Bimodal,
+            _ => PredictorKind::Tournament,
+        };
+        let mut p = DirectionPredictor::new(kind, 10);
+        let pc = 0x400;
+        let stream: Vec<bool> = outcomes.iter().map(|r| r < &bias).collect();
+        let mut correct = 0usize;
+        let half = stream.len() / 2;
+        for (i, taken) in stream.iter().enumerate() {
+            if i >= half && p.predict(pc) == *taken {
+                correct += 1;
+            }
+            p.update(pc, *taken);
+        }
+        let measured = stream.len() - half;
+        // The trained predictor must beat a coin on a biased stream.
+        prop_assert!(
+            correct * 2 > measured,
+            "{kind:?}: {correct}/{measured} on a {bias}%-biased stream"
+        );
+    }
+
+    /// The BTB behaves as a direct-mapped, full-tag store: a lookup
+    /// returns the last update whose PC maps to the same entry with the
+    /// same tag, and never a wrong target.
+    #[test]
+    fn btb_matches_reference(updates in proptest::collection::vec((0u64..64, 1u64..1000), 0..100)) {
+        let entries = 16;
+        let mut btb = BranchTargetBuffer::new(entries);
+        let mut model: std::collections::HashMap<usize, (u64, u64)> = Default::default();
+        for (pc_word, target) in &updates {
+            let pc = pc_word * 4;
+            let idx = (pc_word % entries as u64) as usize;
+            btb.update(pc, *target);
+            model.insert(idx, (pc, *target));
+        }
+        for pc_word in 0..64u64 {
+            let pc = pc_word * 4;
+            let idx = (pc_word % entries as u64) as usize;
+            let expected = model
+                .get(&idx)
+                .and_then(|(tag, t)| (*tag == pc).then_some(*t));
+            prop_assert_eq!(btb.lookup(pc), expected, "pc {:#x}", pc);
+        }
+    }
+
+    /// The RAS behaves as a bounded stack: pushes beyond capacity drop
+    /// the deepest entry, pops come back in LIFO order.
+    #[test]
+    fn ras_matches_bounded_stack(ops in proptest::collection::vec(prop_oneof![
+        (1u64..1000).prop_map(Some),
+        Just(None),
+    ], 0..80)) {
+        let capacity = 8;
+        let mut ras = ReturnAddressStack::new(capacity);
+        let mut model: Vec<u64> = Vec::new();
+        for op in &ops {
+            match op {
+                Some(addr) => {
+                    ras.push(*addr);
+                    if model.len() == capacity {
+                        model.remove(0);
+                    }
+                    model.push(*addr);
+                }
+                None => {
+                    prop_assert_eq!(ras.pop(), model.pop());
+                }
+            }
+            prop_assert_eq!(ras.depth(), model.len());
+        }
+    }
+
+    /// Snapshot/restore is exact at any point in a random trace.
+    #[test]
+    fn ras_snapshot_restore_is_exact(
+        before in proptest::collection::vec(1u64..100, 0..12),
+        after in proptest::collection::vec(1u64..100, 0..12),
+    ) {
+        let mut ras = ReturnAddressStack::new(8);
+        for a in &before {
+            ras.push(*a);
+        }
+        let snap = ras.snapshot();
+        let depth = ras.depth();
+        for a in &after {
+            ras.push(*a);
+        }
+        ras.pop();
+        ras.restore(&snap);
+        prop_assert_eq!(ras.depth(), depth);
+        // Popping everything yields the pre-snapshot suffix in LIFO order.
+        let kept: Vec<u64> = std::iter::from_fn(|| ras.pop()).collect();
+        let expected: Vec<u64> = before
+            .iter()
+            .rev()
+            .take(8)
+            .copied()
+            .collect();
+        prop_assert_eq!(kept, expected);
+    }
+
+    /// The composite front end never returns a BTB target that was not
+    /// installed for exactly that PC.
+    #[test]
+    fn frontend_indirect_predictions_are_tag_exact(
+        installs in proptest::collection::vec((0u64..512, 1u64..1_000_000), 1..60),
+        queries in proptest::collection::vec(0u64..512, 1..60),
+    ) {
+        let mut fe = FrontEnd::new(PredictorConfig::paper_default());
+        let mut installed: std::collections::HashMap<u64, u64> = Default::default();
+        for (pc_word, target) in &installs {
+            fe.update_indirect(pc_word * 4, *target);
+            installed.insert(pc_word * 4, *target);
+        }
+        for pc_word in &queries {
+            let pc = pc_word * 4;
+            if let Some(target) = fe.predict_indirect(pc) {
+                // May be stale-evicted (None), but never a target that was
+                // installed for a different PC.
+                prop_assert_eq!(
+                    installed.get(&pc),
+                    Some(&target),
+                    "pc {:#x} predicted {:#x}",
+                    pc,
+                    target
+                );
+            }
+        }
+    }
+}

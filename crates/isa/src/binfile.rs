@@ -1,0 +1,248 @@
+//! Binary program files: a compact serialization of a [`Program`] (code
+//! via the fixed 16-byte instruction encoding plus raw data segments),
+//! used by the `condspec run` CLI command and for shipping test corpora.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      8 bytes  "CONDSPEC"
+//! version    4 bytes  (currently 1)
+//! code_base  8 bytes
+//! n_insts    4 bytes
+//! insts      n_insts * 16 bytes
+//! n_segs     4 bytes
+//! per segment: base (8) + len (4) + bytes
+//! ```
+
+use crate::encode::{decode, encode, DecodeError, ENCODED_BYTES};
+use crate::program::{DataSegment, Program};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"CONDSPEC";
+const VERSION: u32 = 1;
+
+/// Error produced by [`from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinfileError {
+    /// The file does not start with the `CONDSPEC` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The file ended before the declared contents.
+    Truncated,
+    /// An instruction failed to decode.
+    BadInstruction(DecodeError),
+    /// Declared sizes are inconsistent (e.g. misaligned code base).
+    Malformed(String),
+}
+
+impl fmt::Display for BinfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinfileError::BadMagic => write!(f, "not a condspec program file"),
+            BinfileError::BadVersion(v) => write!(f, "unsupported program file version {v}"),
+            BinfileError::Truncated => write!(f, "program file is truncated"),
+            BinfileError::BadInstruction(e) => write!(f, "invalid instruction: {e}"),
+            BinfileError::Malformed(msg) => write!(f, "malformed program file: {msg}"),
+        }
+    }
+}
+
+impl Error for BinfileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BinfileError::BadInstruction(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes a program.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_isa::{ProgramBuilder, Reg};
+/// use condspec_isa::binfile::{to_bytes, from_bytes};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new(0x1000);
+/// b.li(Reg::R1, 7);
+/// b.halt();
+/// let program = b.build()?;
+/// let bytes = to_bytes(&program);
+/// assert_eq!(from_bytes(&bytes)?, program);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_bytes(program: &Program) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&program.code_base().to_le_bytes());
+    out.extend_from_slice(&(program.len() as u32).to_le_bytes());
+    for inst in program.insts() {
+        out.extend_from_slice(&encode(inst));
+    }
+    out.extend_from_slice(&(program.data().len() as u32).to_le_bytes());
+    for seg in program.data() {
+        out.extend_from_slice(&seg.base.to_le_bytes());
+        out.extend_from_slice(&(seg.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&seg.bytes);
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinfileError> {
+        let end = self.pos.checked_add(n).ok_or(BinfileError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(BinfileError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u32(&mut self) -> Result<u32, BinfileError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("fixed")))
+    }
+    fn u64(&mut self) -> Result<u64, BinfileError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("fixed")))
+    }
+}
+
+/// Deserializes a program.
+///
+/// # Errors
+///
+/// Returns a [`BinfileError`] describing the first structural or
+/// instruction-level problem found.
+pub fn from_bytes(bytes: &[u8]) -> Result<Program, BinfileError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(BinfileError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(BinfileError::BadVersion(version));
+    }
+    let code_base = r.u64()?;
+    if code_base % 4 != 0 {
+        return Err(BinfileError::Malformed(format!(
+            "code base {code_base:#x} is not 4-byte aligned"
+        )));
+    }
+    let n_insts = r.u32()? as usize;
+    let mut insts = Vec::with_capacity(n_insts.min(1 << 20));
+    for _ in 0..n_insts {
+        let chunk: [u8; ENCODED_BYTES] =
+            r.take(ENCODED_BYTES)?.try_into().expect("fixed-size take");
+        insts.push(decode(&chunk).map_err(BinfileError::BadInstruction)?);
+    }
+    let n_segs = r.u32()? as usize;
+    let mut data = Vec::with_capacity(n_segs.min(1 << 16));
+    for _ in 0..n_segs {
+        let base = r.u64()?;
+        let len = r.u32()? as usize;
+        data.push(DataSegment::new(base, r.take(len)?.to_vec()));
+    }
+    if r.pos != bytes.len() {
+        return Err(BinfileError::Malformed(format!(
+            "{} trailing bytes",
+            bytes.len() - r.pos
+        )));
+    }
+    Ok(Program::new(code_base, insts, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, BranchCond, ProgramBuilder, Reg};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new(0x40_0000);
+        b.li(Reg::R1, 0x1234);
+        b.alu_imm(AluOp::Add, Reg::R2, Reg::R1, -5);
+        b.label("x").unwrap();
+        b.branch_to(BranchCond::Ne, Reg::R2, Reg::R0, "x");
+        b.halt();
+        b.data_u64s(0x50_0000, &[1, 2, 3]);
+        b.data_segment(0x60_0000, vec![0xab; 17]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        assert_eq!(from_bytes(&to_bytes(&p)), Ok(p));
+    }
+
+    #[test]
+    fn roundtrip_empty_program() {
+        let p = Program::new(0, vec![], vec![]);
+        assert_eq!(from_bytes(&to_bytes(&p)), Ok(p));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = to_bytes(&sample());
+        bytes[0] = b'X';
+        assert_eq!(from_bytes(&bytes), Err(BinfileError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = to_bytes(&sample());
+        bytes[8] = 99;
+        assert_eq!(from_bytes(&bytes), Err(BinfileError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = to_bytes(&sample());
+        for cut in [4, 11, 19, 25, 40, bytes.len() - 1] {
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = to_bytes(&sample());
+        bytes.push(0);
+        assert!(matches!(from_bytes(&bytes), Err(BinfileError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_bad_instruction() {
+        let mut bytes = to_bytes(&sample());
+        // First instruction starts at offset 8 + 4 + 8 + 4 = 24.
+        bytes[24] = 0xff;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(BinfileError::BadInstruction(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_misaligned_code_base() {
+        let mut bytes = to_bytes(&sample());
+        bytes[12] = 2; // code_base low byte -> misaligned
+        assert!(matches!(from_bytes(&bytes), Err(BinfileError::Malformed(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BinfileError::BadMagic.to_string().contains("condspec"));
+        assert!(BinfileError::Truncated.to_string().contains("truncated"));
+    }
+}

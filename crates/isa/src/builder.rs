@@ -1,0 +1,446 @@
+//! Assembler-style program construction with labels and data segments.
+
+use crate::inst::{AluOp, BranchCond, Inst, MemSize};
+use crate::program::{DataSegment, Program};
+use crate::reg::Reg;
+use crate::INST_BYTES;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`ProgramBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UnknownLabel(String),
+    /// A data segment overlaps the code region or another segment.
+    OverlappingSegment {
+        /// Base address of the offending segment.
+        base: u64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            BuildError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            BuildError::OverlappingSegment { base } => {
+                write!(f, "data segment at {base:#x} overlaps code or another segment")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+enum Fixup {
+    Branch(usize, String),
+    Jump(usize, String),
+    Call(usize, String),
+}
+
+/// Incrementally builds a [`Program`], resolving labels at [`build`] time.
+///
+/// Emit methods append one instruction each and return `&mut Self` for
+/// chaining. Targets can be given as absolute addresses (`branch`, `jump`)
+/// or labels (`branch_to`, `jump_to`), and labels may be referenced before
+/// they are defined.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_isa::{ProgramBuilder, Reg, AluOp, BranchCond};
+///
+/// # fn main() -> Result<(), condspec_isa::BuildError> {
+/// let mut b = ProgramBuilder::new(0x400000);
+/// b.li(Reg::R1, 3);
+/// b.label("spin")?;
+/// b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+/// b.branch_to(BranchCond::Ne, Reg::R1, Reg::R0, "spin");
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`build`]: ProgramBuilder::build
+pub struct ProgramBuilder {
+    code_base: u64,
+    insts: Vec<Inst>,
+    labels: HashMap<String, u64>,
+    fixups: Vec<Fixup>,
+    data: Vec<DataSegment>,
+}
+
+impl fmt::Debug for ProgramBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgramBuilder")
+            .field("code_base", &self.code_base)
+            .field("insts", &self.insts.len())
+            .field("labels", &self.labels.len())
+            .field("pending_fixups", &self.fixups.len())
+            .field("data_segments", &self.data.len())
+            .finish()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates a builder whose first instruction will live at `code_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code_base` is not 4-byte aligned.
+    pub fn new(code_base: u64) -> Self {
+        assert_eq!(code_base % INST_BYTES, 0, "code base must be 4-byte aligned");
+        ProgramBuilder {
+            code_base,
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// The address the next emitted instruction will occupy.
+    pub fn here(&self) -> u64 {
+        self.code_base + self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Binds `name` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateLabel`] if the label already exists.
+    pub fn label(&mut self, name: &str) -> Result<u64, BuildError> {
+        let addr = self.here();
+        if self.labels.insert(name.to_string(), addr).is_some() {
+            return Err(BuildError::DuplicateLabel(name.to_string()));
+        }
+        Ok(addr)
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// `rd = op(rs1, rs2)`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = op(rs1, imm)`.
+    pub fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: u64) -> &mut Self {
+        self.push(Inst::LoadImm { rd, imm })
+    }
+
+    /// 8-byte load `rd = mem[base + offset]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.load_sized(rd, base, offset, MemSize::B8)
+    }
+
+    /// 1-byte load (zero-extended).
+    pub fn load_byte(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.load_sized(rd, base, offset, MemSize::B1)
+    }
+
+    /// Load with explicit width.
+    pub fn load_sized(&mut self, rd: Reg, base: Reg, offset: i64, size: MemSize) -> &mut Self {
+        self.push(Inst::Load { rd, base, offset, size })
+    }
+
+    /// 8-byte store `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.store_sized(src, base, offset, MemSize::B8)
+    }
+
+    /// 1-byte store.
+    pub fn store_byte(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.store_sized(src, base, offset, MemSize::B1)
+    }
+
+    /// Store with explicit width.
+    pub fn store_sized(&mut self, src: Reg, base: Reg, offset: i64, size: MemSize) -> &mut Self {
+        self.push(Inst::Store { src, base, offset, size })
+    }
+
+    /// Conditional branch to an absolute address.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: u64) -> &mut Self {
+        self.push(Inst::Branch { cond, rs1, rs2, target })
+    }
+
+    /// Conditional branch to a label (may be a forward reference).
+    pub fn branch_to(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        let idx = self.insts.len();
+        self.fixups.push(Fixup::Branch(idx, label.to_string()));
+        self.push(Inst::Branch { cond, rs1, rs2, target: 0 })
+    }
+
+    /// Unconditional jump to an absolute address.
+    pub fn jump(&mut self, target: u64) -> &mut Self {
+        self.push(Inst::Jump { target })
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jump_to(&mut self, label: &str) -> &mut Self {
+        let idx = self.insts.len();
+        self.fixups.push(Fixup::Jump(idx, label.to_string()));
+        self.push(Inst::Jump { target: 0 })
+    }
+
+    /// Indirect jump through a register.
+    pub fn jump_indirect(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::JumpIndirect { base, offset })
+    }
+
+    /// Call to a label, linking through `link`.
+    pub fn call_to(&mut self, label: &str, link: Reg) -> &mut Self {
+        let idx = self.insts.len();
+        self.fixups.push(Fixup::Call(idx, label.to_string()));
+        self.push(Inst::Call { target: 0, link })
+    }
+
+    /// Return through `link`.
+    pub fn ret(&mut self, link: Reg) -> &mut Self {
+        self.push(Inst::Ret { link })
+    }
+
+    /// Cache-line flush of `base + offset`.
+    pub fn flush(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Flush { base, offset })
+    }
+
+    /// Speculation fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Inst::Fence)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// Emits `n` no-ops (padding / dependence-window spacing).
+    pub fn nops(&mut self, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.push(Inst::Nop);
+        }
+        self
+    }
+
+    /// Halts the simulation at retirement.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Adds an initialized data segment.
+    pub fn data_segment(&mut self, base: u64, bytes: Vec<u8>) -> &mut Self {
+        self.data.push(DataSegment::new(base, bytes));
+        self
+    }
+
+    /// Adds a data segment of little-endian `u64` words.
+    pub fn data_u64s(&mut self, base: u64, words: &[u64]) -> &mut Self {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data_segment(base, bytes)
+    }
+
+    /// Adds a zero-initialized data segment of `len` bytes.
+    pub fn reserve(&mut self, base: u64, len: usize) -> &mut Self {
+        self.data_segment(base, vec![0; len])
+    }
+
+    /// Resolves all label references and produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownLabel`] if a referenced label was never
+    /// defined, or [`BuildError::OverlappingSegment`] if a data segment
+    /// overlaps the code region or another data segment.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        for fixup in self.fixups.drain(..).collect::<Vec<_>>() {
+            let (idx, label) = match &fixup {
+                Fixup::Branch(i, l) | Fixup::Jump(i, l) | Fixup::Call(i, l) => (*i, l.clone()),
+            };
+            let addr = *self
+                .labels
+                .get(&label)
+                .ok_or(BuildError::UnknownLabel(label))?;
+            match (&fixup, &mut self.insts[idx]) {
+                (Fixup::Branch(..), Inst::Branch { target, .. })
+                | (Fixup::Jump(..), Inst::Jump { target, .. })
+                | (Fixup::Call(..), Inst::Call { target, .. }) => *target = addr,
+                _ => unreachable!("fixup kind always matches the emitted instruction"),
+            }
+        }
+        let code_start = self.code_base;
+        let code_end = self.code_base + self.insts.len() as u64 * INST_BYTES;
+        let mut ranges: Vec<(u64, u64)> = vec![(code_start, code_end)];
+        for seg in &self.data {
+            let range = (seg.base, seg.end());
+            if ranges.iter().any(|(s, e)| range.0 < *e && *s < range.1) {
+                return Err(BuildError::OverlappingSegment { base: seg.base });
+            }
+            ranges.push(range);
+        }
+        Ok(Program::new(self.code_base, self.insts, self.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new(0x100);
+        b.jump_to("end");
+        b.label("mid").unwrap();
+        b.nop();
+        b.branch_to(BranchCond::Eq, Reg::R1, Reg::R2, "mid");
+        b.label("end").unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        match p.insts()[0] {
+            Inst::Jump { target } => assert_eq!(target, 0x10c),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.insts()[2] {
+            Inst::Branch { target, .. } => assert_eq!(target, 0x104),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut b = ProgramBuilder::new(0);
+        b.label("x").unwrap();
+        assert_eq!(b.label("x"), Err(BuildError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let mut b = ProgramBuilder::new(0);
+        b.jump_to("nowhere");
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UnknownLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn call_fixup() {
+        let mut b = ProgramBuilder::new(0);
+        b.call_to("f", Reg::R31);
+        b.halt();
+        b.label("f").unwrap();
+        b.ret(Reg::R31);
+        let p = b.build().unwrap();
+        match p.insts()[0] {
+            Inst::Call { target, link } => {
+                assert_eq!(target, 0x8);
+                assert_eq!(link, Reg::R31);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_helpers() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.halt();
+        b.data_u64s(0x2000, &[1, 2]);
+        b.reserve(0x3000, 64);
+        let p = b.build().unwrap();
+        assert_eq!(p.data().len(), 2);
+        assert_eq!(p.data()[0].bytes[0..8], 1u64.to_le_bytes());
+        assert_eq!(p.data()[1].bytes.len(), 64);
+    }
+
+    #[test]
+    fn overlapping_data_with_code_errors() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.nop().nop();
+        b.data_segment(0x1004, vec![0; 4]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::OverlappingSegment { base: 0x1004 }
+        );
+    }
+
+    #[test]
+    fn overlapping_data_segments_error() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.halt();
+        b.data_segment(0x2000, vec![0; 16]);
+        b.data_segment(0x200f, vec![0; 1]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::OverlappingSegment { base: 0x200f }
+        ));
+    }
+
+    #[test]
+    fn adjacent_segments_are_fine() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.halt();
+        b.data_segment(0x2000, vec![0; 16]);
+        b.data_segment(0x2010, vec![0; 16]);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn here_advances() {
+        let mut b = ProgramBuilder::new(0x100);
+        assert_eq!(b.here(), 0x100);
+        assert!(b.is_empty());
+        b.nop();
+        assert_eq!(b.here(), 0x104);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn nops_pads() {
+        let mut b = ProgramBuilder::new(0);
+        b.nops(5).halt();
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            BuildError::DuplicateLabel("a".into()).to_string(),
+            "duplicate label `a`"
+        );
+        assert_eq!(
+            BuildError::UnknownLabel("b".into()).to_string(),
+            "unknown label `b`"
+        );
+        assert!(BuildError::OverlappingSegment { base: 16 }
+            .to_string()
+            .contains("0x10"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Fixed-width binary instruction encoding.
+//!
+//! Every instruction encodes to exactly [`ENCODED_BYTES`] bytes. The layout
+//! is:
+//!
+//! ```text
+//! byte 0      opcode
+//! byte 1      register field A (rd / store src / link / branch rs1)
+//! byte 2      register field B (rs1 / base)
+//! byte 3      sub-opcode (AluOp / BranchCond / MemSize)
+//! byte 4      register field C (rs2 / branch rs2)
+//! bytes 5-12  64-bit little-endian immediate / offset / target
+//! bytes 13-15 reserved, must be zero on encode
+//! ```
+//!
+//! The encoding exists for storing programs and for round-trip testing of
+//! the ISA; the simulator itself operates on decoded [`Inst`] values.
+
+use crate::inst::{AluOp, BranchCond, Inst, MemSize};
+use crate::reg::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// Size in bytes of one encoded instruction.
+pub const ENCODED_BYTES: usize = 16;
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name an instruction.
+    BadOpcode(u8),
+    /// A register field is out of range.
+    BadReg(u8),
+    /// The sub-opcode byte is invalid for this instruction.
+    BadSubOp(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            DecodeError::BadReg(b) => write!(f, "invalid register index {b}"),
+            DecodeError::BadSubOp(b) => write!(f, "invalid sub-opcode byte {b:#04x}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+const OP_NOP: u8 = 0;
+const OP_HALT: u8 = 1;
+const OP_FENCE: u8 = 2;
+const OP_ALU: u8 = 3;
+const OP_ALU_IMM: u8 = 4;
+const OP_LOAD_IMM: u8 = 5;
+const OP_LOAD: u8 = 6;
+const OP_STORE: u8 = 7;
+const OP_BRANCH: u8 = 8;
+const OP_JUMP: u8 = 9;
+const OP_JUMP_INDIRECT: u8 = 10;
+const OP_CALL: u8 = 11;
+const OP_RET: u8 = 12;
+const OP_FLUSH: u8 = 13;
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Shl => 5,
+        AluOp::Shr => 6,
+        AluOp::Mul => 7,
+        AluOp::SltU => 8,
+        AluOp::Slt => 9,
+    }
+}
+
+fn alu_from_code(c: u8) -> Result<AluOp, DecodeError> {
+    Ok(match c {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Shl,
+        6 => AluOp::Shr,
+        7 => AluOp::Mul,
+        8 => AluOp::SltU,
+        9 => AluOp::Slt,
+        other => return Err(DecodeError::BadSubOp(other)),
+    })
+}
+
+fn cond_code(c: BranchCond) -> u8 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::LtU => 4,
+        BranchCond::GeU => 5,
+    }
+}
+
+fn cond_from_code(c: u8) -> Result<BranchCond, DecodeError> {
+    Ok(match c {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::LtU,
+        5 => BranchCond::GeU,
+        other => return Err(DecodeError::BadSubOp(other)),
+    })
+}
+
+fn size_code(s: MemSize) -> u8 {
+    match s {
+        MemSize::B1 => 0,
+        MemSize::B2 => 1,
+        MemSize::B4 => 2,
+        MemSize::B8 => 3,
+    }
+}
+
+fn size_from_code(c: u8) -> Result<MemSize, DecodeError> {
+    Ok(match c {
+        0 => MemSize::B1,
+        1 => MemSize::B2,
+        2 => MemSize::B4,
+        3 => MemSize::B8,
+        other => return Err(DecodeError::BadSubOp(other)),
+    })
+}
+
+fn reg_from(b: u8) -> Result<Reg, DecodeError> {
+    Reg::from_index(b as usize).ok_or(DecodeError::BadReg(b))
+}
+
+/// Encodes an instruction into its fixed 16-byte representation.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_isa::{encode, decode, Inst, Reg, MemSize};
+///
+/// let inst = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: -64, size: MemSize::B8 };
+/// let bytes = encode(&inst);
+/// assert_eq!(decode(&bytes), Ok(inst));
+/// ```
+pub fn encode(inst: &Inst) -> [u8; ENCODED_BYTES] {
+    let mut b = [0u8; ENCODED_BYTES];
+    let imm = |b: &mut [u8; ENCODED_BYTES], v: u64| b[5..13].copy_from_slice(&v.to_le_bytes());
+    match *inst {
+        Inst::Nop => b[0] = OP_NOP,
+        Inst::Halt => b[0] = OP_HALT,
+        Inst::Fence => b[0] = OP_FENCE,
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            b[0] = OP_ALU;
+            b[1] = rd.index() as u8;
+            b[2] = rs1.index() as u8;
+            b[3] = alu_code(op);
+            b[4] = rs2.index() as u8;
+        }
+        Inst::AluImm { op, rd, rs1, imm: v } => {
+            b[0] = OP_ALU_IMM;
+            b[1] = rd.index() as u8;
+            b[2] = rs1.index() as u8;
+            b[3] = alu_code(op);
+            imm(&mut b, v as u64);
+        }
+        Inst::LoadImm { rd, imm: v } => {
+            b[0] = OP_LOAD_IMM;
+            b[1] = rd.index() as u8;
+            imm(&mut b, v);
+        }
+        Inst::Load { rd, base, offset, size } => {
+            b[0] = OP_LOAD;
+            b[1] = rd.index() as u8;
+            b[2] = base.index() as u8;
+            b[3] = size_code(size);
+            imm(&mut b, offset as u64);
+        }
+        Inst::Store { src, base, offset, size } => {
+            b[0] = OP_STORE;
+            b[1] = src.index() as u8;
+            b[2] = base.index() as u8;
+            b[3] = size_code(size);
+            imm(&mut b, offset as u64);
+        }
+        Inst::Branch { cond, rs1, rs2, target } => {
+            b[0] = OP_BRANCH;
+            b[1] = rs1.index() as u8;
+            b[3] = cond_code(cond);
+            b[4] = rs2.index() as u8;
+            imm(&mut b, target);
+        }
+        Inst::Jump { target } => {
+            b[0] = OP_JUMP;
+            imm(&mut b, target);
+        }
+        Inst::JumpIndirect { base, offset } => {
+            b[0] = OP_JUMP_INDIRECT;
+            b[2] = base.index() as u8;
+            imm(&mut b, offset as u64);
+        }
+        Inst::Call { target, link } => {
+            b[0] = OP_CALL;
+            b[1] = link.index() as u8;
+            imm(&mut b, target);
+        }
+        Inst::Ret { link } => {
+            b[0] = OP_RET;
+            b[1] = link.index() as u8;
+        }
+        Inst::Flush { base, offset } => {
+            b[0] = OP_FLUSH;
+            b[2] = base.index() as u8;
+            imm(&mut b, offset as u64);
+        }
+    }
+    b
+}
+
+/// Decodes a 16-byte instruction encoding.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the opcode, a register index, or a
+/// sub-opcode field is invalid.
+pub fn decode(bytes: &[u8; ENCODED_BYTES]) -> Result<Inst, DecodeError> {
+    let imm_u64 = u64::from_le_bytes(bytes[5..13].try_into().expect("fixed slice"));
+    let imm_i64 = imm_u64 as i64;
+    Ok(match bytes[0] {
+        OP_NOP => Inst::Nop,
+        OP_HALT => Inst::Halt,
+        OP_FENCE => Inst::Fence,
+        OP_ALU => Inst::Alu {
+            op: alu_from_code(bytes[3])?,
+            rd: reg_from(bytes[1])?,
+            rs1: reg_from(bytes[2])?,
+            rs2: reg_from(bytes[4])?,
+        },
+        OP_ALU_IMM => Inst::AluImm {
+            op: alu_from_code(bytes[3])?,
+            rd: reg_from(bytes[1])?,
+            rs1: reg_from(bytes[2])?,
+            imm: imm_i64,
+        },
+        OP_LOAD_IMM => Inst::LoadImm { rd: reg_from(bytes[1])?, imm: imm_u64 },
+        OP_LOAD => Inst::Load {
+            rd: reg_from(bytes[1])?,
+            base: reg_from(bytes[2])?,
+            offset: imm_i64,
+            size: size_from_code(bytes[3])?,
+        },
+        OP_STORE => Inst::Store {
+            src: reg_from(bytes[1])?,
+            base: reg_from(bytes[2])?,
+            offset: imm_i64,
+            size: size_from_code(bytes[3])?,
+        },
+        OP_BRANCH => Inst::Branch {
+            cond: cond_from_code(bytes[3])?,
+            rs1: reg_from(bytes[1])?,
+            rs2: reg_from(bytes[4])?,
+            target: imm_u64,
+        },
+        OP_JUMP => Inst::Jump { target: imm_u64 },
+        OP_JUMP_INDIRECT => Inst::JumpIndirect { base: reg_from(bytes[2])?, offset: imm_i64 },
+        OP_CALL => Inst::Call { target: imm_u64, link: reg_from(bytes[1])? },
+        OP_RET => Inst::Ret { link: reg_from(bytes[1])? },
+        OP_FLUSH => Inst::Flush { base: reg_from(bytes[2])?, offset: imm_i64 },
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_insts() -> Vec<Inst> {
+        vec![
+            Inst::Nop,
+            Inst::Halt,
+            Inst::Fence,
+            Inst::Alu { op: AluOp::Xor, rd: Reg::R3, rs1: Reg::R4, rs2: Reg::R5 },
+            Inst::AluImm { op: AluOp::Shl, rd: Reg::R1, rs1: Reg::R2, imm: -12 },
+            Inst::LoadImm { rd: Reg::R31, imm: u64::MAX },
+            Inst::Load { rd: Reg::R7, base: Reg::R8, offset: -4096, size: MemSize::B2 },
+            Inst::Store { src: Reg::R9, base: Reg::R10, offset: 8, size: MemSize::B4 },
+            Inst::Branch { cond: BranchCond::GeU, rs1: Reg::R1, rs2: Reg::R2, target: 0xdead_0000 },
+            Inst::Jump { target: 0x4000_0000 },
+            Inst::JumpIndirect { base: Reg::R6, offset: 16 },
+            Inst::Call { target: 0x1234, link: Reg::R31 },
+            Inst::Ret { link: Reg::R31 },
+            Inst::Flush { base: Reg::R11, offset: 64 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_forms() {
+        for inst in sample_insts() {
+            let bytes = encode(&inst);
+            assert_eq!(decode(&bytes), Ok(inst), "roundtrip failed for {inst}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode() {
+        let mut b = [0u8; ENCODED_BYTES];
+        b[0] = 0xff;
+        assert_eq!(decode(&b), Err(DecodeError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn bad_register() {
+        let mut b = encode(&Inst::Ret { link: Reg::R1 });
+        b[1] = 32;
+        assert_eq!(decode(&b), Err(DecodeError::BadReg(32)));
+    }
+
+    #[test]
+    fn bad_subop() {
+        let mut b = encode(&Inst::Alu { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R1, rs2: Reg::R1 });
+        b[3] = 200;
+        assert_eq!(decode(&b), Err(DecodeError::BadSubOp(200)));
+        let mut b = encode(&Inst::Load { rd: Reg::R1, base: Reg::R1, offset: 0, size: MemSize::B1 });
+        b[3] = 9;
+        assert_eq!(decode(&b), Err(DecodeError::BadSubOp(9)));
+    }
+
+    #[test]
+    fn negative_offsets_preserved() {
+        let inst = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: i64::MIN, size: MemSize::B8 };
+        assert_eq!(decode(&encode(&inst)), Ok(inst));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::BadOpcode(0xab).to_string().contains("0xab"));
+        assert!(DecodeError::BadReg(40).to_string().contains("40"));
+        assert!(DecodeError::BadSubOp(7).to_string().contains("0x07"));
+    }
+}

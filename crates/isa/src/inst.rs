@@ -1,0 +1,528 @@
+//! Instruction definitions and classification.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// ALU operation kinds, used by both register-register and
+/// register-immediate forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned set-less-than: `rd = (rs1 < rs2) as u64`.
+    SltU,
+    /// Signed set-less-than: `rd = ((rs1 as i64) < (rs2 as i64)) as u64`.
+    Slt,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two 64-bit operands.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use condspec_isa::AluOp;
+    ///
+    /// assert_eq!(AluOp::Add.eval(1, 2), 3);
+    /// assert_eq!(AluOp::Shl.eval(1, 12), 4096);
+    /// assert_eq!(AluOp::SltU.eval(1, 2), 1);
+    /// ```
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::SltU => u64::from(a < b),
+            AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Mul => "mul",
+            AluOp::SltU => "sltu",
+            AluOp::Slt => "slt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Conditional branch conditions (compare `rs1` against `rs2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+    /// Branch if unsigned less-than.
+    LtU,
+    /// Branch if unsigned greater-or-equal.
+    GeU,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two operand values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use condspec_isa::BranchCond;
+    ///
+    /// assert!(BranchCond::LtU.eval(1, 2));
+    /// assert!(BranchCond::Lt.eval(u64::MAX, 2)); // signed: -1 < 2
+    /// assert!(!BranchCond::LtU.eval(u64::MAX, 2)); // unsigned: huge >= 2
+    /// ```
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::LtU => a < b,
+            BranchCond::GeU => a >= b,
+        }
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    pub fn negate(self) -> BranchCond {
+        match self {
+            BranchCond::Eq => BranchCond::Ne,
+            BranchCond::Ne => BranchCond::Eq,
+            BranchCond::Lt => BranchCond::Ge,
+            BranchCond::Ge => BranchCond::Lt,
+            BranchCond::LtU => BranchCond::GeU,
+            BranchCond::GeU => BranchCond::LtU,
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::LtU => "bltu",
+            BranchCond::GeU => "bgeu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+}
+
+impl fmt::Display for MemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bytes())
+    }
+}
+
+/// One instruction of the micro-ISA.
+///
+/// Branch and jump targets are absolute simulated virtual addresses
+/// (the [`crate::ProgramBuilder`] resolves labels to addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `rd = op(rs1, rs2)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `rd = op(rs1, imm)`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate operand (sign-reinterpreted as u64 at evaluation).
+        imm: i64,
+    },
+    /// `rd = imm` (load immediate).
+    LoadImm {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `rd = mem[rs_base + offset]` (zero-extended).
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed displacement.
+        offset: i64,
+        /// Access width.
+        size: MemSize,
+    },
+    /// `mem[rs_base + offset] = src`.
+    Store {
+        /// Source (data) register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed displacement.
+        offset: i64,
+        /// Access width.
+        size: MemSize,
+    },
+    /// Conditional direct branch: `if cond(rs1, rs2) goto target`.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First comparison operand.
+        rs1: Reg,
+        /// Second comparison operand.
+        rs2: Reg,
+        /// Absolute target address.
+        target: u64,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Absolute target address.
+        target: u64,
+    },
+    /// Indirect jump: `goto rs_base + offset` (value, not memory).
+    ///
+    /// This is the instruction Spectre V2 trains the BTB against.
+    JumpIndirect {
+        /// Register holding the target address.
+        base: Reg,
+        /// Signed displacement added to the register value.
+        offset: i64,
+    },
+    /// Direct call: saves the return address (`pc + 4`) into `link` and
+    /// jumps to `target`. Pushes onto the return-address stack predictor.
+    Call {
+        /// Absolute target address.
+        target: u64,
+        /// Link register receiving the return address.
+        link: Reg,
+    },
+    /// Return: jumps to the address in `link`. Pops the return-address
+    /// stack predictor.
+    Ret {
+        /// Register holding the return address.
+        link: Reg,
+    },
+    /// Flushes the cache line containing `rs_base + offset` from the whole
+    /// hierarchy (the `clflush` primitive Flush+Reload attackers use).
+    Flush {
+        /// Base address register.
+        base: Reg,
+        /// Signed displacement.
+        offset: i64,
+    },
+    /// Speculation fence: younger instructions may not issue until the
+    /// fence retires (models `lfence`).
+    Fence,
+    /// No operation.
+    Nop,
+    /// Stops the simulation when it retires.
+    Halt,
+}
+
+impl Inst {
+    /// Whether this instruction accesses data memory (load or store).
+    ///
+    /// `Flush` is *not* a memory access for security-dependence purposes:
+    /// it cannot be the victim-side leaking instruction (it only removes
+    /// lines). The paper's matrix formula checks `opcode == MEMORY` for the
+    /// dependent instruction and `MEMORY or BRANCH` for the producer.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+
+    /// Whether this instruction is a load.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// Whether this instruction is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+
+    /// Whether this instruction is a control-flow instruction whose
+    /// resolution may redirect fetch (conditional branch, indirect jump,
+    /// call or return). Direct unconditional jumps resolve in the front
+    /// end and are not speculation sources.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::JumpIndirect { .. } | Inst::Ret { .. }
+        )
+    }
+
+    /// Whether this is any control-flow instruction (including direct
+    /// jumps and calls).
+    pub fn is_control(&self) -> bool {
+        self.is_branch() || matches!(self, Inst::Jump { .. } | Inst::Call { .. })
+    }
+
+    /// Whether the instruction is a speculation fence.
+    pub fn is_fence(&self) -> bool {
+        matches!(self, Inst::Fence)
+    }
+
+    /// The destination register, if the instruction writes one.
+    ///
+    /// Writes to `r0` are reported as `None` (they are architectural
+    /// no-ops).
+    pub fn dest(&self) -> Option<Reg> {
+        let d = match self {
+            Inst::Alu { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::LoadImm { rd, .. }
+            | Inst::Load { rd, .. } => Some(*rd),
+            Inst::Call { link, .. } => Some(*link),
+            _ => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// Source registers read by the instruction (at most 2).
+    pub fn sources(&self) -> SourceIter {
+        let (a, b) = match self {
+            Inst::Alu { rs1, rs2, .. } => (Some(*rs1), Some(*rs2)),
+            Inst::AluImm { rs1, .. } => (Some(*rs1), None),
+            Inst::LoadImm { .. } => (None, None),
+            Inst::Load { base, .. } => (Some(*base), None),
+            Inst::Store { src, base, .. } => (Some(*base), Some(*src)),
+            Inst::Branch { rs1, rs2, .. } => (Some(*rs1), Some(*rs2)),
+            Inst::Jump { .. } => (None, None),
+            Inst::JumpIndirect { base, .. } => (Some(*base), None),
+            Inst::Call { .. } => (None, None),
+            Inst::Ret { link } => (Some(*link), None),
+            Inst::Flush { base, .. } => (Some(*base), None),
+            Inst::Fence | Inst::Nop | Inst::Halt => (None, None),
+        };
+        // r0 always reads as zero and never creates a dependence.
+        SourceIter {
+            regs: [a.filter(|r| !r.is_zero()), b.filter(|r| !r.is_zero())],
+            idx: 0,
+        }
+    }
+}
+
+/// Iterator over an instruction's source registers.
+///
+/// Produced by [`Inst::sources`].
+#[derive(Debug, Clone)]
+pub struct SourceIter {
+    regs: [Option<Reg>; 2],
+    idx: usize,
+}
+
+impl Iterator for SourceIter {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        while self.idx < 2 {
+            let r = self.regs[self.idx];
+            self.idx += 1;
+            if r.is_some() {
+                return r;
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
+            Inst::AluImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
+            Inst::LoadImm { rd, imm } => write!(f, "li {rd}, {imm:#x}"),
+            Inst::Load { rd, base, offset, size } => {
+                write!(f, "ld{size} {rd}, {offset}({base})")
+            }
+            Inst::Store { src, base, offset, size } => {
+                write!(f, "st{size} {src}, {offset}({base})")
+            }
+            Inst::Branch { cond, rs1, rs2, target } => {
+                write!(f, "{cond} {rs1}, {rs2}, {target:#x}")
+            }
+            Inst::Jump { target } => write!(f, "j {target:#x}"),
+            Inst::JumpIndirect { base, offset } => write!(f, "jr {offset}({base})"),
+            Inst::Call { target, link } => write!(f, "call {target:#x}, {link}"),
+            Inst::Ret { link } => write!(f, "ret {link}"),
+            Inst::Flush { base, offset } => write!(f, "clflush {offset}({base})"),
+            Inst::Fence => f.write_str("fence"),
+            Inst::Nop => f.write_str("nop"),
+            Inst::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval() {
+        assert_eq!(AluOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.eval(0, 1), u64::MAX);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.eval(1, 64 + 3), 8, "shift amount is mod 64");
+        assert_eq!(AluOp::Shr.eval(16, 2), 4);
+        assert_eq!(AluOp::Mul.eval(3, 5), 15);
+        assert_eq!(AluOp::SltU.eval(2, 1), 0);
+        assert_eq!(AluOp::Slt.eval(u64::MAX, 0), 1, "-1 < 0 signed");
+    }
+
+    #[test]
+    fn branch_eval_and_negate() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Lt.eval(u64::MAX, 0));
+        assert!(BranchCond::Ge.eval(0, u64::MAX));
+        assert!(BranchCond::LtU.eval(0, u64::MAX));
+        assert!(BranchCond::GeU.eval(u64::MAX, 0));
+        for c in [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::LtU,
+            BranchCond::GeU,
+        ] {
+            for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 5)] {
+                assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn mem_size_bytes() {
+        assert_eq!(MemSize::B1.bytes(), 1);
+        assert_eq!(MemSize::B2.bytes(), 2);
+        assert_eq!(MemSize::B4.bytes(), 4);
+        assert_eq!(MemSize::B8.bytes(), 8);
+    }
+
+    #[test]
+    fn classification() {
+        let ld = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: 0, size: MemSize::B8 };
+        let st = Inst::Store { src: Reg::R1, base: Reg::R2, offset: 0, size: MemSize::B8 };
+        let br = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::R1, rs2: Reg::R2, target: 0 };
+        let jr = Inst::JumpIndirect { base: Reg::R1, offset: 0 };
+        let j = Inst::Jump { target: 0 };
+        assert!(ld.is_mem() && ld.is_load() && !ld.is_store());
+        assert!(st.is_mem() && st.is_store() && !st.is_load());
+        assert!(br.is_branch() && !br.is_mem());
+        assert!(jr.is_branch());
+        assert!(!j.is_branch() && j.is_control());
+        assert!(Inst::Fence.is_fence());
+        let fl = Inst::Flush { base: Reg::R1, offset: 0 };
+        assert!(!fl.is_mem(), "clflush is not a security-relevant memory access");
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Inst::Alu { op: AluOp::Add, rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R2 };
+        assert_eq!(i.dest(), Some(Reg::R3));
+        let srcs: Vec<Reg> = i.sources().collect();
+        assert_eq!(srcs, vec![Reg::R1, Reg::R2]);
+
+        let st = Inst::Store { src: Reg::R4, base: Reg::R5, offset: 8, size: MemSize::B1 };
+        assert_eq!(st.dest(), None);
+        let srcs: Vec<Reg> = st.sources().collect();
+        assert_eq!(srcs, vec![Reg::R5, Reg::R4]);
+    }
+
+    #[test]
+    fn r0_is_never_a_dependence() {
+        let i = Inst::Alu { op: AluOp::Add, rd: Reg::R0, rs1: Reg::R0, rs2: Reg::R1 };
+        assert_eq!(i.dest(), None, "writes to r0 are discarded");
+        let srcs: Vec<Reg> = i.sources().collect();
+        assert_eq!(srcs, vec![Reg::R1]);
+    }
+
+    #[test]
+    fn call_writes_link() {
+        let c = Inst::Call { target: 0x100, link: Reg::R31 };
+        assert_eq!(c.dest(), Some(Reg::R31));
+        assert!(c.is_control() && !c.is_branch());
+        let r = Inst::Ret { link: Reg::R31 };
+        assert!(r.is_branch());
+        assert_eq!(r.sources().collect::<Vec<_>>(), vec![Reg::R31]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: -8, size: MemSize::B8 };
+        assert_eq!(i.to_string(), "ld8 r1, -8(r2)");
+        assert_eq!(Inst::Halt.to_string(), "halt");
+        assert_eq!(Inst::Nop.to_string(), "nop");
+        let b = Inst::Branch { cond: BranchCond::GeU, rs1: Reg::R1, rs2: Reg::R2, target: 0x40 };
+        assert_eq!(b.to_string(), "bgeu r1, r2, 0x40");
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! The micro-ISA used by the Conditional Speculation reproduction.
+//!
+//! The paper evaluates on gem5's ALPHA model; this reproduction defines a
+//! small RISC-like ISA that contains everything the defense and the Spectre
+//! proof-of-concept gadgets need:
+//!
+//! * 32 general-purpose 64-bit registers ([`Reg`]), with `r0` hardwired to
+//!   zero,
+//! * ALU register/immediate operations ([`AluOp`]),
+//! * loads and stores of 1/2/4/8 bytes ([`MemSize`]),
+//! * conditional branches ([`BranchCond`]), direct jumps, indirect jumps
+//!   (needed for Spectre V2), calls and returns,
+//! * a cache-line flush instruction (`clflush`, needed by Flush+Reload
+//!   attackers) and a speculation fence (`fence`, the software `lfence`
+//!   mitigation the paper contrasts against),
+//! * `halt` to terminate simulation.
+//!
+//! Each instruction occupies 4 bytes of the simulated address space for PC
+//! arithmetic; a fixed 16-byte binary encoding is provided for storage and
+//! testing ([`encode()`]).
+//!
+//! # Examples
+//!
+//! Building a tiny program with the assembler-style [`ProgramBuilder`]:
+//!
+//! ```
+//! use condspec_isa::{ProgramBuilder, Reg, AluOp, BranchCond, MemSize};
+//!
+//! # fn main() -> Result<(), condspec_isa::BuildError> {
+//! let mut b = ProgramBuilder::new(0x1000);
+//! b.li(Reg::R1, 0);
+//! b.label("loop")?;
+//! b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+//! b.branch_to(BranchCond::Ne, Reg::R1, Reg::R2, "loop");
+//! b.halt();
+//! let program = b.build()?;
+//! assert_eq!(program.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod binfile;
+pub mod builder;
+pub mod encode;
+pub mod inst;
+pub mod program;
+pub mod reg;
+
+pub use builder::{BuildError, ProgramBuilder};
+pub use encode::{decode, encode, DecodeError};
+pub use inst::{AluOp, BranchCond, Inst, MemSize};
+pub use program::{DataSegment, Program};
+pub use reg::Reg;
+
+/// Size in bytes that each instruction occupies in the simulated address
+/// space (used for PC arithmetic and instruction-cache indexing).
+pub const INST_BYTES: u64 = 4;

@@ -1,0 +1,200 @@
+//! Programs: code plus initialized data segments.
+
+use crate::inst::Inst;
+use crate::INST_BYTES;
+use std::fmt;
+
+/// A contiguous block of initialized data in the simulated address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Base virtual address of the segment.
+    pub base: u64,
+    /// Segment contents.
+    pub bytes: Vec<u8>,
+}
+
+impl DataSegment {
+    /// Creates a segment.
+    pub fn new(base: u64, bytes: Vec<u8>) -> Self {
+        DataSegment { base, bytes }
+    }
+
+    /// The exclusive end address of the segment.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Whether `addr` falls inside the segment.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// A complete program: instructions at `code_base` plus initialized data.
+///
+/// Instruction `i` lives at address `code_base + 4 * i`. Programs are
+/// usually produced by [`crate::ProgramBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use condspec_isa::{Program, Inst};
+///
+/// let p = Program::new(0x1000, vec![Inst::Nop, Inst::Halt], vec![]);
+/// assert_eq!(p.fetch(0x1004), Some(Inst::Halt));
+/// assert_eq!(p.fetch(0x0), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    code_base: u64,
+    insts: Vec<Inst>,
+    data: Vec<DataSegment>,
+}
+
+impl Program {
+    /// Creates a program from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code_base` is not 4-byte aligned.
+    pub fn new(code_base: u64, insts: Vec<Inst>, data: Vec<DataSegment>) -> Self {
+        assert_eq!(code_base % INST_BYTES, 0, "code base must be 4-byte aligned");
+        Program { code_base, insts, data }
+    }
+
+    /// The address of the first instruction, i.e. the entry point.
+    pub fn entry(&self) -> u64 {
+        self.code_base
+    }
+
+    /// Base address of the code region.
+    pub fn code_base(&self) -> u64 {
+        self.code_base
+    }
+
+    /// Exclusive end address of the code region.
+    pub fn code_end(&self) -> u64 {
+        self.code_base + self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instructions in order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The initialized data segments.
+    pub fn data(&self) -> &[DataSegment] {
+        &self.data
+    }
+
+    /// Fetches the instruction at virtual address `pc`, or `None` if `pc`
+    /// is outside the code region or misaligned.
+    pub fn fetch(&self, pc: u64) -> Option<Inst> {
+        if pc < self.code_base || pc % INST_BYTES != 0 {
+            return None;
+        }
+        let idx = ((pc - self.code_base) / INST_BYTES) as usize;
+        self.insts.get(idx).copied()
+    }
+
+    /// The address of instruction index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn addr_of(&self, idx: usize) -> u64 {
+        assert!(idx < self.insts.len(), "instruction index {idx} out of range");
+        self.code_base + idx as u64 * INST_BYTES
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{:#010x}: {}", self.addr_of(i), inst)?;
+        }
+        for seg in &self.data {
+            writeln!(f, "data @ {:#010x}: {} bytes", seg.base, seg.bytes.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = Program::new(0x100, vec![Inst::Nop, Inst::Fence, Inst::Halt], vec![]);
+        assert_eq!(p.fetch(0x100), Some(Inst::Nop));
+        assert_eq!(p.fetch(0x104), Some(Inst::Fence));
+        assert_eq!(p.fetch(0x108), Some(Inst::Halt));
+        assert_eq!(p.fetch(0x10c), None);
+        assert_eq!(p.fetch(0xfc), None);
+        assert_eq!(p.fetch(0x102), None, "misaligned");
+    }
+
+    #[test]
+    fn addr_of_and_bounds() {
+        let p = Program::new(0x1000, vec![Inst::Nop; 4], vec![]);
+        assert_eq!(p.addr_of(0), 0x1000);
+        assert_eq!(p.addr_of(3), 0x100c);
+        assert_eq!(p.code_end(), 0x1010);
+        assert_eq!(p.entry(), 0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn addr_of_out_of_range_panics() {
+        let p = Program::new(0x1000, vec![Inst::Nop], vec![]);
+        let _ = p.addr_of(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_base_panics() {
+        let _ = Program::new(0x1001, vec![], vec![]);
+    }
+
+    #[test]
+    fn data_segment_bounds() {
+        let seg = DataSegment::new(0x2000, vec![1, 2, 3]);
+        assert_eq!(seg.end(), 0x2003);
+        assert!(seg.contains(0x2000));
+        assert!(seg.contains(0x2002));
+        assert!(!seg.contains(0x2003));
+        assert!(!seg.contains(0x1fff));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new(0, vec![], vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.fetch(0), None);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let p = Program::new(
+            0x100,
+            vec![Inst::Nop],
+            vec![DataSegment::new(0x2000, vec![0; 8])],
+        );
+        let s = p.to_string();
+        assert!(s.contains("nop"));
+        assert!(s.contains("8 bytes"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the micro-ISA: encode/decode round-trips for every
+//! instruction form, and builder label resolution.
+
+use condspec_isa::{
+    decode, encode, AluOp, BranchCond, Inst, MemSize, ProgramBuilder, Reg,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..32).prop_map(|i| Reg::from_index(i).expect("index < 32"))
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Mul),
+        Just(AluOp::SltU),
+        Just(AluOp::Slt),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::LtU),
+        Just(BranchCond::GeU),
+    ]
+}
+
+fn arb_size() -> impl Strategy<Value = MemSize> {
+    prop_oneof![
+        Just(MemSize::B1),
+        Just(MemSize::B2),
+        Just(MemSize::B4),
+        Just(MemSize::B8),
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        Just(Inst::Fence),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), any::<i64>())
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        (arb_reg(), any::<u64>()).prop_map(|(rd, imm)| Inst::LoadImm { rd, imm }),
+        (arb_reg(), arb_reg(), any::<i64>(), arb_size())
+            .prop_map(|(rd, base, offset, size)| Inst::Load { rd, base, offset, size }),
+        (arb_reg(), arb_reg(), any::<i64>(), arb_size())
+            .prop_map(|(src, base, offset, size)| Inst::Store { src, base, offset, size }),
+        (arb_cond(), arb_reg(), arb_reg(), any::<u64>())
+            .prop_map(|(cond, rs1, rs2, target)| Inst::Branch { cond, rs1, rs2, target }),
+        any::<u64>().prop_map(|target| Inst::Jump { target }),
+        (arb_reg(), any::<i64>()).prop_map(|(base, offset)| Inst::JumpIndirect { base, offset }),
+        (any::<u64>(), arb_reg()).prop_map(|(target, link)| Inst::Call { target, link }),
+        arb_reg().prop_map(|link| Inst::Ret { link }),
+        (arb_reg(), any::<i64>()).prop_map(|(base, offset)| Inst::Flush { base, offset }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let bytes = encode(&inst);
+        prop_assert_eq!(decode(&bytes), Ok(inst));
+    }
+
+    #[test]
+    fn sources_never_include_r0(inst in arb_inst()) {
+        prop_assert!(inst.sources().all(|r| !r.is_zero()));
+        prop_assert!(inst.dest().is_none_or(|r| !r.is_zero()));
+    }
+
+    #[test]
+    fn classification_is_consistent(inst in arb_inst()) {
+        // A memory instruction is exactly a load xor a store.
+        prop_assert_eq!(inst.is_mem(), inst.is_load() || inst.is_store());
+        prop_assert!(!(inst.is_load() && inst.is_store()));
+        // Everything resolved in the back end is control flow.
+        if inst.is_branch() {
+            prop_assert!(inst.is_control());
+        }
+    }
+
+    #[test]
+    fn display_is_never_empty(inst in arb_inst()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    #[test]
+    fn alu_eval_zero_identities(a in any::<u64>()) {
+        prop_assert_eq!(AluOp::Add.eval(a, 0), a);
+        prop_assert_eq!(AluOp::Sub.eval(a, 0), a);
+        prop_assert_eq!(AluOp::Or.eval(a, 0), a);
+        prop_assert_eq!(AluOp::Xor.eval(a, a), 0);
+        prop_assert_eq!(AluOp::And.eval(a, 0), 0);
+        prop_assert_eq!(AluOp::Mul.eval(a, 1), a);
+    }
+
+    #[test]
+    fn branch_negation_is_exact(
+        cond in arb_cond(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        prop_assert_ne!(cond.eval(a, b), cond.negate().eval(a, b));
+        prop_assert_eq!(cond.negate().negate(), cond);
+    }
+
+    #[test]
+    fn builder_resolves_forward_branches(skip in 1usize..50) {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.branch_to(BranchCond::Eq, Reg::R1, Reg::R2, "end");
+        for _ in 0..skip {
+            b.nop();
+        }
+        b.label("end").expect("fresh label");
+        b.halt();
+        let p = b.build().expect("assembles");
+        match p.insts()[0] {
+            Inst::Branch { target, .. } => {
+                prop_assert_eq!(target, 0x1000 + 4 * (skip as u64 + 1));
+                prop_assert_eq!(p.fetch(target), Some(Inst::Halt));
+            }
+            other => prop_assert!(false, "expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_fetch_matches_indexing(n in 1usize..100) {
+        let mut b = ProgramBuilder::new(0x4000);
+        for _ in 0..n {
+            b.nop();
+        }
+        b.halt();
+        let p = b.build().expect("assembles");
+        for i in 0..p.len() {
+            prop_assert_eq!(p.fetch(p.addr_of(i)), Some(p.insts()[i]));
+        }
+        prop_assert_eq!(p.fetch(p.code_end()), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Address arithmetic helpers (pages and cache lines).
+
+/// log2 of the page size.
+pub const PAGE_BITS: u32 = 12;
+
+/// Page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_BITS;
+
+/// The page number (VPN or PPN, depending on what `addr` is) containing
+/// `addr`.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_mem::page_number;
+///
+/// assert_eq!(page_number(0x0), 0);
+/// assert_eq!(page_number(0x1fff), 1);
+/// assert_eq!(page_number(0x2000), 2);
+/// ```
+pub fn page_number(addr: u64) -> u64 {
+    addr >> PAGE_BITS
+}
+
+/// The offset of `addr` within its page.
+pub fn page_offset(addr: u64) -> u64 {
+    addr & (PAGE_SIZE - 1)
+}
+
+/// The base address of the cache line containing `addr`.
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_mem::line_addr;
+///
+/// assert_eq!(line_addr(0x107f, 64), 0x1040);
+/// ```
+pub fn line_addr(addr: u64, line_bytes: u64) -> u64 {
+    assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+    addr & !(line_bytes - 1)
+}
+
+/// Combines a page number and in-page offset back into an address.
+pub fn make_addr(page: u64, offset: u64) -> u64 {
+    debug_assert!(offset < PAGE_SIZE);
+    (page << PAGE_BITS) | offset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_split_roundtrip() {
+        for addr in [0u64, 1, 0xfff, 0x1000, 0xdead_beef, u64::MAX >> 1] {
+            assert_eq!(make_addr(page_number(addr), page_offset(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn page_offset_masks() {
+        assert_eq!(page_offset(0x1234), 0x234);
+        assert_eq!(page_offset(0x1000), 0);
+    }
+
+    #[test]
+    fn line_addr_alignment() {
+        assert_eq!(line_addr(0, 64), 0);
+        assert_eq!(line_addr(63, 64), 0);
+        assert_eq!(line_addr(64, 64), 64);
+        assert_eq!(line_addr(0x12345, 32), 0x12340);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_addr_rejects_non_power_of_two() {
+        let _ = line_addr(0, 48);
+    }
+}

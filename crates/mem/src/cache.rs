@@ -1,0 +1,428 @@
+//! Set-associative cache with true-LRU replacement and the secure update
+//! modes from the paper's §VII.A.
+
+use crate::addr::line_addr;
+use std::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, non-power-of-two
+    /// line size, or capacity not divisible into `ways * line_bytes` sets).
+    pub fn new(size_bytes: u64, ways: usize, line_bytes: u64, hit_latency: u64) -> Self {
+        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "cache geometry must be nonzero");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let set_bytes = ways as u64 * line_bytes;
+        assert!(
+            size_bytes % set_bytes == 0,
+            "capacity must be a whole number of sets"
+        );
+        let sets = size_bytes / set_bytes;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig { size_bytes, ways, line_bytes, hit_latency }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+}
+
+/// How a cache hit updates the replacement (LRU) metadata.
+///
+/// Models the secure replacement policies of the paper's §VII.A: a
+/// speculative (suspect) hit can leak through LRU state, so the defense can
+/// skip ([`LruUpdate::None`]) or defer ([`LruUpdate::Deferred`]) the update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LruUpdate {
+    /// Normal behaviour: the hit promotes the line to most-recently-used.
+    #[default]
+    Normal,
+    /// *No update policy*: the hit leaves replacement metadata untouched.
+    None,
+    /// *Delayed update policy*: the hit leaves metadata untouched now; the
+    /// caller applies it later (at commit) via [`SetAssocCache::touch`].
+    Deferred,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineState {
+    valid: bool,
+    tag: u64,
+    /// Global LRU timestamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// A set-associative, true-LRU cache holding line presence (tags only — the
+/// simulator keeps data in [`crate::MainMemory`]; caches model timing and
+/// the side channel).
+///
+/// Addresses passed in should already be *physical*; the cache aligns them
+/// to lines internally.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    lines: Vec<LineState>,
+    tick: u64,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        SetAssocCache {
+            config,
+            lines: vec![LineState::default(); sets * config.ways],
+            tick: 0,
+            set_shift: config.line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The set index for an address.
+    pub fn set_index(&self, addr: u64) -> usize {
+        ((addr >> self.set_shift) & self.set_mask) as usize
+    }
+
+    /// The tag for an address.
+    pub fn tag(&self, addr: u64) -> u64 {
+        addr >> (self.set_shift + self.set_mask.count_ones())
+    }
+
+    fn set_slice(&self, set: usize) -> &[LineState] {
+        &self.lines[set * self.config.ways..(set + 1) * self.config.ways]
+    }
+
+    fn find_way(&self, addr: u64) -> Option<usize> {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        self.set_slice(set)
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+    }
+
+    /// Whether the line containing `addr` is present. Never changes state.
+    pub fn probe(&self, addr: u64) -> bool {
+        self.find_way(addr).is_some()
+    }
+
+    /// Looks up `addr`; on a hit, updates LRU metadata per `update` and
+    /// returns `true`. On a miss returns `false` without any state change
+    /// (fills are explicit via [`fill`]).
+    ///
+    /// [`fill`]: SetAssocCache::fill
+    pub fn access(&mut self, addr: u64, update: LruUpdate) -> bool {
+        match self.find_way(addr) {
+            Some(way) => {
+                if update == LruUpdate::Normal {
+                    self.promote(self.set_index(addr), way);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies a (possibly deferred) LRU promotion for `addr` if the line
+    /// is still present. Used by the *delayed update* policy when the
+    /// access becomes non-speculative, and by stores updating recency.
+    pub fn touch(&mut self, addr: u64) {
+        if let Some(way) = self.find_way(addr) {
+            self.promote(self.set_index(addr), way);
+        }
+    }
+
+    fn promote(&mut self, set: usize, way: usize) {
+        self.tick += 1;
+        self.lines[set * self.config.ways + way].stamp = self.tick;
+    }
+
+    /// Inserts the line containing `addr`, evicting the LRU line of the set
+    /// if necessary. Returns the base address of the evicted line, if any.
+    ///
+    /// Filling a line that is already present just promotes it.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        if let Some(way) = self.find_way(addr) {
+            self.promote(self.set_index(addr), way);
+            return None;
+        }
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let base = set * self.config.ways;
+        // Prefer an invalid way; otherwise evict the least recently used.
+        let victim_way = match self.set_slice(set).iter().position(|l| !l.valid) {
+            Some(w) => w,
+            None => self
+                .set_slice(set)
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .map(|(w, _)| w)
+                .expect("ways > 0"),
+        };
+        let victim = self.lines[base + victim_way];
+        let evicted = victim.valid.then(|| self.line_base(set, victim.tag));
+        self.tick += 1;
+        self.lines[base + victim_way] = LineState { valid: true, tag, stamp: self.tick };
+        evicted
+    }
+
+    fn line_base(&self, set: usize, tag: u64) -> u64 {
+        (tag << (self.set_shift + self.set_mask.count_ones()))
+            | ((set as u64) << self.set_shift)
+    }
+
+    /// Invalidates the line containing `addr`; returns whether it was
+    /// present (the `clflush` primitive).
+    pub fn flush_line(&mut self, addr: u64) -> bool {
+        match self.find_way(addr) {
+            Some(way) => {
+                let set = self.set_index(addr);
+                self.lines[set * self.config.ways + way].valid = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates every line.
+    pub fn flush_all(&mut self) {
+        self.lines.iter_mut().for_each(|l| l.valid = false);
+    }
+
+    /// Number of valid lines currently in the cache.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Base addresses of the valid lines in set `set`, LRU-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set_contents_lru_first(&self, set: usize) -> Vec<u64> {
+        assert!(set < self.config.sets(), "set index out of range");
+        let mut v: Vec<(u64, u64)> = self
+            .set_slice(set)
+            .iter()
+            .filter(|l| l.valid)
+            .map(|l| (l.stamp, self.line_base(set, l.tag)))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, a)| a).collect()
+    }
+
+    /// All set-aligned addresses that map to the same set as `addr`,
+    /// starting at `search_base`, useful for building eviction sets in
+    /// Prime+Probe. Returns `count` distinct line addresses.
+    pub fn conflicting_lines(&self, addr: u64, search_base: u64, count: usize) -> Vec<u64> {
+        let target_set = self.set_index(addr);
+        let mut out = Vec::with_capacity(count);
+        let mut candidate = line_addr(search_base, self.config.line_bytes);
+        while out.len() < count {
+            if self.set_index(candidate) == target_set {
+                out.push(candidate);
+            }
+            candidate += self.config.line_bytes;
+        }
+        out
+    }
+}
+
+impl fmt::Display for SetAssocCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB {}-way {}B-line cache ({} sets, {} valid lines)",
+            self.config.size_bytes / 1024,
+            self.config.ways,
+            self.config.line_bytes,
+            self.config.sets(),
+            self.occupancy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways x 64B lines = 256B.
+        SetAssocCache::new(CacheConfig::new(256, 2, 64, 1))
+    }
+
+    #[test]
+    fn config_sets() {
+        let c = CacheConfig::new(64 * 1024, 4, 64, 2);
+        assert_eq!(c.sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn config_rejects_odd_line() {
+        let _ = CacheConfig::new(256, 2, 48, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn config_rejects_partial_sets() {
+        let _ = CacheConfig::new(200, 2, 64, 1);
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000, LruUpdate::Normal));
+        assert_eq!(c.fill(0x1000), None);
+        assert!(c.access(0x1000, LruUpdate::Normal));
+        assert!(c.probe(0x103f), "same line");
+        assert!(!c.probe(0x1040), "next line, different set");
+    }
+
+    #[test]
+    fn probe_does_not_change_state() {
+        let mut c = tiny();
+        c.fill(0x0);
+        c.fill(0x80); // same set (2 sets, 64B lines -> set = bit 6)
+        let before = c.set_contents_lru_first(0);
+        assert!(c.probe(0x0));
+        assert_eq!(c.set_contents_lru_first(0), before);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines 0x0, 0x80 (both map to set 0).
+        c.fill(0x000);
+        c.fill(0x080);
+        // Touch 0x000 so 0x080 becomes LRU.
+        assert!(c.access(0x000, LruUpdate::Normal));
+        let evicted = c.fill(0x100); // set 0 again
+        assert_eq!(evicted, Some(0x080));
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+    }
+
+    #[test]
+    fn no_update_mode_preserves_lru_order() {
+        let mut c = tiny();
+        c.fill(0x000);
+        c.fill(0x080);
+        // A speculative hit with None must NOT promote 0x000.
+        assert!(c.access(0x000, LruUpdate::None));
+        let evicted = c.fill(0x100);
+        assert_eq!(evicted, Some(0x000), "0x000 stayed LRU despite the hit");
+    }
+
+    #[test]
+    fn deferred_then_touch_promotes() {
+        let mut c = tiny();
+        c.fill(0x000);
+        c.fill(0x080);
+        assert!(c.access(0x000, LruUpdate::Deferred));
+        c.touch(0x000); // commit-time application
+        let evicted = c.fill(0x100);
+        assert_eq!(evicted, Some(0x080));
+    }
+
+    #[test]
+    fn touch_on_absent_line_is_noop() {
+        let mut c = tiny();
+        c.touch(0xdead_000);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn fill_existing_promotes() {
+        let mut c = tiny();
+        c.fill(0x000);
+        c.fill(0x080);
+        assert_eq!(c.fill(0x000), None, "already present");
+        assert_eq!(c.fill(0x100), Some(0x080));
+    }
+
+    #[test]
+    fn flush_line_and_all() {
+        let mut c = tiny();
+        c.fill(0x0);
+        c.fill(0x40);
+        assert!(c.flush_line(0x20)); // within line 0x0
+        assert!(!c.flush_line(0x0)); // already gone
+        assert_eq!(c.occupancy(), 1);
+        c.flush_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_bounded_by_capacity() {
+        let mut c = tiny();
+        for i in 0..100u64 {
+            c.fill(i * 64);
+        }
+        assert_eq!(c.occupancy(), 4, "2 sets x 2 ways");
+    }
+
+    #[test]
+    fn set_contents_lru_first_ordering() {
+        let mut c = tiny();
+        c.fill(0x000);
+        c.fill(0x080);
+        c.access(0x000, LruUpdate::Normal);
+        assert_eq!(c.set_contents_lru_first(0), vec![0x080, 0x000]);
+    }
+
+    #[test]
+    fn conflicting_lines_map_to_same_set() {
+        let c = tiny();
+        let lines = c.conflicting_lines(0x1040, 0x8000, 4);
+        assert_eq!(lines.len(), 4);
+        for l in &lines {
+            assert_eq!(c.set_index(*l), c.set_index(0x1040));
+        }
+        // Distinct lines.
+        let set: std::collections::HashSet<u64> = lines.iter().copied().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn tag_set_roundtrip() {
+        let c = SetAssocCache::new(CacheConfig::new(64 * 1024, 4, 64, 2));
+        for addr in [0u64, 0x1234_5678, 0xdead_beef_000] {
+            let aligned = line_addr(addr, 64);
+            let set = c.set_index(addr);
+            let tag = c.tag(addr);
+            assert_eq!(c.line_base(set, tag), aligned);
+        }
+    }
+
+    #[test]
+    fn display_mentions_geometry() {
+        let c = tiny();
+        let s = c.to_string();
+        assert!(s.contains("2-way"));
+        assert!(s.contains("2 sets"));
+    }
+}

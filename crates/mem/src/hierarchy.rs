@@ -1,0 +1,502 @@
+//! Multi-level inclusive cache hierarchy with fixed per-level latencies.
+
+use crate::cache::{CacheConfig, LruUpdate, SetAssocCache};
+use condspec_stats::RateCounter;
+use std::fmt;
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// L1 (instruction or data, depending on the access kind).
+    L1,
+    /// Unified L2.
+    L2,
+    /// Unified L3.
+    L3,
+    /// Main memory (missed the whole hierarchy).
+    Memory,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::L1 => "L1",
+            Level::L2 => "L2",
+            Level::L3 => "L3",
+            Level::Memory => "memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of a hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Total access latency in cycles.
+    pub latency: u64,
+    /// The level that satisfied the access.
+    pub level: Level,
+}
+
+impl AccessOutcome {
+    /// Whether the access hit in L1.
+    pub fn l1_hit(&self) -> bool {
+        self.level == Level::L1
+    }
+}
+
+/// Configuration of the whole hierarchy (paper Table III by default via
+/// the presets in the `condspec` crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Optional unified L3.
+    pub l3: Option<CacheConfig>,
+    /// Main-memory access latency in cycles.
+    pub memory_latency: u64,
+    /// Enable a next-line prefetcher: every demand L1D miss also brings
+    /// the sequentially next line into L2/L3 (not L1D). Default off — the
+    /// paper's configuration has no prefetcher — and suppressed for
+    /// suspect accesses (a prefetch is a cache-content change the paper's
+    /// filters would otherwise have to police).
+    pub next_line_prefetch: bool,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table III memory system: 64 KB 4-way L1I/L1D (2-cycle),
+    /// 2 MB 16-way L2 (10-cycle), 8 MB 32-way L3 (60-cycle), 192-cycle
+    /// memory. All lines are 64 B.
+    pub fn paper_default() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::new(64 * 1024, 4, 64, 2),
+            l1d: CacheConfig::new(64 * 1024, 4, 64, 2),
+            l2: CacheConfig::new(2 * 1024 * 1024, 16, 64, 10),
+            l3: Some(CacheConfig::new(8 * 1024 * 1024, 32, 64, 60)),
+            memory_latency: 192,
+            next_line_prefetch: false,
+        }
+    }
+}
+
+/// Per-level demand-access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1D demand accesses (hit = satisfied in L1D).
+    pub l1d: RateCounter,
+    /// L2 demand accesses from the data side.
+    pub l2_data: RateCounter,
+    /// L3 demand accesses from the data side.
+    pub l3_data: RateCounter,
+    /// L1I fetch accesses.
+    pub l1i: RateCounter,
+    /// Next-line prefetches issued.
+    pub prefetches: u64,
+}
+
+/// A multi-level, inclusive cache hierarchy.
+///
+/// Timing model: each level has a fixed hit latency; a miss at level *n*
+/// adds that level's latency and continues downward, so a full miss costs
+/// `L1 + L2 + L3 + memory` cycles. Bandwidth and MSHR contention are not
+/// modelled (the defense's behaviour does not depend on them; see
+/// DESIGN.md).
+///
+/// The hierarchy is inclusive: a fill inserts the line at every level from
+/// the hit level upward, and `flush_line` removes it everywhere.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    l3: Option<SetAssocCache>,
+    memory_latency: u64,
+    next_line_prefetch: bool,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        CacheHierarchy {
+            l1i: SetAssocCache::new(config.l1i),
+            l1d: SetAssocCache::new(config.l1d),
+            l2: SetAssocCache::new(config.l2),
+            l3: config.l3.map(SetAssocCache::new),
+            memory_latency: config.memory_latency,
+            next_line_prefetch: config.next_line_prefetch,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Demand data access to physical address `paddr`.
+    ///
+    /// On a hit at any level the line is filled into the levels above
+    /// (inclusive hierarchy). `l1_update` controls L1D replacement-metadata
+    /// update on an L1D *hit* (the secure policies of §VII.A); fills and
+    /// lower levels always update normally.
+    pub fn access_data(&mut self, paddr: u64, l1_update: LruUpdate) -> AccessOutcome {
+        self.access_data_with_prefetch(paddr, l1_update, true)
+    }
+
+    /// Like [`access_data`], but with explicit control over whether this
+    /// access may trigger the next-line prefetcher (the core suppresses
+    /// prefetching for suspect speculative accesses).
+    ///
+    /// [`access_data`]: CacheHierarchy::access_data
+    pub fn access_data_with_prefetch(
+        &mut self,
+        paddr: u64,
+        l1_update: LruUpdate,
+        allow_prefetch: bool,
+    ) -> AccessOutcome {
+        let mut latency = self.l1d.config().hit_latency;
+        if self.l1d.access(paddr, l1_update) {
+            self.stats.l1d.hit();
+            return AccessOutcome { latency, level: Level::L1 };
+        }
+        self.stats.l1d.miss();
+        if self.next_line_prefetch && allow_prefetch {
+            self.prefetch_next_line(paddr);
+        }
+        latency += self.l2.config().hit_latency;
+        if self.l2.access(paddr, LruUpdate::Normal) {
+            self.stats.l2_data.hit();
+            self.l1d.fill(paddr);
+            return AccessOutcome { latency, level: Level::L2 };
+        }
+        self.stats.l2_data.miss();
+        if let Some(l3) = self.l3.as_mut() {
+            latency += l3.config().hit_latency;
+            if l3.access(paddr, LruUpdate::Normal) {
+                self.stats.l3_data.hit();
+                self.l2.fill(paddr);
+                self.l1d.fill(paddr);
+                return AccessOutcome { latency, level: Level::L3 };
+            }
+            self.stats.l3_data.miss();
+        }
+        latency += self.memory_latency;
+        if let Some(l3) = self.l3.as_mut() {
+            l3.fill(paddr);
+        }
+        self.l2.fill(paddr);
+        self.l1d.fill(paddr);
+        AccessOutcome { latency, level: Level::Memory }
+    }
+
+    /// Instruction fetch access to physical address `paddr`.
+    pub fn access_inst(&mut self, paddr: u64) -> AccessOutcome {
+        let mut latency = self.l1i.config().hit_latency;
+        if self.l1i.access(paddr, LruUpdate::Normal) {
+            self.stats.l1i.hit();
+            return AccessOutcome { latency, level: Level::L1 };
+        }
+        self.stats.l1i.miss();
+        latency += self.l2.config().hit_latency;
+        if self.l2.access(paddr, LruUpdate::Normal) {
+            self.l1i.fill(paddr);
+            return AccessOutcome { latency, level: Level::L2 };
+        }
+        if let Some(l3) = self.l3.as_mut() {
+            latency += l3.config().hit_latency;
+            if l3.access(paddr, LruUpdate::Normal) {
+                self.l2.fill(paddr);
+                self.l1i.fill(paddr);
+                return AccessOutcome { latency, level: Level::L3 };
+            }
+        }
+        latency += self.memory_latency;
+        if let Some(l3) = self.l3.as_mut() {
+            l3.fill(paddr);
+        }
+        self.l2.fill(paddr);
+        self.l1i.fill(paddr);
+        AccessOutcome { latency, level: Level::Memory }
+    }
+
+    /// Brings the line after `paddr` into L2 (and L3), modelling an
+    /// untimed background next-line prefetch.
+    fn prefetch_next_line(&mut self, paddr: u64) {
+        let line_bytes = self.l1d.config().line_bytes;
+        let Some(next) = crate::addr::line_addr(paddr, line_bytes).checked_add(line_bytes) else {
+            return;
+        };
+        if self.l2.probe(next) {
+            return; // already close enough
+        }
+        self.stats.prefetches += 1;
+        if let Some(l3) = self.l3.as_mut() {
+            l3.fill(next);
+        }
+        self.l2.fill(next);
+    }
+
+    /// Whether `paddr` would hit L1D, with **no** state change anywhere.
+    /// This is the Cache-hit filter's query.
+    pub fn probe_l1d(&self, paddr: u64) -> bool {
+        self.l1d.probe(paddr)
+    }
+
+    /// Whether `paddr` would hit L1I, with **no** state change anywhere.
+    /// This is the ICache-hit filter's query (paper §VII.B).
+    pub fn probe_l1i(&self, paddr: u64) -> bool {
+        self.l1i.probe(paddr)
+    }
+
+    /// Applies a deferred L1D replacement update for `paddr` (the *delayed
+    /// update* policy's commit-time action).
+    pub fn touch_l1d(&mut self, paddr: u64) {
+        self.l1d.touch(paddr);
+    }
+
+    /// Flushes the line containing `paddr` from every level (`clflush`).
+    /// Returns whether it was present anywhere.
+    pub fn flush_line(&mut self, paddr: u64) -> bool {
+        let mut any = self.l1i.flush_line(paddr);
+        any |= self.l1d.flush_line(paddr);
+        any |= self.l2.flush_line(paddr);
+        if let Some(l3) = self.l3.as_mut() {
+            any |= l3.flush_line(paddr);
+        }
+        any
+    }
+
+    /// Invalidates every line at every level.
+    pub fn flush_all(&mut self) {
+        self.l1i.flush_all();
+        self.l1d.flush_all();
+        self.l2.flush_all();
+        if let Some(l3) = self.l3.as_mut() {
+            l3.flush_all();
+        }
+    }
+
+    /// Read-only access to the L1 data cache (for eviction-set
+    /// construction and tests).
+    pub fn l1d(&self) -> &SetAssocCache {
+        &self.l1d
+    }
+
+    /// Read-only access to the L1 instruction cache.
+    pub fn l1i(&self) -> &SetAssocCache {
+        &self.l1i
+    }
+
+    /// Read-only access to the L2 cache.
+    pub fn l2(&self) -> &SetAssocCache {
+        &self.l2
+    }
+
+    /// Read-only access to the L3 cache, if configured.
+    pub fn l3(&self) -> Option<&SetAssocCache> {
+        self.l3.as_ref()
+    }
+
+    /// Demand-access statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+    }
+
+    /// The latency a demand access would see, without changing state: the
+    /// attacker's timing measurement primitive for probes where the access
+    /// itself should not be simulated on the pipeline.
+    pub fn peek_latency(&self, paddr: u64) -> u64 {
+        let mut latency = self.l1d.config().hit_latency;
+        if self.l1d.probe(paddr) {
+            return latency;
+        }
+        latency += self.l2.config().hit_latency;
+        if self.l2.probe(paddr) {
+            return latency;
+        }
+        if let Some(l3) = self.l3.as_ref() {
+            latency += l3.config().hit_latency;
+            if l3.probe(paddr) {
+                return latency;
+            }
+        }
+        latency + self.memory_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig {
+            l1i: CacheConfig::new(512, 2, 64, 2),
+            l1d: CacheConfig::new(512, 2, 64, 2),
+            l2: CacheConfig::new(4096, 4, 64, 10),
+            l3: Some(CacheConfig::new(16384, 8, 64, 60)),
+            memory_latency: 192,
+            next_line_prefetch: false,
+        })
+    }
+
+    #[test]
+    fn paper_default_geometry() {
+        let c = HierarchyConfig::paper_default();
+        assert_eq!(c.l1d.sets(), 256);
+        assert_eq!(c.l2.sets(), 2048);
+        assert_eq!(c.l3.unwrap().sets(), 4096);
+        assert_eq!(c.memory_latency, 192);
+    }
+
+    #[test]
+    fn full_miss_then_l1_hit() {
+        let mut h = small();
+        let first = h.access_data(0x1000, LruUpdate::Normal);
+        assert_eq!(first.level, Level::Memory);
+        assert_eq!(first.latency, 2 + 10 + 60 + 192);
+        let second = h.access_data(0x1000, LruUpdate::Normal);
+        assert_eq!(second.level, Level::L1);
+        assert_eq!(second.latency, 2);
+        assert!(second.l1_hit());
+    }
+
+    #[test]
+    fn l2_hit_refills_l1() {
+        let mut h = small();
+        h.access_data(0x1000, LruUpdate::Normal);
+        // Evict from tiny L1D (4 sets x 2 ways, 64B lines): stride 256
+        // keeps the set index constant, and two more fills evict 0x1000.
+        h.access_data(0x1000 + 256, LruUpdate::Normal);
+        h.access_data(0x1000 + 512, LruUpdate::Normal);
+        assert!(!h.probe_l1d(0x1000));
+        let res = h.access_data(0x1000, LruUpdate::Normal);
+        assert_eq!(res.level, Level::L2);
+        assert_eq!(res.latency, 12);
+        assert!(h.probe_l1d(0x1000), "refilled into L1D");
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut h = small();
+        h.access_data(0x40, LruUpdate::Normal);
+        let stats_before = *h.stats();
+        assert!(h.probe_l1d(0x40));
+        assert!(!h.probe_l1d(0x4000));
+        assert_eq!(*h.stats(), stats_before);
+    }
+
+    #[test]
+    fn flush_line_removes_everywhere() {
+        let mut h = small();
+        h.access_data(0x2000, LruUpdate::Normal);
+        assert!(h.flush_line(0x2000));
+        let res = h.access_data(0x2000, LruUpdate::Normal);
+        assert_eq!(res.level, Level::Memory, "flush removed all copies");
+    }
+
+    #[test]
+    fn inst_accesses_use_l1i_then_l2() {
+        let mut h = small();
+        let first = h.access_inst(0x8000);
+        assert_eq!(first.level, Level::Memory);
+        assert_eq!(h.access_inst(0x8000).level, Level::L1);
+        // Data access to the same line also hits (unified L2) after L1D miss.
+        let d = h.access_data(0x8000, LruUpdate::Normal);
+        assert_eq!(d.level, Level::L2);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut h = small();
+        h.access_data(0x0, LruUpdate::Normal);
+        h.access_data(0x0, LruUpdate::Normal);
+        assert_eq!(h.stats().l1d.total(), 2);
+        assert_eq!(h.stats().l1d.hits(), 1);
+        h.reset_stats();
+        assert_eq!(h.stats().l1d.total(), 0);
+    }
+
+    #[test]
+    fn peek_latency_matches_state() {
+        let mut h = small();
+        assert_eq!(h.peek_latency(0x40), 2 + 10 + 60 + 192);
+        h.access_data(0x40, LruUpdate::Normal);
+        assert_eq!(h.peek_latency(0x40), 2);
+    }
+
+    #[test]
+    fn no_l3_hierarchy() {
+        let mut h = CacheHierarchy::new(HierarchyConfig {
+            l1i: CacheConfig::new(512, 2, 64, 2),
+            l1d: CacheConfig::new(512, 2, 64, 2),
+            l2: CacheConfig::new(4096, 4, 64, 10),
+            l3: None,
+            memory_latency: 100,
+            next_line_prefetch: false,
+        });
+        let res = h.access_data(0x0, LruUpdate::Normal);
+        assert_eq!(res.latency, 2 + 10 + 100);
+        assert!(h.l3().is_none());
+    }
+
+    #[test]
+    fn next_line_prefetch_fills_l2_only() {
+        let mut config = HierarchyConfig::paper_default();
+        config.next_line_prefetch = true;
+        let mut h = CacheHierarchy::new(config);
+        h.access_data(0x1000, LruUpdate::Normal); // miss -> prefetch 0x1040
+        assert_eq!(h.stats().prefetches, 1);
+        assert!(!h.l1d().probe(0x1040), "prefetch lands in L2, not L1D");
+        assert!(h.l2().probe(0x1040));
+        // The prefetched line now costs only an L2 access.
+        let outcome = h.access_data(0x1040, LruUpdate::Normal);
+        assert_eq!(outcome.level, Level::L2);
+    }
+
+    #[test]
+    fn prefetch_suppressed_when_disallowed() {
+        let mut config = HierarchyConfig::paper_default();
+        config.next_line_prefetch = true;
+        let mut h = CacheHierarchy::new(config);
+        h.access_data_with_prefetch(0x1000, LruUpdate::Normal, false);
+        assert_eq!(h.stats().prefetches, 0);
+        assert!(!h.l2().probe(0x1040));
+    }
+
+    #[test]
+    fn prefetch_disabled_by_default() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default());
+        h.access_data(0x1000, LruUpdate::Normal);
+        assert_eq!(h.stats().prefetches, 0);
+    }
+
+    #[test]
+    fn prefetch_skips_l2_resident_lines() {
+        let mut config = HierarchyConfig::paper_default();
+        config.next_line_prefetch = true;
+        let mut h = CacheHierarchy::new(config);
+        h.access_data(0x1040, LruUpdate::Normal); // bring the next line in
+        h.flush_line(0x1000);
+        let before = h.stats().prefetches;
+        // L1D miss on 0x1000 whose next line is L2-resident (filled via
+        // the earlier demand access): no new prefetch.
+        h.access_data(0x1000, LruUpdate::Normal);
+        assert_eq!(h.stats().prefetches, before);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut h = small();
+        h.access_data(0x0, LruUpdate::Normal);
+        h.access_inst(0x100);
+        h.flush_all();
+        assert_eq!(h.l1d().occupancy(), 0);
+        assert_eq!(h.l1i().occupancy(), 0);
+        assert_eq!(h.l2().occupancy(), 0);
+    }
+}

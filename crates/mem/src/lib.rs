@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Memory-system substrate for the Conditional Speculation reproduction:
+//! set-associative caches, a multi-level hierarchy, TLB, page table and a
+//! sparse main memory.
+//!
+//! The paper's defense interacts with the memory system in three specific
+//! ways, all of which this crate supports natively:
+//!
+//! * **Probe-without-fill** ([`SetAssocCache::probe`]): the Cache-hit
+//!   filter must ask "would this load hit L1D?" without perturbing any
+//!   state, and a blocked suspect miss must leave no trace (no fill, no
+//!   MSHR, no lower-level access).
+//! * **Secure replacement update** ([`LruUpdate`]): §VII.A's *no update*
+//!   and *delayed update* policies for speculative L1D hits are expressed
+//!   as an update mode passed per access, plus [`SetAssocCache::touch`] to
+//!   apply a deferred update at commit time.
+//! * **Physical page numbers** ([`PageTable`], [`Tlb`]): TPBuf tags entries
+//!   with the PPN after translation, and shared memory (the attacker/victim
+//!   shared page of Flush+Reload) is modelled by mapping distinct virtual
+//!   pages to the same physical page.
+//!
+//! # Examples
+//!
+//! ```
+//! use condspec_mem::{CacheConfig, SetAssocCache, LruUpdate};
+//!
+//! let mut l1 = SetAssocCache::new(CacheConfig::new(64 * 1024, 4, 64, 2));
+//! assert!(!l1.access(0x1000, LruUpdate::Normal)); // cold miss
+//! l1.fill(0x1000);
+//! assert!(l1.access(0x1000, LruUpdate::Normal)); // now hits
+//! ```
+
+pub mod addr;
+pub mod cache;
+pub mod hierarchy;
+pub mod memory;
+pub mod tlb;
+
+pub use addr::{line_addr, page_number, page_offset, PAGE_BITS, PAGE_SIZE};
+pub use cache::{CacheConfig, LruUpdate, SetAssocCache};
+pub use hierarchy::{AccessOutcome, CacheHierarchy, HierarchyConfig, Level};
+pub use memory::MainMemory;
+pub use tlb::{PageTable, Tlb, TlbConfig};

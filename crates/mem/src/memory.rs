@@ -1,0 +1,141 @@
+//! Sparse physical memory holding the simulated program's data.
+
+use crate::addr::{page_number, page_offset, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Byte-addressable sparse main memory, allocated page-by-page on first
+/// touch. Unwritten bytes read as zero.
+///
+/// Addresses here are *physical*; the pipeline translates first.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_mem::MainMemory;
+///
+/// let mut m = MainMemory::new();
+/// m.write(0x1000, 0xdead_beef, 8);
+/// assert_eq!(m.read(0x1000, 8), 0xdead_beef);
+/// assert_eq!(m.read(0x1002, 2), 0xdead);
+/// assert_eq!(m.read(0x9999, 8), 0); // untouched memory is zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        MainMemory::default()
+    }
+
+    /// Reads `size` bytes (1, 2, 4 or 8) little-endian from `paddr`,
+    /// zero-extended into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn read(&self, paddr: u64, size: u64) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "invalid access size {size}");
+        let mut value: u64 = 0;
+        for i in 0..size {
+            value |= u64::from(self.read_byte(paddr + i)) << (8 * i);
+        }
+        value
+    }
+
+    /// Writes the low `size` bytes (1, 2, 4 or 8) of `value` little-endian
+    /// at `paddr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn write(&mut self, paddr: u64, value: u64, size: u64) {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "invalid access size {size}");
+        for i in 0..size {
+            self.write_byte(paddr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, paddr: u64) -> u8 {
+        match self.pages.get(&page_number(paddr)) {
+            Some(page) => page[page_offset(paddr) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, paddr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(page_number(paddr))
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        page[page_offset(paddr) as usize] = value;
+    }
+
+    /// Copies a byte slice into memory starting at `paddr` (program
+    /// loading).
+    pub fn write_bytes(&mut self, paddr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_byte(paddr + i as u64, *b);
+        }
+    }
+
+    /// Number of distinct pages that have been touched by a write.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let m = MainMemory::new();
+        assert_eq!(m.read(0, 8), 0);
+        assert_eq!(m.read_byte(u64::MAX - 8), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = MainMemory::new();
+        m.write(0x100, 0x0102_0304_0506_0708, 8);
+        assert_eq!(m.read_byte(0x100), 0x08);
+        assert_eq!(m.read_byte(0x107), 0x01);
+        assert_eq!(m.read(0x100, 4), 0x0506_0708);
+    }
+
+    #[test]
+    fn partial_width_writes() {
+        let mut m = MainMemory::new();
+        m.write(0x0, u64::MAX, 8);
+        m.write(0x2, 0, 2);
+        assert_eq!(m.read(0x0, 8), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MainMemory::new();
+        m.write(PAGE_SIZE - 4, 0x1122_3344_5566_7788, 8);
+        assert_eq!(m.read(PAGE_SIZE - 4, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn write_bytes_bulk() {
+        let mut m = MainMemory::new();
+        m.write_bytes(0x2000, &[1, 2, 3, 4]);
+        assert_eq!(m.read(0x2000, 4), 0x0403_0201);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid access size")]
+    fn bad_size_panics() {
+        let m = MainMemory::new();
+        let _ = m.read(0, 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! Virtual→physical translation: page table and TLB.
+//!
+//! The TPBuf filter keys its entries on *physical* page numbers, and the
+//! shared-memory attacks (Flush+Reload et al.) rely on two distinct virtual
+//! pages — one in the attacker, one in the victim — mapping to the same
+//! physical page. [`PageTable`] expresses both: identity mapping by
+//! default, with explicit aliases for shared regions.
+
+use crate::addr::{page_number, page_offset, PAGE_BITS};
+use condspec_stats::RateCounter;
+use std::collections::HashMap;
+
+/// A flat page table mapping virtual page numbers to physical page
+/// numbers. Unmapped pages translate identically (VPN == PPN), which keeps
+/// simple programs working without explicit setup.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_mem::PageTable;
+///
+/// let mut pt = PageTable::new();
+/// assert_eq!(pt.translate(0x5000), 0x5000); // identity by default
+/// pt.map(0x7, 0x3); // alias virtual page 7 onto physical page 3
+/// assert_eq!(pt.translate(0x7010), 0x3010);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageTable {
+    map: HashMap<u64, u64>,
+}
+
+impl PageTable {
+    /// Creates an identity-mapping page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Maps virtual page `vpn` to physical page `ppn`.
+    pub fn map(&mut self, vpn: u64, ppn: u64) {
+        self.map.insert(vpn, ppn);
+    }
+
+    /// Maps the virtual page range containing `[vaddr, vaddr + len)` onto
+    /// the physical pages starting at the page of `paddr`. Used to model
+    /// shared memory: two calls with different `vaddr` but the same
+    /// `paddr` create an alias.
+    pub fn map_range(&mut self, vaddr: u64, paddr: u64, len: u64) {
+        let first_vpn = page_number(vaddr);
+        let last_vpn = page_number(vaddr + len.saturating_sub(1));
+        let first_ppn = page_number(paddr);
+        for i in 0..=(last_vpn - first_vpn) {
+            self.map(first_vpn + i, first_ppn + i);
+        }
+    }
+
+    /// The physical page number for `vpn`.
+    pub fn translate_page(&self, vpn: u64) -> u64 {
+        self.map.get(&vpn).copied().unwrap_or(vpn)
+    }
+
+    /// Translates a full virtual address to a physical address.
+    pub fn translate(&self, vaddr: u64) -> u64 {
+        (self.translate_page(page_number(vaddr)) << PAGE_BITS) | page_offset(vaddr)
+    }
+
+    /// Number of explicit (non-identity) mappings.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// TLB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative, true LRU).
+    pub entries: usize,
+    /// Hit latency in cycles (usually folded into the cache hit latency;
+    /// kept separate so a TLB miss can be costed).
+    pub hit_latency: u64,
+    /// Page-walk penalty on a miss, in cycles.
+    pub miss_latency: u64,
+}
+
+impl TlbConfig {
+    /// The paper's Table III TLB: 64 entries. Hit costs nothing extra
+    /// (overlapped with L1 access); a walk costs 20 cycles.
+    pub fn paper_default() -> Self {
+        TlbConfig { entries: 64, hit_latency: 0, miss_latency: 20 }
+    }
+}
+
+/// A fully associative, LRU translation lookaside buffer caching
+/// [`PageTable`] translations.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_mem::{Tlb, TlbConfig, PageTable};
+///
+/// let pt = PageTable::new();
+/// let mut tlb = Tlb::new(TlbConfig { entries: 2, hit_latency: 0, miss_latency: 20 });
+/// let (paddr, lat) = tlb.translate(0x1234, &pt);
+/// assert_eq!(paddr, 0x1234);
+/// assert_eq!(lat, 20); // cold miss pays the walk
+/// let (_, lat) = tlb.translate(0x1ff8, &pt);
+/// assert_eq!(lat, 0); // same page now cached
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// (vpn, ppn, last-use tick), linear search — TLBs are tiny.
+    entries: Vec<(u64, u64, u64)>,
+    tick: u64,
+    stats: RateCounter,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.entries` is zero.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.entries > 0, "TLB must have at least one entry");
+        Tlb { config, entries: Vec::new(), tick: 0, stats: RateCounter::new() }
+    }
+
+    /// Translates `vaddr`, returning `(paddr, extra_latency)`.
+    pub fn translate(&mut self, vaddr: u64, table: &PageTable) -> (u64, u64) {
+        let vpn = page_number(vaddr);
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == vpn) {
+            e.2 = self.tick;
+            self.stats.hit();
+            let paddr = (e.1 << PAGE_BITS) | page_offset(vaddr);
+            return (paddr, self.config.hit_latency);
+        }
+        self.stats.miss();
+        let ppn = table.translate_page(vpn);
+        if self.entries.len() == self.config.entries {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((vpn, ppn, self.tick));
+        ((ppn << PAGE_BITS) | page_offset(vaddr), self.config.miss_latency)
+    }
+
+    /// Removes every cached translation (e.g. on context switch).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> RateCounter {
+        self.stats
+    }
+
+    /// Resets statistics without flushing entries.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Current number of cached translations.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_default() {
+        let pt = PageTable::new();
+        assert_eq!(pt.translate(0xabcd_e123), 0xabcd_e123);
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn explicit_mapping_and_alias() {
+        let mut pt = PageTable::new();
+        pt.map(0x10, 0x99);
+        pt.map(0x11, 0x99); // alias: two VPNs -> one PPN (shared page)
+        assert_eq!(pt.translate(0x10_008), 0x99_008);
+        assert_eq!(pt.translate(0x11_008), 0x99_008);
+    }
+
+    #[test]
+    fn map_range_spans_pages() {
+        let mut pt = PageTable::new();
+        pt.map_range(0x10_000, 0x80_000, 0x2001); // 3 pages
+        assert_eq!(pt.translate(0x10_000), 0x80_000);
+        assert_eq!(pt.translate(0x11_000), 0x81_000);
+        assert_eq!(pt.translate(0x12_000), 0x82_000);
+        assert_eq!(pt.translate(0x13_000), 0x13_000, "beyond the range");
+    }
+
+    #[test]
+    fn tlb_miss_then_hit() {
+        let pt = PageTable::new();
+        let mut tlb = Tlb::new(TlbConfig::paper_default());
+        let (p1, l1) = tlb.translate(0x4000, &pt);
+        assert_eq!((p1, l1), (0x4000, 20));
+        let (p2, l2) = tlb.translate(0x4abc, &pt);
+        assert_eq!((p2, l2), (0x4abc, 0));
+        assert_eq!(tlb.stats().hits(), 1);
+        assert_eq!(tlb.stats().misses(), 1);
+    }
+
+    #[test]
+    fn tlb_lru_eviction() {
+        let pt = PageTable::new();
+        let mut tlb = Tlb::new(TlbConfig { entries: 2, hit_latency: 0, miss_latency: 20 });
+        tlb.translate(0x1000, &pt); // A
+        tlb.translate(0x2000, &pt); // B
+        tlb.translate(0x1000, &pt); // touch A; B is now LRU
+        tlb.translate(0x3000, &pt); // evicts B
+        assert_eq!(tlb.occupancy(), 2);
+        let (_, lat) = tlb.translate(0x2000, &pt);
+        assert_eq!(lat, 20, "B was evicted");
+        let (_, lat) = tlb.translate(0x1000, &pt);
+        assert_eq!(lat, 20, "A was evicted by B's refill");
+    }
+
+    #[test]
+    fn tlb_uses_page_table_mapping() {
+        let mut pt = PageTable::new();
+        pt.map(0x7, 0x3);
+        let mut tlb = Tlb::new(TlbConfig::paper_default());
+        let (p, _) = tlb.translate(0x7040, &pt);
+        assert_eq!(p, 0x3040);
+    }
+
+    #[test]
+    fn tlb_flush() {
+        let pt = PageTable::new();
+        let mut tlb = Tlb::new(TlbConfig::paper_default());
+        tlb.translate(0x1000, &pt);
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+        let (_, lat) = tlb.translate(0x1000, &pt);
+        assert_eq!(lat, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entry_tlb_panics() {
+        let _ = Tlb::new(TlbConfig { entries: 0, hit_latency: 0, miss_latency: 0 });
+    }
+}

@@ -1,0 +1,232 @@
+//! Property tests for the memory subsystem: cache content/LRU invariants
+//! against a reference model, hierarchy consistency, TLB/page-table
+//! agreement, and main-memory read/write laws.
+
+use condspec_mem::{
+    line_addr, page_number, CacheConfig, CacheHierarchy, HierarchyConfig, LruUpdate,
+    MainMemory, PageTable, SetAssocCache, Tlb, TlbConfig,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A trace operation against the cache.
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64, LruUpdate),
+    Fill(u64),
+    Flush(u64),
+    Touch(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let addr = (0u64..64).prop_map(|line| line * 64);
+    let update = prop_oneof![
+        Just(LruUpdate::Normal),
+        Just(LruUpdate::None),
+        Just(LruUpdate::Deferred),
+    ];
+    prop_oneof![
+        (addr.clone(), update).prop_map(|(a, u)| Op::Access(a, u)),
+        addr.clone().prop_map(Op::Fill),
+        addr.clone().prop_map(Op::Flush),
+        addr.prop_map(Op::Touch),
+    ]
+}
+
+/// A straightforward reference model: per set, a vector of (line, stamp).
+#[derive(Default)]
+struct ModelCache {
+    sets: HashMap<usize, Vec<(u64, u64)>>,
+    tick: u64,
+    ways: usize,
+}
+
+impl ModelCache {
+    fn new(ways: usize) -> Self {
+        ModelCache { sets: HashMap::new(), tick: 0, ways }
+    }
+    fn set_of(addr: u64) -> usize {
+        // 2 sets x 64B lines in the tested geometry (256B, 2-way).
+        ((addr >> 6) & 1) as usize
+    }
+    fn contains(&self, addr: u64) -> bool {
+        let line = line_addr(addr, 64);
+        self.sets
+            .get(&Self::set_of(addr))
+            .is_some_and(|s| s.iter().any(|(l, _)| *l == line))
+    }
+    fn promote(&mut self, addr: u64) {
+        let line = line_addr(addr, 64);
+        self.tick += 1;
+        if let Some(set) = self.sets.get_mut(&Self::set_of(addr)) {
+            if let Some(e) = set.iter_mut().find(|(l, _)| *l == line) {
+                e.1 = self.tick;
+            }
+        }
+    }
+    fn fill(&mut self, addr: u64) {
+        let line = line_addr(addr, 64);
+        if self.contains(addr) {
+            self.promote(addr);
+            return;
+        }
+        self.tick += 1;
+        let ways = self.ways;
+        let set = self.sets.entry(Self::set_of(addr)).or_default();
+        if set.len() == ways {
+            let (idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .expect("nonempty");
+            set.remove(idx);
+        }
+        let tick = self.tick;
+        set.push((line, tick));
+    }
+    fn flush(&mut self, addr: u64) {
+        let line = line_addr(addr, 64);
+        if let Some(set) = self.sets.get_mut(&Self::set_of(addr)) {
+            set.retain(|(l, _)| *l != line);
+        }
+    }
+}
+
+proptest! {
+    /// The real cache and the reference model agree on contents after any
+    /// operation sequence (including the secure-update modes, which must
+    /// not change *contents*, only recency).
+    #[test]
+    fn cache_contents_match_reference_model(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut cache = SetAssocCache::new(CacheConfig::new(256, 2, 64, 1));
+        let mut model = ModelCache::new(2);
+        for op in &ops {
+            match *op {
+                Op::Access(a, u) => {
+                    let hit = cache.access(a, u);
+                    prop_assert_eq!(hit, model.contains(a));
+                    if hit && u == LruUpdate::Normal {
+                        model.promote(a);
+                    }
+                }
+                Op::Fill(a) => {
+                    cache.fill(a);
+                    model.fill(a);
+                }
+                Op::Flush(a) => {
+                    cache.flush_line(a);
+                    model.flush(a);
+                }
+                Op::Touch(a) => {
+                    cache.touch(a);
+                    if model.contains(a) {
+                        model.promote(a);
+                    }
+                }
+            }
+            // Contents agree at every step.
+            for line in 0..64u64 {
+                let addr = line * 64;
+                prop_assert_eq!(cache.probe(addr), model.contains(addr), "line {:#x}", addr);
+            }
+            prop_assert!(cache.occupancy() <= 4, "2 sets x 2 ways");
+        }
+    }
+
+    /// probe() never changes any observable state.
+    #[test]
+    fn probe_is_pure(fills in proptest::collection::vec(0u64..64, 0..20), probes in proptest::collection::vec(0u64..64, 0..50)) {
+        let mut cache = SetAssocCache::new(CacheConfig::new(256, 2, 64, 1));
+        for f in &fills {
+            cache.fill(f * 64);
+        }
+        let before: Vec<Vec<u64>> = (0..2).map(|s| cache.set_contents_lru_first(s)).collect();
+        for p in &probes {
+            let _ = cache.probe(p * 64);
+        }
+        let after: Vec<Vec<u64>> = (0..2).map(|s| cache.set_contents_lru_first(s)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Inclusive hierarchy: after any data-access sequence, every L1D
+    /// line is present in L2 (and L3 where configured).
+    #[test]
+    fn hierarchy_stays_inclusive(addrs in proptest::collection::vec(0u64..4096, 1..100)) {
+        let mut h = CacheHierarchy::new(HierarchyConfig {
+            l1i: CacheConfig::new(512, 2, 64, 2),
+            l1d: CacheConfig::new(512, 2, 64, 2),
+            l2: CacheConfig::new(8192, 4, 64, 10),
+            l3: Some(CacheConfig::new(32768, 8, 64, 30)),
+            memory_latency: 100,
+            next_line_prefetch: false,
+        });
+        for a in &addrs {
+            h.access_data(a * 64, LruUpdate::Normal);
+        }
+        // Note: L2 is much larger than L1D here, so no L1-resident line
+        // can have been evicted from L2 by this short trace.
+        for a in &addrs {
+            let line = a * 64;
+            if h.l1d().probe(line) {
+                prop_assert!(h.l2().probe(line), "L1D line {:#x} missing from L2", line);
+            }
+        }
+    }
+
+    /// flush_line removes the line everywhere; the next access misses to
+    /// memory.
+    #[test]
+    fn flush_makes_next_access_a_full_miss(a in 0u64..10_000) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default());
+        let addr = a * 64;
+        h.access_data(addr, LruUpdate::Normal);
+        h.flush_line(addr);
+        let outcome = h.access_data(addr, LruUpdate::Normal);
+        prop_assert_eq!(outcome.level, condspec_mem::Level::Memory);
+    }
+
+    /// The TLB is a pure cache of the page table: translations always
+    /// agree, whatever the access pattern.
+    #[test]
+    fn tlb_agrees_with_page_table(
+        mappings in proptest::collection::vec((0u64..64, 0u64..64), 0..16),
+        lookups in proptest::collection::vec(0u64..(64 * 4096), 1..200),
+    ) {
+        let mut pt = PageTable::new();
+        for (vpn, ppn) in &mappings {
+            pt.map(*vpn, *ppn);
+        }
+        let mut tlb = Tlb::new(TlbConfig { entries: 4, hit_latency: 0, miss_latency: 20 });
+        for vaddr in &lookups {
+            let (paddr, _) = tlb.translate(*vaddr, &pt);
+            prop_assert_eq!(paddr, pt.translate(*vaddr));
+            prop_assert!(tlb.occupancy() <= 4);
+        }
+    }
+
+    /// Memory reads return exactly what was last written per byte.
+    #[test]
+    fn memory_write_read_laws(
+        writes in proptest::collection::vec((0u64..1024, any::<u64>(), prop_oneof![Just(1u64), Just(2), Just(4), Just(8)]), 1..64),
+    ) {
+        let mut mem = MainMemory::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (addr, value, size) in &writes {
+            mem.write(*addr, *value, *size);
+            for i in 0..*size {
+                model.insert(addr + i, (value >> (8 * i)) as u8);
+            }
+        }
+        for b in 0..1100u64 {
+            prop_assert_eq!(mem.read_byte(b), model.get(&b).copied().unwrap_or(0));
+        }
+    }
+
+    /// Page-number arithmetic is consistent with the 4 KiB page size.
+    #[test]
+    fn page_number_consistency(addr in any::<u64>()) {
+        let pn = page_number(addr);
+        prop_assert!(addr >= pn * 4096 || pn == u64::MAX >> 12);
+        prop_assert_eq!(page_number(addr & !0xfff), pn);
+    }
+}

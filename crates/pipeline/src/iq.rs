@@ -1,0 +1,211 @@
+//! Issue queue with stable slot indices.
+//!
+//! Slots are stable for the lifetime of an entry because the security
+//! dependence matrix (in the `condspec` crate) is indexed by IQ position,
+//! exactly like the paper's Figure 2.
+
+use crate::policy::{InstClass, IqEntryView};
+use crate::regfile::PhysReg;
+
+/// One issue-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IqEntry {
+    /// Global sequence number.
+    pub seq: u64,
+    /// Classification for the security matrix.
+    pub class: InstClass,
+    /// Source physical registers that must be ready before issue.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Whether the entry has issued (and not been bounced back).
+    pub issued: bool,
+    /// Whether a hazard filter blocked the entry; it re-issues only once
+    /// its security dependences clear.
+    pub blocked: bool,
+    /// Whether this is a memory instruction (consumes a cache port).
+    pub is_mem: bool,
+    /// Whether this is a fence.
+    pub is_fence: bool,
+}
+
+/// A fixed-capacity issue queue with stable slots and a free list.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_pipeline::iq::{IssueQueue, IqEntry};
+/// use condspec_pipeline::policy::InstClass;
+///
+/// let mut iq = IssueQueue::new(4);
+/// let entry = IqEntry {
+///     seq: 0, class: InstClass::Other, srcs: [None, None],
+///     issued: false, blocked: false, is_mem: false, is_fence: false,
+/// };
+/// let slot = iq.allocate(entry).unwrap();
+/// assert_eq!(iq.get(slot).unwrap().seq, 0);
+/// iq.free_slot(slot);
+/// assert!(iq.get(slot).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    slots: Vec<Option<IqEntry>>,
+    free: Vec<usize>,
+}
+
+impl IssueQueue {
+    /// Creates an empty issue queue with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "IQ capacity must be nonzero");
+        IssueQueue {
+            slots: vec![None; capacity],
+            free: (0..capacity).rev().collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether no slot is free.
+    pub fn is_full(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Inserts an entry, returning its slot, or `None` when full.
+    pub fn allocate(&mut self, entry: IqEntry) -> Option<usize> {
+        let slot = self.free.pop()?;
+        debug_assert!(self.slots[slot].is_none());
+        self.slots[slot] = Some(entry);
+        Some(slot)
+    }
+
+    /// Releases a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already free.
+    pub fn free_slot(&mut self, slot: usize) {
+        assert!(self.slots[slot].is_some(), "freeing an already-free IQ slot {slot}");
+        self.slots[slot] = None;
+        self.free.push(slot);
+    }
+
+    /// The entry in `slot`, if occupied.
+    pub fn get(&self, slot: usize) -> Option<&IqEntry> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the entry in `slot`.
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut IqEntry> {
+        self.slots.get_mut(slot).and_then(|s| s.as_mut())
+    }
+
+    /// Iterates over `(slot, entry)` for occupied slots.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &IqEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+    }
+
+    /// Views of every occupied slot, for the security matrix's
+    /// initialization formula.
+    pub fn views(&self) -> Vec<IqEntryView> {
+        self.iter()
+            .map(|(slot, e)| IqEntryView { slot, seq: e.seq, class: e.class, issued: e.issued })
+            .collect()
+    }
+
+    /// Removes all entries with `seq > target`, returning their slots.
+    pub fn squash_after(&mut self, target: u64) -> Vec<usize> {
+        let mut removed = Vec::new();
+        for slot in 0..self.slots.len() {
+            if matches!(&self.slots[slot], Some(e) if e.seq > target) {
+                self.free_slot(slot);
+                removed.push(slot);
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64) -> IqEntry {
+        IqEntry {
+            seq,
+            class: InstClass::Other,
+            srcs: [None, None],
+            issued: false,
+            blocked: false,
+            is_mem: false,
+            is_fence: false,
+        }
+    }
+
+    #[test]
+    fn allocate_until_full() {
+        let mut iq = IssueQueue::new(2);
+        assert!(iq.allocate(entry(0)).is_some());
+        assert!(iq.allocate(entry(1)).is_some());
+        assert!(iq.is_full());
+        assert!(iq.allocate(entry(2)).is_none());
+        assert_eq!(iq.occupancy(), 2);
+    }
+
+    #[test]
+    fn slots_are_stable_and_reusable() {
+        let mut iq = IssueQueue::new(4);
+        let s0 = iq.allocate(entry(0)).unwrap();
+        let s1 = iq.allocate(entry(1)).unwrap();
+        assert_ne!(s0, s1);
+        iq.free_slot(s0);
+        assert_eq!(iq.get(s1).unwrap().seq, 1, "other slots untouched");
+        let s2 = iq.allocate(entry(2)).unwrap();
+        assert_eq!(s2, s0, "freed slot is reused");
+    }
+
+    #[test]
+    fn views_reflect_state() {
+        let mut iq = IssueQueue::new(4);
+        let s0 = iq.allocate(entry(7)).unwrap();
+        iq.get_mut(s0).unwrap().issued = true;
+        let views = iq.views();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].seq, 7);
+        assert!(views[0].issued);
+        assert_eq!(views[0].slot, s0);
+    }
+
+    #[test]
+    fn squash_removes_younger_only() {
+        let mut iq = IssueQueue::new(4);
+        iq.allocate(entry(1)).unwrap();
+        iq.allocate(entry(5)).unwrap();
+        iq.allocate(entry(9)).unwrap();
+        let removed = iq.squash_after(5);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(iq.occupancy(), 2);
+        assert!(iq.iter().all(|(_, e)| e.seq <= 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-free")]
+    fn double_free_panics() {
+        let mut iq = IssueQueue::new(2);
+        let s = iq.allocate(entry(0)).unwrap();
+        iq.free_slot(s);
+        iq.free_slot(s);
+    }
+}

@@ -1,0 +1,396 @@
+//! Load and store queues: store-to-load forwarding, speculative store
+//! bypass and memory-ordering-violation detection.
+//!
+//! The store queue holds speculative store data until commit; loads
+//! compose their value from committed memory overlaid with older in-flight
+//! store bytes. A load may *bypass* older stores whose addresses are still
+//! unknown (the speculation Spectre V4 exploits); when such a store later
+//! resolves to an overlapping address, the violation is detected and the
+//! core squashes from the offending load.
+
+use std::collections::VecDeque;
+
+/// An in-flight load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadEntry {
+    /// Global sequence number.
+    pub seq: u64,
+    /// Resolved virtual address (at execute).
+    pub addr: Option<u64>,
+    /// Access size in bytes.
+    pub size: u64,
+    /// Whether the load has obtained its value.
+    pub executed: bool,
+    /// Whether it executed while an older store's address was unknown.
+    pub bypassed_unknown_store: bool,
+}
+
+/// An in-flight store. Address and data resolve independently, as in a
+/// real LSQ: the store issues and resolves its address once the base
+/// register is ready; the data may arrive later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// Global sequence number.
+    pub seq: u64,
+    /// Resolved virtual address.
+    pub addr: Option<u64>,
+    /// Access size in bytes.
+    pub size: u64,
+    /// Store data, once available for forwarding.
+    pub data: Option<u64>,
+}
+
+fn ranges_overlap(a: u64, a_len: u64, b: u64, b_len: u64) -> bool {
+    a < b + b_len && b < a + a_len
+}
+
+/// Combined load/store queues.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_pipeline::lsq::Lsq;
+///
+/// let mut lsq = Lsq::new(4, 4);
+/// lsq.allocate_store(1, 8).unwrap();
+/// lsq.allocate_load(2, 8).unwrap();
+/// lsq.resolve_store_addr(1, 0x100);
+/// lsq.resolve_store_data(1, 0xabcd);
+/// // The load reads 0x100: memory said 0, the store forwards 0xabcd.
+/// assert_eq!(lsq.overlay(2, 0x100, 8, 0), 0xabcd);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    loads: VecDeque<LoadEntry>,
+    stores: VecDeque<StoreEntry>,
+    load_capacity: usize,
+    store_capacity: usize,
+}
+
+impl Lsq {
+    /// Creates empty queues with the given capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(load_capacity: usize, store_capacity: usize) -> Self {
+        assert!(load_capacity > 0 && store_capacity > 0, "LSQ capacities must be nonzero");
+        Lsq {
+            loads: VecDeque::with_capacity(load_capacity),
+            stores: VecDeque::with_capacity(store_capacity),
+            load_capacity,
+            store_capacity,
+        }
+    }
+
+    /// Whether a load can be dispatched.
+    pub fn load_has_space(&self) -> bool {
+        self.loads.len() < self.load_capacity
+    }
+
+    /// Whether a store can be dispatched.
+    pub fn store_has_space(&self) -> bool {
+        self.stores.len() < self.store_capacity
+    }
+
+    /// Allocates a load entry at dispatch (program order).
+    ///
+    /// Returns `None` when the load queue is full.
+    pub fn allocate_load(&mut self, seq: u64, size: u64) -> Option<()> {
+        if !self.load_has_space() {
+            return None;
+        }
+        debug_assert!(self.loads.back().is_none_or(|l| l.seq < seq));
+        self.loads.push_back(LoadEntry {
+            seq,
+            addr: None,
+            size,
+            executed: false,
+            bypassed_unknown_store: false,
+        });
+        Some(())
+    }
+
+    /// Allocates a store entry at dispatch (program order).
+    ///
+    /// Returns `None` when the store queue is full.
+    pub fn allocate_store(&mut self, seq: u64, size: u64) -> Option<()> {
+        if !self.store_has_space() {
+            return None;
+        }
+        debug_assert!(self.stores.back().is_none_or(|s| s.seq < seq));
+        self.stores.push_back(StoreEntry { seq, addr: None, size, data: None });
+        Some(())
+    }
+
+    /// Records a store's resolved address (store execute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is not in the queue.
+    pub fn resolve_store_addr(&mut self, seq: u64, addr: u64) {
+        let entry = self
+            .stores
+            .iter_mut()
+            .find(|s| s.seq == seq)
+            .expect("resolving a store that is not in the STQ");
+        entry.addr = Some(addr);
+    }
+
+    /// Records a store's data once its source register is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is not in the queue.
+    pub fn resolve_store_data(&mut self, seq: u64, data: u64) {
+        let entry = self
+            .stores
+            .iter_mut()
+            .find(|s| s.seq == seq)
+            .expect("resolving data for a store that is not in the STQ");
+        entry.data = Some(data);
+    }
+
+    /// Records a load's resolved address and execution status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the load is not in the queue.
+    pub fn resolve_load(&mut self, seq: u64, addr: u64, bypassed: bool) {
+        let entry = self
+            .loads
+            .iter_mut()
+            .find(|l| l.seq == seq)
+            .expect("resolving a load that is not in the LDQ");
+        entry.addr = Some(addr);
+        entry.executed = true;
+        entry.bypassed_unknown_store = bypassed;
+    }
+
+    /// Whether any store older than `seq` has an unresolved address.
+    pub fn older_store_unknown(&self, seq: u64) -> bool {
+        self.stores.iter().any(|s| s.seq < seq && s.addr.is_none())
+    }
+
+    /// Whether any older store has a resolved address overlapping the
+    /// load but data that is not yet available (the load must wait — it
+    /// can neither forward nor safely read memory).
+    pub fn older_store_data_unknown(&self, seq: u64, addr: u64, size: u64) -> bool {
+        self.stores.iter().any(|s| {
+            s.seq < seq
+                && s.data.is_none()
+                && matches!(s.addr, Some(sa) if ranges_overlap(addr, size, sa, s.size))
+        })
+    }
+
+    /// Composes a load value: starts from `memory_value` (the bytes
+    /// currently in committed memory at `addr`) and overlays bytes written
+    /// by older in-flight stores, oldest first, so the youngest matching
+    /// store wins per byte.
+    ///
+    /// Callers must have checked [`older_store_data_unknown`] first;
+    /// overlapping stores without data are skipped here.
+    ///
+    /// [`older_store_data_unknown`]: Lsq::older_store_data_unknown
+    pub fn overlay(&self, seq: u64, addr: u64, size: u64, memory_value: u64) -> u64 {
+        let mut bytes = memory_value.to_le_bytes();
+        for store in self.stores.iter().filter(|s| s.seq < seq) {
+            let Some(saddr) = store.addr else { continue };
+            let Some(data) = store.data else { continue };
+            if !ranges_overlap(addr, size, saddr, store.size) {
+                continue;
+            }
+            let sdata = data.to_le_bytes();
+            for i in 0..store.size {
+                let byte_addr = saddr + i;
+                if byte_addr >= addr && byte_addr < addr + size {
+                    bytes[(byte_addr - addr) as usize] = sdata[i as usize];
+                }
+            }
+        }
+        let mut value = u64::from_le_bytes(bytes);
+        if size < 8 {
+            value &= (1u64 << (8 * size)) - 1;
+        }
+        value
+    }
+
+    /// Checks whether resolving a store at `addr` exposes a memory-order
+    /// violation: a *younger* load that already executed with an
+    /// overlapping address. Returns the oldest such load's sequence
+    /// number (the squash point).
+    pub fn violation_on_store(&self, store_seq: u64, addr: u64, size: u64) -> Option<u64> {
+        self.loads
+            .iter()
+            .filter(|l| l.seq > store_seq && l.executed)
+            .filter(|l| {
+                l.addr
+                    .map(|la| ranges_overlap(la, l.size, addr, size))
+                    .unwrap_or(false)
+            })
+            .map(|l| l.seq)
+            .min()
+    }
+
+    /// Removes the oldest load if it has sequence number `seq` (commit).
+    pub fn release_load(&mut self, seq: u64) {
+        if matches!(self.loads.front(), Some(l) if l.seq == seq) {
+            self.loads.pop_front();
+        }
+    }
+
+    /// Removes the oldest store if it has sequence number `seq` (commit).
+    pub fn release_store(&mut self, seq: u64) {
+        if matches!(self.stores.front(), Some(s) if s.seq == seq) {
+            self.stores.pop_front();
+        }
+    }
+
+    /// Removes all entries younger than `target` (squash). Returns the
+    /// removed sequence numbers (for TPBuf release notifications).
+    pub fn squash_after(&mut self, target: u64) -> Vec<u64> {
+        let mut removed = Vec::new();
+        while matches!(self.loads.back(), Some(l) if l.seq > target) {
+            removed.push(self.loads.pop_back().expect("checked").seq);
+        }
+        while matches!(self.stores.back(), Some(s) if s.seq > target) {
+            removed.push(self.stores.pop_back().expect("checked").seq);
+        }
+        removed
+    }
+
+    /// Number of in-flight loads.
+    pub fn load_count(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of in-flight stores.
+    pub fn store_count(&self) -> usize {
+        self.stores.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_helper() {
+        assert!(ranges_overlap(0, 8, 4, 8));
+        assert!(ranges_overlap(4, 8, 0, 8));
+        assert!(!ranges_overlap(0, 4, 4, 4));
+        assert!(ranges_overlap(0, 1, 0, 1));
+        assert!(!ranges_overlap(0, 1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_limits() {
+        let mut lsq = Lsq::new(1, 1);
+        assert!(lsq.allocate_load(1, 8).is_some());
+        assert!(lsq.allocate_load(2, 8).is_none());
+        assert!(lsq.allocate_store(3, 8).is_some());
+        assert!(lsq.allocate_store(4, 8).is_none());
+    }
+
+    #[test]
+    fn forwarding_full_overlap() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.allocate_store(1, 8);
+        lsq.resolve_store_addr(1, 0x100);
+        lsq.resolve_store_data(1, 0x1122_3344_5566_7788);
+        assert_eq!(lsq.overlay(2, 0x100, 8, 0), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn forwarding_partial_overlap_merges_with_memory() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.allocate_store(1, 1);
+        lsq.resolve_store_addr(1, 0x102);
+        lsq.resolve_store_data(1, 0xaa);
+        let v = lsq.overlay(2, 0x100, 4, 0x4433_2211);
+        assert_eq!(v, 0x44aa_2211);
+    }
+
+    #[test]
+    fn youngest_store_wins() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.allocate_store(1, 8);
+        lsq.allocate_store(2, 8);
+        lsq.resolve_store_addr(1, 0x100);
+        lsq.resolve_store_data(1, 0x1111);
+        lsq.resolve_store_addr(2, 0x100);
+        lsq.resolve_store_data(2, 0x2222);
+        assert_eq!(lsq.overlay(3, 0x100, 8, 0), 0x2222);
+    }
+
+    #[test]
+    fn younger_stores_do_not_forward() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.allocate_store(5, 8);
+        lsq.resolve_store_addr(5, 0x100);
+        lsq.resolve_store_data(5, 0xbad);
+        assert_eq!(lsq.overlay(3, 0x100, 8, 0x900d), 0x900d);
+    }
+
+    #[test]
+    fn narrow_load_masks() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.allocate_store(1, 8);
+        lsq.resolve_store_addr(1, 0x100);
+        lsq.resolve_store_data(1, 0x1122_3344_5566_7788);
+        assert_eq!(lsq.overlay(2, 0x100, 1, 0), 0x88);
+        assert_eq!(lsq.overlay(2, 0x101, 2, 0), 0x6677);
+    }
+
+    #[test]
+    fn unknown_store_address_detection() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.allocate_store(1, 8);
+        lsq.allocate_load(2, 8);
+        assert!(lsq.older_store_unknown(2));
+        lsq.resolve_store_addr(1, 0x100);
+        lsq.resolve_store_data(1, 0);
+        assert!(!lsq.older_store_unknown(2));
+        assert!(!lsq.older_store_unknown(1), "only strictly older stores count");
+    }
+
+    #[test]
+    fn violation_detected_on_overlapping_young_load() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.allocate_store(1, 8);
+        lsq.allocate_load(2, 8);
+        lsq.allocate_load(3, 8);
+        lsq.resolve_load(2, 0x100, true);
+        lsq.resolve_load(3, 0x104, true);
+        // Store resolves overlapping both loads; squash from the older.
+        assert_eq!(lsq.violation_on_store(1, 0x100, 8), Some(2));
+        // Non-overlapping store: no violation.
+        assert_eq!(lsq.violation_on_store(1, 0x200, 8), None);
+    }
+
+    #[test]
+    fn no_violation_for_unexecuted_or_older_loads() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.allocate_load(1, 8);
+        lsq.allocate_store(2, 8);
+        lsq.allocate_load(3, 8);
+        lsq.resolve_load(1, 0x100, false);
+        // Load 3 has not executed.
+        assert_eq!(lsq.violation_on_store(2, 0x100, 8), None);
+    }
+
+    #[test]
+    fn release_and_squash() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.allocate_load(1, 8);
+        lsq.allocate_store(2, 8);
+        lsq.allocate_load(3, 8);
+        let removed = lsq.squash_after(1);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(lsq.load_count(), 1);
+        assert_eq!(lsq.store_count(), 0);
+        lsq.release_load(1);
+        assert_eq!(lsq.load_count(), 0);
+        lsq.release_load(99); // not the head: no-op
+    }
+}

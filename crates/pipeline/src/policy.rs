@@ -1,0 +1,260 @@
+//! The [`SecurityPolicy`] extension point.
+//!
+//! The paper's Conditional Speculation mechanism lives in three places of
+//! the core: the Issue Queue (security dependence matrix + suspect flags),
+//! the L1D interface (Cache-hit filter) and the LSQ (TPBuf). This trait is
+//! the seam between the generic out-of-order machinery in this crate and
+//! the defense implemented in the `condspec` crate; the no-op
+//! [`NullPolicy`] is the unprotected *Origin* processor.
+//!
+//! Call protocol (enforced by the core, relied on by implementations):
+//!
+//! 1. `on_dispatch` when an instruction enters IQ slot `s`, with a view of
+//!    the currently valid IQ entries (the matrix-initialization operands).
+//! 2. At issue-select, `suspect_on_issue(s)` computes the suspect flag
+//!    (the row OR of the security dependence matrix).
+//! 3. `on_issue(s)` when the instruction *successfully* issues (for memory
+//!    instructions: only after [`MemDecision::Proceed`]); this clears the
+//!    matrix column, i.e. releases younger instructions' dependences on it.
+//!    A blocked memory instruction never gets `on_issue` for the blocked
+//!    attempt — its column stays set while it waits.
+//! 4. `check_mem_access` for every load about to access the memory
+//!    hierarchy, after address translation and a side-effect-free L1D
+//!    probe.
+//! 5. `has_pending_dependence(s)` is polled for blocked instructions to
+//!    decide when they may re-issue.
+//! 6. `on_slot_freed(s)` when the IQ slot is released (completion or
+//!    squash).
+//! 7. TPBuf events: `on_lsq_allocate`, `on_mem_address`,
+//!    `on_mem_writeback`, `on_lsq_release`, keyed by the instruction's
+//!    global sequence number (program order).
+
+use condspec_mem::LruUpdate;
+
+/// Instruction classification used by the security dependence matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Loads and stores.
+    Memory,
+    /// Control-flow instructions resolved in the back end (conditional
+    /// branches, indirect jumps, returns).
+    Branch,
+    /// Everything else.
+    Other,
+}
+
+/// A view of one valid Issue Queue entry, handed to
+/// [`SecurityPolicy::on_dispatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IqEntryView {
+    /// The entry's IQ slot (matrix index).
+    pub slot: usize,
+    /// Global sequence number (program order).
+    pub seq: u64,
+    /// Classification.
+    pub class: InstClass,
+    /// Whether the entry has already issued.
+    pub issued: bool,
+}
+
+/// Dispatch notification payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchInfo {
+    /// IQ slot allocated to the new instruction.
+    pub slot: usize,
+    /// Global sequence number.
+    pub seq: u64,
+    /// Classification of the new instruction.
+    pub class: InstClass,
+}
+
+/// A memory access about to be performed, as seen by the filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccessQuery {
+    /// Global sequence number of the load.
+    pub seq: u64,
+    /// IQ slot of the load.
+    pub slot: usize,
+    /// Whether the load carries the suspect speculation flag.
+    pub suspect: bool,
+    /// Whether the (side-effect-free) L1D probe hit.
+    pub l1_hit: bool,
+    /// Physical page number of the access (after TLB translation).
+    pub ppn: u64,
+}
+
+/// Filter verdict for a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemDecision {
+    /// Execute the access; on an L1D hit update replacement metadata per
+    /// `l1_update` (the §VII.A secure-LRU policies).
+    Proceed {
+        /// Replacement-update mode for an L1D hit.
+        l1_update: LruUpdate,
+    },
+    /// Cancel the access: no cache state may change. The instruction
+    /// returns to the Issue Queue and re-issues once its security
+    /// dependences clear.
+    Block,
+}
+
+/// Aggregate statistics a policy reports to the experiment harnesses
+/// (Table V's filter-analysis columns are derived from these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Suspect speculation flags handed out at issue select.
+    pub suspect_flags: u64,
+    /// Suspect L1D misses checked against the S-Pattern (TPBuf lookups).
+    pub tpbuf_queries: u64,
+    /// TPBuf lookups that did *not* match the S-Pattern (deemed safe) —
+    /// the numerator of Table V's "S-Pattern Mismatch Rate".
+    pub tpbuf_mismatches: u64,
+    /// Block decisions returned from [`SecurityPolicy::check_mem_access`].
+    pub blocks: u64,
+}
+
+impl PolicyStats {
+    /// Fraction of TPBuf lookups that mismatched the S-Pattern.
+    pub fn s_pattern_mismatch_rate(&self) -> f64 {
+        if self.tpbuf_queries == 0 {
+            0.0
+        } else {
+            self.tpbuf_mismatches as f64 / self.tpbuf_queries as f64
+        }
+    }
+}
+
+/// The defense mechanism's hooks into the out-of-order core.
+///
+/// See the [module documentation](self) for the call protocol.
+pub trait SecurityPolicy {
+    /// Human-readable mechanism name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// A new instruction entered the Issue Queue.
+    ///
+    /// `older` lists every valid IQ entry at this moment (the new entry is
+    /// not included).
+    fn on_dispatch(&mut self, info: DispatchInfo, older: &[IqEntryView]);
+
+    /// Row-OR query at issue select: does the instruction in `slot` have
+    /// any outstanding security dependence?
+    fn suspect_on_issue(&self, slot: usize) -> bool;
+
+    /// The instruction in `slot` issued successfully: clear its matrix
+    /// column.
+    fn on_issue(&mut self, slot: usize);
+
+    /// The IQ slot was released (instruction completed or was squashed).
+    fn on_slot_freed(&mut self, slot: usize);
+
+    /// Whether the instruction in `slot` still has pending security
+    /// dependences (polled by blocked instructions awaiting re-issue).
+    fn has_pending_dependence(&self, slot: usize) -> bool;
+
+    /// Filter decision for a load about to access the hierarchy.
+    fn check_mem_access(&mut self, query: &MemAccessQuery) -> MemDecision;
+
+    /// A memory instruction was allocated an LSQ (and thus TPBuf) entry.
+    fn on_lsq_allocate(&mut self, seq: u64, is_load: bool) {
+        let _ = (seq, is_load);
+    }
+
+    /// A memory instruction's address resolved (TPBuf V bit + PPN tag).
+    fn on_mem_address(&mut self, seq: u64, ppn: u64, suspect: bool) {
+        let _ = (seq, ppn, suspect);
+    }
+
+    /// A memory instruction's data became available to consumers (TPBuf W
+    /// bit).
+    fn on_mem_writeback(&mut self, seq: u64) {
+        let _ = seq;
+    }
+
+    /// A memory instruction left the LSQ (commit or squash).
+    fn on_lsq_release(&mut self, seq: u64) {
+        let _ = seq;
+    }
+
+    /// Statistics for the experiment harnesses.
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+
+    /// Resets statistics (after warm-up).
+    fn reset_stats(&mut self) {}
+
+    /// Clears transient microarchitectural state (matrix rows, TPBuf
+    /// entries) when a new program is loaded onto the core.
+    fn reset_transient(&mut self) {}
+}
+
+/// The unprotected baseline processor (*Origin* in the paper's
+/// evaluation): nothing is ever suspect, nothing is ever blocked.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_pipeline::policy::{NullPolicy, SecurityPolicy, MemAccessQuery, MemDecision};
+/// use condspec_mem::LruUpdate;
+///
+/// let mut p = NullPolicy::default();
+/// let q = MemAccessQuery { seq: 1, slot: 0, suspect: false, l1_hit: false, ppn: 7 };
+/// assert_eq!(p.check_mem_access(&q), MemDecision::Proceed { l1_update: LruUpdate::Normal });
+/// assert!(!p.suspect_on_issue(0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullPolicy;
+
+impl SecurityPolicy for NullPolicy {
+    fn name(&self) -> &'static str {
+        "origin"
+    }
+
+    fn on_dispatch(&mut self, _info: DispatchInfo, _older: &[IqEntryView]) {}
+
+    fn suspect_on_issue(&self, _slot: usize) -> bool {
+        false
+    }
+
+    fn on_issue(&mut self, _slot: usize) {}
+
+    fn on_slot_freed(&mut self, _slot: usize) {}
+
+    fn has_pending_dependence(&self, _slot: usize) -> bool {
+        false
+    }
+
+    fn check_mem_access(&mut self, _query: &MemAccessQuery) -> MemDecision {
+        MemDecision::Proceed { l1_update: LruUpdate::Normal }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_policy_is_permissive() {
+        let mut p = NullPolicy;
+        p.on_dispatch(
+            DispatchInfo { slot: 3, seq: 10, class: InstClass::Memory },
+            &[IqEntryView { slot: 0, seq: 9, class: InstClass::Branch, issued: false }],
+        );
+        assert!(!p.suspect_on_issue(3));
+        assert!(!p.has_pending_dependence(3));
+        let q = MemAccessQuery { seq: 10, slot: 3, suspect: true, l1_hit: false, ppn: 0 };
+        assert!(matches!(p.check_mem_access(&q), MemDecision::Proceed { .. }));
+        assert_eq!(p.name(), "origin");
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        // Exercise the defaulted TPBuf hooks through the trait object.
+        let mut p: Box<dyn SecurityPolicy> = Box::new(NullPolicy);
+        p.on_lsq_allocate(1, true);
+        p.on_mem_address(1, 42, false);
+        p.on_mem_writeback(1);
+        p.on_lsq_release(1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Physical register file, rename map and free list.
+
+use condspec_isa::reg::NUM_ARCH_REGS;
+use condspec_isa::Reg;
+use std::collections::VecDeque;
+
+/// Identifier of a physical register.
+pub type PhysReg = u16;
+
+/// The physical register file with per-register ready bits, plus the
+/// speculative rename map and free list.
+///
+/// Renaming follows the classic merged-register-file scheme: each
+/// architectural destination is assigned a fresh physical register at
+/// rename; the previous mapping is remembered so that it can be freed at
+/// commit or re-instated on squash (walk-back recovery).
+///
+/// # Examples
+///
+/// ```
+/// use condspec_pipeline::regfile::RegFile;
+/// use condspec_isa::Reg;
+///
+/// let mut rf = RegFile::new(64);
+/// let (new, old) = rf.rename_dest(Reg::R1).unwrap();
+/// rf.write(new, 42);
+/// assert_eq!(rf.read(rf.lookup(Reg::R1)), 42);
+/// assert_ne!(new, old);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    values: Vec<u64>,
+    ready: Vec<bool>,
+    rename: [PhysReg; NUM_ARCH_REGS],
+    free: VecDeque<PhysReg>,
+}
+
+impl RegFile {
+    /// Creates a register file with `phys_regs` physical registers; the
+    /// first 32 are the initial architectural mappings (all zero, ready).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs <= 32` (there must be at least one free
+    /// register for renaming) or `phys_regs > u16::MAX as usize`.
+    pub fn new(phys_regs: usize) -> Self {
+        assert!(phys_regs > NUM_ARCH_REGS, "need more physical than architectural registers");
+        assert!(phys_regs <= u16::MAX as usize, "physical register id must fit in u16");
+        let mut rename = [0 as PhysReg; NUM_ARCH_REGS];
+        for (i, r) in rename.iter_mut().enumerate() {
+            *r = i as PhysReg;
+        }
+        RegFile {
+            values: vec![0; phys_regs],
+            ready: vec![true; phys_regs],
+            rename,
+            free: (NUM_ARCH_REGS as PhysReg..phys_regs as PhysReg).collect(),
+        }
+    }
+
+    /// The current speculative mapping of an architectural register.
+    pub fn lookup(&self, arch: Reg) -> PhysReg {
+        self.rename[arch.index()]
+    }
+
+    /// Renames `arch` to a fresh physical register.
+    ///
+    /// Returns `(new, previous)` mappings, or `None` if no physical
+    /// register is free (rename stalls).
+    pub fn rename_dest(&mut self, arch: Reg) -> Option<(PhysReg, PhysReg)> {
+        debug_assert!(!arch.is_zero(), "r0 is never renamed");
+        let new = self.free.pop_front()?;
+        let old = self.rename[arch.index()];
+        self.rename[arch.index()] = new;
+        self.ready[new as usize] = false;
+        self.values[new as usize] = 0;
+        Some((new, old))
+    }
+
+    /// Whether the physical register holds its final value.
+    pub fn is_ready(&self, preg: PhysReg) -> bool {
+        self.ready[preg as usize]
+    }
+
+    /// Reads a physical register's value.
+    ///
+    /// In debug builds, reading a not-ready register panics — the
+    /// scheduler must only read ready operands.
+    pub fn read(&self, preg: PhysReg) -> u64 {
+        debug_assert!(self.ready[preg as usize], "read of not-ready p{preg}");
+        self.values[preg as usize]
+    }
+
+    /// Writes a physical register and marks it ready (writeback).
+    pub fn write(&mut self, preg: PhysReg, value: u64) {
+        self.values[preg as usize] = value;
+        self.ready[preg as usize] = true;
+    }
+
+    /// Returns `preg` to the free list (at commit of the overwriting
+    /// instruction, or at squash of the instruction that allocated it).
+    pub fn release(&mut self, preg: PhysReg) {
+        debug_assert!(
+            !self.free.contains(&preg),
+            "double free of physical register p{preg}"
+        );
+        self.free.push_back(preg);
+    }
+
+    /// Squash recovery for one instruction: re-instates the previous
+    /// mapping and frees the squashed instruction's destination register.
+    ///
+    /// Must be called youngest-first across the squashed instructions.
+    pub fn unrename(&mut self, arch: Reg, new: PhysReg, previous: PhysReg) {
+        debug_assert_eq!(self.rename[arch.index()], new, "unrename must be youngest-first");
+        self.rename[arch.index()] = previous;
+        self.release(new);
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Reads the architectural (committed-speculative) value of `arch`
+    /// through the current rename map. `r0` reads as zero.
+    pub fn read_arch(&self, arch: Reg) -> u64 {
+        if arch.is_zero() {
+            0
+        } else {
+            self.values[self.lookup(arch) as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_mappings_are_ready_zero() {
+        let rf = RegFile::new(40);
+        for r in Reg::ALL {
+            assert!(rf.is_ready(rf.lookup(r)));
+            assert_eq!(rf.read(rf.lookup(r)), 0);
+        }
+        assert_eq!(rf.free_count(), 8);
+    }
+
+    #[test]
+    fn rename_write_read() {
+        let mut rf = RegFile::new(40);
+        let (p, old) = rf.rename_dest(Reg::R5).unwrap();
+        assert_eq!(old, 5);
+        assert!(!rf.is_ready(p));
+        rf.write(p, 0x123);
+        assert!(rf.is_ready(p));
+        assert_eq!(rf.read_arch(Reg::R5), 0x123);
+    }
+
+    #[test]
+    fn rename_exhaustion_returns_none() {
+        let mut rf = RegFile::new(34);
+        assert!(rf.rename_dest(Reg::R1).is_some());
+        assert!(rf.rename_dest(Reg::R2).is_some());
+        assert!(rf.rename_dest(Reg::R3).is_none(), "free list exhausted");
+    }
+
+    #[test]
+    fn release_recycles() {
+        let mut rf = RegFile::new(34);
+        let (p1, old1) = rf.rename_dest(Reg::R1).unwrap();
+        rf.write(p1, 7);
+        // Commit: the *previous* mapping is freed.
+        rf.release(old1);
+        assert_eq!(rf.free_count(), 2);
+        let (_, _) = rf.rename_dest(Reg::R2).unwrap();
+        let (p3, _) = rf.rename_dest(Reg::R3).unwrap();
+        assert_eq!(p3, old1, "released register re-enters the free list");
+    }
+
+    #[test]
+    fn unrename_restores_previous_mapping() {
+        let mut rf = RegFile::new(40);
+        let before = rf.lookup(Reg::R3);
+        let (p, old) = rf.rename_dest(Reg::R3).unwrap();
+        assert_eq!(old, before);
+        rf.unrename(Reg::R3, p, old);
+        assert_eq!(rf.lookup(Reg::R3), before);
+        // p is free again.
+        let free_before = rf.free_count();
+        let (p2, _) = rf.rename_dest(Reg::R4).unwrap();
+        let _ = p2;
+        assert_eq!(rf.free_count(), free_before - 1);
+    }
+
+    #[test]
+    fn unrename_nested_youngest_first() {
+        let mut rf = RegFile::new(40);
+        let orig = rf.lookup(Reg::R1);
+        let (pa, olda) = rf.rename_dest(Reg::R1).unwrap();
+        let (pb, oldb) = rf.rename_dest(Reg::R1).unwrap();
+        assert_eq!(oldb, pa);
+        rf.unrename(Reg::R1, pb, oldb);
+        rf.unrename(Reg::R1, pa, olda);
+        assert_eq!(rf.lookup(Reg::R1), orig);
+    }
+
+    #[test]
+    fn read_arch_r0_is_zero() {
+        let rf = RegFile::new(40);
+        assert_eq!(rf.read_arch(Reg::R0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need more physical")]
+    fn too_few_physical_registers_panics() {
+        let _ = RegFile::new(32);
+    }
+}

@@ -1,0 +1,294 @@
+//! Reorder buffer.
+
+use crate::regfile::PhysReg;
+use condspec_frontend::ras::RasSnapshot;
+use condspec_isa::{Inst, Reg};
+use std::collections::VecDeque;
+
+/// Progress of one in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobState {
+    /// In the Issue Queue (or blocked there), not yet issued.
+    Dispatched,
+    /// Issued; executing or waiting for a memory completion.
+    Issued,
+    /// Result produced; eligible to commit.
+    Completed,
+}
+
+/// One reorder-buffer entry. Fields are populated as the instruction flows
+/// through the pipeline.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Global sequence number (program order, never reused).
+    pub seq: u64,
+    /// The instruction's PC.
+    pub pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Renaming record: `(arch dest, new phys, previous phys)`.
+    pub dest: Option<(Reg, PhysReg, PhysReg)>,
+    /// Source operands' physical registers, in the instruction's
+    /// positional operand order (unlike [`Inst::sources`], `r0` operands
+    /// are represented — they map to the always-ready physical register 0).
+    pub src_pregs: [Option<PhysReg>; 2],
+    /// Store data value, captured at store execute for the commit-time
+    /// memory write.
+    pub store_data: Option<u64>,
+    /// Pipeline progress.
+    pub state: RobState,
+    /// The IQ slot while the instruction is queue-resident.
+    pub iq_slot: Option<usize>,
+    /// The next PC fetch predicted after this instruction.
+    pub predicted_next: u64,
+    /// The architecturally correct next PC, known at execute.
+    pub actual_next: Option<u64>,
+    /// Whether this control instruction mispredicted (set at execute).
+    pub mispredicted: bool,
+    /// Resolved direction for conditional branches.
+    pub branch_taken: Option<bool>,
+    /// Virtual address of a memory access (set at execute).
+    pub mem_vaddr: Option<u64>,
+    /// Physical address of a memory access (set at execute).
+    pub mem_paddr: Option<u64>,
+    /// Suspect-speculation flag the instruction carried when it issued.
+    pub suspect: bool,
+    /// Whether a filter ever blocked this instruction.
+    pub was_blocked: bool,
+    /// A deferred L1D replacement update to apply at commit (§VII.A
+    /// *delayed update* policy).
+    pub deferred_lru: bool,
+    /// RAS state captured at fetch (control instructions only), restored
+    /// on squash.
+    pub ras_snapshot: Option<RasSnapshot>,
+}
+
+impl RobEntry {
+    /// Creates a freshly dispatched entry.
+    pub fn new(seq: u64, pc: u64, inst: Inst, predicted_next: u64) -> Self {
+        RobEntry {
+            seq,
+            pc,
+            inst,
+            dest: None,
+            src_pregs: [None, None],
+            store_data: None,
+            state: RobState::Dispatched,
+            iq_slot: None,
+            predicted_next,
+            actual_next: None,
+            mispredicted: false,
+            branch_taken: None,
+            mem_vaddr: None,
+            mem_paddr: None,
+            suspect: false,
+            was_blocked: false,
+            deferred_lru: false,
+            ras_snapshot: None,
+        }
+    }
+}
+
+/// The reorder buffer: a bounded FIFO of in-flight instructions with O(1)
+/// lookup by sequence number (sequence numbers of resident entries are
+/// always contiguous — dispatch appends, commit pops the head, squash
+/// removes a suffix).
+#[derive(Debug, Clone, Default)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// Creates an empty ROB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB capacity must be nonzero");
+        Rob { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Whether the ROB has no free entries.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Whether the ROB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of in-flight instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a dispatched entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full or `entry.seq` is not contiguous with the
+    /// current tail.
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(!self.is_full(), "ROB overflow");
+        if let Some(back) = self.entries.back() {
+            assert_eq!(entry.seq, back.seq + 1, "sequence numbers must be contiguous");
+        }
+        self.entries.push_back(entry);
+    }
+
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        let front = self.entries.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        let idx = (seq - front) as usize;
+        (idx < self.entries.len()).then_some(idx)
+    }
+
+    /// Whether `seq` is still in flight.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.index_of(seq).is_some()
+    }
+
+    /// The entry for `seq`, if in flight.
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        self.index_of(seq).map(|i| &self.entries[i])
+    }
+
+    /// Mutable access to the entry for `seq`.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        self.index_of(seq).map(move |i| &mut self.entries[i])
+    }
+
+    /// The oldest in-flight entry.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest entry (commit).
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Removes every entry younger than `seq`, returning them
+    /// youngest-first (the order walk-back rename recovery requires).
+    pub fn squash_after(&mut self, seq: u64) -> Vec<RobEntry> {
+        let mut squashed = Vec::new();
+        while matches!(self.entries.back(), Some(e) if e.seq > seq) {
+            squashed.push(self.entries.pop_back().expect("checked non-empty"));
+        }
+        squashed
+    }
+
+    /// Iterates over in-flight entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Whether every entry older than `seq` has completed (used by fence
+    /// issue gating).
+    pub fn all_older_completed(&self, seq: u64) -> bool {
+        self.entries
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .all(|e| e.state == RobState::Completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry::new(seq, 0x100 + 4 * seq, Inst::Nop, 0x104 + 4 * seq)
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut rob = Rob::new(8);
+        rob.push(entry(10));
+        rob.push(entry(11));
+        assert!(rob.contains(10));
+        assert!(rob.contains(11));
+        assert!(!rob.contains(9));
+        assert!(!rob.contains(12));
+        assert_eq!(rob.get(11).unwrap().pc, 0x100 + 44);
+    }
+
+    #[test]
+    fn head_pop_in_order() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        assert_eq!(rob.head().unwrap().seq, 0);
+        assert_eq!(rob.pop_head().unwrap().seq, 0);
+        assert_eq!(rob.head().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn squash_after_removes_suffix_youngest_first() {
+        let mut rob = Rob::new(8);
+        for s in 0..5 {
+            rob.push(entry(s));
+        }
+        let squashed = rob.squash_after(2);
+        let seqs: Vec<u64> = squashed.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 3]);
+        assert_eq!(rob.len(), 3);
+        assert!(rob.contains(2));
+        assert!(!rob.contains(3));
+    }
+
+    #[test]
+    fn squash_all_younger_than_head_is_noop() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(5));
+        assert!(rob.squash_after(5).is_empty());
+        assert!(rob.squash_after(7).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0));
+        rob.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_seq_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(2));
+    }
+
+    #[test]
+    fn all_older_completed_gating() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        rob.push(entry(2));
+        assert!(!rob.all_older_completed(2));
+        rob.get_mut(0).unwrap().state = RobState::Completed;
+        rob.get_mut(1).unwrap().state = RobState::Completed;
+        assert!(rob.all_older_completed(2));
+        assert!(rob.all_older_completed(0), "vacuously true for the head");
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut rob = Rob::new(2);
+        rob.push(entry(0));
+        rob.get_mut(0).unwrap().suspect = true;
+        assert!(rob.get(0).unwrap().suspect);
+    }
+}

@@ -1,0 +1,125 @@
+//! Pipeline-level statistics.
+
+use condspec_stats::RateCounter;
+
+/// Counters collected by the core during simulation.
+///
+/// The experiment harnesses derive the paper's Table V columns from these:
+///
+/// * *Blocked Rate* = [`blocked_committed_loads`] / [`committed_loads`]
+///   (blocked speculative memory accesses on the correct execution path),
+/// * *Cache Hit Rate of Speculative Memory Access* = [`suspect_l1`] rate,
+/// * overall performance = [`cycles`] vs a baseline run.
+///
+/// [`blocked_committed_loads`]: PipelineStats::blocked_committed_loads
+/// [`committed_loads`]: PipelineStats::committed_loads
+/// [`suspect_l1`]: PipelineStats::suspect_l1
+/// [`cycles`]: PipelineStats::cycles
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub committed_loads: u64,
+    /// Stores committed.
+    pub committed_stores: u64,
+    /// Control-flow instructions committed.
+    pub committed_branches: u64,
+    /// Committed loads that a hazard filter blocked at least once — the
+    /// numerator of the paper's "Blocked Rate".
+    pub blocked_committed_loads: u64,
+    /// Every filter Block decision (including wrong-path loads and
+    /// repeated blocks of one load).
+    pub block_events: u64,
+    /// Loads that issued carrying the suspect speculation flag
+    /// (hit = the L1D probe hit) — Table V's "Cache Hit Rate of
+    /// Speculative Memory Access".
+    pub suspect_l1: RateCounter,
+    /// Loads that issued without the suspect flag (for completeness).
+    pub clean_l1: RateCounter,
+    /// Squashes due to branch/jump misprediction.
+    pub mispredict_squashes: u64,
+    /// Squashes due to memory-order violations (speculative store bypass).
+    pub violation_squashes: u64,
+    /// Instructions removed by squashes.
+    pub squashed_insts: u64,
+    /// Instructions issued (including wrong-path and re-issues).
+    pub issued: u64,
+    /// Loads that performed a memory hierarchy access (excludes blocked).
+    pub load_accesses: u64,
+    /// Fetch cycles stalled by the §VII.B ICache-hit filter (unsafe
+    /// next-PC that would miss L1I).
+    pub icache_fetch_stalls: u64,
+    /// Sum of ROB occupancy samples (one per cycle).
+    pub rob_occupancy_sum: u64,
+    /// Sum of IQ occupancy samples (one per cycle).
+    pub iq_occupancy_sum: u64,
+}
+
+impl PipelineStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean reorder-buffer occupancy over the measured window.
+    pub fn avg_rob_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rob_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean issue-queue occupancy over the measured window.
+    pub fn avg_iq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of correct-path loads that were blocked at least once
+    /// (the paper's Blocked Rate).
+    pub fn blocked_rate(&self) -> f64 {
+        if self.committed_loads == 0 {
+            0.0
+        } else {
+            self.blocked_committed_loads as f64 / self.committed_loads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_zero_when_empty() {
+        assert_eq!(PipelineStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let stats = PipelineStats { cycles: 100, committed: 250, ..Default::default() };
+        assert_eq!(stats.ipc(), 2.5);
+    }
+
+    #[test]
+    fn blocked_rate() {
+        let stats = PipelineStats {
+            committed_loads: 200,
+            blocked_committed_loads: 30,
+            ..Default::default()
+        };
+        assert_eq!(stats.blocked_rate(), 0.15);
+        assert_eq!(PipelineStats::default().blocked_rate(), 0.0);
+    }
+}

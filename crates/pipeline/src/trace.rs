@@ -1,0 +1,228 @@
+//! Optional pipeline event tracing.
+//!
+//! Tracing is off by default (zero cost beyond a branch per event site);
+//! [`crate::Core::enable_trace`] turns it on with a bounded buffer, after
+//! which every significant pipeline event is recorded and can be
+//! inspected or printed. Intended for debugging gadgets, workloads and
+//! the defense itself — e.g. watching exactly which speculative load gets
+//! blocked and when it replays.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One recorded pipeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An instruction entered the ROB/IQ.
+    Dispatch {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Global sequence number.
+        seq: u64,
+        /// The instruction's PC.
+        pc: u64,
+    },
+    /// An instruction was selected for issue.
+    Issue {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Global sequence number.
+        seq: u64,
+        /// Whether it carried the suspect speculation flag.
+        suspect: bool,
+    },
+    /// A hazard filter blocked a memory access.
+    Block {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Global sequence number.
+        seq: u64,
+    },
+    /// An instruction's result became available.
+    Complete {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Global sequence number.
+        seq: u64,
+    },
+    /// An instruction retired.
+    Commit {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Global sequence number.
+        seq: u64,
+        /// The instruction's PC.
+        pc: u64,
+    },
+    /// Speculation was squashed.
+    Squash {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Youngest surviving sequence number.
+        keep_seq: u64,
+        /// Where fetch was redirected.
+        redirect_pc: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event happened.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::Dispatch { cycle, .. }
+            | TraceEvent::Issue { cycle, .. }
+            | TraceEvent::Block { cycle, .. }
+            | TraceEvent::Complete { cycle, .. }
+            | TraceEvent::Commit { cycle, .. }
+            | TraceEvent::Squash { cycle, .. } => *cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Dispatch { cycle, seq, pc } => {
+                write!(f, "[{cycle:>8}] dispatch seq={seq} pc={pc:#x}")
+            }
+            TraceEvent::Issue { cycle, seq, suspect } => {
+                let flag = if *suspect { " SUSPECT" } else { "" };
+                write!(f, "[{cycle:>8}] issue    seq={seq}{flag}")
+            }
+            TraceEvent::Block { cycle, seq } => {
+                write!(f, "[{cycle:>8}] BLOCK    seq={seq}")
+            }
+            TraceEvent::Complete { cycle, seq } => {
+                write!(f, "[{cycle:>8}] complete seq={seq}")
+            }
+            TraceEvent::Commit { cycle, seq, pc } => {
+                write!(f, "[{cycle:>8}] commit   seq={seq} pc={pc:#x}")
+            }
+            TraceEvent::Squash { cycle, keep_seq, redirect_pc } => {
+                write!(f, "[{cycle:>8}] SQUASH   keep<={keep_seq} redirect={redirect_pc:#x}")
+            }
+        }
+    }
+}
+
+/// A bounded event buffer: when full, the oldest events are dropped.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer { events: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+    }
+
+    /// Records one event.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears the buffer (keeps the capacity).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl fmt::Display for TraceBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... ({} earlier events dropped)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut t = TraceBuffer::new(4);
+        for seq in 0..3 {
+            t.push(TraceEvent::Complete { cycle: seq, seq });
+        }
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut t = TraceBuffer::new(2);
+        for seq in 0..5 {
+            t.push(TraceEvent::Commit { cycle: seq, seq, pc: 0 });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let seqs: Vec<u64> = t
+            .events()
+            .map(|e| match e {
+                TraceEvent::Commit { seq, .. } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent::Issue { cycle: 7, seq: 3, suspect: true };
+        assert!(e.to_string().contains("SUSPECT"));
+        let e = TraceEvent::Squash { cycle: 9, keep_seq: 2, redirect_pc: 0x40 };
+        assert!(e.to_string().contains("0x40"));
+        let mut t = TraceBuffer::new(1);
+        t.push(e);
+        t.push(e);
+        assert!(t.to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = TraceBuffer::new(2);
+        t.push(TraceEvent::Complete { cycle: 1, seq: 1 });
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

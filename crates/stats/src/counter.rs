@@ -1,0 +1,256 @@
+//! Event counters.
+
+use std::fmt;
+
+/// A saturating event counter.
+///
+/// Counts never wrap: increments saturate at [`u64::MAX`], which in practice
+/// is unreachable for simulation-scale counts but keeps the arithmetic
+/// total.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_stats::Counter;
+///
+/// let mut c = Counter::new();
+/// c.inc();
+/// c.add(10);
+/// assert_eq!(c.get(), 11);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n` events to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Returns the current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> u64 {
+        c.0
+    }
+}
+
+/// A hit/miss (numerator/denominator) pair reporting a rate in `[0, 1]`.
+///
+/// Used throughout the simulator for cache hit rates, branch prediction
+/// accuracy, blocked rates, and S-Pattern mismatch rates.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_stats::RateCounter;
+///
+/// let mut r = RateCounter::new();
+/// for _ in 0..3 {
+///     r.hit();
+/// }
+/// r.miss();
+/// assert_eq!(r.rate(), 0.75);
+/// assert_eq!(r.total(), 4);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RateCounter {
+    hits: u64,
+    total: u64,
+}
+
+impl RateCounter {
+    /// Creates an empty rate counter.
+    pub fn new() -> Self {
+        RateCounter { hits: 0, total: 0 }
+    }
+
+    /// Records a hit (counts toward both numerator and denominator).
+    pub fn hit(&mut self) {
+        self.hits = self.hits.saturating_add(1);
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Records a miss (counts toward the denominator only).
+    pub fn miss(&mut self) {
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Records a hit or a miss depending on `was_hit`.
+    pub fn record(&mut self, was_hit: bool) {
+        if was_hit {
+            self.hit();
+        } else {
+            self.miss();
+        }
+    }
+
+    /// Number of hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded.
+    pub fn misses(&self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// Total number of events recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The hit rate in `[0, 1]`; `0.0` when no events were recorded.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// The miss rate in `[0, 1]`; `0.0` when no events were recorded.
+    pub fn miss_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.rate()
+        }
+    }
+
+    /// Resets both numerator and denominator to zero.
+    pub fn reset(&mut self) {
+        self.hits = 0;
+        self.total = 0;
+    }
+
+    /// Merges another rate counter into this one.
+    pub fn merge(&mut self, other: &RateCounter) {
+        self.hits = self.hits.saturating_add(other.hits);
+        self.total = self.total.saturating_add(other.total);
+    }
+}
+
+impl fmt::Display for RateCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.rate() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_starts_at_zero() {
+        assert_eq!(Counter::new().get(), 0);
+        assert_eq!(Counter::default().get(), 0);
+    }
+
+    #[test]
+    fn counter_increments_and_adds() {
+        let mut c = Counter::new();
+        c.inc();
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_reset() {
+        let mut c = Counter::new();
+        c.add(3);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_display_and_into() {
+        let mut c = Counter::new();
+        c.add(42);
+        assert_eq!(c.to_string(), "42");
+        assert_eq!(u64::from(c), 42);
+    }
+
+    #[test]
+    fn rate_empty_is_zero() {
+        let r = RateCounter::new();
+        assert_eq!(r.rate(), 0.0);
+        assert_eq!(r.miss_rate(), 0.0);
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn rate_hits_and_misses() {
+        let mut r = RateCounter::new();
+        r.hit();
+        r.miss();
+        r.miss();
+        r.record(true);
+        assert_eq!(r.hits(), 2);
+        assert_eq!(r.misses(), 2);
+        assert_eq!(r.rate(), 0.5);
+        assert_eq!(r.miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn rate_merge() {
+        let mut a = RateCounter::new();
+        a.hit();
+        let mut b = RateCounter::new();
+        b.miss();
+        b.hit();
+        a.merge(&b);
+        assert_eq!(a.hits(), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn rate_reset() {
+        let mut r = RateCounter::new();
+        r.hit();
+        r.reset();
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn rate_display() {
+        let mut r = RateCounter::new();
+        r.hit();
+        r.miss();
+        assert_eq!(r.to_string(), "1/2 (50.0%)");
+    }
+}

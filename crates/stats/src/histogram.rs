@@ -1,0 +1,200 @@
+//! Fixed-bucket histograms for latency and occupancy distributions.
+
+use std::fmt;
+
+/// A histogram with uniformly sized buckets over `[0, bucket_width * buckets)`
+/// plus an overflow bucket.
+///
+/// Used by the simulator for, e.g., load-to-use latency and issue-queue
+/// residency distributions.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_stats::Histogram;
+///
+/// let mut h = Histogram::new(10, 8);
+/// h.record(3);
+/// h.record(25);
+/// h.record(1_000_000); // lands in the overflow bucket
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(2), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `buckets` is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be nonzero");
+        assert!(buckets > 0, "bucket count must be nonzero");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples in bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Number of buckets (excluding the overflow bucket).
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of samples that exceeded the bucketed range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Arithmetic mean of all samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample recorded; `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Resets all buckets and summary statistics.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "histogram: n={} mean={:.2} max={}", self.count, self.mean(), self.max)?;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b > 0 {
+                writeln!(
+                    f,
+                    "  [{:>6}, {:>6}): {}",
+                    i as u64 * self.bucket_width,
+                    (i as u64 + 1) * self.bucket_width,
+                    b
+                )?;
+            }
+        }
+        if self.overflow > 0 {
+            writeln!(f, "  overflow: {}", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(4, 4);
+        h.record(0);
+        h.record(3);
+        h.record(4);
+        h.record(15);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket() {
+        let mut h = Histogram::new(2, 2);
+        h.record(4);
+        h.record(100);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut h = Histogram::new(10, 4);
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.mean(), 15.0);
+        assert_eq!(h.max(), 20);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        let h = Histogram::new(1, 1);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = Histogram::new(2, 2);
+        h.record(1);
+        h.record(10);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.bucket_count(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_panics() {
+        let _ = Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut h = Histogram::new(2, 2);
+        h.record(1);
+        assert!(h.to_string().contains("n=1"));
+    }
+}

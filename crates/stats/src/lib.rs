@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Statistics infrastructure for the Conditional Speculation reproduction.
+//!
+//! This crate provides the small, dependency-free building blocks the
+//! simulator and the experiment harnesses use to collect and report
+//! measurements:
+//!
+//! * [`Counter`] — a saturating event counter.
+//! * [`RateCounter`] — a numerator/denominator pair reporting a rate.
+//! * [`Histogram`] — a fixed-bucket latency/value histogram.
+//! * [`summary`] — arithmetic/geometric means and normalization helpers.
+//! * [`table::TextTable`] — plain-text table rendering used by the
+//!   experiment binaries to print paper-style tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use condspec_stats::{Counter, RateCounter};
+//!
+//! let mut hits = RateCounter::new();
+//! hits.hit();
+//! hits.miss();
+//! assert_eq!(hits.rate(), 0.5);
+//!
+//! let mut commits = Counter::new();
+//! commits.add(4);
+//! assert_eq!(commits.get(), 4);
+//! ```
+
+pub mod counter;
+pub mod histogram;
+pub mod summary;
+pub mod table;
+
+pub use counter::{Counter, RateCounter};
+pub use histogram::Histogram;
+pub use summary::{arithmetic_mean, geometric_mean, normalized_overhead_percent};
+pub use table::TextTable;

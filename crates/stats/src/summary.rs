@@ -1,0 +1,103 @@
+//! Summary helpers used when aggregating per-benchmark results into the
+//! paper's "Average" rows.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(condspec_stats::arithmetic_mean(&[1.0, 3.0]), 2.0);
+/// assert_eq!(condspec_stats::arithmetic_mean(&[]), 0.0);
+/// ```
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean of a slice of positive values; `0.0` for an empty slice.
+///
+/// Values `<= 0` are ignored (they would make the geometric mean undefined).
+///
+/// # Examples
+///
+/// ```
+/// let g = condspec_stats::geometric_mean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let positive: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    if positive.is_empty() {
+        0.0
+    } else {
+        let log_sum: f64 = positive.iter().map(|v| v.ln()).sum();
+        (log_sum / positive.len() as f64).exp()
+    }
+}
+
+/// Performance overhead in percent of `measured` cycles relative to
+/// `baseline` cycles, as used throughout the paper's evaluation
+/// ("X% performance degradation" = `(measured / baseline - 1) * 100`).
+///
+/// Returns `0.0` if `baseline` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let pct = condspec_stats::normalized_overhead_percent(1536, 1000);
+/// assert!((pct - 53.6).abs() < 1e-9);
+/// ```
+pub fn normalized_overhead_percent(measured: u64, baseline: u64) -> f64 {
+    if baseline == 0 {
+        0.0
+    } else {
+        (measured as f64 / baseline as f64 - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_mean_basic() {
+        assert_eq!(arithmetic_mean(&[2.0, 4.0, 6.0]), 4.0);
+    }
+
+    #[test]
+    fn arithmetic_mean_empty() {
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        let g = geometric_mean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_ignores_nonpositive() {
+        let g = geometric_mean(&[0.0, -1.0, 4.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_empty() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn overhead_percent() {
+        assert_eq!(normalized_overhead_percent(1100, 1000), 10.000000000000009);
+        assert_eq!(normalized_overhead_percent(1000, 1000), 0.0);
+        assert_eq!(normalized_overhead_percent(500, 0), 0.0);
+    }
+
+    #[test]
+    fn overhead_can_be_negative() {
+        assert!(normalized_overhead_percent(900, 1000) < 0.0);
+    }
+}

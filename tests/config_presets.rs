@@ -1,0 +1,77 @@
+//! Table III reproduction: the default machine preset matches the
+//! paper's simulated-processor configuration.
+
+use condspec::{DefenseConfig, MachineConfig, SimConfig, Simulator};
+
+#[test]
+fn table_iii_processor_parameters() {
+    let m = MachineConfig::paper_default();
+    // Processor type: 4-way out-of-order, commit up to 4/cycle.
+    assert_eq!(m.core.fetch_width, 4);
+    assert_eq!(m.core.issue_width, 4);
+    assert_eq!(m.core.commit_width, 4);
+    // ROB 192, IQ 64, LDQ 32, STQ 24 entries.
+    assert_eq!(m.core.rob_entries, 192);
+    assert_eq!(m.core.iq_entries, 64);
+    assert_eq!(m.core.ldq_entries, 32);
+    assert_eq!(m.core.stq_entries, 24);
+    // TLB: 64 entries.
+    assert_eq!(m.tlb.entries, 64);
+    // ~15-stage pipeline: front-end depth plus redirect penalty.
+    assert!(m.core.decode_latency + m.core.redirect_penalty >= 12);
+}
+
+#[test]
+fn table_iii_memory_hierarchy() {
+    let m = MachineConfig::paper_default();
+    // L1 I/D: 64KB, 4-way, 64B line, 2-cycle hit.
+    for l1 in [m.hierarchy.l1i, m.hierarchy.l1d] {
+        assert_eq!(l1.size_bytes, 64 * 1024);
+        assert_eq!(l1.ways, 4);
+        assert_eq!(l1.line_bytes, 64);
+        assert_eq!(l1.hit_latency, 2);
+    }
+    // L2: 2MB, 16-way, 10-cycle hit.
+    assert_eq!(m.hierarchy.l2.size_bytes, 2 * 1024 * 1024);
+    assert_eq!(m.hierarchy.l2.ways, 16);
+    assert_eq!(m.hierarchy.l2.hit_latency, 10);
+    // L3: 8MB, 32-way, 60-cycle hit.
+    let l3 = m.hierarchy.l3.expect("paper machine has an L3");
+    assert_eq!(l3.size_bytes, 8 * 1024 * 1024);
+    assert_eq!(l3.ways, 32);
+    assert_eq!(l3.hit_latency, 60);
+    // Memory: 192-cycle latency.
+    assert_eq!(m.hierarchy.memory_latency, 192);
+}
+
+#[test]
+fn sensitivity_presets_are_ordered_by_complexity() {
+    let [a57, i7, xeon] = MachineConfig::sensitivity_presets();
+    assert_eq!(a57.name, "A57-like");
+    assert_eq!(i7.name, "I7-like");
+    assert_eq!(xeon.name, "Xeon-like");
+    assert!(a57.core.rob_entries < i7.core.rob_entries);
+    assert!(i7.core.rob_entries < xeon.core.rob_entries);
+    assert!(a57.core.issue_width <= i7.core.issue_width);
+    assert!(
+        a57.hierarchy.memory_latency <= xeon.hierarchy.memory_latency,
+        "server memory is farther away"
+    );
+}
+
+#[test]
+fn every_preset_builds_a_working_simulator() {
+    use condspec_isa::{ProgramBuilder, Reg};
+    let mut machines = vec![MachineConfig::paper_default()];
+    machines.extend(MachineConfig::sensitivity_presets());
+    for machine in machines {
+        for defense in DefenseConfig::ALL {
+            let mut sim = Simulator::new(SimConfig::on_machine(defense, machine));
+            let mut b = ProgramBuilder::new(0x1000);
+            b.li(Reg::R1, 7);
+            b.halt();
+            sim.run_to_halt(&b.build().expect("assembles"), 100_000);
+            assert_eq!(sim.read_arch_reg(Reg::R1), 7, "{} {defense}", machine.name);
+        }
+    }
+}

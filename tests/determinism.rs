@@ -1,0 +1,58 @@
+//! The simulation is bit-deterministic: identical configuration and
+//! program produce identical cycle counts, statistics and architectural
+//! state — the property that makes every experiment in this repository
+//! exactly reproducible.
+
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_attacks::AttackScenario;
+use condspec_isa::Reg;
+use condspec_workloads::spec::{build_program, by_name};
+
+fn run_once(defense: DefenseConfig) -> (u64, u64, f64, Vec<u64>) {
+    let spec = by_name("gobmk").expect("suite benchmark");
+    let program = build_program(&spec, 8);
+    let mut sim = Simulator::new(SimConfig::new(defense));
+    sim.run_to_halt(&program, 100_000_000);
+    let report = sim.report();
+    let regs = Reg::ALL.iter().map(|r| sim.read_arch_reg(*r)).collect();
+    (report.cycles, report.committed, report.s_pattern_mismatch_rate, regs)
+}
+
+#[test]
+fn benchmark_runs_are_bit_deterministic() {
+    for defense in DefenseConfig::ALL {
+        let a = run_once(defense);
+        let b = run_once(defense);
+        assert_eq!(a, b, "non-deterministic simulation under {defense}");
+    }
+}
+
+#[test]
+fn workload_generation_is_stable_across_calls() {
+    let spec = by_name("milc").expect("suite benchmark");
+    assert_eq!(build_program(&spec, 3), build_program(&spec, 3));
+}
+
+#[test]
+fn attack_outcomes_are_deterministic() {
+    let a = AttackScenario::PrimeProbeShared.run(DefenseConfig::Origin);
+    let b = AttackScenario::PrimeProbeShared.run(DefenseConfig::Origin);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn occupancy_statistics_are_sane() {
+    let spec = by_name("mcf").expect("suite benchmark");
+    let program = build_program(&spec, 5);
+    let mut sim = Simulator::new(SimConfig::new(DefenseConfig::Origin));
+    sim.run_to_halt(&program, 100_000_000);
+    let stats = sim.core().stats();
+    let rob = stats.avg_rob_occupancy();
+    let iq = stats.avg_iq_occupancy();
+    assert!(rob > 1.0 && rob <= 192.0, "avg ROB occupancy {rob}");
+    assert!(iq > 0.1 && iq <= 64.0, "avg IQ occupancy {iq}");
+    assert!(
+        rob >= iq,
+        "the ROB holds everything in flight, the IQ only the unissued: {rob} vs {iq}"
+    );
+}

@@ -1,0 +1,112 @@
+//! Cross-crate checks that the Figure 5 / Table V performance *shape*
+//! holds: mechanism ordering, the Cache-hit filter's dependence on hit
+//! rate, and TPBuf's lbm-vs-libquantum asymmetry.
+
+use condspec::{DefenseConfig, MachineConfig, SimConfig, Simulator};
+use condspec_workloads::spec::{build_program, by_name};
+
+const ITERS: u64 = 25;
+const BUDGET: u64 = 100_000_000;
+
+fn cycles(bench: &str, defense: DefenseConfig) -> (u64, f64) {
+    let spec = by_name(bench).expect("known benchmark");
+    let program = build_program(&spec, ITERS);
+    let mut sim = Simulator::new(SimConfig::new(defense));
+    sim.load_program(&program);
+    let r = sim.run(BUDGET);
+    assert!(sim.core().is_halted(), "{bench} must halt: {r:?}");
+    (sim.report().cycles, sim.report().s_pattern_mismatch_rate)
+}
+
+#[test]
+fn mechanism_ordering_holds_per_benchmark() {
+    for bench in ["GemsFDTD", "lbm", "mcf", "hmmer", "sjeng"] {
+        let (origin, _) = cycles(bench, DefenseConfig::Origin);
+        let (baseline, _) = cycles(bench, DefenseConfig::Baseline);
+        let (cachehit, _) = cycles(bench, DefenseConfig::CacheHit);
+        let (tpbuf, _) = cycles(bench, DefenseConfig::CacheHitTpbuf);
+        // Allow 2% slack for timing noise between mechanisms.
+        let le = |a: u64, b: u64| (a as f64) <= (b as f64) * 1.02;
+        assert!(le(origin, baseline), "{bench}: origin {origin} vs baseline {baseline}");
+        assert!(le(cachehit, baseline), "{bench}: cache-hit {cachehit} vs baseline {baseline}");
+        assert!(le(tpbuf, cachehit), "{bench}: tpbuf {tpbuf} vs cache-hit {cachehit}");
+        assert!(
+            baseline > origin,
+            "{bench}: blocking all suspect accesses must cost something"
+        );
+    }
+}
+
+#[test]
+fn tpbuf_rescues_lbm_but_not_libquantum() {
+    // The paper's §VI.C(2) headline: lbm's streaming misses mismatch the
+    // S-Pattern (86.2% in the paper) and are recovered by TPBuf, while
+    // libquantum's page-jumping misses match (>99.9%) and stay blocked.
+    let (lbm_origin, _) = cycles("lbm", DefenseConfig::Origin);
+    let (lbm_cachehit, _) = cycles("lbm", DefenseConfig::CacheHit);
+    let (lbm_tpbuf, lbm_mismatch) = cycles("lbm", DefenseConfig::CacheHitTpbuf);
+    let lbm_gain = lbm_cachehit as f64 / lbm_tpbuf as f64;
+    assert!(
+        lbm_gain > 1.2,
+        "TPBuf must substantially improve lbm over cache-hit alone: gain {lbm_gain:.2}"
+    );
+    assert!(lbm_mismatch > 0.3, "lbm misses mostly mismatch: {lbm_mismatch:.2}");
+    let lbm_overhead = lbm_tpbuf as f64 / lbm_origin as f64;
+    assert!(lbm_overhead < 1.6, "TPBuf brings lbm near origin: {lbm_overhead:.2}");
+
+    let (lq_cachehit, _) = cycles("libquantum", DefenseConfig::CacheHit);
+    let (lq_tpbuf, lq_mismatch) = cycles("libquantum", DefenseConfig::CacheHitTpbuf);
+    let lq_gain = lq_cachehit as f64 / lq_tpbuf as f64;
+    assert!(
+        lq_gain < 1.1,
+        "TPBuf must NOT help libquantum (its misses match the S-Pattern): gain {lq_gain:.2}"
+    );
+    assert!(lq_mismatch < 0.05, "libquantum misses match: {lq_mismatch:.3}");
+}
+
+#[test]
+fn cache_hit_filter_tracks_hit_rate() {
+    // High-hit-rate benchmarks recover almost everything under the
+    // Cache-hit filter; low-hit-rate ones do not.
+    let recovery = |bench: &str| {
+        let (origin, _) = cycles(bench, DefenseConfig::Origin);
+        let (baseline, _) = cycles(bench, DefenseConfig::Baseline);
+        let (cachehit, _) = cycles(bench, DefenseConfig::CacheHit);
+        let blocked_cost = baseline.saturating_sub(origin) as f64;
+        let remaining = cachehit.saturating_sub(origin) as f64;
+        if blocked_cost == 0.0 {
+            1.0
+        } else {
+            1.0 - remaining / blocked_cost
+        }
+    };
+    let gems = recovery("GemsFDTD");
+    let lbm = recovery("lbm");
+    assert!(
+        gems > lbm,
+        "the cache-hit filter recovers more of a 99.9%-hit benchmark ({gems:.2}) \
+         than of a 61.8%-hit one ({lbm:.2})"
+    );
+    assert!(gems > 0.05, "GemsFDTD recovery {gems:.2}");
+}
+
+#[test]
+fn sensitivity_presets_run_and_keep_ordering() {
+    for machine in MachineConfig::sensitivity_presets() {
+        let spec = by_name("gcc").expect("known benchmark");
+        let program = build_program(&spec, 12);
+        let mut results = Vec::new();
+        for defense in [DefenseConfig::Origin, DefenseConfig::Baseline] {
+            let mut sim = Simulator::new(SimConfig::on_machine(defense, machine));
+            sim.load_program(&program);
+            let r = sim.run(BUDGET);
+            assert!(sim.core().is_halted(), "{}: {r:?}", machine.name);
+            results.push(sim.report().cycles);
+        }
+        assert!(
+            results[1] >= results[0],
+            "{}: baseline may not be faster than origin",
+            machine.name
+        );
+    }
+}

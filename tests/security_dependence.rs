@@ -1,0 +1,120 @@
+//! Table I reproduction: each Spectre variant's gadget exhibits the
+//! security dependence the paper classifies for it (instruction *i* →
+//! instruction *j*), observable as suspect speculation flags raised and
+//! the disclosure access blocked.
+
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_workloads::gadgets::{GadgetKind, SpectreGadget};
+
+/// Runs the gadget's attack trigger once under `defense` and returns the
+/// policy statistics.
+fn run_gadget(kind: GadgetKind, defense: DefenseConfig) -> condspec_pipeline::PolicyStats {
+    let gadget = SpectreGadget::build(kind);
+    let mut sim = Simulator::new(SimConfig::new(defense));
+    // One warm run, then two malicious triggers (as the attack drivers
+    // do — the first round also warms the machine) with everything the
+    // attacker would flush actually flushed.
+    sim.load_program(&gadget.program);
+    sim.write_memory(gadget.input_addr, gadget.train_input, 8);
+    sim.run(500_000);
+    for round in 0..2 {
+        sim.load_program(&gadget.program);
+        sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
+        if let Some(len) = gadget.len_addr {
+            let pa = sim.core().page_table().translate(len);
+            sim.core_mut().hierarchy_mut().flush_line(pa);
+        }
+        // Clear the transmit array so the disclosure access misses every
+        // round (the real attackers flush or evict it; this test only
+        // needs the filter statistics).
+        for v in 0..gadget.probe_slots {
+            let pa = sim.core().page_table().translate(gadget.probe_slot_addr(v));
+            sim.core_mut().hierarchy_mut().flush_line(pa);
+        }
+        if let Some(slot) = gadget.pointer_slot {
+            let pa = sim.core().page_table().translate(slot);
+            sim.core_mut().hierarchy_mut().flush_line(pa);
+        }
+        if kind == GadgetKind::V2 {
+            let jr = gadget.indirect_pc.expect("v2 gadget");
+            let target = gadget.gadget_entry.expect("v2 gadget");
+            sim.core_mut().frontend_mut().btb_mut().update(jr, target);
+        }
+        if round == 1 {
+            sim.core_mut().policy_mut().reset_stats();
+        }
+        sim.run(500_000);
+        assert!(sim.core().is_halted());
+    }
+    sim.core().policy().stats()
+}
+
+#[test]
+fn v1_branch_memory_dependence_detected() {
+    // Table I row 1: conditional branch -> memory access.
+    let stats = run_gadget(GadgetKind::V1, DefenseConfig::Baseline);
+    assert!(stats.suspect_flags > 0, "the bounds-check window must flag accesses: {stats:?}");
+    assert!(stats.blocks > 0, "baseline must block the flagged accesses: {stats:?}");
+}
+
+#[test]
+fn v2_indirect_branch_memory_dependence_detected() {
+    // Table I row 2: indirect branch -> memory access.
+    let stats = run_gadget(GadgetKind::V2, DefenseConfig::Baseline);
+    assert!(stats.suspect_flags > 0, "{stats:?}");
+    assert!(stats.blocks > 0, "{stats:?}");
+}
+
+#[test]
+fn v4_memory_memory_dependence_detected() {
+    // Table I row 3: memory access (unresolved store) -> memory access.
+    let stats = run_gadget(GadgetKind::V4, DefenseConfig::Baseline);
+    assert!(stats.suspect_flags > 0, "{stats:?}");
+    assert!(stats.blocks > 0, "{stats:?}");
+}
+
+#[test]
+fn tpbuf_sees_the_s_pattern_in_v1() {
+    // Under the full mechanism the V1 transmit access is a suspect miss
+    // checked against (and matching) the S-Pattern.
+    let stats = run_gadget(GadgetKind::V1, DefenseConfig::CacheHitTpbuf);
+    assert!(stats.tpbuf_queries > 0, "{stats:?}");
+    assert!(stats.blocks > 0, "the page-stride transmit must match and block: {stats:?}");
+}
+
+#[test]
+fn same_page_gadget_mismatches_the_s_pattern() {
+    let stats = run_gadget(GadgetKind::V1SamePage, DefenseConfig::CacheHitTpbuf);
+    assert!(
+        stats.tpbuf_mismatches > 0,
+        "the same-page transmit evades the S-Pattern: {stats:?}"
+    );
+}
+
+#[test]
+fn rsb_return_speculation_is_branch_class() {
+    // SpectreRSB's disclosure gadget runs under an unresolved `ret`,
+    // which the matrix treats as a branch-class producer. The full
+    // attack/defense verdicts live in tests/table4_security.rs; here we
+    // check the mechanism's classification directly.
+    use condspec_pipeline::InstClass;
+    let ret = condspec_isa::Inst::Ret { link: condspec_isa::Reg::R31 };
+    assert!(ret.is_branch());
+    let class = if ret.is_mem() {
+        InstClass::Memory
+    } else if ret.is_branch() {
+        InstClass::Branch
+    } else {
+        InstClass::Other
+    };
+    assert_eq!(class, InstClass::Branch);
+}
+
+#[test]
+fn origin_never_flags_or_blocks() {
+    for kind in [GadgetKind::V1, GadgetKind::V2, GadgetKind::V4] {
+        let stats = run_gadget(kind, DefenseConfig::Origin);
+        assert_eq!(stats.suspect_flags, 0, "{kind:?}: {stats:?}");
+        assert_eq!(stats.blocks, 0, "{kind:?}: {stats:?}");
+    }
+}
