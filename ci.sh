@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository CI gate. Everything here runs offline — the workspace has no
+# external dependencies — so this script is exactly what .github/workflows/ci.yml
+# runs and what a contributor should run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "ci.sh: all checks passed"

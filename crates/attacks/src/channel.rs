@@ -72,7 +72,9 @@ pub fn l1_eviction_set(sim: &Simulator, vaddr: u64) -> Vec<u64> {
 /// Evict+Reload / Evict+Time).
 pub fn prime_set(sim: &mut Simulator, eviction_set: &[u64]) {
     for &line in eviction_set {
-        sim.core_mut().hierarchy_mut().access_data(line, LruUpdate::Normal);
+        sim.core_mut()
+            .hierarchy_mut()
+            .access_data(line, LruUpdate::Normal);
     }
 }
 
@@ -82,9 +84,11 @@ pub fn evict_line(sim: &mut Simulator, vaddr: u64) {
     prime_set(sim, &set);
     // Accessing `ways` distinct conflicting lines fills the whole set,
     // displacing the target. (True-LRU makes this deterministic.)
-    debug_assert!(!sim.core().hierarchy().l1d().probe(
-        sim.core().page_table().translate(vaddr)
-    ));
+    debug_assert!(!sim
+        .core()
+        .hierarchy()
+        .l1d()
+        .probe(sim.core().page_table().translate(vaddr)));
 }
 
 /// The *probe* step of Prime+Probe: how many of the attacker's primed
@@ -124,7 +128,9 @@ mod tests {
     #[test]
     fn flush_then_reload_is_slow() {
         let mut s = sim();
-        s.core_mut().hierarchy_mut().access_data(0x9000, LruUpdate::Normal);
+        s.core_mut()
+            .hierarchy_mut()
+            .access_data(0x9000, LruUpdate::Normal);
         assert!(reload_hits(&s, 0x9000));
         flush_line(&mut s, 0x9000);
         assert!(!reload_hits(&s, 0x9000));
@@ -133,7 +139,9 @@ mod tests {
     #[test]
     fn flush_flush_distinguishes_presence() {
         let mut s = sim();
-        s.core_mut().hierarchy_mut().access_data(0x9000, LruUpdate::Normal);
+        s.core_mut()
+            .hierarchy_mut()
+            .access_data(0x9000, LruUpdate::Normal);
         assert!(flush_was_slow(&mut s, 0x9000), "cached line: slow flush");
         assert!(!flush_was_slow(&mut s, 0x9000), "now absent: fast flush");
     }
@@ -142,7 +150,9 @@ mod tests {
     fn eviction_set_conflicts_and_evicts() {
         let mut s = sim();
         let target = 0xa040;
-        s.core_mut().hierarchy_mut().access_data(target, LruUpdate::Normal);
+        s.core_mut()
+            .hierarchy_mut()
+            .access_data(target, LruUpdate::Normal);
         let set = l1_eviction_set(&s, target);
         assert_eq!(set.len(), 4, "paper-default L1D is 4-way");
         for line in &set {
@@ -164,7 +174,9 @@ mod tests {
         prime_set(&mut s, &set);
         assert_eq!(probe_set_hits(&s, &set), 4, "all primed lines resident");
         // Victim touches its line: one attacker way is displaced.
-        s.core_mut().hierarchy_mut().access_data(victim_line, LruUpdate::Normal);
+        s.core_mut()
+            .hierarchy_mut()
+            .access_data(victim_line, LruUpdate::Normal);
         assert_eq!(probe_set_hits(&s, &set), 3);
     }
 
@@ -175,7 +187,9 @@ mod tests {
         let set = l1_eviction_set(&s, victim_line);
         prime_set(&mut s, &set);
         let quiet = time_set(&s, &set);
-        s.core_mut().hierarchy_mut().access_data(victim_line, LruUpdate::Normal);
+        s.core_mut()
+            .hierarchy_mut()
+            .access_data(victim_line, LruUpdate::Normal);
         let noisy = time_set(&s, &set);
         assert!(noisy > quiet, "displacement shows up in aggregate timing");
     }

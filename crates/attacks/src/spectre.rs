@@ -76,6 +76,24 @@ impl AttackScenario {
         }
     }
 
+    /// A stable machine-readable key (CLI values, job hashes). The
+    /// inverse of [`AttackScenario::from_key`].
+    pub fn key(&self) -> &'static str {
+        match self {
+            AttackScenario::FlushReloadShared => "flush-reload",
+            AttackScenario::FlushFlushShared => "flush-flush",
+            AttackScenario::EvictReloadShared => "evict-reload",
+            AttackScenario::PrimeProbeShared => "prime-probe",
+            AttackScenario::PrimeProbeNoShare => "prime-probe-noshare",
+            AttackScenario::EvictTimeNoShare => "evict-time",
+        }
+    }
+
+    /// Parses an [`AttackScenario::key`] value.
+    pub fn from_key(key: &str) -> Option<AttackScenario> {
+        AttackScenario::ALL.iter().copied().find(|s| s.key() == key)
+    }
+
     /// Whether the channel relies on attacker/victim shared memory.
     pub fn shared_memory(&self) -> bool {
         matches!(
@@ -191,7 +209,12 @@ pub fn rsb_attack(sim: &mut Simulator) -> AttackOutcome {
         assert!(sim.core().is_halted(), "pollution run must complete");
 
         trigger(sim, &gadget, |sim| {
-            channel::flush_region(sim, gadget.probe_base, gadget.probe_stride, gadget.probe_slots);
+            channel::flush_region(
+                sim,
+                gadget.probe_base,
+                gadget.probe_stride,
+                gadget.probe_slots,
+            );
             if let Some(slot) = gadget.pointer_slot {
                 channel::flush_line(sim, slot);
             }
@@ -242,7 +265,12 @@ pub fn flush_reload_extract(sim: &mut Simulator, gadget: &SpectreGadget) -> Vec<
             train(sim, gadget, 5 + ((i + attempt) % 5) as usize);
             sim.load_program(&gadget.program);
             sim.write_memory(gadget.input_addr, gadget.attack_input + i, 8);
-            channel::flush_region(sim, gadget.probe_base, gadget.probe_stride, gadget.probe_slots);
+            channel::flush_region(
+                sim,
+                gadget.probe_base,
+                gadget.probe_stride,
+                gadget.probe_slots,
+            );
             if let Some(len) = gadget.len_addr {
                 channel::flush_line(sim, len);
             }
@@ -290,13 +318,12 @@ fn single_candidate(candidates: &[usize]) -> Option<u8> {
 /// Flush-based attacks (shared memory): flush the probe array and the
 /// window lines, run the victim, read slots back by reload or flush
 /// timing.
-fn flush_style_attack(
-    sim: &mut Simulator,
-    kind: GadgetKind,
-    readout: Readout,
-) -> AttackOutcome {
+fn flush_style_attack(sim: &mut Simulator, kind: GadgetKind, readout: Readout) -> AttackOutcome {
     let gadget = SpectreGadget::build(kind);
-    if matches!(kind, GadgetKind::V1 | GadgetKind::V1SamePage | GadgetKind::V1SetStride) {
+    if matches!(
+        kind,
+        GadgetKind::V1 | GadgetKind::V1SamePage | GadgetKind::V1SetStride
+    ) {
         train(sim, &gadget, 8);
     } else {
         // V2/V4: one warm run (code, pointer slots).
@@ -307,7 +334,12 @@ fn flush_style_attack(
     let mut candidates = Vec::new();
     for round in 0..ROUNDS {
         trigger(sim, &gadget, |sim| {
-            channel::flush_region(sim, gadget.probe_base, gadget.probe_stride, gadget.probe_slots);
+            channel::flush_region(
+                sim,
+                gadget.probe_base,
+                gadget.probe_stride,
+                gadget.probe_slots,
+            );
             if let Some(len) = gadget.len_addr {
                 channel::flush_line(sim, len);
             }
@@ -386,11 +418,7 @@ fn evict_reload_attack(sim: &mut Simulator) -> AttackOutcome {
 /// Prime-based attacks (set-granular, usable without shared memory):
 /// prime every candidate slot's L1 set with attacker lines, run the
 /// victim, find the set the victim displaced.
-fn prime_style_attack(
-    sim: &mut Simulator,
-    kind: GadgetKind,
-    readout: Readout,
-) -> AttackOutcome {
+fn prime_style_attack(sim: &mut Simulator, kind: GadgetKind, readout: Readout) -> AttackOutcome {
     let gadget = SpectreGadget::build(kind);
     train(sim, &gadget, 8);
 
@@ -501,11 +529,23 @@ mod tests {
 
     #[test]
     fn outcome_leak_requires_exact_recovery() {
-        let o = AttackOutcome { recovered: Some(41), planted: 42, candidates: vec![41] };
+        let o = AttackOutcome {
+            recovered: Some(41),
+            planted: 42,
+            candidates: vec![41],
+        };
         assert!(!o.leaked());
-        let o = AttackOutcome { recovered: Some(42), planted: 42, candidates: vec![42] };
+        let o = AttackOutcome {
+            recovered: Some(42),
+            planted: 42,
+            candidates: vec![42],
+        };
         assert!(o.leaked());
-        let o = AttackOutcome { recovered: None, planted: 42, candidates: vec![1, 2] };
+        let o = AttackOutcome {
+            recovered: None,
+            planted: 42,
+            candidates: vec![1, 2],
+        };
         assert!(!o.leaked());
     }
 }

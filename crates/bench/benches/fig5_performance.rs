@@ -3,67 +3,13 @@
 //! processor, for the 22 SPEC CPU 2006-like benchmarks — plus the §VI.C
 //! *branch-memory only* ablation column.
 //!
-//! Run with `cargo bench -p condspec-bench --bench fig5_performance`.
+//! Delegates to the `fig5` engine sweep: jobs run in parallel, artifacts
+//! land under `target/condspec-runs/`, and `--resume` skips completed
+//! jobs after an interruption.
+//!
+//! Run with `cargo bench -p condspec-bench --bench fig5_performance`
+//! (append `-- --jobs <n> --resume` to tune).
 
-use condspec::{DefenseConfig, DependenceKinds, MachineConfig, SimConfig};
-use condspec_bench::{normalized, run_all_defenses, run_benchmark, DEFAULT_OUTER_ITERATIONS};
-use condspec_stats::{arithmetic_mean, TextTable};
-use condspec_workloads::spec::suite;
-
-fn main() {
-    let machine = MachineConfig::paper_default();
-    let mut table = TextTable::with_columns(&[
-        "Benchmark",
-        "Baseline",
-        "Cache-hit",
-        "Cache-hit+TPBuf",
-        "Branch-only Baseline (ablation)",
-    ]);
-    let mut columns: [Vec<f64>; 4] = Default::default();
-
-    for spec in suite() {
-        let runs = run_all_defenses(&spec, machine, DEFAULT_OUTER_ITERATIONS);
-        let origin = &runs[0];
-        // §VI.C ablation: the security matrix tracks only branch->memory
-        // dependences.
-        let branch_only = run_benchmark(
-            &spec,
-            SimConfig {
-                dependence_kinds: DependenceKinds::branch_only(),
-                ..SimConfig::on_machine(DefenseConfig::Baseline, machine)
-            },
-            DEFAULT_OUTER_ITERATIONS,
-        );
-        let values = [
-            normalized(&runs[1], origin),
-            normalized(&runs[2], origin),
-            normalized(&runs[3], origin),
-            normalized(&branch_only, origin),
-        ];
-        for (col, v) in columns.iter_mut().zip(values) {
-            col.push(v);
-        }
-        table.row(vec![
-            spec.name.to_string(),
-            format!("{:.3}", values[0]),
-            format!("{:.3}", values[1]),
-            format!("{:.3}", values[2]),
-            format!("{:.3}", values[3]),
-        ]);
-        eprintln!("  measured {}", spec.name);
-    }
-    table.row(vec![
-        "Average".to_string(),
-        format!("{:.3}", arithmetic_mean(&columns[0])),
-        format!("{:.3}", arithmetic_mean(&columns[1])),
-        format!("{:.3}", arithmetic_mean(&columns[2])),
-        format!("{:.3}", arithmetic_mean(&columns[3])),
-    ]);
-
-    println!("\nFigure 5 — normalized execution time (Origin = 1.0)\n");
-    println!("{table}");
-    println!(
-        "paper reference: Baseline avg 1.536, Cache-hit avg 1.128, \
-         Cache-hit+TPBuf avg 1.068, branch-only Baseline avg 1.230"
-    );
+fn main() -> std::process::ExitCode {
+    condspec_bench::sweep_main("fig5")
 }

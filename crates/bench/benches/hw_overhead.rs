@@ -1,36 +1,63 @@
-//! The **§VI.E hardware-overhead proxy**: criterion microbenchmarks of
-//! the security dependence matrix and TPBuf critical-path operations,
-//! plus the analytical storage model (the quantities the paper
-//! synthesizes to 0.05 mm² and 0.00079 mm² respectively).
+//! The **§VI.E hardware-overhead proxy**: microbenchmarks of the
+//! security dependence matrix and TPBuf critical-path operations, plus
+//! the analytical storage model (the quantities the paper synthesizes to
+//! 0.05 mm² and 0.00079 mm² respectively).
+//!
+//! Timing is a simple calibrated loop around `std::time::Instant` (the
+//! workspace is dependency-free, so no criterion): each operation is
+//! measured over enough iterations for the clock's granularity to be
+//! irrelevant, and the per-op time is reported in nanoseconds.
 //!
 //! Run with `cargo bench -p condspec-bench --bench hw_overhead`.
 
 use condspec::{SecurityDependenceMatrix, TpBuf};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn matrix_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("security_matrix_64x64");
-    group.bench_function("init_row (dispatch)", |b| {
-        let mut m = SecurityDependenceMatrix::new(64);
-        let producers: Vec<usize> = (0..16).map(|i| i * 3).collect();
-        b.iter(|| {
-            m.init_row(black_box(7), black_box(&producers));
-        });
-    });
-    group.bench_function("row_any (suspect flag at issue)", |b| {
-        let mut m = SecurityDependenceMatrix::new(64);
-        m.init_row(7, &[3, 40, 63]);
-        b.iter(|| black_box(m.row_any(black_box(7))));
-    });
-    group.bench_function("clear_column (dependence clearance)", |b| {
-        let mut m = SecurityDependenceMatrix::new(64);
-        for r in 0..64 {
-            m.init_row(r, &[13]);
+/// Measures `op` by running it in batches until at least ~50 ms of wall
+/// time has accumulated, then reports nanoseconds per operation.
+fn measure<F: FnMut()>(name: &str, mut op: F) {
+    // Warm up.
+    for _ in 0..1_000 {
+        op();
+    }
+    let mut iterations = 10_000u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            op();
         }
-        b.iter(|| m.clear_column(black_box(13)));
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 50 {
+            let ns = elapsed.as_nanos() as f64 / iterations as f64;
+            println!("  {name:<40} {ns:>10.1} ns/op  ({iterations} iterations)");
+            return;
+        }
+        iterations = iterations.saturating_mul(4);
+    }
+}
+
+fn matrix_ops() {
+    println!("security_matrix_64x64:");
+    let producers: Vec<usize> = (0..16).map(|i| i * 3).collect();
+    let mut m = SecurityDependenceMatrix::new(64);
+    measure("init_row (dispatch)", || {
+        m.init_row(black_box(7), black_box(&producers));
     });
-    group.finish();
+
+    let mut m = SecurityDependenceMatrix::new(64);
+    m.init_row(7, &[3, 40, 63]);
+    measure("row_any (suspect flag at issue)", || {
+        black_box(m.row_any(black_box(7)));
+    });
+
+    let mut m = SecurityDependenceMatrix::new(64);
+    for r in 0..64 {
+        m.init_row(r, &[13]);
+    }
+    measure("clear_column (dependence clearance)", || {
+        m.clear_column(black_box(13));
+    });
 
     // The quantity the paper's RTL synthesis measures.
     let m = SecurityDependenceMatrix::new(64);
@@ -41,29 +68,27 @@ fn matrix_ops(c: &mut Criterion) {
     );
 }
 
-fn tpbuf_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tpbuf_56_entries");
-    group.bench_function("s_pattern lookup (miss filter)", |b| {
-        let mut t = TpBuf::new(56);
-        for seq in 0..48u64 {
-            t.allocate(seq, true);
-            t.record_address(seq, 0x100 + seq / 8, seq % 3 == 0);
-            if seq % 2 == 0 {
-                t.record_writeback(seq);
-            }
+fn tpbuf_ops() {
+    println!("tpbuf_56_entries:");
+    let mut t = TpBuf::new(56);
+    for seq in 0..48u64 {
+        t.allocate(seq, true);
+        t.record_address(seq, 0x100 + seq / 8, seq % 3 == 0);
+        if seq % 2 == 0 {
+            t.record_writeback(seq);
         }
-        b.iter(|| black_box(t.matches_s_pattern(black_box(48), black_box(0x500))));
+    }
+    measure("s_pattern lookup (miss filter)", || {
+        black_box(t.matches_s_pattern(black_box(48), black_box(0x500)));
     });
-    group.bench_function("allocate+release (LSQ tracking)", |b| {
-        let mut t = TpBuf::new(56);
-        let mut seq = 0u64;
-        b.iter(|| {
-            t.allocate(seq, true);
-            t.release(seq);
-            seq += 1;
-        });
+
+    let mut t = TpBuf::new(56);
+    let mut seq = 0u64;
+    measure("allocate+release (LSQ tracking)", || {
+        t.allocate(seq, true);
+        t.release(seq);
+        seq += 1;
     });
-    group.finish();
 
     let t = TpBuf::new(56);
     println!(
@@ -75,5 +100,9 @@ fn tpbuf_ops(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, matrix_ops, tpbuf_ops);
-criterion_main!(benches);
+fn main() {
+    println!("\nSection VI.E — hardware-overhead proxy (critical-path microbenchmarks)\n");
+    matrix_ops();
+    println!();
+    tpbuf_ops();
+}

@@ -3,57 +3,13 @@
 //! Cache-hit + TPBuf. The paper leaves this evaluation as ongoing work;
 //! this harness provides it.
 //!
-//! Run with `cargo bench -p condspec-bench --bench icache_filter`.
+//! Delegates to the `icache` engine sweep: jobs run in parallel,
+//! artifacts land under `target/condspec-runs/`, and `--resume` skips
+//! completed jobs after an interruption.
+//!
+//! Run with `cargo bench -p condspec-bench --bench icache_filter`
+//! (append `-- --jobs <n> --resume` to tune).
 
-use condspec::{DefenseConfig, SimConfig};
-use condspec_bench::{run_benchmark, DEFAULT_OUTER_ITERATIONS};
-use condspec_stats::{arithmetic_mean, TextTable};
-use condspec_workloads::spec::suite;
-
-fn main() {
-    let mut table = TextTable::with_columns(&[
-        "Benchmark",
-        "CS+TPBuf (cycles)",
-        "+ICache filter",
-        "overhead",
-        "fetch stalls",
-    ]);
-    let mut overheads = Vec::new();
-    for spec in suite() {
-        let base = run_benchmark(
-            &spec,
-            SimConfig::new(DefenseConfig::CacheHitTpbuf),
-            DEFAULT_OUTER_ITERATIONS,
-        );
-        let mut config = SimConfig::new(DefenseConfig::CacheHitTpbuf);
-        config.machine.core.icache_filter = true;
-        let filtered = run_benchmark(&spec, config, DEFAULT_OUTER_ITERATIONS);
-        let overhead =
-            (filtered.report.cycles as f64 / base.report.cycles.max(1) as f64 - 1.0) * 100.0;
-        overheads.push(overhead);
-        table.row(vec![
-            spec.name.to_string(),
-            base.report.cycles.to_string(),
-            filtered.report.cycles.to_string(),
-            format!("{overhead:+.2}%"),
-            filtered.pipeline.icache_fetch_stalls.to_string(),
-        ]);
-        eprintln!("  measured {}", spec.name);
-    }
-    table.row(vec![
-        "Average".to_string(),
-        "-".to_string(),
-        "-".to_string(),
-        format!("{:+.2}%", arithmetic_mean(&overheads)),
-        "-".to_string(),
-    ]);
-
-    println!("\nSection VII.B — ICache-hit filter on top of Cache-hit + TPBuf\n");
-    println!("{table}");
-    println!(
-        "The paper proposes this extension without evaluating it; the \
-         expectation is a small overhead because instruction working sets \
-         are L1I-resident, with stalls concentrated at mispredicted \
-         branches whose wrong-path code is cold."
-    );
+fn main() -> std::process::ExitCode {
+    condspec_bench::sweep_main("icache")
 }

@@ -3,56 +3,13 @@
 //! how much of it the *delayed update* policy (update at commit) wins
 //! back, both on top of Cache-hit + TPBuf.
 //!
-//! Run with `cargo bench -p condspec-bench --bench lru_policy`.
+//! Delegates to the `lru` engine sweep: jobs run in parallel, artifacts
+//! land under `target/condspec-runs/`, and `--resume` skips completed
+//! jobs after an interruption.
+//!
+//! Run with `cargo bench -p condspec-bench --bench lru_policy`
+//! (append `-- --jobs <n> --resume` to tune).
 
-use condspec::LruPolicy;
-use condspec_bench::{run_with_lru, DEFAULT_OUTER_ITERATIONS};
-use condspec_stats::{arithmetic_mean, TextTable};
-use condspec_workloads::spec::suite;
-
-fn main() {
-    let mut table = TextTable::with_columns(&[
-        "Benchmark",
-        "Normal LRU (cycles)",
-        "No-update vs normal",
-        "Delayed vs normal",
-        "Delayed recovers",
-    ]);
-    let mut no_update_pct = Vec::new();
-    let mut delayed_pct = Vec::new();
-
-    for spec in suite() {
-        let normal = run_with_lru(&spec, LruPolicy::Update, DEFAULT_OUTER_ITERATIONS);
-        let none = run_with_lru(&spec, LruPolicy::NoUpdate, DEFAULT_OUTER_ITERATIONS);
-        let delayed = run_with_lru(&spec, LruPolicy::Delayed, DEFAULT_OUTER_ITERATIONS);
-        let base = normal.report.cycles.max(1) as f64;
-        let none_overhead = (none.report.cycles as f64 / base - 1.0) * 100.0;
-        let delayed_overhead = (delayed.report.cycles as f64 / base - 1.0) * 100.0;
-        no_update_pct.push(none_overhead);
-        delayed_pct.push(delayed_overhead);
-        table.row(vec![
-            spec.name.to_string(),
-            normal.report.cycles.to_string(),
-            format!("{:+.2}%", none_overhead),
-            format!("{:+.2}%", delayed_overhead),
-            format!("{:+.2}%", none_overhead - delayed_overhead),
-        ]);
-        eprintln!("  measured {}", spec.name);
-    }
-    let avg_none = arithmetic_mean(&no_update_pct);
-    let avg_delayed = arithmetic_mean(&delayed_pct);
-    table.row(vec![
-        "Average".to_string(),
-        "-".to_string(),
-        format!("{avg_none:+.2}%"),
-        format!("{avg_delayed:+.2}%"),
-        format!("{:+.2}%", avg_none - avg_delayed),
-    ]);
-
-    println!("\nSection VII.A — secure LRU update policies (on Cache-hit + TPBuf)\n");
-    println!("{table}");
-    println!(
-        "paper reference: no-update costs +0.71% on average; \
-         delayed update recovers 0.26% of it."
-    );
+fn main() -> std::process::ExitCode {
+    condspec_bench::sweep_main("lru")
 }

@@ -1,73 +1,15 @@
 //! Regenerates **Table IV**: security analysis of the three Conditional
 //! Speculation mechanisms against six attack classifications — by
 //! actually mounting every attack and checking whether the planted secret
-//! byte is recovered.
+//! byte is recovered — plus a per-variant summary (Spectre V1/V2/V4/RSB).
 //!
-//! Also prints a per-variant summary (Spectre V1 / V2 / V4, the paper's
-//! "Flush+Reload, share data" grouping).
+//! Delegates to the `table4` engine sweep: jobs run in parallel,
+//! artifacts land under `target/condspec-runs/`, and `--resume` skips
+//! completed jobs after an interruption.
 //!
-//! Run with `cargo bench -p condspec-bench --bench table4_security`.
+//! Run with `cargo bench -p condspec-bench --bench table4_security`
+//! (append `-- --jobs <n> --resume` to tune).
 
-use condspec::DefenseConfig;
-use condspec_attacks::{run_variant, AttackScenario};
-use condspec_stats::TextTable;
-use condspec_workloads::GadgetKind;
-
-fn mark(defended: bool) -> &'static str {
-    if defended {
-        "yes"
-    } else {
-        "NO"
-    }
-}
-
-fn main() {
-    let mut table = TextTable::with_columns(&[
-        "Attack Classification",
-        "Origin",
-        "Baseline",
-        "Cache-hit",
-        "Cache-hit+TPBuf",
-        "matches paper",
-    ]);
-    let mut all_match = true;
-    for scenario in AttackScenario::ALL {
-        let mut cells = vec![scenario.label().to_string()];
-        let mut row_matches = true;
-        for defense in DefenseConfig::ALL {
-            let outcome = scenario.run(defense);
-            let defended = !outcome.leaked();
-            row_matches &= defended == scenario.expected_defended(defense);
-            cells.push(mark(defended).to_string());
-        }
-        all_match &= row_matches;
-        cells.push(if row_matches { "yes" } else { "MISMATCH" }.to_string());
-        table.row(cells);
-    }
-
-    println!("\nTable IV — defended? (per mechanism, measured by end-to-end attack)\n");
-    println!("{table}");
-    println!(
-        "expected (paper): Baseline and Cache-hit defend all six; \
-         Cache-hit+TPBuf defends the four shared-memory rows only."
-    );
-    println!("all cells match Table IV: {}", if all_match { "YES" } else { "NO" });
-
-    let mut variants = TextTable::with_columns(&[
-        "Spectre variant",
-        "Origin leaks",
-        "Baseline",
-        "Cache-hit",
-        "Cache-hit+TPBuf",
-    ]);
-    for kind in [GadgetKind::V1, GadgetKind::V2, GadgetKind::V4, GadgetKind::Rsb] {
-        let mut cells = vec![format!("{kind:?}")];
-        for defense in DefenseConfig::ALL {
-            let outcome = run_variant(kind, defense);
-            cells.push(if outcome.leaked() { "LEAKS" } else { "blocked" }.to_string());
-        }
-        variants.row(cells);
-    }
-    println!("\nPer-variant analysis (Flush+Reload channel; Rsb = SpectreRSB/ret2spec):\n");
-    println!("{variants}");
+fn main() -> std::process::ExitCode {
+    condspec_bench::sweep_main("table4")
 }

@@ -3,54 +3,13 @@
 //! accesses on the correct execution path), the cache hit rate of suspect
 //! speculative accesses, and the S-Pattern mismatch rate.
 //!
-//! Run with `cargo bench -p condspec-bench --bench table5_filters`.
+//! Delegates to the `table5` engine sweep: jobs run in parallel,
+//! artifacts land under `target/condspec-runs/`, and `--resume` skips
+//! completed jobs after an interruption.
+//!
+//! Run with `cargo bench -p condspec-bench --bench table5_filters`
+//! (append `-- --jobs <n> --resume` to tune).
 
-use condspec::MachineConfig;
-use condspec_bench::{run_all_defenses, DEFAULT_OUTER_ITERATIONS};
-use condspec_stats::{arithmetic_mean, table::percent, TextTable};
-use condspec_workloads::spec::suite;
-
-fn main() {
-    let machine = MachineConfig::paper_default();
-    let mut table = TextTable::with_columns(&[
-        "Benchmark",
-        "L1 Hit Rate",
-        "BL Blocked",
-        "CH Blocked",
-        "CH SpecHitRate",
-        "TPBuf Blocked",
-        "S-Mismatch",
-    ]);
-    let mut sums: [Vec<f64>; 6] = Default::default();
-
-    for spec in suite() {
-        let runs = run_all_defenses(&spec, machine, DEFAULT_OUTER_ITERATIONS);
-        let (origin, baseline, cachehit, tpbuf) = (&runs[0], &runs[1], &runs[2], &runs[3]);
-        let values = [
-            origin.report.l1d_hit_rate,
-            baseline.report.blocked_rate,
-            cachehit.report.blocked_rate,
-            cachehit.report.suspect_hit_rate,
-            tpbuf.report.blocked_rate,
-            tpbuf.report.s_pattern_mismatch_rate,
-        ];
-        for (col, v) in sums.iter_mut().zip(values) {
-            col.push(v);
-        }
-        let mut cells = vec![spec.name.to_string()];
-        cells.extend(values.iter().map(|v| percent(*v)));
-        table.row(cells);
-        eprintln!("  measured {}", spec.name);
-    }
-    let mut avg = vec!["Average".to_string()];
-    avg.extend(sums.iter().map(|c| percent(arithmetic_mean(c))));
-    table.row(avg);
-
-    println!("\nTable V — filter analysis\n");
-    println!("{table}");
-    println!(
-        "paper reference averages: L1 hit 88.7%, Baseline blocked 73.6%, \
-         Cache-hit blocked 3.6%, suspect hit rate 89.6%, TPBuf blocked 1.7%, \
-         S-Pattern mismatch 18.2%"
-    );
+fn main() -> std::process::ExitCode {
+    condspec_bench::sweep_main("table5")
 }

@@ -2,54 +2,13 @@
 //! overheads to core complexity, on A57-like (mobile), I7-like (desktop)
 //! and Xeon-like (server) machines.
 //!
-//! Run with `cargo bench -p condspec-bench --bench table6_sensitivity`.
+//! Delegates to the `table6` engine sweep: jobs run in parallel,
+//! artifacts land under `target/condspec-runs/`, and `--resume` skips
+//! completed jobs after an interruption.
+//!
+//! Run with `cargo bench -p condspec-bench --bench table6_sensitivity`
+//! (append `-- --jobs <n> --resume` to tune).
 
-use condspec::MachineConfig;
-use condspec_bench::run_all_defenses;
-use condspec_stats::{arithmetic_mean, table::percent_value, TextTable};
-use condspec_workloads::spec::suite;
-
-/// Fewer iterations than Figure 5: this sweep is 3x larger.
-const ITERATIONS: u64 = 25;
-
-fn main() {
-    let machines = MachineConfig::sensitivity_presets();
-    let mut table = TextTable::with_columns(&[
-        "Benchmark",
-        "A57 BL", "A57 CH", "A57 TPBuf",
-        "I7 BL", "I7 CH", "I7 TPBuf",
-        "Xeon BL", "Xeon CH", "Xeon TPBuf",
-    ]);
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 9];
-
-    for spec in suite() {
-        let mut cells = vec![spec.name.to_string()];
-        let mut idx = 0;
-        for machine in machines {
-            let runs = run_all_defenses(&spec, machine, ITERATIONS);
-            let origin_cycles = runs[0].report.cycles.max(1) as f64;
-            for run in &runs[1..] {
-                let overhead = (run.report.cycles as f64 / origin_cycles - 1.0) * 100.0;
-                sums[idx].push(overhead);
-                idx += 1;
-                cells.push(percent_value(overhead));
-            }
-        }
-        table.row(cells);
-        eprintln!("  measured {}", spec.name);
-    }
-    let mut avg = vec!["Average".to_string()];
-    avg.extend(sums.iter().map(|c| percent_value(arithmetic_mean(c))));
-    table.row(avg);
-
-    println!("\nTable VI — performance overhead (%) by core complexity\n");
-    println!("{table}");
-    println!(
-        "paper reference averages: A57 41.1/11.0/6.0, I7 46.3/15.1/9.0, \
-         Xeon 51.4/15.9/9.6 (%)"
-    );
-    println!(
-        "expected shape: the same mechanism ordering on every platform, \
-         with overheads growing with core complexity."
-    );
+fn main() -> std::process::ExitCode {
+    condspec_bench::sweep_main("table6")
 }

@@ -51,24 +51,12 @@ pub fn run_benchmark(
 ) -> RunMeasurement {
     let mut sim = Simulator::new(config);
     let warmup = build_program(spec, WARMUP_ITERATIONS);
-    sim.load_program(&warmup);
-    let warm = sim.run(RUN_BUDGET);
-    assert!(sim.core().is_halted(), "warm-up must complete: {warm:?}");
     let program = build_program(spec, outer_iterations);
-    sim.load_program(&program);
-    sim.reset_stats();
-    let result = sim.run(RUN_BUDGET);
-    assert!(
-        sim.core().is_halted(),
-        "{} under {} did not halt ({:?})",
-        spec.name,
-        config.defense,
-        result.exit
-    );
+    let report = sim.run_job(Some(&warmup), &program, RUN_BUDGET);
     RunMeasurement {
         benchmark: spec.name,
         defense: config.defense,
-        report: sim.report(),
+        report,
         pipeline: *sim.core().stats(),
     }
 }
@@ -88,11 +76,7 @@ pub fn run_all_defenses(
 
 /// Runs one benchmark under the full defense with a given secure-LRU
 /// policy (the §VII.A study).
-pub fn run_with_lru(
-    spec: &WorkloadSpec,
-    lru: LruPolicy,
-    outer_iterations: u64,
-) -> RunMeasurement {
+pub fn run_with_lru(spec: &WorkloadSpec, lru: LruPolicy, outer_iterations: u64) -> RunMeasurement {
     let config = SimConfig {
         lru_policy: lru,
         ..SimConfig::new(DefenseConfig::CacheHitTpbuf)
@@ -104,6 +88,66 @@ pub fn run_with_lru(
 /// sweep).
 pub fn normalized(measurement: &RunMeasurement, origin: &RunMeasurement) -> f64 {
     measurement.report.cycles as f64 / origin.report.cycles.max(1) as f64
+}
+
+/// The shared entry point of the table/figure harnesses: runs the named
+/// engine sweep and prints its rendered table.
+///
+/// Recognized arguments (everything else — e.g. the `--bench` flag
+/// cargo passes to harness binaries — is ignored): `--jobs <n>`,
+/// `--resume`, `--quiet`, `--root <dir>`.
+pub fn sweep_main(name: &str) -> std::process::ExitCode {
+    use std::process::ExitCode;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sweep = condspec_engine::Sweep::by_name(name).expect("harness names a known sweep");
+    let mut opts = condspec_engine::SweepOptions {
+        resume: args.iter().any(|a| a == "--resume"),
+        quiet: args.iter().any(|a| a == "--quiet"),
+        ..Default::default()
+    };
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|pos| args.get(pos + 1))
+            .cloned()
+    };
+    if let Some(jobs) = value_of("--jobs") {
+        match jobs.parse::<usize>() {
+            Ok(n) => opts.workers = n,
+            Err(_) => {
+                eprintln!("bad --jobs `{jobs}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(root) = value_of("--root") {
+        opts.root = root.into();
+    }
+    let outcome = match condspec_engine::run_sweep(&sweep, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sweep {name} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", sweep.render(&outcome.results));
+    println!(
+        "sweep {}: {} executed, {} skipped, {} failed — artifacts in {}",
+        outcome.sweep_id,
+        outcome.executed,
+        outcome.skipped,
+        outcome.failed.len(),
+        outcome.dir.display()
+    );
+    for (hash, label, error) in &outcome.failed {
+        eprintln!("failed job {hash} ({label}): {error}");
+    }
+    if outcome.failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 #[cfg(test)]

@@ -30,8 +30,8 @@ pub enum Command {
         name: String,
         /// `None` = all four environments.
         defense: Option<DefenseConfig>,
-        /// Machine preset.
-        machine: MachineConfig,
+        /// Machine preset (boxed: `MachineConfig` dwarfs the other variants).
+        machine: Box<MachineConfig>,
         /// Outer iterations.
         iterations: u64,
     },
@@ -62,6 +62,20 @@ pub enum Command {
         /// Maximum events to print.
         events: usize,
     },
+    /// Run a named experiment sweep through the parallel engine.
+    Sweep {
+        /// Sweep name (`fig5`, `table4`, `table5`, `table6`, `lru`,
+        /// `icache`).
+        name: String,
+        /// Worker threads; 0 = all available cores.
+        jobs: usize,
+        /// Skip jobs whose artifacts already exist.
+        resume: bool,
+        /// Artifact root; `None` = `target/condspec-runs`.
+        root: Option<String>,
+        /// Suppress stderr progress lines.
+        quiet: bool,
+    },
     /// List the benchmark suite and machine presets.
     List,
     /// Print usage.
@@ -91,6 +105,7 @@ USAGE:
   condspec run     --file <prog.bin> [--defense <name>] [--max-cycles <n>]
   condspec save    --name <benchmark> --file <prog.bin> [--iters <n>]
   condspec trace   --kind <variant> [--defense <name>] [--events <n>]
+  condspec sweep   <name> [--jobs <n>] [--resume] [--root <dir>] [--quiet]
   condspec list
   condspec help
 
@@ -98,6 +113,9 @@ SCENARIOS: flush-reload, flush-flush, evict-reload, prime-probe,
            prime-probe-noshare, evict-time
 DEFENSES:  origin, baseline, cache-hit, cache-hit-tpbuf
 MACHINES:  paper-default, a57, i7, xeon
+SWEEPS:    fig5, table4, table5, table6, lru, icache
+           (artifacts land under target/condspec-runs/<sweep-id>/;
+            re-run with --resume to skip completed jobs)
 ";
 
 fn parse_defense(s: &str) -> Result<DefenseConfig, ParseError> {
@@ -144,6 +162,17 @@ fn parse_machine(s: &str) -> Result<MachineConfig, ParseError> {
     }
 }
 
+/// Pulls a boolean `--flag` out of `args`, returning whether it was
+/// present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
 /// Pulls the value of `--flag` out of `args`, if present.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ParseError> {
     if let Some(pos) = args.iter().position(|a| a == flag) {
@@ -185,7 +214,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let defense = take_flag(&mut rest, "--defense")?
                 .map(|s| parse_defense(&s))
                 .transpose()?;
-            Command::Variant { kind: parse_kind(&kind)?, defense }
+            Command::Variant {
+                kind: parse_kind(&kind)?,
+                defense,
+            }
         }
         "bench" => {
             let name = take_flag(&mut rest, "--name")?
@@ -193,15 +225,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let defense = take_flag(&mut rest, "--defense")?
                 .map(|s| parse_defense(&s))
                 .transpose()?;
-            let machine = take_flag(&mut rest, "--machine")?
-                .map(|s| parse_machine(&s))
-                .transpose()?
-                .unwrap_or_else(MachineConfig::paper_default);
+            let machine = Box::new(
+                take_flag(&mut rest, "--machine")?
+                    .map(|s| parse_machine(&s))
+                    .transpose()?
+                    .unwrap_or_else(MachineConfig::paper_default),
+            );
             let iterations = take_flag(&mut rest, "--iters")?
-                .map(|s| s.parse::<u64>().map_err(|_| ParseError(format!("bad --iters `{s}`"))))
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --iters `{s}`")))
+                })
                 .transpose()?
                 .unwrap_or(25);
-            Command::Bench { name, defense, machine, iterations }
+            Command::Bench {
+                name,
+                defense,
+                machine,
+                iterations,
+            }
         }
         "run" => {
             let file = take_flag(&mut rest, "--file")?
@@ -216,7 +258,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 })
                 .transpose()?
                 .unwrap_or(100_000_000);
-            Command::Run { file, defense, max_cycles }
+            Command::Run {
+                file,
+                defense,
+                max_cycles,
+            }
         }
         "save" => {
             let name = take_flag(&mut rest, "--name")?
@@ -224,10 +270,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let file = take_flag(&mut rest, "--file")?
                 .ok_or_else(|| ParseError("save requires --file".into()))?;
             let iterations = take_flag(&mut rest, "--iters")?
-                .map(|s| s.parse::<u64>().map_err(|_| ParseError(format!("bad --iters `{s}`"))))
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --iters `{s}`")))
+                })
                 .transpose()?
                 .unwrap_or(25);
-            Command::Save { name, file, iterations }
+            Command::Save {
+                name,
+                file,
+                iterations,
+            }
         }
         "trace" => {
             let kind = take_flag(&mut rest, "--kind")?
@@ -236,10 +289,40 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 .map(|s| parse_defense(&s))
                 .transpose()?;
             let events = take_flag(&mut rest, "--events")?
-                .map(|s| s.parse::<usize>().map_err(|_| ParseError(format!("bad --events `{s}`"))))
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| ParseError(format!("bad --events `{s}`")))
+                })
                 .transpose()?
                 .unwrap_or(120);
-            Command::Trace { kind: parse_kind(&kind)?, defense, events }
+            Command::Trace {
+                kind: parse_kind(&kind)?,
+                defense,
+                events,
+            }
+        }
+        "sweep" => {
+            let name = match rest.first() {
+                Some(first) if !first.starts_with("--") => rest.remove(0),
+                _ => return Err(ParseError("sweep requires a sweep name".into())),
+            };
+            let jobs = take_flag(&mut rest, "--jobs")?
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| ParseError(format!("bad --jobs `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let resume = take_switch(&mut rest, "--resume");
+            let quiet = take_switch(&mut rest, "--quiet");
+            let root = take_flag(&mut rest, "--root")?;
+            Command::Sweep {
+                name,
+                jobs,
+                resume,
+                root,
+                quiet,
+            }
         }
         "list" => Command::List,
         "help" | "--help" | "-h" => Command::Help,
@@ -271,7 +354,10 @@ mod tests {
     fn attack_defaults_to_full_sweep() {
         assert_eq!(
             parse(&argv("attack")).unwrap(),
-            Command::Attack { scenario: None, defense: None }
+            Command::Attack {
+                scenario: None,
+                defense: None
+            }
         );
     }
 
@@ -291,14 +377,26 @@ mod tests {
         assert!(parse(&argv("variant")).is_err());
         assert_eq!(
             parse(&argv("variant --kind v4 --defense baseline")).unwrap(),
-            Command::Variant { kind: GadgetKind::V4, defense: Some(DefenseConfig::Baseline) }
+            Command::Variant {
+                kind: GadgetKind::V4,
+                defense: Some(DefenseConfig::Baseline)
+            }
         );
     }
 
     #[test]
     fn bench_parses_all_flags() {
-        match parse(&argv("bench --name lbm --defense tpbuf --machine i7 --iters 7")).unwrap() {
-            Command::Bench { name, defense, machine, iterations } => {
+        match parse(&argv(
+            "bench --name lbm --defense tpbuf --machine i7 --iters 7",
+        ))
+        .unwrap()
+        {
+            Command::Bench {
+                name,
+                defense,
+                machine,
+                iterations,
+            } => {
                 assert_eq!(name, "lbm");
                 assert_eq!(defense, Some(DefenseConfig::CacheHitTpbuf));
                 assert_eq!(machine.name, "I7-like");
@@ -311,7 +409,11 @@ mod tests {
     #[test]
     fn run_and_save_parse() {
         match parse(&argv("run --file p.bin --defense origin --max-cycles 99")).unwrap() {
-            Command::Run { file, defense, max_cycles } => {
+            Command::Run {
+                file,
+                defense,
+                max_cycles,
+            } => {
                 assert_eq!(file, "p.bin");
                 assert_eq!(defense, Some(DefenseConfig::Origin));
                 assert_eq!(max_cycles, 99);
@@ -319,7 +421,11 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match parse(&argv("save --name gcc --file out.bin")).unwrap() {
-            Command::Save { name, file, iterations } => {
+            Command::Save {
+                name,
+                file,
+                iterations,
+            } => {
                 assert_eq!(name, "gcc");
                 assert_eq!(file, "out.bin");
                 assert_eq!(iterations, 25);
@@ -333,7 +439,11 @@ mod tests {
     #[test]
     fn trace_parses() {
         match parse(&argv("trace --kind v1 --events 10")).unwrap() {
-            Command::Trace { kind, defense, events } => {
+            Command::Trace {
+                kind,
+                defense,
+                events,
+            } => {
                 assert_eq!(kind, GadgetKind::V1);
                 assert_eq!(defense, None);
                 assert_eq!(events, 10);
@@ -343,12 +453,49 @@ mod tests {
     }
 
     #[test]
+    fn sweep_parses() {
+        assert_eq!(
+            parse(&argv("sweep fig5")).unwrap(),
+            Command::Sweep {
+                name: "fig5".to_string(),
+                jobs: 0,
+                resume: false,
+                root: None,
+                quiet: false
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "sweep table4 --jobs 8 --resume --root /tmp/runs --quiet"
+            ))
+            .unwrap(),
+            Command::Sweep {
+                name: "table4".to_string(),
+                jobs: 8,
+                resume: true,
+                root: Some("/tmp/runs".to_string()),
+                quiet: true
+            }
+        );
+        assert!(parse(&argv("sweep")).is_err(), "sweep needs a name");
+        assert!(
+            parse(&argv("sweep --jobs 2")).is_err(),
+            "flag is not a name"
+        );
+        assert!(parse(&argv("sweep fig5 --jobs many")).is_err());
+        assert!(parse(&argv("sweep fig5 stray")).is_err());
+    }
+
+    #[test]
     fn rejects_unknown_values() {
         assert!(parse(&argv("attack --scenario nope")).is_err());
         assert!(parse(&argv("bench --name lbm --machine m1")).is_err());
         assert!(parse(&argv("bench --name lbm --iters many")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
-        assert!(parse(&argv("attack --defense")).is_err(), "flag without value");
+        assert!(
+            parse(&argv("attack --defense")).is_err(),
+            "flag without value"
+        );
         assert!(parse(&argv("attack stray")).is_err(), "stray positional");
     }
 }

@@ -38,9 +38,8 @@ fn run(cmd: Command) -> ExitCode {
         }
         Command::List => {
             println!("benchmarks (calibrated to the paper's Table V):");
-            let mut t = TextTable::with_columns(&[
-                "name", "L1 hit target", "seq-miss", "stores", "region",
-            ]);
+            let mut t =
+                TextTable::with_columns(&["name", "L1 hit target", "seq-miss", "stores", "region"]);
             for w in suite() {
                 t.row(vec![
                     w.name.to_string(),
@@ -87,12 +86,20 @@ fn run(cmd: Command) -> ExitCode {
                 let outcome = run_variant(kind, d);
                 let expected = (d == DefenseConfig::Origin) == outcome.leaked()
                     || kind == GadgetKind::V1SamePage; // same-page evades TPBuf too
-                t.row(vec![format!("{kind:?}"), d.label().to_string(), verdict(&outcome, expected)]);
+                t.row(vec![
+                    format!("{kind:?}"),
+                    d.label().to_string(),
+                    verdict(&outcome, expected),
+                ]);
             }
             println!("{t}");
             ExitCode::SUCCESS
         }
-        Command::Trace { kind, defense, events } => {
+        Command::Trace {
+            kind,
+            defense,
+            events,
+        } => {
             use condspec_workloads::gadgets::SpectreGadget;
             let defense = defense.unwrap_or(DefenseConfig::CacheHitTpbuf);
             let gadget = SpectreGadget::build(kind);
@@ -128,7 +135,11 @@ fn run(cmd: Command) -> ExitCode {
             print!("{trace}");
             ExitCode::SUCCESS
         }
-        Command::Run { file, defense, max_cycles } => {
+        Command::Run {
+            file,
+            defense,
+            max_cycles,
+        } => {
             let bytes = match std::fs::read(&file) {
                 Ok(b) => b,
                 Err(e) => {
@@ -165,7 +176,11 @@ fn run(cmd: Command) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Command::Save { name, file, iterations } => {
+        Command::Save {
+            name,
+            file,
+            iterations,
+        } => {
             let Some(spec) = by_name(&name) else {
                 eprintln!("unknown benchmark `{name}` — try `condspec list`");
                 return ExitCode::FAILURE;
@@ -184,18 +199,76 @@ fn run(cmd: Command) -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        Command::Bench { name, defense, machine, iterations } => {
+        Command::Sweep {
+            name,
+            jobs,
+            resume,
+            root,
+            quiet,
+        } => {
+            let Some(sweep) = condspec_engine::Sweep::by_name(&name) else {
+                eprintln!(
+                    "unknown sweep `{name}` — available: {}",
+                    condspec_engine::Sweep::NAMES.join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            let mut opts = condspec_engine::SweepOptions {
+                workers: jobs,
+                resume,
+                quiet,
+                ..Default::default()
+            };
+            if let Some(root) = root {
+                opts.root = root.into();
+            }
+            let outcome = match condspec_engine::run_sweep(&sweep, &opts) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("sweep {name} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", sweep.render(&outcome.results));
+            println!(
+                "sweep {}: {} executed, {} skipped, {} failed — artifacts in {}",
+                outcome.sweep_id,
+                outcome.executed,
+                outcome.skipped,
+                outcome.failed.len(),
+                outcome.dir.display()
+            );
+            for (hash, label, error) in &outcome.failed {
+                eprintln!("failed job {hash} ({label}): {error}");
+            }
+            if outcome.failed.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Command::Bench {
+            name,
+            defense,
+            machine,
+            iterations,
+        } => {
             let Some(spec) = by_name(&name) else {
                 eprintln!("unknown benchmark `{name}` — try `condspec list`");
                 return ExitCode::FAILURE;
             };
             let program = build_program(&spec, iterations);
             let mut t = TextTable::with_columns(&[
-                "defense", "cycles", "IPC", "L1D hit", "blocked", "S-mismatch",
+                "defense",
+                "cycles",
+                "IPC",
+                "L1D hit",
+                "blocked",
+                "S-mismatch",
             ]);
             let mut origin_cycles: Option<u64> = None;
             for d in defenses(defense) {
-                let mut sim = Simulator::new(SimConfig::on_machine(d, machine));
+                let mut sim = Simulator::new(SimConfig::on_machine(d, *machine));
                 sim.run_to_halt(&program, 500_000_000);
                 let r = sim.report();
                 let norm = match origin_cycles {
@@ -216,7 +289,10 @@ fn run(cmd: Command) -> ExitCode {
                     format!("{:.1}%", r.s_pattern_mismatch_rate * 100.0),
                 ]);
             }
-            println!("{name} on {} ({iterations} outer iterations):\n", machine.name);
+            println!(
+                "{name} on {} ({iterations} outer iterations):\n",
+                machine.name
+            );
             println!("{t}");
             ExitCode::SUCCESS
         }

@@ -46,6 +46,28 @@ impl DefenseConfig {
         }
     }
 
+    /// A stable machine-readable key (CLI values, job hashes, artifact
+    /// files). The inverse of [`DefenseConfig::from_key`].
+    pub fn key(&self) -> &'static str {
+        match self {
+            DefenseConfig::Origin => "origin",
+            DefenseConfig::Baseline => "baseline",
+            DefenseConfig::CacheHit => "cache-hit",
+            DefenseConfig::CacheHitTpbuf => "cache-hit-tpbuf",
+        }
+    }
+
+    /// Parses a [`DefenseConfig::key`] value (plus common aliases).
+    pub fn from_key(key: &str) -> Option<DefenseConfig> {
+        match key {
+            "origin" => Some(DefenseConfig::Origin),
+            "baseline" => Some(DefenseConfig::Baseline),
+            "cache-hit" | "cachehit" => Some(DefenseConfig::CacheHit),
+            "cache-hit-tpbuf" | "tpbuf" => Some(DefenseConfig::CacheHitTpbuf),
+            _ => None,
+        }
+    }
+
     /// The filter mode, or `None` for the unprotected core.
     pub fn filter_mode(&self) -> Option<FilterMode> {
         match self {
@@ -124,7 +146,11 @@ impl MachineConfig {
                 memory_latency: 160,
                 next_line_prefetch: false,
             },
-            tlb: TlbConfig { entries: 48, hit_latency: 0, miss_latency: 20 },
+            tlb: TlbConfig {
+                entries: 48,
+                hit_latency: 0,
+                miss_latency: 20,
+            },
             predictor: PredictorConfig {
                 kind: condspec_frontend::PredictorKind::Tournament,
                 table_bits: 11,
@@ -203,7 +229,11 @@ impl MachineConfig {
                 memory_latency: 240,
                 next_line_prefetch: false,
             },
-            tlb: TlbConfig { entries: 128, hit_latency: 0, miss_latency: 24 },
+            tlb: TlbConfig {
+                entries: 128,
+                hit_latency: 0,
+                miss_latency: 24,
+            },
             predictor: PredictorConfig::paper_default(),
         }
     }
@@ -241,7 +271,10 @@ impl SimConfig {
 
     /// Same defense on a different machine preset.
     pub fn on_machine(defense: DefenseConfig, machine: MachineConfig) -> Self {
-        SimConfig { machine, ..SimConfig::new(defense) }
+        SimConfig {
+            machine,
+            ..SimConfig::new(defense)
+        }
     }
 }
 
@@ -285,7 +318,22 @@ mod tests {
         assert!(DefenseConfig::Baseline.filter_mode().is_some());
         assert_eq!(DefenseConfig::ALL.len(), 4);
         assert_eq!(DefenseConfig::DEFENSES.len(), 3);
-        assert_eq!(DefenseConfig::CacheHitTpbuf.to_string(), "Cache-hit Filter + TPBuf Filter");
+        assert_eq!(
+            DefenseConfig::CacheHitTpbuf.to_string(),
+            "Cache-hit Filter + TPBuf Filter"
+        );
+    }
+
+    #[test]
+    fn defense_keys_round_trip() {
+        for d in DefenseConfig::ALL {
+            assert_eq!(DefenseConfig::from_key(d.key()), Some(d));
+        }
+        assert_eq!(
+            DefenseConfig::from_key("tpbuf"),
+            Some(DefenseConfig::CacheHitTpbuf)
+        );
+        assert_eq!(DefenseConfig::from_key("nonsense"), None);
     }
 
     #[test]

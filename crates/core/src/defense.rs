@@ -5,8 +5,7 @@ use crate::matrix::SecurityDependenceMatrix;
 use crate::tpbuf::TpBuf;
 use condspec_mem::LruUpdate;
 use condspec_pipeline::policy::{
-    DispatchInfo, InstClass, IqEntryView, MemAccessQuery, MemDecision, PolicyStats,
-    SecurityPolicy,
+    DispatchInfo, InstClass, IqEntryView, MemAccessQuery, MemDecision, PolicyStats, SecurityPolicy,
 };
 
 /// Which hazard filters are active (the paper's three evaluated
@@ -50,6 +49,26 @@ pub enum LruPolicy {
 }
 
 impl LruPolicy {
+    /// A stable machine-readable key (CLI values, job hashes). The
+    /// inverse of [`LruPolicy::from_key`].
+    pub fn key(&self) -> &'static str {
+        match self {
+            LruPolicy::Update => "update",
+            LruPolicy::NoUpdate => "no-update",
+            LruPolicy::Delayed => "delayed",
+        }
+    }
+
+    /// Parses a [`LruPolicy::key`] value.
+    pub fn from_key(key: &str) -> Option<LruPolicy> {
+        match key {
+            "update" => Some(LruPolicy::Update),
+            "no-update" => Some(LruPolicy::NoUpdate),
+            "delayed" => Some(LruPolicy::Delayed),
+            _ => None,
+        }
+    }
+
     fn to_update(self) -> LruUpdate {
         match self {
             LruPolicy::Update => LruUpdate::Normal,
@@ -73,12 +92,18 @@ pub struct DependenceKinds {
 impl DependenceKinds {
     /// The full mechanism (both speculation sources).
     pub fn all() -> Self {
-        DependenceKinds { branch: true, memory: true }
+        DependenceKinds {
+            branch: true,
+            memory: true,
+        }
     }
 
     /// Branch-memory dependences only (the §VI.C ablation).
     pub fn branch_only() -> Self {
-        DependenceKinds { branch: true, memory: false }
+        DependenceKinds {
+            branch: true,
+            memory: false,
+        }
     }
 
     fn covers(&self, class: InstClass) -> bool {
@@ -214,7 +239,9 @@ impl SecurityPolicy for ConditionalSpeculation {
 
     fn check_mem_access(&mut self, query: &MemAccessQuery) -> MemDecision {
         if !query.suspect {
-            return MemDecision::Proceed { l1_update: LruUpdate::Normal };
+            return MemDecision::Proceed {
+                l1_update: LruUpdate::Normal,
+            };
         }
         self.stats.suspect_flags += 1;
         match self.mode {
@@ -224,7 +251,9 @@ impl SecurityPolicy for ConditionalSpeculation {
             }
             FilterMode::CacheHit => {
                 if query.l1_hit {
-                    MemDecision::Proceed { l1_update: self.lru.to_update() }
+                    MemDecision::Proceed {
+                        l1_update: self.lru.to_update(),
+                    }
                 } else {
                     self.stats.blocks += 1;
                     MemDecision::Block
@@ -232,7 +261,9 @@ impl SecurityPolicy for ConditionalSpeculation {
             }
             FilterMode::CacheHitTpbuf => {
                 if query.l1_hit {
-                    MemDecision::Proceed { l1_update: self.lru.to_update() }
+                    MemDecision::Proceed {
+                        l1_update: self.lru.to_update(),
+                    }
                 } else {
                     self.stats.tpbuf_queries += 1;
                     if self.tpbuf.matches_s_pattern(query.seq, query.ppn) {
@@ -242,7 +273,9 @@ impl SecurityPolicy for ConditionalSpeculation {
                         self.stats.tpbuf_mismatches += 1;
                         // A mismatching miss is safe: it may fill the cache
                         // as a normal access.
-                        MemDecision::Proceed { l1_update: LruUpdate::Normal }
+                        MemDecision::Proceed {
+                            l1_update: LruUpdate::Normal,
+                        }
                     }
                 }
             }
@@ -285,11 +318,20 @@ mod tests {
     use super::*;
 
     fn mem_dispatch(slot: usize, seq: u64) -> DispatchInfo {
-        DispatchInfo { slot, seq, class: InstClass::Memory }
+        DispatchInfo {
+            slot,
+            seq,
+            class: InstClass::Memory,
+        }
     }
 
     fn view(slot: usize, seq: u64, class: InstClass, issued: bool) -> IqEntryView {
-        IqEntryView { slot, seq, class, issued }
+        IqEntryView {
+            slot,
+            seq,
+            class,
+            issued,
+        }
     }
 
     fn policy(mode: FilterMode) -> ConditionalSpeculation {
@@ -309,7 +351,10 @@ mod tests {
         assert!(p.suspect_on_issue(4));
         assert!(p.matrix().get(4, 0));
         assert!(p.matrix().get(4, 1));
-        assert!(!p.matrix().get(4, 2), "ALU producers are not security hazards");
+        assert!(
+            !p.matrix().get(4, 2),
+            "ALU producers are not security hazards"
+        );
         assert!(!p.matrix().get(4, 3), "issued producers are resolved");
     }
 
@@ -318,7 +363,11 @@ mod tests {
         let mut p = policy(FilterMode::Baseline);
         let older = [view(0, 1, InstClass::Branch, false)];
         p.on_dispatch(
-            DispatchInfo { slot: 4, seq: 5, class: InstClass::Other },
+            DispatchInfo {
+                slot: 4,
+                seq: 5,
+                class: InstClass::Other,
+            },
             &older,
         );
         assert!(!p.suspect_on_issue(4));
@@ -335,7 +384,10 @@ mod tests {
         );
         let older = [view(0, 1, InstClass::Memory, false)];
         p.on_dispatch(mem_dispatch(1, 2), &older);
-        assert!(!p.suspect_on_issue(1), "memory producers excluded in the ablation");
+        assert!(
+            !p.suspect_on_issue(1),
+            "memory producers excluded in the ablation"
+        );
         let older = [view(0, 1, InstClass::Branch, false)];
         p.on_dispatch(mem_dispatch(2, 3), &older);
         assert!(p.suspect_on_issue(2));
@@ -357,7 +409,14 @@ mod tests {
         p.on_dispatch(mem_dispatch(1, 2), &[view(0, 1, InstClass::Branch, false)]);
         p.on_slot_freed(1);
         // Slot 1 is recycled for a plain ALU instruction.
-        p.on_dispatch(DispatchInfo { slot: 1, seq: 9, class: InstClass::Other }, &[]);
+        p.on_dispatch(
+            DispatchInfo {
+                slot: 1,
+                seq: 9,
+                class: InstClass::Other,
+            },
+            &[],
+        );
         assert!(!p.suspect_on_issue(1));
         // And slot 0 recycled while someone depended on it: the column
         // must have been cleared.
@@ -366,14 +425,23 @@ mod tests {
     }
 
     fn q(suspect: bool, l1_hit: bool, seq: u64, ppn: u64) -> MemAccessQuery {
-        MemAccessQuery { seq, slot: 0, suspect, l1_hit, ppn }
+        MemAccessQuery {
+            seq,
+            slot: 0,
+            suspect,
+            l1_hit,
+            ppn,
+        }
     }
 
     #[test]
     fn baseline_blocks_all_suspect_accesses() {
         let mut p = policy(FilterMode::Baseline);
         assert_eq!(p.check_mem_access(&q(true, true, 1, 0)), MemDecision::Block);
-        assert_eq!(p.check_mem_access(&q(true, false, 2, 0)), MemDecision::Block);
+        assert_eq!(
+            p.check_mem_access(&q(true, false, 2, 0)),
+            MemDecision::Block
+        );
         assert!(matches!(
             p.check_mem_access(&q(false, false, 3, 0)),
             MemDecision::Proceed { .. }
@@ -389,7 +457,10 @@ mod tests {
             p.check_mem_access(&q(true, true, 1, 0)),
             MemDecision::Proceed { .. }
         ));
-        assert_eq!(p.check_mem_access(&q(true, false, 2, 0)), MemDecision::Block);
+        assert_eq!(
+            p.check_mem_access(&q(true, false, 2, 0)),
+            MemDecision::Block
+        );
     }
 
     #[test]
@@ -426,7 +497,10 @@ mod tests {
         p.on_mem_address(1, 0x80, true);
         p.on_mem_writeback(1);
         // A suspect miss to a different page: unsafe, blocked.
-        assert_eq!(p.check_mem_access(&q(true, false, 2, 0x99)), MemDecision::Block);
+        assert_eq!(
+            p.check_mem_access(&q(true, false, 2, 0x99)),
+            MemDecision::Block
+        );
         // A suspect miss to the same page: mismatch, allowed.
         assert!(matches!(
             p.check_mem_access(&q(true, false, 3, 0x80)),

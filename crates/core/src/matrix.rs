@@ -47,7 +47,11 @@ impl SecurityDependenceMatrix {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "matrix dimension must be nonzero");
         let words_per_row = n.div_ceil(64);
-        SecurityDependenceMatrix { n, words_per_row, bits: vec![0; n * words_per_row] }
+        SecurityDependenceMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
     }
 
     /// Matrix dimension (the Issue Queue size).

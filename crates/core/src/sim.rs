@@ -6,6 +6,7 @@ use condspec_frontend::FrontEnd;
 use condspec_isa::{Program, Reg};
 use condspec_mem::{CacheHierarchy, PageTable, Tlb};
 use condspec_pipeline::{Core, ExitReason, NullPolicy, RunResult};
+use condspec_stats::Json;
 
 /// Summary measurements of a simulation window — one row of the paper's
 /// evaluation tables.
@@ -34,6 +35,45 @@ pub struct Report {
     pub branch_accuracy: f64,
     /// Mispredict squashes in the window.
     pub mispredict_squashes: u64,
+}
+
+impl Report {
+    /// Serializes the report as a [`Json`] object with stable,
+    /// insertion-ordered keys. The inverse of [`Report::from_json`].
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("defense", Json::from(self.defense.key())),
+            ("cycles", Json::from(self.cycles)),
+            ("committed", Json::from(self.committed)),
+            ("ipc", Json::from(self.ipc)),
+            ("l1d_hit_rate", Json::from(self.l1d_hit_rate)),
+            ("blocked_rate", Json::from(self.blocked_rate)),
+            ("suspect_hit_rate", Json::from(self.suspect_hit_rate)),
+            (
+                "s_pattern_mismatch_rate",
+                Json::from(self.s_pattern_mismatch_rate),
+            ),
+            ("branch_accuracy", Json::from(self.branch_accuracy)),
+            ("mispredict_squashes", Json::from(self.mispredict_squashes)),
+        ])
+    }
+
+    /// Reconstructs a report from [`Report::to_json`] output. Returns
+    /// `None` when a field is missing or has the wrong type.
+    pub fn from_json(json: &Json) -> Option<Report> {
+        Some(Report {
+            defense: DefenseConfig::from_key(json.get("defense")?.as_str()?)?,
+            cycles: json.get("cycles")?.as_u64()?,
+            committed: json.get("committed")?.as_u64()?,
+            ipc: json.get("ipc")?.as_f64()?,
+            l1d_hit_rate: json.get("l1d_hit_rate")?.as_f64()?,
+            blocked_rate: json.get("blocked_rate")?.as_f64()?,
+            suspect_hit_rate: json.get("suspect_hit_rate")?.as_f64()?,
+            s_pattern_mismatch_rate: json.get("s_pattern_mismatch_rate")?.as_f64()?,
+            branch_accuracy: json.get("branch_accuracy")?.as_f64()?,
+            mispredict_squashes: json.get("mispredict_squashes")?.as_u64()?,
+        })
+    }
 }
 
 /// A configured machine: the out-of-order core with the chosen defense
@@ -154,6 +194,31 @@ impl Simulator {
         &mut self.core
     }
 
+    /// The complete measurement protocol used by the sweep engine and
+    /// the bench harnesses: optionally run `warmup` to prime caches and
+    /// predictors, reset the statistics window, run `measured` to
+    /// completion, and return the window's [`Report`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either program fails to halt within `max_cycles` (see
+    /// [`Simulator::run_to_halt`]). The sweep engine relies on this:
+    /// a panicking job is isolated and marked failed without aborting
+    /// the rest of the sweep.
+    pub fn run_job(
+        &mut self,
+        warmup: Option<&Program>,
+        measured: &Program,
+        max_cycles: u64,
+    ) -> Report {
+        if let Some(w) = warmup {
+            self.run_to_halt(w, max_cycles);
+        }
+        self.reset_stats();
+        self.run_to_halt(measured, max_cycles);
+        self.report()
+    }
+
     /// Produces the evaluation report for the current statistics window.
     pub fn report(&self) -> Report {
         let pstats = self.core.stats();
@@ -252,14 +317,39 @@ mod tests {
             MachineConfig::i7_like(),
             MachineConfig::xeon_like(),
         ] {
-            let mut sim = Simulator::new(SimConfig::on_machine(
-                DefenseConfig::CacheHitTpbuf,
-                machine,
-            ));
+            let mut sim =
+                Simulator::new(SimConfig::on_machine(DefenseConfig::CacheHitTpbuf, machine));
             let r = sim.run_to_halt(&counting_program(50), 1_000_000);
             assert_eq!(r.exit, ExitReason::Halted, "{} halted", machine.name);
             assert_eq!(sim.read_arch_reg(Reg::R1), 50);
         }
+    }
+
+    #[test]
+    fn run_job_matches_manual_protocol() {
+        let warmup = counting_program(20);
+        let measured = counting_program(100);
+
+        let mut manual = Simulator::new(SimConfig::new(DefenseConfig::CacheHit));
+        manual.run_to_halt(&warmup, 1_000_000);
+        manual.reset_stats();
+        manual.run_to_halt(&measured, 1_000_000);
+        let expected = manual.report();
+
+        let mut sim = Simulator::new(SimConfig::new(DefenseConfig::CacheHit));
+        let report = sim.run_job(Some(&warmup), &measured, 1_000_000);
+        assert_eq!(report, expected);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let mut sim = Simulator::new(SimConfig::new(DefenseConfig::CacheHitTpbuf));
+        let report = sim.run_job(None, &counting_program(100), 1_000_000);
+        let rendered = report.to_json().render();
+        let parsed = Report::from_json(&condspec_stats::Json::parse(&rendered).unwrap())
+            .expect("well-formed report JSON");
+        assert_eq!(parsed, report);
+        assert!(Report::from_json(&condspec_stats::Json::Null).is_none());
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl TpBuf {
     /// Creates an empty TPBuf sized 1:1 with the LSQ (`capacity` =
     /// LDQ + STQ entries).
     pub fn new(capacity: usize) -> Self {
-        TpBuf { entries: BTreeMap::new(), capacity }
+        TpBuf {
+            entries: BTreeMap::new(),
+            capacity,
+        }
     }
 
     /// Allocates an entry when the memory instruction enters the LSQ
@@ -81,7 +84,13 @@ impl TpBuf {
             self.entries.len() < self.capacity,
             "TPBuf overflow: LSQ mirroring broken"
         );
-        self.entries.insert(seq, TpbufEntry { is_load, ..TpbufEntry::default() });
+        self.entries.insert(
+            seq,
+            TpbufEntry {
+                is_load,
+                ..TpbufEntry::default()
+            },
+        );
     }
 
     /// Records the translated PPN (V bit) and the suspect flag (S bit).
@@ -187,8 +196,14 @@ mod tests {
     #[test]
     fn only_older_entries_match() {
         let t = armed();
-        assert!(!t.matches_s_pattern(10, 0x99), "an entry never matches itself");
-        assert!(!t.matches_s_pattern(9, 0x99), "younger A cannot arm the pattern");
+        assert!(
+            !t.matches_s_pattern(10, 0x99),
+            "an entry never matches itself"
+        );
+        assert!(
+            !t.matches_s_pattern(9, 0x99),
+            "younger A cannot arm the pattern"
+        );
         assert!(t.matches_s_pattern(11, 0x99));
     }
 

@@ -1,0 +1,150 @@
+//! Randomized property tests for the defense data structures: the
+//! security dependence matrix against a reference bit-set model, and the
+//! TPBuf against a naive S-Pattern evaluator.
+//!
+//! Cases are generated with the workspace's seeded [`SplitMix64`]
+//! generator, so every run checks the same cases.
+
+use condspec::matrix::SecurityDependenceMatrix;
+use condspec::tpbuf::TpBuf;
+use condspec_stats::SplitMix64;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum MatrixOp {
+    InitRow(usize, Vec<usize>),
+    ClearColumn(usize),
+    ClearRow(usize),
+    Set(usize, usize),
+}
+
+/// The matrix agrees with a straightforward set-of-(row,col) model
+/// across arbitrary operation sequences, for dimensions spanning one and
+/// several 64-bit words per row.
+#[test]
+fn matrix_matches_reference() {
+    let mut rng = SplitMix64::new(0xde_0001);
+    for case in 0..48 {
+        let n = [8usize, 64, 100][case % 3];
+        let mut m = SecurityDependenceMatrix::new(n);
+        let mut model: HashSet<(usize, usize)> = HashSet::new();
+        for i in 0..rng.gen_usize(0, 60) {
+            let op = match rng.gen_usize(0, 4) {
+                0 => MatrixOp::InitRow(
+                    rng.gen_usize(0, n),
+                    vec![rng.gen_usize(0, n), rng.gen_usize(0, n)],
+                ),
+                1 => MatrixOp::ClearColumn(rng.gen_usize(0, n)),
+                2 => MatrixOp::ClearRow(rng.gen_usize(0, n)),
+                _ => MatrixOp::Set(rng.gen_usize(0, n), rng.gen_usize(0, n)),
+            };
+            match &op {
+                MatrixOp::InitRow(r, producers) => {
+                    m.init_row(*r, producers);
+                    model.retain(|(row, _)| row != r);
+                    for p in producers {
+                        model.insert((*r, *p));
+                    }
+                }
+                MatrixOp::ClearColumn(c) => {
+                    m.clear_column(*c);
+                    model.retain(|(_, col)| col != c);
+                }
+                MatrixOp::ClearRow(r) => {
+                    m.clear_row(*r);
+                    model.retain(|(row, _)| row != r);
+                }
+                MatrixOp::Set(r, c) => {
+                    m.set(*r, *c);
+                    model.insert((*r, *c));
+                }
+            }
+            // Full agreement each step (cheap at these sizes).
+            for r in 0..n {
+                assert_eq!(
+                    m.row_any(r),
+                    model.iter().any(|(row, _)| *row == r),
+                    "op {i} ({op:?}), row {r}"
+                );
+            }
+            assert_eq!(m.count_ones(), model.len());
+        }
+    }
+}
+
+/// TPBuf agrees with a naive S-Pattern evaluator over arbitrary
+/// allocate/address/writeback/release traces.
+#[test]
+fn tpbuf_matches_naive_model() {
+    #[derive(Default, Clone, Copy)]
+    struct E {
+        ppn: Option<u64>,
+        s: bool,
+        w: bool,
+    }
+    let mut rng = SplitMix64::new(0xde_0002);
+    for _ in 0..64 {
+        let query_seq = rng.gen_range(0, 24);
+        let query_ppn = rng.gen_range(0, 4);
+        let mut tp = TpBuf::new(24);
+        let mut model: HashMap<u64, E> = HashMap::new();
+        for _ in 0..rng.gen_usize(0, 120) {
+            let seq = rng.gen_range(0, 24);
+            let ppn = rng.gen_range(0, 4);
+            let suspect = rng.gen_bool(0.5);
+            match rng.gen_usize(0, 5) {
+                0 => {
+                    if !model.contains_key(&seq) && model.len() < 24 {
+                        tp.allocate(seq, true);
+                        model.insert(seq, E::default());
+                    }
+                }
+                1 => {
+                    tp.record_address(seq, ppn, suspect);
+                    if let Some(e) = model.get_mut(&seq) {
+                        e.ppn = Some(ppn);
+                        e.s |= suspect;
+                    }
+                }
+                2 => {
+                    tp.record_writeback(seq);
+                    if let Some(e) = model.get_mut(&seq) {
+                        e.w = true;
+                    }
+                }
+                _ => {
+                    tp.release(seq);
+                    model.remove(&seq);
+                }
+            }
+            let expected = model.iter().any(|(seq, e)| {
+                *seq < query_seq && e.s && e.w && matches!(e.ppn, Some(p) if p != query_ppn)
+            });
+            assert_eq!(tp.matches_s_pattern(query_seq, query_ppn), expected);
+            assert_eq!(tp.occupancy(), model.len());
+        }
+    }
+}
+
+/// Monotonicity: arming strictly grows the matched set; releasing
+/// strictly shrinks it.
+#[test]
+fn tpbuf_arming_is_monotonic() {
+    let mut rng = SplitMix64::new(0xde_0003);
+    for _ in 0..64 {
+        let ppn_a = rng.gen_range(0, 8);
+        let ppn_b = rng.gen_range(0, 8);
+        let mut tp = TpBuf::new(8);
+        assert!(
+            !tp.matches_s_pattern(10, ppn_b),
+            "empty buffer matches nothing"
+        );
+        tp.allocate(1, true);
+        tp.record_address(1, ppn_a, true);
+        assert!(!tp.matches_s_pattern(10, ppn_b), "no writeback yet");
+        tp.record_writeback(1);
+        assert_eq!(tp.matches_s_pattern(10, ppn_b), ppn_a != ppn_b);
+        tp.release(1);
+        assert!(!tp.matches_s_pattern(10, ppn_b));
+    }
+}

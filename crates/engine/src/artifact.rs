@@ -1,0 +1,165 @@
+//! Result artifacts on disk: one JSON document per job plus a sweep
+//! manifest, laid out for resumable runs.
+//!
+//! A sweep writes into `<root>/<sweep-id>/`:
+//!
+//! ```text
+//! target/condspec-runs/fig5-1a2b3c4d5e6f7081/
+//!   manifest.json          sweep name, id, and per-job status
+//!   0123456789abcdef.json  one artifact per job, named by job hash
+//! ```
+//!
+//! The sweep id is itself content-derived (sweep name + hash of all job
+//! hashes), so editing a sweep's definition starts a fresh directory
+//! instead of mixing artifacts from two generations. A job is
+//! *complete* iff its artifact file exists and parses; failed jobs
+//! write nothing and therefore re-run on `--resume`. Writes go through
+//! a temp file and rename, so a killed run never leaves a truncated
+//! artifact that a resume would mistake for a result.
+
+use condspec_stats::Json;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The default artifact root, relative to the working directory.
+pub const DEFAULT_ROOT: &str = "target/condspec-runs";
+
+/// Atomically writes `doc` (plus a trailing newline) to `path`.
+pub fn write_artifact(path: &Path, doc: &Json) -> io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, doc.render() + "\n")?;
+    fs::rename(&tmp, path)
+}
+
+/// Loads the artifact at `path` if it exists and parses; `None` means
+/// "not complete, run the job".
+pub fn load_artifact(path: &Path) -> Option<Json> {
+    let text = fs::read_to_string(path).ok()?;
+    Json::parse(&text).ok()
+}
+
+/// A sweep's artifact directory.
+#[derive(Debug, Clone)]
+pub struct SweepDir {
+    dir: PathBuf,
+}
+
+impl SweepDir {
+    /// Opens (creating if needed) `<root>/<sweep_id>/`.
+    pub fn create(root: &Path, sweep_id: &str) -> io::Result<SweepDir> {
+        let dir = root.join(sweep_id);
+        fs::create_dir_all(&dir)?;
+        Ok(SweepDir { dir })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The artifact path for a job hash.
+    pub fn artifact_path(&self, job_hash: &str) -> PathBuf {
+        self.dir.join(format!("{job_hash}.json"))
+    }
+
+    /// The completed artifact for a job hash, if any.
+    pub fn completed(&self, job_hash: &str) -> Option<Json> {
+        load_artifact(&self.artifact_path(job_hash))
+    }
+
+    /// Writes one job artifact atomically.
+    pub fn write(&self, job_hash: &str, doc: &Json) -> io::Result<()> {
+        write_artifact(&self.artifact_path(job_hash), doc)
+    }
+
+    /// Writes the sweep manifest. `statuses` is `(hash, label, status)`
+    /// per job, in sweep order; everything in the manifest is
+    /// deterministic, so manifests are byte-identical across runs of
+    /// the same sweep whatever the worker count.
+    pub fn write_manifest(
+        &self,
+        sweep_name: &str,
+        sweep_id: &str,
+        statuses: &[(String, String, &'static str)],
+    ) -> io::Result<()> {
+        let jobs = statuses
+            .iter()
+            .map(|(hash, label, status)| {
+                Json::object(vec![
+                    ("hash", Json::from(hash.as_str())),
+                    ("label", Json::from(label.as_str())),
+                    ("status", Json::from(*status)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let doc = Json::object(vec![
+            ("sweep", Json::from(sweep_name)),
+            ("sweep_id", Json::from(sweep_id)),
+            ("total", Json::from(statuses.len() as u64)),
+            ("jobs", Json::Array(jobs)),
+        ]);
+        write_artifact(&self.dir.join("manifest.json"), &doc)
+    }
+
+    /// Loads the manifest, if present and well-formed.
+    pub fn manifest(&self) -> Option<Json> {
+        load_artifact(&self.dir.join("manifest.json"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("condspec-artifact-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn artifact_round_trip_and_atomicity() {
+        let root = scratch("round-trip");
+        let dir = SweepDir::create(&root, "demo-0000").expect("create");
+        let doc = Json::object(vec![("x", Json::from(1u64))]);
+        dir.write("00ff", &doc).expect("write");
+        assert_eq!(dir.completed("00ff"), Some(doc));
+        assert_eq!(dir.completed("ffee"), None, "absent artifact");
+        // A truncated file is "not complete", never a parse panic.
+        fs::write(dir.artifact_path("bad0"), "{\"x\":").expect("write");
+        assert_eq!(dir.completed("bad0"), None);
+        // No stray temp files after a successful write.
+        let stray: Vec<_> = fs::read_dir(dir.path())
+            .expect("read dir")
+            .filter(|e| {
+                e.as_ref()
+                    .expect("entry")
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .collect();
+        assert!(stray.is_empty());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let root = scratch("manifest");
+        let dir = SweepDir::create(&root, "demo-0001").expect("create");
+        dir.write_manifest(
+            "demo",
+            "demo-0001",
+            &[
+                ("aa".to_string(), "gcc/origin".to_string(), "ok"),
+                ("bb".to_string(), "gcc/baseline".to_string(), "failed"),
+            ],
+        )
+        .expect("write manifest");
+        let m = dir.manifest().expect("manifest parses");
+        assert_eq!(m.get("sweep").and_then(Json::as_str), Some("demo"));
+        assert_eq!(m.get("total").and_then(Json::as_u64), Some(2));
+        let jobs = m.get("jobs").and_then(Json::as_array).expect("jobs");
+        assert_eq!(jobs[1].get("status").and_then(Json::as_str), Some("failed"));
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! Content hashing for job identity and sweep identity.
+//!
+//! Jobs are identified by an FNV-1a hash of their canonical key string;
+//! the hash names the artifact file (`<hash>.json`), so resumed runs can
+//! recognize already-completed work purely from the filesystem. FNV-1a
+//! is not cryptographic — collisions would silently merge two jobs — but
+//! over the ~10² short, highly-structured keys of a sweep the 64-bit
+//! space makes that a non-concern.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A hash rendered as a fixed-width, filesystem-safe hex string.
+pub fn hex16(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex16(0), "0000000000000000");
+        assert_eq!(hex16(u64::MAX), "ffffffffffffffff");
+        assert_eq!(hex16(0xdead_beef), "00000000deadbeef");
+    }
+}

@@ -1,0 +1,370 @@
+//! The unit of sweep work: one fully-specified simulation with a stable
+//! content hash.
+//!
+//! A [`JobSpec`] pins down everything that influences a measurement —
+//! the workload, the defense environment, the machine preset, the
+//! secure-LRU policy, the dependence-tracking ablation, the ICache
+//! filter, and the cycle budget. Its [`JobSpec::canonical_key`] renders
+//! those choices as a stable `field=value;...` string whose FNV-1a hash
+//! ([`JobSpec::hash_hex`]) names the job's artifact file. Two jobs with
+//! the same hash compute the same result, so a resumed sweep can skip
+//! any job whose artifact already exists.
+
+use crate::hash::{fnv1a64, hex16};
+use condspec::{DefenseConfig, DependenceKinds, LruPolicy, MachineConfig, SimConfig, Simulator};
+use condspec_attacks::{run_variant, AttackScenario};
+use condspec_stats::Json;
+use condspec_workloads::spec::{build_program, by_name};
+use condspec_workloads::GadgetKind;
+
+/// Default outer iterations per measured benchmark run (matches the
+/// Figure 5 harness).
+pub const DEFAULT_ITERATIONS: u64 = 40;
+
+/// Default outer iterations of the warm-up run.
+pub const DEFAULT_WARMUP: u64 = 6;
+
+/// Default cycle budget per run; generously above any defense's worst
+/// case.
+pub const DEFAULT_BUDGET: u64 = 200_000_000;
+
+/// A machine preset by stable name (hashable, unlike the full
+/// [`MachineConfig`] parameter block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachinePreset {
+    /// The paper's default 4-wide evaluation core.
+    PaperDefault,
+    /// Mobile-class core (Table VI).
+    A57Like,
+    /// Desktop-class core (Table VI).
+    I7Like,
+    /// Server-class core (Table VI).
+    XeonLike,
+}
+
+impl MachinePreset {
+    /// The three Table VI sensitivity presets, in table order.
+    pub const SENSITIVITY: [MachinePreset; 3] = [
+        MachinePreset::A57Like,
+        MachinePreset::I7Like,
+        MachinePreset::XeonLike,
+    ];
+
+    /// A stable machine-readable key. The inverse of
+    /// [`MachinePreset::from_key`].
+    pub fn key(&self) -> &'static str {
+        match self {
+            MachinePreset::PaperDefault => "paper-default",
+            MachinePreset::A57Like => "a57",
+            MachinePreset::I7Like => "i7",
+            MachinePreset::XeonLike => "xeon",
+        }
+    }
+
+    /// Parses a [`MachinePreset::key`] value.
+    pub fn from_key(key: &str) -> Option<MachinePreset> {
+        match key {
+            "paper-default" | "paper" => Some(MachinePreset::PaperDefault),
+            "a57" => Some(MachinePreset::A57Like),
+            "i7" => Some(MachinePreset::I7Like),
+            "xeon" => Some(MachinePreset::XeonLike),
+            _ => None,
+        }
+    }
+
+    /// The full parameter block for this preset.
+    pub fn config(&self) -> MachineConfig {
+        match self {
+            MachinePreset::PaperDefault => MachineConfig::paper_default(),
+            MachinePreset::A57Like => MachineConfig::a57_like(),
+            MachinePreset::I7Like => MachineConfig::i7_like(),
+            MachinePreset::XeonLike => MachineConfig::xeon_like(),
+        }
+    }
+}
+
+/// What a job runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// A calibrated suite benchmark measured to halt after a warm-up
+    /// run (the Figure 5 / Table V / Table VI protocol).
+    Bench {
+        /// Benchmark name from the suite.
+        benchmark: &'static str,
+        /// Outer iterations of the measured run.
+        iterations: u64,
+        /// Outer iterations of the warm-up run.
+        warmup: u64,
+    },
+    /// An end-to-end side-channel attack (one Table IV cell).
+    Attack {
+        /// The attack classification.
+        scenario: AttackScenario,
+    },
+    /// An end-to-end Spectre variant run.
+    Variant {
+        /// The gadget kind.
+        kind: GadgetKind,
+    },
+}
+
+/// One fully-specified simulation job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// What to run.
+    pub workload: Workload,
+    /// Defense environment.
+    pub defense: DefenseConfig,
+    /// Machine preset (benchmarks only; attacks run the paper default).
+    pub machine: MachinePreset,
+    /// Secure-LRU policy.
+    pub lru: LruPolicy,
+    /// §VI.C ablation: track only branch → memory dependences.
+    pub branch_only: bool,
+    /// §VII.B extension: ICache-hit filter on unsafe fetches.
+    pub icache_filter: bool,
+    /// Cycle budget per run (warm-up and measured runs each).
+    pub budget: u64,
+}
+
+impl JobSpec {
+    /// A benchmark job on the paper-default machine with default
+    /// iteration counts and budget.
+    pub fn bench(benchmark: &'static str, defense: DefenseConfig) -> JobSpec {
+        JobSpec {
+            workload: Workload::Bench {
+                benchmark,
+                iterations: DEFAULT_ITERATIONS,
+                warmup: DEFAULT_WARMUP,
+            },
+            defense,
+            machine: MachinePreset::PaperDefault,
+            lru: LruPolicy::Update,
+            branch_only: false,
+            icache_filter: false,
+            budget: DEFAULT_BUDGET,
+        }
+    }
+
+    /// An attack-scenario job.
+    pub fn attack(scenario: AttackScenario, defense: DefenseConfig) -> JobSpec {
+        JobSpec {
+            workload: Workload::Attack { scenario },
+            defense,
+            machine: MachinePreset::PaperDefault,
+            lru: LruPolicy::Update,
+            branch_only: false,
+            icache_filter: false,
+            budget: DEFAULT_BUDGET,
+        }
+    }
+
+    /// A Spectre-variant job.
+    pub fn variant(kind: GadgetKind, defense: DefenseConfig) -> JobSpec {
+        JobSpec {
+            workload: Workload::Variant { kind },
+            ..JobSpec::attack(AttackScenario::FlushReloadShared, defense)
+        }
+    }
+
+    /// The canonical `field=value;...` identity string. Every field
+    /// that influences the result appears here; fields that cannot
+    /// influence a workload class (e.g. the machine preset of an
+    /// attack, which always runs the paper default) are omitted, so
+    /// equal computations hash equal.
+    pub fn canonical_key(&self) -> String {
+        match &self.workload {
+            Workload::Bench {
+                benchmark,
+                iterations,
+                warmup,
+            } => format!(
+                "kind=bench;benchmark={benchmark};iters={iterations};warmup={warmup};\
+                 defense={};machine={};lru={};deps={};icache={};budget={}",
+                self.defense.key(),
+                self.machine.key(),
+                self.lru.key(),
+                if self.branch_only { "branch" } else { "all" },
+                u8::from(self.icache_filter),
+                self.budget,
+            ),
+            Workload::Attack { scenario } => {
+                format!(
+                    "kind=attack;scenario={};defense={}",
+                    scenario.key(),
+                    self.defense.key()
+                )
+            }
+            Workload::Variant { kind } => {
+                format!(
+                    "kind=variant;variant={};defense={}",
+                    kind.key(),
+                    self.defense.key()
+                )
+            }
+        }
+    }
+
+    /// The job's content hash as a 16-hex-digit artifact-file stem.
+    pub fn hash_hex(&self) -> String {
+        hex16(fnv1a64(self.canonical_key().as_bytes()))
+    }
+
+    /// A short human label for progress lines.
+    pub fn label(&self) -> String {
+        let what = match &self.workload {
+            Workload::Bench { benchmark, .. } => (*benchmark).to_string(),
+            Workload::Attack { scenario } => scenario.key().to_string(),
+            Workload::Variant { kind } => kind.key().to_string(),
+        };
+        let mut label = format!("{what}/{}", self.defense.key());
+        if self.machine != MachinePreset::PaperDefault {
+            label.push_str(&format!("/{}", self.machine.key()));
+        }
+        if self.lru != LruPolicy::Update {
+            label.push_str(&format!("/{}", self.lru.key()));
+        }
+        if self.branch_only {
+            label.push_str("/branch-only");
+        }
+        if self.icache_filter {
+            label.push_str("/icache");
+        }
+        label
+    }
+
+    /// The simulator configuration a benchmark job runs under.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut config = SimConfig::on_machine(self.defense, self.machine.config());
+        config.lru_policy = self.lru;
+        if self.branch_only {
+            config.dependence_kinds = DependenceKinds::branch_only();
+        }
+        config.machine.core.icache_filter = self.icache_filter;
+        config
+    }
+
+    /// Runs the job to completion and returns its artifact document.
+    ///
+    /// The document contains only deterministic simulation results —
+    /// never wall-clock times or hostnames — so artifacts are
+    /// byte-identical however the sweep was sharded across workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a benchmark fails to halt within the budget or names
+    /// an unknown benchmark. The scheduler isolates the panic and marks
+    /// the job failed without aborting the sweep.
+    pub fn execute(&self) -> Json {
+        let mut doc = vec![
+            ("job", Json::from(self.hash_hex())),
+            ("key", Json::from(self.canonical_key())),
+        ];
+        match &self.workload {
+            Workload::Bench {
+                benchmark,
+                iterations,
+                warmup,
+            } => {
+                let spec =
+                    by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark `{benchmark}`"));
+                let warmup_program = build_program(&spec, *warmup);
+                let measured = build_program(&spec, *iterations);
+                let mut sim = Simulator::new(self.sim_config());
+                let report = sim.run_job(Some(&warmup_program), &measured, self.budget);
+                doc.push(("report", report.to_json()));
+                doc.push((
+                    "icache_fetch_stalls",
+                    Json::from(sim.core().stats().icache_fetch_stalls),
+                ));
+            }
+            Workload::Attack { scenario } => {
+                let outcome = scenario.run(self.defense);
+                let defended = !outcome.leaked();
+                doc.push(("leaked", Json::from(outcome.leaked())));
+                doc.push(("defended", Json::from(defended)));
+                doc.push((
+                    "expected_defended",
+                    Json::from(scenario.expected_defended(self.defense)),
+                ));
+                doc.push((
+                    "matches_paper",
+                    Json::from(defended == scenario.expected_defended(self.defense)),
+                ));
+            }
+            Workload::Variant { kind } => {
+                let outcome = run_variant(*kind, self.defense);
+                doc.push(("leaked", Json::from(outcome.leaked())));
+            }
+        }
+        Json::object(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        let a = JobSpec::bench("gcc", DefenseConfig::Baseline);
+        assert_eq!(a.hash_hex(), a.clone().hash_hex(), "same spec, same hash");
+        let mut b = a.clone();
+        b.defense = DefenseConfig::CacheHit;
+        assert_ne!(a.hash_hex(), b.hash_hex(), "defense changes the hash");
+        let mut c = a.clone();
+        c.icache_filter = true;
+        assert_ne!(a.hash_hex(), c.hash_hex(), "icache filter changes the hash");
+        let mut d = a.clone();
+        d.lru = LruPolicy::Delayed;
+        assert_ne!(a.hash_hex(), d.hash_hex(), "lru policy changes the hash");
+    }
+
+    #[test]
+    fn attack_key_ignores_bench_only_fields() {
+        let a = JobSpec::attack(AttackScenario::FlushReloadShared, DefenseConfig::Origin);
+        let mut b = a.clone();
+        b.lru = LruPolicy::Delayed; // cannot influence an attack job
+        assert_eq!(a.hash_hex(), b.hash_hex());
+    }
+
+    #[test]
+    fn preset_keys_round_trip() {
+        for p in [
+            MachinePreset::PaperDefault,
+            MachinePreset::A57Like,
+            MachinePreset::I7Like,
+            MachinePreset::XeonLike,
+        ] {
+            assert_eq!(MachinePreset::from_key(p.key()), Some(p));
+        }
+        assert!(MachinePreset::from_key("vax").is_none());
+    }
+
+    #[test]
+    fn sim_config_reflects_every_knob() {
+        let mut j = JobSpec::bench("gcc", DefenseConfig::CacheHitTpbuf);
+        j.machine = MachinePreset::XeonLike;
+        j.lru = LruPolicy::NoUpdate;
+        j.branch_only = true;
+        j.icache_filter = true;
+        let c = j.sim_config();
+        assert_eq!(c.defense, DefenseConfig::CacheHitTpbuf);
+        assert_eq!(c.machine.name, "Xeon-like");
+        assert_eq!(c.lru_policy, LruPolicy::NoUpdate);
+        assert!(!c.dependence_kinds.memory);
+        assert!(c.machine.core.icache_filter);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(
+            JobSpec::bench("gcc", DefenseConfig::Origin).label(),
+            "gcc/origin"
+        );
+        let mut j = JobSpec::bench("mcf", DefenseConfig::Baseline);
+        j.machine = MachinePreset::I7Like;
+        j.branch_only = true;
+        assert_eq!(j.label(), "mcf/baseline/i7/branch-only");
+    }
+}

@@ -1,0 +1,198 @@
+//! `condspec-engine` — the parallel sweep-execution subsystem of the
+//! Conditional Speculation reproduction.
+//!
+//! The paper's evaluation is a few hundred independent simulations
+//! (benchmark x defense x machine grids, attack matrices). This crate
+//! turns each of them into a content-hashed [`JobSpec`], schedules the
+//! jobs across a `std::thread` worker pool with per-job panic
+//! isolation, and persists every result as a JSON artifact under
+//! `target/condspec-runs/<sweep-id>/` so an interrupted sweep resumes
+//! where it stopped.
+//!
+//! Determinism is the design center: artifacts contain only simulation
+//! results (never wall-clock data), workers communicate results by job
+//! index, and sweep ids derive from job content — so a sweep's on-disk
+//! output is byte-identical whether it ran on one worker or sixteen,
+//! fresh or resumed.
+//!
+//! ```no_run
+//! use condspec_engine::{run_sweep, Sweep, SweepOptions};
+//!
+//! let sweep = Sweep::by_name("fig5").expect("known sweep");
+//! let outcome = run_sweep(&sweep, &SweepOptions::default()).expect("sweep runs");
+//! println!("{}", sweep.render(&outcome.results));
+//! ```
+
+pub mod artifact;
+pub mod hash;
+pub mod job;
+pub mod scheduler;
+pub mod sweep;
+
+pub use artifact::{SweepDir, DEFAULT_ROOT};
+pub use job::{JobSpec, MachinePreset, Workload};
+pub use scheduler::{default_workers, run_jobs, JobResult};
+pub use sweep::{Sweep, SweepResults};
+
+use std::io;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// How to run a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads (`--jobs`); 0 means [`default_workers`].
+    pub workers: usize,
+    /// Skip jobs whose artifacts already exist (`--resume`).
+    pub resume: bool,
+    /// Artifact root directory (default [`DEFAULT_ROOT`]).
+    pub root: PathBuf,
+    /// Suppress stderr progress lines.
+    pub quiet: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: 0,
+            resume: false,
+            root: PathBuf::from(DEFAULT_ROOT),
+            quiet: false,
+        }
+    }
+}
+
+/// What a sweep run did.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The sweep's artifact directory.
+    pub dir: PathBuf,
+    /// The content-derived sweep id.
+    pub sweep_id: String,
+    /// Jobs actually simulated this run.
+    pub executed: usize,
+    /// Jobs skipped because their artifact already existed.
+    pub skipped: usize,
+    /// Failed jobs as `(hash, label, error)`.
+    pub failed: Vec<(String, String, String)>,
+    /// Every available artifact (freshly computed and resumed), keyed
+    /// by job hash.
+    pub results: SweepResults,
+}
+
+fn eta(done: usize, total: usize, started: Instant) -> String {
+    if done == 0 {
+        return "--:--".to_string();
+    }
+    let per_job = started.elapsed().as_secs_f64() / done as f64;
+    let remaining = (per_job * (total - done) as f64).round() as u64;
+    format!("{:02}:{:02}", remaining / 60, remaining % 60)
+}
+
+/// Runs every job of `sweep` (honoring `--resume`), writes artifacts
+/// and the manifest, and returns the collected results.
+///
+/// Progress and ETA go to stderr only; nothing timing-dependent reaches
+/// the artifacts, so two runs of the same sweep produce byte-identical
+/// directories regardless of `opts.workers`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the run directory or writing an
+/// artifact or the manifest. Job panics are *not* errors: they mark the
+/// job failed and the sweep continues.
+pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome> {
+    let sweep_id = sweep.sweep_id();
+    let dir = SweepDir::create(&opts.root, &sweep_id)?;
+    let workers = if opts.workers == 0 {
+        default_workers()
+    } else {
+        opts.workers
+    };
+
+    // Partition into resumable (artifact exists and parses) and pending.
+    let mut results = SweepResults::new();
+    let mut pending: Vec<(usize, JobSpec)> = Vec::new();
+    for (index, job) in sweep.jobs.iter().enumerate() {
+        match opts
+            .resume
+            .then(|| dir.completed(&job.hash_hex()))
+            .flatten()
+        {
+            Some(doc) => {
+                results.insert(job.hash_hex(), doc);
+            }
+            None => pending.push((index, job.clone())),
+        }
+    }
+    let skipped = sweep.jobs.len() - pending.len();
+    if !opts.quiet && skipped > 0 {
+        eprintln!(
+            "resume: {skipped}/{} jobs already complete",
+            sweep.jobs.len()
+        );
+    }
+
+    // Run what remains; write each artifact as it lands.
+    let specs: Vec<JobSpec> = pending.iter().map(|(_, j)| j.clone()).collect();
+    let started = Instant::now();
+    let total = specs.len();
+    let mut done = 0usize;
+    let mut write_error: Option<io::Error> = None;
+    let job_results = run_jobs(&specs, workers, |slot, outcome| {
+        done += 1;
+        let job = &specs[slot];
+        if let Ok(doc) = outcome {
+            if let Err(e) = dir.write(&job.hash_hex(), doc) {
+                write_error.get_or_insert(e);
+            }
+        }
+        if !opts.quiet {
+            let state = if outcome.is_ok() { "done" } else { "FAILED" };
+            eprintln!(
+                "[{done}/{total} eta {}] {state} {}",
+                eta(done, total, started),
+                job.label()
+            );
+            let _ = io::stderr().flush();
+        }
+    });
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+
+    // Fold fresh results in and derive per-job statuses in sweep order.
+    let mut failed = Vec::new();
+    for ((_, job), outcome) in pending.iter().zip(job_results) {
+        match outcome {
+            Ok(doc) => {
+                results.insert(job.hash_hex(), doc);
+            }
+            Err(message) => failed.push((job.hash_hex(), job.label(), message)),
+        }
+    }
+    let statuses: Vec<(String, String, &'static str)> = sweep
+        .jobs
+        .iter()
+        .map(|job| {
+            let hash = job.hash_hex();
+            let status = if results.contains_key(&hash) {
+                "ok"
+            } else {
+                "failed"
+            };
+            (hash, job.label(), status)
+        })
+        .collect();
+    dir.write_manifest(sweep.name, &sweep_id, &statuses)?;
+
+    Ok(SweepOutcome {
+        dir: dir.path().to_path_buf(),
+        sweep_id,
+        executed: total,
+        skipped,
+        failed,
+        results,
+    })
+}

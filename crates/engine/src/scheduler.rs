@@ -1,0 +1,138 @@
+//! The worker pool: deterministic-result parallel job execution on
+//! `std::thread` with per-job panic isolation.
+//!
+//! Workers pull jobs from a shared queue (cheap work stealing: whoever
+//! is free takes the next job), run each inside `catch_unwind`, and
+//! stream `(index, result)` pairs back over an `mpsc` channel. The
+//! caller reassembles results *by index*, so the output order — and
+//! therefore everything derived from it — is independent of how many
+//! workers ran or how the OS interleaved them. Only scheduling varies
+//! with `workers`; results never do.
+
+use crate::job::JobSpec;
+use condspec_stats::Json;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// The outcome of one job: its artifact document, or the panic message
+/// of a failed run.
+pub type JobResult = Result<Json, String>;
+
+/// The number of workers to use when the caller does not say:
+/// `std::thread::available_parallelism`, or 1 if unknown.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+/// Runs `jobs` on `workers` threads and returns one [`JobResult`] per
+/// job, in input order. `on_done(index, result)` fires on the calling
+/// thread as each job finishes (completion order), for progress
+/// reporting and incremental artifact writes.
+///
+/// A panicking job is caught, converted to `Err(message)`, and does not
+/// disturb any other job: the worker that caught it moves on to the
+/// next queue entry.
+pub fn run_jobs(
+    jobs: &[JobSpec],
+    workers: usize,
+    mut on_done: impl FnMut(usize, &JobResult),
+) -> Vec<JobResult> {
+    let workers = workers.max(1).min(jobs.len().max(1));
+    let queue: Mutex<VecDeque<(usize, &JobSpec)>> = Mutex::new(jobs.iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, JobResult)>();
+
+    let mut results: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || loop {
+                let next = queue.lock().expect("queue lock").pop_front();
+                let Some((index, spec)) = next else { break };
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| spec.execute())).map_err(panic_message);
+                if tx.send((index, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (index, outcome) in rx {
+            on_done(index, &outcome);
+            results[index] = Some(outcome);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job reports exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Workload;
+    use condspec::DefenseConfig;
+
+    fn tiny_job(benchmark: &'static str) -> JobSpec {
+        let mut j = JobSpec::bench(benchmark, DefenseConfig::Origin);
+        if let Workload::Bench {
+            iterations, warmup, ..
+        } = &mut j.workload
+        {
+            *iterations = 2;
+            *warmup = 1;
+        }
+        j
+    }
+
+    #[test]
+    fn results_are_in_input_order_for_any_worker_count() {
+        let jobs = vec![tiny_job("gcc"), tiny_job("mcf"), tiny_job("lbm")];
+        let reference: Vec<String> = run_jobs(&jobs, 1, |_, _| {})
+            .into_iter()
+            .map(|r| r.expect("tiny jobs halt").render())
+            .collect();
+        for workers in [2, 8] {
+            let got: Vec<String> = run_jobs(&jobs, workers, |_, _| {})
+                .into_iter()
+                .map(|r| r.expect("tiny jobs halt").render())
+                .collect();
+            assert_eq!(got, reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated() {
+        let mut bad = tiny_job("gcc");
+        bad.budget = 10; // cannot halt in 10 cycles -> run_to_halt panics
+        let jobs = vec![tiny_job("mcf"), bad, tiny_job("lbm")];
+        let mut done = 0;
+        let results = run_jobs(&jobs, 2, |_, _| done += 1);
+        assert_eq!(done, 3);
+        assert!(results[0].is_ok());
+        assert!(results[1]
+            .as_ref()
+            .is_err_and(|e| e.contains("did not halt")));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(run_jobs(&[], 4, |_, _| {}).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration tests for the sweep engine's three core guarantees:
+//! worker-count-independent byte-identical artifacts, resume that skips
+//! completed work, and panic isolation that fails one job without
+//! aborting the sweep.
+
+use condspec::DefenseConfig;
+use condspec_engine::{run_sweep, JobSpec, Sweep, SweepOptions, Workload};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("condspec-engine-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn tiny_job(benchmark: &'static str, defense: DefenseConfig) -> JobSpec {
+    let mut job = JobSpec::bench(benchmark, defense);
+    if let Workload::Bench {
+        iterations, warmup, ..
+    } = &mut job.workload
+    {
+        *iterations = 2;
+        *warmup = 1;
+    }
+    job
+}
+
+/// A six-job sweep small enough to run repeatedly in tests.
+fn mini_sweep() -> Sweep {
+    let jobs = ["gcc", "mcf", "lbm"]
+        .into_iter()
+        .flat_map(|b| {
+            [
+                tiny_job(b, DefenseConfig::Origin),
+                tiny_job(b, DefenseConfig::CacheHitTpbuf),
+            ]
+        })
+        .collect();
+    Sweep {
+        name: "fig5",
+        title: "mini",
+        jobs,
+    }
+}
+
+fn options(root: &Path, workers: usize) -> SweepOptions {
+    SweepOptions {
+        workers,
+        resume: false,
+        root: root.to_path_buf(),
+        quiet: true,
+    }
+}
+
+/// Every file of the sweep directory, by name, as raw bytes.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fs::read_dir(dir)
+        .expect("sweep directory exists")
+        .map(|entry| {
+            let path = entry.expect("entry").path();
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            (name, fs::read(&path).expect("readable artifact"))
+        })
+        .collect()
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_worker_counts() {
+    let sweep = mini_sweep();
+    let roots: Vec<PathBuf> = [1usize, 2, 8]
+        .iter()
+        .map(|w| scratch(&format!("det{w}")))
+        .collect();
+    let mut dirs = Vec::new();
+    for (root, workers) in roots.iter().zip([1usize, 2, 8]) {
+        let outcome = run_sweep(&sweep, &options(root, workers)).expect("sweep runs");
+        assert_eq!(outcome.executed, sweep.jobs.len());
+        assert!(outcome.failed.is_empty());
+        dirs.push(outcome.dir);
+    }
+    let reference = dir_bytes(&dirs[0]);
+    assert_eq!(reference.len(), sweep.jobs.len() + 1, "jobs + manifest");
+    for dir in &dirs[1..] {
+        assert_eq!(
+            dir_bytes(dir),
+            reference,
+            "artifacts differ across worker counts"
+        );
+    }
+    for root in &roots {
+        fs::remove_dir_all(root).ok();
+    }
+}
+
+#[test]
+fn resume_skips_every_completed_job() {
+    let sweep = mini_sweep();
+    let root = scratch("resume");
+
+    let first = run_sweep(&sweep, &options(&root, 2)).expect("first run");
+    assert_eq!(first.executed, sweep.jobs.len());
+    assert_eq!(first.skipped, 0);
+
+    let mut resume = options(&root, 2);
+    resume.resume = true;
+    let second = run_sweep(&sweep, &resume).expect("second run");
+    assert_eq!(second.executed, 0, "resume must not re-simulate anything");
+    assert_eq!(second.skipped, sweep.jobs.len());
+    assert_eq!(second.results.len(), sweep.jobs.len());
+
+    // Without --resume the artifacts are recomputed (and stay identical).
+    let third = run_sweep(&sweep, &options(&root, 2)).expect("third run");
+    assert_eq!(third.executed, sweep.jobs.len());
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn a_panicking_job_fails_alone_and_reruns_on_resume() {
+    let mut sweep = mini_sweep();
+    sweep.jobs[1].budget = 10; // cannot halt in 10 cycles -> panics
+    let root = scratch("panic");
+
+    let outcome = run_sweep(&sweep, &options(&root, 2)).expect("sweep survives the panic");
+    assert_eq!(outcome.failed.len(), 1);
+    let (failed_hash, _, message) = &outcome.failed[0];
+    assert_eq!(failed_hash, &sweep.jobs[1].hash_hex());
+    assert!(
+        message.contains("did not halt"),
+        "panic message is preserved: {message}"
+    );
+    assert_eq!(
+        outcome.results.len(),
+        sweep.jobs.len() - 1,
+        "all other jobs completed"
+    );
+
+    // The manifest records the failure; the artifact file was never
+    // written, so a resumed run retries exactly the failed job.
+    let manifest = fs::read_to_string(outcome.dir.join("manifest.json")).expect("manifest");
+    assert!(manifest.contains("\"failed\""));
+    let mut resume = options(&root, 2);
+    resume.resume = true;
+    let retried = run_sweep(&sweep, &resume).expect("resume");
+    assert_eq!(retried.executed, 1, "only the failed job re-runs");
+    assert_eq!(retried.skipped, sweep.jobs.len() - 1);
+    fs::remove_dir_all(&root).ok();
+}

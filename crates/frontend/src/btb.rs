@@ -32,8 +32,14 @@ impl BranchTargetBuffer {
     ///
     /// Panics if `entries` is not a nonzero power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries > 0 && entries.is_power_of_two(), "BTB entries must be a power of two");
-        BranchTargetBuffer { entries: vec![None; entries], mask: (entries - 1) as u64 }
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "BTB entries must be a power of two"
+        );
+        BranchTargetBuffer {
+            entries: vec![None; entries],
+            mask: (entries - 1) as u64,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {

@@ -60,7 +60,10 @@ impl DirectionPredictor {
     ///
     /// Panics if `table_bits` is 0 or greater than 24.
     pub fn new(kind: PredictorKind, table_bits: u32) -> Self {
-        assert!((1..=24).contains(&table_bits), "table_bits must be in 1..=24");
+        assert!(
+            (1..=24).contains(&table_bits),
+            "table_bits must be in 1..=24"
+        );
         let n = 1usize << table_bits;
         DirectionPredictor {
             kind,
@@ -163,7 +166,10 @@ mod tests {
             }
             g.update(0x80, taken);
         }
-        assert!(correct > 90, "gshare should learn the alternation, got {correct}/100");
+        assert!(
+            correct > 90,
+            "gshare should learn the alternation, got {correct}/100"
+        );
     }
 
     #[test]

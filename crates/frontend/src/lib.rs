@@ -98,7 +98,10 @@ impl FrontEnd {
 
     /// Predicts a conditional branch at `pc`.
     pub fn predict_conditional(&self, pc: u64) -> Prediction {
-        Prediction { taken: self.direction.predict(pc), target: self.btb.lookup(pc) }
+        Prediction {
+            taken: self.direction.predict(pc),
+            target: self.btb.lookup(pc),
+        }
     }
 
     /// Predicts an indirect jump target at `pc` (BTB only).

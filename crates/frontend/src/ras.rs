@@ -38,7 +38,10 @@ impl ReturnAddressStack {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "RAS capacity must be nonzero");
-        ReturnAddressStack { entries: Vec::with_capacity(capacity), capacity }
+        ReturnAddressStack {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Pushes a return address; drops the oldest entry when full.

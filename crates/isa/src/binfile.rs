@@ -208,10 +208,7 @@ mod tests {
     fn rejects_truncation_everywhere() {
         let bytes = to_bytes(&sample());
         for cut in [4, 11, 19, 25, 40, bytes.len() - 1] {
-            assert!(
-                from_bytes(&bytes[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 
@@ -219,7 +216,10 @@ mod tests {
     fn rejects_trailing_garbage() {
         let mut bytes = to_bytes(&sample());
         bytes.push(0);
-        assert!(matches!(from_bytes(&bytes), Err(BinfileError::Malformed(_))));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(BinfileError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -237,7 +237,10 @@ mod tests {
     fn rejects_misaligned_code_base() {
         let mut bytes = to_bytes(&sample());
         bytes[12] = 2; // code_base low byte -> misaligned
-        assert!(matches!(from_bytes(&bytes), Err(BinfileError::Malformed(_))));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(BinfileError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl fmt::Display for BuildError {
             BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
             BuildError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
             BuildError::OverlappingSegment { base } => {
-                write!(f, "data segment at {base:#x} overlaps code or another segment")
+                write!(
+                    f,
+                    "data segment at {base:#x} overlaps code or another segment"
+                )
             }
         }
     }
@@ -95,7 +98,11 @@ impl ProgramBuilder {
     ///
     /// Panics if `code_base` is not 4-byte aligned.
     pub fn new(code_base: u64) -> Self {
-        assert_eq!(code_base % INST_BYTES, 0, "code base must be 4-byte aligned");
+        assert_eq!(
+            code_base % INST_BYTES,
+            0,
+            "code base must be 4-byte aligned"
+        );
         ProgramBuilder {
             code_base,
             insts: Vec::new(),
@@ -166,7 +173,12 @@ impl ProgramBuilder {
 
     /// Load with explicit width.
     pub fn load_sized(&mut self, rd: Reg, base: Reg, offset: i64, size: MemSize) -> &mut Self {
-        self.push(Inst::Load { rd, base, offset, size })
+        self.push(Inst::Load {
+            rd,
+            base,
+            offset,
+            size,
+        })
     }
 
     /// 8-byte store `mem[base + offset] = src`.
@@ -181,19 +193,34 @@ impl ProgramBuilder {
 
     /// Store with explicit width.
     pub fn store_sized(&mut self, src: Reg, base: Reg, offset: i64, size: MemSize) -> &mut Self {
-        self.push(Inst::Store { src, base, offset, size })
+        self.push(Inst::Store {
+            src,
+            base,
+            offset,
+            size,
+        })
     }
 
     /// Conditional branch to an absolute address.
     pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: u64) -> &mut Self {
-        self.push(Inst::Branch { cond, rs1, rs2, target })
+        self.push(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        })
     }
 
     /// Conditional branch to a label (may be a forward reference).
     pub fn branch_to(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
         let idx = self.insts.len();
         self.fixups.push(Fixup::Branch(idx, label.to_string()));
-        self.push(Inst::Branch { cond, rs1, rs2, target: 0 })
+        self.push(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: 0,
+        })
     }
 
     /// Unconditional jump to an absolute address.

@@ -164,7 +164,12 @@ pub fn encode(inst: &Inst) -> [u8; ENCODED_BYTES] {
             b[3] = alu_code(op);
             b[4] = rs2.index() as u8;
         }
-        Inst::AluImm { op, rd, rs1, imm: v } => {
+        Inst::AluImm {
+            op,
+            rd,
+            rs1,
+            imm: v,
+        } => {
             b[0] = OP_ALU_IMM;
             b[1] = rd.index() as u8;
             b[2] = rs1.index() as u8;
@@ -176,21 +181,36 @@ pub fn encode(inst: &Inst) -> [u8; ENCODED_BYTES] {
             b[1] = rd.index() as u8;
             imm(&mut b, v);
         }
-        Inst::Load { rd, base, offset, size } => {
+        Inst::Load {
+            rd,
+            base,
+            offset,
+            size,
+        } => {
             b[0] = OP_LOAD;
             b[1] = rd.index() as u8;
             b[2] = base.index() as u8;
             b[3] = size_code(size);
             imm(&mut b, offset as u64);
         }
-        Inst::Store { src, base, offset, size } => {
+        Inst::Store {
+            src,
+            base,
+            offset,
+            size,
+        } => {
             b[0] = OP_STORE;
             b[1] = src.index() as u8;
             b[2] = base.index() as u8;
             b[3] = size_code(size);
             imm(&mut b, offset as u64);
         }
-        Inst::Branch { cond, rs1, rs2, target } => {
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             b[0] = OP_BRANCH;
             b[1] = rs1.index() as u8;
             b[3] = cond_code(cond);
@@ -249,7 +269,10 @@ pub fn decode(bytes: &[u8; ENCODED_BYTES]) -> Result<Inst, DecodeError> {
             rs1: reg_from(bytes[2])?,
             imm: imm_i64,
         },
-        OP_LOAD_IMM => Inst::LoadImm { rd: reg_from(bytes[1])?, imm: imm_u64 },
+        OP_LOAD_IMM => Inst::LoadImm {
+            rd: reg_from(bytes[1])?,
+            imm: imm_u64,
+        },
         OP_LOAD => Inst::Load {
             rd: reg_from(bytes[1])?,
             base: reg_from(bytes[2])?,
@@ -269,10 +292,21 @@ pub fn decode(bytes: &[u8; ENCODED_BYTES]) -> Result<Inst, DecodeError> {
             target: imm_u64,
         },
         OP_JUMP => Inst::Jump { target: imm_u64 },
-        OP_JUMP_INDIRECT => Inst::JumpIndirect { base: reg_from(bytes[2])?, offset: imm_i64 },
-        OP_CALL => Inst::Call { target: imm_u64, link: reg_from(bytes[1])? },
-        OP_RET => Inst::Ret { link: reg_from(bytes[1])? },
-        OP_FLUSH => Inst::Flush { base: reg_from(bytes[2])?, offset: imm_i64 },
+        OP_JUMP_INDIRECT => Inst::JumpIndirect {
+            base: reg_from(bytes[2])?,
+            offset: imm_i64,
+        },
+        OP_CALL => Inst::Call {
+            target: imm_u64,
+            link: reg_from(bytes[1])?,
+        },
+        OP_RET => Inst::Ret {
+            link: reg_from(bytes[1])?,
+        },
+        OP_FLUSH => Inst::Flush {
+            base: reg_from(bytes[2])?,
+            offset: imm_i64,
+        },
         other => return Err(DecodeError::BadOpcode(other)),
     })
 }
@@ -286,17 +320,56 @@ mod tests {
             Inst::Nop,
             Inst::Halt,
             Inst::Fence,
-            Inst::Alu { op: AluOp::Xor, rd: Reg::R3, rs1: Reg::R4, rs2: Reg::R5 },
-            Inst::AluImm { op: AluOp::Shl, rd: Reg::R1, rs1: Reg::R2, imm: -12 },
-            Inst::LoadImm { rd: Reg::R31, imm: u64::MAX },
-            Inst::Load { rd: Reg::R7, base: Reg::R8, offset: -4096, size: MemSize::B2 },
-            Inst::Store { src: Reg::R9, base: Reg::R10, offset: 8, size: MemSize::B4 },
-            Inst::Branch { cond: BranchCond::GeU, rs1: Reg::R1, rs2: Reg::R2, target: 0xdead_0000 },
-            Inst::Jump { target: 0x4000_0000 },
-            Inst::JumpIndirect { base: Reg::R6, offset: 16 },
-            Inst::Call { target: 0x1234, link: Reg::R31 },
+            Inst::Alu {
+                op: AluOp::Xor,
+                rd: Reg::R3,
+                rs1: Reg::R4,
+                rs2: Reg::R5,
+            },
+            Inst::AluImm {
+                op: AluOp::Shl,
+                rd: Reg::R1,
+                rs1: Reg::R2,
+                imm: -12,
+            },
+            Inst::LoadImm {
+                rd: Reg::R31,
+                imm: u64::MAX,
+            },
+            Inst::Load {
+                rd: Reg::R7,
+                base: Reg::R8,
+                offset: -4096,
+                size: MemSize::B2,
+            },
+            Inst::Store {
+                src: Reg::R9,
+                base: Reg::R10,
+                offset: 8,
+                size: MemSize::B4,
+            },
+            Inst::Branch {
+                cond: BranchCond::GeU,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+                target: 0xdead_0000,
+            },
+            Inst::Jump {
+                target: 0x4000_0000,
+            },
+            Inst::JumpIndirect {
+                base: Reg::R6,
+                offset: 16,
+            },
+            Inst::Call {
+                target: 0x1234,
+                link: Reg::R31,
+            },
             Inst::Ret { link: Reg::R31 },
-            Inst::Flush { base: Reg::R11, offset: 64 },
+            Inst::Flush {
+                base: Reg::R11,
+                offset: 64,
+            },
         ]
     }
 
@@ -324,17 +397,32 @@ mod tests {
 
     #[test]
     fn bad_subop() {
-        let mut b = encode(&Inst::Alu { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R1, rs2: Reg::R1 });
+        let mut b = encode(&Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::R1,
+            rs1: Reg::R1,
+            rs2: Reg::R1,
+        });
         b[3] = 200;
         assert_eq!(decode(&b), Err(DecodeError::BadSubOp(200)));
-        let mut b = encode(&Inst::Load { rd: Reg::R1, base: Reg::R1, offset: 0, size: MemSize::B1 });
+        let mut b = encode(&Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R1,
+            offset: 0,
+            size: MemSize::B1,
+        });
         b[3] = 9;
         assert_eq!(decode(&b), Err(DecodeError::BadSubOp(9)));
     }
 
     #[test]
     fn negative_offsets_preserved() {
-        let inst = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: i64::MIN, size: MemSize::B8 };
+        let inst = Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: i64::MIN,
+            size: MemSize::B8,
+        };
         assert_eq!(decode(&encode(&inst)), Ok(inst));
     }
 

@@ -399,13 +399,28 @@ impl fmt::Display for Inst {
             Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
             Inst::AluImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
             Inst::LoadImm { rd, imm } => write!(f, "li {rd}, {imm:#x}"),
-            Inst::Load { rd, base, offset, size } => {
+            Inst::Load {
+                rd,
+                base,
+                offset,
+                size,
+            } => {
                 write!(f, "ld{size} {rd}, {offset}({base})")
             }
-            Inst::Store { src, base, offset, size } => {
+            Inst::Store {
+                src,
+                base,
+                offset,
+                size,
+            } => {
                 write!(f, "st{size} {src}, {offset}({base})")
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "{cond} {rs1}, {rs2}, {target:#x}")
             }
             Inst::Jump { target } => write!(f, "j {target:#x}"),
@@ -470,10 +485,28 @@ mod tests {
 
     #[test]
     fn classification() {
-        let ld = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: 0, size: MemSize::B8 };
-        let st = Inst::Store { src: Reg::R1, base: Reg::R2, offset: 0, size: MemSize::B8 };
-        let br = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::R1, rs2: Reg::R2, target: 0 };
-        let jr = Inst::JumpIndirect { base: Reg::R1, offset: 0 };
+        let ld = Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: 0,
+            size: MemSize::B8,
+        };
+        let st = Inst::Store {
+            src: Reg::R1,
+            base: Reg::R2,
+            offset: 0,
+            size: MemSize::B8,
+        };
+        let br = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+            target: 0,
+        };
+        let jr = Inst::JumpIndirect {
+            base: Reg::R1,
+            offset: 0,
+        };
         let j = Inst::Jump { target: 0 };
         assert!(ld.is_mem() && ld.is_load() && !ld.is_store());
         assert!(st.is_mem() && st.is_store() && !st.is_load());
@@ -481,18 +514,34 @@ mod tests {
         assert!(jr.is_branch());
         assert!(!j.is_branch() && j.is_control());
         assert!(Inst::Fence.is_fence());
-        let fl = Inst::Flush { base: Reg::R1, offset: 0 };
-        assert!(!fl.is_mem(), "clflush is not a security-relevant memory access");
+        let fl = Inst::Flush {
+            base: Reg::R1,
+            offset: 0,
+        };
+        assert!(
+            !fl.is_mem(),
+            "clflush is not a security-relevant memory access"
+        );
     }
 
     #[test]
     fn dest_and_sources() {
-        let i = Inst::Alu { op: AluOp::Add, rd: Reg::R3, rs1: Reg::R1, rs2: Reg::R2 };
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::R3,
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+        };
         assert_eq!(i.dest(), Some(Reg::R3));
         let srcs: Vec<Reg> = i.sources().collect();
         assert_eq!(srcs, vec![Reg::R1, Reg::R2]);
 
-        let st = Inst::Store { src: Reg::R4, base: Reg::R5, offset: 8, size: MemSize::B1 };
+        let st = Inst::Store {
+            src: Reg::R4,
+            base: Reg::R5,
+            offset: 8,
+            size: MemSize::B1,
+        };
         assert_eq!(st.dest(), None);
         let srcs: Vec<Reg> = st.sources().collect();
         assert_eq!(srcs, vec![Reg::R5, Reg::R4]);
@@ -500,7 +549,12 @@ mod tests {
 
     #[test]
     fn r0_is_never_a_dependence() {
-        let i = Inst::Alu { op: AluOp::Add, rd: Reg::R0, rs1: Reg::R0, rs2: Reg::R1 };
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rs1: Reg::R0,
+            rs2: Reg::R1,
+        };
         assert_eq!(i.dest(), None, "writes to r0 are discarded");
         let srcs: Vec<Reg> = i.sources().collect();
         assert_eq!(srcs, vec![Reg::R1]);
@@ -508,7 +562,10 @@ mod tests {
 
     #[test]
     fn call_writes_link() {
-        let c = Inst::Call { target: 0x100, link: Reg::R31 };
+        let c = Inst::Call {
+            target: 0x100,
+            link: Reg::R31,
+        };
         assert_eq!(c.dest(), Some(Reg::R31));
         assert!(c.is_control() && !c.is_branch());
         let r = Inst::Ret { link: Reg::R31 };
@@ -518,11 +575,21 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let i = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: -8, size: MemSize::B8 };
+        let i = Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: -8,
+            size: MemSize::B8,
+        };
         assert_eq!(i.to_string(), "ld8 r1, -8(r2)");
         assert_eq!(Inst::Halt.to_string(), "halt");
         assert_eq!(Inst::Nop.to_string(), "nop");
-        let b = Inst::Branch { cond: BranchCond::GeU, rs1: Reg::R1, rs2: Reg::R2, target: 0x40 };
+        let b = Inst::Branch {
+            cond: BranchCond::GeU,
+            rs1: Reg::R1,
+            rs2: Reg::R2,
+            target: 0x40,
+        };
         assert_eq!(b.to_string(), "bgeu r1, r2, 0x40");
     }
 }

@@ -58,8 +58,16 @@ impl Program {
     ///
     /// Panics if `code_base` is not 4-byte aligned.
     pub fn new(code_base: u64, insts: Vec<Inst>, data: Vec<DataSegment>) -> Self {
-        assert_eq!(code_base % INST_BYTES, 0, "code base must be 4-byte aligned");
-        Program { code_base, insts, data }
+        assert_eq!(
+            code_base % INST_BYTES,
+            0,
+            "code base must be 4-byte aligned"
+        );
+        Program {
+            code_base,
+            insts,
+            data,
+        }
     }
 
     /// The address of the first instruction, i.e. the entry point.
@@ -100,7 +108,7 @@ impl Program {
     /// Fetches the instruction at virtual address `pc`, or `None` if `pc`
     /// is outside the code region or misaligned.
     pub fn fetch(&self, pc: u64) -> Option<Inst> {
-        if pc < self.code_base || pc % INST_BYTES != 0 {
+        if pc < self.code_base || !pc.is_multiple_of(INST_BYTES) {
             return None;
         }
         let idx = ((pc - self.code_base) / INST_BYTES) as usize;
@@ -113,7 +121,10 @@ impl Program {
     ///
     /// Panics if `idx` is out of range.
     pub fn addr_of(&self, idx: usize) -> u64 {
-        assert!(idx < self.insts.len(), "instruction index {idx} out of range");
+        assert!(
+            idx < self.insts.len(),
+            "instruction index {idx} out of range"
+        );
         self.code_base + idx as u64 * INST_BYTES
     }
 }

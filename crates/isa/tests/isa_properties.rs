@@ -1,0 +1,220 @@
+//! Randomized property tests for the micro-ISA: encode/decode
+//! round-trips for every instruction form, and builder label resolution.
+//!
+//! Cases are generated with the workspace's seeded [`SplitMix64`]
+//! generator, so every run checks the same cases — failures reproduce
+//! exactly.
+
+use condspec_isa::{decode, encode, AluOp, BranchCond, Inst, MemSize, ProgramBuilder, Reg};
+use condspec_stats::SplitMix64;
+
+const CASES: u64 = 512;
+
+const ALU_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Mul,
+    AluOp::SltU,
+    AluOp::Slt,
+];
+
+const CONDS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::LtU,
+    BranchCond::GeU,
+];
+
+const SIZES: [MemSize; 4] = [MemSize::B1, MemSize::B2, MemSize::B4, MemSize::B8];
+
+fn rand_reg(rng: &mut SplitMix64) -> Reg {
+    Reg::from_index(rng.gen_usize(0, 32)).expect("index < 32")
+}
+
+fn rand_inst(rng: &mut SplitMix64) -> Inst {
+    match rng.gen_usize(0, 13) {
+        0 => Inst::Nop,
+        1 => Inst::Halt,
+        2 => Inst::Fence,
+        3 => Inst::Alu {
+            op: *rng.choice(&ALU_OPS),
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            rs2: rand_reg(rng),
+        },
+        4 => Inst::AluImm {
+            op: *rng.choice(&ALU_OPS),
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            imm: rng.next_u64() as i64,
+        },
+        5 => Inst::LoadImm {
+            rd: rand_reg(rng),
+            imm: rng.next_u64(),
+        },
+        6 => Inst::Load {
+            rd: rand_reg(rng),
+            base: rand_reg(rng),
+            offset: rng.next_u64() as i64,
+            size: *rng.choice(&SIZES),
+        },
+        7 => Inst::Store {
+            src: rand_reg(rng),
+            base: rand_reg(rng),
+            offset: rng.next_u64() as i64,
+            size: *rng.choice(&SIZES),
+        },
+        8 => Inst::Branch {
+            cond: *rng.choice(&CONDS),
+            rs1: rand_reg(rng),
+            rs2: rand_reg(rng),
+            target: rng.next_u64(),
+        },
+        9 => Inst::Jump {
+            target: rng.next_u64(),
+        },
+        10 => Inst::JumpIndirect {
+            base: rand_reg(rng),
+            offset: rng.next_u64() as i64,
+        },
+        11 => Inst::Call {
+            target: rng.next_u64(),
+            link: rand_reg(rng),
+        },
+        _ => {
+            if rng.gen_bool(0.5) {
+                Inst::Ret {
+                    link: rand_reg(rng),
+                }
+            } else {
+                Inst::Flush {
+                    base: rand_reg(rng),
+                    offset: rng.next_u64() as i64,
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SplitMix64::new(0x15a_0001);
+    for _ in 0..CASES {
+        let inst = rand_inst(&mut rng);
+        let bytes = encode(&inst);
+        assert_eq!(decode(&bytes), Ok(inst), "{inst:?}");
+    }
+}
+
+#[test]
+fn sources_never_include_r0() {
+    let mut rng = SplitMix64::new(0x15a_0002);
+    for _ in 0..CASES {
+        let inst = rand_inst(&mut rng);
+        assert!(inst.sources().all(|r| !r.is_zero()), "{inst:?}");
+        assert!(inst.dest().is_none_or(|r| !r.is_zero()), "{inst:?}");
+    }
+}
+
+#[test]
+fn classification_is_consistent() {
+    let mut rng = SplitMix64::new(0x15a_0003);
+    for _ in 0..CASES {
+        let inst = rand_inst(&mut rng);
+        // A memory instruction is exactly a load xor a store.
+        assert_eq!(inst.is_mem(), inst.is_load() || inst.is_store(), "{inst:?}");
+        assert!(!(inst.is_load() && inst.is_store()), "{inst:?}");
+        // Everything resolved in the back end is control flow.
+        if inst.is_branch() {
+            assert!(inst.is_control(), "{inst:?}");
+        }
+    }
+}
+
+#[test]
+fn display_is_never_empty() {
+    let mut rng = SplitMix64::new(0x15a_0004);
+    for _ in 0..CASES {
+        let inst = rand_inst(&mut rng);
+        assert!(!inst.to_string().is_empty(), "{inst:?}");
+    }
+}
+
+#[test]
+fn alu_eval_zero_identities() {
+    let mut rng = SplitMix64::new(0x15a_0005);
+    for _ in 0..CASES {
+        let a = rng.next_u64();
+        assert_eq!(AluOp::Add.eval(a, 0), a);
+        assert_eq!(AluOp::Sub.eval(a, 0), a);
+        assert_eq!(AluOp::Or.eval(a, 0), a);
+        assert_eq!(AluOp::Xor.eval(a, a), 0);
+        assert_eq!(AluOp::And.eval(a, 0), 0);
+        assert_eq!(AluOp::Mul.eval(a, 1), a);
+    }
+}
+
+#[test]
+fn branch_negation_is_exact() {
+    let mut rng = SplitMix64::new(0x15a_0006);
+    for _ in 0..CASES {
+        let cond = *rng.choice(&CONDS);
+        // Mix equal and unequal operand pairs.
+        let a = rng.gen_range(0, 8);
+        let b = if rng.gen_bool(0.3) { a } else { rng.next_u64() };
+        assert_ne!(
+            cond.eval(a, b),
+            cond.negate().eval(a, b),
+            "{cond:?} {a} {b}"
+        );
+        assert_eq!(cond.negate().negate(), cond);
+    }
+}
+
+#[test]
+fn builder_resolves_forward_branches() {
+    let mut rng = SplitMix64::new(0x15a_0007);
+    for _ in 0..64 {
+        let skip = rng.gen_usize(1, 50);
+        let mut b = ProgramBuilder::new(0x1000);
+        b.branch_to(BranchCond::Eq, Reg::R1, Reg::R2, "end");
+        for _ in 0..skip {
+            b.nop();
+        }
+        b.label("end").expect("fresh label");
+        b.halt();
+        let p = b.build().expect("assembles");
+        match p.insts()[0] {
+            Inst::Branch { target, .. } => {
+                assert_eq!(target, 0x1000 + 4 * (skip as u64 + 1));
+                assert_eq!(p.fetch(target), Some(Inst::Halt));
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn program_fetch_matches_indexing() {
+    let mut rng = SplitMix64::new(0x15a_0008);
+    for _ in 0..32 {
+        let n = rng.gen_usize(1, 100);
+        let mut b = ProgramBuilder::new(0x4000);
+        for _ in 0..n {
+            b.nop();
+        }
+        b.halt();
+        let p = b.build().expect("assembles");
+        for i in 0..p.len() {
+            assert_eq!(p.fetch(p.addr_of(i)), Some(p.insts()[i]));
+        }
+        assert_eq!(p.fetch(p.code_end()), None);
+    }
+}

@@ -41,7 +41,10 @@ pub fn page_offset(addr: u64) -> u64 {
 /// assert_eq!(line_addr(0x107f, 64), 0x1040);
 /// ```
 pub fn line_addr(addr: u64, line_bytes: u64) -> u64 {
-    assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_bytes.is_power_of_two(),
+        "line size must be a power of two"
+    );
     addr & !(line_bytes - 1)
 }
 

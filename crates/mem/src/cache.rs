@@ -25,16 +25,27 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (zero sizes, non-power-of-two
     /// line size, or capacity not divisible into `ways * line_bytes` sets).
     pub fn new(size_bytes: u64, ways: usize, line_bytes: u64, hit_latency: u64) -> Self {
-        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "cache geometry must be nonzero");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes > 0 && ways > 0 && line_bytes > 0,
+            "cache geometry must be nonzero"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let set_bytes = ways as u64 * line_bytes;
         assert!(
-            size_bytes % set_bytes == 0,
+            size_bytes.is_multiple_of(set_bytes),
             "capacity must be a whole number of sets"
         );
         let sets = size_bytes / set_bytes;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        CacheConfig { size_bytes, ways, line_bytes, hit_latency }
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+            hit_latency,
+        }
     }
 
     /// Number of sets.
@@ -185,13 +196,16 @@ impl SetAssocCache {
         let victim = self.lines[base + victim_way];
         let evicted = victim.valid.then(|| self.line_base(set, victim.tag));
         self.tick += 1;
-        self.lines[base + victim_way] = LineState { valid: true, tag, stamp: self.tick };
+        self.lines[base + victim_way] = LineState {
+            valid: true,
+            tag,
+            stamp: self.tick,
+        };
         evicted
     }
 
     fn line_base(&self, set: usize, tag: u64) -> u64 {
-        (tag << (self.set_shift + self.set_mask.count_ones()))
-            | ((set as u64) << self.set_shift)
+        (tag << (self.set_shift + self.set_mask.count_ones())) | ((set as u64) << self.set_shift)
     }
 
     /// Invalidates the line containing `addr`; returns whether it was
@@ -351,7 +365,7 @@ mod tests {
     #[test]
     fn touch_on_absent_line_is_noop() {
         let mut c = tiny();
-        c.touch(0xdead_000);
+        c.touch(0x0dea_d000);
         assert_eq!(c.occupancy(), 0);
     }
 
@@ -410,7 +424,7 @@ mod tests {
     #[test]
     fn tag_set_roundtrip() {
         let c = SetAssocCache::new(CacheConfig::new(64 * 1024, 4, 64, 2));
-        for addr in [0u64, 0x1234_5678, 0xdead_beef_000] {
+        for addr in [0u64, 0x1234_5678, 0x0dea_dbee_f000] {
             let aligned = line_addr(addr, 64);
             let set = c.set_index(addr);
             let tag = c.tag(addr);

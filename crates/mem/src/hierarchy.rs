@@ -157,7 +157,10 @@ impl CacheHierarchy {
         let mut latency = self.l1d.config().hit_latency;
         if self.l1d.access(paddr, l1_update) {
             self.stats.l1d.hit();
-            return AccessOutcome { latency, level: Level::L1 };
+            return AccessOutcome {
+                latency,
+                level: Level::L1,
+            };
         }
         self.stats.l1d.miss();
         if self.next_line_prefetch && allow_prefetch {
@@ -167,7 +170,10 @@ impl CacheHierarchy {
         if self.l2.access(paddr, LruUpdate::Normal) {
             self.stats.l2_data.hit();
             self.l1d.fill(paddr);
-            return AccessOutcome { latency, level: Level::L2 };
+            return AccessOutcome {
+                latency,
+                level: Level::L2,
+            };
         }
         self.stats.l2_data.miss();
         if let Some(l3) = self.l3.as_mut() {
@@ -176,7 +182,10 @@ impl CacheHierarchy {
                 self.stats.l3_data.hit();
                 self.l2.fill(paddr);
                 self.l1d.fill(paddr);
-                return AccessOutcome { latency, level: Level::L3 };
+                return AccessOutcome {
+                    latency,
+                    level: Level::L3,
+                };
             }
             self.stats.l3_data.miss();
         }
@@ -186,7 +195,10 @@ impl CacheHierarchy {
         }
         self.l2.fill(paddr);
         self.l1d.fill(paddr);
-        AccessOutcome { latency, level: Level::Memory }
+        AccessOutcome {
+            latency,
+            level: Level::Memory,
+        }
     }
 
     /// Instruction fetch access to physical address `paddr`.
@@ -194,20 +206,29 @@ impl CacheHierarchy {
         let mut latency = self.l1i.config().hit_latency;
         if self.l1i.access(paddr, LruUpdate::Normal) {
             self.stats.l1i.hit();
-            return AccessOutcome { latency, level: Level::L1 };
+            return AccessOutcome {
+                latency,
+                level: Level::L1,
+            };
         }
         self.stats.l1i.miss();
         latency += self.l2.config().hit_latency;
         if self.l2.access(paddr, LruUpdate::Normal) {
             self.l1i.fill(paddr);
-            return AccessOutcome { latency, level: Level::L2 };
+            return AccessOutcome {
+                latency,
+                level: Level::L2,
+            };
         }
         if let Some(l3) = self.l3.as_mut() {
             latency += l3.config().hit_latency;
             if l3.access(paddr, LruUpdate::Normal) {
                 self.l2.fill(paddr);
                 self.l1i.fill(paddr);
-                return AccessOutcome { latency, level: Level::L3 };
+                return AccessOutcome {
+                    latency,
+                    level: Level::L3,
+                };
             }
         }
         latency += self.memory_latency;
@@ -216,7 +237,10 @@ impl CacheHierarchy {
         }
         self.l2.fill(paddr);
         self.l1i.fill(paddr);
-        AccessOutcome { latency, level: Level::Memory }
+        AccessOutcome {
+            latency,
+            level: Level::Memory,
+        }
     }
 
     /// Brings the line after `paddr` into L2 (and L3), modelling an

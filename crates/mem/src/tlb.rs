@@ -85,7 +85,11 @@ impl TlbConfig {
     /// The paper's Table III TLB: 64 entries. Hit costs nothing extra
     /// (overlapped with L1 access); a walk costs 20 cycles.
     pub fn paper_default() -> Self {
-        TlbConfig { entries: 64, hit_latency: 0, miss_latency: 20 }
+        TlbConfig {
+            entries: 64,
+            hit_latency: 0,
+            miss_latency: 20,
+        }
     }
 }
 
@@ -122,7 +126,12 @@ impl Tlb {
     /// Panics if `config.entries` is zero.
     pub fn new(config: TlbConfig) -> Self {
         assert!(config.entries > 0, "TLB must have at least one entry");
-        Tlb { config, entries: Vec::new(), tick: 0, stats: RateCounter::new() }
+        Tlb {
+            config,
+            entries: Vec::new(),
+            tick: 0,
+            stats: RateCounter::new(),
+        }
     }
 
     /// Translates `vaddr`, returning `(paddr, extra_latency)`.
@@ -148,7 +157,10 @@ impl Tlb {
             self.entries.swap_remove(lru);
         }
         self.entries.push((vpn, ppn, self.tick));
-        ((ppn << PAGE_BITS) | page_offset(vaddr), self.config.miss_latency)
+        (
+            (ppn << PAGE_BITS) | page_offset(vaddr),
+            self.config.miss_latency,
+        )
     }
 
     /// Removes every cached translation (e.g. on context switch).
@@ -217,7 +229,11 @@ mod tests {
     #[test]
     fn tlb_lru_eviction() {
         let pt = PageTable::new();
-        let mut tlb = Tlb::new(TlbConfig { entries: 2, hit_latency: 0, miss_latency: 20 });
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 2,
+            hit_latency: 0,
+            miss_latency: 20,
+        });
         tlb.translate(0x1000, &pt); // A
         tlb.translate(0x2000, &pt); // B
         tlb.translate(0x1000, &pt); // touch A; B is now LRU
@@ -252,6 +268,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one entry")]
     fn zero_entry_tlb_panics() {
-        let _ = Tlb::new(TlbConfig { entries: 0, hit_latency: 0, miss_latency: 0 });
+        let _ = Tlb::new(TlbConfig {
+            entries: 0,
+            hit_latency: 0,
+            miss_latency: 0,
+        });
     }
 }

@@ -1,12 +1,16 @@
-//! Property tests for the memory subsystem: cache content/LRU invariants
-//! against a reference model, hierarchy consistency, TLB/page-table
-//! agreement, and main-memory read/write laws.
+//! Randomized property tests for the memory subsystem: cache
+//! content/LRU invariants against a reference model, hierarchy
+//! consistency, TLB/page-table agreement, and main-memory read/write
+//! laws.
+//!
+//! Cases are generated with the workspace's seeded [`SplitMix64`]
+//! generator, so every run checks the same cases.
 
 use condspec_mem::{
-    line_addr, page_number, CacheConfig, CacheHierarchy, HierarchyConfig, LruUpdate,
-    MainMemory, PageTable, SetAssocCache, Tlb, TlbConfig,
+    line_addr, page_number, CacheConfig, CacheHierarchy, HierarchyConfig, LruUpdate, MainMemory,
+    PageTable, SetAssocCache, Tlb, TlbConfig,
 };
-use proptest::prelude::*;
+use condspec_stats::SplitMix64;
 use std::collections::HashMap;
 
 /// A trace operation against the cache.
@@ -18,19 +22,17 @@ enum Op {
     Touch(u64),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let addr = (0u64..64).prop_map(|line| line * 64);
-    let update = prop_oneof![
-        Just(LruUpdate::Normal),
-        Just(LruUpdate::None),
-        Just(LruUpdate::Deferred),
-    ];
-    prop_oneof![
-        (addr.clone(), update).prop_map(|(a, u)| Op::Access(a, u)),
-        addr.clone().prop_map(Op::Fill),
-        addr.clone().prop_map(Op::Flush),
-        addr.prop_map(Op::Touch),
-    ]
+fn rand_op(rng: &mut SplitMix64) -> Op {
+    let addr = rng.gen_range(0, 64) * 64;
+    match rng.gen_usize(0, 4) {
+        0 => {
+            let update = *rng.choice(&[LruUpdate::Normal, LruUpdate::None, LruUpdate::Deferred]);
+            Op::Access(addr, update)
+        }
+        1 => Op::Fill(addr),
+        2 => Op::Flush(addr),
+        _ => Op::Touch(addr),
+    }
 }
 
 /// A straightforward reference model: per set, a vector of (line, stamp).
@@ -43,7 +45,11 @@ struct ModelCache {
 
 impl ModelCache {
     fn new(ways: usize) -> Self {
-        ModelCache { sets: HashMap::new(), tick: 0, ways }
+        ModelCache {
+            sets: HashMap::new(),
+            tick: 0,
+            ways,
+        }
     }
     fn set_of(addr: u64) -> usize {
         // 2 sets x 64B lines in the tested geometry (256B, 2-way).
@@ -92,19 +98,21 @@ impl ModelCache {
     }
 }
 
-proptest! {
-    /// The real cache and the reference model agree on contents after any
-    /// operation sequence (including the secure-update modes, which must
-    /// not change *contents*, only recency).
-    #[test]
-    fn cache_contents_match_reference_model(ops in proptest::collection::vec(arb_op(), 0..200)) {
+/// The real cache and the reference model agree on contents after any
+/// operation sequence (including the secure-update modes, which must not
+/// change *contents*, only recency).
+#[test]
+fn cache_contents_match_reference_model() {
+    let mut rng = SplitMix64::new(0x3e3_0001);
+    for _ in 0..48 {
         let mut cache = SetAssocCache::new(CacheConfig::new(256, 2, 64, 1));
         let mut model = ModelCache::new(2);
-        for op in &ops {
-            match *op {
+        for _ in 0..rng.gen_usize(0, 200) {
+            let op = rand_op(&mut rng);
+            match op {
                 Op::Access(a, u) => {
                     let hit = cache.access(a, u);
-                    prop_assert_eq!(hit, model.contains(a));
+                    assert_eq!(hit, model.contains(a));
                     if hit && u == LruUpdate::Normal {
                         model.promote(a);
                     }
@@ -127,31 +135,37 @@ proptest! {
             // Contents agree at every step.
             for line in 0..64u64 {
                 let addr = line * 64;
-                prop_assert_eq!(cache.probe(addr), model.contains(addr), "line {:#x}", addr);
+                assert_eq!(cache.probe(addr), model.contains(addr), "line {addr:#x}");
             }
-            prop_assert!(cache.occupancy() <= 4, "2 sets x 2 ways");
+            assert!(cache.occupancy() <= 4, "2 sets x 2 ways");
         }
     }
+}
 
-    /// probe() never changes any observable state.
-    #[test]
-    fn probe_is_pure(fills in proptest::collection::vec(0u64..64, 0..20), probes in proptest::collection::vec(0u64..64, 0..50)) {
+/// probe() never changes any observable state.
+#[test]
+fn probe_is_pure() {
+    let mut rng = SplitMix64::new(0x3e3_0002);
+    for _ in 0..64 {
         let mut cache = SetAssocCache::new(CacheConfig::new(256, 2, 64, 1));
-        for f in &fills {
-            cache.fill(f * 64);
+        for _ in 0..rng.gen_usize(0, 20) {
+            cache.fill(rng.gen_range(0, 64) * 64);
         }
         let before: Vec<Vec<u64>> = (0..2).map(|s| cache.set_contents_lru_first(s)).collect();
-        for p in &probes {
-            let _ = cache.probe(p * 64);
+        for _ in 0..rng.gen_usize(0, 50) {
+            let _ = cache.probe(rng.gen_range(0, 64) * 64);
         }
         let after: Vec<Vec<u64>> = (0..2).map(|s| cache.set_contents_lru_first(s)).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
+}
 
-    /// Inclusive hierarchy: after any data-access sequence, every L1D
-    /// line is present in L2 (and L3 where configured).
-    #[test]
-    fn hierarchy_stays_inclusive(addrs in proptest::collection::vec(0u64..4096, 1..100)) {
+/// Inclusive hierarchy: after any data-access sequence, every L1D line
+/// is present in L2 (and L3 where configured).
+#[test]
+fn hierarchy_stays_inclusive() {
+    let mut rng = SplitMix64::new(0x3e3_0003);
+    for _ in 0..32 {
         let mut h = CacheHierarchy::new(HierarchyConfig {
             l1i: CacheConfig::new(512, 2, 64, 2),
             l1d: CacheConfig::new(512, 2, 64, 2),
@@ -160,6 +174,9 @@ proptest! {
             memory_latency: 100,
             next_line_prefetch: false,
         });
+        let addrs: Vec<u64> = (0..rng.gen_usize(1, 100))
+            .map(|_| rng.gen_range(0, 4096))
+            .collect();
         for a in &addrs {
             h.access_data(a * 64, LruUpdate::Normal);
         }
@@ -168,65 +185,81 @@ proptest! {
         for a in &addrs {
             let line = a * 64;
             if h.l1d().probe(line) {
-                prop_assert!(h.l2().probe(line), "L1D line {:#x} missing from L2", line);
+                assert!(h.l2().probe(line), "L1D line {line:#x} missing from L2");
             }
         }
     }
+}
 
-    /// flush_line removes the line everywhere; the next access misses to
-    /// memory.
-    #[test]
-    fn flush_makes_next_access_a_full_miss(a in 0u64..10_000) {
+/// flush_line removes the line everywhere; the next access misses to
+/// memory.
+#[test]
+fn flush_makes_next_access_a_full_miss() {
+    let mut rng = SplitMix64::new(0x3e3_0004);
+    for _ in 0..64 {
         let mut h = CacheHierarchy::new(HierarchyConfig::paper_default());
-        let addr = a * 64;
+        let addr = rng.gen_range(0, 10_000) * 64;
         h.access_data(addr, LruUpdate::Normal);
         h.flush_line(addr);
         let outcome = h.access_data(addr, LruUpdate::Normal);
-        prop_assert_eq!(outcome.level, condspec_mem::Level::Memory);
+        assert_eq!(outcome.level, condspec_mem::Level::Memory);
     }
+}
 
-    /// The TLB is a pure cache of the page table: translations always
-    /// agree, whatever the access pattern.
-    #[test]
-    fn tlb_agrees_with_page_table(
-        mappings in proptest::collection::vec((0u64..64, 0u64..64), 0..16),
-        lookups in proptest::collection::vec(0u64..(64 * 4096), 1..200),
-    ) {
+/// The TLB is a pure cache of the page table: translations always
+/// agree, whatever the access pattern.
+#[test]
+fn tlb_agrees_with_page_table() {
+    let mut rng = SplitMix64::new(0x3e3_0005);
+    for _ in 0..64 {
         let mut pt = PageTable::new();
-        for (vpn, ppn) in &mappings {
-            pt.map(*vpn, *ppn);
+        for _ in 0..rng.gen_usize(0, 16) {
+            pt.map(rng.gen_range(0, 64), rng.gen_range(0, 64));
         }
-        let mut tlb = Tlb::new(TlbConfig { entries: 4, hit_latency: 0, miss_latency: 20 });
-        for vaddr in &lookups {
-            let (paddr, _) = tlb.translate(*vaddr, &pt);
-            prop_assert_eq!(paddr, pt.translate(*vaddr));
-            prop_assert!(tlb.occupancy() <= 4);
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 4,
+            hit_latency: 0,
+            miss_latency: 20,
+        });
+        for _ in 0..rng.gen_usize(1, 200) {
+            let vaddr = rng.gen_range(0, 64 * 4096);
+            let (paddr, _) = tlb.translate(vaddr, &pt);
+            assert_eq!(paddr, pt.translate(vaddr));
+            assert!(tlb.occupancy() <= 4);
         }
     }
+}
 
-    /// Memory reads return exactly what was last written per byte.
-    #[test]
-    fn memory_write_read_laws(
-        writes in proptest::collection::vec((0u64..1024, any::<u64>(), prop_oneof![Just(1u64), Just(2), Just(4), Just(8)]), 1..64),
-    ) {
+/// Memory reads return exactly what was last written per byte.
+#[test]
+fn memory_write_read_laws() {
+    let mut rng = SplitMix64::new(0x3e3_0006);
+    for _ in 0..48 {
         let mut mem = MainMemory::new();
         let mut model: HashMap<u64, u8> = HashMap::new();
-        for (addr, value, size) in &writes {
-            mem.write(*addr, *value, *size);
-            for i in 0..*size {
+        for _ in 0..rng.gen_usize(1, 64) {
+            let addr = rng.gen_range(0, 1024);
+            let value = rng.next_u64();
+            let size = *rng.choice(&[1u64, 2, 4, 8]);
+            mem.write(addr, value, size);
+            for i in 0..size {
                 model.insert(addr + i, (value >> (8 * i)) as u8);
             }
         }
         for b in 0..1100u64 {
-            prop_assert_eq!(mem.read_byte(b), model.get(&b).copied().unwrap_or(0));
+            assert_eq!(mem.read_byte(b), model.get(&b).copied().unwrap_or(0));
         }
     }
+}
 
-    /// Page-number arithmetic is consistent with the 4 KiB page size.
-    #[test]
-    fn page_number_consistency(addr in any::<u64>()) {
+/// Page-number arithmetic is consistent with the 4 KiB page size.
+#[test]
+fn page_number_consistency() {
+    let mut rng = SplitMix64::new(0x3e3_0007);
+    for _ in 0..4096 {
+        let addr = rng.next_u64();
         let pn = page_number(addr);
-        prop_assert!(addr >= pn * 4096 || pn == u64::MAX >> 12);
-        prop_assert_eq!(page_number(addr & !0xfff), pn);
+        assert!(addr >= pn * 4096 || pn == u64::MAX >> 12);
+        assert_eq!(page_number(addr & !0xfff), pn);
     }
 }

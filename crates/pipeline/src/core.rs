@@ -32,9 +32,7 @@ use crate::stats::PipelineStats;
 use crate::trace::{TraceBuffer, TraceEvent};
 use condspec_frontend::FrontEnd;
 use condspec_isa::{Inst, Program, Reg, INST_BYTES};
-use condspec_mem::{
-    page_number, CacheHierarchy, LruUpdate, MainMemory, PageTable, Tlb,
-};
+use condspec_mem::{page_number, CacheHierarchy, LruUpdate, MainMemory, PageTable, Tlb};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -134,7 +132,10 @@ impl CoreConfig {
                 && self.fetch_queue > 0,
             "queue sizes must be nonzero"
         );
-        assert!(self.phys_regs > 32, "need more physical than architectural registers");
+        assert!(
+            self.phys_regs > 32,
+            "need more physical than architectural registers"
+        );
         assert!(self.cache_ports > 0, "at least one cache port required");
     }
 }
@@ -466,7 +467,11 @@ impl Core {
                 break;
             }
             let entry = self.rob.pop_head().expect("head exists");
-            self.trace(TraceEvent::Commit { cycle: self.cycle, seq: entry.seq, pc: entry.pc });
+            self.trace(TraceEvent::Commit {
+                cycle: self.cycle,
+                seq: entry.seq,
+                pc: entry.pc,
+            });
             self.last_commit_cycle = self.cycle;
             self.stats.committed += 1;
             if let Some((_, _, old)) = entry.dest {
@@ -556,7 +561,10 @@ impl Core {
             }
             entry.state = RobState::Completed;
             let slot = entry.iq_slot.take();
-            self.trace(TraceEvent::Complete { cycle: self.cycle, seq: event.seq });
+            self.trace(TraceEvent::Complete {
+                cycle: self.cycle,
+                seq: event.seq,
+            });
             if event.is_load {
                 self.policy.on_mem_writeback(event.seq);
             }
@@ -586,10 +594,12 @@ impl Core {
             }
         });
         for seq in completed {
-            let Some(entry) = self.rob.get_mut(seq) else { continue };
-            let data = self.regfile.read(
-                entry.src_pregs[1].expect("stores have a data operand"),
-            );
+            let Some(entry) = self.rob.get_mut(seq) else {
+                continue;
+            };
+            let data = self
+                .regfile
+                .read(entry.src_pregs[1].expect("stores have a data operand"));
             entry.store_data = Some(data);
             entry.state = RobState::Completed;
             self.lsq.resolve_store_data(seq, data);
@@ -628,7 +638,9 @@ impl Core {
                 break;
             }
             // A squash earlier in this round may have freed the slot.
-            let Some(entry) = self.iq.get(slot).copied() else { continue };
+            let Some(entry) = self.iq.get(slot).copied() else {
+                continue;
+            };
             if entry.seq != seq {
                 continue;
             }
@@ -682,7 +694,11 @@ impl Core {
                 rob_entry.suspect = suspect;
             }
             self.stats.issued += 1;
-            self.trace(TraceEvent::Issue { cycle: self.cycle, seq, suspect });
+            self.trace(TraceEvent::Issue {
+                cycle: self.cycle,
+                seq,
+                suspect,
+            });
             if entry.is_mem {
                 mem_issued += 1;
             }
@@ -715,7 +731,6 @@ impl Core {
             rob_entry.iq_slot = None;
             self.iq.free_slot(slot);
             self.policy.on_slot_freed(slot);
-
         }
     }
 
@@ -728,9 +743,8 @@ impl Core {
         let pc = entry.pc;
         let predicted_next = entry.predicted_next;
         let src_pregs = entry.src_pregs;
-        let val = |idx: usize, rf: &RegFile| -> u64 {
-            src_pregs[idx].map(|p| rf.read(p)).unwrap_or(0)
-        };
+        let val =
+            |idx: usize, rf: &RegFile| -> u64 { src_pregs[idx].map(|p| rf.read(p)).unwrap_or(0) };
 
         match inst {
             Inst::Alu { op, .. } => {
@@ -857,7 +871,10 @@ impl Core {
                     let e = self.iq.get_mut(slot).expect("load keeps slot");
                     e.issued = false;
                     e.blocked = true;
-                    self.block_reasons[slot] = Some(BlockReason::StoreData { vaddr, size: size.bytes() });
+                    self.block_reasons[slot] = Some(BlockReason::StoreData {
+                        vaddr,
+                        size: size.bytes(),
+                    });
                     self.blocked_until[slot] = self.cycle + self.config.block_replay_penalty;
                     return true;
                 }
@@ -884,7 +901,10 @@ impl Core {
                 match self.policy.check_mem_access(&query) {
                     MemDecision::Block => {
                         self.stats.block_events += 1;
-                        self.trace(TraceEvent::Block { cycle: self.cycle, seq });
+                        self.trace(TraceEvent::Block {
+                            cycle: self.cycle,
+                            seq,
+                        });
                         let rob_entry = self.rob.get_mut(seq).expect("in flight");
                         rob_entry.was_blocked = true;
                         let e = self.iq.get_mut(slot).expect("load keeps slot");
@@ -925,20 +945,19 @@ impl Core {
     /// consumers (and the instruction completes) at the next cycle, giving
     /// correct back-to-back timing for dependent single-cycle operations.
     fn complete_with_value(&mut self, seq: u64, value: u64) {
-        self.events.push(Completion { at: self.cycle + 1, seq, value, is_load: false });
+        self.events.push(Completion {
+            at: self.cycle + 1,
+            seq,
+            value,
+            is_load: false,
+        });
     }
 
     fn mark_completed(&mut self, seq: u64) {
         self.rob.get_mut(seq).expect("in flight").state = RobState::Completed;
     }
 
-    fn resolve_control(
-        &mut self,
-        seq: u64,
-        actual: u64,
-        predicted: u64,
-        taken: Option<bool>,
-    ) {
+    fn resolve_control(&mut self, seq: u64, actual: u64, predicted: u64, taken: Option<bool>) {
         {
             let entry = self.rob.get_mut(seq).expect("in flight");
             entry.actual_next = Some(actual);
@@ -976,7 +995,11 @@ impl Core {
     /// Squashes every instruction younger than `keep_seq` and redirects
     /// fetch to `redirect_pc`.
     fn squash_from(&mut self, keep_seq: u64, redirect_pc: u64) {
-        self.trace(TraceEvent::Squash { cycle: self.cycle, keep_seq, redirect_pc });
+        self.trace(TraceEvent::Squash {
+            cycle: self.cycle,
+            keep_seq,
+            redirect_pc,
+        });
         let squashed = self.rob.squash_after(keep_seq);
         self.stats.squashed_insts += squashed.len() as u64;
 
@@ -1040,7 +1063,9 @@ impl Core {
 
     fn dispatch_stage(&mut self) {
         for _ in 0..self.config.dispatch_width {
-            let Some(fetched) = self.fetch_queue.front() else { break };
+            let Some(fetched) = self.fetch_queue.front() else {
+                break;
+            };
             if fetched.ready_cycle > self.cycle {
                 break;
             }
@@ -1103,18 +1128,27 @@ impl Core {
             };
             let slot = self.iq.allocate(iq_entry).expect("IQ space checked above");
             entry.iq_slot = Some(slot);
-            self.policy.on_dispatch(DispatchInfo { slot, seq, class }, &views);
+            self.policy
+                .on_dispatch(DispatchInfo { slot, seq, class }, &views);
 
             if inst.is_load() {
-                self.lsq.allocate_load(seq, load_size(&inst)).expect("LDQ space checked");
+                self.lsq
+                    .allocate_load(seq, load_size(&inst))
+                    .expect("LDQ space checked");
                 self.policy.on_lsq_allocate(seq, true);
             } else if inst.is_store() {
-                self.lsq.allocate_store(seq, store_size(&inst)).expect("STQ space checked");
+                self.lsq
+                    .allocate_store(seq, store_size(&inst))
+                    .expect("STQ space checked");
                 self.policy.on_lsq_allocate(seq, false);
             } else if inst.is_fence() {
                 self.pending_fences += 1;
             }
-            self.trace(TraceEvent::Dispatch { cycle: self.cycle, seq, pc: fetched.pc });
+            self.trace(TraceEvent::Dispatch {
+                cycle: self.cycle,
+                seq,
+                pc: fetched.pc,
+            });
             self.rob.push(entry);
         }
     }
@@ -1181,7 +1215,9 @@ impl Core {
                 }
                 Inst::JumpIndirect { .. } => {
                     ras_snapshot = Some(self.frontend.ras().snapshot());
-                    self.frontend.predict_indirect(pc).unwrap_or(pc + INST_BYTES)
+                    self.frontend
+                        .predict_indirect(pc)
+                        .unwrap_or(pc + INST_BYTES)
                 }
                 _ => pc + INST_BYTES,
             };
@@ -1376,7 +1412,11 @@ mod tests {
             b.halt();
             b.reserve(0x20000, 64);
         });
-        assert_eq!(core.read_arch_reg(Reg::R3), 0xdead, "store-to-load forwarding");
+        assert_eq!(
+            core.read_arch_reg(Reg::R3),
+            0xdead,
+            "store-to-load forwarding"
+        );
         assert_eq!(core.read_memory(0x20000, 8), 0xdead, "committed to memory");
     }
 
@@ -1402,7 +1442,10 @@ mod tests {
             b.halt();
         });
         assert_eq!(core.read_arch_reg(Reg::R1), 10);
-        assert!(core.stats().committed >= 22, "2 + 2*10 committed instructions");
+        assert!(
+            core.stats().committed >= 22,
+            "2 + 2*10 committed instructions"
+        );
     }
 
     #[test]
@@ -1421,7 +1464,7 @@ mod tests {
                 b.alu(AluOp::Mul, Reg::R2, Reg::R2, Reg::R1);
             }
             b.branch_to(BranchCond::Eq, Reg::R2, Reg::R1, "skip"); // taken; predicted NT when cold
-            // Wrong path: load 0x40000.
+                                                                   // Wrong path: load 0x40000.
             b.load(Reg::R3, Reg::R9, 0);
             b.nop();
             b.label("skip").unwrap();
@@ -1432,7 +1475,11 @@ mod tests {
         // peek latency = L1 hit latency).
         let lat = core.hierarchy().peek_latency(0x40000);
         assert_eq!(lat, 2, "wrong-path fill persisted after squash");
-        assert_eq!(core.read_arch_reg(Reg::R3), 0, "architecturally never loaded");
+        assert_eq!(
+            core.read_arch_reg(Reg::R3),
+            0,
+            "architecturally never loaded"
+        );
         assert!(core.stats().mispredict_squashes >= 1);
     }
 
@@ -1455,8 +1502,15 @@ mod tests {
             b.halt();
             b.reserve(0x50000, 64);
         });
-        assert_eq!(core.read_arch_reg(Reg::R5), 77, "violation replay fixed the value");
-        assert!(core.stats().violation_squashes >= 1, "the bypass was detected");
+        assert_eq!(
+            core.read_arch_reg(Reg::R5),
+            77,
+            "violation replay fixed the value"
+        );
+        assert!(
+            core.stats().violation_squashes >= 1,
+            "the bypass was detected"
+        );
     }
 
     #[test]
@@ -1545,7 +1599,10 @@ mod tests {
             b.halt();
         });
         let ipc = core.stats().ipc();
-        assert!(ipc > 0.5, "simple loop should sustain decent IPC, got {ipc}");
+        assert!(
+            ipc > 0.5,
+            "simple loop should sustain decent IPC, got {ipc}"
+        );
         assert!(ipc <= 4.0, "cannot exceed machine width");
     }
 

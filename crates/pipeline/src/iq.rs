@@ -94,7 +94,10 @@ impl IssueQueue {
     ///
     /// Panics if the slot is already free.
     pub fn free_slot(&mut self, slot: usize) {
-        assert!(self.slots[slot].is_some(), "freeing an already-free IQ slot {slot}");
+        assert!(
+            self.slots[slot].is_some(),
+            "freeing an already-free IQ slot {slot}"
+        );
         self.slots[slot] = None;
         self.free.push(slot);
     }
@@ -121,7 +124,12 @@ impl IssueQueue {
     /// initialization formula.
     pub fn views(&self) -> Vec<IqEntryView> {
         self.iter()
-            .map(|(slot, e)| IqEntryView { slot, seq: e.seq, class: e.class, issued: e.issued })
+            .map(|(slot, e)| IqEntryView {
+                slot,
+                seq: e.seq,
+                class: e.class,
+                issued: e.issued,
+            })
             .collect()
     }
 

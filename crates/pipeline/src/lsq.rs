@@ -74,7 +74,10 @@ impl Lsq {
     ///
     /// Panics if either capacity is zero.
     pub fn new(load_capacity: usize, store_capacity: usize) -> Self {
-        assert!(load_capacity > 0 && store_capacity > 0, "LSQ capacities must be nonzero");
+        assert!(
+            load_capacity > 0 && store_capacity > 0,
+            "LSQ capacities must be nonzero"
+        );
         Lsq {
             loads: VecDeque::with_capacity(load_capacity),
             stores: VecDeque::with_capacity(store_capacity),
@@ -119,7 +122,12 @@ impl Lsq {
             return None;
         }
         debug_assert!(self.stores.back().is_none_or(|s| s.seq < seq));
-        self.stores.push_back(StoreEntry { seq, addr: None, size, data: None });
+        self.stores.push_back(StoreEntry {
+            seq,
+            addr: None,
+            size,
+            data: None,
+        });
         Some(())
     }
 
@@ -351,7 +359,10 @@ mod tests {
         lsq.resolve_store_addr(1, 0x100);
         lsq.resolve_store_data(1, 0);
         assert!(!lsq.older_store_unknown(2));
-        assert!(!lsq.older_store_unknown(1), "only strictly older stores count");
+        assert!(
+            !lsq.older_store_unknown(1),
+            "only strictly older stores count"
+        );
     }
 
     #[test]

@@ -226,7 +226,9 @@ impl SecurityPolicy for NullPolicy {
     }
 
     fn check_mem_access(&mut self, _query: &MemAccessQuery) -> MemDecision {
-        MemDecision::Proceed { l1_update: LruUpdate::Normal }
+        MemDecision::Proceed {
+            l1_update: LruUpdate::Normal,
+        }
     }
 }
 
@@ -238,13 +240,31 @@ mod tests {
     fn null_policy_is_permissive() {
         let mut p = NullPolicy;
         p.on_dispatch(
-            DispatchInfo { slot: 3, seq: 10, class: InstClass::Memory },
-            &[IqEntryView { slot: 0, seq: 9, class: InstClass::Branch, issued: false }],
+            DispatchInfo {
+                slot: 3,
+                seq: 10,
+                class: InstClass::Memory,
+            },
+            &[IqEntryView {
+                slot: 0,
+                seq: 9,
+                class: InstClass::Branch,
+                issued: false,
+            }],
         );
         assert!(!p.suspect_on_issue(3));
         assert!(!p.has_pending_dependence(3));
-        let q = MemAccessQuery { seq: 10, slot: 3, suspect: true, l1_hit: false, ppn: 0 };
-        assert!(matches!(p.check_mem_access(&q), MemDecision::Proceed { .. }));
+        let q = MemAccessQuery {
+            seq: 10,
+            slot: 3,
+            suspect: true,
+            l1_hit: false,
+            ppn: 0,
+        };
+        assert!(matches!(
+            p.check_mem_access(&q),
+            MemDecision::Proceed { .. }
+        ));
         assert_eq!(p.name(), "origin");
     }
 

@@ -44,8 +44,14 @@ impl RegFile {
     /// Panics if `phys_regs <= 32` (there must be at least one free
     /// register for renaming) or `phys_regs > u16::MAX as usize`.
     pub fn new(phys_regs: usize) -> Self {
-        assert!(phys_regs > NUM_ARCH_REGS, "need more physical than architectural registers");
-        assert!(phys_regs <= u16::MAX as usize, "physical register id must fit in u16");
+        assert!(
+            phys_regs > NUM_ARCH_REGS,
+            "need more physical than architectural registers"
+        );
+        assert!(
+            phys_regs <= u16::MAX as usize,
+            "physical register id must fit in u16"
+        );
         let mut rename = [0 as PhysReg; NUM_ARCH_REGS];
         for (i, r) in rename.iter_mut().enumerate() {
             *r = i as PhysReg;
@@ -112,7 +118,11 @@ impl RegFile {
     ///
     /// Must be called youngest-first across the squashed instructions.
     pub fn unrename(&mut self, arch: Reg, new: PhysReg, previous: PhysReg) {
-        debug_assert_eq!(self.rename[arch.index()], new, "unrename must be youngest-first");
+        debug_assert_eq!(
+            self.rename[arch.index()],
+            new,
+            "unrename must be youngest-first"
+        );
         self.rename[arch.index()] = previous;
         self.release(new);
     }

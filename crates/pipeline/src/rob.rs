@@ -107,7 +107,10 @@ impl Rob {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ROB capacity must be nonzero");
-        Rob { entries: VecDeque::with_capacity(capacity), capacity }
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Whether the ROB has no free entries.
@@ -139,7 +142,11 @@ impl Rob {
     pub fn push(&mut self, entry: RobEntry) {
         assert!(!self.is_full(), "ROB overflow");
         if let Some(back) = self.entries.back() {
-            assert_eq!(entry.seq, back.seq + 1, "sequence numbers must be contiguous");
+            assert_eq!(
+                entry.seq,
+                back.seq + 1,
+                "sequence numbers must be contiguous"
+            );
         }
         self.entries.push_back(entry);
     }

@@ -108,7 +108,11 @@ mod tests {
 
     #[test]
     fn ipc_computation() {
-        let stats = PipelineStats { cycles: 100, committed: 250, ..Default::default() };
+        let stats = PipelineStats {
+            cycles: 100,
+            committed: 250,
+            ..Default::default()
+        };
         assert_eq!(stats.ipc(), 2.5);
     }
 

@@ -85,7 +85,11 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Dispatch { cycle, seq, pc } => {
                 write!(f, "[{cycle:>8}] dispatch seq={seq} pc={pc:#x}")
             }
-            TraceEvent::Issue { cycle, seq, suspect } => {
+            TraceEvent::Issue {
+                cycle,
+                seq,
+                suspect,
+            } => {
                 let flag = if *suspect { " SUSPECT" } else { "" };
                 write!(f, "[{cycle:>8}] issue    seq={seq}{flag}")
             }
@@ -98,8 +102,15 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Commit { cycle, seq, pc } => {
                 write!(f, "[{cycle:>8}] commit   seq={seq} pc={pc:#x}")
             }
-            TraceEvent::Squash { cycle, keep_seq, redirect_pc } => {
-                write!(f, "[{cycle:>8}] SQUASH   keep<={keep_seq} redirect={redirect_pc:#x}")
+            TraceEvent::Squash {
+                cycle,
+                keep_seq,
+                redirect_pc,
+            } => {
+                write!(
+                    f,
+                    "[{cycle:>8}] SQUASH   keep<={keep_seq} redirect={redirect_pc:#x}"
+                )
             }
         }
     }
@@ -116,7 +127,11 @@ pub struct TraceBuffer {
 impl TraceBuffer {
     /// Creates a buffer holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        TraceBuffer { events: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+        TraceBuffer {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Records one event.
@@ -191,7 +206,11 @@ mod tests {
     fn overflow_drops_oldest() {
         let mut t = TraceBuffer::new(2);
         for seq in 0..5 {
-            t.push(TraceEvent::Commit { cycle: seq, seq, pc: 0 });
+            t.push(TraceEvent::Commit {
+                cycle: seq,
+                seq,
+                pc: 0,
+            });
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
@@ -207,9 +226,17 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = TraceEvent::Issue { cycle: 7, seq: 3, suspect: true };
+        let e = TraceEvent::Issue {
+            cycle: 7,
+            seq: 3,
+            suspect: true,
+        };
         assert!(e.to_string().contains("SUSPECT"));
-        let e = TraceEvent::Squash { cycle: 9, keep_seq: 2, redirect_pc: 0x40 };
+        let e = TraceEvent::Squash {
+            cycle: 9,
+            keep_seq: 2,
+            redirect_pc: 0x40,
+        };
         assert!(e.to_string().contains("0x40"));
         let mut t = TraceBuffer::new(1);
         t.push(e);

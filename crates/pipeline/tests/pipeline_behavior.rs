@@ -31,7 +31,10 @@ struct BlockFirstN {
 
 impl BlockFirstN {
     fn new(n: u32) -> Self {
-        BlockFirstN { n, attempts: std::collections::HashMap::new() }
+        BlockFirstN {
+            n,
+            attempts: std::collections::HashMap::new(),
+        }
     }
 }
 
@@ -54,7 +57,9 @@ impl SecurityPolicy for BlockFirstN {
         if *count <= self.n {
             MemDecision::Block
         } else {
-            MemDecision::Proceed { l1_update: LruUpdate::Normal }
+            MemDecision::Proceed {
+                l1_update: LruUpdate::Normal,
+            }
         }
     }
 }
@@ -74,7 +79,11 @@ fn blocked_loads_replay_and_still_produce_correct_values() {
     core.load_program(&simple_load_program());
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
     assert_eq!(core.read_arch_reg(Reg::R2), 0xfeed);
-    assert_eq!(core.stats().block_events, 3, "three bounces before the access proceeds");
+    assert_eq!(
+        core.stats().block_events,
+        3,
+        "three bounces before the access proceeds"
+    );
     assert_eq!(core.stats().blocked_committed_loads, 1);
 }
 
@@ -115,7 +124,7 @@ fn nested_mispredictions_recover() {
         b.alu(AluOp::Mul, Reg::R2, Reg::R2, Reg::R2); // delay: r2 stays 1
     }
     b.branch_to(BranchCond::Eq, Reg::R2, Reg::R1, "outer_taken"); // taken, predicted NT
-    // Wrong path: another slow branch, also "taken" if executed.
+                                                                  // Wrong path: another slow branch, also "taken" if executed.
     b.branch_to(BranchCond::Eq, Reg::R2, Reg::R1, "inner_taken");
     b.alu_imm(AluOp::Add, Reg::R10, Reg::R10, 100); // doubly-wrong path
     b.label("inner_taken").expect("fresh");
@@ -125,7 +134,11 @@ fn nested_mispredictions_recover() {
     b.halt();
     core.load_program(&b.build().expect("assembles"));
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
-    assert_eq!(core.read_arch_reg(Reg::R10), 0, "doubly-wrong path rolled back");
+    assert_eq!(
+        core.read_arch_reg(Reg::R10),
+        0,
+        "doubly-wrong path rolled back"
+    );
     assert_eq!(core.read_arch_reg(Reg::R11), 0, "wrong path rolled back");
     assert_eq!(core.read_arch_reg(Reg::R12), 1, "correct path committed");
 }
@@ -252,7 +265,11 @@ fn violation_squash_restarts_from_the_oldest_violating_load() {
     core.load_program(&b.build().expect("assembles"));
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
     assert_eq!(core.read_arch_reg(Reg::R5), 0x99);
-    assert_eq!(core.read_arch_reg(Reg::R6), 0, "upper half of the store is zero");
+    assert_eq!(
+        core.read_arch_reg(Reg::R6),
+        0,
+        "upper half of the store is zero"
+    );
     assert!(core.stats().violation_squashes >= 1);
 }
 
@@ -313,6 +330,12 @@ fn trace_records_the_pipeline_story() {
             _ => {}
         }
     }
-    assert!(saw_dispatch && saw_block && saw_commit, "full story: {trace}");
-    assert!(core.trace_buffer().is_none(), "disable_trace takes the buffer");
+    assert!(
+        saw_dispatch && saw_block && saw_commit,
+        "full story: {trace}"
+    );
+    assert!(
+        core.trace_buffer().is_none(),
+        "disable_trace takes the buffer"
+    );
 }

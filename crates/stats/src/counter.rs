@@ -158,7 +158,13 @@ impl RateCounter {
 
 impl fmt::Display for RateCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.rate() * 100.0)
+        write!(
+            f,
+            "{}/{} ({:.1}%)",
+            self.hits,
+            self.total,
+            self.rate() * 100.0
+        )
     }
 }
 

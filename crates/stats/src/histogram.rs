@@ -114,7 +114,13 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "histogram: n={} mean={:.2} max={}", self.count, self.mean(), self.max)?;
+        writeln!(
+            f,
+            "histogram: n={} mean={:.2} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )?;
         for (i, b) in self.buckets.iter().enumerate() {
             if *b > 0 {
                 writeln!(

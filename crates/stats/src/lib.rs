@@ -12,6 +12,10 @@
 //! * [`summary`] — arithmetic/geometric means and normalization helpers.
 //! * [`table::TextTable`] — plain-text table rendering used by the
 //!   experiment binaries to print paper-style tables.
+//! * [`json::Json`] — a deterministic JSON tree/writer/parser used by
+//!   the sweep engine's result artifacts.
+//! * [`SplitMix64`] — the workspace's seeded pseudo-random generator
+//!   (workload generation and randomized tests).
 //!
 //! # Examples
 //!
@@ -30,10 +34,27 @@
 
 pub mod counter;
 pub mod histogram;
+pub mod json;
+pub mod rng;
 pub mod summary;
 pub mod table;
 
 pub use counter::{Counter, RateCounter};
 pub use histogram::Histogram;
+pub use json::Json;
+pub use rng::SplitMix64;
 pub use summary::{arithmetic_mean, geometric_mean, normalized_overhead_percent};
 pub use table::TextTable;
+
+// The sweep engine clones statistics into worker threads and ships the
+// results back over channels; every reporting type must stay `Clone` and
+// `Send`. This fails to *compile* (not just test) if one regresses.
+const _: () = {
+    const fn assert_clone_send<T: Clone + Send>() {}
+    assert_clone_send::<Counter>();
+    assert_clone_send::<RateCounter>();
+    assert_clone_send::<Histogram>();
+    assert_clone_send::<Json>();
+    assert_clone_send::<SplitMix64>();
+    assert_clone_send::<TextTable>();
+};

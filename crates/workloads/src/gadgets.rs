@@ -16,7 +16,6 @@
 
 use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
 
-
 /// Fixed virtual-address layout shared by all gadgets.
 pub mod layout {
     /// Victim code base.
@@ -94,6 +93,24 @@ impl GadgetKind {
         GadgetKind::V1SetStride,
         GadgetKind::Rsb,
     ];
+
+    /// A stable machine-readable key (CLI values, job hashes). The
+    /// inverse of [`GadgetKind::from_key`].
+    pub fn key(&self) -> &'static str {
+        match self {
+            GadgetKind::V1 => "v1",
+            GadgetKind::V2 => "v2",
+            GadgetKind::V4 => "v4",
+            GadgetKind::V1SamePage => "v1-same-page",
+            GadgetKind::V1SetStride => "v1-set-stride",
+            GadgetKind::Rsb => "rsb",
+        }
+    }
+
+    /// Parses a [`GadgetKind::key`] value.
+    pub fn from_key(key: &str) -> Option<GadgetKind> {
+        GadgetKind::ALL.iter().copied().find(|k| k.key() == key)
+    }
 }
 
 /// A built gadget: the victim program plus everything the attacker needs
@@ -171,8 +188,11 @@ impl SpectreGadget {
                 *target += condspec_isa::INST_BYTES;
             }
         }
-        gadget.program =
-            Program::new(gadget.program.code_base(), insts, gadget.program.data().to_vec());
+        gadget.program = Program::new(
+            gadget.program.code_base(),
+            insts,
+            gadget.program.data().to_vec(),
+        );
         gadget
     }
 
@@ -223,7 +243,10 @@ impl SpectreGadget {
     ///
     /// Panics if `value` is outside the encodable range.
     pub fn probe_slot_addr(&self, value: usize) -> u64 {
-        assert!(value < self.probe_slots, "value {value} exceeds probe slots");
+        assert!(
+            value < self.probe_slots,
+            "value {value} exceeds probe slots"
+        );
         self.probe_base + value as u64 * self.probe_stride
     }
 
@@ -281,9 +304,9 @@ fn build_v1(mode: V1Mode) -> SpectreGadget {
     }
     b.load(Reg::R14, Reg::R12, 0); // x = *input
     b.load(Reg::R1, Reg::R11, 0); // len = *len_addr (attacker flushes LEN)
-    // Long dependence chain on the bounds value (paper §II.B): keeps the
-    // branch unresolved in the Issue Queue long enough for the disclosure
-    // chain to issue, independent of where `len` is cached.
+                                  // Long dependence chain on the bounds value (paper §II.B): keeps the
+                                  // branch unresolved in the Issue Queue long enough for the disclosure
+                                  // chain to issue, independent of where `len` is cached.
     for _ in 0..WINDOW_CHAIN {
         b.alu(AluOp::Mul, Reg::R1, Reg::R1, Reg::R16);
     }
@@ -291,8 +314,8 @@ fn build_v1(mode: V1Mode) -> SpectreGadget {
     b.branch_to(BranchCond::GeU, Reg::R14, Reg::R1, "skip"); // bounds check
     b.alu(AluOp::Add, Reg::R8, Reg::R10, Reg::R14);
     b.load_byte(Reg::R2, Reg::R8, 0); // A: array1[x] — the secret when x is OOB
-    // B's slot address: secret * stride + probe_base. A multiply keeps
-    // the dependence chain A -> B explicit for any stride.
+                                      // B's slot address: secret * stride + probe_base. A multiply keeps
+                                      // the dependence chain A -> B explicit for any stride.
     b.li(Reg::R15, stride);
     b.alu(AluOp::Mul, Reg::R3, Reg::R2, Reg::R15);
     b.alu(AluOp::Add, Reg::R8, Reg::R13, Reg::R3);
@@ -336,9 +359,9 @@ fn build_v2() -> SpectreGadget {
     b.li(Reg::R21, SECRET);
     b.li(Reg::R16, 1);
     b.load(Reg::R22, Reg::R20, 0); // fn ptr — attacker flushes FNPTR
-    // Dependence chain on the jump target: the indirect jump stays
-    // unresolved while the poisoned-path gadget executes, even when the
-    // gadget's own code and data are cold on the first round.
+                                   // Dependence chain on the jump target: the indirect jump stays
+                                   // unresolved while the poisoned-path gadget executes, even when the
+                                   // gadget's own code and data are cold on the first round.
     for _ in 0..(2 * WINDOW_CHAIN + 40) {
         b.alu(AluOp::Mul, Reg::R22, Reg::R22, Reg::R16);
     }
@@ -388,7 +411,7 @@ fn build_v4() -> SpectreGadget {
     // Warm the pointer slot (the victim uses P regularly).
     b.load(Reg::R19, Reg::R10, 0);
     b.fence(); // the warm-up is not part of the speculative window
-    // Slow chain computing the store address: ~120 dependent multiplies.
+               // Slow chain computing the store address: ~120 dependent multiplies.
     b.li(Reg::R5, 1);
     for _ in 0..120 {
         b.alu(AluOp::Mul, Reg::R5, Reg::R5, Reg::R5);
@@ -437,7 +460,7 @@ fn build_rsb() -> SpectreGadget {
     b.li(Reg::R20, FNPTR); // reuse the pointer slot for the return address
     b.li(Reg::R16, 1);
     b.load(Reg::R31, Reg::R20, 0); // return address — attacker flushes FNPTR
-    // Keep the ret unresolved while the predicted path runs.
+                                   // Keep the ret unresolved while the predicted path runs.
     for _ in 0..(2 * WINDOW_CHAIN + 40) {
         b.alu(AluOp::Mul, Reg::R31, Reg::R31, Reg::R16);
     }
@@ -551,7 +574,10 @@ mod tests {
             .iter()
             .find(|s| s.base == layout::FNPTR)
             .expect("fnptr segment");
-        assert_eq!(u64::from_le_bytes(fnptr_seg.bytes[..8].try_into().unwrap()), legit);
+        assert_eq!(
+            u64::from_le_bytes(fnptr_seg.bytes[..8].try_into().unwrap()),
+            legit
+        );
     }
 
     #[test]

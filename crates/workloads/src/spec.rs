@@ -27,8 +27,7 @@
 //! in registers, so the code size is independent of the simulated length.
 
 use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use condspec_stats::SplitMix64;
 
 /// Base virtual address of generated benchmark code.
 const CODE_BASE: u64 = 0x0040_0000;
@@ -187,7 +186,7 @@ enum Phase {
 
 struct Gen<'a> {
     b: ProgramBuilder,
-    rng: StdRng,
+    rng: SplitMix64,
     spec: &'a WorkloadSpec,
     label_counter: usize,
     /// Deterministic fraction accumulators (Bresenham-style), so every
@@ -231,7 +230,7 @@ impl Gen<'_> {
         use regs::*;
         let label = self.fresh_label("b");
         if Self::take(&mut self.acc_unpred, self.spec.unpred_branch_fraction) {
-            let bit = self.rng.gen_range(1..24) as i64;
+            let bit = self.rng.gen_range(1, 24) as i64;
             self.b.alu_imm(AluOp::Shr, TMP, LCG, bit);
             self.b.alu_imm(AluOp::And, TMP, TMP, 1);
             self.b.branch_to(BranchCond::Eq, TMP, ZERO, &label);
@@ -321,7 +320,7 @@ impl Gen<'_> {
                 self.b.alu(AluOp::Add, ADDR, STREAM_BASE, STREAM_IDX);
                 self.b.alu_imm(AluOp::Add, STREAM_IDX, STREAM_IDX, 32);
                 self.b.alu(AluOp::And, STREAM_IDX, STREAM_IDX, REGION_MASK);
-                if slot % 2 == 0 {
+                if slot.is_multiple_of(2) {
                     if slot == CHASE_SLOT && self.spec.pointer_chase {
                         // Indirection: this miss's address depends on the
                         // previous *missed* value.
@@ -341,7 +340,7 @@ impl Gen<'_> {
                     // Hot accesses lead the body: their (different) page
                     // arms TPBuf before this body's random misses query.
                     self.emit_hot_access();
-                } else if slot % 2 == 0 {
+                } else if slot.is_multiple_of(2) {
                     // New random line: a miss.
                     let shift = 3 + ((slot * 7) % 29) as i64;
                     self.b.alu_imm(AluOp::Shr, TMP, LCG, shift);
@@ -411,7 +410,10 @@ impl Gen<'_> {
 /// ```
 pub fn build_program(spec: &WorkloadSpec, outer_iterations: u64) -> Program {
     use regs::*;
-    assert!(spec.region_bytes.is_power_of_two(), "region must be a power of two");
+    assert!(
+        spec.region_bytes.is_power_of_two(),
+        "region must be a power of two"
+    );
 
     // Phase lengths from the calibration targets. A stream body of 8
     // accesses misses 4 times; a random body misses 3 times (three
@@ -432,7 +434,7 @@ pub fn build_program(spec: &WorkloadSpec, outer_iterations: u64) -> Program {
 
     let mut g = Gen {
         b: ProgramBuilder::new(CODE_BASE),
-        rng: StdRng::seed_from_u64(spec.seed),
+        rng: SplitMix64::new(spec.seed),
         spec,
         label_counter: 0,
         acc_store: 0.0,
@@ -520,7 +522,11 @@ mod tests {
         let w = by_name("gcc").unwrap();
         let a = build_program(&w, 5);
         let b = build_program(&w, 500);
-        assert_eq!(a.len(), b.len(), "iteration count is a register limit, not code size");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "iteration count is a register limit, not code size"
+        );
     }
 
     #[test]

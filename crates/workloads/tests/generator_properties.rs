@@ -64,13 +64,27 @@ fn hit_rate_ordering_matches_the_suite() {
 #[test]
 fn fence_knob_emits_fences_and_serializes() {
     let spec = by_name("sjeng").expect("suite benchmark");
-    let fenced = WorkloadSpec { fence_after_branches: true, ..spec };
+    let fenced = WorkloadSpec {
+        fence_after_branches: true,
+        ..spec
+    };
     let plain_program = build_program(&spec, ITERS);
     let fenced_program = build_program(&fenced, ITERS);
-    let plain_fences = plain_program.insts().iter().filter(|i| i.is_fence()).count();
-    let fenced_fences = fenced_program.insts().iter().filter(|i| i.is_fence()).count();
+    let plain_fences = plain_program
+        .insts()
+        .iter()
+        .filter(|i| i.is_fence())
+        .count();
+    let fenced_fences = fenced_program
+        .insts()
+        .iter()
+        .filter(|i| i.is_fence())
+        .count();
     assert_eq!(plain_fences, 0);
-    assert!(fenced_fences > 5, "got {fenced_fences} fences (static code; each executes per iteration)");
+    assert!(
+        fenced_fences > 5,
+        "got {fenced_fences} fences (static code; each executes per iteration)"
+    );
 
     let plain = simulate(&spec, DefenseConfig::Origin);
     let hardened = simulate(&fenced, DefenseConfig::Origin);
@@ -86,7 +100,10 @@ fn fence_knob_emits_fences_and_serializes() {
 fn pointer_chase_knob_creates_miss_phase_suspects() {
     let spec = by_name("libquantum").expect("a chasing benchmark");
     assert!(spec.pointer_chase);
-    let unchased = WorkloadSpec { pointer_chase: false, ..spec };
+    let unchased = WorkloadSpec {
+        pointer_chase: false,
+        ..spec
+    };
 
     let with_chase = simulate(&spec, DefenseConfig::CacheHit);
     let without = simulate(&unchased, DefenseConfig::CacheHit);
@@ -101,7 +118,10 @@ fn pointer_chase_knob_creates_miss_phase_suspects() {
 #[test]
 fn s_pattern_mismatch_separates_streaming_from_page_jumping() {
     let lbm = simulate(&by_name("lbm").unwrap(), DefenseConfig::CacheHitTpbuf);
-    let libquantum = simulate(&by_name("libquantum").unwrap(), DefenseConfig::CacheHitTpbuf);
+    let libquantum = simulate(
+        &by_name("libquantum").unwrap(),
+        DefenseConfig::CacheHitTpbuf,
+    );
     assert!(
         lbm.s_pattern_mismatch_rate > libquantum.s_pattern_mismatch_rate + 0.2,
         "streaming ({:.2}) must mismatch far more than page-jumping ({:.2})",
@@ -117,6 +137,9 @@ fn chasers_cover_the_misses_dominated_benchmarks() {
             assert!(spec.pointer_chase, "{} is miss-dominated", spec.name);
         }
     }
-    assert!(by_name("mcf").unwrap().pointer_chase, "mcf is the canonical chaser");
+    assert!(
+        by_name("mcf").unwrap().pointer_chase,
+        "mcf is the canonical chaser"
+    );
     assert!(!by_name("GemsFDTD").unwrap().pointer_chase);
 }

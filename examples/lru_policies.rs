@@ -56,7 +56,10 @@ fn main() {
             ("no-update", LruPolicy::NoUpdate),
             ("delayed", LruPolicy::Delayed),
         ] {
-            let config = SimConfig { lru_policy: lru, ..SimConfig::new(DefenseConfig::CacheHitTpbuf) };
+            let config = SimConfig {
+                lru_policy: lru,
+                ..SimConfig::new(DefenseConfig::CacheHitTpbuf)
+            };
             let mut sim = Simulator::new(config);
             sim.run_to_halt(&program, 100_000_000);
             let cycles = sim.report().cycles;

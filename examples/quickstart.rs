@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = b.build()?;
 
     // 2. Run it on every machine environment the paper evaluates.
-    println!("running {} instructions of code on four environments:\n", program.len());
+    println!(
+        "running {} instructions of code on four environments:\n",
+        program.len()
+    );
     for defense in DefenseConfig::ALL {
         let mut sim = Simulator::new(SimConfig::new(defense));
         sim.run_to_halt(&program, 100_000);

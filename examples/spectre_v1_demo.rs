@@ -13,9 +13,19 @@ use condspec_workloads::gadgets::{GadgetKind, SpectreGadget};
 fn main() {
     let gadget = SpectreGadget::build(GadgetKind::V1);
     println!("victim gadget (Spectre V1, the paper's Listing 2 shape):");
-    println!("  bounds word at  {:#x} (the attacker flushes this)", gadget.len_addr.unwrap());
-    println!("  victim array at {:#x}", condspec_workloads::gadgets::layout::ARRAY1);
-    println!("  secret byte at  {:#x} = {}", gadget.secret_addr, gadget.planted_secret());
+    println!(
+        "  bounds word at  {:#x} (the attacker flushes this)",
+        gadget.len_addr.unwrap()
+    );
+    println!(
+        "  victim array at {:#x}",
+        condspec_workloads::gadgets::layout::ARRAY1
+    );
+    println!(
+        "  secret byte at  {:#x} = {}",
+        gadget.secret_addr,
+        gadget.planted_secret()
+    );
     println!(
         "  probe array at  {:#x}, {} slots with {}-byte stride",
         gadget.probe_base, gadget.probe_slots, gadget.probe_stride

@@ -1,90 +1,98 @@
-//! Property tests: the defense changes timing, never architecture.
+//! Randomized differential tests: the defense changes timing, never
+//! architecture.
 //!
 //! Random programs must produce bit-identical architectural state under
 //! every defense environment, every secure-LRU policy, and with
-//! speculative store bypass on or off.
+//! speculative store bypass on or off. Programs are generated with the
+//! workspace's seeded [`SplitMix64`] generator, so every run checks the
+//! same programs.
 
 use condspec::{DefenseConfig, LruPolicy, SimConfig, Simulator};
 use condspec_isa::{AluOp, BranchCond, MemSize, Program, ProgramBuilder, Reg};
-use proptest::prelude::*;
+use condspec_stats::SplitMix64;
 
 const DATA_BASE: u64 = 0x9_0000;
 const DATA_BYTES: u64 = 4096;
 
+const OPS: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Xor,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Mul,
+    AluOp::Shl,
+    AluOp::Shr,
+];
+
+const CONDS: [BranchCond; 4] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::LtU,
+    BranchCond::GeU,
+];
+
 /// A small random-program generator: straight-line blocks of ALU and
 /// memory operations with occasional forward branches and a bounded
 /// backward loop, always ending in `halt`.
-fn arb_program() -> impl Strategy<Value = Program> {
-    let op = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Xor),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Mul),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-    ];
-    let cond = prop_oneof![
-        Just(BranchCond::Eq),
-        Just(BranchCond::Ne),
-        Just(BranchCond::LtU),
-        Just(BranchCond::GeU),
-    ];
-    // (kind, op, cond, regs, imm)
-    let step = (0u8..6, op, cond, (1usize..8, 1usize..8, 1usize..8), 0i64..64);
-    (proptest::collection::vec(step, 4..60), 1u64..6).prop_map(|(steps, loop_count)| {
-        let mut b = ProgramBuilder::new(0x1000);
-        let reg = |i: usize| Reg::from_index(i).expect("index < 8");
-        b.li(Reg::R1, DATA_BASE);
-        b.li(Reg::R7, loop_count);
-        b.li(Reg::R6, 0);
-        b.label("top").expect("fresh");
-        for (i, (kind, op, cond, (rd, rs1, rs2), imm)) in steps.iter().enumerate() {
-            // r1 stays the data base and r6/r7 drive the loop; only touch
-            // r2..r5 as destinations.
-            let rd = reg(2 + rd % 4);
-            let rs1 = reg(*rs1);
-            let rs2 = reg(*rs2);
-            let offset = (imm & 0x1f8) % (DATA_BYTES as i64 - 8);
-            match kind {
-                0 => {
-                    b.alu(*op, rd, rs1, rs2);
-                }
-                1 => {
-                    b.alu_imm(*op, rd, rs1, *imm);
-                }
-                2 => {
-                    b.load_sized(rd, Reg::R1, offset, MemSize::B8);
-                }
-                3 => {
-                    b.store_sized(rs1, Reg::R1, offset, MemSize::B1);
-                }
-                4 => {
-                    // Short forward skip (possibly mispredicted).
-                    let label = format!("skip{i}");
-                    b.branch_to(*cond, rs1, rs2, &label);
-                    b.alu_imm(AluOp::Add, rd, rd, 1);
-                    b.label(&label).expect("unique");
-                }
-                _ => {
-                    b.alu(AluOp::Add, Reg::R5, Reg::R5, rs1);
-                }
+fn rand_program(rng: &mut SplitMix64) -> Program {
+    let steps = rng.gen_usize(4, 60);
+    let loop_count = rng.gen_range(1, 6);
+    let mut b = ProgramBuilder::new(0x1000);
+    let reg = |i: usize| Reg::from_index(i).expect("index < 8");
+    b.li(Reg::R1, DATA_BASE);
+    b.li(Reg::R7, loop_count);
+    b.li(Reg::R6, 0);
+    b.label("top").expect("fresh");
+    for i in 0..steps {
+        // r1 stays the data base and r6/r7 drive the loop; only touch
+        // r2..r5 as destinations.
+        let rd = reg(2 + rng.gen_usize(1, 8) % 4);
+        let rs1 = reg(rng.gen_usize(1, 8));
+        let rs2 = reg(rng.gen_usize(1, 8));
+        let imm = rng.gen_range(0, 64) as i64;
+        let offset = (imm & 0x1f8) % (DATA_BYTES as i64 - 8);
+        match rng.gen_usize(0, 6) {
+            0 => {
+                b.alu(*rng.choice(&OPS), rd, rs1, rs2);
+            }
+            1 => {
+                b.alu_imm(*rng.choice(&OPS), rd, rs1, imm);
+            }
+            2 => {
+                b.load_sized(rd, Reg::R1, offset, MemSize::B8);
+            }
+            3 => {
+                b.store_sized(rs1, Reg::R1, offset, MemSize::B1);
+            }
+            4 => {
+                // Short forward skip (possibly mispredicted).
+                let label = format!("skip{i}");
+                b.branch_to(*rng.choice(&CONDS), rs1, rs2, &label);
+                b.alu_imm(AluOp::Add, rd, rd, 1);
+                b.label(&label).expect("unique");
+            }
+            _ => {
+                b.alu(AluOp::Add, Reg::R5, Reg::R5, rs1);
             }
         }
-        b.alu_imm(AluOp::Add, Reg::R6, Reg::R6, 1);
-        b.branch_to(BranchCond::LtU, Reg::R6, Reg::R7, "top");
-        b.halt();
-        b.reserve(DATA_BASE, DATA_BYTES as usize);
-        b.build().expect("generated program assembles")
-    })
+    }
+    b.alu_imm(AluOp::Add, Reg::R6, Reg::R6, 1);
+    b.branch_to(BranchCond::LtU, Reg::R6, Reg::R7, "top");
+    b.halt();
+    b.reserve(DATA_BASE, DATA_BYTES as usize);
+    b.build().expect("generated program assembles")
 }
 
 fn final_state(program: &Program, config: SimConfig) -> (Vec<u64>, Vec<u64>) {
     let mut sim = Simulator::new(config);
     sim.load_program(program);
     let result = sim.run(10_000_000);
-    assert_eq!(result.exit, condspec::ExitReason::Halted, "program must halt");
+    assert_eq!(
+        result.exit,
+        condspec::ExitReason::Halted,
+        "program must halt"
+    );
     let regs = Reg::ALL.iter().map(|r| sim.read_arch_reg(*r)).collect();
     let mem = (0..DATA_BYTES / 8)
         .map(|i| sim.read_memory(DATA_BASE + i * 8, 8))
@@ -92,53 +100,64 @@ fn final_state(program: &Program, config: SimConfig) -> (Vec<u64>, Vec<u64>) {
     (regs, mem)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn defenses_never_change_architectural_state(program in arb_program()) {
+#[test]
+fn defenses_never_change_architectural_state() {
+    let mut rng = SplitMix64::new(0xa2c_0001);
+    for _ in 0..24 {
+        let program = rand_program(&mut rng);
         let reference = final_state(&program, SimConfig::new(DefenseConfig::Origin));
         for defense in DefenseConfig::DEFENSES {
             let state = final_state(&program, SimConfig::new(defense));
-            prop_assert_eq!(&state, &reference, "defense {} diverged", defense);
+            assert_eq!(&state, &reference, "defense {defense} diverged");
         }
     }
+}
 
-    #[test]
-    fn lru_policies_never_change_architectural_state(program in arb_program()) {
+#[test]
+fn lru_policies_never_change_architectural_state() {
+    let mut rng = SplitMix64::new(0xa2c_0002);
+    for _ in 0..24 {
+        let program = rand_program(&mut rng);
         let reference = final_state(&program, SimConfig::new(DefenseConfig::CacheHitTpbuf));
         for lru in [LruPolicy::NoUpdate, LruPolicy::Delayed] {
-            let config = SimConfig { lru_policy: lru, ..SimConfig::new(DefenseConfig::CacheHitTpbuf) };
+            let config = SimConfig {
+                lru_policy: lru,
+                ..SimConfig::new(DefenseConfig::CacheHitTpbuf)
+            };
             let state = final_state(&program, config);
-            prop_assert_eq!(&state, &reference, "lru policy {:?} diverged", lru);
+            assert_eq!(&state, &reference, "lru policy {lru:?} diverged");
         }
     }
+}
 
-    #[test]
-    fn store_bypass_toggle_never_changes_architectural_state(program in arb_program()) {
+#[test]
+fn store_bypass_toggle_never_changes_architectural_state() {
+    let mut rng = SplitMix64::new(0xa2c_0003);
+    for _ in 0..24 {
+        let program = rand_program(&mut rng);
         let reference = final_state(&program, SimConfig::new(DefenseConfig::Origin));
         let mut config = SimConfig::new(DefenseConfig::Origin);
         config.machine.core.spec_store_bypass = false;
         let state = final_state(&program, config);
-        prop_assert_eq!(&state, &reference);
+        assert_eq!(&state, &reference);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Differential testing across machine widths: a 1-wide constrained
+/// machine, the paper-default 4-wide machine and the Xeon-like deep
+/// machine must compute identical architectural state.
+#[test]
+fn machine_width_never_changes_architectural_state() {
+    use condspec::MachineConfig;
 
-    /// Differential testing across machine widths: a 1-wide constrained
-    /// machine, the paper-default 4-wide machine and the Xeon-like deep
-    /// machine must compute identical architectural state.
-    #[test]
-    fn machine_width_never_changes_architectural_state(program in arb_program()) {
-        use condspec::MachineConfig;
-
+    let mut rng = SplitMix64::new(0xa2c_0004);
+    for _ in 0..12 {
+        let program = rand_program(&mut rng);
         let reference = final_state(&program, SimConfig::new(DefenseConfig::Origin));
         for machine in [MachineConfig::a57_like(), MachineConfig::xeon_like()] {
             let config = SimConfig::on_machine(DefenseConfig::Origin, machine);
             let state = final_state(&program, config);
-            prop_assert_eq!(&state, &reference, "{} diverged", machine.name);
+            assert_eq!(&state, &reference, "{} diverged", machine.name);
         }
         // An extreme 1-wide, tiny-window configuration.
         let mut config = SimConfig::new(DefenseConfig::Origin);
@@ -154,17 +173,21 @@ proptest! {
         config.machine.core.fetch_queue = 2;
         config.machine.core.cache_ports = 1;
         let state = final_state(&program, config);
-        prop_assert_eq!(&state, &reference, "1-wide machine diverged");
+        assert_eq!(&state, &reference, "1-wide machine diverged");
     }
+}
 
-    /// The ICache-hit filter is timing-only: architectural state is
-    /// untouched.
-    #[test]
-    fn icache_filter_never_changes_architectural_state(program in arb_program()) {
+/// The ICache-hit filter is timing-only: architectural state is
+/// untouched.
+#[test]
+fn icache_filter_never_changes_architectural_state() {
+    let mut rng = SplitMix64::new(0xa2c_0005);
+    for _ in 0..12 {
+        let program = rand_program(&mut rng);
         let reference = final_state(&program, SimConfig::new(DefenseConfig::CacheHitTpbuf));
         let mut config = SimConfig::new(DefenseConfig::CacheHitTpbuf);
         config.machine.core.icache_filter = true;
         let state = final_state(&program, config);
-        prop_assert_eq!(&state, &reference);
+        assert_eq!(&state, &reference);
     }
 }

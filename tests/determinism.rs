@@ -15,7 +15,12 @@ fn run_once(defense: DefenseConfig) -> (u64, u64, f64, Vec<u64>) {
     sim.run_to_halt(&program, 100_000_000);
     let report = sim.report();
     let regs = Reg::ALL.iter().map(|r| sim.read_arch_reg(*r)).collect();
-    (report.cycles, report.committed, report.s_pattern_mismatch_rate, regs)
+    (
+        report.cycles,
+        report.committed,
+        report.s_pattern_mismatch_rate,
+        regs,
+    )
 }
 
 #[test]

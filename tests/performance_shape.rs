@@ -27,9 +27,18 @@ fn mechanism_ordering_holds_per_benchmark() {
         let (tpbuf, _) = cycles(bench, DefenseConfig::CacheHitTpbuf);
         // Allow 2% slack for timing noise between mechanisms.
         let le = |a: u64, b: u64| (a as f64) <= (b as f64) * 1.02;
-        assert!(le(origin, baseline), "{bench}: origin {origin} vs baseline {baseline}");
-        assert!(le(cachehit, baseline), "{bench}: cache-hit {cachehit} vs baseline {baseline}");
-        assert!(le(tpbuf, cachehit), "{bench}: tpbuf {tpbuf} vs cache-hit {cachehit}");
+        assert!(
+            le(origin, baseline),
+            "{bench}: origin {origin} vs baseline {baseline}"
+        );
+        assert!(
+            le(cachehit, baseline),
+            "{bench}: cache-hit {cachehit} vs baseline {baseline}"
+        );
+        assert!(
+            le(tpbuf, cachehit),
+            "{bench}: tpbuf {tpbuf} vs cache-hit {cachehit}"
+        );
         assert!(
             baseline > origin,
             "{bench}: blocking all suspect accesses must cost something"
@@ -50,9 +59,15 @@ fn tpbuf_rescues_lbm_but_not_libquantum() {
         lbm_gain > 1.2,
         "TPBuf must substantially improve lbm over cache-hit alone: gain {lbm_gain:.2}"
     );
-    assert!(lbm_mismatch > 0.3, "lbm misses mostly mismatch: {lbm_mismatch:.2}");
+    assert!(
+        lbm_mismatch > 0.3,
+        "lbm misses mostly mismatch: {lbm_mismatch:.2}"
+    );
     let lbm_overhead = lbm_tpbuf as f64 / lbm_origin as f64;
-    assert!(lbm_overhead < 1.6, "TPBuf brings lbm near origin: {lbm_overhead:.2}");
+    assert!(
+        lbm_overhead < 1.6,
+        "TPBuf brings lbm near origin: {lbm_overhead:.2}"
+    );
 
     let (lq_cachehit, _) = cycles("libquantum", DefenseConfig::CacheHit);
     let (lq_tpbuf, lq_mismatch) = cycles("libquantum", DefenseConfig::CacheHitTpbuf);
@@ -61,7 +76,10 @@ fn tpbuf_rescues_lbm_but_not_libquantum() {
         lq_gain < 1.1,
         "TPBuf must NOT help libquantum (its misses match the S-Pattern): gain {lq_gain:.2}"
     );
-    assert!(lq_mismatch < 0.05, "libquantum misses match: {lq_mismatch:.3}");
+    assert!(
+        lq_mismatch < 0.05,
+        "libquantum misses match: {lq_mismatch:.3}"
+    );
 }
 
 #[test]

@@ -53,8 +53,14 @@ fn run_gadget(kind: GadgetKind, defense: DefenseConfig) -> condspec_pipeline::Po
 fn v1_branch_memory_dependence_detected() {
     // Table I row 1: conditional branch -> memory access.
     let stats = run_gadget(GadgetKind::V1, DefenseConfig::Baseline);
-    assert!(stats.suspect_flags > 0, "the bounds-check window must flag accesses: {stats:?}");
-    assert!(stats.blocks > 0, "baseline must block the flagged accesses: {stats:?}");
+    assert!(
+        stats.suspect_flags > 0,
+        "the bounds-check window must flag accesses: {stats:?}"
+    );
+    assert!(
+        stats.blocks > 0,
+        "baseline must block the flagged accesses: {stats:?}"
+    );
 }
 
 #[test]
@@ -79,7 +85,10 @@ fn tpbuf_sees_the_s_pattern_in_v1() {
     // checked against (and matching) the S-Pattern.
     let stats = run_gadget(GadgetKind::V1, DefenseConfig::CacheHitTpbuf);
     assert!(stats.tpbuf_queries > 0, "{stats:?}");
-    assert!(stats.blocks > 0, "the page-stride transmit must match and block: {stats:?}");
+    assert!(
+        stats.blocks > 0,
+        "the page-stride transmit must match and block: {stats:?}"
+    );
 }
 
 #[test]
@@ -98,7 +107,9 @@ fn rsb_return_speculation_is_branch_class() {
     // attack/defense verdicts live in tests/table4_security.rs; here we
     // check the mechanism's classification directly.
     use condspec_pipeline::InstClass;
-    let ret = condspec_isa::Inst::Ret { link: condspec_isa::Reg::R31 };
+    let ret = condspec_isa::Inst::Ret {
+        link: condspec_isa::Reg::R31,
+    };
     assert!(ret.is_branch());
     let class = if ret.is_mem() {
         InstClass::Memory

@@ -51,7 +51,12 @@ fn defended_attacks_leave_no_candidates_for_shared_rows() {
 
 #[test]
 fn spectre_v1_v2_v4_rsb_all_leak_on_origin_and_are_blocked_by_every_mechanism() {
-    for kind in [GadgetKind::V1, GadgetKind::V2, GadgetKind::V4, GadgetKind::Rsb] {
+    for kind in [
+        GadgetKind::V1,
+        GadgetKind::V2,
+        GadgetKind::V4,
+        GadgetKind::Rsb,
+    ] {
         let origin = run_variant(kind, DefenseConfig::Origin);
         assert!(origin.leaked(), "{kind:?} must leak on Origin: {origin:?}");
         assert_eq!(origin.recovered, Some(42));
@@ -71,9 +76,15 @@ fn tpbuf_bypass_is_specifically_the_same_page_gadget() {
     // shares the secret's physical page; the set-stride variant of the
     // same attack (different pages) is caught.
     let same_page = AttackScenario::PrimeProbeNoShare.run(DefenseConfig::CacheHitTpbuf);
-    assert!(same_page.leaked(), "same-page gadget evades TPBuf: {same_page:?}");
+    assert!(
+        same_page.leaked(),
+        "same-page gadget evades TPBuf: {same_page:?}"
+    );
     let cross_page = AttackScenario::PrimeProbeShared.run(DefenseConfig::CacheHitTpbuf);
-    assert!(!cross_page.leaked(), "cross-page gadget is caught: {cross_page:?}");
+    assert!(
+        !cross_page.leaked(),
+        "cross-page gadget is caught: {cross_page:?}"
+    );
 }
 
 #[test]
