@@ -14,4 +14,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> perf smoke (condspec perf --quick)"
+cargo build --release -p condspec-cli
+perf_out="target/perf-smoke/simspeed.json"
+mkdir -p target/perf-smoke
+./target/release/condspec perf --quick --out "$perf_out"
+# The report must be well-formed: the fixed 3x3 workload/defense matrix
+# with non-zero committed-instruction throughput in every cell.
+python3 - "$perf_out" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+cells = report["cells"]
+assert len(cells) == 9, f"expected 9 cells, got {len(cells)}"
+for cell in cells:
+    assert cell["committed_inst"] > 0, f"empty cell: {cell}"
+    assert cell["committed_inst_per_sec"] > 0, f"zero throughput: {cell}"
+print(f"perf smoke ok: schema {report['schema']}, {len(cells)} cells")
+EOF
+
 echo "ci.sh: all checks passed"

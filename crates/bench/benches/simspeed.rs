@@ -1,0 +1,27 @@
+//! Simulator-throughput harness: `cargo bench --bench simspeed`.
+//!
+//! Runs the same fixed workload matrix as `condspec perf` and prints the
+//! `condspec-simspeed-v1` JSON document to stdout. Pass `--quick` for
+//! the reduced CI sizing.
+
+use condspec_bench::perf;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = perf::PerfOptions {
+        quick,
+        ..perf::PerfOptions::paper_default()
+    };
+    let cells = perf::run_matrix(&opts);
+    let doc = perf::to_json(&opts, &cells);
+    println!("{}", doc.render());
+    for c in &cells {
+        eprintln!(
+            "{:>14} {:>16}: {:>8.2} Mcycles/s {:>8.2} Minst/s",
+            c.workload,
+            c.defense.label(),
+            c.cycles_per_sec() / 1e6,
+            c.committed_per_sec() / 1e6,
+        );
+    }
+}

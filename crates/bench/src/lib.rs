@@ -5,6 +5,8 @@
 //! calibrated benchmark on a configured machine, with warm-up, and
 //! collect the paper's metrics) lives here.
 
+pub mod perf;
+
 use condspec::{DefenseConfig, LruPolicy, MachineConfig, Report, SimConfig, Simulator};
 use condspec_pipeline::PipelineStats;
 use condspec_workloads::spec::{build_program, WorkloadSpec};

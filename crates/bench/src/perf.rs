@@ -1,0 +1,336 @@
+//! Simulator-throughput benchmark (`condspec perf`).
+//!
+//! Measures how fast the simulator itself runs — simulated cycles per
+//! wall-clock second and committed instructions per wall-clock second —
+//! over a fixed, deterministic workload matrix:
+//!
+//! * **counting-loop** — a register-only countdown loop: peak
+//!   fetch/dispatch/issue/commit pressure with no memory traffic.
+//! * **pointer-chase** — a permuted pointer ring larger than the L1:
+//!   long-latency loads keep the IQ occupied, exercising the security
+//!   dependence matrix and the blocked-wakeup path under the defenses.
+//! * **spectre-gadget** — the Figure 5 attack-round shape: repeated
+//!   `load_program` + train/trigger runs of the V1 gadget, exercising
+//!   the program-load/reset path, squashes, and the filters.
+//!
+//! Each workload runs under Origin, Cache-hit, and Cache-hit + TPBuf.
+//! The simulated work per cell is deterministic (identical cycle and
+//! commit counts on every host); only the wall-clock fields vary. The
+//! result serializes as the `condspec-simspeed-v1` JSON schema recorded
+//! in `BENCH_simspeed.json`.
+
+use condspec::{DefenseConfig, MachineConfig, SimConfig, Simulator};
+use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+use condspec_stats::{Json, SplitMix64};
+use condspec_workloads::gadgets::SpectreGadget;
+use condspec_workloads::GadgetKind;
+use std::time::Instant;
+
+/// Schema identifier embedded in the JSON output.
+pub const SCHEMA: &str = "condspec-simspeed-v1";
+
+/// Defenses measured per workload (the ISSUE's matrix; Baseline is
+/// covered transitively — its hot path is a strict subset of Cache-hit).
+pub const DEFENSES: [DefenseConfig; 3] = [
+    DefenseConfig::Origin,
+    DefenseConfig::CacheHit,
+    DefenseConfig::CacheHitTpbuf,
+];
+
+/// Base address of the counting/pointer-chase code.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Base of the pointer ring (page-aligned, far from gadget layouts).
+const RING_BASE: u64 = 0x0800_0000;
+/// Pointer-ring slots: 16 Ki × 8 B = 128 KiB, twice the 64 KiB L1D.
+const RING_SLOTS: usize = 16 * 1024;
+/// Cycle budget per gadget run (same as the attack harness).
+const GADGET_RUN_BUDGET: u64 = 500_000;
+
+/// Workload sizing for one `condspec perf` invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfOptions {
+    /// Machine preset the matrix runs on.
+    pub machine: MachineConfig,
+    /// Quick mode: ~50× less simulated work per cell (CI smoke).
+    pub quick: bool,
+}
+
+impl PerfOptions {
+    /// Full-size run on the paper-default machine.
+    pub fn paper_default() -> Self {
+        PerfOptions {
+            machine: MachineConfig::paper_default(),
+            quick: false,
+        }
+    }
+
+    fn counting_iterations(&self) -> u64 {
+        if self.quick {
+            6_000
+        } else {
+            300_000
+        }
+    }
+
+    fn chase_iterations(&self) -> u64 {
+        if self.quick {
+            3_000
+        } else {
+            150_000
+        }
+    }
+
+    fn gadget_rounds(&self) -> u32 {
+        if self.quick {
+            2
+        } else {
+            400
+        }
+    }
+}
+
+/// One workload × defense measurement.
+#[derive(Debug, Clone)]
+pub struct PerfCell {
+    /// Workload name (`counting-loop`, `pointer-chase`, `spectre-gadget`).
+    pub workload: &'static str,
+    /// Defense environment.
+    pub defense: DefenseConfig,
+    /// Simulated cycles (deterministic).
+    pub sim_cycles: u64,
+    /// Committed instructions (deterministic).
+    pub committed: u64,
+    /// Wall-clock seconds the cell took (host-dependent).
+    pub wall_seconds: f64,
+}
+
+impl PerfCell {
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Committed instructions per wall-clock second.
+    pub fn committed_per_sec(&self) -> f64 {
+        self.committed as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// A register-only countdown loop (no memory traffic).
+fn counting_loop(iterations: u64) -> Program {
+    let mut b = ProgramBuilder::new(CODE_BASE);
+    b.li(Reg::R1, iterations);
+    b.li(Reg::R2, 0x1234_5678);
+    b.li(Reg::R3, 7);
+    let top = b.here();
+    // Eight-deep ALU body: enough ILP to keep the issue stage busy.
+    b.alu(AluOp::Add, Reg::R4, Reg::R2, Reg::R3)
+        .alu(AluOp::Xor, Reg::R5, Reg::R4, Reg::R2)
+        .alu(AluOp::Shl, Reg::R6, Reg::R5, Reg::R3)
+        .alu(AluOp::Add, Reg::R7, Reg::R6, Reg::R4)
+        .alu(AluOp::Or, Reg::R8, Reg::R7, Reg::R5)
+        .alu(AluOp::Sub, Reg::R9, Reg::R8, Reg::R6)
+        .alu(AluOp::Xor, Reg::R2, Reg::R9, Reg::R7)
+        .alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1)
+        .branch(BranchCond::Ne, Reg::R1, Reg::R0, top);
+    b.halt();
+    b.build().expect("counting loop assembles")
+}
+
+/// A permuted pointer ring over a region larger than the L1D: each load
+/// depends on the previous one, so the window fills with unissued work.
+fn pointer_chase(iterations: u64) -> Program {
+    // Deterministic single-cycle permutation (Sattolo's algorithm).
+    let mut next: Vec<usize> = (0..RING_SLOTS).collect();
+    let mut rng = SplitMix64::new(0x5eed_cafe_f00d_0001);
+    let mut idx: Vec<usize> = (0..RING_SLOTS).collect();
+    for i in (1..RING_SLOTS).rev() {
+        let j = (rng.next_u64() % i as u64) as usize;
+        idx.swap(i, j);
+    }
+    for w in 0..RING_SLOTS {
+        next[idx[w]] = idx[(w + 1) % RING_SLOTS];
+    }
+    let words: Vec<u64> = next.iter().map(|&n| RING_BASE + 8 * n as u64).collect();
+
+    let mut b = ProgramBuilder::new(CODE_BASE);
+    b.li(Reg::R1, iterations);
+    b.li(Reg::R2, RING_BASE + 8 * idx[0] as u64);
+    let top = b.here();
+    b.load(Reg::R2, Reg::R2, 0)
+        .alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1)
+        .branch(BranchCond::Ne, Reg::R1, Reg::R0, top);
+    b.halt();
+    b.data_u64s(RING_BASE, &words);
+    b.build().expect("pointer chase assembles")
+}
+
+fn run_to_halt_cell(program: &Program, config: SimConfig) -> (u64, u64) {
+    let mut sim = Simulator::new(config);
+    let result = sim.run_to_halt(program, u64::MAX);
+    (result.cycles, result.committed)
+}
+
+/// The attack-round shape: repeated program loads with train/trigger
+/// runs, flushing the bounds word before each malicious run.
+fn run_gadget_cell(gadget: &SpectreGadget, config: SimConfig, rounds: u32) -> (u64, u64) {
+    let mut sim = Simulator::new(config);
+    let (mut cycles, mut committed) = (0u64, 0u64);
+    for _ in 0..rounds {
+        for _ in 0..2 {
+            sim.load_program_shared(gadget.program.clone());
+            sim.write_memory(gadget.input_addr, gadget.train_input, 8);
+            let r = sim.run(GADGET_RUN_BUDGET);
+            cycles += r.cycles;
+            committed += r.committed;
+        }
+        sim.load_program_shared(gadget.program.clone());
+        sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
+        if let Some(len) = gadget.len_addr {
+            let pa = sim.core().page_table().translate(len);
+            sim.core_mut().hierarchy_mut().flush_line(pa);
+        }
+        let r = sim.run(GADGET_RUN_BUDGET);
+        cycles += r.cycles;
+        committed += r.committed;
+    }
+    (cycles, committed)
+}
+
+/// Runs the full workload × defense matrix, returning cells in a fixed
+/// order (workloads outer, [`DEFENSES`] inner).
+pub fn run_matrix(opts: &PerfOptions) -> Vec<PerfCell> {
+    let counting = counting_loop(opts.counting_iterations());
+    let chase = pointer_chase(opts.chase_iterations());
+    let gadget = SpectreGadget::build(GadgetKind::V1);
+    let mut cells = Vec::new();
+    for (workload, runner) in [
+        (
+            "counting-loop",
+            Box::new(|c: SimConfig| run_to_halt_cell(&counting, c))
+                as Box<dyn Fn(SimConfig) -> (u64, u64)>,
+        ),
+        (
+            "pointer-chase",
+            Box::new(|c: SimConfig| run_to_halt_cell(&chase, c)),
+        ),
+        (
+            "spectre-gadget",
+            Box::new(|c: SimConfig| run_gadget_cell(&gadget, c, opts.gadget_rounds())),
+        ),
+    ] {
+        for defense in DEFENSES {
+            let config = SimConfig::on_machine(defense, opts.machine);
+            let start = Instant::now();
+            let (sim_cycles, committed) = runner(config);
+            let wall_seconds = start.elapsed().as_secs_f64();
+            cells.push(PerfCell {
+                workload,
+                defense,
+                sim_cycles,
+                committed,
+                wall_seconds,
+            });
+        }
+    }
+    cells
+}
+
+/// Serializes a matrix run as the `condspec-simspeed-v1` document.
+pub fn to_json(opts: &PerfOptions, cells: &[PerfCell]) -> Json {
+    Json::object([
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("machine", Json::Str(opts.machine.name.to_string())),
+        (
+            "mode",
+            Json::Str(if opts.quick { "quick" } else { "full" }.to_string()),
+        ),
+        (
+            "cells",
+            Json::Array(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Json::object([
+                            ("workload", Json::Str(c.workload.to_string())),
+                            ("defense", Json::Str(c.defense.key().to_string())),
+                            ("sim_cycles", Json::U64(c.sim_cycles)),
+                            ("committed_inst", Json::U64(c.committed)),
+                            ("wall_seconds", Json::F64(c.wall_seconds)),
+                            ("sim_cycles_per_sec", Json::F64(c.cycles_per_sec())),
+                            ("committed_inst_per_sec", Json::F64(c.committed_per_sec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Validates a rendered simspeed document: schema tag, and every cell
+/// reporting nonzero simulated work and throughput. Returns a
+/// human-readable error on any violation (the CI smoke check).
+pub fn validate(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        other => return Err(format!("bad schema field: {other:?}")),
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or("missing cells array")?;
+    if cells.is_empty() {
+        return Err("empty cells array".to_string());
+    }
+    for cell in cells {
+        let label = cell
+            .get("workload")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        let nonzero_u64 = |key: &str| {
+            cell.get(key)
+                .and_then(Json::as_u64)
+                .filter(|&v| v > 0)
+                .ok_or(format!("cell {label}: {key} missing or zero"))
+        };
+        nonzero_u64("sim_cycles")?;
+        nonzero_u64("committed_inst")?;
+        for key in ["sim_cycles_per_sec", "committed_inst_per_sec"] {
+            match cell.get(key).and_then(Json::as_f64) {
+                Some(v) if v > 0.0 && v.is_finite() => {}
+                other => return Err(format!("cell {label}: {key} not positive ({other:?})")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_is_deterministic_and_valid() {
+        let opts = PerfOptions {
+            quick: true,
+            ..PerfOptions::paper_default()
+        };
+        let a = run_matrix(&opts);
+        let b = run_matrix(&opts);
+        assert_eq!(a.len(), 9, "3 workloads x 3 defenses");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sim_cycles, y.sim_cycles, "{} {:?}", x.workload, x.defense);
+            assert_eq!(x.committed, y.committed, "{} {:?}", x.workload, x.defense);
+            assert!(x.sim_cycles > 0 && x.committed > 0);
+        }
+        let doc = to_json(&opts, &a);
+        let parsed = Json::parse(&doc.render()).expect("round-trips");
+        validate(&parsed).expect("valid document");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema() {
+        let doc = Json::parse("{\"schema\":\"nope\",\"cells\":[]}").unwrap();
+        assert!(validate(&doc).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Proves the steady-state simulation loop is allocation-free.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up that touches every memory page, predictor table and scratch
+//! buffer the harness will ever need, a measured window of full
+//! train/train/attack gadget rounds must perform **zero** new heap
+//! allocations — reloads included, since `load_program_shared` only
+//! resets pre-sized structures.
+//!
+//! This test lives in its own integration binary because a global
+//! allocator is per-binary, and it is the only `#[test]` here so no
+//! concurrent test can perturb the counter.
+
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_workloads::gadgets::{GadgetKind, SpectreGadget};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const RUN_BUDGET: u64 = 500_000;
+const WARMUP_ROUNDS: u32 = 10;
+const MEASURED_ROUNDS: u32 = 50;
+
+/// One train/train/attack cell round, identical in shape to the
+/// `condspec perf` harness and the leakage experiments.
+fn round(sim: &mut Simulator, gadget: &SpectreGadget) -> u64 {
+    let mut cycles = 0;
+    for _ in 0..2 {
+        sim.load_program_shared(gadget.program.clone());
+        sim.write_memory(gadget.input_addr, gadget.train_input, 8);
+        cycles += sim.run(RUN_BUDGET).cycles;
+    }
+    sim.load_program_shared(gadget.program.clone());
+    sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
+    if let Some(len) = gadget.len_addr {
+        let pa = sim.core().page_table().translate(len);
+        sim.core_mut().hierarchy_mut().flush_line(pa);
+    }
+    cycles += sim.run(RUN_BUDGET).cycles;
+    cycles
+}
+
+#[test]
+fn steady_state_rounds_do_not_allocate() {
+    let gadget = SpectreGadget::build(GadgetKind::V1);
+    for defense in [DefenseConfig::Origin, DefenseConfig::CacheHitTpbuf] {
+        let mut sim = Simulator::new(SimConfig::new(defense));
+        for _ in 0..WARMUP_ROUNDS {
+            round(&mut sim, &gadget);
+        }
+
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut cycles = 0;
+        for _ in 0..MEASURED_ROUNDS {
+            cycles += round(&mut sim, &gadget);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+        assert!(cycles > 0, "measured window must simulate real work");
+        assert_eq!(
+            after - before,
+            0,
+            "{defense:?}: steady-state rounds allocated {} time(s) over \
+             {MEASURED_ROUNDS} rounds ({cycles} cycles)",
+            after - before,
+        );
+    }
+}

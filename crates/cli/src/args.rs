@@ -76,6 +76,15 @@ pub enum Command {
         /// Suppress stderr progress lines.
         quiet: bool,
     },
+    /// Measure simulator throughput over the fixed workload matrix.
+    Perf {
+        /// Reduced workload sizes for CI smoke runs.
+        quick: bool,
+        /// Machine preset (boxed: `MachineConfig` dwarfs the other variants).
+        machine: Box<MachineConfig>,
+        /// Write the JSON document here instead of stdout.
+        out: Option<String>,
+    },
     /// List the benchmark suite and machine presets.
     List,
     /// Print usage.
@@ -106,6 +115,7 @@ USAGE:
   condspec save    --name <benchmark> --file <prog.bin> [--iters <n>]
   condspec trace   --kind <variant> [--defense <name>] [--events <n>]
   condspec sweep   <name> [--jobs <n>] [--resume] [--root <dir>] [--quiet]
+  condspec perf    [--quick] [--machine <name>] [--out <file>]
   condspec list
   condspec help
 
@@ -324,6 +334,21 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 quiet,
             }
         }
+        "perf" => {
+            let quick = take_switch(&mut rest, "--quick");
+            let machine = Box::new(
+                take_flag(&mut rest, "--machine")?
+                    .map(|s| parse_machine(&s))
+                    .transpose()?
+                    .unwrap_or_else(MachineConfig::paper_default),
+            );
+            let out = take_flag(&mut rest, "--out")?;
+            Command::Perf {
+                quick,
+                machine,
+                out,
+            }
+        }
         "list" => Command::List,
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ParseError(format!("unknown command `{other}`"))),
@@ -484,6 +509,36 @@ mod tests {
         );
         assert!(parse(&argv("sweep fig5 --jobs many")).is_err());
         assert!(parse(&argv("sweep fig5 stray")).is_err());
+    }
+
+    #[test]
+    fn perf_parses() {
+        match parse(&argv("perf")).unwrap() {
+            Command::Perf {
+                quick,
+                machine,
+                out,
+            } => {
+                assert!(!quick);
+                assert_eq!(machine.name, MachineConfig::paper_default().name);
+                assert_eq!(out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("perf --quick --machine xeon --out speed.json")).unwrap() {
+            Command::Perf {
+                quick,
+                machine,
+                out,
+            } => {
+                assert!(quick);
+                assert_eq!(machine.name, MachineConfig::xeon_like().name);
+                assert_eq!(out, Some("speed.json".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("perf --machine m1")).is_err());
+        assert!(parse(&argv("perf stray")).is_err());
     }
 
     #[test]

@@ -105,10 +105,10 @@ fn run(cmd: Command) -> ExitCode {
             let gadget = SpectreGadget::build(kind);
             let mut sim = Simulator::new(SimConfig::new(defense));
             // Warm + train, then trace one malicious round.
-            sim.load_program(&gadget.program);
+            sim.load_program_shared(gadget.program.clone());
             sim.write_memory(gadget.input_addr, gadget.train_input, 8);
             sim.run(500_000);
-            sim.load_program(&gadget.program);
+            sim.load_program_shared(gadget.program.clone());
             sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
             if let Some(len) = gadget.len_addr {
                 let pa = sim.core().page_table().translate(len);
@@ -246,6 +246,64 @@ fn run(cmd: Command) -> ExitCode {
             } else {
                 ExitCode::FAILURE
             }
+        }
+        Command::Perf {
+            quick,
+            machine,
+            out,
+        } => {
+            use condspec_bench::perf;
+            let opts = perf::PerfOptions {
+                machine: *machine,
+                quick,
+            };
+            let cells = perf::run_matrix(&opts);
+            let doc = perf::to_json(&opts, &cells);
+            let rendered = format!("{}\n", doc.render());
+            // Round-trip + sanity before reporting success: the CI smoke
+            // step relies on this exit code.
+            let reparsed = match condspec_stats::Json::parse(&rendered) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("perf JSON does not round-trip: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = perf::validate(&reparsed) {
+                eprintln!("perf output failed validation: {e}");
+                return ExitCode::FAILURE;
+            }
+            let mut t = TextTable::with_columns(&[
+                "workload",
+                "defense",
+                "sim cycles",
+                "committed",
+                "Mcycles/s",
+                "Minst/s",
+            ]);
+            for c in &cells {
+                t.row(vec![
+                    c.workload.to_string(),
+                    c.defense.label().to_string(),
+                    c.sim_cycles.to_string(),
+                    c.committed.to_string(),
+                    format!("{:.2}", c.cycles_per_sec() / 1e6),
+                    format!("{:.2}", c.committed_per_sec() / 1e6),
+                ]);
+            }
+            eprintln!("simulator throughput on {}:\n", opts.machine.name);
+            eprintln!("{t}");
+            match out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, &rendered) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {path}");
+                }
+                None => print!("{rendered}"),
+            }
+            ExitCode::SUCCESS
         }
         Command::Bench {
             name,

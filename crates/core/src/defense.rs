@@ -211,12 +211,13 @@ impl SecurityPolicy for ConditionalSpeculation {
         // The paper's matrix-initialization formula: producers are valid,
         // not-yet-issued branch/memory instructions already in the queue
         // (they necessarily precede the new instruction in program order).
-        let producers: Vec<usize> = older
+        self.matrix.clear_row(info.slot);
+        for v in older
             .iter()
             .filter(|v| !v.issued && self.kinds.covers(v.class))
-            .map(|v| v.slot)
-            .collect();
-        self.matrix.init_row(info.slot, &producers);
+        {
+            self.matrix.set(info.slot, v.slot);
+        }
     }
 
     fn suspect_on_issue(&self, slot: usize) -> bool {

@@ -36,6 +36,15 @@ pub struct SecurityDependenceMatrix {
     n: usize,
     words_per_row: usize,
     bits: Vec<u64>,
+    /// Transpose occupancy: bit `row` of column `col`'s word group is set
+    /// iff `bits[row, col]` is set. Lets `clear_column` visit only the
+    /// rows that actually hold a dependence instead of scanning all N
+    /// (it runs on every dispatch, issue and slot free). This index is a
+    /// simulator-speed artifact, not extra modeled hardware: the RTL
+    /// clears a column in one cycle with per-cell reset lines, so
+    /// [`SecurityDependenceMatrix::storage_bits`] stays N².
+    col_occ: Vec<u64>,
+    words_per_col: usize,
 }
 
 impl SecurityDependenceMatrix {
@@ -51,6 +60,8 @@ impl SecurityDependenceMatrix {
             n,
             words_per_row,
             bits: vec![0; n * words_per_row],
+            col_occ: vec![0; n * words_per_row],
+            words_per_col: words_per_row,
         }
     }
 
@@ -72,27 +83,29 @@ impl SecurityDependenceMatrix {
     /// Panics if `row` or any producer column is out of range.
     pub fn init_row(&mut self, row: usize, producers: &[usize]) {
         self.clear_row(row);
-        let range = self.row_range(row);
         for &col in producers {
-            assert!(col < self.n, "column {col} out of range");
-            self.bits[range.start + col / 64] |= 1u64 << (col % 64);
+            self.set(row, col);
         }
     }
 
     /// Sets a single dependence bit.
+    #[inline]
     pub fn set(&mut self, row: usize, col: usize) {
         assert!(col < self.n, "column {col} out of range");
         let range = self.row_range(row);
         self.bits[range.start + col / 64] |= 1u64 << (col % 64);
+        self.col_occ[col * self.words_per_col + row / 64] |= 1u64 << (row % 64);
     }
 
     /// Whether `row` still has any outstanding dependence (the row OR that
     /// produces the suspect speculation flag).
+    #[inline]
     pub fn row_any(&self, row: usize) -> bool {
         self.bits[self.row_range(row)].iter().any(|w| *w != 0)
     }
 
     /// Whether the specific bit `[row, col]` is set.
+    #[inline]
     pub fn get(&self, row: usize, col: usize) -> bool {
         assert!(col < self.n, "column {col} out of range");
         let range = self.row_range(row);
@@ -102,17 +115,35 @@ impl SecurityDependenceMatrix {
     /// Clears every bit in `row` (the slot was freed or reused).
     pub fn clear_row(&mut self, row: usize) {
         let range = self.row_range(row);
-        self.bits[range].iter_mut().for_each(|w| *w = 0);
+        let occ_bit = !(1u64 << (row % 64));
+        let occ_word = row / 64;
+        for (w, word) in self.bits[range.clone()].iter_mut().enumerate() {
+            let mut remaining = *word;
+            while remaining != 0 {
+                let col = w * 64 + remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                self.col_occ[col * self.words_per_col + occ_word] &= occ_bit;
+            }
+            *word = 0;
+        }
     }
 
     /// Clears `col` in every row: the producer in that slot issued, so
-    /// all security dependences on it are released.
+    /// all security dependences on it are released. Only rows recorded in
+    /// the column-occupancy index are touched.
     pub fn clear_column(&mut self, col: usize) {
         assert!(col < self.n, "column {col} out of range");
         let word = col / 64;
         let mask = !(1u64 << (col % 64));
-        for row in 0..self.n {
-            self.bits[row * self.words_per_row + word] &= mask;
+        let occ_range = col * self.words_per_col..(col + 1) * self.words_per_col;
+        for (w, occ) in self.col_occ[occ_range].iter_mut().enumerate() {
+            let mut remaining = *occ;
+            while remaining != 0 {
+                let row = w * 64 + remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                self.bits[row * self.words_per_row + word] &= mask;
+            }
+            *occ = 0;
         }
     }
 
@@ -124,6 +155,7 @@ impl SecurityDependenceMatrix {
     /// Clears the whole matrix.
     pub fn clear(&mut self) {
         self.bits.iter_mut().for_each(|w| *w = 0);
+        self.col_occ.iter_mut().for_each(|w| *w = 0);
     }
 
     /// Storage cost in bits — the figure the paper's area evaluation
@@ -215,5 +247,56 @@ mod tests {
     fn out_of_range_column_panics() {
         let mut m = SecurityDependenceMatrix::new(8);
         m.set(0, 8);
+    }
+
+    /// Random op soup against a naive boolean model, checking that the
+    /// column-occupancy fast path never diverges from the N² semantics.
+    #[test]
+    fn matches_naive_model_under_random_ops() {
+        const N: usize = 70; // spans two words per row
+        let mut m = SecurityDependenceMatrix::new(N);
+        let mut naive = vec![vec![false; N]; N];
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..5_000 {
+            let r = next();
+            let row = (r >> 8) as usize % N;
+            let col = (r >> 24) as usize % N;
+            match r % 4 {
+                0 => {
+                    m.set(row, col);
+                    naive[row][col] = true;
+                }
+                1 => {
+                    m.clear_row(row);
+                    naive[row].iter_mut().for_each(|b| *b = false);
+                }
+                2 => {
+                    m.clear_column(col);
+                    naive.iter_mut().for_each(|r| r[col] = false);
+                }
+                _ => {
+                    let producers = [col, (col + 13) % N];
+                    m.init_row(row, &producers);
+                    naive[row].iter_mut().for_each(|b| *b = false);
+                    for p in producers {
+                        naive[row][p] = true;
+                    }
+                }
+            }
+            let want: usize = naive.iter().flatten().filter(|b| **b).count();
+            assert_eq!(m.count_ones(), want);
+        }
+        for (row, naive_row) in naive.iter().enumerate() {
+            assert_eq!(m.row_any(row), naive_row.iter().any(|b| *b));
+            for (col, bit) in naive_row.iter().enumerate() {
+                assert_eq!(m.get(row, col), *bit);
+            }
+        }
     }
 }

@@ -140,6 +140,13 @@ impl Simulator {
         self.core.load_program(program);
     }
 
+    /// Like [`Simulator::load_program`] with shared ownership: reloading
+    /// the same program across attack rounds is a reference-count bump
+    /// instead of a deep copy.
+    pub fn load_program_shared(&mut self, program: std::rc::Rc<Program>) {
+        self.core.load_program_shared(program);
+    }
+
     /// Runs for at most `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
         self.core.run(max_cycles)

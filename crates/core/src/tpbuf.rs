@@ -21,7 +21,7 @@
 //! safe = !( | (V & W & S & Match & older) )     (paper equation 1)
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// One TPBuf entry (see module docs for field semantics).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,7 +58,11 @@ pub struct TpbufEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TpBuf {
-    entries: BTreeMap<u64, TpbufEntry>,
+    /// Entries sorted by sequence number. A pre-sized deque instead of a
+    /// `BTreeMap` keeps the per-access hooks allocation-free; sequence
+    /// numbers are allocated monotonically and squash removes a suffix,
+    /// so `push_back` maintains the order in the common case.
+    entries: VecDeque<(u64, TpbufEntry)>,
     capacity: usize,
 }
 
@@ -67,8 +71,17 @@ impl TpBuf {
     /// LDQ + STQ entries).
     pub fn new(capacity: usize) -> Self {
         TpBuf {
-            entries: BTreeMap::new(),
+            entries: VecDeque::with_capacity(capacity),
             capacity,
+        }
+    }
+
+    /// Index of `seq` in the sorted deque, or where it would insert.
+    fn position(&self, seq: u64) -> Result<usize, usize> {
+        let insert_at = self.entries.partition_point(|(s, _)| *s < seq);
+        match self.entries.get(insert_at) {
+            Some((s, _)) if *s == seq => Ok(insert_at),
+            _ => Err(insert_at),
         }
     }
 
@@ -84,20 +97,23 @@ impl TpBuf {
             self.entries.len() < self.capacity,
             "TPBuf overflow: LSQ mirroring broken"
         );
-        self.entries.insert(
-            seq,
-            TpbufEntry {
-                is_load,
-                ..TpbufEntry::default()
-            },
-        );
+        let entry = TpbufEntry {
+            is_load,
+            ..TpbufEntry::default()
+        };
+        match self.position(seq) {
+            Ok(at) => self.entries[at] = (seq, entry),
+            Err(at) if at == self.entries.len() => self.entries.push_back((seq, entry)),
+            Err(at) => self.entries.insert(at, (seq, entry)),
+        }
     }
 
     /// Records the translated PPN (V bit) and the suspect flag (S bit).
     /// Unknown sequence numbers are ignored (the entry may have been
     /// squashed between address generation and this notification).
     pub fn record_address(&mut self, seq: u64, ppn: u64, suspect: bool) {
-        if let Some(e) = self.entries.get_mut(&seq) {
+        if let Ok(at) = self.position(seq) {
+            let e = &mut self.entries[at].1;
             e.ppn = Some(ppn);
             e.suspect |= suspect;
         }
@@ -105,14 +121,16 @@ impl TpBuf {
 
     /// Marks the entry's data as available (W bit).
     pub fn record_writeback(&mut self, seq: u64) {
-        if let Some(e) = self.entries.get_mut(&seq) {
-            e.writeback = true;
+        if let Ok(at) = self.position(seq) {
+            self.entries[at].1.writeback = true;
         }
     }
 
     /// Releases the entry (commit or squash).
     pub fn release(&mut self, seq: u64) {
-        self.entries.remove(&seq);
+        if let Ok(at) = self.position(seq) {
+            self.entries.remove(at);
+        }
     }
 
     /// The S-Pattern query (paper Table II / equation 1) for an incoming
@@ -121,7 +139,8 @@ impl TpBuf {
     /// suspect entry accessed a *different* page.
     pub fn matches_s_pattern(&self, seq: u64, ppn: u64) -> bool {
         self.entries
-            .range(..seq)
+            .iter()
+            .take_while(|(s, _)| *s < seq)
             .any(|(_, e)| e.suspect && e.writeback && matches!(e.ppn, Some(p) if p != ppn))
     }
 
@@ -132,7 +151,7 @@ impl TpBuf {
 
     /// The entry for `seq`, if allocated (diagnostics and tests).
     pub fn get(&self, seq: u64) -> Option<&TpbufEntry> {
-        self.entries.get(&seq)
+        self.position(seq).ok().map(|at| &self.entries[at].1)
     }
 
     /// Clears all entries (program reload).

@@ -26,9 +26,51 @@ pub struct ReturnAddressStack {
     capacity: usize,
 }
 
+/// Depth covered by the snapshot's inline storage. The paper presets use
+/// 8- and 16-entry stacks, so snapshots are copy-only in practice; deeper
+/// stacks spill to the heap.
+const SNAPSHOT_INLINE: usize = 16;
+
 /// An opaque snapshot of the RAS contents, restorable after a squash.
+///
+/// Snapshots are taken for every in-flight control instruction, so they
+/// keep the first [`SNAPSHOT_INLINE`] addresses in an inline array:
+/// within that depth, `snapshot`, `clone` and `restore` never touch the
+/// heap (cloning an empty `Vec` does not allocate).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RasSnapshot(Vec<u64>);
+pub struct RasSnapshot {
+    inline: [u64; SNAPSHOT_INLINE],
+    len: u8,
+    spill: Vec<u64>,
+}
+
+impl RasSnapshot {
+    fn capture(entries: &[u64]) -> Self {
+        let mut inline = [0u64; SNAPSHOT_INLINE];
+        if entries.len() <= SNAPSHOT_INLINE {
+            inline[..entries.len()].copy_from_slice(entries);
+            RasSnapshot {
+                inline,
+                len: entries.len() as u8,
+                spill: Vec::new(),
+            }
+        } else {
+            RasSnapshot {
+                inline,
+                len: 0,
+                spill: entries.to_vec(),
+            }
+        }
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
 
 impl ReturnAddressStack {
     /// Creates an empty RAS holding at most `capacity` return addresses.
@@ -71,14 +113,15 @@ impl ReturnAddressStack {
     ///
     /// [`restore`]: ReturnAddressStack::restore
     pub fn snapshot(&self) -> RasSnapshot {
-        RasSnapshot(self.entries.clone())
+        RasSnapshot::capture(&self.entries)
     }
 
     /// Restores the contents captured by [`snapshot`] (squash recovery).
     ///
     /// [`snapshot`]: ReturnAddressStack::snapshot
     pub fn restore(&mut self, snap: &RasSnapshot) {
-        self.entries = snap.0.clone();
+        self.entries.clear();
+        self.entries.extend_from_slice(snap.as_slice());
     }
 }
 
@@ -127,5 +170,21 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_panics() {
         let _ = ReturnAddressStack::new(0);
+    }
+
+    #[test]
+    fn snapshot_restore_beyond_inline_depth() {
+        let depth = SNAPSHOT_INLINE + 5;
+        let mut ras = ReturnAddressStack::new(depth);
+        for i in 0..depth as u64 {
+            ras.push(0x1000 + i);
+        }
+        let snap = ras.snapshot();
+        for _ in 0..depth {
+            ras.pop();
+        }
+        ras.restore(&snap);
+        assert_eq!(ras.depth(), depth);
+        assert_eq!(ras.pop(), Some(0x1000 + depth as u64 - 1));
     }
 }

@@ -261,6 +261,21 @@ pub struct Core {
     last_commit_cycle: u64,
     stats: PipelineStats,
     trace: Option<TraceBuffer>,
+
+    // Per-cycle scratch buffers. Each is cleared and refilled where it is
+    // used (via `mem::take` so `&mut self` stage methods can run while it
+    // is held), and pre-sized at construction so the steady-state hot
+    // loop never touches the heap.
+    /// `issue_stage`'s ready-candidate list (`(seq, slot)`, oldest first).
+    issue_scratch: Vec<(u64, usize)>,
+    /// `deliver_completions`' due-event drain.
+    due_scratch: Vec<Completion>,
+    /// `capture_store_data`'s completed-store list.
+    store_done_scratch: Vec<u64>,
+    /// `squash_from`'s removed-ROB-entry buffer (youngest first).
+    squash_scratch: Vec<RobEntry>,
+    /// `squash_from`'s removed-LSQ-sequence buffer.
+    lsq_squash_scratch: Vec<u64>,
 }
 
 impl std::fmt::Debug for Core {
@@ -322,7 +337,6 @@ impl Core {
             lsq: Lsq::new(config.ldq_entries, config.stq_entries),
             block_reasons: vec![None; config.iq_entries],
             blocked_until: vec![0; config.iq_entries],
-            config,
             frontend,
             hierarchy,
             tlb,
@@ -334,9 +348,18 @@ impl Core {
             fetch_pc: 0,
             fetch_stall_until: 0,
             fetch_wedged: true,
-            fetch_queue: VecDeque::new(),
-            events: Vec::new(),
-            pending_store_data: Vec::new(),
+            fetch_queue: VecDeque::with_capacity(config.fetch_queue),
+            // Completions and pending store data are bounded by the number
+            // of in-flight instructions; pre-sizing them (and the scratch
+            // buffers below) keeps `step` heap-free in steady state.
+            events: Vec::with_capacity(config.rob_entries),
+            pending_store_data: Vec::with_capacity(config.stq_entries),
+            issue_scratch: Vec::with_capacity(config.iq_entries),
+            due_scratch: Vec::with_capacity(config.rob_entries),
+            store_done_scratch: Vec::with_capacity(config.stq_entries),
+            squash_scratch: Vec::with_capacity(config.rob_entries),
+            lsq_squash_scratch: Vec::with_capacity(config.ldq_entries + config.stq_entries),
+            config,
             fq_unresolved_branches: 0,
             rob_unresolved_branches: 0,
             pending_fences: 0,
@@ -367,12 +390,19 @@ impl Core {
     /// cycle counter, statistics) is deliberately *preserved* so that
     /// attacker and victim programs can be run back-to-back on warm state.
     pub fn load_program(&mut self, program: &Program) {
-        self.regfile = RegFile::new(self.config.phys_regs);
-        self.rob = Rob::new(self.config.rob_entries);
-        self.iq = IssueQueue::new(self.config.iq_entries);
-        self.lsq = Lsq::new(self.config.ldq_entries, self.config.stq_entries);
-        self.block_reasons = vec![None; self.config.iq_entries];
-        self.blocked_until = vec![0; self.config.iq_entries];
+        self.load_program_shared(Rc::new(program.clone()));
+    }
+
+    /// Like [`Core::load_program`] but takes shared ownership of the
+    /// program: reloading the same `Rc` (the attack-round pattern) is a
+    /// pointer bump instead of a deep copy of the code and data segments.
+    pub fn load_program_shared(&mut self, program: Rc<Program>) {
+        self.regfile.reset();
+        self.rob.reset();
+        self.iq.reset();
+        self.lsq.reset();
+        self.block_reasons.iter_mut().for_each(|r| *r = None);
+        self.blocked_until.iter_mut().for_each(|c| *c = 0);
         self.fetch_queue.clear();
         self.events.clear();
         self.pending_store_data.clear();
@@ -390,18 +420,24 @@ impl Core {
             let paddr = self.page_table.translate(seg.base);
             self.memory.write_bytes(paddr, &seg.bytes);
         }
-        self.program = Some(Rc::new(program.clone()));
+        self.program = Some(program);
     }
 
     /// Maps an additional resident code region (and loads its data
     /// segments). Shared mappings survive [`Core::load_program`]; use
     /// [`Core::clear_shared_code`] to drop them.
     pub fn map_shared_code(&mut self, program: &Program) {
+        self.map_shared_code_shared(Rc::new(program.clone()));
+    }
+
+    /// Like [`Core::map_shared_code`] with shared ownership: registering
+    /// an already-shared program is a pointer bump.
+    pub fn map_shared_code_shared(&mut self, program: Rc<Program>) {
         for seg in program.data() {
             let paddr = self.page_table.translate(seg.base);
             self.memory.write_bytes(paddr, &seg.bytes);
         }
-        self.shared_code.push(Rc::new(program.clone()));
+        self.shared_code.push(program);
     }
 
     /// Removes all shared code mappings.
@@ -537,19 +573,19 @@ impl Core {
 
     fn deliver_completions(&mut self) {
         let now = self.cycle;
-        let due: Vec<Completion> = {
-            let mut due = Vec::new();
-            self.events.retain(|e| {
-                if e.at <= now {
-                    due.push(*e);
-                    false
-                } else {
-                    true
-                }
-            });
-            due
-        };
-        for event in due {
+        // Drain due events into the owned scratch buffer (taken so the
+        // delivery loop below can borrow `self` mutably).
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.events.retain(|e| {
+            if e.at <= now {
+                due.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        for event in due.iter().copied() {
             let Some(entry) = self.rob.get_mut(event.seq) else {
                 continue; // squashed while in flight
             };
@@ -574,6 +610,7 @@ impl Core {
                 self.block_reasons[slot] = None;
             }
         }
+        self.due_scratch = due;
     }
 
     /// Completes stores whose data register has become ready: the data
@@ -583,7 +620,8 @@ impl Core {
         if self.pending_store_data.is_empty() {
             return;
         }
-        let mut completed = Vec::new();
+        let mut completed = std::mem::take(&mut self.store_done_scratch);
+        completed.clear();
         let regfile = &self.regfile;
         self.pending_store_data.retain(|(seq, preg)| {
             if regfile.is_ready(*preg) {
@@ -593,7 +631,7 @@ impl Core {
                 true
             }
         });
-        for seq in completed {
+        for seq in completed.iter().copied() {
             let Some(entry) = self.rob.get_mut(seq) else {
                 continue;
             };
@@ -605,6 +643,7 @@ impl Core {
             self.lsq.resolve_store_data(seq, data);
             self.policy.on_mem_writeback(seq);
         }
+        self.store_done_scratch = completed;
     }
 
     // ------------------------------------------------------------------
@@ -622,18 +661,31 @@ impl Core {
             None
         };
 
-        // Gather ready candidates, oldest first.
-        let mut candidates: Vec<(u64, usize)> = self
-            .iq
-            .iter()
-            .filter(|(_, e)| !e.issued)
-            .map(|(slot, e)| (e.seq, slot))
-            .collect();
+        // Gather candidates with ready operands, oldest first, into the
+        // owned scratch buffer (pre-sized to the IQ capacity, so this
+        // never allocates). Operand readiness cannot change inside this
+        // stage — execution results are delivered through next-cycle
+        // completion events — so filtering here up front is equivalent to
+        // the old skip-inside-the-loop and prunes the (typically
+        // dominant) not-yet-ready majority before the sort.
+        let mut candidates = std::mem::take(&mut self.issue_scratch);
+        candidates.clear();
+        {
+            let regfile = &self.regfile;
+            candidates.extend(
+                self.iq
+                    .iter()
+                    .filter(|(_, e)| {
+                        !e.issued && e.srcs.iter().flatten().all(|p| regfile.is_ready(*p))
+                    })
+                    .map(|(slot, e)| (e.seq, slot)),
+            );
+        }
         candidates.sort_unstable();
 
         let mut issued = 0;
         let mut mem_issued = 0;
-        for (seq, slot) in candidates {
+        for (seq, slot) in candidates.iter().copied() {
             if issued == self.config.issue_width {
                 break;
             }
@@ -668,14 +720,16 @@ impl Core {
                     continue;
                 }
             }
-            let ready = entry
-                .srcs
-                .iter()
-                .flatten()
-                .all(|p| self.regfile.is_ready(*p));
-            if !ready {
-                continue;
-            }
+            // Operands were ready at collection and a mid-loop squash
+            // cannot clear ready bits (it only remaps and frees them).
+            debug_assert!(
+                entry
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .all(|p| self.regfile.is_ready(*p)),
+                "candidate lost operand readiness mid-stage"
+            );
             if entry.is_mem && mem_issued == self.config.cache_ports {
                 continue;
             }
@@ -732,6 +786,7 @@ impl Core {
             self.iq.free_slot(slot);
             self.policy.on_slot_freed(slot);
         }
+        self.issue_scratch = candidates;
     }
 
     /// Executes a just-issued instruction. Returns `true` if the
@@ -1000,7 +1055,8 @@ impl Core {
             keep_seq,
             redirect_pc,
         });
-        let squashed = self.rob.squash_after(keep_seq);
+        let mut squashed = std::mem::take(&mut self.squash_scratch);
+        self.rob.squash_after_into(keep_seq, &mut squashed);
         self.stats.squashed_insts += squashed.len() as u64;
 
         // Walk back renaming, youngest first.
@@ -1020,9 +1076,12 @@ impl Core {
                 self.rob_unresolved_branches = self.rob_unresolved_branches.saturating_sub(1);
             }
         }
-        for seq in self.lsq.squash_after(keep_seq) {
+        let mut lsq_squashed = std::mem::take(&mut self.lsq_squash_scratch);
+        self.lsq.squash_after_into(keep_seq, &mut lsq_squashed);
+        for seq in lsq_squashed.iter().copied() {
             self.policy.on_lsq_release(seq);
         }
+        self.lsq_squash_scratch = lsq_squashed;
         // Squashed sequence numbers are recycled (the next dispatch reuses
         // them), keeping ROB sequence numbers contiguous; drop any
         // completion events still in flight for squashed instructions so
@@ -1041,20 +1100,16 @@ impl Core {
             .iter()
             .find_map(|f| f.ras_snapshot.as_ref());
         if let Some(snap) = rob_snapshot.or(queue_snapshot) {
-            let snap = snap.clone();
-            self.frontend_restore_ras(&snap);
+            // `snap` borrows `squashed` (a local) or `fetch_queue`, both
+            // disjoint from `frontend`, so no defensive clone is needed.
+            self.frontend.restore_ras(snap);
         }
+        self.squash_scratch = squashed;
         self.fetch_queue.clear();
         self.fq_unresolved_branches = 0;
         self.fetch_pc = redirect_pc;
         self.fetch_wedged = false;
         self.fetch_stall_until = self.cycle + self.config.redirect_penalty;
-    }
-
-    fn frontend_restore_ras(&mut self, snap: &condspec_frontend::ras::RasSnapshot) {
-        // FrontEnd does not expose the RAS mutably except through this
-        // dedicated path; keep the restore local.
-        self.frontend.restore_ras(snap);
     }
 
     // ------------------------------------------------------------------
@@ -1109,7 +1164,6 @@ impl Core {
             }
 
             let class = classify(&inst);
-            let views = self.iq.views();
             // Stores issue on their address operand alone; the data
             // operand is captured when it becomes ready.
             let iq_srcs = if inst.is_store() {
@@ -1128,8 +1182,17 @@ impl Core {
             };
             let slot = self.iq.allocate(iq_entry).expect("IQ space checked above");
             entry.iq_slot = Some(slot);
-            self.policy
-                .on_dispatch(DispatchInfo { slot, seq, class }, &views);
+            // Snapshot the occupied entries *excluding* the slot we just
+            // filled — the same set the pre-allocate snapshot used to
+            // carry — and only when the policy actually consumes it.
+            if self.policy.wants_dispatch_views() {
+                let views = self.iq.views_excluding(slot);
+                self.policy
+                    .on_dispatch(DispatchInfo { slot, seq, class }, views);
+            } else {
+                self.policy
+                    .on_dispatch(DispatchInfo { slot, seq, class }, &[]);
+            }
 
             if inst.is_load() {
                 self.lsq
@@ -1356,6 +1419,71 @@ impl Core {
     /// Mutable policy access.
     pub fn policy_mut(&mut self) -> &mut dyn SecurityPolicy {
         self.policy.as_mut()
+    }
+
+    /// Cross-structure consistency check, for tests and debugging. Holds
+    /// between any two [`Core::step`] calls; squash recovery in
+    /// particular must leave no residue for the squashed instructions.
+    ///
+    /// Verified invariants:
+    ///
+    /// * a free IQ slot has no block reason and no outstanding security
+    ///   dependence (its matrix row was cleared);
+    /// * an occupied IQ slot is owned by exactly the in-flight ROB entry
+    ///   that records it, and that entry is not yet completed;
+    /// * every pending completion event and store-data capture refers to
+    ///   an instruction still in the ROB.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for slot in 0..self.iq.capacity() {
+            match self.iq.get(slot) {
+                None => {
+                    if self.block_reasons[slot].is_some() {
+                        return Err(format!("free IQ slot {slot} has a stale block reason"));
+                    }
+                    if self.policy.has_pending_dependence(slot) {
+                        return Err(format!(
+                            "free IQ slot {slot} still has a security dependence row"
+                        ));
+                    }
+                }
+                Some(entry) => {
+                    let Some(rob_entry) = self.rob.get(entry.seq) else {
+                        return Err(format!(
+                            "IQ slot {slot} holds seq {} which is not in the ROB",
+                            entry.seq
+                        ));
+                    };
+                    if rob_entry.iq_slot != Some(slot) {
+                        return Err(format!(
+                            "IQ slot {slot} / ROB seq {} disagree on ownership ({:?})",
+                            entry.seq, rob_entry.iq_slot
+                        ));
+                    }
+                    if rob_entry.state == RobState::Completed {
+                        return Err(format!(
+                            "completed seq {} still occupies IQ slot {slot}",
+                            entry.seq
+                        ));
+                    }
+                }
+            }
+        }
+        for event in &self.events {
+            if !self.rob.contains(event.seq) {
+                return Err(format!(
+                    "pending completion event for seq {} which is not in flight",
+                    event.seq
+                ));
+            }
+        }
+        for (seq, _) in &self.pending_store_data {
+            if !self.rob.contains(*seq) {
+                return Err(format!(
+                    "pending store-data capture for seq {seq} which is not in flight"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -49,6 +49,10 @@ pub struct IqEntry {
 pub struct IssueQueue {
     slots: Vec<Option<IqEntry>>,
     free: Vec<usize>,
+    /// Scratch for [`IssueQueue::views`] / [`IssueQueue::views_excluding`]:
+    /// filled in place each call so the per-dispatch snapshot never
+    /// allocates after construction.
+    views_scratch: Vec<IqEntryView>,
 }
 
 impl IssueQueue {
@@ -62,7 +66,16 @@ impl IssueQueue {
         IssueQueue {
             slots: vec![None; capacity],
             free: (0..capacity).rev().collect(),
+            views_scratch: Vec::with_capacity(capacity),
         }
+    }
+
+    /// Empties the queue, returning every slot to the free list. Keeps
+    /// allocated storage so a reloaded core stays allocation-free.
+    pub fn reset(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.free.clear();
+        self.free.extend((0..self.slots.len()).rev());
     }
 
     /// Number of slots.
@@ -121,16 +134,32 @@ impl IssueQueue {
     }
 
     /// Views of every occupied slot, for the security matrix's
-    /// initialization formula.
-    pub fn views(&self) -> Vec<IqEntryView> {
-        self.iter()
-            .map(|(slot, e)| IqEntryView {
-                slot,
-                seq: e.seq,
-                class: e.class,
-                issued: e.issued,
-            })
-            .collect()
+    /// initialization formula. The returned slice borrows an internal
+    /// scratch buffer; it is valid until the next `views*` call.
+    pub fn views(&mut self) -> &[IqEntryView] {
+        self.views_excluding(usize::MAX)
+    }
+
+    /// Like [`IssueQueue::views`], but omits `skip` — used at dispatch to
+    /// snapshot the queue as it was before the newest entry was allocated.
+    pub fn views_excluding(&mut self, skip: usize) -> &[IqEntryView] {
+        let scratch = &mut self.views_scratch;
+        scratch.clear();
+        scratch.extend(
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|&(slot, _)| slot != skip)
+                .filter_map(|(slot, s)| {
+                    s.as_ref().map(|e| IqEntryView {
+                        slot,
+                        seq: e.seq,
+                        class: e.class,
+                        issued: e.issued,
+                    })
+                }),
+        );
+        scratch
     }
 
     /// Removes all entries with `seq > target`, returning their slots.
@@ -194,6 +223,28 @@ mod tests {
         assert_eq!(views[0].seq, 7);
         assert!(views[0].issued);
         assert_eq!(views[0].slot, s0);
+    }
+
+    #[test]
+    fn views_excluding_omits_one_slot() {
+        let mut iq = IssueQueue::new(4);
+        let s0 = iq.allocate(entry(3)).unwrap();
+        let s1 = iq.allocate(entry(4)).unwrap();
+        let views = iq.views_excluding(s1);
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].slot, s0);
+        assert_eq!(iq.views().len(), 2, "plain views sees every entry");
+    }
+
+    #[test]
+    fn reset_frees_every_slot() {
+        let mut iq = IssueQueue::new(3);
+        iq.allocate(entry(0)).unwrap();
+        iq.allocate(entry(1)).unwrap();
+        iq.reset();
+        assert_eq!(iq.occupancy(), 0);
+        // All slots allocatable again, lowest index first.
+        assert_eq!(iq.allocate(entry(2)), Some(0));
     }
 
     #[test]

@@ -258,13 +258,26 @@ impl Lsq {
     /// removed sequence numbers (for TPBuf release notifications).
     pub fn squash_after(&mut self, target: u64) -> Vec<u64> {
         let mut removed = Vec::new();
+        self.squash_after_into(target, &mut removed);
+        removed
+    }
+
+    /// Like [`Lsq::squash_after`], but clears `out` and fills it in place
+    /// so callers can reuse one buffer across squashes.
+    pub fn squash_after_into(&mut self, target: u64, out: &mut Vec<u64>) {
+        out.clear();
         while matches!(self.loads.back(), Some(l) if l.seq > target) {
-            removed.push(self.loads.pop_back().expect("checked").seq);
+            out.push(self.loads.pop_back().expect("checked").seq);
         }
         while matches!(self.stores.back(), Some(s) if s.seq > target) {
-            removed.push(self.stores.pop_back().expect("checked").seq);
+            out.push(self.stores.pop_back().expect("checked").seq);
         }
-        removed
+    }
+
+    /// Empties both queues, keeping the backing storage.
+    pub fn reset(&mut self) {
+        self.loads.clear();
+        self.stores.clear();
     }
 
     /// Number of in-flight loads.

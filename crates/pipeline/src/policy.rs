@@ -131,10 +131,18 @@ pub trait SecurityPolicy {
     /// Human-readable mechanism name (used in reports).
     fn name(&self) -> &'static str;
 
+    /// Whether [`SecurityPolicy::on_dispatch`] consumes the `older` IQ
+    /// snapshot. Policies that ignore it (e.g. the undefended baseline)
+    /// return `false` so the core can skip building the view list.
+    fn wants_dispatch_views(&self) -> bool {
+        true
+    }
+
     /// A new instruction entered the Issue Queue.
     ///
     /// `older` lists every valid IQ entry at this moment (the new entry is
-    /// not included).
+    /// not included). When [`SecurityPolicy::wants_dispatch_views`] is
+    /// `false`, the core passes an empty slice instead.
     fn on_dispatch(&mut self, info: DispatchInfo, older: &[IqEntryView]);
 
     /// Row-OR query at issue select: does the instruction in `slot` have
@@ -209,6 +217,10 @@ pub struct NullPolicy;
 impl SecurityPolicy for NullPolicy {
     fn name(&self) -> &'static str {
         "origin"
+    }
+
+    fn wants_dispatch_views(&self) -> bool {
+        false
     }
 
     fn on_dispatch(&mut self, _info: DispatchInfo, _older: &[IqEntryView]) {}

@@ -64,6 +64,19 @@ impl RegFile {
         }
     }
 
+    /// Restores the initial state (identity rename map, all registers
+    /// zero and ready) without releasing the backing storage.
+    pub fn reset(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0);
+        self.ready.iter_mut().for_each(|r| *r = true);
+        for (i, r) in self.rename.iter_mut().enumerate() {
+            *r = i as PhysReg;
+        }
+        self.free.clear();
+        self.free
+            .extend(NUM_ARCH_REGS as PhysReg..self.values.len() as PhysReg);
+    }
+
     /// The current speculative mapping of an architectural register.
     pub fn lookup(&self, arch: Reg) -> PhysReg {
         self.rename[arch.index()]

@@ -189,10 +189,22 @@ impl Rob {
     /// youngest-first (the order walk-back rename recovery requires).
     pub fn squash_after(&mut self, seq: u64) -> Vec<RobEntry> {
         let mut squashed = Vec::new();
-        while matches!(self.entries.back(), Some(e) if e.seq > seq) {
-            squashed.push(self.entries.pop_back().expect("checked non-empty"));
-        }
+        self.squash_after_into(seq, &mut squashed);
         squashed
+    }
+
+    /// Like [`Rob::squash_after`], but clears `out` and fills it in place
+    /// so callers can reuse one buffer across squashes.
+    pub fn squash_after_into(&mut self, seq: u64, out: &mut Vec<RobEntry>) {
+        out.clear();
+        while matches!(self.entries.back(), Some(e) if e.seq > seq) {
+            out.push(self.entries.pop_back().expect("checked non-empty"));
+        }
+    }
+
+    /// Discards every in-flight entry, keeping the backing storage.
+    pub fn reset(&mut self) {
+        self.entries.clear();
     }
 
     /// Iterates over in-flight entries oldest-first.

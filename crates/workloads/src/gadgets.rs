@@ -15,6 +15,7 @@
 //! non-shared-memory attacks of Table IV rows 5-6 invisible to TPBuf.
 
 use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+use std::rc::Rc;
 
 /// Fixed virtual-address layout shared by all gadgets.
 pub mod layout {
@@ -119,8 +120,10 @@ impl GadgetKind {
 pub struct SpectreGadget {
     /// Variant.
     pub kind: GadgetKind,
-    /// The victim program.
-    pub program: Program,
+    /// The victim program, shared so loading it into a simulator is a
+    /// reference-count bump rather than a deep copy (the probe-array data
+    /// segments are large).
+    pub program: Rc<Program>,
     /// Address of the attacker-controlled input word.
     pub input_addr: u64,
     /// Address of the bounds word (flush target), if the gadget has one.
@@ -188,11 +191,11 @@ impl SpectreGadget {
                 *target += condspec_isa::INST_BYTES;
             }
         }
-        gadget.program = Program::new(
+        gadget.program = Rc::new(Program::new(
             gadget.program.code_base(),
             insts,
             gadget.program.data().to_vec(),
-        );
+        ));
         gadget
     }
 
@@ -232,8 +235,11 @@ impl SpectreGadget {
                 seg.bytes = secret.to_vec();
             }
         }
-        gadget.program =
-            crate::gadgets::Program::new(program.code_base(), program.insts().to_vec(), data);
+        gadget.program = Rc::new(crate::gadgets::Program::new(
+            program.code_base(),
+            program.insts().to_vec(),
+            data,
+        ));
         gadget
     }
 
@@ -333,7 +339,7 @@ fn build_v1(mode: V1Mode) -> SpectreGadget {
             V1Mode::SamePage => GadgetKind::V1SamePage,
             V1Mode::SetStride => GadgetKind::V1SetStride,
         },
-        program: b.build().expect("gadget assembles"),
+        program: Rc::new(b.build().expect("gadget assembles")),
         input_addr: INPUT,
         len_addr: Some(LEN),
         secret_addr: SECRET,
@@ -382,7 +388,7 @@ fn build_v2() -> SpectreGadget {
     b.data_u64s(INPUT, &[0]);
     SpectreGadget {
         kind: GadgetKind::V2,
-        program: b.build().expect("gadget assembles"),
+        program: Rc::new(b.build().expect("gadget assembles")),
         input_addr: INPUT,
         len_addr: None,
         secret_addr: SECRET,
@@ -430,7 +436,7 @@ fn build_v4() -> SpectreGadget {
     b.data_u64s(INPUT, &[0]);
     SpectreGadget {
         kind: GadgetKind::V4,
-        program: b.build().expect("gadget assembles"),
+        program: Rc::new(b.build().expect("gadget assembles")),
         input_addr: INPUT,
         len_addr: None,
         secret_addr: SECRET,
@@ -482,7 +488,7 @@ fn build_rsb() -> SpectreGadget {
     b.data_u64s(INPUT, &[0]);
     SpectreGadget {
         kind: GadgetKind::Rsb,
-        program: b.build().expect("gadget assembles"),
+        program: Rc::new(b.build().expect("gadget assembles")),
         input_addr: INPUT,
         len_addr: None,
         secret_addr: SECRET,
