@@ -33,4 +33,60 @@ for cell in cells:
 print(f"perf smoke ok: schema {report['schema']}, {len(cells)} cells")
 EOF
 
+echo "==> perf regression guard (vs ci/perf-quick-baseline.json)"
+# The committed baseline pins two things about the quick-mode matrix:
+#
+#   * simulated work (sim_cycles / committed_inst) per cell — exact
+#     equality on every host, because the simulator is deterministic.
+#     A legitimate timing-model change must regenerate the baseline:
+#         ./target/release/condspec perf --quick --out /tmp/q.json
+#         python3 ci/make_perf_baseline.py /tmp/q.json > ci/perf-quick-baseline.json
+#   * host throughput (committed_inst_per_sec) per cell — compared only
+#     when this machine matches the baseline's host_tag (so the check
+#     self-skips on contributor hardware), failing on a >30% regression.
+#     Set CONDSPEC_SKIP_PERF_GUARD=1 to skip the throughput comparison
+#     explicitly (e.g. a loaded or throttled machine).
+python3 - "$perf_out" ci/perf-quick-baseline.json <<'EOF'
+import json, os, sys
+
+report = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+assert base["schema"] == "condspec-simspeed-quick-baseline-v1", \
+    f"unexpected baseline schema: {base['schema']}"
+ref_cells = {(c["workload"], c["defense"]): c for c in base["report"]["cells"]}
+got_cells = {(c["workload"], c["defense"]): c for c in report["cells"]}
+assert got_cells.keys() == ref_cells.keys(), \
+    f"matrix shape changed: {sorted(got_cells) } vs {sorted(ref_cells)}"
+
+for key, got in sorted(got_cells.items()):
+    ref = ref_cells[key]
+    for field in ("sim_cycles", "committed_inst"):
+        assert got[field] == ref[field], (
+            f"{key}: {field} changed {ref[field]} -> {got[field]}; the "
+            "simulation is no longer byte-identical to the committed "
+            "baseline (regenerate ci/perf-quick-baseline.json if the "
+            "timing-model change is intentional)")
+
+host_tag = f"{os.uname().machine}-{os.cpu_count()}cpu"
+if os.environ.get("CONDSPEC_SKIP_PERF_GUARD"):
+    print("perf guard: CONDSPEC_SKIP_PERF_GUARD set; throughput check skipped")
+    sys.exit(0)
+if host_tag != base["host_tag"]:
+    print(f"perf guard: host {host_tag} != baseline host {base['host_tag']}; "
+          "throughput check skipped (simulated-work equality verified)")
+    sys.exit(0)
+
+worst = None
+for key, got in sorted(got_cells.items()):
+    ref_tp = ref_cells[key]["committed_inst_per_sec"]
+    got_tp = got["committed_inst_per_sec"]
+    ratio = got_tp / ref_tp
+    if worst is None or ratio < worst[1]:
+        worst = (key, ratio)
+    assert ratio >= 0.70, (
+        f"{key}: committed-inst/s regressed >30%: "
+        f"{ref_tp:.0f} -> {got_tp:.0f} ({ratio:.2f}x)")
+print(f"perf guard ok: worst cell {worst[0]} at {worst[1]:.2f}x baseline")
+EOF
+
 echo "ci.sh: all checks passed"

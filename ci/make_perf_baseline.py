@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Wraps a `condspec perf --quick` report as the CI perf baseline.
+
+Usage:
+    ./target/release/condspec perf --quick --out /tmp/q.json
+    python3 ci/make_perf_baseline.py /tmp/q.json > ci/perf-quick-baseline.json
+
+The wrapper records the machine the throughput numbers were taken on
+(`host_tag`); ci.sh only compares committed-inst/s when it runs on a
+matching machine, but checks the deterministic simulated-work fields
+(sim_cycles, committed_inst) everywhere.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA = "condspec-simspeed-quick-baseline-v1"
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    report = json.load(open(sys.argv[1]))
+    if report.get("schema") != "condspec-simspeed-v1":
+        sys.exit(f"not a simspeed report: schema {report.get('schema')!r}")
+    if report.get("mode") != "quick":
+        sys.exit("baseline must be built from a --quick run")
+    baseline = {
+        "schema": SCHEMA,
+        "host_tag": f"{os.uname().machine}-{os.cpu_count()}cpu",
+        "report": report,
+    }
+    json.dump(baseline, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

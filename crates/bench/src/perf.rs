@@ -15,9 +15,12 @@
 //!
 //! Each workload runs under Origin, Cache-hit, and Cache-hit + TPBuf.
 //! The simulated work per cell is deterministic (identical cycle and
-//! commit counts on every host); only the wall-clock fields vary. The
-//! result serializes as the `condspec-simspeed-v1` JSON schema recorded
-//! in `BENCH_simspeed.json`.
+//! commit counts on every host); only the wall-clock fields vary. Every
+//! cell is timed several times and the fastest wall time is reported —
+//! the minimum over repeats of a deterministic computation estimates
+//! the code's speed, not the host scheduler's mood. The result
+//! serializes as the `condspec-simspeed-v1` JSON schema recorded in
+//! `BENCH_simspeed.json`.
 
 use condspec::{DefenseConfig, MachineConfig, SimConfig, Simulator};
 use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
@@ -86,6 +89,18 @@ impl PerfOptions {
         } else {
             400
         }
+    }
+
+    /// Timed repetitions per cell; the fastest wall time is reported.
+    ///
+    /// The simulated work is deterministic, so repeats only re-measure
+    /// the host: taking the minimum is the standard noise-robust
+    /// estimator for "how fast can this code run", and it keeps the CI
+    /// regression guard from tripping on scheduler jitter. The repeats
+    /// double as a determinism check — every repeat must reproduce the
+    /// cell's cycle and commit counts exactly.
+    fn cell_repeats(&self) -> u32 {
+        3
     }
 }
 
@@ -221,16 +236,33 @@ pub fn run_matrix(opts: &PerfOptions) -> Vec<PerfCell> {
     ] {
         for defense in DEFENSES {
             let config = SimConfig::on_machine(defense, opts.machine);
-            let start = Instant::now();
-            let (sim_cycles, committed) = runner(config);
-            let wall_seconds = start.elapsed().as_secs_f64();
-            cells.push(PerfCell {
-                workload,
-                defense,
-                sim_cycles,
-                committed,
-                wall_seconds,
-            });
+            let mut best: Option<PerfCell> = None;
+            for _ in 0..opts.cell_repeats() {
+                let start = Instant::now();
+                let (sim_cycles, committed) = runner(config);
+                let wall_seconds = start.elapsed().as_secs_f64();
+                match &mut best {
+                    None => {
+                        best = Some(PerfCell {
+                            workload,
+                            defense,
+                            sim_cycles,
+                            committed,
+                            wall_seconds,
+                        });
+                    }
+                    Some(cell) => {
+                        assert_eq!(
+                            (cell.sim_cycles, cell.committed),
+                            (sim_cycles, committed),
+                            "{workload}/{}: simulated work must be deterministic",
+                            defense.key(),
+                        );
+                        cell.wall_seconds = cell.wall_seconds.min(wall_seconds);
+                    }
+                }
+            }
+            cells.push(best.expect("at least one repeat"));
         }
     }
     cells

@@ -5,15 +5,21 @@
 //! buffer the harness will ever need, a measured window of full
 //! train/train/attack gadget rounds must perform **zero** new heap
 //! allocations — reloads included, since `load_program_shared` only
-//! resets pre-sized structures.
+//! resets pre-sized structures. A second measured window runs a
+//! mispredict-heavy branchy pointer chase, so the squash path (rename
+//! walk-back, IQ squash, wakeup unsubscription, lazy event invalidation)
+//! is proven heap-free too, not just the mostly-straight-line gadget.
 //!
 //! This test lives in its own integration binary because a global
 //! allocator is per-binary, and it is the only `#[test]` here so no
 //! concurrent test can perturb the counter.
 
-use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec::{DefenseConfig, ExitReason, SimConfig, Simulator};
+use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+use condspec_stats::SplitMix64;
 use condspec_workloads::gadgets::{GadgetKind, SpectreGadget};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
@@ -48,6 +54,13 @@ const RUN_BUDGET: u64 = 500_000;
 const WARMUP_ROUNDS: u32 = 10;
 const MEASURED_ROUNDS: u32 = 50;
 
+/// Branchy-chase geometry: an 8 KiB pointer ring (L1-resident, so the
+/// loop turns fast) walked by loads whose values feed branch conditions.
+const CHASE_CODE_BASE: u64 = 0x0040_0000;
+const CHASE_RING_BASE: u64 = 0x0800_0000;
+const CHASE_RING_SLOTS: usize = 1024;
+const CHASE_ITERATIONS: u64 = 400;
+
 /// One train/train/attack cell round, identical in shape to the
 /// `condspec perf` harness and the leakage experiments.
 fn round(sim: &mut Simulator, gadget: &SpectreGadget) -> u64 {
@@ -67,9 +80,58 @@ fn round(sim: &mut Simulator, gadget: &SpectreGadget) -> u64 {
     cycles
 }
 
+/// A pointer chase whose loaded values drive data-dependent branches:
+/// each ring word's low bits are effectively random, so the forward
+/// branch is unpredictable and resolves only after the load returns —
+/// deep wrong paths and constant mispredict squashes.
+fn branchy_chase(iterations: u64) -> Program {
+    // Single-cycle ring permutation (Sattolo's algorithm).
+    let mut rng = SplitMix64::new(0x5eed_ba5e_0b1a_5e01);
+    let mut idx: Vec<usize> = (0..CHASE_RING_SLOTS).collect();
+    for i in (1..CHASE_RING_SLOTS).rev() {
+        let j = (rng.next_u64() % i as u64) as usize;
+        idx.swap(i, j);
+    }
+    let mut next = vec![0usize; CHASE_RING_SLOTS];
+    for w in 0..CHASE_RING_SLOTS {
+        next[idx[w]] = idx[(w + 1) % CHASE_RING_SLOTS];
+    }
+    let words: Vec<u64> = next
+        .iter()
+        .map(|&n| CHASE_RING_BASE + 8 * n as u64)
+        .collect();
+
+    let mut b = ProgramBuilder::new(CHASE_CODE_BASE);
+    b.li(Reg::R1, iterations);
+    b.li(Reg::R2, CHASE_RING_BASE + 8 * idx[0] as u64);
+    b.li(Reg::R4, 0);
+    let top = b.here();
+    b.load(Reg::R2, Reg::R2, 0);
+    // Bit 3 of the chased pointer is a permutation artifact — close to a
+    // coin flip per step, and unknown until the load completes.
+    b.alu_imm(AluOp::And, Reg::R3, Reg::R2, 8);
+    b.branch_to(BranchCond::Ne, Reg::R3, Reg::R0, "skip");
+    b.alu_imm(AluOp::Add, Reg::R4, Reg::R4, 1);
+    b.alu(AluOp::Xor, Reg::R4, Reg::R4, Reg::R2);
+    b.label("skip").expect("fresh label");
+    b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+    b.branch(BranchCond::Ne, Reg::R1, Reg::R0, top);
+    b.halt();
+    b.data_u64s(CHASE_RING_BASE, &words);
+    b.build().expect("branchy chase assembles")
+}
+
+fn chase_round(sim: &mut Simulator, program: &Rc<Program>) -> u64 {
+    sim.load_program_shared(program.clone());
+    let result = sim.run(RUN_BUDGET);
+    assert_eq!(result.exit, ExitReason::Halted, "chase must run to halt");
+    result.cycles
+}
+
 #[test]
 fn steady_state_rounds_do_not_allocate() {
     let gadget = SpectreGadget::build(GadgetKind::V1);
+    let chase = Rc::new(branchy_chase(CHASE_ITERATIONS));
     for defense in [DefenseConfig::Origin, DefenseConfig::CacheHitTpbuf] {
         let mut sim = Simulator::new(SimConfig::new(defense));
         for _ in 0..WARMUP_ROUNDS {
@@ -89,6 +151,33 @@ fn steady_state_rounds_do_not_allocate() {
             0,
             "{defense:?}: steady-state rounds allocated {} time(s) over \
              {MEASURED_ROUNDS} rounds ({cycles} cycles)",
+            after - before,
+        );
+
+        // Second window: the mispredict-heavy chase on the same core, so
+        // squash recovery runs hot inside the measured region.
+        for _ in 0..WARMUP_ROUNDS {
+            chase_round(&mut sim, &chase);
+        }
+
+        let squashes_before = sim.core().stats().mispredict_squashes;
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut cycles = 0;
+        for _ in 0..MEASURED_ROUNDS {
+            cycles += chase_round(&mut sim, &chase);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        let squashes = sim.core().stats().mispredict_squashes - squashes_before;
+
+        assert!(
+            squashes > 0,
+            "{defense:?}: branchy chase must exercise squash recovery"
+        );
+        assert_eq!(
+            after - before,
+            0,
+            "{defense:?}: branchy-chase rounds allocated {} time(s) over \
+             {MEASURED_ROUNDS} rounds ({cycles} cycles, {squashes} squashes)",
             after - before,
         );
     }

@@ -1,20 +1,20 @@
 //! The worker pool: deterministic-result parallel job execution on
 //! `std::thread` with per-job panic isolation.
 //!
-//! Workers pull jobs from a shared queue (cheap work stealing: whoever
-//! is free takes the next job), run each inside `catch_unwind`, and
-//! stream `(index, result)` pairs back over an `mpsc` channel. The
-//! caller reassembles results *by index*, so the output order — and
-//! therefore everything derived from it — is independent of how many
-//! workers ran or how the OS interleaved them. Only scheduling varies
-//! with `workers`; results never do.
+//! Workers pull jobs from a shared cursor (cheap work stealing: whoever
+//! is free claims the next index with one `fetch_add`, no lock, no
+//! queue to build), run each inside `catch_unwind`, and stream
+//! `(index, result)` pairs back over an `mpsc` channel. The caller
+//! reassembles results *by index*, so the output order — and therefore
+//! everything derived from it — is independent of how many workers ran
+//! or how the OS interleaved them. Only scheduling varies with
+//! `workers`; results never do.
 
 use crate::job::JobSpec;
 use condspec_stats::Json;
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
 
 /// The outcome of one job: its artifact document, or the panic message
 /// of a failed run.
@@ -52,17 +52,17 @@ pub fn run_jobs(
     mut on_done: impl FnMut(usize, &JobResult),
 ) -> Vec<JobResult> {
     let workers = workers.max(1).min(jobs.len().max(1));
-    let queue: Mutex<VecDeque<(usize, &JobSpec)>> = Mutex::new(jobs.iter().enumerate().collect());
+    let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, JobResult)>();
 
     let mut results: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
-            let queue = &queue;
+            let cursor = &cursor;
             scope.spawn(move || loop {
-                let next = queue.lock().expect("queue lock").pop_front();
-                let Some((index, spec)) = next else { break };
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = jobs.get(index) else { break };
                 let outcome =
                     catch_unwind(AssertUnwindSafe(|| spec.execute())).map_err(panic_message);
                 if tx.send((index, outcome)).is_err() {

@@ -44,6 +44,18 @@ pub struct RasSnapshot {
     spill: Vec<u64>,
 }
 
+impl Default for RasSnapshot {
+    /// An empty-stack snapshot (the starting point for
+    /// [`ReturnAddressStack::snapshot_into`] reuse).
+    fn default() -> Self {
+        RasSnapshot {
+            inline: [0u64; SNAPSHOT_INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+}
+
 impl RasSnapshot {
     fn capture(entries: &[u64]) -> Self {
         let mut inline = [0u64; SNAPSHOT_INLINE];
@@ -114,6 +126,23 @@ impl ReturnAddressStack {
     /// [`restore`]: ReturnAddressStack::restore
     pub fn snapshot(&self) -> RasSnapshot {
         RasSnapshot::capture(&self.entries)
+    }
+
+    /// Captures the current contents into an existing snapshot,
+    /// overwriting it. Equivalent to [`snapshot`], but reuses `out`'s
+    /// storage (including any spill capacity) so callers that recycle
+    /// snapshots never allocate in steady state.
+    ///
+    /// [`snapshot`]: ReturnAddressStack::snapshot
+    pub fn snapshot_into(&self, out: &mut RasSnapshot) {
+        out.spill.clear();
+        if self.entries.len() <= SNAPSHOT_INLINE {
+            out.inline[..self.entries.len()].copy_from_slice(&self.entries);
+            out.len = self.entries.len() as u8;
+        } else {
+            out.len = 0;
+            out.spill.extend_from_slice(&self.entries);
+        }
     }
 
     /// Restores the contents captured by [`snapshot`] (squash recovery).

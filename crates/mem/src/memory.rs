@@ -2,6 +2,40 @@
 
 use crate::addr::{page_number, page_offset, PAGE_SIZE};
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// Deterministic multiply-shift hasher for page-number keys.
+///
+/// Page numbers are small dense integers owned by the simulator, so the
+/// default SipHash's DoS resistance buys nothing here — and it dominated
+/// the cost of every memory access. An odd multiplier is bijective on
+/// `u64`, so distinct pages never collide pre-masking, and the
+/// golden-ratio constant spreads consecutive page numbers across the
+/// table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageNumberHasher(u64);
+
+impl Hasher for PageNumberHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("page-number keys hash via write_u64");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+impl BuildHasher for PageNumberHasher {
+    type Hasher = PageNumberHasher;
+
+    fn build_hasher(&self) -> PageNumberHasher {
+        PageNumberHasher::default()
+    }
+}
 
 /// Byte-addressable sparse main memory, allocated page-by-page on first
 /// touch. Unwritten bytes read as zero.
@@ -21,7 +55,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MainMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>, PageNumberHasher>,
 }
 
 impl MainMemory {
@@ -38,6 +72,20 @@ impl MainMemory {
     /// Panics if `size` is not 1, 2, 4 or 8.
     pub fn read(&self, paddr: u64, size: u64) -> u64 {
         assert!(matches!(size, 1 | 2 | 4 | 8), "invalid access size {size}");
+        let off = page_offset(paddr);
+        // Fast path: the access stays inside one page — one map lookup
+        // and a little-endian slice read.
+        if off + size <= PAGE_SIZE {
+            return match self.pages.get(&page_number(paddr)) {
+                Some(page) => {
+                    let mut buf = [0u8; 8];
+                    buf[..size as usize]
+                        .copy_from_slice(&page[off as usize..(off + size) as usize]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            };
+        }
         let mut value: u64 = 0;
         for i in 0..size {
             value |= u64::from(self.read_byte(paddr + i)) << (8 * i);
@@ -53,9 +101,23 @@ impl MainMemory {
     /// Panics if `size` is not 1, 2, 4 or 8.
     pub fn write(&mut self, paddr: u64, value: u64, size: u64) {
         assert!(matches!(size, 1 | 2 | 4 | 8), "invalid access size {size}");
+        let off = page_offset(paddr);
+        // Fast path: single-page access, one map lookup.
+        if off + size <= PAGE_SIZE {
+            let page = self.page_mut(page_number(paddr));
+            page[off as usize..(off + size) as usize]
+                .copy_from_slice(&value.to_le_bytes()[..size as usize]);
+            return;
+        }
         for i in 0..size {
             self.write_byte(paddr + i, (value >> (8 * i)) as u8);
         }
+    }
+
+    fn page_mut(&mut self, pn: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(pn)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
     }
 
     /// Reads one byte.
@@ -68,18 +130,21 @@ impl MainMemory {
 
     /// Writes one byte.
     pub fn write_byte(&mut self, paddr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(page_number(paddr))
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
-        page[page_offset(paddr) as usize] = value;
+        self.page_mut(page_number(paddr))[page_offset(paddr) as usize] = value;
     }
 
     /// Copies a byte slice into memory starting at `paddr` (program
-    /// loading).
+    /// loading). Copies page-sized chunks: one map lookup per touched
+    /// page, not per byte.
     pub fn write_bytes(&mut self, paddr: u64, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_byte(paddr + i as u64, *b);
+        let mut addr = paddr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = page_offset(addr) as usize;
+            let n = rest.len().min(PAGE_SIZE as usize - off);
+            self.page_mut(page_number(addr))[off..off + n].copy_from_slice(&rest[..n]);
+            addr += n as u64;
+            rest = &rest[n..];
         }
     }
 

@@ -55,6 +55,12 @@ impl PageTable {
 
     /// The physical page number for `vpn`.
     pub fn translate_page(&self, vpn: u64) -> u64 {
+        // Most configurations never install an explicit mapping; skip the
+        // hash entirely for the identity-mapped case (this sits on the
+        // per-fetch path).
+        if self.map.is_empty() {
+            return vpn;
+        }
         self.map.get(&vpn).copied().unwrap_or(vpn)
     }
 

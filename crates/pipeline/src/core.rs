@@ -21,6 +21,7 @@
 //! * Branches train the predictor at commit (clean history); mispredicts
 //!   are detected and squashed at execute.
 
+use crate::events::{Completion, EventWheel};
 use crate::iq::{IqEntry, IssueQueue};
 use crate::lsq::Lsq;
 use crate::policy::{
@@ -168,16 +169,8 @@ struct FetchedInst {
     pc: u64,
     inst: Inst,
     predicted_next: u64,
-    ras_snapshot: Option<condspec_frontend::ras::RasSnapshot>,
+    ras_snapshot: Option<Box<condspec_frontend::ras::RasSnapshot>>,
     ready_cycle: u64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Completion {
-    at: u64,
-    seq: u64,
-    value: u64,
-    is_load: bool,
 }
 
 /// Why an IQ entry bounced back to the not-issued state.
@@ -246,7 +239,10 @@ pub struct Core {
     fetch_wedged: bool,
     fetch_queue: VecDeque<FetchedInst>,
 
-    events: Vec<Completion>,
+    /// Timed completion events, bucketed by due cycle. Never bulk-swept:
+    /// squashes and program reloads leave stale events behind, and
+    /// delivery drops them by dispatch-stamp mismatch (lazy invalidation).
+    events: EventWheel,
     /// Stores whose address has resolved but whose data register is not
     /// yet ready: `(seq, data physical register)`.
     pending_store_data: Vec<(u64, crate::regfile::PhysReg)>,
@@ -254,9 +250,18 @@ pub struct Core {
     fq_unresolved_branches: usize,
     /// Unresolved branch-class instructions in the ROB.
     rob_unresolved_branches: usize,
-    pending_fences: usize,
+    /// Sequence numbers of dispatched, not-yet-executed fences, oldest
+    /// first. The front is the fence serialization barrier; fences
+    /// provably execute in program order (a younger fence cannot issue
+    /// past the barrier), so execute pops the front and squash trims the
+    /// back.
+    fence_seqs: VecDeque<u64>,
     cycle: u64,
     next_seq: u64,
+    /// Monotone dispatch counter backing [`RobEntry::stamp`]. Never reset
+    /// (not even by [`Core::load_program`]), so a stamp uniquely names one
+    /// dispatched instruction for the lifetime of the core.
+    next_stamp: u64,
     halted: bool,
     last_commit_cycle: u64,
     stats: PipelineStats,
@@ -276,6 +281,16 @@ pub struct Core {
     squash_scratch: Vec<RobEntry>,
     /// `squash_from`'s removed-LSQ-sequence buffer.
     lsq_squash_scratch: Vec<u64>,
+    /// `deliver_completions`' woken-subscriber drain (IQ slots).
+    woken_scratch: Vec<u16>,
+    /// Recycled RAS-snapshot boxes. Snapshots are boxed to keep
+    /// [`RobEntry`] small, but boxing must not make fetch allocate per
+    /// control instruction: dead snapshots (commit, squash, program
+    /// reset) return here and fetch reuses them, so the steady-state hot
+    /// loop stays heap-free. The pool stores the boxes themselves (not
+    /// unboxed values) — recycling must preserve the allocation.
+    #[allow(clippy::vec_box)]
+    ras_box_pool: Vec<Box<condspec_frontend::ras::RasSnapshot>>,
 }
 
 impl std::fmt::Debug for Core {
@@ -351,20 +366,28 @@ impl Core {
             fetch_queue: VecDeque::with_capacity(config.fetch_queue),
             // Completions and pending store data are bounded by the number
             // of in-flight instructions; pre-sizing them (and the scratch
-            // buffers below) keeps `step` heap-free in steady state.
-            events: Vec::with_capacity(config.rob_entries),
+            // buffers below) keeps `step` heap-free in steady state. A
+            // wheel bucket holds only events due at one cycle, scheduled
+            // by at most `issue_width` executes per source cycle across
+            // the machine's few distinct completion latencies.
+            events: EventWheel::with_bucket_capacity(config.issue_width * 16),
             pending_store_data: Vec::with_capacity(config.stq_entries),
             issue_scratch: Vec::with_capacity(config.iq_entries),
             due_scratch: Vec::with_capacity(config.rob_entries),
             store_done_scratch: Vec::with_capacity(config.stq_entries),
             squash_scratch: Vec::with_capacity(config.rob_entries),
             lsq_squash_scratch: Vec::with_capacity(config.ldq_entries + config.stq_entries),
+            // At most two operand subscriptions per IQ entry exist at any
+            // moment, so this bound keeps the wakeup drain heap-free.
+            woken_scratch: Vec::with_capacity(config.iq_entries * 2),
+            ras_box_pool: Vec::new(),
             config,
             fq_unresolved_branches: 0,
             rob_unresolved_branches: 0,
-            pending_fences: 0,
+            fence_seqs: VecDeque::with_capacity(config.rob_entries),
             cycle: 0,
             next_seq: 0,
+            next_stamp: 0,
             halted: false,
             last_commit_cycle: 0,
             stats: PipelineStats::default(),
@@ -398,17 +421,31 @@ impl Core {
     /// pointer bump instead of a deep copy of the code and data segments.
     pub fn load_program_shared(&mut self, program: Rc<Program>) {
         self.regfile.reset();
+        // Drain (rather than clear) the ROB and fetch queue so in-flight
+        // RAS-snapshot boxes return to the pool instead of being freed.
+        while let Some(mut entry) = self.rob.pop_head() {
+            if let Some(snap) = entry.ras_snapshot.take() {
+                self.ras_box_pool.push(snap);
+            }
+        }
         self.rob.reset();
         self.iq.reset();
         self.lsq.reset();
         self.block_reasons.iter_mut().for_each(|r| *r = None);
         self.blocked_until.iter_mut().for_each(|c| *c = 0);
-        self.fetch_queue.clear();
-        self.events.clear();
+        for fetched in self.fetch_queue.drain(..) {
+            if let Some(snap) = fetched.ras_snapshot {
+                self.ras_box_pool.push(snap);
+            }
+        }
+        // `events` is deliberately NOT cleared: in-flight completions of
+        // the previous program stay scheduled and are dropped at delivery
+        // by their dispatch-stamp mismatch (`next_stamp` never resets).
+        // This keeps reload O(live state) instead of O(wheel).
         self.pending_store_data.clear();
         self.fq_unresolved_branches = 0;
         self.rob_unresolved_branches = 0;
-        self.pending_fences = 0;
+        self.fence_seqs.clear();
         self.halted = false;
         self.fetch_wedged = false;
         self.fetch_stall_until = self.cycle;
@@ -453,11 +490,26 @@ impl Core {
     }
 
     /// Runs until halt, the cycle budget, or a deadlock watchdog fires.
+    ///
+    /// Cycles on which the machine provably does nothing — every stage is
+    /// waiting on a future time gate — are fast-forwarded in one jump
+    /// instead of stepped one by one. The jump is exact: statistics
+    /// (cycle and occupancy accounting included) and all architectural
+    /// and microarchitectural state are identical to stepping through
+    /// the idle window, so drivers that call [`Core::step`] directly see
+    /// the same machine at every cycle.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
         let start_cycle = self.cycle;
         let start_committed = self.stats.committed;
+        let limit = start_cycle.saturating_add(max_cycles);
         let mut exit = ExitReason::CycleLimit;
-        while self.cycle - start_cycle < max_cycles {
+        // One signature computation per step: the post-step fingerprint
+        // doubles as the next iteration's pre-step one, and
+        // `fast_forward_idle` cannot invalidate it (a skip touches only
+        // the clock and the per-cycle statistics, none of which are
+        // fingerprinted).
+        let mut before = self.activity_signature();
+        while self.cycle < limit {
             if self.halted {
                 exit = ExitReason::Halted;
                 break;
@@ -467,6 +519,12 @@ impl Core {
                 break;
             }
             self.step();
+            let after = self.activity_signature();
+            if after == before {
+                self.fast_forward_idle(limit);
+            } else {
+                before = after;
+            }
         }
         if self.halted {
             exit = ExitReason::Halted;
@@ -476,6 +534,101 @@ impl Core {
             cycles: self.cycle - start_cycle,
             committed: self.stats.committed - start_committed,
         }
+    }
+
+    /// A fingerprint that changes whenever a cycle does *any* work.
+    ///
+    /// Every state mutation a [`Core::step`] can make is witnessed by one
+    /// of these fields: commits and issues (including filter bounces and
+    /// squashes, which only start at an issue or an event delivery) bump
+    /// monotone counters; dispatch grows the ROB (a simultaneous commit
+    /// bumps `committed`); fetch grows the fetch queue, moves `fetch_pc`,
+    /// wedges, stalls, or counts an I-cache-filter stall; completions and
+    /// store-data captures shrink the event wheel / pending-store list.
+    /// Policy, predictor, LSQ and cache state mutate only inside those
+    /// same actions. If the fingerprint is unchanged across a step, the
+    /// cycle was architecturally and statistically a no-op.
+    #[allow(clippy::type_complexity)]
+    fn activity_signature(
+        &self,
+    ) -> (
+        u64,
+        u64,
+        u64,
+        usize,
+        usize,
+        usize,
+        usize,
+        u64,
+        u64,
+        bool,
+        bool,
+    ) {
+        (
+            self.stats.committed,
+            self.stats.issued,
+            self.stats.icache_fetch_stalls,
+            self.rob.len(),
+            self.fetch_queue.len(),
+            self.events.len(),
+            self.pending_store_data.len(),
+            self.fetch_pc,
+            self.fetch_stall_until,
+            self.fetch_wedged,
+            self.halted,
+        )
+    }
+
+    /// After a no-op cycle, jumps the clock to the next cycle at which
+    /// anything *can* happen, clamped to `limit` (the run budget).
+    ///
+    /// The machine's only time-gated wake-ups are: a completion event
+    /// coming due, a blocked IQ entry's replay timer expiring, the fetch
+    /// stall ending, the fetch-queue front finishing decode, and the
+    /// deadlock watchdog firing. Waking early is harmless (the next step
+    /// is another no-op and skipping resumes); the gates above make
+    /// waking late impossible. Skipped cycles accrue the exact per-cycle
+    /// statistics an idle [`Core::step`] would have: the machine is
+    /// unchanged, so occupancy integrals grow linearly.
+    fn fast_forward_idle(&mut self, limit: u64) {
+        // Serial dependence chains produce single idle cycles between an
+        // issue and its completion: the completion is due on the very next
+        // step and nothing can be skipped. Bail out on a one-bucket probe
+        // before paying for the full gate scan below. (The probe is exact
+        // here because the step that just ran drained the wheel at
+        // `cycle - 1`, migrating any overflow event that came within a
+        // lap.)
+        if self.events.due_now(self.cycle) {
+            return;
+        }
+        // Gates are compared with `>=`: the no-op step that got us here ran
+        // at `cycle - 1`, so anything due at exactly `cycle` belongs to the
+        // step that has NOT run yet and must clamp the skip to zero.
+        let mut target = limit.min(self.last_commit_cycle + STUCK_THRESHOLD + 1);
+        if !self.fetch_wedged && self.fetch_stall_until >= self.cycle {
+            target = target.min(self.fetch_stall_until);
+        }
+        if let Some(front) = self.fetch_queue.front() {
+            if front.ready_cycle >= self.cycle {
+                target = target.min(front.ready_cycle);
+            }
+        }
+        for (slot, entry) in self.iq.iter() {
+            if entry.blocked && self.blocked_until[slot] >= self.cycle {
+                target = target.min(self.blocked_until[slot]);
+            }
+        }
+        if let Some(at) = self.events.next_due(self.cycle, target) {
+            target = target.min(at);
+        }
+        let skipped = target.saturating_sub(self.cycle);
+        if skipped == 0 {
+            return;
+        }
+        self.cycle = target;
+        self.stats.cycles += skipped;
+        self.stats.rob_occupancy_sum += skipped * self.rob.len() as u64;
+        self.stats.iq_occupancy_sum += skipped * self.iq.occupancy() as u64;
     }
 
     /// Advances the machine by one cycle.
@@ -502,7 +655,10 @@ impl Core {
             if head.state != RobState::Completed {
                 break;
             }
-            let entry = self.rob.pop_head().expect("head exists");
+            let mut entry = self.rob.pop_head().expect("head exists");
+            if let Some(snap) = entry.ras_snapshot.take() {
+                self.ras_box_pool.push(snap);
+            }
             self.trace(TraceEvent::Commit {
                 cycle: self.cycle,
                 seq: entry.seq,
@@ -573,27 +729,23 @@ impl Core {
 
     fn deliver_completions(&mut self) {
         let now = self.cycle;
-        // Drain due events into the owned scratch buffer (taken so the
-        // delivery loop below can borrow `self` mutably).
+        // Drain this cycle's bucket into the owned scratch buffer (taken
+        // so the delivery loop below can borrow `self` mutably).
         let mut due = std::mem::take(&mut self.due_scratch);
-        due.clear();
-        self.events.retain(|e| {
-            if e.at <= now {
-                due.push(*e);
-                false
-            } else {
-                true
-            }
-        });
+        self.events.drain_due(now, &mut due);
+        let mut woken = std::mem::take(&mut self.woken_scratch);
         for event in due.iter().copied() {
             let Some(entry) = self.rob.get_mut(event.seq) else {
                 continue; // squashed while in flight
             };
+            if entry.stamp != event.stamp {
+                continue; // squashed and the seq was recycled
+            }
             if entry.state != RobState::Issued {
                 continue;
             }
             if let Some((_, preg, _)) = entry.dest {
-                self.regfile.write(preg, event.value);
+                self.regfile.write_and_wake(preg, event.value, &mut woken);
             }
             entry.state = RobState::Completed;
             let slot = entry.iq_slot.take();
@@ -610,6 +762,24 @@ impl Core {
                 self.block_reasons[slot] = None;
             }
         }
+        // Wakeup: re-check each subscribed slot against its actual
+        // operands. A stale subscription (the slot was squashed, possibly
+        // reused by a different instruction) is re-checked harmlessly —
+        // the ready bit is defined purely by the current entry's sources.
+        for slot in woken.drain(..) {
+            let slot = slot as usize;
+            if let Some(entry) = self.iq.get(slot) {
+                if entry
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .all(|p| self.regfile.is_ready(*p))
+                {
+                    self.iq.set_ops_ready(slot);
+                }
+            }
+        }
+        self.woken_scratch = woken;
         self.due_scratch = due;
     }
 
@@ -651,36 +821,20 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn issue_stage(&mut self) {
-        // Fence serialization barrier: the oldest incomplete fence.
-        let fence_barrier = if self.pending_fences > 0 {
-            self.rob
-                .iter()
-                .find(|e| e.inst.is_fence() && e.state != RobState::Completed)
-                .map(|e| e.seq)
-        } else {
-            None
-        };
+        // Fence serialization barrier: the oldest incomplete fence,
+        // maintained incrementally as the front of `fence_seqs`.
+        let fence_barrier = self.fence_seqs.front().copied();
 
         // Gather candidates with ready operands, oldest first, into the
         // owned scratch buffer (pre-sized to the IQ capacity, so this
-        // never allocates). Operand readiness cannot change inside this
-        // stage — execution results are delivered through next-cycle
-        // completion events — so filtering here up front is equivalent to
-        // the old skip-inside-the-loop and prunes the (typically
-        // dominant) not-yet-ready majority before the sort.
+        // never allocates). The candidate set comes straight from the
+        // scoreboard masks (`unissued & ops_ready`); ready bits are set
+        // by the writeback wakeups, so readiness cannot change inside
+        // this stage — execution results are delivered through
+        // next-cycle completion events.
         let mut candidates = std::mem::take(&mut self.issue_scratch);
         candidates.clear();
-        {
-            let regfile = &self.regfile;
-            candidates.extend(
-                self.iq
-                    .iter()
-                    .filter(|(_, e)| {
-                        !e.issued && e.srcs.iter().flatten().all(|p| regfile.is_ready(*p))
-                    })
-                    .map(|(slot, e)| (e.seq, slot)),
-            );
-        }
+        self.iq.collect_ready(&mut candidates);
         candidates.sort_unstable();
 
         let mut issued = 0;
@@ -736,11 +890,7 @@ impl Core {
 
             // Issue.
             let suspect = self.policy.suspect_on_issue(slot);
-            {
-                let e = self.iq.get_mut(slot).expect("candidate exists");
-                e.issued = true;
-                e.blocked = false;
-            }
+            self.iq.mark_issued(slot);
             self.block_reasons[slot] = None;
             {
                 let rob_entry = self.rob.get_mut(seq).expect("in flight");
@@ -798,6 +948,7 @@ impl Core {
         let pc = entry.pc;
         let predicted_next = entry.predicted_next;
         let src_pregs = entry.src_pregs;
+        let stamp = entry.stamp;
         let val =
             |idx: usize, rf: &RegFile| -> u64 { src_pregs[idx].map(|p| rf.read(p)).unwrap_or(0) };
 
@@ -805,24 +956,28 @@ impl Core {
             Inst::Alu { op, .. } => {
                 let result = op.eval(val(0, &self.regfile), val(1, &self.regfile));
                 if op == condspec_isa::AluOp::Mul && self.config.mul_latency > 1 {
-                    self.events.push(Completion {
-                        at: self.cycle + self.config.mul_latency,
-                        seq,
-                        value: result,
-                        is_load: false,
-                    });
+                    self.events.schedule(
+                        self.cycle,
+                        Completion {
+                            at: self.cycle + self.config.mul_latency,
+                            seq,
+                            stamp,
+                            value: result,
+                            is_load: false,
+                        },
+                    );
                 } else {
-                    self.complete_with_value(seq, result);
+                    self.complete_with_value(seq, stamp, result);
                 }
                 false
             }
             Inst::AluImm { op, imm, .. } => {
                 let result = op.eval(val(0, &self.regfile), imm as u64);
-                self.complete_with_value(seq, result);
+                self.complete_with_value(seq, stamp, result);
                 false
             }
             Inst::LoadImm { imm, .. } => {
-                self.complete_with_value(seq, imm);
+                self.complete_with_value(seq, stamp, imm);
                 false
             }
             Inst::Branch { cond, target, .. } => {
@@ -837,7 +992,7 @@ impl Core {
             }
             Inst::Call { target, .. } => {
                 let link_value = pc + INST_BYTES;
-                self.complete_with_value(seq, link_value);
+                self.complete_with_value(seq, stamp, link_value);
                 self.resolve_control_after_value(seq, target, predicted_next);
                 false
             }
@@ -852,7 +1007,10 @@ impl Core {
                 false
             }
             Inst::Fence => {
-                self.pending_fences = self.pending_fences.saturating_sub(1);
+                // The issue gate (`seq <= fence_barrier`) means only the
+                // barrier fence itself — the deque front — can get here.
+                let front = self.fence_seqs.pop_front();
+                debug_assert_eq!(front, Some(seq), "fences execute oldest-first");
                 self.mark_completed(seq);
                 false
             }
@@ -913,9 +1071,7 @@ impl Core {
                 let older_unknown = self.lsq.older_store_unknown(seq);
                 if older_unknown && !self.config.spec_store_bypass {
                     // Conservative memory disambiguation: wait in the IQ.
-                    let e = self.iq.get_mut(slot).expect("load keeps slot");
-                    e.issued = false;
-                    e.blocked = true;
+                    self.iq.bounce(slot);
                     self.block_reasons[slot] = Some(BlockReason::StoreAddr);
                     self.blocked_until[slot] = self.cycle + self.config.block_replay_penalty;
                     return true;
@@ -923,9 +1079,7 @@ impl Core {
                 if self.lsq.older_store_data_unknown(seq, vaddr, size.bytes()) {
                     // An older store to these bytes has a known address
                     // but pending data: wait for it (forwarding stall).
-                    let e = self.iq.get_mut(slot).expect("load keeps slot");
-                    e.issued = false;
-                    e.blocked = true;
+                    self.iq.bounce(slot);
                     self.block_reasons[slot] = Some(BlockReason::StoreData {
                         vaddr,
                         size: size.bytes(),
@@ -962,9 +1116,7 @@ impl Core {
                         });
                         let rob_entry = self.rob.get_mut(seq).expect("in flight");
                         rob_entry.was_blocked = true;
-                        let e = self.iq.get_mut(slot).expect("load keeps slot");
-                        e.issued = false;
-                        e.blocked = true;
+                        self.iq.bounce(slot);
                         self.block_reasons[slot] = Some(BlockReason::Security);
                         self.blocked_until[slot] = self.cycle + self.config.block_replay_penalty;
                         true
@@ -983,12 +1135,16 @@ impl Core {
                         let value = self.lsq.overlay(seq, vaddr, size.bytes(), memory_value);
                         self.lsq.resolve_load(seq, vaddr, older_unknown);
                         self.stats.load_accesses += 1;
-                        self.events.push(Completion {
-                            at: self.cycle + tlb_latency + outcome.latency,
-                            seq,
-                            value,
-                            is_load: true,
-                        });
+                        self.events.schedule(
+                            self.cycle,
+                            Completion {
+                                at: self.cycle + tlb_latency + outcome.latency,
+                                seq,
+                                stamp,
+                                value,
+                                is_load: true,
+                            },
+                        );
                         false
                     }
                 }
@@ -999,13 +1155,17 @@ impl Core {
     /// Schedules a 1-cycle-latency result: the value becomes visible to
     /// consumers (and the instruction completes) at the next cycle, giving
     /// correct back-to-back timing for dependent single-cycle operations.
-    fn complete_with_value(&mut self, seq: u64, value: u64) {
-        self.events.push(Completion {
-            at: self.cycle + 1,
-            seq,
-            value,
-            is_load: false,
-        });
+    fn complete_with_value(&mut self, seq: u64, stamp: u64, value: u64) {
+        self.events.schedule(
+            self.cycle,
+            Completion {
+                at: self.cycle + 1,
+                seq,
+                stamp,
+                value,
+                is_load: false,
+            },
+        );
     }
 
     fn mark_completed(&mut self, seq: u64) {
@@ -1065,16 +1225,29 @@ impl Core {
                 self.regfile.unrename(arch, new, old);
             }
             if let Some(slot) = entry.iq_slot {
+                // Drop the entry's wakeup subscriptions so consumer lists
+                // stay tight. (Any subscription already wiped by a
+                // younger squashed entry's register release is a no-op.)
+                if let Some(iq_entry) = self.iq.get(slot) {
+                    let srcs = iq_entry.srcs;
+                    for p in srcs.iter().flatten() {
+                        if !self.regfile.is_ready(*p) {
+                            self.regfile.unsubscribe(*p, slot);
+                        }
+                    }
+                }
                 self.iq.free_slot(slot);
                 self.policy.on_slot_freed(slot);
                 self.block_reasons[slot] = None;
             }
-            if entry.inst.is_fence() && entry.state != RobState::Completed {
-                self.pending_fences = self.pending_fences.saturating_sub(1);
-            }
             if entry.inst.is_branch() && entry.state != RobState::Completed {
                 self.rob_unresolved_branches = self.rob_unresolved_branches.saturating_sub(1);
             }
+        }
+        // Squashed fences are exactly the trailing deque entries younger
+        // than the squash point (completed fences left at execute).
+        while matches!(self.fence_seqs.back(), Some(&s) if s > keep_seq) {
+            self.fence_seqs.pop_back();
         }
         let mut lsq_squashed = std::mem::take(&mut self.lsq_squash_scratch);
         self.lsq.squash_after_into(keep_seq, &mut lsq_squashed);
@@ -1083,10 +1256,10 @@ impl Core {
         }
         self.lsq_squash_scratch = lsq_squashed;
         // Squashed sequence numbers are recycled (the next dispatch reuses
-        // them), keeping ROB sequence numbers contiguous; drop any
-        // completion events still in flight for squashed instructions so
-        // they cannot be delivered to their reincarnations.
-        self.events.retain(|e| e.seq <= keep_seq);
+        // them), keeping ROB sequence numbers contiguous. Completion
+        // events still in flight for squashed instructions are NOT swept
+        // here: they stay in the wheel and are dropped at delivery
+        // because their dispatch stamp cannot match a reincarnation's.
         self.pending_store_data.retain(|(s, _)| *s <= keep_seq);
         self.next_seq = keep_seq + 1;
         // Restore the RAS to the state at the oldest squashed control
@@ -1094,18 +1267,29 @@ impl Core {
         let rob_snapshot = squashed
             .iter()
             .rev() // oldest first
-            .find_map(|e| e.ras_snapshot.as_ref());
+            .find_map(|e| e.ras_snapshot.as_deref());
         let queue_snapshot = self
             .fetch_queue
             .iter()
-            .find_map(|f| f.ras_snapshot.as_ref());
+            .find_map(|f| f.ras_snapshot.as_deref());
         if let Some(snap) = rob_snapshot.or(queue_snapshot) {
             // `snap` borrows `squashed` (a local) or `fetch_queue`, both
             // disjoint from `frontend`, so no defensive clone is needed.
             self.frontend.restore_ras(snap);
         }
+        // The squashed entries' and flushed fetch queue's snapshots are
+        // dead now that the RAS is restored; recycle their boxes.
+        for entry in squashed.iter_mut() {
+            if let Some(snap) = entry.ras_snapshot.take() {
+                self.ras_box_pool.push(snap);
+            }
+        }
         self.squash_scratch = squashed;
-        self.fetch_queue.clear();
+        for fetched in self.fetch_queue.drain(..) {
+            if let Some(snap) = fetched.ras_snapshot {
+                self.ras_box_pool.push(snap);
+            }
+        }
         self.fq_unresolved_branches = 0;
         self.fetch_pc = redirect_pc;
         self.fetch_wedged = false;
@@ -1146,6 +1330,8 @@ impl Core {
             self.next_seq += 1;
 
             let mut entry = RobEntry::new(seq, fetched.pc, inst, fetched.predicted_next);
+            entry.stamp = self.next_stamp;
+            self.next_stamp += 1;
             entry.ras_snapshot = fetched.ras_snapshot;
 
             // Capture operand mappings before renaming the destination
@@ -1182,6 +1368,20 @@ impl Core {
             };
             let slot = self.iq.allocate(iq_entry).expect("IQ space checked above");
             entry.iq_slot = Some(slot);
+            // Event-driven wakeup: subscribe to each not-yet-ready source
+            // so the producing writeback sets this entry's ready bit; an
+            // all-ready entry is an issue candidate immediately.
+            let mut all_ready = true;
+            for p in iq_srcs.iter().flatten() {
+                if self.regfile.is_ready(*p) {
+                    continue;
+                }
+                all_ready = false;
+                self.regfile.subscribe(*p, slot);
+            }
+            if all_ready {
+                self.iq.set_ops_ready(slot);
+            }
             // Snapshot the occupied entries *excluding* the slot we just
             // filled — the same set the pre-allocate snapshot used to
             // carry — and only when the policy actually consumes it.
@@ -1205,7 +1405,7 @@ impl Core {
                     .expect("STQ space checked");
                 self.policy.on_lsq_allocate(seq, false);
             } else if inst.is_fence() {
-                self.pending_fences += 1;
+                self.fence_seqs.push_back(seq);
             }
             self.trace(TraceEvent::Dispatch {
                 cycle: self.cycle,
@@ -1219,6 +1419,13 @@ impl Core {
     // ------------------------------------------------------------------
     // Fetch
     // ------------------------------------------------------------------
+
+    /// Captures the current RAS state into a (recycled) box.
+    fn capture_ras_snapshot(&mut self) -> Box<condspec_frontend::ras::RasSnapshot> {
+        let mut snap = self.ras_box_pool.pop().unwrap_or_default();
+        self.frontend.ras().snapshot_into(&mut snap);
+        snap
+    }
 
     fn fetch_stage(&mut self) {
         if self.fetch_wedged || self.cycle < self.fetch_stall_until {
@@ -1258,7 +1465,7 @@ impl Core {
             let mut ras_snapshot = None;
             let next = match inst {
                 Inst::Branch { .. } => {
-                    ras_snapshot = Some(self.frontend.ras().snapshot());
+                    ras_snapshot = Some(self.capture_ras_snapshot());
                     let p = self.frontend.predict_conditional(pc);
                     if p.taken {
                         p.target.unwrap_or(pc + INST_BYTES)
@@ -1268,16 +1475,16 @@ impl Core {
                 }
                 Inst::Jump { target } => target,
                 Inst::Call { target, .. } => {
-                    ras_snapshot = Some(self.frontend.ras().snapshot());
+                    ras_snapshot = Some(self.capture_ras_snapshot());
                     self.frontend.on_call(pc + INST_BYTES);
                     target
                 }
                 Inst::Ret { .. } => {
-                    ras_snapshot = Some(self.frontend.ras().snapshot());
+                    ras_snapshot = Some(self.capture_ras_snapshot());
                     self.frontend.predict_return().unwrap_or(pc + INST_BYTES)
                 }
                 Inst::JumpIndirect { .. } => {
-                    ras_snapshot = Some(self.frontend.ras().snapshot());
+                    ras_snapshot = Some(self.capture_ras_snapshot());
                     self.frontend
                         .predict_indirect(pc)
                         .unwrap_or(pc + INST_BYTES)
@@ -1431,8 +1638,12 @@ impl Core {
     ///   dependence (its matrix row was cleared);
     /// * an occupied IQ slot is owned by exactly the in-flight ROB entry
     ///   that records it, and that entry is not yet completed;
-    /// * every pending completion event and store-data capture refers to
-    ///   an instruction still in the ROB.
+    /// * every stamp-matching completion event targets an instruction
+    ///   still waiting for it (stale events awaiting lazy invalidation
+    ///   are permitted), and every store-data capture refers to an
+    ///   instruction still in the ROB;
+    /// * the event-driven scheduler structures agree with the scan-based
+    ///   reference model ([`Core::check_scheduler_coherence`]).
     pub fn check_invariants(&self) -> Result<(), String> {
         for slot in 0..self.iq.capacity() {
             match self.iq.get(slot) {
@@ -1468,12 +1679,19 @@ impl Core {
                 }
             }
         }
-        for event in &self.events {
-            if !self.rob.contains(event.seq) {
-                return Err(format!(
-                    "pending completion event for seq {} which is not in flight",
-                    event.seq
-                ));
+        for event in self.events.iter() {
+            // Events are lazily invalidated: one whose stamp no longer
+            // matches the resident entry (or whose seq left the ROB)
+            // belongs to a squashed instruction or a previous program and
+            // will be dropped at delivery. A stamp-matching event must
+            // target an instruction still waiting for it.
+            if let Some(entry) = self.rob.get(event.seq) {
+                if entry.stamp == event.stamp && entry.state != RobState::Issued {
+                    return Err(format!(
+                        "pending completion event for seq {} in state {:?}",
+                        event.seq, entry.state
+                    ));
+                }
             }
         }
         for (seq, _) in &self.pending_store_data {
@@ -1482,6 +1700,72 @@ impl Core {
                     "pending store-data capture for seq {seq} which is not in flight"
                 ));
             }
+        }
+        self.check_scheduler_coherence()
+    }
+
+    /// Differential check of the event-driven scheduler against the naive
+    /// scan-based model it replaced. Holds between any two
+    /// [`Core::step`] calls:
+    ///
+    /// * the scoreboard candidate set (`unissued & ops_ready`) equals a
+    ///   full-queue scan testing every entry's operands in the register
+    ///   file — i.e. no wakeup was missed and none fired early;
+    /// * the cached fence barrier (front of the fence deque) equals the
+    ///   oldest-incomplete-fence ROB scan;
+    /// * the incrementally maintained dispatch views equal a fresh
+    ///   full-capacity snapshot (as a set — the dense list is
+    ///   insertion-ordered).
+    ///
+    /// Diagnostic (allocates); used by the scheduler property tests, not
+    /// by the simulation loop.
+    pub fn check_scheduler_coherence(&self) -> Result<(), String> {
+        self.iq.check_coherence()?;
+        // Candidate set: scoreboard vs operand scan.
+        let mut fast = Vec::new();
+        self.iq.collect_ready(&mut fast);
+        fast.sort_unstable();
+        let mut reference: Vec<(u64, usize)> = self
+            .iq
+            .iter()
+            .filter(|(_, e)| {
+                !e.issued && e.srcs.iter().flatten().all(|p| self.regfile.is_ready(*p))
+            })
+            .map(|(slot, e)| (e.seq, slot))
+            .collect();
+        reference.sort_unstable();
+        if fast != reference {
+            return Err(format!(
+                "scoreboard candidates {fast:?} != scanned candidates {reference:?}"
+            ));
+        }
+        // Fence barrier: deque front vs ROB scan.
+        let cached = self.fence_seqs.front().copied();
+        let scanned = self
+            .rob
+            .iter()
+            .find(|e| e.inst.is_fence() && e.state != RobState::Completed)
+            .map(|e| e.seq);
+        if cached != scanned {
+            return Err(format!(
+                "cached fence barrier {cached:?} != scanned barrier {scanned:?}"
+            ));
+        }
+        // Dispatch views: dense incremental list vs fresh slot scan.
+        let mut dense: Vec<crate::policy::IqEntryView> = self.iq.views().to_vec();
+        dense.sort_by_key(|v| v.slot);
+        let scan: Vec<crate::policy::IqEntryView> = self
+            .iq
+            .iter()
+            .map(|(slot, e)| crate::policy::IqEntryView {
+                slot,
+                seq: e.seq,
+                class: e.class,
+                issued: e.issued,
+            })
+            .collect();
+        if dense != scan {
+            return Err("incremental dispatch views diverged from a fresh scan".to_string());
         }
         Ok(())
     }

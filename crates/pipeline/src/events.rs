@@ -1,0 +1,309 @@
+//! Calendar (bucket) queue for timed completion events.
+//!
+//! The core used to keep in-flight completions in a flat `Vec` and
+//! `retain`-sweep the whole list every cycle. This module replaces that
+//! with a classic calendar queue: a power-of-two ring of buckets indexed
+//! by `due_cycle & (WHEEL_BUCKETS - 1)`. Scheduling is a push into the
+//! target bucket; the per-cycle drain touches exactly one bucket, which
+//! holds only events due now (all modelled latencies are far below the
+//! wheel span — events further out land in a rarely-used overflow list).
+//!
+//! Squash does not search the wheel. Sequence numbers are recycled after
+//! a squash, so events carry the monotone dispatch [`Completion::stamp`]
+//! of the instruction that scheduled them; delivery drops any event whose
+//! stamp no longer matches the ROB entry (lazy invalidation).
+
+/// Number of buckets in the wheel (one simulated cycle per bucket). Must
+/// be a power of two and larger than the longest completion latency, so
+/// a bucket never mixes the current lap with the next.
+pub const WHEEL_BUCKETS: usize = 1024;
+
+const WHEEL_MASK: u64 = (WHEEL_BUCKETS as u64) - 1;
+
+/// A timed execution result: `seq` completes with `value` at cycle `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Cycle at which the result becomes visible.
+    pub at: u64,
+    /// Sequence number of the completing instruction.
+    pub seq: u64,
+    /// Dispatch stamp of the completing instruction. Sequence numbers are
+    /// recycled after a squash; the stamp is not, so delivery can tell
+    /// the original instruction from a reincarnation of its `seq` and
+    /// lazily drop events for squashed instructions.
+    pub stamp: u64,
+    /// The produced value (written to the destination register, if any).
+    pub value: u64,
+    /// Whether the completion is a load writeback (drives TPBuf hooks).
+    pub is_load: bool,
+}
+
+/// A calendar queue of [`Completion`]s keyed by due cycle.
+///
+/// Events for the same cycle are delivered in scheduling order, matching
+/// the insertion order of the flat list this structure replaces.
+///
+/// # Examples
+///
+/// ```
+/// use condspec_pipeline::events::{Completion, EventWheel};
+///
+/// let mut wheel = EventWheel::new();
+/// let event = Completion { at: 5, seq: 0, stamp: 0, value: 42, is_load: false };
+/// wheel.schedule(3, event);
+/// let mut due = Vec::new();
+/// wheel.drain_due(4, &mut due);
+/// assert!(due.is_empty());
+/// wheel.drain_due(5, &mut due);
+/// assert_eq!(due, vec![event]);
+/// assert!(wheel.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventWheel {
+    buckets: Vec<Vec<Completion>>,
+    /// Events scheduled further out than the wheel span (unreachable with
+    /// the shipped latency configurations, but kept for correctness).
+    overflow: Vec<Completion>,
+    len: usize,
+}
+
+impl Default for EventWheel {
+    fn default() -> Self {
+        EventWheel::new()
+    }
+}
+
+impl EventWheel {
+    /// Creates an empty wheel.
+    pub fn new() -> Self {
+        EventWheel::with_bucket_capacity(0)
+    }
+
+    /// Creates an empty wheel whose buckets each start with room for
+    /// `capacity` events.
+    ///
+    /// A bucket only ever holds events due at a single future cycle (it is
+    /// drained every cycle, and all latencies fit inside one wheel lap),
+    /// and events aimed at one cycle are scheduled by at most
+    /// `issue_width` executes per source cycle across the machine's few
+    /// distinct completion latencies — so a small per-bucket capacity
+    /// eliminates steady-state reallocation. Which bucket index first
+    /// receives an event drifts with the absolute cycle count, so growing
+    /// buckets lazily would allocate long after any warm-up.
+    pub fn with_bucket_capacity(capacity: usize) -> Self {
+        EventWheel {
+            buckets: (0..WHEEL_BUCKETS)
+                .map(|_| Vec::with_capacity(capacity))
+                .collect(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules an event. `now` is the current cycle; `event.at` must be
+    /// strictly in the future (the core's minimum completion latency is
+    /// one cycle).
+    pub fn schedule(&mut self, now: u64, event: Completion) {
+        debug_assert!(event.at > now, "completion scheduled in the past");
+        if event.at - now < WHEEL_BUCKETS as u64 {
+            self.buckets[(event.at & WHEEL_MASK) as usize].push(event);
+        } else {
+            self.overflow.push(event);
+        }
+        self.len += 1;
+    }
+
+    /// Clears `out` and fills it with every event due at `now`, in
+    /// scheduling order. Must be called every cycle (buckets are only
+    /// inspected when their index comes around).
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<Completion>) {
+        out.clear();
+        if self.len == 0 {
+            return;
+        }
+        // Far-future events migrate into their bucket once they are
+        // within a wheel span. Because this runs every cycle, migration
+        // happens long before the due cycle; scheduling order within the
+        // target bucket is preserved.
+        if !self.overflow.is_empty() {
+            let buckets = &mut self.buckets;
+            self.overflow.retain(|e| {
+                if e.at.saturating_sub(now) < WHEEL_BUCKETS as u64 {
+                    buckets[(e.at & WHEEL_MASK) as usize].push(*e);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let bucket = &mut self.buckets[(now & WHEEL_MASK) as usize];
+        if bucket.iter().all(|e| e.at <= now) {
+            // Common case: the bucket holds only this lap's events.
+            out.append(bucket);
+        } else {
+            bucket.retain(|e| {
+                if e.at <= now {
+                    out.push(*e);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.len -= out.len();
+    }
+
+    /// Iterates over every scheduled event, in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = &Completion> {
+        self.buckets.iter().flatten().chain(self.overflow.iter())
+    }
+
+    /// Whether an event is due at exactly `now` — a single bucket probe.
+    ///
+    /// Exact only when the wheel was drained at every cycle up to and
+    /// including `now - 1` (the core guarantees this: the probe runs
+    /// right after a step, and skips never jump past a due event): the
+    /// due bucket then holds nothing but this cycle's events, and any
+    /// overflow event within a lap of `now` has already migrated in.
+    pub fn due_now(&self, now: u64) -> bool {
+        let bucket = &self.buckets[(now & WHEEL_MASK) as usize];
+        debug_assert!(bucket.iter().all(|e| e.at == now), "bucket mixes laps");
+        !bucket.is_empty()
+    }
+
+    /// The earliest cycle in `now..=horizon` at which an event is due, or
+    /// `None` if there is none in that window.
+    ///
+    /// Used by the idle fast-forward: buckets hold events for at most one
+    /// lap ahead, so the first non-empty bucket walking forward from
+    /// `now` names the next due cycle exactly; events beyond a lap live
+    /// in the overflow list and are scanned directly.
+    pub fn next_due(&self, now: u64, horizon: u64) -> Option<u64> {
+        if self.len == 0 || horizon < now {
+            return None;
+        }
+        let span = (horizon - now).min(WHEEL_BUCKETS as u64 - 1);
+        let mut next = None;
+        for d in 0..=span {
+            let at = now + d;
+            let bucket = &self.buckets[(at & WHEEL_MASK) as usize];
+            if !bucket.is_empty() {
+                debug_assert!(bucket.iter().all(|e| e.at == at), "bucket mixes laps");
+                next = Some(at);
+                break;
+            }
+        }
+        let overflow_next = self
+            .overflow
+            .iter()
+            .map(|e| e.at)
+            .min()
+            .filter(|&at| at <= horizon);
+        match (next, overflow_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(at: u64, seq: u64) -> Completion {
+        Completion {
+            at,
+            seq,
+            stamp: seq,
+            value: 0,
+            is_load: false,
+        }
+    }
+
+    #[test]
+    fn delivers_in_scheduling_order() {
+        let mut wheel = EventWheel::new();
+        wheel.schedule(0, event(3, 1));
+        wheel.schedule(0, event(3, 2));
+        wheel.schedule(1, event(3, 3));
+        let mut due = Vec::new();
+        for now in 1..3 {
+            wheel.drain_due(now, &mut due);
+            assert!(due.is_empty(), "nothing due at {now}");
+        }
+        wheel.drain_due(3, &mut due);
+        let seqs: Vec<u64> = due.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn buckets_separate_cycles() {
+        let mut wheel = EventWheel::new();
+        wheel.schedule(0, event(2, 1));
+        wheel.schedule(0, event(5, 2));
+        let mut due = Vec::new();
+        wheel.drain_due(2, &mut due);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].seq, 1);
+        assert_eq!(wheel.len(), 1);
+        wheel.drain_due(5, &mut due);
+        assert_eq!(due[0].seq, 2);
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_path() {
+        let mut wheel = EventWheel::new();
+        let far = WHEEL_BUCKETS as u64 * 3 + 17;
+        wheel.schedule(0, event(far, 1));
+        wheel.schedule(0, event(1, 2));
+        let mut due = Vec::new();
+        // Stepping every cycle (as the core does) must deliver both at
+        // their exact due cycles, nothing early from the shared bucket.
+        let mut delivered = Vec::new();
+        for now in 1..=far {
+            wheel.drain_due(now, &mut due);
+            for e in &due {
+                delivered.push((now, e.seq));
+            }
+        }
+        assert_eq!(delivered, vec![(1, 2), (far, 1)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn same_bucket_different_lap_is_not_delivered_early() {
+        let mut wheel = EventWheel::new();
+        // Lands in bucket 5 of the *next* lap via the overflow list.
+        let later = WHEEL_BUCKETS as u64 + 5;
+        wheel.schedule(0, event(later, 1));
+        let mut due = Vec::new();
+        for now in 1..later {
+            wheel.drain_due(now, &mut due);
+            assert!(due.is_empty(), "event delivered early at {now}");
+        }
+        wheel.drain_due(later, &mut due);
+        assert_eq!(due.len(), 1);
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let mut wheel = EventWheel::new();
+        wheel.schedule(0, event(1, 1));
+        wheel.schedule(0, event(WHEEL_BUCKETS as u64 * 2, 2));
+        let mut seqs: Vec<u64> = wheel.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(wheel.len(), 2);
+    }
+}

@@ -1,8 +1,19 @@
-//! Issue queue with stable slot indices.
+//! Issue queue with stable slot indices and a bitset scheduler scoreboard.
 //!
 //! Slots are stable for the lifetime of an entry because the security
 //! dependence matrix (in the `condspec` crate) is indexed by IQ position,
 //! exactly like the paper's Figure 2.
+//!
+//! Scheduling state is kept in three per-slot bit masks maintained
+//! incrementally — `occupied`, `unissued` and `ops_ready` — so candidate
+//! collection is a word-wise `unissued & ops_ready` instead of re-testing
+//! every entry's operands each cycle. The `ops_ready` bits are driven by
+//! the register file's per-register consumer wakeup lists (see
+//! `regfile.rs`): a writeback wakes exactly its subscribers.
+//!
+//! A dense, insertion-ordered snapshot of the occupied entries backs the
+//! per-dispatch [`IqEntryView`] slices, so the security-matrix snapshot no
+//! longer rebuilds from a full-capacity scan on every dispatch.
 
 use crate::policy::{InstClass, IqEntryView};
 use crate::regfile::PhysReg;
@@ -27,7 +38,21 @@ pub struct IqEntry {
     pub is_fence: bool,
 }
 
-/// A fixed-capacity issue queue with stable slots and a free list.
+#[inline]
+fn word_bit(slot: usize) -> (usize, u64) {
+    (slot / 64, 1u64 << (slot % 64))
+}
+
+/// Sentinel in `view_pos` for unoccupied slots.
+const NO_VIEW: usize = usize::MAX;
+
+/// A fixed-capacity issue queue with stable slots, a free list and an
+/// incrementally maintained scheduling scoreboard.
+///
+/// Entry state that the scheduler depends on (`issued`, operand
+/// readiness) is mutated only through [`IssueQueue::mark_issued`],
+/// [`IssueQueue::bounce`] and [`IssueQueue::set_ops_ready`], which keep
+/// the bit masks and the dense view list coherent with the entries.
 ///
 /// # Examples
 ///
@@ -41,7 +66,10 @@ pub struct IqEntry {
 ///     issued: false, blocked: false, is_mem: false, is_fence: false,
 /// };
 /// let slot = iq.allocate(entry).unwrap();
-/// assert_eq!(iq.get(slot).unwrap().seq, 0);
+/// iq.set_ops_ready(slot);
+/// let mut ready = Vec::new();
+/// iq.collect_ready(&mut ready);
+/// assert_eq!(ready, vec![(0, slot)]);
 /// iq.free_slot(slot);
 /// assert!(iq.get(slot).is_none());
 /// ```
@@ -49,9 +77,25 @@ pub struct IqEntry {
 pub struct IssueQueue {
     slots: Vec<Option<IqEntry>>,
     free: Vec<usize>,
-    /// Scratch for [`IssueQueue::views`] / [`IssueQueue::views_excluding`]:
-    /// filled in place each call so the per-dispatch snapshot never
-    /// allocates after construction.
+    /// One bit per occupied slot.
+    occupied: Vec<u64>,
+    /// One bit per occupied slot that has not (or not successfully)
+    /// issued — the complement of `issued` over occupied slots.
+    unissued: Vec<u64>,
+    /// One bit per occupied slot whose source operands are all ready.
+    /// Operand readiness is monotone for a resident entry (results are
+    /// delivered through next-cycle completion events, and a squash frees
+    /// the consumer before its sources can be re-renamed), so this bit is
+    /// set once — at allocation or by a wakeup — and cleared only when
+    /// the slot is freed.
+    ops_ready: Vec<u64>,
+    /// Dense snapshot of the occupied entries, insertion-ordered (holes
+    /// closed by swap-remove), kept in sync by the mutation methods.
+    views: Vec<IqEntryView>,
+    /// Position of each occupied slot in `views` (`NO_VIEW` when free).
+    view_pos: Vec<usize>,
+    /// Scratch for the rare [`IssueQueue::views_excluding`] fallback where
+    /// the excluded slot is not the most recently allocated one.
     views_scratch: Vec<IqEntryView>,
 }
 
@@ -63,9 +107,15 @@ impl IssueQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "IQ capacity must be nonzero");
+        let words = capacity.div_ceil(64);
         IssueQueue {
             slots: vec![None; capacity],
             free: (0..capacity).rev().collect(),
+            occupied: vec![0; words],
+            unissued: vec![0; words],
+            ops_ready: vec![0; words],
+            views: Vec::with_capacity(capacity),
+            view_pos: vec![NO_VIEW; capacity],
             views_scratch: Vec::with_capacity(capacity),
         }
     }
@@ -76,6 +126,11 @@ impl IssueQueue {
         self.slots.iter_mut().for_each(|s| *s = None);
         self.free.clear();
         self.free.extend((0..self.slots.len()).rev());
+        self.occupied.iter_mut().for_each(|w| *w = 0);
+        self.unissued.iter_mut().for_each(|w| *w = 0);
+        self.ops_ready.iter_mut().for_each(|w| *w = 0);
+        self.views.clear();
+        self.view_pos.iter_mut().for_each(|p| *p = NO_VIEW);
     }
 
     /// Number of slots.
@@ -85,7 +140,7 @@ impl IssueQueue {
 
     /// Number of occupied slots.
     pub fn occupancy(&self) -> usize {
-        self.slots.len() - self.free.len()
+        self.views.len()
     }
 
     /// Whether no slot is free.
@@ -97,6 +152,19 @@ impl IssueQueue {
     pub fn allocate(&mut self, entry: IqEntry) -> Option<usize> {
         let slot = self.free.pop()?;
         debug_assert!(self.slots[slot].is_none());
+        let (w, b) = word_bit(slot);
+        debug_assert_eq!(self.ops_ready[w] & b, 0, "stale ready bit on a free slot");
+        self.occupied[w] |= b;
+        if !entry.issued {
+            self.unissued[w] |= b;
+        }
+        self.view_pos[slot] = self.views.len();
+        self.views.push(IqEntryView {
+            slot,
+            seq: entry.seq,
+            class: entry.class,
+            issued: entry.issued,
+        });
         self.slots[slot] = Some(entry);
         Some(slot)
     }
@@ -112,6 +180,16 @@ impl IssueQueue {
             "freeing an already-free IQ slot {slot}"
         );
         self.slots[slot] = None;
+        let (w, b) = word_bit(slot);
+        self.occupied[w] &= !b;
+        self.unissued[w] &= !b;
+        self.ops_ready[w] &= !b;
+        let pos = self.view_pos[slot];
+        self.view_pos[slot] = NO_VIEW;
+        self.views.swap_remove(pos);
+        if let Some(moved) = self.views.get(pos) {
+            self.view_pos[moved.slot] = pos;
+        }
         self.free.push(slot);
     }
 
@@ -120,9 +198,48 @@ impl IssueQueue {
         self.slots.get(slot).and_then(|s| s.as_ref())
     }
 
-    /// Mutable access to the entry in `slot`.
-    pub fn get_mut(&mut self, slot: usize) -> Option<&mut IqEntry> {
-        self.slots.get_mut(slot).and_then(|s| s.as_mut())
+    /// Marks the entry as issued (clearing any blocked state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free.
+    pub fn mark_issued(&mut self, slot: usize) {
+        let entry = self.slots[slot].as_mut().expect("mark_issued on free slot");
+        entry.issued = true;
+        entry.blocked = false;
+        let (w, b) = word_bit(slot);
+        self.unissued[w] &= !b;
+        self.views[self.view_pos[slot]].issued = true;
+    }
+
+    /// Returns an issued entry to the not-issued, blocked state (a hazard
+    /// filter cancelled it, or it must wait on an older store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free.
+    pub fn bounce(&mut self, slot: usize) {
+        let entry = self.slots[slot].as_mut().expect("bounce on free slot");
+        entry.issued = false;
+        entry.blocked = true;
+        let (w, b) = word_bit(slot);
+        self.unissued[w] |= b;
+        self.views[self.view_pos[slot]].issued = false;
+    }
+
+    /// Records that every source operand of the entry in `slot` is ready.
+    /// Idempotent; called at allocation (all-ready dispatch) or when a
+    /// wakeup observes the last outstanding operand becoming ready.
+    pub fn set_ops_ready(&mut self, slot: usize) {
+        let (w, b) = word_bit(slot);
+        debug_assert_ne!(self.occupied[w] & b, 0, "ready bit for a free slot");
+        self.ops_ready[w] |= b;
+    }
+
+    /// Whether the operands-ready bit is set for `slot`.
+    pub fn ops_ready(&self, slot: usize) -> bool {
+        let (w, b) = word_bit(slot);
+        self.ops_ready[w] & b != 0
     }
 
     /// Iterates over `(slot, entry)` for occupied slots.
@@ -133,45 +250,116 @@ impl IssueQueue {
             .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
     }
 
+    /// Appends every not-issued entry whose operands are ready to `out`
+    /// as `(seq, slot)` — the issue-select candidate set, straight from
+    /// the scoreboard masks.
+    pub fn collect_ready(&self, out: &mut Vec<(u64, usize)>) {
+        for (w, (unissued, ready)) in self.unissued.iter().zip(&self.ops_ready).enumerate() {
+            let mut mask = unissued & ready;
+            while mask != 0 {
+                let slot = w * 64 + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let entry = self.slots[slot]
+                    .as_ref()
+                    .expect("scoreboard bit set on a free slot");
+                out.push((entry.seq, slot));
+            }
+        }
+    }
+
     /// Views of every occupied slot, for the security matrix's
-    /// initialization formula. The returned slice borrows an internal
-    /// scratch buffer; it is valid until the next `views*` call.
-    pub fn views(&mut self) -> &[IqEntryView] {
-        self.views_excluding(usize::MAX)
+    /// initialization formula. Insertion-ordered (with swap-remove hole
+    /// filling), *not* slot-ordered; the matrix consumes the set, not the
+    /// order.
+    pub fn views(&self) -> &[IqEntryView] {
+        &self.views
     }
 
     /// Like [`IssueQueue::views`], but omits `skip` — used at dispatch to
     /// snapshot the queue as it was before the newest entry was allocated.
+    /// O(1) when `skip` is the most recently allocated entry (the
+    /// dispatch pattern); the returned slice borrows internal storage and
+    /// is valid until the next mutation.
     pub fn views_excluding(&mut self, skip: usize) -> &[IqEntryView] {
-        let scratch = &mut self.views_scratch;
-        scratch.clear();
-        scratch.extend(
-            self.slots
-                .iter()
-                .enumerate()
-                .filter(|&(slot, _)| slot != skip)
-                .filter_map(|(slot, s)| {
-                    s.as_ref().map(|e| IqEntryView {
-                        slot,
-                        seq: e.seq,
-                        class: e.class,
-                        issued: e.issued,
-                    })
-                }),
-        );
-        scratch
+        let Some(pos) = self
+            .slots
+            .get(skip)
+            .and_then(|s| s.as_ref())
+            .map(|_| self.view_pos[skip])
+        else {
+            return &self.views;
+        };
+        if pos + 1 == self.views.len() {
+            return &self.views[..pos];
+        }
+        self.views_scratch.clear();
+        self.views_scratch
+            .extend(self.views.iter().filter(|v| v.slot != skip));
+        &self.views_scratch
     }
 
-    /// Removes all entries with `seq > target`, returning their slots.
-    pub fn squash_after(&mut self, target: u64) -> Vec<usize> {
-        let mut removed = Vec::new();
-        for slot in 0..self.slots.len() {
-            if matches!(&self.slots[slot], Some(e) if e.seq > target) {
-                self.free_slot(slot);
-                removed.push(slot);
+    /// Removes all entries with `seq > target`; clears `out` and fills it
+    /// with their slots so callers can reuse one buffer across squashes.
+    pub fn squash_after_into(&mut self, target: u64, out: &mut Vec<usize>) {
+        out.clear();
+        for w in 0..self.occupied.len() {
+            let mut mask = self.occupied[w];
+            while mask != 0 {
+                let slot = w * 64 + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if self.slots[slot].as_ref().is_some_and(|e| e.seq > target) {
+                    self.free_slot(slot);
+                    out.push(slot);
+                }
             }
         }
-        removed
+    }
+
+    /// Checks that the scoreboard masks, dense view list and free list
+    /// agree with the entry storage. Diagnostic; used by the core's
+    /// invariant checker and the differential scheduler tests.
+    pub fn check_coherence(&self) -> Result<(), String> {
+        for slot in 0..self.slots.len() {
+            let (w, b) = word_bit(slot);
+            let occ = self.occupied[w] & b != 0;
+            match &self.slots[slot] {
+                Some(entry) => {
+                    if !occ {
+                        return Err(format!("occupied bit clear for live slot {slot}"));
+                    }
+                    if (self.unissued[w] & b != 0) == entry.issued {
+                        return Err(format!("unissued bit stale for slot {slot}"));
+                    }
+                    let pos = self.view_pos[slot];
+                    let Some(view) = self.views.get(pos) else {
+                        return Err(format!("view position out of range for slot {slot}"));
+                    };
+                    if view.slot != slot
+                        || view.seq != entry.seq
+                        || view.class != entry.class
+                        || view.issued != entry.issued
+                    {
+                        return Err(format!("dense view stale for slot {slot}: {view:?}"));
+                    }
+                }
+                None => {
+                    if occ || self.unissued[w] & b != 0 || self.ops_ready[w] & b != 0 {
+                        return Err(format!("scoreboard bit set for free slot {slot}"));
+                    }
+                    if self.view_pos[slot] != NO_VIEW {
+                        return Err(format!("free slot {slot} still has a view position"));
+                    }
+                }
+            }
+        }
+        if self.views.len() != self.slots.len() - self.free.len() {
+            return Err(format!(
+                "dense view count {} != occupancy {}",
+                self.views.len(),
+                self.slots.len() - self.free.len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -191,6 +379,13 @@ mod tests {
         }
     }
 
+    fn ready_set(iq: &IssueQueue) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        iq.collect_ready(&mut out);
+        out.sort_unstable();
+        out
+    }
+
     #[test]
     fn allocate_until_full() {
         let mut iq = IssueQueue::new(2);
@@ -199,6 +394,7 @@ mod tests {
         assert!(iq.is_full());
         assert!(iq.allocate(entry(2)).is_none());
         assert_eq!(iq.occupancy(), 2);
+        iq.check_coherence().unwrap();
     }
 
     #[test]
@@ -211,18 +407,23 @@ mod tests {
         assert_eq!(iq.get(s1).unwrap().seq, 1, "other slots untouched");
         let s2 = iq.allocate(entry(2)).unwrap();
         assert_eq!(s2, s0, "freed slot is reused");
+        iq.check_coherence().unwrap();
     }
 
     #[test]
     fn views_reflect_state() {
         let mut iq = IssueQueue::new(4);
         let s0 = iq.allocate(entry(7)).unwrap();
-        iq.get_mut(s0).unwrap().issued = true;
+        iq.mark_issued(s0);
         let views = iq.views();
         assert_eq!(views.len(), 1);
         assert_eq!(views[0].seq, 7);
         assert!(views[0].issued);
         assert_eq!(views[0].slot, s0);
+        iq.bounce(s0);
+        assert!(!iq.views()[0].issued, "bounce un-issues the view");
+        assert!(iq.get(s0).unwrap().blocked);
+        iq.check_coherence().unwrap();
     }
 
     #[test]
@@ -230,19 +431,41 @@ mod tests {
         let mut iq = IssueQueue::new(4);
         let s0 = iq.allocate(entry(3)).unwrap();
         let s1 = iq.allocate(entry(4)).unwrap();
-        let views = iq.views_excluding(s1);
+        let views: Vec<IqEntryView> = iq.views_excluding(s1).to_vec();
         assert_eq!(views.len(), 1);
         assert_eq!(views[0].slot, s0);
+        // The non-last exclusion takes the scratch fallback.
+        let views: Vec<IqEntryView> = iq.views_excluding(s0).to_vec();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].slot, s1);
         assert_eq!(iq.views().len(), 2, "plain views sees every entry");
+        // Excluding a free slot changes nothing.
+        iq.free_slot(s0);
+        assert_eq!(iq.views_excluding(s0).len(), 1);
+    }
+
+    #[test]
+    fn dense_views_survive_interior_free() {
+        let mut iq = IssueQueue::new(8);
+        let slots: Vec<usize> = (0..5).map(|s| iq.allocate(entry(s)).unwrap()).collect();
+        iq.free_slot(slots[1]);
+        iq.free_slot(slots[3]);
+        let mut seqs: Vec<u64> = iq.views().iter().map(|v| v.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![0, 2, 4]);
+        iq.check_coherence().unwrap();
     }
 
     #[test]
     fn reset_frees_every_slot() {
         let mut iq = IssueQueue::new(3);
-        iq.allocate(entry(0)).unwrap();
+        let s = iq.allocate(entry(0)).unwrap();
+        iq.set_ops_ready(s);
         iq.allocate(entry(1)).unwrap();
         iq.reset();
         assert_eq!(iq.occupancy(), 0);
+        assert!(ready_set(&iq).is_empty(), "reset clears the scoreboard");
+        iq.check_coherence().unwrap();
         // All slots allocatable again, lowest index first.
         assert_eq!(iq.allocate(entry(2)), Some(0));
     }
@@ -253,10 +476,36 @@ mod tests {
         iq.allocate(entry(1)).unwrap();
         iq.allocate(entry(5)).unwrap();
         iq.allocate(entry(9)).unwrap();
-        let removed = iq.squash_after(5);
+        let mut removed = Vec::new();
+        iq.squash_after_into(5, &mut removed);
         assert_eq!(removed.len(), 1);
         assert_eq!(iq.occupancy(), 2);
         assert!(iq.iter().all(|(_, e)| e.seq <= 5));
+        iq.check_coherence().unwrap();
+    }
+
+    #[test]
+    fn collect_ready_tracks_scoreboard() {
+        let mut iq = IssueQueue::new(130); // spans three words
+        let a = iq.allocate(entry(10)).unwrap();
+        let b = iq.allocate(entry(11)).unwrap();
+        let c = iq.allocate(entry(12)).unwrap();
+        assert!(ready_set(&iq).is_empty(), "nothing ready yet");
+        iq.set_ops_ready(a);
+        iq.set_ops_ready(c);
+        assert_eq!(ready_set(&iq), vec![(10, a), (12, c)]);
+        iq.mark_issued(a);
+        assert_eq!(ready_set(&iq), vec![(12, c)], "issued entries drop out");
+        iq.bounce(a);
+        assert_eq!(
+            ready_set(&iq),
+            vec![(10, a), (12, c)],
+            "bounced entries return (operands stay ready)"
+        );
+        iq.set_ops_ready(b);
+        iq.free_slot(b);
+        assert_eq!(ready_set(&iq), vec![(10, a), (12, c)]);
+        iq.check_coherence().unwrap();
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod core;
+pub mod events;
 pub mod iq;
 pub mod lsq;
 pub mod policy;

@@ -141,8 +141,12 @@ pub trait SecurityPolicy {
     /// A new instruction entered the Issue Queue.
     ///
     /// `older` lists every valid IQ entry at this moment (the new entry is
-    /// not included). When [`SecurityPolicy::wants_dispatch_views`] is
-    /// `false`, the core passes an empty slice instead.
+    /// not included). The slice order is unspecified — the core maintains
+    /// it incrementally in allocation order with swap-remove hole filling,
+    /// not sorted by slot; implementations must treat it as a set (the
+    /// matrix-initialization formula is order-independent). When
+    /// [`SecurityPolicy::wants_dispatch_views`] is `false`, the core
+    /// passes an empty slice instead.
     fn on_dispatch(&mut self, info: DispatchInfo, older: &[IqEntryView]);
 
     /// Row-OR query at issue select: does the instruction in `slot` have

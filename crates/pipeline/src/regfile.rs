@@ -33,6 +33,15 @@ pub struct RegFile {
     ready: Vec<bool>,
     rename: [PhysReg; NUM_ARCH_REGS],
     free: VecDeque<PhysReg>,
+    /// Per-physical-register wakeup lists: the IQ slots waiting for this
+    /// register to become ready. A writeback drains exactly its own
+    /// subscribers ([`RegFile::write_and_wake`]) instead of the scheduler
+    /// re-testing every queue entry's operands each cycle. Entries may go
+    /// stale when a subscriber is squashed without an unsubscribe; that
+    /// is harmless (the waker re-checks the slot's actual operands) and
+    /// bounded (a register's list is cleared whenever it is released —
+    /// by then every live subscriber has been woken or squashed).
+    consumers: Vec<Vec<u16>>,
 }
 
 impl RegFile {
@@ -61,6 +70,7 @@ impl RegFile {
             ready: vec![true; phys_regs],
             rename,
             free: (NUM_ARCH_REGS as PhysReg..phys_regs as PhysReg).collect(),
+            consumers: vec![Vec::new(); phys_regs],
         }
     }
 
@@ -75,6 +85,7 @@ impl RegFile {
         self.free.clear();
         self.free
             .extend(NUM_ARCH_REGS as PhysReg..self.values.len() as PhysReg);
+        self.consumers.iter_mut().for_each(|c| c.clear());
     }
 
     /// The current speculative mapping of an architectural register.
@@ -111,9 +122,52 @@ impl RegFile {
     }
 
     /// Writes a physical register and marks it ready (writeback).
+    ///
+    /// Callers with wakeup subscribers must use
+    /// [`RegFile::write_and_wake`] instead, or subscribed consumers would
+    /// never learn the register became ready.
     pub fn write(&mut self, preg: PhysReg, value: u64) {
+        debug_assert!(
+            self.consumers[preg as usize].is_empty(),
+            "plain write to p{preg} which has wakeup subscribers; use write_and_wake"
+        );
         self.values[preg as usize] = value;
         self.ready[preg as usize] = true;
+    }
+
+    /// Writeback with consumer wakeup: writes the register, marks it
+    /// ready, and drains its subscriber list into `woken` (appending).
+    /// The caller re-checks each woken slot's actual operands — stale
+    /// subscriptions (from a squashed-and-reused slot) are harmless.
+    pub fn write_and_wake(&mut self, preg: PhysReg, value: u64, woken: &mut Vec<u16>) {
+        self.values[preg as usize] = value;
+        self.ready[preg as usize] = true;
+        woken.append(&mut self.consumers[preg as usize]);
+    }
+
+    /// Registers IQ slot `slot` to be woken when `preg` becomes ready.
+    /// Call only for registers that are currently not ready.
+    pub fn subscribe(&mut self, preg: PhysReg, slot: usize) {
+        debug_assert!(
+            !self.ready[preg as usize],
+            "subscribing to already-ready p{preg}"
+        );
+        self.consumers[preg as usize].push(slot as u16);
+    }
+
+    /// Removes every subscription of `slot` on `preg` (squash of the
+    /// consumer before its operand was written). A no-op if the
+    /// subscription was already drained or cleared.
+    pub fn unsubscribe(&mut self, preg: PhysReg, slot: usize) {
+        let list = &mut self.consumers[preg as usize];
+        let mut i = 0;
+        while i < list.len() {
+            if list[i] as usize == slot {
+                list.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Returns `preg` to the free list (at commit of the overwriting
@@ -123,6 +177,10 @@ impl RegFile {
             !self.free.contains(&preg),
             "double free of physical register p{preg}"
         );
+        // Any remaining subscribers are stale by construction: a register
+        // is only released once no live instruction can still read it
+        // (commit superseded it, or its consumers were squashed with it).
+        self.consumers[preg as usize].clear();
         self.free.push_back(preg);
     }
 
@@ -227,6 +285,51 @@ mod tests {
         rf.unrename(Reg::R1, pb, oldb);
         rf.unrename(Reg::R1, pa, olda);
         assert_eq!(rf.lookup(Reg::R1), orig);
+    }
+
+    #[test]
+    fn write_and_wake_drains_exactly_the_subscribers() {
+        let mut rf = RegFile::new(40);
+        let (p1, _) = rf.rename_dest(Reg::R1).unwrap();
+        let (p2, _) = rf.rename_dest(Reg::R2).unwrap();
+        rf.subscribe(p1, 3);
+        rf.subscribe(p1, 9);
+        rf.subscribe(p2, 5);
+        let mut woken = Vec::new();
+        rf.write_and_wake(p1, 7, &mut woken);
+        woken.sort_unstable();
+        assert_eq!(woken, vec![3, 9], "only p1's subscribers wake");
+        assert!(rf.is_ready(p1));
+        // A second write wakes nobody: the list was drained.
+        let mut again = Vec::new();
+        rf.write_and_wake(p1, 8, &mut again);
+        assert!(again.is_empty());
+        // p2's subscriber is still pending until its own writeback.
+        rf.write_and_wake(p2, 1, &mut again);
+        assert_eq!(again, vec![5]);
+    }
+
+    #[test]
+    fn unsubscribe_and_release_clear_subscriptions() {
+        let mut rf = RegFile::new(40);
+        let (p, old) = rf.rename_dest(Reg::R1).unwrap();
+        rf.subscribe(p, 4);
+        rf.subscribe(p, 4); // duplicate (same preg in both operand lanes)
+        rf.subscribe(p, 6);
+        rf.unsubscribe(p, 4);
+        let mut woken = Vec::new();
+        rf.write_and_wake(p, 1, &mut woken);
+        assert_eq!(woken, vec![6], "all duplicates removed");
+        // Squash path: a not-ready register with subscribers is released;
+        // its list must be empty by the time the register is reused.
+        let (q, old_q) = rf.rename_dest(Reg::R2).unwrap();
+        rf.subscribe(q, 8);
+        rf.unrename(Reg::R2, q, old_q);
+        assert!(
+            rf.consumers[q as usize].is_empty(),
+            "release cleared stale subscribers"
+        );
+        let _ = old;
     }
 
     #[test]

@@ -20,8 +20,15 @@ pub enum RobState {
 /// through the pipeline.
 #[derive(Debug, Clone)]
 pub struct RobEntry {
-    /// Global sequence number (program order, never reused).
+    /// Global sequence number (program order). Recycled: after a squash
+    /// the next dispatch reuses the squashed numbers so resident entries
+    /// stay contiguous.
     pub seq: u64,
+    /// Monotone dispatch stamp, never reused (unlike `seq`). Completion
+    /// events carry it so delivery can distinguish this instruction from
+    /// a later reincarnation of its sequence number (lazy invalidation of
+    /// events belonging to squashed instructions).
+    pub stamp: u64,
     /// The instruction's PC.
     pub pc: u64,
     /// The instruction itself.
@@ -59,8 +66,11 @@ pub struct RobEntry {
     /// *delayed update* policy).
     pub deferred_lru: bool,
     /// RAS state captured at fetch (control instructions only), restored
-    /// on squash.
-    pub ras_snapshot: Option<RasSnapshot>,
+    /// on squash. Boxed: entries are copied at dispatch, commit and
+    /// squash for *every* instruction, and an inline snapshot would more
+    /// than double the entry's size for a field most instructions never
+    /// set.
+    pub ras_snapshot: Option<Box<RasSnapshot>>,
 }
 
 impl RobEntry {
@@ -68,6 +78,7 @@ impl RobEntry {
     pub fn new(seq: u64, pc: u64, inst: Inst, predicted_next: u64) -> Self {
         RobEntry {
             seq,
+            stamp: 0,
             pc,
             inst,
             dest: None,
