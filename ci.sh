@@ -89,4 +89,37 @@ for key, got in sorted(got_cells.items()):
 print(f"perf guard ok: worst cell {worst[0]} at {worst[1]:.2f}x baseline")
 EOF
 
+echo "==> trace smoke (condspec trace --format perfetto)"
+trace_out="target/perf-smoke/trace.json"
+./target/release/condspec trace --kind v1 --events 4096 --format perfetto --out "$trace_out"
+python3 ci/validate_trace.py "$trace_out"
+
+echo "==> timeseries smoke (condspec timeseries, two runs byte-identical)"
+ts_out="target/perf-smoke/timeseries.json"
+./target/release/condspec timeseries --name gcc --iters 2 --window 2000 --out "$ts_out"
+./target/release/condspec timeseries --name gcc --iters 2 --window 2000 --out "$ts_out.rerun"
+cmp "$ts_out" "$ts_out.rerun"
+rm "$ts_out.rerun"
+python3 - "$ts_out" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+series = doc["timeseries"]
+assert series["schema"] == "condspec-timeseries-v1", \
+    f"unexpected series schema: {series['schema']}"
+assert series["rows_dropped"] == 0, \
+    f"{series['rows_dropped']} windows dropped in the smoke run"
+rows = series["rows"]
+assert rows, "the run sampled no windows"
+start = 0
+for row in rows:
+    assert row["start"] == start, f"windows do not tile: {row}"
+    assert 0 < row["cycles"] <= 2000, f"bad window size: {row}"
+    start += row["cycles"]
+metrics = doc["metrics"]
+for key in ("core.cycles", "core.ipc", "policy.blocks", "mem.l1d_hit_rate"):
+    assert key in metrics, f"metrics registry is missing {key}"
+print(f"timeseries ok: {len(rows)} windows, {len(metrics)} metrics")
+EOF
+
 echo "ci.sh: all checks passed"

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Validate a `condspec trace --format perfetto` export.
+
+Checks that the file is well-formed Chrome trace-event JSON as Perfetto
+and chrome://tracing expect it: a traceEvents array with a nonzero
+number of timestamped events, nondecreasing timestamps, named
+process/thread metadata, and no events dropped by the ring buffer.
+
+Usage: validate_trace.py <trace.json>
+"""
+
+import json
+import sys
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    other = doc["otherData"]
+    assert other["schema"] == "condspec-trace-v1", \
+        f"unexpected trace schema: {other['schema']}"
+    assert other["clock"] == "simulated-cycles", \
+        f"unexpected clock: {other['clock']}"
+    assert other["dropped"] == 0, \
+        f"{other['dropped']} events dropped: the smoke buffer is too small"
+
+    events = doc["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    timed = [e for e in events if e["ph"] != "M"]
+    assert metadata, "process/thread name metadata is missing"
+    assert any(e["name"] == "process_name" for e in metadata)
+    assert any(e["name"] == "thread_name" for e in metadata)
+    assert timed, "trace contains no timestamped events"
+    assert len(timed) >= other["events"], \
+        f"{other['events']} recorded events produced only {len(timed)} entries"
+
+    last = 0
+    for e in timed:
+        ts = e["ts"]
+        assert isinstance(ts, int) and ts >= last, \
+            f"timestamps regress: {ts} after {last} ({e})"
+        last = ts
+        assert "pid" in e and "tid" in e, f"event without track: {e}"
+
+    slices = [e for e in timed if e["ph"] == "X"]
+    flows = [e for e in timed if e["ph"] in ("s", "t", "f")]
+    assert slices, "no slice events"
+    assert flows, "no instruction flow events"
+    # Every flow id that starts must also finish on some track.
+    started = {e["id"] for e in flows if e["ph"] == "s"}
+    finished = {e["id"] for e in flows if e["ph"] == "f"}
+    assert finished <= started, \
+        f"flow ids finish without starting: {sorted(finished - started)[:5]}"
+
+    print(
+        f"trace ok: {len(timed)} events ({len(slices)} slices, "
+        f"{len(flows)} flow marks) across {len(metadata)} metadata entries"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    main(sys.argv[1])

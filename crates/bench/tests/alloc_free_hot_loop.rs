@@ -138,6 +138,16 @@ fn steady_state_rounds_do_not_allocate() {
             round(&mut sim, &gadget);
         }
 
+        // Observability exercised and switched back off before the
+        // measured window: with tracing and sampling disabled the hot
+        // loop must pay only an `Option` branch per event site, never an
+        // allocation.
+        sim.core_mut().enable_trace(256);
+        sim.core_mut().enable_sampler(10_000, 64);
+        round(&mut sim, &gadget);
+        sim.core_mut().disable_trace();
+        sim.core_mut().disable_sampler();
+
         let before = ALLOCATIONS.load(Ordering::SeqCst);
         let mut cycles = 0;
         for _ in 0..MEASURED_ROUNDS {

@@ -7,6 +7,24 @@ use condspec_workloads::GadgetKind;
 use std::error::Error;
 use std::fmt;
 
+/// Output format for `condspec trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Human-readable event lines (default).
+    Text,
+    /// Chrome trace-event JSON, loadable in Perfetto or chrome://tracing.
+    Perfetto,
+}
+
+/// Output format for `condspec timeseries`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesFormat {
+    /// JSON document with run parameters, sampled rows and final metrics.
+    Json,
+    /// Sampled rows as CSV with a header line.
+    Csv,
+}
+
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -61,6 +79,36 @@ pub enum Command {
         defense: Option<DefenseConfig>,
         /// Maximum events to print.
         events: usize,
+        /// Output format.
+        format: TraceFormat,
+        /// Write the trace here instead of stdout.
+        out: Option<String>,
+    },
+    /// Run a benchmark with the time-series sampler and dump the series.
+    Timeseries {
+        /// Benchmark name from the suite.
+        name: String,
+        /// `None` = Cache-hit + TPBuf.
+        defense: Option<DefenseConfig>,
+        /// Machine preset (boxed: `MachineConfig` dwarfs the other variants).
+        machine: Box<MachineConfig>,
+        /// Outer iterations.
+        iterations: u64,
+        /// Sample window size in cycles.
+        window: u64,
+        /// Maximum sampled rows kept.
+        rows: usize,
+        /// Output format.
+        format: SeriesFormat,
+        /// Write the series here instead of stdout.
+        out: Option<String>,
+    },
+    /// Re-render a finished sweep from its on-disk artifacts.
+    Report {
+        /// The sweep directory name under the artifact root.
+        sweep_id: String,
+        /// Artifact root; `None` = `target/condspec-runs`.
+        root: Option<String>,
     },
     /// Run a named experiment sweep through the parallel engine.
     Sweep {
@@ -75,6 +123,12 @@ pub enum Command {
         root: Option<String>,
         /// Suppress stderr progress lines.
         quiet: bool,
+        /// Render progress as one live status line instead of one line
+        /// per job.
+        progress: bool,
+        /// Write wall-clock telemetry to `telemetry.json` in the sweep
+        /// directory.
+        telemetry: bool,
     },
     /// Measure simulator throughput over the fixed workload matrix.
     Perf {
@@ -114,7 +168,13 @@ USAGE:
   condspec run     --file <prog.bin> [--defense <name>] [--max-cycles <n>]
   condspec save    --name <benchmark> --file <prog.bin> [--iters <n>]
   condspec trace   --kind <variant> [--defense <name>] [--events <n>]
+                   [--format text|perfetto] [--out <file>]
+  condspec timeseries --name <benchmark> [--defense <name>] [--machine <name>]
+                   [--iters <n>] [--window <cycles>] [--rows <n>]
+                   [--format json|csv] [--out <file>]
   condspec sweep   <name> [--jobs <n>] [--resume] [--root <dir>] [--quiet]
+                   [--progress] [--telemetry]
+  condspec report  <sweep-id> [--root <dir>]
   condspec perf    [--quick] [--machine <name>] [--out <file>]
   condspec list
   condspec help
@@ -305,11 +365,87 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 })
                 .transpose()?
                 .unwrap_or(120);
+            let format = match take_flag(&mut rest, "--format")?.as_deref() {
+                None | Some("text") => TraceFormat::Text,
+                Some("perfetto") | Some("chrome") => TraceFormat::Perfetto,
+                Some(other) => {
+                    return Err(ParseError(format!("unknown trace format `{other}`")));
+                }
+            };
+            let out = take_flag(&mut rest, "--out")?;
             Command::Trace {
                 kind: parse_kind(&kind)?,
                 defense,
                 events,
+                format,
+                out,
             }
+        }
+        "timeseries" => {
+            let name = take_flag(&mut rest, "--name")?
+                .ok_or_else(|| ParseError("timeseries requires --name".into()))?;
+            let defense = take_flag(&mut rest, "--defense")?
+                .map(|s| parse_defense(&s))
+                .transpose()?;
+            let machine = Box::new(
+                take_flag(&mut rest, "--machine")?
+                    .map(|s| parse_machine(&s))
+                    .transpose()?
+                    .unwrap_or_else(MachineConfig::paper_default),
+            );
+            let iterations = take_flag(&mut rest, "--iters")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --iters `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(25);
+            let window = take_flag(&mut rest, "--window")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --window `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(10_000);
+            if window == 0 {
+                return Err(ParseError("--window must be at least 1 cycle".into()));
+            }
+            let rows = take_flag(&mut rest, "--rows")?
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| ParseError(format!("bad --rows `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(4096);
+            if rows == 0 {
+                return Err(ParseError("--rows must be at least 1".into()));
+            }
+            let format = match take_flag(&mut rest, "--format")?.as_deref() {
+                None | Some("json") => SeriesFormat::Json,
+                Some("csv") => SeriesFormat::Csv,
+                Some(other) => {
+                    return Err(ParseError(format!("unknown series format `{other}`")));
+                }
+            };
+            let out = take_flag(&mut rest, "--out")?;
+            Command::Timeseries {
+                name,
+                defense,
+                machine,
+                iterations,
+                window,
+                rows,
+                format,
+                out,
+            }
+        }
+        "report" => {
+            let sweep_id = match rest.first() {
+                Some(first) if !first.starts_with("--") => rest.remove(0),
+                _ => return Err(ParseError("report requires a sweep id".into())),
+            };
+            let root = take_flag(&mut rest, "--root")?;
+            Command::Report { sweep_id, root }
         }
         "sweep" => {
             let name = match rest.first() {
@@ -325,6 +461,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 .unwrap_or(0);
             let resume = take_switch(&mut rest, "--resume");
             let quiet = take_switch(&mut rest, "--quiet");
+            let progress = take_switch(&mut rest, "--progress");
+            let telemetry = take_switch(&mut rest, "--telemetry");
             let root = take_flag(&mut rest, "--root")?;
             Command::Sweep {
                 name,
@@ -332,6 +470,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 resume,
                 root,
                 quiet,
+                progress,
+                telemetry,
             }
         }
         "perf" => {
@@ -468,13 +608,101 @@ mod tests {
                 kind,
                 defense,
                 events,
+                format,
+                out,
             } => {
                 assert_eq!(kind, GadgetKind::V1);
                 assert_eq!(defense, None);
                 assert_eq!(events, 10);
+                assert_eq!(format, TraceFormat::Text);
+                assert_eq!(out, None);
             }
             other => panic!("unexpected {other:?}"),
         }
+        match parse(&argv("trace --kind v2 --format perfetto --out t.json")).unwrap() {
+            Command::Trace { format, out, .. } => {
+                assert_eq!(format, TraceFormat::Perfetto);
+                assert_eq!(out, Some("t.json".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("trace --kind v1 --format xml")).is_err());
+    }
+
+    #[test]
+    fn timeseries_parses() {
+        match parse(&argv("timeseries --name gcc")).unwrap() {
+            Command::Timeseries {
+                name,
+                defense,
+                iterations,
+                window,
+                rows,
+                format,
+                out,
+                ..
+            } => {
+                assert_eq!(name, "gcc");
+                assert_eq!(defense, None);
+                assert_eq!(iterations, 25);
+                assert_eq!(window, 10_000);
+                assert_eq!(rows, 4096);
+                assert_eq!(format, SeriesFormat::Json);
+                assert_eq!(out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "timeseries --name lbm --defense origin --machine i7 \
+             --iters 3 --window 500 --rows 16 --format csv --out s.csv",
+        ))
+        .unwrap()
+        {
+            Command::Timeseries {
+                name,
+                defense,
+                machine,
+                iterations,
+                window,
+                rows,
+                format,
+                out,
+            } => {
+                assert_eq!(name, "lbm");
+                assert_eq!(defense, Some(DefenseConfig::Origin));
+                assert_eq!(machine.name, "I7-like");
+                assert_eq!(iterations, 3);
+                assert_eq!(window, 500);
+                assert_eq!(rows, 16);
+                assert_eq!(format, SeriesFormat::Csv);
+                assert_eq!(out, Some("s.csv".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("timeseries")).is_err(), "needs --name");
+        assert!(parse(&argv("timeseries --name gcc --window 0")).is_err());
+        assert!(parse(&argv("timeseries --name gcc --rows 0")).is_err());
+        assert!(parse(&argv("timeseries --name gcc --format yaml")).is_err());
+    }
+
+    #[test]
+    fn report_parses() {
+        assert_eq!(
+            parse(&argv("report fig5-0123abcd")).unwrap(),
+            Command::Report {
+                sweep_id: "fig5-0123abcd".to_string(),
+                root: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("report fig5-0123abcd --root /tmp/runs")).unwrap(),
+            Command::Report {
+                sweep_id: "fig5-0123abcd".to_string(),
+                root: Some("/tmp/runs".to_string())
+            }
+        );
+        assert!(parse(&argv("report")).is_err(), "report needs a sweep id");
+        assert!(parse(&argv("report --root /tmp")).is_err());
     }
 
     #[test]
@@ -486,12 +714,14 @@ mod tests {
                 jobs: 0,
                 resume: false,
                 root: None,
-                quiet: false
+                quiet: false,
+                progress: false,
+                telemetry: false
             }
         );
         assert_eq!(
             parse(&argv(
-                "sweep table4 --jobs 8 --resume --root /tmp/runs --quiet"
+                "sweep table4 --jobs 8 --resume --root /tmp/runs --quiet --progress --telemetry"
             ))
             .unwrap(),
             Command::Sweep {
@@ -499,7 +729,9 @@ mod tests {
                 jobs: 8,
                 resume: true,
                 root: Some("/tmp/runs".to_string()),
-                quiet: true
+                quiet: true,
+                progress: true,
+                telemetry: true
             }
         );
         assert!(parse(&argv("sweep")).is_err(), "sweep needs a name");

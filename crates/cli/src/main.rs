@@ -4,7 +4,7 @@
 
 mod args;
 
-use args::{parse, Command, USAGE};
+use args::{parse, Command, SeriesFormat, TraceFormat, USAGE};
 use condspec::{DefenseConfig, SimConfig, Simulator};
 use condspec_attacks::{run_variant, AttackScenario};
 use condspec_stats::TextTable;
@@ -99,6 +99,8 @@ fn run(cmd: Command) -> ExitCode {
             kind,
             defense,
             events,
+            format,
+            out,
         } => {
             use condspec_workloads::gadgets::SpectreGadget;
             let defense = defense.unwrap_or(DefenseConfig::CacheHitTpbuf);
@@ -126,14 +128,127 @@ fn run(cmd: Command) -> ExitCode {
             sim.core_mut().enable_trace(events);
             sim.run(500_000);
             let trace = sim.core_mut().disable_trace().expect("tracing enabled");
-            println!(
-                "{kind:?} attack round under {} — last {} pipeline events:
-",
-                defense.label(),
-                trace.len()
-            );
-            print!("{trace}");
+            let rendered = match format {
+                TraceFormat::Text => format!(
+                    "{kind:?} attack round under {} — last {} pipeline events:\n\n{trace}",
+                    defense.label(),
+                    trace.len()
+                ),
+                TraceFormat::Perfetto => {
+                    let doc = condspec_pipeline::perfetto::to_chrome_trace(&trace);
+                    format!("{}\n", doc.render())
+                }
+            };
+            match out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, &rendered) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "wrote {path}: {} events, {} dropped",
+                        trace.len(),
+                        trace.dropped()
+                    );
+                }
+                None => print!("{rendered}"),
+            }
             ExitCode::SUCCESS
+        }
+        Command::Timeseries {
+            name,
+            defense,
+            machine,
+            iterations,
+            window,
+            rows,
+            format,
+            out,
+        } => {
+            let Some(spec) = by_name(&name) else {
+                eprintln!("unknown benchmark `{name}` — try `condspec list`");
+                return ExitCode::FAILURE;
+            };
+            let defense = defense.unwrap_or(DefenseConfig::CacheHitTpbuf);
+            let program = build_program(&spec, iterations);
+            let mut sim = Simulator::new(SimConfig::on_machine(defense, *machine));
+            sim.core_mut().enable_sampler(window, rows);
+            sim.run_to_halt(&program, 500_000_000);
+            let sampler = sim.core_mut().disable_sampler().expect("sampler enabled");
+            let rendered = match format {
+                SeriesFormat::Json => {
+                    let doc = condspec_stats::Json::object(vec![
+                        ("benchmark", condspec_stats::Json::from(name.as_str())),
+                        ("defense", condspec_stats::Json::from(defense.key())),
+                        ("machine", condspec_stats::Json::from(machine.name)),
+                        ("iterations", condspec_stats::Json::from(iterations)),
+                        ("timeseries", sampler.to_json()),
+                        ("metrics", sim.metrics().to_json()),
+                    ]);
+                    format!("{}\n", doc.render())
+                }
+                SeriesFormat::Csv => sampler.to_csv(),
+            };
+            match out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, &rendered) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "wrote {path}: {} windows of {window} cycles, {} dropped",
+                        sampler.rows().len(),
+                        sampler.dropped()
+                    );
+                }
+                None => print!("{rendered}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Command::Report { sweep_id, root } => {
+            let root = std::path::PathBuf::from(
+                root.unwrap_or_else(|| condspec_engine::DEFAULT_ROOT.to_string()),
+            );
+            let report = match condspec_engine::load_sweep_report(&root, &sweep_id) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("report: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", report.sweep.render(&report.results));
+            println!(
+                "sweep {}: {} artifacts, {} failed, {} missing",
+                report.sweep_id,
+                report.results.len(),
+                report.failed.len(),
+                report.missing.len()
+            );
+            for (hash, label) in &report.failed {
+                eprintln!("failed job {hash} ({label})");
+            }
+            for (hash, label) in &report.missing {
+                eprintln!("missing job {hash} ({label})");
+            }
+            if let Some(t) = &report.telemetry {
+                use condspec_stats::Json;
+                if let (Some(wall), Some(util), Some(workers)) = (
+                    t.get("total_wall_ms").and_then(Json::as_u64),
+                    t.get("utilization").and_then(Json::as_f64),
+                    t.get("workers").and_then(Json::as_u64),
+                ) {
+                    println!(
+                        "telemetry: ran on {workers} workers in {:.1}s at {:.0}% utilization",
+                        wall as f64 / 1000.0,
+                        util * 100.0
+                    );
+                }
+            }
+            if report.failed.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Command::Run {
             file,
@@ -205,6 +320,8 @@ fn run(cmd: Command) -> ExitCode {
             resume,
             root,
             quiet,
+            progress,
+            telemetry,
         } => {
             let Some(sweep) = condspec_engine::Sweep::by_name(&name) else {
                 eprintln!(
@@ -217,6 +334,8 @@ fn run(cmd: Command) -> ExitCode {
                 workers: jobs,
                 resume,
                 quiet,
+                progress,
+                telemetry,
                 ..Default::default()
             };
             if let Some(root) = root {

@@ -5,7 +5,8 @@ use crate::matrix::SecurityDependenceMatrix;
 use crate::tpbuf::TpBuf;
 use condspec_mem::LruUpdate;
 use condspec_pipeline::policy::{
-    DispatchInfo, InstClass, IqEntryView, MemAccessQuery, MemDecision, PolicyStats, SecurityPolicy,
+    BlockFilter, DispatchInfo, InstClass, IqEntryView, MemAccessQuery, MemDecision, PolicyStats,
+    SecurityPolicy,
 };
 
 /// Which hazard filters are active (the paper's three evaluated
@@ -248,7 +249,9 @@ impl SecurityPolicy for ConditionalSpeculation {
         match self.mode {
             FilterMode::Baseline => {
                 self.stats.blocks += 1;
-                MemDecision::Block
+                MemDecision::Block {
+                    filter: BlockFilter::Baseline,
+                }
             }
             FilterMode::CacheHit => {
                 if query.l1_hit {
@@ -257,7 +260,9 @@ impl SecurityPolicy for ConditionalSpeculation {
                     }
                 } else {
                     self.stats.blocks += 1;
-                    MemDecision::Block
+                    MemDecision::Block {
+                        filter: BlockFilter::CacheMiss,
+                    }
                 }
             }
             FilterMode::CacheHitTpbuf => {
@@ -269,7 +274,9 @@ impl SecurityPolicy for ConditionalSpeculation {
                     self.stats.tpbuf_queries += 1;
                     if self.tpbuf.matches_s_pattern(query.seq, query.ppn) {
                         self.stats.blocks += 1;
-                        MemDecision::Block
+                        MemDecision::Block {
+                            filter: BlockFilter::SPattern,
+                        }
                     } else {
                         self.stats.tpbuf_mismatches += 1;
                         // A mismatching miss is safe: it may fill the cache
@@ -438,10 +445,17 @@ mod tests {
     #[test]
     fn baseline_blocks_all_suspect_accesses() {
         let mut p = policy(FilterMode::Baseline);
-        assert_eq!(p.check_mem_access(&q(true, true, 1, 0)), MemDecision::Block);
+        assert_eq!(
+            p.check_mem_access(&q(true, true, 1, 0)),
+            MemDecision::Block {
+                filter: BlockFilter::Baseline
+            }
+        );
         assert_eq!(
             p.check_mem_access(&q(true, false, 2, 0)),
-            MemDecision::Block
+            MemDecision::Block {
+                filter: BlockFilter::Baseline
+            }
         );
         assert!(matches!(
             p.check_mem_access(&q(false, false, 3, 0)),
@@ -460,7 +474,9 @@ mod tests {
         ));
         assert_eq!(
             p.check_mem_access(&q(true, false, 2, 0)),
-            MemDecision::Block
+            MemDecision::Block {
+                filter: BlockFilter::CacheMiss
+            }
         );
     }
 
@@ -480,12 +496,14 @@ mod tests {
             );
             match p.check_mem_access(&q(true, true, 1, 0)) {
                 MemDecision::Proceed { l1_update } => assert_eq!(l1_update, expected),
-                MemDecision::Block => panic!("suspect hits proceed under the cache-hit filter"),
+                MemDecision::Block { .. } => {
+                    panic!("suspect hits proceed under the cache-hit filter")
+                }
             }
             // Non-suspect accesses always update normally.
             match p.check_mem_access(&q(false, true, 2, 0)) {
                 MemDecision::Proceed { l1_update } => assert_eq!(l1_update, LruUpdate::Normal),
-                MemDecision::Block => panic!("non-suspect accesses never block"),
+                MemDecision::Block { .. } => panic!("non-suspect accesses never block"),
             }
         }
     }
@@ -500,7 +518,9 @@ mod tests {
         // A suspect miss to a different page: unsafe, blocked.
         assert_eq!(
             p.check_mem_access(&q(true, false, 2, 0x99)),
-            MemDecision::Block
+            MemDecision::Block {
+                filter: BlockFilter::SPattern
+            }
         );
         // A suspect miss to the same page: mismatch, allowed.
         assert!(matches!(

@@ -35,6 +35,19 @@ pub struct Report {
     pub branch_accuracy: f64,
     /// Mispredict squashes in the window.
     pub mispredict_squashes: u64,
+    /// Every hazard-filter Block decision, including wrong-path loads
+    /// and repeated blocks of one load.
+    pub block_events: u64,
+    /// Memory-order violation squashes in the window.
+    pub violation_squashes: u64,
+    /// Instructions removed by squashes in the window.
+    pub squashed_insts: u64,
+    /// Fetch cycles stalled by the ICache-hit filter.
+    pub icache_fetch_stalls: u64,
+    /// Mean reorder-buffer occupancy over the window.
+    pub avg_rob_occupancy: f64,
+    /// Mean issue-queue occupancy over the window.
+    pub avg_iq_occupancy: f64,
 }
 
 impl Report {
@@ -55,12 +68,23 @@ impl Report {
             ),
             ("branch_accuracy", Json::from(self.branch_accuracy)),
             ("mispredict_squashes", Json::from(self.mispredict_squashes)),
+            ("block_events", Json::from(self.block_events)),
+            ("violation_squashes", Json::from(self.violation_squashes)),
+            ("squashed_insts", Json::from(self.squashed_insts)),
+            ("icache_fetch_stalls", Json::from(self.icache_fetch_stalls)),
+            ("avg_rob_occupancy", Json::from(self.avg_rob_occupancy)),
+            ("avg_iq_occupancy", Json::from(self.avg_iq_occupancy)),
         ])
     }
 
     /// Reconstructs a report from [`Report::to_json`] output. Returns
-    /// `None` when a field is missing or has the wrong type.
+    /// `None` when a field is missing or has the wrong type. The
+    /// occupancy/squash-detail keys were added after the first sweep
+    /// artifacts shipped and default to zero when absent, so older
+    /// artifacts still parse.
     pub fn from_json(json: &Json) -> Option<Report> {
+        let u64_or_zero = |key: &str| json.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let f64_or_zero = |key: &str| json.get(key).and_then(Json::as_f64).unwrap_or(0.0);
         Some(Report {
             defense: DefenseConfig::from_key(json.get("defense")?.as_str()?)?,
             cycles: json.get("cycles")?.as_u64()?,
@@ -72,6 +96,12 @@ impl Report {
             s_pattern_mismatch_rate: json.get("s_pattern_mismatch_rate")?.as_f64()?,
             branch_accuracy: json.get("branch_accuracy")?.as_f64()?,
             mispredict_squashes: json.get("mispredict_squashes")?.as_u64()?,
+            block_events: u64_or_zero("block_events"),
+            violation_squashes: u64_or_zero("violation_squashes"),
+            squashed_insts: u64_or_zero("squashed_insts"),
+            icache_fetch_stalls: u64_or_zero("icache_fetch_stalls"),
+            avg_rob_occupancy: f64_or_zero("avg_rob_occupancy"),
+            avg_iq_occupancy: f64_or_zero("avg_iq_occupancy"),
         })
     }
 }
@@ -241,7 +271,35 @@ impl Simulator {
             s_pattern_mismatch_rate: policy_stats.s_pattern_mismatch_rate(),
             branch_accuracy: self.core.frontend().conditional_accuracy().rate(),
             mispredict_squashes: pstats.mispredict_squashes,
+            block_events: pstats.block_events,
+            violation_squashes: pstats.violation_squashes,
+            squashed_insts: pstats.squashed_insts,
+            icache_fetch_stalls: pstats.icache_fetch_stalls,
+            avg_rob_occupancy: pstats.avg_rob_occupancy(),
+            avg_iq_occupancy: pstats.avg_iq_occupancy(),
         }
+    }
+
+    /// Fills a [`MetricsRegistry`] with the full machine state: the
+    /// core's `core.*`/`policy.*` metrics (see [`Core::fill_metrics`])
+    /// plus memory-hierarchy and front-end gauges under `mem.*` and
+    /// `frontend.*`.
+    ///
+    /// [`MetricsRegistry`]: condspec_stats::MetricsRegistry
+    pub fn metrics(&self) -> condspec_stats::MetricsRegistry {
+        let mut registry = condspec_stats::MetricsRegistry::new();
+        self.core.fill_metrics(&mut registry);
+        let h = self.core.hierarchy().stats();
+        registry.set_gauge("mem.l1d_hit_rate", h.l1d.rate());
+        registry.set_gauge("mem.l1i_hit_rate", h.l1i.rate());
+        registry.set_gauge("mem.l2_data_hit_rate", h.l2_data.rate());
+        registry.set_gauge("mem.l3_data_hit_rate", h.l3_data.rate());
+        registry.set_counter("mem.prefetches", h.prefetches);
+        registry.set_gauge(
+            "frontend.branch_accuracy",
+            self.core.frontend().conditional_accuracy().rate(),
+        );
+        registry
     }
 }
 
@@ -357,6 +415,87 @@ mod tests {
             .expect("well-formed report JSON");
         assert_eq!(parsed, report);
         assert!(Report::from_json(&condspec_stats::Json::Null).is_none());
+        // A busy run fills the late-addition detail counters too.
+        assert!(report.avg_rob_occupancy > 0.0);
+        assert!(report.squashed_insts > 0 || report.mispredict_squashes == 0);
+    }
+
+    #[test]
+    fn report_json_keeps_legacy_key_prefix_stable() {
+        // The sweep artifacts' report keys are load-bearing: the first
+        // ten keys (through mispredict_squashes) predate the detail
+        // counters and must keep their exact names and order so old
+        // artifacts and external scripts keep working.
+        let mut sim = Simulator::new(SimConfig::new(DefenseConfig::Origin));
+        let report = sim.run_job(None, &counting_program(10), 1_000_000);
+        let rendered = report.to_json().render();
+        for (earlier, later) in [
+            ("\"defense\":", "\"cycles\":"),
+            ("\"branch_accuracy\":", "\"mispredict_squashes\":"),
+            ("\"mispredict_squashes\":", "\"block_events\":"),
+            ("\"icache_fetch_stalls\":", "\"avg_rob_occupancy\":"),
+        ] {
+            let a = rendered
+                .find(earlier)
+                .unwrap_or_else(|| panic!("{earlier} missing"));
+            let b = rendered
+                .find(later)
+                .unwrap_or_else(|| panic!("{later} missing"));
+            assert!(a < b, "{earlier} must precede {later}");
+        }
+    }
+
+    #[test]
+    fn report_parses_legacy_artifacts_without_new_keys() {
+        let mut sim = Simulator::new(SimConfig::new(DefenseConfig::CacheHit));
+        let report = sim.run_job(None, &counting_program(50), 1_000_000);
+        // Simulate a pre-detail-counter artifact by dropping the new keys.
+        let condspec_stats::Json::Object(members) =
+            condspec_stats::Json::parse(&report.to_json().render()).unwrap()
+        else {
+            panic!("report renders an object");
+        };
+        let legacy = condspec_stats::Json::Object(
+            members
+                .into_iter()
+                .filter(|(k, _)| {
+                    ![
+                        "block_events",
+                        "violation_squashes",
+                        "squashed_insts",
+                        "icache_fetch_stalls",
+                        "avg_rob_occupancy",
+                        "avg_iq_occupancy",
+                    ]
+                    .contains(&k.as_str())
+                })
+                .collect(),
+        );
+        let parsed = Report::from_json(&legacy).expect("legacy artifact must parse");
+        assert_eq!(parsed.cycles, report.cycles);
+        assert_eq!(parsed.block_events, 0, "missing keys default to zero");
+        assert_eq!(parsed.avg_iq_occupancy, 0.0);
+    }
+
+    #[test]
+    fn metrics_registry_covers_core_policy_and_memory() {
+        let mut sim = Simulator::new(SimConfig::new(DefenseConfig::CacheHitTpbuf));
+        sim.run_job(None, &counting_program(100), 1_000_000);
+        let registry = sim.metrics();
+        for key in [
+            "core.cycles",
+            "core.ipc",
+            "core.blocked_rate",
+            "policy.suspect_flags",
+            "mem.l1d_hit_rate",
+            "frontend.branch_accuracy",
+        ] {
+            assert!(registry.get(key).is_some(), "metric {key} missing");
+        }
+        // Deterministic, parseable export.
+        let rendered = registry.to_json().render();
+        assert_eq!(rendered, sim.metrics().to_json().render());
+        condspec_stats::Json::parse(&rendered).expect("metrics JSON parses");
     }
 
     #[test]

@@ -299,6 +299,50 @@ impl JobSpec {
         }
         Json::object(doc)
     }
+
+    /// Runs a [`Workload::Bench`] job with the core's windowed
+    /// time-series sampler enabled on the measured run, and returns the
+    /// sampled series (`condspec-timeseries-v1`) alongside the job
+    /// identity. The measurement protocol is identical to
+    /// [`JobSpec::execute`] — warm-up, stats reset, measured run — so
+    /// the series is deterministic: two calls with the same spec render
+    /// byte-identical documents.
+    ///
+    /// `window` is the sample window in cycles; at most `max_rows`
+    /// windows are kept (earliest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the workload is not a benchmark, the benchmark name
+    /// is unknown, or a run exceeds the budget (like `execute`).
+    pub fn execute_timeseries(&self, window: u64, max_rows: usize) -> Json {
+        let Workload::Bench {
+            benchmark,
+            iterations,
+            warmup,
+        } = &self.workload
+        else {
+            panic!("time-series sampling is only defined for benchmark workloads");
+        };
+        let spec = by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark `{benchmark}`"));
+        let warmup_program = build_program(&spec, *warmup);
+        let measured = build_program(&spec, *iterations);
+        let mut sim = Simulator::new(self.sim_config());
+        sim.core_mut().enable_sampler(window, max_rows);
+        // run_job resets statistics between warm-up and measurement,
+        // which restarts the sampler's series at window zero.
+        let report = sim.run_job(Some(&warmup_program), &measured, self.budget);
+        let series = sim
+            .core_mut()
+            .disable_sampler()
+            .expect("sampler was enabled");
+        Json::object(vec![
+            ("job", Json::from(self.hash_hex())),
+            ("key", Json::from(self.canonical_key())),
+            ("report", report.to_json()),
+            ("timeseries", series.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]

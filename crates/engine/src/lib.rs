@@ -28,15 +28,18 @@ pub mod hash;
 pub mod job;
 pub mod scheduler;
 pub mod sweep;
+pub mod telemetry;
 
 pub use artifact::{SweepDir, DEFAULT_ROOT};
 pub use job::{JobSpec, MachinePreset, Workload};
-pub use scheduler::{default_workers, run_jobs, JobResult};
+pub use scheduler::{default_workers, run_jobs, run_jobs_timed, JobResult, JobTiming};
 pub use sweep::{Sweep, SweepResults};
+pub use telemetry::SweepTelemetry;
 
+use condspec_stats::Json;
 use std::io;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// How to run a sweep.
@@ -50,6 +53,13 @@ pub struct SweepOptions {
     pub root: PathBuf,
     /// Suppress stderr progress lines.
     pub quiet: bool,
+    /// Render progress as a single live status line (overwritten in
+    /// place) instead of one line per finished job.
+    pub progress: bool,
+    /// Write wall-clock execution telemetry to `telemetry.json` in the
+    /// sweep directory. Off by default: the file is nondeterministic by
+    /// nature and excluded from the byte-identical artifact guarantee.
+    pub telemetry: bool,
 }
 
 impl Default for SweepOptions {
@@ -59,6 +69,8 @@ impl Default for SweepOptions {
             resume: false,
             root: PathBuf::from(DEFAULT_ROOT),
             quiet: false,
+            progress: false,
+            telemetry: false,
         }
     }
 }
@@ -140,7 +152,8 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome>
     let total = specs.len();
     let mut done = 0usize;
     let mut write_error: Option<io::Error> = None;
-    let job_results = run_jobs(&specs, workers, |slot, outcome| {
+    let mut telemetry = opts.telemetry.then(|| SweepTelemetry::new(workers));
+    let job_results = run_jobs_timed(&specs, workers, |slot, outcome, timing| {
         done += 1;
         let job = &specs[slot];
         if let Ok(doc) = outcome {
@@ -148,23 +161,46 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome>
                 write_error.get_or_insert(e);
             }
         }
+        if let Some(t) = telemetry.as_mut() {
+            t.record(job.hash_hex(), job.label(), outcome.is_ok(), *timing);
+        }
         if !opts.quiet {
             let state = if outcome.is_ok() { "done" } else { "FAILED" };
-            eprintln!(
-                "[{done}/{total} eta {}] {state} {}",
-                eta(done, total, started),
-                job.label()
-            );
+            if opts.progress {
+                // One status line, overwritten in place; padded so a
+                // shorter label does not leave residue.
+                eprint!(
+                    "\r[{done}/{total} eta {}] {state} {:<40}",
+                    eta(done, total, started),
+                    job.label()
+                );
+            } else {
+                eprintln!(
+                    "[{done}/{total} eta {}] {state} {}",
+                    eta(done, total, started),
+                    job.label()
+                );
+            }
             let _ = io::stderr().flush();
         }
     });
+    if !opts.quiet && opts.progress && total > 0 {
+        eprintln!();
+    }
     if let Some(e) = write_error {
         return Err(e);
+    }
+    if let Some(mut t) = telemetry {
+        t.total_wall_ms = started.elapsed().as_millis() as u64;
+        artifact::write_artifact(&dir.path().join("telemetry.json"), &t.to_json())?;
+        if !opts.quiet {
+            eprintln!("telemetry: {}", telemetry::summarize(&t));
+        }
     }
 
     // Fold fresh results in and derive per-job statuses in sweep order.
     let mut failed = Vec::new();
-    for ((_, job), outcome) in pending.iter().zip(job_results) {
+    for ((_, job), (outcome, _)) in pending.iter().zip(job_results) {
         match outcome {
             Ok(doc) => {
                 results.insert(job.hash_hex(), doc);
@@ -194,5 +230,86 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome>
         skipped,
         failed,
         results,
+    })
+}
+
+/// A sweep directory reloaded from disk — everything `condspec report`
+/// needs to re-render a finished (or partial) sweep without re-running
+/// any simulation.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The sweep definition the manifest names.
+    pub sweep: Sweep,
+    /// The content-derived sweep id.
+    pub sweep_id: String,
+    /// Artifacts found on disk, keyed by job hash.
+    pub results: SweepResults,
+    /// Jobs the manifest lists as failed, as `(hash, label)`.
+    pub failed: Vec<(String, String)>,
+    /// Jobs with no artifact on disk (not yet run), as `(hash, label)`.
+    pub missing: Vec<(String, String)>,
+    /// The `telemetry.json` sidecar, when the sweep ran with
+    /// [`SweepOptions::telemetry`].
+    pub telemetry: Option<Json>,
+}
+
+/// Reloads `<root>/<sweep_id>/` written by [`run_sweep`].
+///
+/// # Errors
+///
+/// Returns a human-readable message when the directory or its manifest
+/// is missing/malformed, or when the manifest names a sweep this binary
+/// does not know.
+pub fn load_sweep_report(root: &Path, sweep_id: &str) -> Result<SweepReport, String> {
+    let dir = root.join(sweep_id);
+    if !dir.is_dir() {
+        return Err(format!("no sweep directory at {}", dir.display()));
+    }
+    let sweep_dir = SweepDir::create(root, sweep_id).map_err(|e| e.to_string())?;
+    let manifest = sweep_dir
+        .manifest()
+        .ok_or_else(|| format!("{}/manifest.json missing or unparseable", dir.display()))?;
+    let name = manifest
+        .get("sweep")
+        .and_then(Json::as_str)
+        .ok_or("manifest has no sweep name")?;
+    let sweep =
+        Sweep::by_name(name).ok_or_else(|| format!("manifest names unknown sweep `{name}`"))?;
+
+    let mut results = SweepResults::new();
+    let mut failed = Vec::new();
+    let mut missing = Vec::new();
+    for job in &sweep.jobs {
+        let hash = job.hash_hex();
+        match sweep_dir.completed(&hash) {
+            Some(doc) => {
+                results.insert(hash, doc);
+            }
+            None => {
+                let listed_failed = manifest
+                    .get("jobs")
+                    .and_then(Json::as_array)
+                    .into_iter()
+                    .flatten()
+                    .any(|j| {
+                        j.get("hash").and_then(Json::as_str) == Some(hash.as_str())
+                            && j.get("status").and_then(Json::as_str) == Some("failed")
+                    });
+                if listed_failed {
+                    failed.push((hash, job.label()));
+                } else {
+                    missing.push((hash, job.label()));
+                }
+            }
+        }
+    }
+    let telemetry = artifact::load_artifact(&dir.join("telemetry.json"));
+    Ok(SweepReport {
+        sweep,
+        sweep_id: sweep_id.to_string(),
+        results,
+        failed,
+        missing,
+        telemetry,
     })
 }

@@ -15,10 +15,26 @@ use condspec_stats::Json;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// The outcome of one job: its artifact document, or the panic message
 /// of a failed run.
 pub type JobResult = Result<Json, String>;
+
+/// Wall-clock execution telemetry for one job. Never written into job
+/// artifacts or the manifest (those must stay deterministic); the
+/// engine's opt-in `telemetry.json` sidecar is its only persistent home.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Index of the worker thread that ran the job.
+    pub worker: usize,
+    /// Milliseconds between pool start and this job being claimed — how
+    /// long the job sat in the queue behind earlier claims.
+    pub queue_wait_ms: u64,
+    /// Milliseconds the job's simulation (including a panicking one)
+    /// actually ran.
+    pub wall_ms: u64,
+}
 
 /// The number of workers to use when the caller does not say:
 /// `std::thread::available_parallelism`, or 1 if unknown.
@@ -51,29 +67,52 @@ pub fn run_jobs(
     workers: usize,
     mut on_done: impl FnMut(usize, &JobResult),
 ) -> Vec<JobResult> {
+    run_jobs_timed(jobs, workers, |index, outcome, _| on_done(index, outcome))
+        .into_iter()
+        .map(|(outcome, _)| outcome)
+        .collect()
+}
+
+/// [`run_jobs`] plus per-job wall-clock telemetry: each result carries
+/// the [`JobTiming`] of its execution, and `on_done` additionally
+/// receives the timing. Results (and their order) are exactly what
+/// [`run_jobs`] produces — only the timings vary run to run.
+pub fn run_jobs_timed(
+    jobs: &[JobSpec],
+    workers: usize,
+    mut on_done: impl FnMut(usize, &JobResult, &JobTiming),
+) -> Vec<(JobResult, JobTiming)> {
     let workers = workers.max(1).min(jobs.len().max(1));
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, JobResult)>();
+    let (tx, rx) = mpsc::channel::<(usize, JobResult, JobTiming)>();
+    let started = Instant::now();
 
-    let mut results: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
+    let mut results: Vec<Option<(JobResult, JobTiming)>> = (0..jobs.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             scope.spawn(move || loop {
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = jobs.get(index) else { break };
+                let queue_wait_ms = started.elapsed().as_millis() as u64;
+                let job_started = Instant::now();
                 let outcome =
                     catch_unwind(AssertUnwindSafe(|| spec.execute())).map_err(panic_message);
-                if tx.send((index, outcome)).is_err() {
+                let timing = JobTiming {
+                    worker,
+                    queue_wait_ms,
+                    wall_ms: job_started.elapsed().as_millis() as u64,
+                };
+                if tx.send((index, outcome, timing)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        for (index, outcome) in rx {
-            on_done(index, &outcome);
-            results[index] = Some(outcome);
+        for (index, outcome, timing) in rx {
+            on_done(index, &outcome, &timing);
+            results[index] = Some((outcome, timing));
         }
     });
     results
@@ -134,5 +173,23 @@ mod tests {
     #[test]
     fn empty_job_list_is_fine() {
         assert!(run_jobs(&[], 4, |_, _| {}).is_empty());
+    }
+
+    #[test]
+    fn timed_runs_report_plausible_telemetry() {
+        let jobs = vec![tiny_job("gcc"), tiny_job("mcf"), tiny_job("lbm")];
+        let timed = run_jobs_timed(&jobs, 2, |_, outcome, timing| {
+            assert!(outcome.is_ok());
+            assert!(timing.worker < 2);
+        });
+        assert_eq!(timed.len(), 3);
+        // Same results as the untimed API, in the same order.
+        let plain = run_jobs(&jobs, 2, |_, _| {});
+        for ((timed_result, _), plain_result) in timed.iter().zip(&plain) {
+            assert_eq!(
+                timed_result.as_ref().map(Json::render),
+                plain_result.as_ref().map(Json::render)
+            );
+        }
     }
 }

@@ -1,0 +1,187 @@
+//! Opt-in, wall-clock sweep telemetry.
+//!
+//! Everything in this module measures the *execution* of a sweep — how
+//! long jobs ran, how long they queued, how busy each worker was — and
+//! is therefore inherently nondeterministic. It is kept strictly out of
+//! the deterministic artifact set: job artifacts and `manifest.json`
+//! never contain a timestamp, and telemetry lands in its own
+//! `telemetry.json` sidecar only when
+//! [`SweepOptions::telemetry`](crate::SweepOptions::telemetry) asks for
+//! it. Tools diffing sweep directories for byte-identity should ignore
+//! (or simply not request) this file.
+
+use crate::scheduler::JobTiming;
+use condspec_stats::Json;
+
+/// Schema identifier written into `telemetry.json`.
+pub const TELEMETRY_SCHEMA: &str = "condspec-telemetry-v1";
+
+/// One job's execution record.
+#[derive(Debug, Clone)]
+pub struct JobTelemetry {
+    /// The job's content hash (artifact file stem).
+    pub hash: String,
+    /// Human-readable job label.
+    pub label: String,
+    /// Whether the job completed (false = panicked).
+    pub ok: bool,
+    /// Scheduler timing for the run.
+    pub timing: JobTiming,
+}
+
+/// Execution telemetry for one sweep run: per-job records plus derived
+/// worker-utilization figures. Jobs skipped by `--resume` do not appear
+/// (they did not execute).
+#[derive(Debug, Clone, Default)]
+pub struct SweepTelemetry {
+    /// Worker threads the pool ran with.
+    pub workers: usize,
+    /// Wall-clock duration of the whole pool run, in milliseconds.
+    pub total_wall_ms: u64,
+    /// Executed jobs, in sweep order.
+    pub jobs: Vec<JobTelemetry>,
+}
+
+impl SweepTelemetry {
+    /// Creates an empty record for a pool of `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        SweepTelemetry {
+            workers,
+            total_wall_ms: 0,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Records one executed job.
+    pub fn record(&mut self, hash: String, label: String, ok: bool, timing: JobTiming) {
+        self.jobs.push(JobTelemetry {
+            hash,
+            label,
+            ok,
+            timing,
+        });
+    }
+
+    /// Jobs that panicked.
+    pub fn panics(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.ok).count()
+    }
+
+    /// Milliseconds each worker spent executing jobs (index = worker).
+    pub fn worker_busy_ms(&self) -> Vec<u64> {
+        let mut busy = vec![0u64; self.workers];
+        for job in &self.jobs {
+            if let Some(slot) = busy.get_mut(job.timing.worker) {
+                *slot += job.timing.wall_ms;
+            }
+        }
+        busy
+    }
+
+    /// Mean fraction of the pool's wall time the workers spent busy
+    /// (1.0 = perfectly packed). Zero when nothing ran.
+    pub fn utilization(&self) -> f64 {
+        if self.total_wall_ms == 0 || self.workers == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_busy_ms().iter().sum();
+        busy as f64 / (self.total_wall_ms as f64 * self.workers as f64)
+    }
+
+    /// Renders the telemetry document written to `telemetry.json`.
+    pub fn to_json(&self) -> Json {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| {
+                Json::object(vec![
+                    ("hash", Json::from(j.hash.as_str())),
+                    ("label", Json::from(j.label.as_str())),
+                    ("ok", Json::from(j.ok)),
+                    ("worker", Json::from(j.timing.worker as u64)),
+                    ("queue_wait_ms", Json::from(j.timing.queue_wait_ms)),
+                    ("wall_ms", Json::from(j.timing.wall_ms)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::object(vec![
+            ("schema", Json::from(TELEMETRY_SCHEMA)),
+            ("workers", Json::from(self.workers as u64)),
+            ("total_wall_ms", Json::from(self.total_wall_ms)),
+            ("executed", Json::from(self.jobs.len() as u64)),
+            ("panics", Json::from(self.panics() as u64)),
+            (
+                "worker_busy_ms",
+                Json::Array(self.worker_busy_ms().into_iter().map(Json::from).collect()),
+            ),
+            ("utilization", Json::from(self.utilization())),
+            ("jobs", Json::Array(jobs)),
+        ])
+    }
+}
+
+/// One-line human summary for the end of a sweep run.
+pub fn summarize(telemetry: &SweepTelemetry) -> String {
+    format!(
+        "{} jobs on {} workers in {:.1}s, {:.0}% utilization, {} panics",
+        telemetry.jobs.len(),
+        telemetry.workers,
+        telemetry.total_wall_ms as f64 / 1000.0,
+        telemetry.utilization() * 100.0,
+        telemetry.panics(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(worker: usize, queue_wait_ms: u64, wall_ms: u64) -> JobTiming {
+        JobTiming {
+            worker,
+            queue_wait_ms,
+            wall_ms,
+        }
+    }
+
+    fn sample() -> SweepTelemetry {
+        let mut t = SweepTelemetry::new(2);
+        t.total_wall_ms = 100;
+        t.record("aa".into(), "gcc/origin".into(), true, timing(0, 0, 60));
+        t.record("bb".into(), "mcf/origin".into(), true, timing(1, 1, 80));
+        t.record("cc".into(), "lbm/origin".into(), false, timing(0, 61, 20));
+        t
+    }
+
+    #[test]
+    fn utilization_and_busy_accounting() {
+        let t = sample();
+        assert_eq!(t.worker_busy_ms(), vec![80, 80]);
+        assert_eq!(t.panics(), 1);
+        assert!((t.utilization() - 0.8).abs() < 1e-9);
+        assert_eq!(SweepTelemetry::new(4).utilization(), 0.0);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let doc = sample().to_json();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(TELEMETRY_SCHEMA)
+        );
+        assert_eq!(doc.get("executed").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("panics").and_then(Json::as_u64), Some(1));
+        let jobs = doc.get("jobs").and_then(Json::as_array).expect("jobs");
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[2].get("ok").and_then(Json::as_bool), Some(false));
+        Json::parse(&doc.render()).expect("valid JSON");
+    }
+
+    #[test]
+    fn summary_line_mentions_the_figures() {
+        let line = summarize(&sample());
+        assert!(line.contains("3 jobs"), "{line}");
+        assert!(line.contains("2 workers"), "{line}");
+        assert!(line.contains("1 panics"), "{line}");
+    }
+}

@@ -51,6 +51,8 @@ fn options(root: &Path, workers: usize) -> SweepOptions {
         resume: false,
         root: root.to_path_buf(),
         quiet: true,
+        progress: false,
+        telemetry: false,
     }
 }
 

@@ -25,15 +25,17 @@ use crate::events::{Completion, EventWheel};
 use crate::iq::{IqEntry, IssueQueue};
 use crate::lsq::Lsq;
 use crate::policy::{
-    DispatchInfo, InstClass, MemAccessQuery, MemDecision, NullPolicy, SecurityPolicy,
+    BlockFilter, DispatchInfo, InstClass, MemAccessQuery, MemDecision, NullPolicy, SecurityPolicy,
 };
 use crate::regfile::RegFile;
 use crate::rob::{Rob, RobEntry, RobState};
+use crate::sampler::TimeSeriesSampler;
 use crate::stats::PipelineStats;
-use crate::trace::{TraceBuffer, TraceEvent};
+use crate::trace::{SquashCause, TraceBuffer, TraceEvent};
 use condspec_frontend::FrontEnd;
 use condspec_isa::{Inst, Program, Reg, INST_BYTES};
 use condspec_mem::{page_number, CacheHierarchy, LruUpdate, MainMemory, PageTable, Tlb};
+use condspec_stats::MetricsRegistry;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -266,6 +268,9 @@ pub struct Core {
     last_commit_cycle: u64,
     stats: PipelineStats,
     trace: Option<TraceBuffer>,
+    /// Windowed time-series sampler, off (`None`) by default; boxed so
+    /// the disabled case costs the hot loop one pointer-sized branch.
+    sampler: Option<Box<TimeSeriesSampler>>,
 
     // Per-cycle scratch buffers. Each is cleared and refilled where it is
     // used (via `mem::take` so `&mut self` stage methods can run while it
@@ -392,6 +397,7 @@ impl Core {
             last_commit_cycle: 0,
             stats: PipelineStats::default(),
             trace: None,
+            sampler: None,
         }
     }
 
@@ -621,14 +627,26 @@ impl Core {
         if let Some(at) = self.events.next_due(self.cycle, target) {
             target = target.min(at);
         }
+        // The sampler cuts windows at exact statistics-cycle boundaries;
+        // clamp the jump so `stats.cycles` lands on the boundary instead
+        // of leaping past it. The next iteration resumes skipping.
+        if let Some(sampler) = &self.sampler {
+            let remaining = sampler.next_boundary().saturating_sub(self.stats.cycles);
+            target = target.min(self.cycle + remaining);
+        }
         let skipped = target.saturating_sub(self.cycle);
         if skipped == 0 {
             return;
         }
+        self.trace(TraceEvent::FastForward {
+            cycle: self.cycle,
+            skipped,
+        });
         self.cycle = target;
         self.stats.cycles += skipped;
         self.stats.rob_occupancy_sum += skipped * self.rob.len() as u64;
         self.stats.iq_occupancy_sum += skipped * self.iq.occupancy() as u64;
+        self.sample_tick();
     }
 
     /// Advances the machine by one cycle.
@@ -643,6 +661,18 @@ impl Core {
         self.stats.cycles += 1;
         self.stats.rob_occupancy_sum += self.rob.len() as u64;
         self.stats.iq_occupancy_sum += self.iq.occupancy() as u64;
+        self.sample_tick();
+    }
+
+    /// Cuts a sample window if the cycle that just ended reached the
+    /// sampler's boundary. One `Option` branch when sampling is off.
+    #[inline]
+    fn sample_tick(&mut self) {
+        if let Some(sampler) = self.sampler.as_deref_mut() {
+            if self.stats.cycles >= sampler.next_boundary() {
+                sampler.cut(&self.stats);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -852,6 +882,16 @@ impl Core {
             }
             if let Some(barrier) = fence_barrier {
                 if seq > barrier {
+                    // Held by the serialization barrier. Only noted for
+                    // memory candidates (the security-relevant case) and
+                    // only at stepped cycles — fast-forward collapses
+                    // repeated holds of an idle window into none.
+                    if entry.is_mem {
+                        self.trace(TraceEvent::FenceHold {
+                            cycle: self.cycle,
+                            seq,
+                        });
+                    }
                     continue; // younger than a pending fence
                 }
             }
@@ -863,7 +903,20 @@ impl Core {
                     continue;
                 }
                 let awake = match self.block_reasons[slot] {
-                    Some(BlockReason::Security) => !self.policy.has_pending_dependence(slot),
+                    Some(BlockReason::Security) => {
+                        let cleared = !self.policy.has_pending_dependence(slot);
+                        if cleared {
+                            // The security dependence matrix column went
+                            // clear: the unsafe window closed and the
+                            // blocked access may replay.
+                            self.trace(TraceEvent::MatrixClear {
+                                cycle: self.cycle,
+                                seq,
+                                slot,
+                            });
+                        }
+                        cleared
+                    }
                     Some(BlockReason::StoreAddr) => !self.lsq.older_store_unknown(seq),
                     Some(BlockReason::StoreData { vaddr, size }) => {
                         !self.lsq.older_store_data_unknown(seq, vaddr, size)
@@ -1062,7 +1115,7 @@ impl Core {
                 if let Some(load_seq) = self.lsq.violation_on_store(seq, vaddr, size.bytes()) {
                     let redirect = self.rob.get(load_seq).expect("violating load in flight").pc;
                     self.stats.violation_squashes += 1;
-                    self.squash_from(load_seq.saturating_sub(1), redirect);
+                    self.squash_from(load_seq.saturating_sub(1), redirect, SquashCause::MemOrder);
                 }
                 false
             }
@@ -1071,6 +1124,16 @@ impl Core {
                 let older_unknown = self.lsq.older_store_unknown(seq);
                 if older_unknown && !self.config.spec_store_bypass {
                     // Conservative memory disambiguation: wait in the IQ.
+                    // (Store-hazard bounces trace the *virtual* page —
+                    // translation has not happened yet — and do not count
+                    // as defense block events.)
+                    self.trace(TraceEvent::Block {
+                        cycle: self.cycle,
+                        seq,
+                        filter: BlockFilter::StoreAddr,
+                        vaddr,
+                        page: page_number(vaddr),
+                    });
                     self.iq.bounce(slot);
                     self.block_reasons[slot] = Some(BlockReason::StoreAddr);
                     self.blocked_until[slot] = self.cycle + self.config.block_replay_penalty;
@@ -1079,6 +1142,13 @@ impl Core {
                 if self.lsq.older_store_data_unknown(seq, vaddr, size.bytes()) {
                     // An older store to these bytes has a known address
                     // but pending data: wait for it (forwarding stall).
+                    self.trace(TraceEvent::Block {
+                        cycle: self.cycle,
+                        seq,
+                        filter: BlockFilter::StoreData,
+                        vaddr,
+                        page: page_number(vaddr),
+                    });
                     self.iq.bounce(slot);
                     self.block_reasons[slot] = Some(BlockReason::StoreData {
                         vaddr,
@@ -1107,12 +1177,37 @@ impl Core {
                     l1_hit,
                     ppn: page_number(paddr),
                 };
-                match self.policy.check_mem_access(&query) {
-                    MemDecision::Block => {
+                let decision = self.policy.check_mem_access(&query);
+                // TPBuf probe reconstruction: a suspect L1D miss is
+                // exactly the case the S-Pattern filter probes. The
+                // outcome is inferred from the decision (an S-Pattern
+                // block means the page matched a trained pattern), so the
+                // event reflects the *installed* policy — a TPBuf-less
+                // policy that lets a suspect miss proceed reads as a
+                // non-matching probe.
+                if self.trace.is_some() && suspect && !l1_hit {
+                    let matched = matches!(
+                        decision,
+                        MemDecision::Block {
+                            filter: BlockFilter::SPattern
+                        }
+                    );
+                    self.trace(TraceEvent::TpbufProbe {
+                        cycle: self.cycle,
+                        seq,
+                        page: page_number(paddr),
+                        matched,
+                    });
+                }
+                match decision {
+                    MemDecision::Block { filter } => {
                         self.stats.block_events += 1;
                         self.trace(TraceEvent::Block {
                             cycle: self.cycle,
                             seq,
+                            filter,
+                            vaddr,
+                            page: page_number(paddr),
                         });
                         let rob_entry = self.rob.get_mut(seq).expect("in flight");
                         rob_entry.was_blocked = true;
@@ -1185,7 +1280,7 @@ impl Core {
         if actual != predicted {
             self.rob.get_mut(seq).expect("in flight").mispredicted = true;
             self.stats.mispredict_squashes += 1;
-            self.squash_from(seq, actual);
+            self.squash_from(seq, actual, SquashCause::Mispredict);
         }
     }
 
@@ -1199,7 +1294,7 @@ impl Core {
         if actual != predicted {
             self.rob.get_mut(seq).expect("in flight").mispredicted = true;
             self.stats.mispredict_squashes += 1;
-            self.squash_from(seq, actual);
+            self.squash_from(seq, actual, SquashCause::Mispredict);
         }
     }
 
@@ -1209,11 +1304,12 @@ impl Core {
 
     /// Squashes every instruction younger than `keep_seq` and redirects
     /// fetch to `redirect_pc`.
-    fn squash_from(&mut self, keep_seq: u64, redirect_pc: u64) {
+    fn squash_from(&mut self, keep_seq: u64, redirect_pc: u64, cause: SquashCause) {
         self.trace(TraceEvent::Squash {
             cycle: self.cycle,
             keep_seq,
             redirect_pc,
+            cause,
         });
         let mut squashed = std::mem::take(&mut self.squash_scratch);
         self.rob.squash_after_into(keep_seq, &mut squashed);
@@ -1393,6 +1489,15 @@ impl Core {
                 self.policy
                     .on_dispatch(DispatchInfo { slot, seq, class }, &[]);
             }
+            // The dispatch hook is where the security dependence matrix
+            // records unresolved-branch dependences for this entry.
+            if self.trace.is_some() && self.policy.has_pending_dependence(slot) {
+                self.trace(TraceEvent::MatrixSet {
+                    cycle: self.cycle,
+                    seq,
+                    slot,
+                });
+            }
 
             if inst.is_load() {
                 self.lsq
@@ -1536,6 +1641,34 @@ impl Core {
         self.trace.as_ref()
     }
 
+    /// Turns on windowed time-series sampling: every `window` cycles
+    /// the statistics deltas are cut into a [`SampleRow`], up to
+    /// `max_rows` rows. Re-enabling replaces the series. While sampling
+    /// is on, idle fast-forward jumps are clamped to window boundaries,
+    /// so the sampled series is identical to stepping every cycle.
+    ///
+    /// [`SampleRow`]: crate::sampler::SampleRow
+    pub fn enable_sampler(&mut self, window: u64, max_rows: usize) {
+        self.sampler = Some(Box::new(TimeSeriesSampler::new(
+            window,
+            max_rows,
+            &self.stats,
+        )));
+    }
+
+    /// Turns sampling off and returns the series (with a final partial
+    /// window flushed), if any.
+    pub fn disable_sampler(&mut self) -> Option<TimeSeriesSampler> {
+        let mut sampler = self.sampler.take()?;
+        sampler.flush(&self.stats);
+        Some(*sampler)
+    }
+
+    /// The current sampler, if sampling is enabled.
+    pub fn sampler(&self) -> Option<&TimeSeriesSampler> {
+        self.sampler.as_deref()
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -1561,13 +1694,58 @@ impl Core {
     }
 
     /// Resets pipeline, hierarchy, TLB, predictor and policy statistics
-    /// (after warm-up). Does not touch microarchitectural state.
+    /// (after warm-up). Does not touch microarchitectural state. An
+    /// active time-series sampler restarts at window zero.
     pub fn reset_stats(&mut self) {
         self.stats = PipelineStats::default();
         self.hierarchy.reset_stats();
         self.tlb.reset_stats();
         self.frontend.reset_stats();
         self.policy.reset_stats();
+        if let Some(sampler) = self.sampler.as_deref_mut() {
+            sampler.restart(&self.stats);
+        }
+    }
+
+    /// Fills `registry` with the core's named metrics: every
+    /// [`PipelineStats`] counter under `core.*`, derived gauges (IPC,
+    /// blocked rate, mean occupancies), the installed policy's counters
+    /// under `policy.*`, and — when sampling is enabled — a per-window
+    /// IPC histogram. Existing entries with other names are preserved.
+    pub fn fill_metrics(&self, registry: &mut MetricsRegistry) {
+        let s = &self.stats;
+        registry.set_counter("core.cycles", s.cycles);
+        registry.set_counter("core.committed", s.committed);
+        registry.set_counter("core.committed_loads", s.committed_loads);
+        registry.set_counter("core.committed_stores", s.committed_stores);
+        registry.set_counter("core.committed_branches", s.committed_branches);
+        registry.set_counter("core.blocked_committed_loads", s.blocked_committed_loads);
+        registry.set_counter("core.block_events", s.block_events);
+        registry.set_counter("core.issued", s.issued);
+        registry.set_counter("core.load_accesses", s.load_accesses);
+        registry.set_counter("core.mispredict_squashes", s.mispredict_squashes);
+        registry.set_counter("core.violation_squashes", s.violation_squashes);
+        registry.set_counter("core.squashed_insts", s.squashed_insts);
+        registry.set_counter("core.icache_fetch_stalls", s.icache_fetch_stalls);
+        registry.set_counter("core.suspect_l1_hits", s.suspect_l1.hits());
+        registry.set_counter("core.suspect_l1_accesses", s.suspect_l1.total());
+        registry.set_gauge("core.ipc", s.ipc());
+        registry.set_gauge("core.blocked_rate", s.blocked_rate());
+        registry.set_gauge("core.suspect_l1_hit_rate", s.suspect_l1.rate());
+        registry.set_gauge("core.avg_rob_occupancy", s.avg_rob_occupancy());
+        registry.set_gauge("core.avg_iq_occupancy", s.avg_iq_occupancy());
+        let p = self.policy.stats();
+        registry.set_counter("policy.suspect_flags", p.suspect_flags);
+        registry.set_counter("policy.blocks", p.blocks);
+        registry.set_counter("policy.tpbuf_queries", p.tpbuf_queries);
+        registry.set_counter("policy.tpbuf_mismatches", p.tpbuf_mismatches);
+        registry.set_gauge(
+            "policy.s_pattern_mismatch_rate",
+            p.s_pattern_mismatch_rate(),
+        );
+        if let Some(sampler) = self.sampler.as_deref() {
+            registry.set_histogram("core.window_ipc_x100", sampler.ipc_histogram());
+        }
     }
 
     /// The architectural value of `reg` (through the current rename map —

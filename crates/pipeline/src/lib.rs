@@ -42,16 +42,19 @@ pub mod core;
 pub mod events;
 pub mod iq;
 pub mod lsq;
+pub mod perfetto;
 pub mod policy;
 pub mod regfile;
 pub mod rob;
+pub mod sampler;
 pub mod stats;
 pub mod trace;
 
 pub use crate::core::{Core, CoreConfig, ExitReason, RunResult};
 pub use policy::{
-    DispatchInfo, InstClass, IqEntryView, MemAccessQuery, MemDecision, NullPolicy, PolicyStats,
-    SecurityPolicy,
+    BlockFilter, DispatchInfo, InstClass, IqEntryView, MemAccessQuery, MemDecision, NullPolicy,
+    PolicyStats, SecurityPolicy,
 };
+pub use sampler::{SampleRow, TimeSeriesSampler, TIMESERIES_SCHEMA};
 pub use stats::PipelineStats;
-pub use trace::{TraceBuffer, TraceEvent};
+pub use trace::{SquashCause, TraceBuffer, TraceEvent};

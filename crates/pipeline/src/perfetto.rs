@@ -1,0 +1,381 @@
+//! Chrome trace-event (Perfetto-loadable) export of a [`TraceBuffer`].
+//!
+//! [`to_chrome_trace`] renders a recorded trace as the JSON object form
+//! of the [Chrome trace-event format] — the format `chrome://tracing`
+//! and [ui.perfetto.dev](https://ui.perfetto.dev) open directly. The
+//! mapping:
+//!
+//! * one *process* (`condspec-core`) with one *thread track per pipeline
+//!   stage* (dispatch, issue, memory, security, commit, control,
+//!   scheduler), declared with `"M"` metadata events;
+//! * every [`TraceEvent`] becomes a `"X"` complete event whose
+//!   timestamp is the simulated **cycle** (1 cycle ≙ 1 µs on the
+//!   viewer's axis) and whose `args` carry the event's full payload —
+//!   filter labels, effective addresses, pages, squash causes;
+//! * each instruction's dispatch → issue → commit lifecycle is stitched
+//!   across tracks with `"s"`/`"t"`/`"f"` flow events, keyed by
+//!   sequence number *and* a per-sequence incarnation counter so
+//!   squash-recycled sequence numbers do not join unrelated arrows.
+//!
+//! Timestamps come from the simulated clock only, so the export is
+//! byte-identical across runs and hosts.
+//!
+//! [Chrome trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::trace::{TraceBuffer, TraceEvent};
+use condspec_stats::Json;
+use std::collections::HashMap;
+
+/// Schema identifier written into the export's `otherData`.
+pub const TRACE_SCHEMA: &str = "condspec-trace-v1";
+
+/// The single process id all tracks live under.
+const PID: u64 = 1;
+
+/// Per-stage thread tracks, in display order.
+const TRACKS: [(u64, &str); 7] = [
+    (1, "dispatch"),
+    (2, "issue"),
+    (3, "memory"),
+    (4, "security"),
+    (5, "commit"),
+    (6, "control"),
+    (7, "scheduler"),
+];
+
+/// The thread track an event is drawn on.
+fn tid(event: &TraceEvent) -> u64 {
+    match event {
+        TraceEvent::Dispatch { .. } => 1,
+        TraceEvent::Issue { .. } => 2,
+        TraceEvent::Block { .. } | TraceEvent::TpbufProbe { .. } => 3,
+        TraceEvent::MatrixSet { .. }
+        | TraceEvent::MatrixClear { .. }
+        | TraceEvent::FenceHold { .. } => 4,
+        TraceEvent::Complete { .. } | TraceEvent::Commit { .. } => 5,
+        TraceEvent::Squash { .. } => 6,
+        TraceEvent::FastForward { .. } => 7,
+    }
+}
+
+/// The short name drawn on the slice.
+fn name(event: &TraceEvent) -> &'static str {
+    match event {
+        TraceEvent::Dispatch { .. } => "dispatch",
+        TraceEvent::Issue { .. } => "issue",
+        TraceEvent::Block { .. } => "block",
+        TraceEvent::TpbufProbe { .. } => "tpbuf-probe",
+        TraceEvent::MatrixSet { .. } => "matrix-set",
+        TraceEvent::MatrixClear { .. } => "matrix-clear",
+        TraceEvent::FenceHold { .. } => "fence-hold",
+        TraceEvent::Complete { .. } => "complete",
+        TraceEvent::Commit { .. } => "commit",
+        TraceEvent::Squash { .. } => "squash",
+        TraceEvent::FastForward { .. } => "fast-forward",
+    }
+}
+
+fn hex(v: u64) -> Json {
+    Json::from(format!("{v:#x}"))
+}
+
+/// The event payload, rendered into the slice's `args`.
+fn args(event: &TraceEvent) -> Json {
+    match *event {
+        TraceEvent::Dispatch { seq, pc, .. } => {
+            Json::object([("seq", Json::from(seq)), ("pc", hex(pc))])
+        }
+        TraceEvent::Issue { seq, suspect, .. } => {
+            Json::object([("seq", Json::from(seq)), ("suspect", Json::from(suspect))])
+        }
+        TraceEvent::Block {
+            seq,
+            filter,
+            vaddr,
+            page,
+            ..
+        } => Json::object([
+            ("seq", Json::from(seq)),
+            ("filter", Json::from(filter.label())),
+            ("vaddr", hex(vaddr)),
+            ("page", hex(page)),
+        ]),
+        TraceEvent::TpbufProbe {
+            seq, page, matched, ..
+        } => Json::object([
+            ("seq", Json::from(seq)),
+            ("page", hex(page)),
+            ("matched", Json::from(matched)),
+        ]),
+        TraceEvent::MatrixSet { seq, slot, .. } | TraceEvent::MatrixClear { seq, slot, .. } => {
+            Json::object([("seq", Json::from(seq)), ("slot", Json::from(slot as u64))])
+        }
+        TraceEvent::FenceHold { seq, .. } => Json::object([("seq", Json::from(seq))]),
+        TraceEvent::Complete { seq, .. } => Json::object([("seq", Json::from(seq))]),
+        TraceEvent::Commit { seq, pc, .. } => {
+            Json::object([("seq", Json::from(seq)), ("pc", hex(pc))])
+        }
+        TraceEvent::Squash {
+            keep_seq,
+            redirect_pc,
+            cause,
+            ..
+        } => Json::object([
+            ("cause", Json::from(cause.label())),
+            ("keep_seq", Json::from(keep_seq)),
+            ("redirect_pc", hex(redirect_pc)),
+        ]),
+        TraceEvent::FastForward { skipped, .. } => Json::object([("skipped", Json::from(skipped))]),
+    }
+}
+
+/// One `"M"` metadata record.
+fn metadata(name: &str, arg_key: &str, arg_val: &str, tid: Option<u64>) -> Json {
+    let mut fields = vec![
+        ("name", Json::from(name)),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(PID)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid", Json::from(tid)));
+    }
+    fields.push(("args", Json::object([(arg_key, Json::from(arg_val))])));
+    Json::object(fields)
+}
+
+/// One `"X"` complete event of `dur` cycles.
+fn slice(event: &TraceEvent, dur: u64) -> Json {
+    Json::object([
+        ("name", Json::from(name(event))),
+        ("cat", Json::from(event.category())),
+        ("ph", Json::from("X")),
+        ("ts", Json::from(event.cycle())),
+        ("dur", Json::from(dur)),
+        ("pid", Json::from(PID)),
+        ("tid", Json::from(tid(event))),
+        ("args", args(event)),
+    ])
+}
+
+/// One flow event (`ph` ∈ s/t/f) stitching an instruction's lifecycle.
+fn flow(ph: &str, event: &TraceEvent, id: &str) -> Json {
+    let mut fields = vec![
+        ("name", Json::from("inst")),
+        ("cat", Json::from("flow")),
+        ("ph", Json::from(ph)),
+        ("id", Json::from(id)),
+        ("ts", Json::from(event.cycle())),
+        ("pid", Json::from(PID)),
+        ("tid", Json::from(tid(event))),
+    ];
+    if ph == "f" {
+        // Bind the finish to the enclosing slice so the arrow lands on
+        // the commit box rather than the next slice on the track.
+        fields.push(("bp", Json::from("e")));
+    }
+    Json::object(fields)
+}
+
+/// Renders `buffer` as a Chrome trace-event JSON document.
+///
+/// The result is a `{"traceEvents": [...], "displayTimeUnit": "ms",
+/// "otherData": {...}}` object; serialize it with
+/// [`Json::render`] and load the file in Perfetto or `chrome://tracing`.
+/// `otherData` records the schema name, the buffered event count and
+/// how many events the bounded [`TraceBuffer`] dropped.
+pub fn to_chrome_trace(buffer: &TraceBuffer) -> Json {
+    let mut out: Vec<Json> = Vec::with_capacity(buffer.len() + TRACKS.len() + 1);
+    out.push(metadata("process_name", "name", "condspec-core", None));
+    for (tid, label) in TRACKS {
+        out.push(metadata("thread_name", "name", label, Some(tid)));
+    }
+
+    // Sequence numbers are reused across squash/refetch; a per-seq
+    // incarnation counter keeps each lifetime's flow arrows separate.
+    let mut incarnation: HashMap<u64, u64> = HashMap::new();
+    for event in buffer.events() {
+        match *event {
+            TraceEvent::Dispatch { seq, .. } => {
+                let generation = incarnation.entry(seq).and_modify(|g| *g += 1).or_insert(0);
+                out.push(slice(event, 1));
+                out.push(flow("s", event, &format!("seq{seq}.{generation}")));
+            }
+            TraceEvent::Issue { seq, .. } => {
+                out.push(slice(event, 1));
+                if let Some(generation) = incarnation.get(&seq) {
+                    out.push(flow("t", event, &format!("seq{seq}.{generation}")));
+                }
+            }
+            TraceEvent::Commit { seq, .. } => {
+                out.push(slice(event, 1));
+                if let Some(generation) = incarnation.get(&seq) {
+                    out.push(flow("f", event, &format!("seq{seq}.{generation}")));
+                }
+            }
+            TraceEvent::FastForward { skipped, .. } => {
+                out.push(slice(event, skipped));
+            }
+            _ => out.push(slice(event, 1)),
+        }
+    }
+
+    Json::object([
+        ("traceEvents", Json::Array(out)),
+        // 1 simulated cycle is encoded as 1 µs of trace time.
+        ("displayTimeUnit", Json::from("ms")),
+        (
+            "otherData",
+            Json::object([
+                ("schema", Json::from(TRACE_SCHEMA)),
+                ("clock", Json::from("simulated-cycles")),
+                ("events", Json::from(buffer.len() as u64)),
+                ("dropped", Json::from(buffer.dropped())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BlockFilter;
+    use crate::trace::SquashCause;
+
+    fn sample_buffer() -> TraceBuffer {
+        let mut t = TraceBuffer::new(64);
+        t.push(TraceEvent::Dispatch {
+            cycle: 1,
+            seq: 0,
+            pc: 0x1000,
+        });
+        t.push(TraceEvent::Issue {
+            cycle: 2,
+            seq: 0,
+            suspect: true,
+        });
+        t.push(TraceEvent::Block {
+            cycle: 2,
+            seq: 0,
+            filter: BlockFilter::CacheMiss,
+            vaddr: 0x8000_0040,
+            page: 0x8000,
+        });
+        t.push(TraceEvent::FastForward {
+            cycle: 3,
+            skipped: 5,
+        });
+        t.push(TraceEvent::Squash {
+            cycle: 8,
+            keep_seq: 0,
+            redirect_pc: 0x1004,
+            cause: SquashCause::Mispredict,
+        });
+        t.push(TraceEvent::Commit {
+            cycle: 9,
+            seq: 0,
+            pc: 0x1000,
+        });
+        t
+    }
+
+    fn events(doc: &Json) -> &[Json] {
+        doc.get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array")
+    }
+
+    #[test]
+    fn export_declares_tracks_and_schema() {
+        let doc = to_chrome_trace(&sample_buffer());
+        let evs = events(&doc);
+        let metadata = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .count();
+        assert_eq!(metadata, 1 + TRACKS.len(), "process + one per track");
+        let other = doc.get("otherData").expect("otherData");
+        assert_eq!(
+            other.get("schema").and_then(Json::as_str),
+            Some(TRACE_SCHEMA)
+        );
+        assert_eq!(other.get("events").and_then(Json::as_u64), Some(6));
+        assert_eq!(other.get("dropped").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_and_payload_survives() {
+        let doc = to_chrome_trace(&sample_buffer());
+        let mut last = 0;
+        let mut block_args = None;
+        for e in events(&doc) {
+            if e.get("ph").and_then(Json::as_str) == Some("M") {
+                continue;
+            }
+            let ts = e.get("ts").and_then(Json::as_u64).expect("ts");
+            assert!(ts >= last, "timestamps must be non-decreasing");
+            last = ts;
+            if e.get("name").and_then(Json::as_str) == Some("block") {
+                block_args = e.get("args").cloned();
+            }
+        }
+        let args = block_args.expect("block slice exported");
+        assert_eq!(
+            args.get("filter").and_then(Json::as_str),
+            Some("cache-miss")
+        );
+        assert_eq!(args.get("vaddr").and_then(Json::as_str), Some("0x80000040"));
+    }
+
+    #[test]
+    fn lifecycle_flows_share_an_id_and_fast_forward_spans_window() {
+        let doc = to_chrome_trace(&sample_buffer());
+        let flows: Vec<&Json> = events(&doc)
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("flow"))
+            .collect();
+        assert_eq!(flows.len(), 3, "s, t, f for the one instruction");
+        let ids: Vec<_> = flows
+            .iter()
+            .map(|e| e.get("id").and_then(Json::as_str).unwrap())
+            .collect();
+        assert!(ids.iter().all(|i| *i == "seq0.0"));
+        let phases: Vec<_> = flows
+            .iter()
+            .map(|e| e.get("ph").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(phases, vec!["s", "t", "f"]);
+
+        let ff = events(&doc)
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("fast-forward"))
+            .expect("fast-forward slice");
+        assert_eq!(ff.get("dur").and_then(Json::as_u64), Some(5));
+    }
+
+    #[test]
+    fn recycled_seq_gets_a_new_flow_generation() {
+        let mut t = TraceBuffer::new(16);
+        for cycle in [1, 5] {
+            t.push(TraceEvent::Dispatch {
+                cycle,
+                seq: 3,
+                pc: 0x2000,
+            });
+        }
+        let doc = to_chrome_trace(&t);
+        let ids: Vec<String> = events(&doc)
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .map(|e| e.get("id").and_then(Json::as_str).unwrap().to_string())
+            .collect();
+        assert_eq!(ids, vec!["seq3.0", "seq3.1"]);
+    }
+
+    #[test]
+    fn render_parses_back() {
+        let doc = to_chrome_trace(&sample_buffer());
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("export must be valid JSON");
+        assert_eq!(parsed.render(), text, "round-trip is lossless");
+    }
+}

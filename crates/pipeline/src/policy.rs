@@ -83,6 +83,50 @@ pub struct MemAccessQuery {
     pub ppn: u64,
 }
 
+/// Which hazard mechanism cancelled a memory access.
+///
+/// Carried on [`MemDecision::Block`] so the core (and the trace stream)
+/// can tell *why* a load was held, not just that it was. The first three
+/// variants are returned by security policies from
+/// [`SecurityPolicy::check_mem_access`]; the store-hazard variants are
+/// produced by the core's own memory-disambiguation logic and appear
+/// only in [`crate::trace::TraceEvent::Block`] events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockFilter {
+    /// Baseline conditional speculation: every suspect access blocks
+    /// (paper §III, no filter).
+    Baseline,
+    /// Cache-hit filter (paper §IV.A): a suspect access missed L1D.
+    CacheMiss,
+    /// TPBuf (paper §IV.B): a suspect L1D miss whose page matched the
+    /// S-Pattern of an in-flight memory instruction.
+    SPattern,
+    /// Memory disambiguation: an older store's address is unresolved.
+    StoreAddr,
+    /// Store-to-load forwarding: the matching older store's data is not
+    /// yet available.
+    StoreData,
+}
+
+impl BlockFilter {
+    /// A stable machine-readable label (used by the trace exporters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BlockFilter::Baseline => "baseline",
+            BlockFilter::CacheMiss => "cache-miss",
+            BlockFilter::SPattern => "s-pattern",
+            BlockFilter::StoreAddr => "store-addr",
+            BlockFilter::StoreData => "store-data",
+        }
+    }
+}
+
+impl std::fmt::Display for BlockFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Filter verdict for a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemDecision {
@@ -94,8 +138,11 @@ pub enum MemDecision {
     },
     /// Cancel the access: no cache state may change. The instruction
     /// returns to the Issue Queue and re-issues once its security
-    /// dependences clear.
-    Block,
+    /// dependences clear. `filter` records which mechanism decided.
+    Block {
+        /// The hazard filter that made the decision.
+        filter: BlockFilter,
+    },
 }
 
 /// Aggregate statistics a policy reports to the experiment harnesses
@@ -282,6 +329,29 @@ mod tests {
             MemDecision::Proceed { .. }
         ));
         assert_eq!(p.name(), "origin");
+    }
+
+    #[test]
+    fn block_filter_labels_are_stable() {
+        let all = [
+            BlockFilter::Baseline,
+            BlockFilter::CacheMiss,
+            BlockFilter::SPattern,
+            BlockFilter::StoreAddr,
+            BlockFilter::StoreData,
+        ];
+        let labels: Vec<&str> = all.iter().map(|f| f.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "baseline",
+                "cache-miss",
+                "s-pattern",
+                "store-addr",
+                "store-data"
+            ]
+        );
+        assert_eq!(BlockFilter::SPattern.to_string(), "s-pattern");
     }
 
     #[test]

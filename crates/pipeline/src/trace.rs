@@ -3,12 +3,44 @@
 //! Tracing is off by default (zero cost beyond a branch per event site);
 //! [`crate::Core::enable_trace`] turns it on with a bounded buffer, after
 //! which every significant pipeline event is recorded and can be
-//! inspected or printed. Intended for debugging gadgets, workloads and
+//! inspected, printed, or exported to Chrome trace-event JSON (see
+//! [`crate::perfetto`]). Intended for debugging gadgets, workloads and
 //! the defense itself — e.g. watching exactly which speculative load gets
-//! blocked and when it replays.
+//! blocked, by which hazard filter, and when it replays.
+//!
+//! Every event carries the simulated cycle it happened on — never
+//! wall-clock time — so traces of the same program are bit-identical
+//! across runs and hosts.
 
+use crate::policy::BlockFilter;
 use std::collections::VecDeque;
 use std::fmt;
+
+/// Why a squash happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SquashCause {
+    /// A branch (or return) resolved against its prediction.
+    Mispredict,
+    /// A memory-order violation: a store's address resolved under an
+    /// already-executed younger load to the same bytes.
+    MemOrder,
+}
+
+impl SquashCause {
+    /// A stable machine-readable label (used by the trace exporters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SquashCause::Mispredict => "mispredict",
+            SquashCause::MemOrder => "mem-order",
+        }
+    }
+}
+
+impl fmt::Display for SquashCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// One recorded pipeline event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +69,53 @@ pub enum TraceEvent {
         cycle: u64,
         /// Global sequence number.
         seq: u64,
+        /// Which hazard mechanism made the decision.
+        filter: BlockFilter,
+        /// The load's effective (virtual) address.
+        vaddr: u64,
+        /// The page of the access: the *physical* page for security
+        /// filters (post-translation), the *virtual* page for store
+        /// hazards (translation has not happened yet).
+        page: u64,
+    },
+    /// A suspect L1D miss was checked against the TPBuf S-Pattern.
+    TpbufProbe {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Global sequence number of the probing load.
+        seq: u64,
+        /// Physical page number looked up.
+        page: u64,
+        /// Whether the page matched the S-Pattern (matched ⇒ blocked).
+        matched: bool,
+    },
+    /// An instruction entered the Issue Queue with at least one security
+    /// dependence: its row of the security dependence matrix is
+    /// non-empty (paper §III).
+    MatrixSet {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Global sequence number.
+        seq: u64,
+        /// IQ slot (matrix row index).
+        slot: usize,
+    },
+    /// A blocked instruction's security dependences all cleared: its
+    /// matrix row drained and it may re-issue.
+    MatrixClear {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Global sequence number.
+        seq: u64,
+        /// IQ slot (matrix row index).
+        slot: usize,
+    },
+    /// A memory instruction was held at issue by an older pending fence.
+    FenceHold {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Global sequence number of the held instruction.
+        seq: u64,
     },
     /// An instruction's result became available.
     Complete {
@@ -62,6 +141,17 @@ pub enum TraceEvent {
         keep_seq: u64,
         /// Where fetch was redirected.
         redirect_pc: u64,
+        /// Why the squash happened.
+        cause: SquashCause,
+    },
+    /// The scheduler proved the next `skipped` cycles dead and jumped
+    /// over them. `cycle` is the cycle the window *starts* at; the next
+    /// event happens at `cycle + skipped` or later.
+    FastForward {
+        /// First skipped cycle.
+        cycle: u64,
+        /// Number of cycles skipped.
+        skipped: u64,
     },
 }
 
@@ -72,9 +162,32 @@ impl TraceEvent {
             TraceEvent::Dispatch { cycle, .. }
             | TraceEvent::Issue { cycle, .. }
             | TraceEvent::Block { cycle, .. }
+            | TraceEvent::TpbufProbe { cycle, .. }
+            | TraceEvent::MatrixSet { cycle, .. }
+            | TraceEvent::MatrixClear { cycle, .. }
+            | TraceEvent::FenceHold { cycle, .. }
             | TraceEvent::Complete { cycle, .. }
             | TraceEvent::Commit { cycle, .. }
-            | TraceEvent::Squash { cycle, .. } => *cycle,
+            | TraceEvent::Squash { cycle, .. }
+            | TraceEvent::FastForward { cycle, .. } => *cycle,
+        }
+    }
+
+    /// A stable category tag grouping related events (mirrors the
+    /// exporter's track assignment and the paper's structure: `security`
+    /// is §III's dependence matrix, `memory` is §IV's filters).
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEvent::Dispatch { .. }
+            | TraceEvent::Issue { .. }
+            | TraceEvent::Complete { .. }
+            | TraceEvent::Commit { .. } => "pipeline",
+            TraceEvent::Block { .. } | TraceEvent::TpbufProbe { .. } => "memory",
+            TraceEvent::MatrixSet { .. }
+            | TraceEvent::MatrixClear { .. }
+            | TraceEvent::FenceHold { .. } => "security",
+            TraceEvent::Squash { .. } => "control",
+            TraceEvent::FastForward { .. } => "scheduler",
         }
     }
 }
@@ -93,8 +206,38 @@ impl fmt::Display for TraceEvent {
                 let flag = if *suspect { " SUSPECT" } else { "" };
                 write!(f, "[{cycle:>8}] issue    seq={seq}{flag}")
             }
-            TraceEvent::Block { cycle, seq } => {
-                write!(f, "[{cycle:>8}] BLOCK    seq={seq}")
+            TraceEvent::Block {
+                cycle,
+                seq,
+                filter,
+                vaddr,
+                page,
+            } => {
+                write!(
+                    f,
+                    "[{cycle:>8}] BLOCK    seq={seq} filter={filter} vaddr={vaddr:#x} page={page:#x}"
+                )
+            }
+            TraceEvent::TpbufProbe {
+                cycle,
+                seq,
+                page,
+                matched,
+            } => {
+                let verdict = if *matched { "match" } else { "mismatch" };
+                write!(
+                    f,
+                    "[{cycle:>8}] tpbuf    seq={seq} page={page:#x} {verdict}"
+                )
+            }
+            TraceEvent::MatrixSet { cycle, seq, slot } => {
+                write!(f, "[{cycle:>8}] matrix+  seq={seq} slot={slot}")
+            }
+            TraceEvent::MatrixClear { cycle, seq, slot } => {
+                write!(f, "[{cycle:>8}] matrix-  seq={seq} slot={slot}")
+            }
+            TraceEvent::FenceHold { cycle, seq } => {
+                write!(f, "[{cycle:>8}] fence    seq={seq} held")
             }
             TraceEvent::Complete { cycle, seq } => {
                 write!(f, "[{cycle:>8}] complete seq={seq}")
@@ -106,11 +249,15 @@ impl fmt::Display for TraceEvent {
                 cycle,
                 keep_seq,
                 redirect_pc,
+                cause,
             } => {
                 write!(
                     f,
-                    "[{cycle:>8}] SQUASH   keep<={keep_seq} redirect={redirect_pc:#x}"
+                    "[{cycle:>8}] SQUASH   cause={cause} keep<={keep_seq} redirect={redirect_pc:#x}"
                 )
+            }
+            TraceEvent::FastForward { cycle, skipped } => {
+                write!(f, "[{cycle:>8}] fastfwd  skipped={skipped}")
             }
         }
     }
@@ -236,12 +383,69 @@ mod tests {
             cycle: 9,
             keep_seq: 2,
             redirect_pc: 0x40,
+            cause: SquashCause::Mispredict,
         };
         assert!(e.to_string().contains("0x40"));
+        assert!(e.to_string().contains("mispredict"));
         let mut t = TraceBuffer::new(1);
         t.push(e);
         t.push(e);
         assert!(t.to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn block_event_carries_decision_context() {
+        let e = TraceEvent::Block {
+            cycle: 12,
+            seq: 4,
+            filter: BlockFilter::SPattern,
+            vaddr: 0x8000_0040,
+            page: 0x8000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("s-pattern"), "filter label in {s}");
+        assert!(s.contains("0x80000040"), "effective address in {s}");
+        assert!(s.contains("0x8000"), "page in {s}");
+        assert_eq!(e.category(), "memory");
+    }
+
+    #[test]
+    fn new_event_kinds_format_and_categorize() {
+        let probe = TraceEvent::TpbufProbe {
+            cycle: 5,
+            seq: 9,
+            page: 0x42,
+            matched: false,
+        };
+        assert!(probe.to_string().contains("mismatch"));
+        assert_eq!(probe.category(), "memory");
+
+        let set = TraceEvent::MatrixSet {
+            cycle: 1,
+            seq: 2,
+            slot: 3,
+        };
+        let clear = TraceEvent::MatrixClear {
+            cycle: 2,
+            seq: 2,
+            slot: 3,
+        };
+        assert!(set.to_string().contains("matrix+"));
+        assert!(clear.to_string().contains("matrix-"));
+        assert_eq!(set.category(), "security");
+        assert_eq!(clear.category(), "security");
+
+        let hold = TraceEvent::FenceHold { cycle: 3, seq: 7 };
+        assert!(hold.to_string().contains("held"));
+        assert_eq!(hold.category(), "security");
+
+        let ff = TraceEvent::FastForward {
+            cycle: 100,
+            skipped: 40,
+        };
+        assert!(ff.to_string().contains("skipped=40"));
+        assert_eq!(ff.category(), "scheduler");
+        assert_eq!(ff.cycle(), 100);
     }
 
     #[test]

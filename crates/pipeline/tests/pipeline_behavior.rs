@@ -7,7 +7,7 @@ use condspec_frontend::{FrontEnd, PredictorConfig};
 use condspec_isa::{AluOp, BranchCond, ProgramBuilder, Reg};
 use condspec_mem::{CacheHierarchy, HierarchyConfig, LruUpdate, PageTable, Tlb, TlbConfig};
 use condspec_pipeline::policy::{
-    DispatchInfo, IqEntryView, MemAccessQuery, MemDecision, SecurityPolicy,
+    BlockFilter, DispatchInfo, IqEntryView, MemAccessQuery, MemDecision, SecurityPolicy,
 };
 use condspec_pipeline::{Core, CoreConfig, ExitReason};
 
@@ -55,7 +55,9 @@ impl SecurityPolicy for BlockFirstN {
         let count = self.attempts.entry(query.seq).or_insert(0);
         *count += 1;
         if *count <= self.n {
-            MemDecision::Block
+            MemDecision::Block {
+                filter: BlockFilter::Baseline,
+            }
         } else {
             MemDecision::Proceed {
                 l1_update: LruUpdate::Normal,

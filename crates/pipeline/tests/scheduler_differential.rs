@@ -21,7 +21,8 @@ use condspec_frontend::{FrontEnd, PredictorConfig};
 use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
 use condspec_mem::{CacheHierarchy, HierarchyConfig, LruUpdate, PageTable, Tlb, TlbConfig};
 use condspec_pipeline::policy::{
-    DispatchInfo, IqEntryView, MemAccessQuery, MemDecision, PolicyStats, SecurityPolicy,
+    BlockFilter, DispatchInfo, IqEntryView, MemAccessQuery, MemDecision, PolicyStats,
+    SecurityPolicy,
 };
 use condspec_pipeline::trace::TraceEvent;
 use condspec_pipeline::{Core, CoreConfig, PipelineStats};
@@ -83,7 +84,9 @@ impl SecurityPolicy for BlockEveryThirdLoadOnce {
     fn check_mem_access(&mut self, query: &MemAccessQuery) -> MemDecision {
         if query.seq.is_multiple_of(3) && self.attempted.insert(query.seq) {
             self.blocks += 1;
-            MemDecision::Block
+            MemDecision::Block {
+                filter: BlockFilter::Baseline,
+            }
         } else {
             MemDecision::Proceed {
                 l1_update: LruUpdate::Normal,

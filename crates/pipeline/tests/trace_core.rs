@@ -1,0 +1,314 @@
+//! Integration tests for pipeline event tracing on a real core run:
+//! lifecycle ordering, cycle monotonicity, squash and block context,
+//! exact interaction with the idle fast-forward scheduler, and drop
+//! accounting at buffer capacity.
+
+use condspec_frontend::{FrontEnd, PredictorConfig};
+use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+use condspec_mem::{
+    page_number, CacheHierarchy, HierarchyConfig, LruUpdate, PageTable, Tlb, TlbConfig,
+};
+use condspec_pipeline::policy::{
+    BlockFilter, DispatchInfo, IqEntryView, MemAccessQuery, MemDecision, SecurityPolicy,
+};
+use condspec_pipeline::{Core, CoreConfig, ExitReason, SquashCause, TraceEvent};
+use std::collections::HashMap;
+
+fn core_with(policy: Box<dyn SecurityPolicy>) -> Core {
+    Core::new(
+        CoreConfig::paper_default(),
+        FrontEnd::new(PredictorConfig::paper_default()),
+        CacheHierarchy::new(HierarchyConfig::paper_default()),
+        Tlb::new(TlbConfig::paper_default()),
+        PageTable::new(),
+        policy,
+    )
+}
+
+/// Blocks every load's first `n` issue attempts, then permits it.
+struct BlockFirstN {
+    n: u32,
+    attempts: HashMap<u64, u32>,
+}
+
+impl SecurityPolicy for BlockFirstN {
+    fn name(&self) -> &'static str {
+        "trace-test-block-first-n"
+    }
+    fn on_dispatch(&mut self, _info: DispatchInfo, _older: &[IqEntryView]) {}
+    fn suspect_on_issue(&self, _slot: usize) -> bool {
+        true
+    }
+    fn on_issue(&mut self, _slot: usize) {}
+    fn on_slot_freed(&mut self, _slot: usize) {}
+    fn has_pending_dependence(&self, _slot: usize) -> bool {
+        false
+    }
+    fn check_mem_access(&mut self, query: &MemAccessQuery) -> MemDecision {
+        let count = self.attempts.entry(query.seq).or_insert(0);
+        *count += 1;
+        if *count <= self.n {
+            MemDecision::Block {
+                filter: BlockFilter::Baseline,
+            }
+        } else {
+            MemDecision::Proceed {
+                l1_update: LruUpdate::Normal,
+            }
+        }
+    }
+}
+
+/// A mispredicting branch over a slow compare operand, then a cold load:
+/// one run exercises dispatch/issue/commit, a mispredict squash, and
+/// long idle gaps the scheduler fast-forwards over.
+fn squash_then_cold_load() -> Program {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(Reg::R1, 1);
+    b.li(Reg::R2, 1);
+    for _ in 0..10 {
+        b.alu(AluOp::Mul, Reg::R2, Reg::R2, Reg::R2); // slow chain: r2 stays 1
+    }
+    b.branch_to(BranchCond::Eq, Reg::R2, Reg::R1, "taken"); // taken, predicted NT
+    b.alu_imm(AluOp::Add, Reg::R10, Reg::R10, 100); // wrong path
+    b.label("taken").expect("fresh");
+    b.li(Reg::R3, 0x20000);
+    b.load(Reg::R4, Reg::R3, 0); // cold: misses to main memory
+    b.halt();
+    b.data_u64s(0x20000, &[0xfeed]);
+    b.build().expect("assembles")
+}
+
+fn traced_run(program: &Program, capacity: usize) -> (Core, Vec<TraceEvent>) {
+    let mut core = core_with(Box::new(BlockFirstN {
+        n: 0,
+        attempts: HashMap::new(),
+    }));
+    core.load_program(program);
+    core.enable_trace(capacity);
+    assert_eq!(core.run(100_000).exit, ExitReason::Halted);
+    let trace = core.disable_trace().expect("tracing enabled");
+    let events = trace.events().cloned().collect();
+    (core, events)
+}
+
+#[test]
+fn cycles_are_monotonic_and_lifecycle_stages_are_ordered_per_seq() {
+    let (_, events) = traced_run(&squash_then_cold_load(), 1 << 16);
+    assert!(!events.is_empty());
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].cycle() <= pair[1].cycle(),
+            "events out of order: {} then {}",
+            pair[0],
+            pair[1]
+        );
+    }
+    // Per sequence number: dispatch <= issue <= complete <= commit.
+    // A squash recycles wrong-path seqs, so a fresh dispatch starts a
+    // new incarnation and forgets the old one's stages; only the latest
+    // incarnation ever commits.
+    let mut dispatch = HashMap::new();
+    let mut first_issue = HashMap::new();
+    let mut complete = HashMap::new();
+    let mut commit = HashMap::new();
+    for e in &events {
+        match *e {
+            TraceEvent::Dispatch { cycle, seq, .. } => {
+                dispatch.insert(seq, cycle);
+                first_issue.remove(&seq);
+                complete.remove(&seq);
+            }
+            TraceEvent::Issue { cycle, seq, .. } => {
+                first_issue.entry(seq).or_insert(cycle);
+            }
+            TraceEvent::Complete { cycle, seq } => {
+                complete.insert(seq, cycle);
+            }
+            TraceEvent::Commit { cycle, seq, .. } => {
+                assert!(commit.insert(seq, cycle).is_none(), "seq {seq} recommitted");
+            }
+            _ => {}
+        }
+    }
+    assert!(!commit.is_empty(), "the program commits instructions");
+    let mut full_chains = 0;
+    for (seq, commit_cycle) in &commit {
+        // Not every stage traces for every instruction (e.g. a halt has
+        // no completion wakeup), but every stage that did must be in
+        // dispatch <= issue <= complete <= commit order.
+        let mut last = dispatch.get(seq).copied().unwrap_or(0);
+        let mut stages = 0;
+        for stage in [first_issue.get(seq), complete.get(seq)]
+            .into_iter()
+            .flatten()
+        {
+            assert!(
+                last <= *stage,
+                "seq {seq}: stage at {stage} precedes earlier stage at {last}"
+            );
+            last = *stage;
+            stages += 1;
+        }
+        assert!(
+            last <= *commit_cycle,
+            "seq {seq}: commit at {commit_cycle} precedes a stage at {last}"
+        );
+        if stages == 2 {
+            full_chains += 1;
+        }
+    }
+    assert!(
+        full_chains > 0,
+        "at least some instructions trace the full dispatch/issue/complete/commit chain"
+    );
+}
+
+#[test]
+fn squash_is_recorded_with_cause_and_wrong_path_work_never_commits() {
+    let (core, events) = traced_run(&squash_then_cold_load(), 1 << 16);
+    let squashes: Vec<_> = events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::Squash {
+                keep_seq, cause, ..
+            } => Some((keep_seq, cause)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        squashes.iter().any(|(_, c)| *c == SquashCause::Mispredict),
+        "the taken/predicted-NT branch must squash: {squashes:?}"
+    );
+    assert_eq!(core.read_arch_reg(Reg::R10), 0, "wrong path rolled back");
+    assert_eq!(core.read_arch_reg(Reg::R4), 0xfeed);
+    // No seq younger than a squash's keep_seq may commit before the
+    // squash's redirect re-dispatches it: a committed wrong-path seq
+    // would show as a commit event between squash and its re-dispatch.
+    for (i, e) in events.iter().enumerate() {
+        if let TraceEvent::Squash {
+            cycle, keep_seq, ..
+        } = *e
+        {
+            for later in &events[..i] {
+                if let TraceEvent::Commit { seq, .. } = *later {
+                    assert!(
+                        seq <= keep_seq,
+                        "seq {seq} committed before the cycle-{cycle} squash keeping <= {keep_seq}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_forward_windows_contain_no_phantom_events() {
+    let (core, events) = traced_run(&squash_then_cold_load(), 1 << 16);
+    let windows: Vec<(u64, u64)> = events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::FastForward { cycle, skipped } => Some((cycle, skipped)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !windows.is_empty(),
+        "a cold main-memory miss leaves idle cycles to skip"
+    );
+    for (start, skipped) in &windows {
+        assert!(*skipped >= 1);
+        for e in &events {
+            let c = e.cycle();
+            assert!(
+                c <= *start || c >= start + skipped,
+                "event {e} inside skipped window [{start}, {})",
+                start + skipped
+            );
+        }
+    }
+    // The skipped cycles are real simulated time: the statistics count
+    // them even though no step ran.
+    let total_skipped: u64 = windows.iter().map(|(_, s)| s).sum();
+    assert!(core.stats().cycles >= total_skipped);
+}
+
+#[test]
+fn blocked_loads_trace_the_filter_and_the_faulting_page() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(Reg::R1, 0x20000);
+    b.load(Reg::R2, Reg::R1, 0);
+    b.halt();
+    b.data_u64s(0x20000, &[0xbeef]);
+    let program = b.build().expect("assembles");
+
+    let mut core = core_with(Box::new(BlockFirstN {
+        n: 3,
+        attempts: HashMap::new(),
+    }));
+    core.load_program(&program);
+    core.enable_trace(1 << 14);
+    assert_eq!(core.run(100_000).exit, ExitReason::Halted);
+    let trace = core.disable_trace().expect("tracing enabled");
+
+    let blocks: Vec<_> = trace
+        .events()
+        .filter_map(|e| match *e {
+            TraceEvent::Block {
+                seq,
+                filter,
+                vaddr,
+                page,
+                ..
+            } => Some((seq, filter, vaddr, page)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        blocks.len() as u64,
+        core.stats().block_events,
+        "every counted block event is traced"
+    );
+    assert_eq!(blocks.len(), 3, "the policy bounces the load three times");
+    for (_, filter, vaddr, page) in &blocks {
+        assert_eq!(*filter, BlockFilter::Baseline);
+        assert_eq!(*vaddr, 0x20000);
+        assert_eq!(*page, page_number(0x20000));
+    }
+    let suspect_issues = trace
+        .events()
+        .filter(|e| matches!(e, TraceEvent::Issue { suspect: true, .. }))
+        .count();
+    assert!(suspect_issues > 0, "the policy marks every issue suspect");
+}
+
+#[test]
+fn capacity_limits_are_enforced_with_exact_drop_accounting() {
+    let program = squash_then_cold_load();
+    let (_, full) = traced_run(&program, 1 << 16);
+
+    let mut core = core_with(Box::new(BlockFirstN {
+        n: 0,
+        attempts: HashMap::new(),
+    }));
+    core.load_program(&program);
+    core.enable_trace(4);
+    core.run(100_000);
+    let small = core.disable_trace().expect("tracing enabled");
+    assert_eq!(small.len(), 4);
+    assert_eq!(small.dropped() as usize, full.len() - 4);
+    // The buffer is a ring: the kept events are the newest four.
+    let kept: Vec<_> = small.events().cloned().collect();
+    assert_eq!(kept.as_slice(), &full[full.len() - 4..]);
+
+    let mut core = core_with(Box::new(BlockFirstN {
+        n: 0,
+        attempts: HashMap::new(),
+    }));
+    core.load_program(&program);
+    core.enable_trace(0);
+    core.run(100_000);
+    let empty = core.disable_trace().expect("tracing enabled");
+    assert!(empty.is_empty());
+    assert_eq!(empty.dropped() as usize, full.len());
+}

@@ -51,6 +51,11 @@ impl Histogram {
         }
     }
 
+    /// The width of each (non-overflow) bucket.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         let idx = (value / self.bucket_width) as usize;

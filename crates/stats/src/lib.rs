@@ -9,6 +9,8 @@
 //! * [`Counter`] — a saturating event counter.
 //! * [`RateCounter`] — a numerator/denominator pair reporting a rate.
 //! * [`Histogram`] — a fixed-bucket latency/value histogram.
+//! * [`MetricsRegistry`] — named counters/gauges/histograms with
+//!   deterministic, insertion-ordered JSON export.
 //! * [`summary`] — arithmetic/geometric means and normalization helpers.
 //! * [`table::TextTable`] — plain-text table rendering used by the
 //!   experiment binaries to print paper-style tables.
@@ -35,6 +37,7 @@
 pub mod counter;
 pub mod histogram;
 pub mod json;
+pub mod metrics;
 pub mod rng;
 pub mod summary;
 pub mod table;
@@ -42,6 +45,7 @@ pub mod table;
 pub use counter::{Counter, RateCounter};
 pub use histogram::Histogram;
 pub use json::Json;
+pub use metrics::{MetricValue, MetricsRegistry};
 pub use rng::SplitMix64;
 pub use summary::{arithmetic_mean, geometric_mean, normalized_overhead_percent};
 pub use table::TextTable;
@@ -55,6 +59,7 @@ const _: () = {
     assert_clone_send::<RateCounter>();
     assert_clone_send::<Histogram>();
     assert_clone_send::<Json>();
+    assert_clone_send::<MetricsRegistry>();
     assert_clone_send::<SplitMix64>();
     assert_clone_send::<TextTable>();
 };

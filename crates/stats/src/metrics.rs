@@ -1,0 +1,214 @@
+//! A registry of named metrics with deterministic JSON export.
+//!
+//! The simulator exposes far more measurements than a fixed-field
+//! report struct can carry; the registry is the
+//! open-ended side channel: producers (`Core`, the defense policy, the
+//! memory hierarchy) write named counters, gauges and histograms into a
+//! [`MetricsRegistry`] *at snapshot time* — never from the simulation hot
+//! loop — and consumers render them as one insertion-ordered JSON
+//! object. Determinism rules match the artifact engine: insertion order
+//! is preserved, values are simulated quantities only (no wall-clock),
+//! and rendering the same registry twice produces identical bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use condspec_stats::{Histogram, MetricsRegistry};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.set_counter("core.cycles", 1000);
+//! reg.set_gauge("core.ipc", 2.5);
+//! let mut h = Histogram::new(10, 4);
+//! h.record(12);
+//! reg.set_histogram("sampler.window_ipc_x100", h);
+//! let json = reg.to_json().render();
+//! assert!(json.starts_with(r#"{"core.cycles":1000"#));
+//! ```
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+use std::fmt;
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically accumulated event count.
+    Counter(u64),
+    /// A point-in-time or derived value (rates, means, occupancies).
+    Gauge(f64),
+    /// A full distribution (reuses [`Histogram`]).
+    Histogram(Histogram),
+}
+
+/// Named metrics in insertion order.
+///
+/// Re-setting an existing name overwrites its value in place, keeping
+/// the original position so repeated snapshots render identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Sets (or overwrites) a counter.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.set(name, MetricValue::Counter(value));
+    }
+
+    /// Sets (or overwrites) a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.set(name, MetricValue::Gauge(value));
+    }
+
+    /// Sets (or overwrites) a histogram.
+    pub fn set_histogram(&mut self, name: &str, value: Histogram) {
+        self.set(name, MetricValue::Histogram(value));
+    }
+
+    /// Sets (or overwrites) a metric by name, preserving its position
+    /// if the name already exists.
+    pub fn set(&mut self, name: &str, value: MetricValue) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            self.entries.push((name.to_string(), value));
+        }
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The metrics in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes every metric.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Renders the registry as one insertion-ordered JSON object.
+    ///
+    /// Counters render as integers, gauges as floats, histograms as
+    /// `{"bucket_width", "counts", "overflow", "count", "mean", "max"}`
+    /// objects.
+    pub fn to_json(&self) -> Json {
+        Json::object(self.entries.iter().map(|(name, value)| {
+            let v = match value {
+                MetricValue::Counter(c) => Json::from(*c),
+                MetricValue::Gauge(g) => Json::from(*g),
+                MetricValue::Histogram(h) => histogram_json(h),
+            };
+            (name.as_str(), v)
+        }))
+    }
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    let counts: Vec<Json> = (0..h.buckets())
+        .map(|i| Json::from(h.bucket_count(i)))
+        .collect();
+    Json::object([
+        ("bucket_width", Json::from(h.bucket_width())),
+        ("counts", Json::Array(counts)),
+        ("overflow", Json::from(h.overflow())),
+        ("count", Json::from(h.count())),
+        ("mean", Json::from(h.mean())),
+        ("max", Json::from(h.max())),
+    ])
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(c) => writeln!(f, "{name} = {c}")?,
+                MetricValue::Gauge(g) => writeln!(f, "{name} = {g:.6}")?,
+                MetricValue::Histogram(h) => writeln!(
+                    f,
+                    "{name} = histogram(n={}, mean={:.2})",
+                    h.count(),
+                    h.mean()
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_is_preserved_and_overwrite_keeps_position() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("z.last", 1);
+        reg.set_gauge("a.first", 0.5);
+        reg.set_counter("z.last", 2); // overwrite must not move it
+        let names: Vec<&str> = reg.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["z.last", "a.first"]);
+        assert_eq!(reg.get("z.last"), Some(&MetricValue::Counter(2)));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("cycles", 100);
+        reg.set_gauge("ipc", 1.25);
+        let mut h = Histogram::new(5, 3);
+        h.record(2);
+        h.record(7);
+        h.record(1_000);
+        reg.set_histogram("lat", h);
+        let a = reg.to_json().render();
+        let b = reg.clone().to_json().render();
+        assert_eq!(a, b);
+        assert!(
+            a.starts_with(
+                r#"{"cycles":100,"ipc":1.25,"lat":{"bucket_width":5,"counts":[1,1,0],"overflow":1,"count":3,"mean":"#
+            ),
+            "unexpected layout: {a}"
+        );
+        // The export parses back as valid JSON with the right values.
+        let parsed = Json::parse(&a).expect("valid JSON");
+        let lat = parsed.get("lat").expect("lat object");
+        assert_eq!(lat.get("max").and_then(Json::as_u64), Some(1000));
+        let mean = lat.get("mean").and_then(Json::as_f64).expect("mean");
+        assert!((mean - 1009.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_all_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("c", 1);
+        reg.set_gauge("g", 0.25);
+        reg.set_histogram("h", Histogram::new(1, 1));
+        let text = reg.to_string();
+        assert!(text.contains("c = 1"));
+        assert!(text.contains("g = 0.25"));
+        assert!(text.contains("histogram"));
+        assert!(!reg.is_empty());
+        reg.clear();
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! The observability layer's two end-to-end guarantees: time-series
+//! sampling is deterministic (same job, byte-identical series — even
+//! though the sampler interacts with the idle fast-forward scheduler),
+//! and the Perfetto exporter produces a well-formed Chrome trace of a
+//! real Spectre-gadget round.
+
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_engine::{JobSpec, Workload};
+use condspec_pipeline::perfetto::{to_chrome_trace, TRACE_SCHEMA};
+use condspec_pipeline::TIMESERIES_SCHEMA;
+use condspec_stats::Json;
+use condspec_workloads::gadgets::SpectreGadget;
+use condspec_workloads::GadgetKind;
+
+fn tiny_bench(benchmark: &'static str, defense: DefenseConfig) -> JobSpec {
+    let mut job = JobSpec::bench(benchmark, defense);
+    if let Workload::Bench {
+        iterations, warmup, ..
+    } = &mut job.workload
+    {
+        *iterations = 3;
+        *warmup = 1;
+    }
+    job
+}
+
+#[test]
+fn sampled_series_is_byte_identical_across_runs() {
+    for defense in [DefenseConfig::Origin, DefenseConfig::CacheHitTpbuf] {
+        let job = tiny_bench("gcc", defense);
+        let a = job.execute_timeseries(5_000, 1 << 14).render();
+        let b = job.execute_timeseries(5_000, 1 << 14).render();
+        assert_eq!(a, b, "series for {defense:?} differs between runs");
+
+        let doc = Json::parse(&a).expect("valid JSON");
+        let series = doc.get("timeseries").expect("timeseries member");
+        assert_eq!(
+            series.get("schema").and_then(Json::as_str),
+            Some(TIMESERIES_SCHEMA)
+        );
+        let rows = series.get("rows").and_then(Json::as_array).expect("rows");
+        assert!(!rows.is_empty(), "a real run samples at least one window");
+        // Full interior windows are exactly `window` cycles; starts tile
+        // the run without gaps, whether the cycles were stepped or
+        // fast-forwarded over.
+        let mut expected_start = 0;
+        for row in rows {
+            assert_eq!(
+                row.get("start").and_then(Json::as_u64),
+                Some(expected_start)
+            );
+            let cycles = row.get("cycles").and_then(Json::as_u64).expect("cycles");
+            assert!(cycles <= 5_000, "window never exceeds the configured size");
+            expected_start += cycles;
+        }
+        let report_cycles = doc
+            .get("report")
+            .and_then(|r| r.get("cycles"))
+            .and_then(Json::as_u64)
+            .expect("report cycles");
+        assert_eq!(
+            expected_start, report_cycles,
+            "windows tile the measured run exactly"
+        );
+    }
+}
+
+/// One traced malicious round of the Spectre-v1 gadget under the
+/// Cache-hit filter (which blocks every suspect miss, so the round is
+/// guaranteed to contain Block events), as `condspec trace` runs it.
+fn traced_gadget_round() -> condspec_pipeline::TraceBuffer {
+    let gadget = SpectreGadget::build(GadgetKind::V1);
+    let mut sim = Simulator::new(SimConfig::new(DefenseConfig::CacheHit));
+    sim.load_program_shared(gadget.program.clone());
+    sim.write_memory(gadget.input_addr, gadget.train_input, 8);
+    sim.run(500_000);
+    sim.load_program_shared(gadget.program.clone());
+    sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
+    if let Some(len) = gadget.len_addr {
+        let pa = sim.core().page_table().translate(len);
+        sim.core_mut().hierarchy_mut().flush_line(pa);
+    }
+    sim.core_mut().enable_trace(1 << 15);
+    sim.run(500_000);
+    sim.core_mut().disable_trace().expect("tracing enabled")
+}
+
+#[test]
+fn perfetto_export_of_a_gadget_round_is_valid_and_monotonic() {
+    let trace = traced_gadget_round();
+    assert!(!trace.is_empty());
+    assert_eq!(trace.dropped(), 0, "the buffer is large enough");
+
+    let doc = to_chrome_trace(&trace);
+    let reparsed = Json::parse(&doc.render()).expect("exporter emits valid JSON");
+    assert_eq!(
+        reparsed
+            .get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(Json::as_str),
+        Some(TRACE_SCHEMA)
+    );
+    let events = reparsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+
+    let mut last_ts = 0;
+    let mut slices = 0;
+    let mut blocks = 0;
+    for event in events {
+        let ph = event.get("ph").and_then(Json::as_str).expect("phase");
+        if ph == "M" {
+            continue; // metadata carries no timestamp
+        }
+        let ts = event.get("ts").and_then(Json::as_u64).expect("timestamp");
+        assert!(ts >= last_ts, "timestamps regress: {ts} after {last_ts}");
+        last_ts = ts;
+        if ph == "X" {
+            slices += 1;
+            if event.get("name").and_then(Json::as_str) == Some("block") {
+                blocks += 1;
+                let args = event.get("args").expect("block args");
+                assert!(args.get("filter").and_then(Json::as_str).is_some());
+                assert!(args.get("vaddr").and_then(Json::as_str).is_some());
+            }
+        }
+    }
+    assert!(slices > 0, "the round produces slice events");
+    assert!(
+        blocks > 0,
+        "the defended gadget round must contain blocked accesses"
+    );
+
+    // The export is itself deterministic.
+    assert_eq!(doc.render(), to_chrome_trace(&trace).render());
+}
