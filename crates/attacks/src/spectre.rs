@@ -189,22 +189,24 @@ pub fn run_variant(kind: GadgetKind, defense: DefenseConfig) -> AttackOutcome {
 pub fn rsb_attack(sim: &mut Simulator) -> AttackOutcome {
     use condspec_workloads::gadgets::rsb_pollution_program;
     let gadget = SpectreGadget::build(GadgetKind::Rsb);
-    let pollution = rsb_pollution_program(gadget.gadget_entry.expect("rsb gadget"));
+    let pollution = std::sync::Arc::new(rsb_pollution_program(
+        gadget.gadget_entry.expect("rsb gadget"),
+    ));
 
     // The attacker's stub is an executable page mapped into the shared
     // address space (like a shared library); the victim's wrong path can
     // fetch through it.
-    sim.core_mut().map_shared_code(&pollution);
+    sim.core_mut().map_shared_code(pollution.clone());
 
     // Warm run: victim executes its legitimate path once.
-    sim.load_program_shared(gadget.program.clone());
+    sim.load_program(gadget.program.clone());
     sim.run(RUN_BUDGET);
 
     let mut candidates = Vec::new();
     for round in 0..ROUNDS {
         // Pollute the RAS (the dangling entry survives program loads —
         // predictors are shared microarchitectural state).
-        sim.load_program(&pollution);
+        sim.load_program(pollution.clone());
         sim.run(RUN_BUDGET);
         assert!(sim.core().is_halted(), "pollution run must complete");
 
@@ -263,7 +265,7 @@ pub fn flush_reload_extract(sim: &mut Simulator, gadget: &SpectreGadget) -> Vec<
         // length and simply retries, exactly as real exploits do.
         for attempt in 0..6u64 {
             train(sim, gadget, 5 + ((i + attempt) % 5) as usize);
-            sim.load_program_shared(gadget.program.clone());
+            sim.load_program(gadget.program.clone());
             sim.write_memory(gadget.input_addr, gadget.attack_input + i, 8);
             channel::flush_region(
                 sim,
@@ -292,7 +294,7 @@ pub fn flush_reload_extract(sim: &mut Simulator, gadget: &SpectreGadget) -> Vec<
 /// Trains the V1-family branch predictor with in-bounds runs.
 fn train(sim: &mut Simulator, gadget: &SpectreGadget, runs: usize) {
     for _ in 0..runs {
-        sim.load_program_shared(gadget.program.clone());
+        sim.load_program(gadget.program.clone());
         sim.write_memory(gadget.input_addr, gadget.train_input, 8);
         sim.run(RUN_BUDGET);
         assert!(sim.core().is_halted(), "training run must complete");
@@ -301,7 +303,7 @@ fn train(sim: &mut Simulator, gadget: &SpectreGadget, runs: usize) {
 
 /// One victim invocation with the malicious input.
 fn trigger(sim: &mut Simulator, gadget: &SpectreGadget, prepare: impl FnOnce(&mut Simulator)) {
-    sim.load_program_shared(gadget.program.clone());
+    sim.load_program(gadget.program.clone());
     sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
     prepare(sim);
     sim.run(RUN_BUDGET);
@@ -327,7 +329,7 @@ fn flush_style_attack(sim: &mut Simulator, kind: GadgetKind, readout: Readout) -
         train(sim, &gadget, 8);
     } else {
         // V2/V4: one warm run (code, pointer slots).
-        sim.load_program_shared(gadget.program.clone());
+        sim.load_program(gadget.program.clone());
         sim.run(RUN_BUDGET);
     }
 

@@ -52,8 +52,8 @@ pub fn run_benchmark(
     outer_iterations: u64,
 ) -> RunMeasurement {
     let mut sim = Simulator::new(config);
-    let warmup = build_program(spec, WARMUP_ITERATIONS);
-    let program = build_program(spec, outer_iterations);
+    let warmup = std::sync::Arc::new(build_program(spec, WARMUP_ITERATIONS));
+    let program = std::sync::Arc::new(build_program(spec, outer_iterations));
     let report = sim.run_job(Some(&warmup), &program, RUN_BUDGET);
     RunMeasurement {
         benchmark: spec.name,

@@ -180,7 +180,7 @@ fn pointer_chase(iterations: u64) -> Program {
     b.build().expect("pointer chase assembles")
 }
 
-fn run_to_halt_cell(program: &Program, config: SimConfig) -> (u64, u64) {
+fn run_to_halt_cell(program: &std::sync::Arc<Program>, config: SimConfig) -> (u64, u64) {
     let mut sim = Simulator::new(config);
     let result = sim.run_to_halt(program, u64::MAX);
     (result.cycles, result.committed)
@@ -193,13 +193,13 @@ fn run_gadget_cell(gadget: &SpectreGadget, config: SimConfig, rounds: u32) -> (u
     let (mut cycles, mut committed) = (0u64, 0u64);
     for _ in 0..rounds {
         for _ in 0..2 {
-            sim.load_program_shared(gadget.program.clone());
+            sim.load_program(gadget.program.clone());
             sim.write_memory(gadget.input_addr, gadget.train_input, 8);
             let r = sim.run(GADGET_RUN_BUDGET);
             cycles += r.cycles;
             committed += r.committed;
         }
-        sim.load_program_shared(gadget.program.clone());
+        sim.load_program(gadget.program.clone());
         sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
         if let Some(len) = gadget.len_addr {
             let pa = sim.core().page_table().translate(len);
@@ -215,8 +215,8 @@ fn run_gadget_cell(gadget: &SpectreGadget, config: SimConfig, rounds: u32) -> (u
 /// Runs the full workload × defense matrix, returning cells in a fixed
 /// order (workloads outer, [`DEFENSES`] inner).
 pub fn run_matrix(opts: &PerfOptions) -> Vec<PerfCell> {
-    let counting = counting_loop(opts.counting_iterations());
-    let chase = pointer_chase(opts.chase_iterations());
+    let counting = std::sync::Arc::new(counting_loop(opts.counting_iterations()));
+    let chase = std::sync::Arc::new(pointer_chase(opts.chase_iterations()));
     let gadget = SpectreGadget::build(GadgetKind::V1);
     let mut cells = Vec::new();
     for (workload, runner) in [
@@ -268,6 +268,17 @@ pub fn run_matrix(opts: &PerfOptions) -> Vec<PerfCell> {
     cells
 }
 
+/// The machine identity throughput numbers belong to, e.g.
+/// `x86_64-1cpu`. Wall-clock rates from different hosts are not
+/// comparable; [`compare`] only checks throughput when the baseline's
+/// tag matches the current host's.
+pub fn host_tag() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!("{}-{cpus}cpu", std::env::consts::ARCH)
+}
+
 /// Serializes a matrix run as the `condspec-simspeed-v1` document.
 pub fn to_json(opts: &PerfOptions, cells: &[PerfCell]) -> Json {
     Json::object([
@@ -277,6 +288,7 @@ pub fn to_json(opts: &PerfOptions, cells: &[PerfCell]) -> Json {
             "mode",
             Json::Str(if opts.quick { "quick" } else { "full" }.to_string()),
         ),
+        ("host_tag", Json::Str(host_tag())),
         (
             "cells",
             Json::Array(
@@ -337,6 +349,234 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Largest tolerated throughput drop: a cell below this fraction of the
+/// baseline's committed-inst/s fails [`compare`] (when the host
+/// matches). 0.70 keeps the guard robust to scheduler jitter while
+/// still catching real hot-path regressions.
+pub const MIN_THROUGHPUT_RATIO: f64 = 0.70;
+
+/// One cell of a [`compare`] run: baseline vs current, same
+/// workload × defense.
+#[derive(Debug, Clone)]
+pub struct CompareCell {
+    /// Workload name.
+    pub workload: String,
+    /// Defense key.
+    pub defense: String,
+    /// `(baseline, current)` simulated cycles — must be equal.
+    pub sim_cycles: (u64, u64),
+    /// `(baseline, current)` committed instructions — must be equal.
+    pub committed: (u64, u64),
+    /// `(baseline, current)` committed instructions per wall-second.
+    pub committed_per_sec: (f64, f64),
+}
+
+impl CompareCell {
+    /// current / baseline committed-inst/s.
+    pub fn throughput_ratio(&self) -> f64 {
+        self.committed_per_sec.1 / self.committed_per_sec.0.max(1e-9)
+    }
+
+    /// Whether the deterministic simulated-work fields match exactly.
+    pub fn work_matches(&self) -> bool {
+        self.sim_cycles.0 == self.sim_cycles.1 && self.committed.0 == self.committed.1
+    }
+}
+
+/// The verdict of comparing a fresh report against a committed
+/// baseline.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Per-cell deltas, in the baseline's cell order.
+    pub cells: Vec<CompareCell>,
+    /// Human-readable regressions; empty means the comparison passed.
+    pub failures: Vec<String>,
+    /// Why throughput was or was not checked (one line for the log).
+    pub throughput_note: String,
+}
+
+impl Comparison {
+    /// Whether the report is acceptable (no exact-work mismatch, no
+    /// over-threshold throughput regression).
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Unwraps a baseline document to its simspeed report and host tag.
+///
+/// Accepts either a bare `condspec-simspeed-v1` report (e.g.
+/// `BENCH_simspeed.json`) or the CI wrapper schema
+/// `condspec-simspeed-quick-baseline-v1` (`ci/perf-quick-baseline.json`),
+/// whose `host_tag` takes precedence over one inside the report.
+fn unwrap_baseline(baseline: &Json) -> Result<(&Json, Option<&str>), String> {
+    match baseline.get("schema").and_then(Json::as_str) {
+        Some("condspec-simspeed-quick-baseline-v1") => {
+            let report = baseline
+                .get("report")
+                .ok_or("baseline wrapper has no report field")?;
+            let tag = baseline
+                .get("host_tag")
+                .and_then(Json::as_str)
+                .or_else(|| report.get("host_tag").and_then(Json::as_str));
+            Ok((report, tag))
+        }
+        Some(s) if s == SCHEMA => Ok((baseline, baseline.get("host_tag").and_then(Json::as_str))),
+        other => Err(format!("unrecognized baseline schema: {other:?}")),
+    }
+}
+
+fn cell_map(report: &Json) -> Result<Vec<(String, String, &Json)>, String> {
+    report
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or("report has no cells array")?
+        .iter()
+        .map(|cell| {
+            let workload = cell
+                .get("workload")
+                .and_then(Json::as_str)
+                .ok_or("cell missing workload")?;
+            let defense = cell
+                .get("defense")
+                .and_then(Json::as_str)
+                .ok_or("cell missing defense")?;
+            Ok((workload.to_string(), defense.to_string(), cell))
+        })
+        .collect()
+}
+
+fn cell_u64(cell: &Json, key: &str) -> Result<u64, String> {
+    cell.get(key)
+        .and_then(Json::as_u64)
+        .ok_or(format!("cell missing {key}"))
+}
+
+fn cell_f64(cell: &Json, key: &str) -> Result<f64, String> {
+    cell.get(key)
+        .and_then(Json::as_f64)
+        .ok_or(format!("cell missing {key}"))
+}
+
+/// Compares a fresh simspeed report against a committed baseline (the
+/// `condspec perf --compare` core, and CI's regression guard).
+///
+/// Two classes of check:
+///
+/// * **Simulated work** (`sim_cycles`, `committed_inst`) — exact
+///   equality per cell, on every host: the simulator is deterministic,
+///   so any drift means the timing model changed and the baseline must
+///   be regenerated deliberately (see `ci/make_perf_baseline.py`).
+/// * **Throughput** (`committed_inst_per_sec`) — `current/baseline ≥`
+///   [`MIN_THROUGHPUT_RATIO`] per cell, but only when `host` matches
+///   the baseline's recorded `host_tag` (rates from different machines
+///   are incomparable) and `skip_throughput` is unset
+///   (`CONDSPEC_SKIP_PERF_GUARD=1` for loaded/throttled hosts).
+///
+/// # Errors
+///
+/// Returns a message (instead of a [`Comparison`]) when the documents
+/// are structurally incomparable: unknown schema, mode/machine
+/// mismatch, or differing cell sets.
+pub fn compare(
+    current: &Json,
+    baseline: &Json,
+    host: &str,
+    skip_throughput: bool,
+) -> Result<Comparison, String> {
+    match current.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        other => return Err(format!("current report has bad schema: {other:?}")),
+    }
+    let (base_report, base_tag) = unwrap_baseline(baseline)?;
+    for key in ["mode", "machine"] {
+        let base = base_report.get(key).and_then(Json::as_str);
+        let got = current.get(key).and_then(Json::as_str);
+        if base != got {
+            return Err(format!(
+                "{key} mismatch: baseline {base:?} vs current {got:?}"
+            ));
+        }
+    }
+
+    let base_cells = cell_map(base_report)?;
+    let got_cells = cell_map(current)?;
+    let base_keys: Vec<_> = base_cells.iter().map(|(w, d, _)| (w, d)).collect();
+    let got_keys: Vec<_> = got_cells.iter().map(|(w, d, _)| (w, d)).collect();
+    if base_keys != got_keys {
+        return Err(format!(
+            "matrix shape changed: baseline {base_keys:?} vs current {got_keys:?}"
+        ));
+    }
+
+    let check_throughput = if skip_throughput {
+        None
+    } else {
+        match base_tag {
+            None => None,
+            Some(tag) if tag != host => None,
+            Some(_) => Some(()),
+        }
+    };
+    let throughput_note = if skip_throughput {
+        "throughput check skipped: CONDSPEC_SKIP_PERF_GUARD set".to_string()
+    } else {
+        match base_tag {
+            None => "throughput check skipped: baseline records no host_tag".to_string(),
+            Some(tag) if tag != host => format!(
+                "throughput check skipped: host {host} != baseline host {tag} \
+                 (simulated-work equality still verified)"
+            ),
+            Some(_) => format!(
+                "throughput checked: host {host} matches baseline, \
+                 floor {MIN_THROUGHPUT_RATIO:.2}x"
+            ),
+        }
+    };
+
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    for ((workload, defense, base), (_, _, got)) in base_cells.iter().zip(&got_cells) {
+        let cell = CompareCell {
+            workload: workload.clone(),
+            defense: defense.clone(),
+            sim_cycles: (cell_u64(base, "sim_cycles")?, cell_u64(got, "sim_cycles")?),
+            committed: (
+                cell_u64(base, "committed_inst")?,
+                cell_u64(got, "committed_inst")?,
+            ),
+            committed_per_sec: (
+                cell_f64(base, "committed_inst_per_sec")?,
+                cell_f64(got, "committed_inst_per_sec")?,
+            ),
+        };
+        if !cell.work_matches() {
+            failures.push(format!(
+                "{workload}/{defense}: simulated work changed — cycles {} -> {}, committed {} -> {}; \
+                 the run is no longer identical to the committed baseline (regenerate the baseline \
+                 if the timing-model change is intentional)",
+                cell.sim_cycles.0, cell.sim_cycles.1, cell.committed.0, cell.committed.1,
+            ));
+        }
+        if check_throughput.is_some() {
+            let ratio = cell.throughput_ratio();
+            if ratio < MIN_THROUGHPUT_RATIO {
+                failures.push(format!(
+                    "{workload}/{defense}: committed-inst/s regressed {:.0} -> {:.0} ({ratio:.2}x, \
+                     floor {MIN_THROUGHPUT_RATIO:.2}x)",
+                    cell.committed_per_sec.0, cell.committed_per_sec.1,
+                ));
+            }
+        }
+        cells.push(cell);
+    }
+    Ok(Comparison {
+        cells,
+        failures,
+        throughput_note,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,5 +604,88 @@ mod tests {
     fn validate_rejects_wrong_schema() {
         let doc = Json::parse("{\"schema\":\"nope\",\"cells\":[]}").unwrap();
         assert!(validate(&doc).is_err());
+    }
+
+    fn tiny_report(committed: u64, per_sec: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"{SCHEMA}","machine":"paper-default","mode":"quick",
+                 "host_tag":"test-host",
+                 "cells":[{{"workload":"w","defense":"origin",
+                            "sim_cycles":100,"committed_inst":{committed},
+                            "wall_seconds":0.5,"sim_cycles_per_sec":200.0,
+                            "committed_inst_per_sec":{per_sec}}}]}}"#
+        ))
+        .expect("test report parses")
+    }
+
+    #[test]
+    fn compare_accepts_identical_reports() {
+        let report = tiny_report(50, 100.0);
+        let cmp = compare(&report, &report, "test-host", false).expect("comparable");
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert_eq!(cmp.cells.len(), 1);
+        assert!(cmp.throughput_note.contains("throughput checked"));
+    }
+
+    #[test]
+    fn compare_fails_on_simulated_work_drift_even_cross_host() {
+        let cmp = compare(
+            &tiny_report(51, 100.0),
+            &tiny_report(50, 100.0),
+            "other-host",
+            false,
+        )
+        .expect("comparable");
+        assert!(!cmp.passed());
+        assert!(cmp.failures[0].contains("simulated work changed"));
+        assert!(cmp.throughput_note.contains("skipped"));
+    }
+
+    #[test]
+    fn compare_gates_throughput_on_host_tag() {
+        let slow = tiny_report(50, 100.0 * (MIN_THROUGHPUT_RATIO - 0.05));
+        let base = tiny_report(50, 100.0);
+        let matched = compare(&slow, &base, "test-host", false).expect("comparable");
+        assert!(!matched.passed());
+        assert!(matched.failures[0].contains("regressed"));
+        let other = compare(&slow, &base, "other-host", false).expect("comparable");
+        assert!(other.passed(), "cross-host throughput is not comparable");
+        let skipped = compare(&slow, &base, "test-host", true).expect("comparable");
+        assert!(skipped.passed(), "env override skips the throughput gate");
+        assert!(skipped.throughput_note.contains("CONDSPEC_SKIP_PERF_GUARD"));
+    }
+
+    #[test]
+    fn compare_accepts_the_ci_wrapper_schema() {
+        let report = tiny_report(50, 100.0);
+        let wrapper = Json::parse(&format!(
+            r#"{{"schema":"condspec-simspeed-quick-baseline-v1",
+                 "host_tag":"test-host","report":{}}}"#,
+            report.render()
+        ))
+        .expect("wrapper parses");
+        let cmp = compare(&report, &wrapper, "test-host", false).expect("comparable");
+        assert!(cmp.passed());
+        assert!(cmp.throughput_note.contains("throughput checked"));
+    }
+
+    #[test]
+    fn compare_rejects_structural_mismatch() {
+        let mut other_mode = tiny_report(50, 100.0);
+        if let Json::Object(fields) = &mut other_mode {
+            for (k, v) in fields.iter_mut() {
+                if k == "mode" {
+                    *v = Json::Str("full".to_string());
+                }
+            }
+        }
+        assert!(compare(&tiny_report(50, 100.0), &other_mode, "h", false).is_err());
+        assert!(compare(
+            &tiny_report(50, 100.0),
+            &Json::parse("{\"schema\":\"nope\"}").unwrap(),
+            "h",
+            false
+        )
+        .is_err());
     }
 }

@@ -4,7 +4,7 @@
 //! warm-up that touches every memory page, predictor table and scratch
 //! buffer the harness will ever need, a measured window of full
 //! train/train/attack gadget rounds must perform **zero** new heap
-//! allocations — reloads included, since `load_program_shared` only
+//! allocations — reloads included, since `load_program` only
 //! resets pre-sized structures. A second measured window runs a
 //! mispredict-heavy branchy pointer chase, so the squash path (rename
 //! walk-back, IQ squash, wakeup unsubscription, lazy event invalidation)
@@ -19,8 +19,8 @@ use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
 use condspec_stats::SplitMix64;
 use condspec_workloads::gadgets::{GadgetKind, SpectreGadget};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 struct CountingAlloc;
 
@@ -66,11 +66,11 @@ const CHASE_ITERATIONS: u64 = 400;
 fn round(sim: &mut Simulator, gadget: &SpectreGadget) -> u64 {
     let mut cycles = 0;
     for _ in 0..2 {
-        sim.load_program_shared(gadget.program.clone());
+        sim.load_program(gadget.program.clone());
         sim.write_memory(gadget.input_addr, gadget.train_input, 8);
         cycles += sim.run(RUN_BUDGET).cycles;
     }
-    sim.load_program_shared(gadget.program.clone());
+    sim.load_program(gadget.program.clone());
     sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
     if let Some(len) = gadget.len_addr {
         let pa = sim.core().page_table().translate(len);
@@ -121,8 +121,8 @@ fn branchy_chase(iterations: u64) -> Program {
     b.build().expect("branchy chase assembles")
 }
 
-fn chase_round(sim: &mut Simulator, program: &Rc<Program>) -> u64 {
-    sim.load_program_shared(program.clone());
+fn chase_round(sim: &mut Simulator, program: &Arc<Program>) -> u64 {
+    sim.load_program(program.clone());
     let result = sim.run(RUN_BUDGET);
     assert_eq!(result.exit, ExitReason::Halted, "chase must run to halt");
     result.cycles
@@ -131,7 +131,7 @@ fn chase_round(sim: &mut Simulator, program: &Rc<Program>) -> u64 {
 #[test]
 fn steady_state_rounds_do_not_allocate() {
     let gadget = SpectreGadget::build(GadgetKind::V1);
-    let chase = Rc::new(branchy_chase(CHASE_ITERATIONS));
+    let chase = Arc::new(branchy_chase(CHASE_ITERATIONS));
     for defense in [DefenseConfig::Origin, DefenseConfig::CacheHitTpbuf] {
         let mut sim = Simulator::new(SimConfig::new(defense));
         for _ in 0..WARMUP_ROUNDS {

@@ -138,6 +138,9 @@ pub enum Command {
         machine: Box<MachineConfig>,
         /// Write the JSON document here instead of stdout.
         out: Option<String>,
+        /// Baseline simspeed JSON to diff against; regressions exit
+        /// non-zero (the CI perf guard).
+        compare: Option<String>,
     },
     /// List the benchmark suite and machine presets.
     List,
@@ -176,6 +179,7 @@ USAGE:
                    [--progress] [--telemetry]
   condspec report  <sweep-id> [--root <dir>]
   condspec perf    [--quick] [--machine <name>] [--out <file>]
+                   [--compare <baseline.json>]
   condspec list
   condspec help
 
@@ -483,10 +487,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .unwrap_or_else(MachineConfig::paper_default),
             );
             let out = take_flag(&mut rest, "--out")?;
+            let compare = take_flag(&mut rest, "--compare")?;
             Command::Perf {
                 quick,
                 machine,
                 out,
+                compare,
             }
         }
         "list" => Command::List,
@@ -750,22 +756,30 @@ mod tests {
                 quick,
                 machine,
                 out,
+                compare,
             } => {
                 assert!(!quick);
                 assert_eq!(machine.name, MachineConfig::paper_default().name);
                 assert_eq!(out, None);
+                assert_eq!(compare, None);
             }
             other => panic!("unexpected {other:?}"),
         }
-        match parse(&argv("perf --quick --machine xeon --out speed.json")).unwrap() {
+        match parse(&argv(
+            "perf --quick --machine xeon --out speed.json --compare base.json",
+        ))
+        .unwrap()
+        {
             Command::Perf {
                 quick,
                 machine,
                 out,
+                compare,
             } => {
                 assert!(quick);
                 assert_eq!(machine.name, MachineConfig::xeon_like().name);
                 assert_eq!(out, Some("speed.json".to_string()));
+                assert_eq!(compare, Some("base.json".to_string()));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -107,10 +107,10 @@ fn run(cmd: Command) -> ExitCode {
             let gadget = SpectreGadget::build(kind);
             let mut sim = Simulator::new(SimConfig::new(defense));
             // Warm + train, then trace one malicious round.
-            sim.load_program_shared(gadget.program.clone());
+            sim.load_program(gadget.program.clone());
             sim.write_memory(gadget.input_addr, gadget.train_input, 8);
             sim.run(500_000);
-            sim.load_program_shared(gadget.program.clone());
+            sim.load_program(gadget.program.clone());
             sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
             if let Some(len) = gadget.len_addr {
                 let pa = sim.core().page_table().translate(len);
@@ -170,7 +170,7 @@ fn run(cmd: Command) -> ExitCode {
                 return ExitCode::FAILURE;
             };
             let defense = defense.unwrap_or(DefenseConfig::CacheHitTpbuf);
-            let program = build_program(&spec, iterations);
+            let program = std::sync::Arc::new(build_program(&spec, iterations));
             let mut sim = Simulator::new(SimConfig::on_machine(defense, *machine));
             sim.core_mut().enable_sampler(window, rows);
             sim.run_to_halt(&program, 500_000_000);
@@ -270,8 +270,9 @@ fn run(cmd: Command) -> ExitCode {
                 }
             };
             let defense = defense.unwrap_or(DefenseConfig::Origin);
+            let program = std::sync::Arc::new(program);
             let mut sim = Simulator::new(SimConfig::new(defense));
-            sim.load_program(&program);
+            sim.load_program(program.clone());
             let result = sim.run(max_cycles);
             let r = sim.report();
             println!(
@@ -370,6 +371,7 @@ fn run(cmd: Command) -> ExitCode {
             quick,
             machine,
             out,
+            compare,
         } => {
             use condspec_bench::perf;
             let opts = perf::PerfOptions {
@@ -422,7 +424,64 @@ fn run(cmd: Command) -> ExitCode {
                 }
                 None => print!("{rendered}"),
             }
-            ExitCode::SUCCESS
+            let Some(baseline_path) = compare else {
+                return ExitCode::SUCCESS;
+            };
+            let baseline = match std::fs::read_to_string(&baseline_path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| condspec_stats::Json::parse(&text).map_err(|e| e.to_string()))
+            {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("cannot load baseline {baseline_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let skip = std::env::var_os("CONDSPEC_SKIP_PERF_GUARD").is_some();
+            let comparison = match perf::compare(&reparsed, &baseline, &perf::host_tag(), skip) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot compare against {baseline_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut t = TextTable::with_columns(&[
+                "workload",
+                "defense",
+                "sim work",
+                "base Minst/s",
+                "now Minst/s",
+                "ratio",
+            ]);
+            for c in &comparison.cells {
+                t.row(vec![
+                    c.workload.clone(),
+                    c.defense.clone(),
+                    if c.work_matches() {
+                        "identical".to_string()
+                    } else {
+                        format!(
+                            "cycles {} -> {}, committed {} -> {}",
+                            c.sim_cycles.0, c.sim_cycles.1, c.committed.0, c.committed.1
+                        )
+                    },
+                    format!("{:.2}", c.committed_per_sec.0 / 1e6),
+                    format!("{:.2}", c.committed_per_sec.1 / 1e6),
+                    format!("{:.2}x", c.throughput_ratio()),
+                ]);
+            }
+            eprintln!("comparison against {baseline_path}:\n");
+            eprintln!("{t}");
+            eprintln!("{}", comparison.throughput_note);
+            if comparison.passed() {
+                eprintln!("perf guard ok: all {} cells pass", comparison.cells.len());
+                ExitCode::SUCCESS
+            } else {
+                for failure in &comparison.failures {
+                    eprintln!("perf regression: {failure}");
+                }
+                ExitCode::FAILURE
+            }
         }
         Command::Bench {
             name,
@@ -434,7 +493,7 @@ fn run(cmd: Command) -> ExitCode {
                 eprintln!("unknown benchmark `{name}` — try `condspec list`");
                 return ExitCode::FAILURE;
             };
-            let program = build_program(&spec, iterations);
+            let program = std::sync::Arc::new(build_program(&spec, iterations));
             let mut t = TextTable::with_columns(&[
                 "defense",
                 "cycles",

@@ -42,7 +42,7 @@
 //! b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
 //! b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
 //! b.halt();
-//! sim.run_to_halt(&b.build()?, 1_000_000);
+//! sim.run_to_halt(&std::sync::Arc::new(b.build()?), 1_000_000);
 //!
 //! let report = sim.report();
 //! println!("{} IPC = {:.2}", report.defense, report.ipc);

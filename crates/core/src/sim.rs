@@ -7,6 +7,7 @@ use condspec_isa::{Program, Reg};
 use condspec_mem::{CacheHierarchy, PageTable, Tlb};
 use condspec_pipeline::{Core, ExitReason, NullPolicy, RunResult};
 use condspec_stats::Json;
+use std::sync::Arc;
 
 /// Summary measurements of a simulation window — one row of the paper's
 /// evaluation tables.
@@ -121,7 +122,7 @@ impl Report {
 /// b.li(Reg::R1, 41);
 /// b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
 /// b.halt();
-/// sim.load_program(&b.build()?);
+/// sim.load_program(std::sync::Arc::new(b.build()?));
 /// sim.run(10_000);
 /// assert_eq!(sim.read_arch_reg(Reg::R1), 42);
 /// # Ok(())
@@ -137,8 +138,21 @@ impl Simulator {
     /// Builds the machine described by `config`.
     pub fn new(config: SimConfig) -> Self {
         let m = &config.machine;
-        let policy: Box<dyn condspec_pipeline::SecurityPolicy> = match config.defense.filter_mode()
-        {
+        let core = Core::new(
+            m.core,
+            FrontEnd::new(m.predictor),
+            CacheHierarchy::new(m.hierarchy),
+            Tlb::new(m.tlb),
+            PageTable::new(),
+            Self::build_policy(&config),
+        );
+        Simulator { core, config }
+    }
+
+    /// The security policy `config` calls for, freshly constructed.
+    fn build_policy(config: &SimConfig) -> Box<dyn condspec_pipeline::SecurityPolicy> {
+        let m = &config.machine;
+        match config.defense.filter_mode() {
             None => Box::new(NullPolicy),
             Some(mode) => Box::new(ConditionalSpeculation::new(
                 m.core.iq_entries,
@@ -147,16 +161,19 @@ impl Simulator {
                 config.lru_policy,
                 config.dependence_kinds,
             )),
-        };
-        let core = Core::new(
-            m.core,
-            FrontEnd::new(m.predictor),
-            CacheHierarchy::new(m.hierarchy),
-            Tlb::new(m.tlb),
-            PageTable::new(),
-            policy,
-        );
-        Simulator { core, config }
+        }
+    }
+
+    /// Returns the machine to its freshly-constructed state without
+    /// reallocating simulator structures: cold caches and predictors,
+    /// zeroed clock and statistics, empty memory (see
+    /// [`Core::reset_cold`]). The security policy is rebuilt from the
+    /// configuration. Used by the sweep engine to run many independent
+    /// jobs on one simulator; a reset machine must be observationally
+    /// identical to a fresh [`Simulator::new`] with the same config.
+    pub fn reset_in_place(&mut self) {
+        let policy = Self::build_policy(&self.config);
+        self.core.reset_cold(policy);
     }
 
     /// The simulation configuration.
@@ -165,16 +182,11 @@ impl Simulator {
     }
 
     /// Loads a program (resets architectural state, keeps caches and
-    /// predictors warm — see [`Core::load_program`]).
-    pub fn load_program(&mut self, program: &Program) {
+    /// predictors warm — see [`Core::load_program`]). Takes shared
+    /// ownership: reloading the same program across attack rounds or
+    /// sweep jobs is a reference-count bump, never a deep copy.
+    pub fn load_program(&mut self, program: Arc<Program>) {
         self.core.load_program(program);
-    }
-
-    /// Like [`Simulator::load_program`] with shared ownership: reloading
-    /// the same program across attack rounds is a reference-count bump
-    /// instead of a deep copy.
-    pub fn load_program_shared(&mut self, program: std::rc::Rc<Program>) {
-        self.core.load_program_shared(program);
     }
 
     /// Runs for at most `max_cycles`.
@@ -189,8 +201,8 @@ impl Simulator {
     /// Panics if the program does not halt within `max_cycles` (programs
     /// in this workspace are expected to halt; a non-halting run is a
     /// harness bug).
-    pub fn run_to_halt(&mut self, program: &Program, max_cycles: u64) -> RunResult {
-        self.core.load_program(program);
+    pub fn run_to_halt(&mut self, program: &Arc<Program>, max_cycles: u64) -> RunResult {
+        self.core.load_program(Arc::clone(program));
         let result = self.core.run(max_cycles);
         assert_eq!(
             result.exit,
@@ -244,8 +256,8 @@ impl Simulator {
     /// the rest of the sweep.
     pub fn run_job(
         &mut self,
-        warmup: Option<&Program>,
-        measured: &Program,
+        warmup: Option<&Arc<Program>>,
+        measured: &Arc<Program>,
         max_cycles: u64,
     ) -> Report {
         if let Some(w) = warmup {
@@ -309,7 +321,7 @@ mod tests {
     use crate::config::MachineConfig;
     use condspec_isa::{AluOp, BranchCond, ProgramBuilder};
 
-    fn counting_program(n: u64) -> Program {
+    fn counting_program(n: u64) -> Arc<Program> {
         let mut b = ProgramBuilder::new(0x1000);
         b.li(Reg::R1, 0);
         b.li(Reg::R2, n);
@@ -317,7 +329,7 @@ mod tests {
         b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
         b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
         b.halt();
-        b.build().unwrap()
+        Arc::new(b.build().unwrap())
     }
 
     #[test]
@@ -335,7 +347,7 @@ mod tests {
             b.branch_to(BranchCond::LtU, Reg::R3, Reg::R5, "loop");
             b.halt();
             b.data_u64s(0x20000, &[7, 0]);
-            b.build().unwrap()
+            Arc::new(b.build().unwrap())
         };
         let mut results = Vec::new();
         for defense in DefenseConfig::ALL {
@@ -496,6 +508,49 @@ mod tests {
         let rendered = registry.to_json().render();
         assert_eq!(rendered, sim.metrics().to_json().render());
         condspec_stats::Json::parse(&rendered).expect("metrics JSON parses");
+    }
+
+    #[test]
+    fn reset_in_place_matches_fresh_simulator() {
+        // A memory- and branch-heavy job so the report is sensitive to
+        // every piece of warm state a leaky reset could carry over:
+        // cache lines, predictor counters, TLB entries, written memory.
+        let job = || {
+            let mut b = ProgramBuilder::new(0x1000);
+            b.li(Reg::R1, 0x20000);
+            b.li(Reg::R2, 0);
+            b.li(Reg::R3, 0);
+            b.li(Reg::R5, 400);
+            b.label("loop").unwrap();
+            b.load(Reg::R4, Reg::R1, 0);
+            b.alu(AluOp::Add, Reg::R2, Reg::R2, Reg::R4);
+            b.store(Reg::R2, Reg::R1, 8);
+            b.alu_imm(AluOp::And, Reg::R6, Reg::R2, 1);
+            b.branch_to(BranchCond::Ne, Reg::R6, Reg::R0, "skip");
+            b.alu_imm(AluOp::Add, Reg::R2, Reg::R2, 3);
+            b.label("skip").unwrap();
+            b.alu_imm(AluOp::Add, Reg::R3, Reg::R3, 1);
+            b.branch_to(BranchCond::LtU, Reg::R3, Reg::R5, "loop");
+            b.halt();
+            b.data_u64s(0x20000, &[7, 0]);
+            Arc::new(b.build().unwrap())
+        };
+        for defense in DefenseConfig::ALL {
+            let mut fresh = Simulator::new(SimConfig::new(defense));
+            let expected = fresh.run_job(Some(&counting_program(20)), &job(), 1_000_000);
+
+            let mut reused = Simulator::new(SimConfig::new(defense));
+            // Dirty every structure with a different job and stray writes.
+            reused.run_job(Some(&job()), &counting_program(300), 1_000_000);
+            reused.write_memory(0x9000, 77, 8);
+            reused.reset_in_place();
+            assert_eq!(reused.read_memory(0x9000, 8), 0, "memory must forget");
+            let report = reused.run_job(Some(&counting_program(20)), &job(), 1_000_000);
+            assert_eq!(
+                report, expected,
+                "reset-in-place must equal fresh under {defense}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Differential property test for the data-oriented (SoA) ROB hot path.
+//!
+//! The commit, issue-wakeup and squash walks all read the ROB through
+//! per-state bitmap words and the hot/cold split arrays; the idle
+//! fast-forward additionally skips cycles the bitmaps prove dead. This
+//! test pins the whole arrangement against the two independent
+//! execution paths that bypass parts of it:
+//!
+//! * **stepped vs fast-forwarded** — running a program one
+//!   [`Core::step`] at a time (no idle skipping) must produce the same
+//!   cycle count, commit stream totals and architectural memory as
+//!   [`Simulator::run_to_halt`], which fast-forwards through
+//!   bitmap-proven idle cycles.
+//! * **fresh vs reused** — a simulator recycled between jobs with
+//!   [`Simulator::reset_in_place`] (the sweep engine's per-worker
+//!   reuse) must be observationally indistinguishable from a freshly
+//!   constructed one.
+//!
+//! Programs are random Spectre-gadget-shaped kernels: bounds-checked
+//! dependent loads behind mispredictable branches, with stores and ALU
+//! filler — the shape that stresses suspect tracking, squash recovery
+//! and the blocked-wakeup path under every defense.
+//!
+//! [`Core::step`]: condspec_pipeline::core::Core::step
+
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+use condspec_stats::SplitMix64;
+
+const CODE_BASE: u64 = 0x0040_0000;
+const DATA_BASE: u64 = 0x0800_0000;
+const DATA_WORDS: usize = 96;
+const TRIALS_PER_DEFENSE: usize = 8;
+const GADGETS_PER_PROGRAM: usize = 24;
+const BUDGET: u64 = 400_000;
+
+const SCRATCH: [Reg; 5] = [Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8];
+
+fn reg(rng: &mut SplitMix64) -> Reg {
+    SCRATCH[rng.next_u64() as usize % SCRATCH.len()]
+}
+
+fn word_offset(rng: &mut SplitMix64) -> i64 {
+    (rng.next_u64() as usize % DATA_WORDS) as i64 * 8
+}
+
+/// A random gadget-shaped program: each block draws from ALU filler,
+/// plain memory traffic, or a bounds-check branch guarding a dependent
+/// load pair (the Spectre-v1 shape), so speculation repeatedly runs
+/// ahead through suspect loads and gets squashed.
+fn random_gadget_program(rng: &mut SplitMix64) -> std::sync::Arc<Program> {
+    let mut b = ProgramBuilder::new(CODE_BASE);
+    b.li(Reg::R2, DATA_BASE);
+    b.li(Reg::R3, (DATA_WORDS / 2) as u64); // "bounds" the checks compare against
+    for (i, r) in SCRATCH.iter().enumerate() {
+        b.li(*r, rng.next_u64() >> (16 + i));
+    }
+    for block in 0..GADGETS_PER_PROGRAM {
+        match rng.next_u64() % 4 {
+            0 => {
+                let op =
+                    [AluOp::Add, AluOp::Xor, AluOp::Sub, AluOp::Mul][rng.next_u64() as usize % 4];
+                b.alu(op, reg(rng), reg(rng), reg(rng));
+            }
+            1 => {
+                b.load(reg(rng), Reg::R2, word_offset(rng));
+            }
+            2 => {
+                b.store(reg(rng), Reg::R2, word_offset(rng));
+            }
+            _ => {
+                // The v1 shape: clamp an index, bounds-check it, and
+                // under the check run a dependent load chain whose
+                // first load's data feeds the second's address.
+                let label = format!("oob{block}");
+                let idx = reg(rng);
+                b.alu_imm(AluOp::And, Reg::R9, idx, (DATA_WORDS - 1) as i64);
+                b.branch_to(BranchCond::GeU, Reg::R9, Reg::R3, &label);
+                b.alu_imm(AluOp::Shl, Reg::R9, Reg::R9, 3);
+                b.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R2);
+                b.load(Reg::R9, Reg::R9, 0);
+                b.alu_imm(AluOp::And, Reg::R9, Reg::R9, (DATA_WORDS - 1) as i64 * 8);
+                b.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R2);
+                b.load(reg(rng), Reg::R9, 0);
+                b.label(&label).expect("unique per block");
+            }
+        }
+    }
+    b.halt();
+    let words: Vec<u64> = (0..DATA_WORDS as u64).map(|_| rng.next_u64()).collect();
+    b.data_u64s(DATA_BASE, &words);
+    std::sync::Arc::new(b.build().expect("generated program assembles"))
+}
+
+/// Everything observable about one finished run.
+#[derive(Debug, PartialEq, Eq)]
+struct Observation {
+    cycles: u64,
+    committed: u64,
+    committed_loads: u64,
+    committed_stores: u64,
+    committed_branches: u64,
+    mispredict_squashes: u64,
+    blocked_committed_loads: u64,
+    data: Vec<u64>,
+}
+
+fn observe(sim: &Simulator) -> Observation {
+    let stats = sim.core().stats();
+    Observation {
+        cycles: stats.cycles,
+        committed: stats.committed,
+        committed_loads: stats.committed_loads,
+        committed_stores: stats.committed_stores,
+        committed_branches: stats.committed_branches,
+        mispredict_squashes: stats.mispredict_squashes,
+        blocked_committed_loads: stats.blocked_committed_loads,
+        data: (0..DATA_WORDS as u64)
+            .map(|w| sim.read_memory(DATA_BASE + 8 * w, 8))
+            .collect(),
+    }
+}
+
+#[test]
+fn stepped_reused_and_fast_forwarded_runs_are_identical() {
+    let mut rng = SplitMix64::new(0x50a_d1ff_0000_0001);
+    for defense in DefenseConfig::ALL {
+        let config = SimConfig::new(defense);
+        // The reused simulator survives across trials, reset in place
+        // before each — exactly the sweep engine's per-worker lifecycle.
+        let mut reused = Simulator::new(config);
+        // Dirty it so the first reset actually has state to clear.
+        reused.write_memory(DATA_BASE, 0xdead_beef, 8);
+        for trial in 0..TRIALS_PER_DEFENSE {
+            let program = random_gadget_program(&mut rng);
+            let label = format!("{defense:?} trial {trial}");
+
+            let mut fresh = Simulator::new(config);
+            let result = fresh.run_to_halt(&program, BUDGET);
+            let expected = observe(&fresh);
+            assert_eq!(result.cycles, expected.cycles, "{label}: result/stats");
+            assert!(expected.committed > 0, "{label}: program ran");
+
+            // Stepped: single cycles only, no idle fast-forward.
+            let mut stepped = Simulator::new(config);
+            stepped.load_program(program.clone());
+            let mut steps = 0u64;
+            while !stepped.core().is_halted() {
+                stepped.core_mut().step();
+                steps += 1;
+                assert!(steps <= BUDGET, "{label}: stepped run did not halt");
+            }
+            assert_eq!(observe(&stepped), expected, "{label}: stepped diverged");
+
+            reused.reset_in_place();
+            reused.run_to_halt(&program, BUDGET);
+            assert_eq!(observe(&reused), expected, "{label}: reused diverged");
+        }
+    }
+}

@@ -34,7 +34,7 @@ fn word_offset(rng: &mut SplitMix64) -> i64 {
 /// traffic separated by forward branches whose directions depend on
 /// loaded data, so the predictor keeps guessing wrong and the core keeps
 /// squashing.
-fn random_program(rng: &mut SplitMix64) -> Program {
+fn random_program(rng: &mut SplitMix64) -> std::sync::Arc<Program> {
     let mut b = ProgramBuilder::new(0x0040_0000);
     b.li(Reg::R2, DATA_BASE);
     for (i, r) in SCRATCH.iter().enumerate() {
@@ -71,7 +71,7 @@ fn random_program(rng: &mut SplitMix64) -> Program {
     b.halt();
     let words: Vec<u64> = (0..DATA_WORDS as u64).map(|_| rng.next_u64()).collect();
     b.data_u64s(DATA_BASE, &words);
-    b.build().expect("generated program assembles")
+    std::sync::Arc::new(b.build().expect("generated program assembles"))
 }
 
 #[test]
@@ -79,12 +79,20 @@ fn invariants_hold_through_random_squash_storms() {
     let mut rng = SplitMix64::new(0xc0de_5eed_0000_0001);
     let mut total_squashes = 0;
     for defense in DefenseConfig::ALL {
-        let mut sim = Simulator::new(SimConfig::new(defense));
+        let config = SimConfig::new(defense);
+        let commit_width = config.machine.core.commit_width as u64;
+        let mut sim = Simulator::new(config);
         for trial in 0..TRIALS_PER_DEFENSE {
             let program = random_program(&mut rng);
-            sim.load_program(&program);
+            sim.load_program(program);
             let core = sim.core_mut();
             let mut steps = 0;
+            // The commit stream seen from outside: the committed counter
+            // must be monotone and gain at most `commit_width` per cycle
+            // (the bitmap head-walk may never over-commit), and squashes
+            // must never retract committed work.
+            let mut committed = core.stats().committed;
+            let mut squashes = core.stats().mispredict_squashes;
             while !core.is_halted() {
                 core.step();
                 steps += 1;
@@ -95,6 +103,20 @@ fn invariants_hold_through_random_squash_storms() {
                         core.cycle()
                     );
                 }
+                let now = core.stats().committed;
+                assert!(
+                    now >= committed && now - committed <= commit_width,
+                    "{defense:?} trial {trial} cycle {}: committed {committed} -> {now} \
+                     breaks the <= {commit_width}/cycle commit walk",
+                    core.cycle()
+                );
+                let squashes_now = core.stats().mispredict_squashes;
+                assert!(
+                    squashes_now >= squashes,
+                    "{defense:?} trial {trial}: squash counter went backwards"
+                );
+                committed = now;
+                squashes = squashes_now;
             }
         }
         total_squashes += sim.core().stats().mispredict_squashes;

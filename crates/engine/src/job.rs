@@ -10,6 +10,7 @@
 //! the same hash compute the same result, so a resumed sweep can skip
 //! any job whose artifact already exists.
 
+use crate::cache::WorkerContext;
 use crate::hash::{fnv1a64, hex16};
 use condspec::{DefenseConfig, DependenceKinds, LruPolicy, MachineConfig, SimConfig, Simulator};
 use condspec_attacks::{run_variant, AttackScenario};
@@ -246,9 +247,8 @@ impl JobSpec {
 
     /// Runs the job to completion and returns its artifact document.
     ///
-    /// The document contains only deterministic simulation results —
-    /// never wall-clock times or hostnames — so artifacts are
-    /// byte-identical however the sweep was sharded across workers.
+    /// Equivalent to [`JobSpec::execute_with`] on a private
+    /// [`WorkerContext`] — no cross-job reuse, identical results.
     ///
     /// # Panics
     ///
@@ -256,6 +256,28 @@ impl JobSpec {
     /// an unknown benchmark. The scheduler isolates the panic and marks
     /// the job failed without aborting the sweep.
     pub fn execute(&self) -> Json {
+        self.execute_with(&mut WorkerContext::solo())
+    }
+
+    /// Runs the job to completion using `ctx`'s cached programs and
+    /// resident simulator, and returns its artifact document.
+    ///
+    /// Benchmark workloads fetch their warm-up and measured programs
+    /// from the shared [`ProgramCache`](crate::ProgramCache) and run on
+    /// the worker's reset-in-place simulator; attack and variant
+    /// workloads orchestrate their own simulators and ignore `ctx`.
+    /// Reuse never changes results: the document contains only
+    /// deterministic simulation results — never wall-clock times or
+    /// hostnames — so artifacts are byte-identical however the sweep
+    /// was sharded across workers, and whether the simulator was fresh
+    /// or reused.
+    ///
+    /// # Panics
+    ///
+    /// As [`JobSpec::execute`]. After a panic the caller must assume
+    /// `ctx`'s simulator unwound mid-cycle and call
+    /// [`WorkerContext::discard_simulator`] before the next job.
+    pub fn execute_with(&self, ctx: &mut WorkerContext) -> Json {
         let mut doc = vec![
             ("job", Json::from(self.hash_hex())),
             ("key", Json::from(self.canonical_key())),
@@ -266,11 +288,9 @@ impl JobSpec {
                 iterations,
                 warmup,
             } => {
-                let spec =
-                    by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark `{benchmark}`"));
-                let warmup_program = build_program(&spec, *warmup);
-                let measured = build_program(&spec, *iterations);
-                let mut sim = Simulator::new(self.sim_config());
+                let warmup_program = ctx.programs().get_or_build(benchmark, *warmup);
+                let measured = ctx.programs().get_or_build(benchmark, *iterations);
+                let sim = ctx.simulator(self.sim_config());
                 let report = sim.run_job(Some(&warmup_program), &measured, self.budget);
                 doc.push(("report", report.to_json()));
                 doc.push((
@@ -325,8 +345,8 @@ impl JobSpec {
             panic!("time-series sampling is only defined for benchmark workloads");
         };
         let spec = by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark `{benchmark}`"));
-        let warmup_program = build_program(&spec, *warmup);
-        let measured = build_program(&spec, *iterations);
+        let warmup_program = std::sync::Arc::new(build_program(&spec, *warmup));
+        let measured = std::sync::Arc::new(build_program(&spec, *iterations));
         let mut sim = Simulator::new(self.sim_config());
         sim.core_mut().enable_sampler(window, max_rows);
         // run_job resets statistics between warm-up and measurement,

@@ -24,6 +24,7 @@
 //! ```
 
 pub mod artifact;
+pub mod cache;
 pub mod hash;
 pub mod job;
 pub mod scheduler;
@@ -31,8 +32,11 @@ pub mod sweep;
 pub mod telemetry;
 
 pub use artifact::{SweepDir, DEFAULT_ROOT};
+pub use cache::{ProgramCache, WorkerContext};
 pub use job::{JobSpec, MachinePreset, Workload};
-pub use scheduler::{default_workers, run_jobs, run_jobs_timed, JobResult, JobTiming};
+pub use scheduler::{
+    default_workers, run_jobs, run_jobs_cached, run_jobs_timed, JobResult, JobTiming,
+};
 pub use sweep::{Sweep, SweepResults};
 pub use telemetry::SweepTelemetry;
 
@@ -153,7 +157,8 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome>
     let mut done = 0usize;
     let mut write_error: Option<io::Error> = None;
     let mut telemetry = opts.telemetry.then(|| SweepTelemetry::new(workers));
-    let job_results = run_jobs_timed(&specs, workers, |slot, outcome, timing| {
+    let programs = std::sync::Arc::new(ProgramCache::new());
+    let job_results = run_jobs_cached(&specs, workers, &programs, |slot, outcome, timing| {
         done += 1;
         let job = &specs[slot];
         if let Ok(doc) = outcome {
@@ -186,6 +191,11 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome>
     });
     if !opts.quiet && opts.progress && total > 0 {
         eprintln!();
+    }
+    if !opts.quiet && total > 0 {
+        // e.g. `program-cache: 44 builds, 176 hits` — a fig5 sweep
+        // builds each distinct (benchmark, iterations) program once.
+        eprintln!("{}", programs.summary());
     }
     if let Some(e) = write_error {
         return Err(e);

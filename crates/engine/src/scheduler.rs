@@ -10,11 +10,13 @@
 //! or how the OS interleaved them. Only scheduling varies with
 //! `workers`; results never do.
 
+use crate::cache::{ProgramCache, WorkerContext};
 use crate::job::JobSpec;
 use condspec_stats::Json;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The outcome of one job: its artifact document, or the panic message
@@ -80,6 +82,25 @@ pub fn run_jobs(
 pub fn run_jobs_timed(
     jobs: &[JobSpec],
     workers: usize,
+    on_done: impl FnMut(usize, &JobResult, &JobTiming),
+) -> Vec<(JobResult, JobTiming)> {
+    run_jobs_cached(jobs, workers, &Arc::new(ProgramCache::new()), on_done)
+}
+
+/// [`run_jobs_timed`] with cross-job reuse wired through: every worker
+/// fetches benchmark programs from the shared `programs` cache and
+/// keeps its simulator resident between jobs (reset in place when the
+/// next job's configuration matches). The caller owns the cache and can
+/// read its build/hit counters after the pool drains.
+///
+/// Reuse never leaks between jobs: a job that panics poisons only the
+/// worker's resident simulator, which is discarded before that worker
+/// claims its next job. Results are exactly what [`run_jobs_timed`]
+/// produces.
+pub fn run_jobs_cached(
+    jobs: &[JobSpec],
+    workers: usize,
+    programs: &Arc<ProgramCache>,
     mut on_done: impl FnMut(usize, &JobResult, &JobTiming),
 ) -> Vec<(JobResult, JobTiming)> {
     let workers = workers.max(1).min(jobs.len().max(1));
@@ -92,13 +113,19 @@ pub fn run_jobs_timed(
         for worker in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
+            let mut ctx = WorkerContext::new(Arc::clone(programs));
             scope.spawn(move || loop {
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = jobs.get(index) else { break };
                 let queue_wait_ms = started.elapsed().as_millis() as u64;
                 let job_started = Instant::now();
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| spec.execute())).map_err(panic_message);
+                let outcome = catch_unwind(AssertUnwindSafe(|| spec.execute_with(&mut ctx)))
+                    .map_err(panic_message);
+                if outcome.is_err() {
+                    // The simulator may have unwound mid-cycle; never
+                    // reuse it for the next job.
+                    ctx.discard_simulator();
+                }
                 let timing = JobTiming {
                     worker,
                     queue_wait_ms,
@@ -173,6 +200,49 @@ mod tests {
     #[test]
     fn empty_job_list_is_fine() {
         assert!(run_jobs(&[], 4, |_, _| {}).is_empty());
+    }
+
+    #[test]
+    fn shared_cache_builds_each_program_once_without_changing_results() {
+        // Three jobs over one benchmark: two defense configs, with the
+        // first repeated so a single worker exercises both simulator
+        // reuse (reset in place) and rebuild (config change).
+        let mut other = tiny_job("gcc");
+        other.defense = DefenseConfig::Baseline;
+        let jobs = vec![tiny_job("gcc"), other, tiny_job("gcc")];
+
+        // Reference: each job executed in isolation (its own cache and
+        // a fresh simulator).
+        let solo: Vec<String> = jobs.iter().map(|j| j.execute().render()).collect();
+
+        let programs = Arc::new(ProgramCache::new());
+        let pooled: Vec<String> = run_jobs_cached(&jobs, 1, &programs, |_, _, _| {})
+            .into_iter()
+            .map(|(r, _)| r.expect("tiny jobs halt").render())
+            .collect();
+        assert_eq!(pooled, solo, "reuse must not change any artifact");
+
+        // 3 jobs x 2 programs (warm-up + measured) = 6 requests over 2
+        // distinct (benchmark, iterations) keys.
+        assert_eq!(programs.builds(), 2);
+        assert_eq!(programs.hits(), 4);
+    }
+
+    #[test]
+    fn a_panic_does_not_poison_the_workers_next_job() {
+        // One worker, so the job after the panic necessarily runs on
+        // the same worker — its mid-unwind simulator must be discarded,
+        // not reset and reused.
+        let mut bad = tiny_job("gcc");
+        bad.budget = 10;
+        let jobs = vec![tiny_job("gcc"), bad, tiny_job("gcc")];
+        let expected = jobs[2].execute().render();
+        let results = run_jobs(&jobs, 1, |_, _| {});
+        assert!(results[1].is_err());
+        assert_eq!(
+            results[2].as_ref().expect("job after panic halts").render(),
+            expected
+        );
     }
 
     #[test]

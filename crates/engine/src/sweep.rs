@@ -575,6 +575,30 @@ mod tests {
     }
 
     #[test]
+    fn fig5_needs_one_program_build_per_benchmark_and_iteration_count() {
+        // Every fig5 job on a benchmark shares the same warm-up and
+        // measured programs, so the sweep's program cache should build
+        // 22 benchmarks x {warmup, measured} = 44 programs and serve
+        // the remaining 110*2 - 44 requests as hits.
+        let mut keys: Vec<(&'static str, u64)> = fig5()
+            .jobs
+            .iter()
+            .flat_map(|job| match &job.workload {
+                Workload::Bench {
+                    benchmark,
+                    iterations,
+                    warmup,
+                } => vec![(*benchmark, *warmup), (*benchmark, *iterations)],
+                _ => vec![],
+            })
+            .collect();
+        assert_eq!(keys.len(), 110 * 2, "every fig5 job is a benchmark");
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 22 * 2, "distinct programs a fig5 run builds");
+    }
+
+    #[test]
     fn job_hashes_are_unique_within_each_sweep() {
         for name in Sweep::NAMES {
             let sweep = Sweep::by_name(name).expect("known sweep");

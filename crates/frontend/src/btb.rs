@@ -42,6 +42,11 @@ impl BranchTargetBuffer {
         }
     }
 
+    /// Invalidates every entry, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.entries.fill(None);
+    }
+
     fn index(&self, pc: u64) -> usize {
         ((pc >> 2) & self.mask) as usize
     }

@@ -75,6 +75,15 @@ impl DirectionPredictor {
         }
     }
 
+    /// Returns every table and the global history to the cold
+    /// power-on state (counters weakly not-taken), keeping allocations.
+    pub fn reset(&mut self) {
+        self.bimodal.fill(1);
+        self.gshare.fill(1);
+        self.chooser.fill(1);
+        self.history = 0;
+    }
+
     fn bimodal_index(&self, pc: u64) -> usize {
         ((pc >> 2) & self.mask) as usize
     }

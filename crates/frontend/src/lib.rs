@@ -157,6 +157,19 @@ impl FrontEnd {
         self.indirect_accuracy.reset();
     }
 
+    /// Returns the whole front end to the cold power-on state —
+    /// untrained predictors, empty BTB and RAS, zeroed accuracy
+    /// counters — without giving up any table allocation. After this,
+    /// the front end is observationally identical to a fresh
+    /// [`FrontEnd::new`] with the same configuration.
+    pub fn reset(&mut self) {
+        self.direction.reset();
+        self.btb.reset();
+        self.ras.clear();
+        self.cond_accuracy.reset();
+        self.indirect_accuracy.reset();
+    }
+
     /// Direct mutable access to the BTB (used by Spectre V2 attack
     /// modelling to poison entries, and by tests).
     pub fn btb_mut(&mut self) -> &mut BranchTargetBuffer {

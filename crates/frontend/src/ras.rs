@@ -111,6 +111,11 @@ impl ReturnAddressStack {
         self.entries.pop()
     }
 
+    /// Empties the stack, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Current depth.
     pub fn depth(&self) -> usize {
         self.entries.len()

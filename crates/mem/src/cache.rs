@@ -107,6 +107,14 @@ impl SetAssocCache {
         }
     }
 
+    /// Invalidates every line and rewinds the replacement clock,
+    /// keeping the allocation: observationally identical to a fresh
+    /// [`SetAssocCache::new`] with the same geometry.
+    pub fn reset(&mut self) {
+        self.lines.fill(LineState::default());
+        self.tick = 0;
+    }
+
     /// The cache geometry.
     pub fn config(&self) -> &CacheConfig {
         &self.config

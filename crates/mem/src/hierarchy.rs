@@ -331,6 +331,20 @@ impl CacheHierarchy {
         self.stats = HierarchyStats::default();
     }
 
+    /// Returns every level to the cold power-on state (all lines
+    /// invalid, statistics zeroed) without giving up line allocations:
+    /// observationally identical to a fresh [`CacheHierarchy::new`]
+    /// with the same configuration.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+        if let Some(l3) = self.l3.as_mut() {
+            l3.reset();
+        }
+        self.stats = HierarchyStats::default();
+    }
+
     /// The latency a demand access would see, without changing state: the
     /// attacker's timing measurement primitive for probes where the access
     /// itself should not be simulated on the pipeline.

@@ -64,6 +64,12 @@ impl MainMemory {
         MainMemory::default()
     }
 
+    /// Forgets every written page (all memory reads as zero again),
+    /// keeping the page-map allocation.
+    pub fn reset(&mut self) {
+        self.pages.clear();
+    }
+
     /// Reads `size` bytes (1, 2, 4 or 8) little-endian from `paddr`,
     /// zero-extended into a `u64`.
     ///

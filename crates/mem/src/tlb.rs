@@ -73,6 +73,11 @@ impl PageTable {
     pub fn mapped_pages(&self) -> usize {
         self.map.len()
     }
+
+    /// Drops every explicit mapping, returning to the identity map.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
 }
 
 /// TLB configuration.
@@ -177,6 +182,14 @@ impl Tlb {
     /// Hit/miss statistics.
     pub fn stats(&self) -> RateCounter {
         self.stats
+    }
+
+    /// Returns the TLB to the cold power-on state: no cached
+    /// translations, rewound replacement clock, zeroed statistics.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.tick = 0;
+        self.stats.reset();
     }
 
     /// Resets statistics without flushing entries.

@@ -28,7 +28,7 @@ use crate::policy::{
     BlockFilter, DispatchInfo, InstClass, MemAccessQuery, MemDecision, NullPolicy, SecurityPolicy,
 };
 use crate::regfile::RegFile;
-use crate::rob::{Rob, RobEntry, RobState};
+use crate::rob::{CommitClass, Rob, RobState};
 use crate::sampler::TimeSeriesSampler;
 use crate::stats::PipelineStats;
 use crate::trace::{SquashCause, TraceBuffer, TraceEvent};
@@ -37,7 +37,7 @@ use condspec_isa::{Inst, Program, Reg, INST_BYTES};
 use condspec_mem::{page_number, CacheHierarchy, LruUpdate, MainMemory, PageTable, Tlb};
 use condspec_stats::MetricsRegistry;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Core (pipeline) configuration. Cache and predictor configuration live
 /// in their own crates; the `condspec` crate combines everything into
@@ -205,7 +205,7 @@ enum BlockReason {
 /// b.li(Reg::R1, 20);
 /// b.alu_imm(AluOp::Add, Reg::R2, Reg::R1, 22);
 /// b.halt();
-/// core.load_program(&b.build()?);
+/// core.load_program(std::sync::Arc::new(b.build()?));
 /// let result = core.run(10_000);
 /// assert_eq!(core.read_arch_reg(Reg::R2), 42);
 /// # Ok(())
@@ -228,14 +228,16 @@ pub struct Core {
     /// Earliest re-issue cycle for blocked IQ entries (replay penalty).
     blocked_until: Vec<u64>,
 
-    program: Option<Rc<Program>>,
+    program: Option<Arc<Program>>,
     /// Additional resident code regions (shared libraries / other
     /// processes' executable pages). Unlike the main program these
     /// survive [`Core::load_program`], exactly like the shared predictor
     /// state: they model the shared mapped code pages of the threat
     /// model. Speculative (and architectural) fetch falls back to them
-    /// when the PC is outside the main program.
-    shared_code: Vec<Rc<Program>>,
+    /// when the PC is outside the main program. `Arc` (not `Rc`): the
+    /// engine's cross-worker program cache hands the same decoded
+    /// program to cores on different threads.
+    shared_code: Vec<Arc<Program>>,
     fetch_pc: u64,
     fetch_stall_until: u64,
     fetch_wedged: bool,
@@ -260,7 +262,8 @@ pub struct Core {
     fence_seqs: VecDeque<u64>,
     cycle: u64,
     next_seq: u64,
-    /// Monotone dispatch counter backing [`RobEntry::stamp`]. Never reset
+    /// Monotone dispatch counter backing [`crate::rob::RobHot::stamp`].
+    /// Never reset
     /// (not even by [`Core::load_program`]), so a stamp uniquely names one
     /// dispatched instruction for the lifetime of the core.
     next_stamp: u64,
@@ -282,14 +285,12 @@ pub struct Core {
     due_scratch: Vec<Completion>,
     /// `capture_store_data`'s completed-store list.
     store_done_scratch: Vec<u64>,
-    /// `squash_from`'s removed-ROB-entry buffer (youngest first).
-    squash_scratch: Vec<RobEntry>,
     /// `squash_from`'s removed-LSQ-sequence buffer.
     lsq_squash_scratch: Vec<u64>,
     /// `deliver_completions`' woken-subscriber drain (IQ slots).
     woken_scratch: Vec<u16>,
-    /// Recycled RAS-snapshot boxes. Snapshots are boxed to keep
-    /// [`RobEntry`] small, but boxing must not make fetch allocate per
+    /// Recycled RAS-snapshot boxes. Snapshots are boxed to keep the ROB's
+    /// cold records small, but boxing must not make fetch allocate per
     /// control instruction: dead snapshots (commit, squash, program
     /// reset) return here and fetch reuses them, so the steady-state hot
     /// loop stays heap-free. The pool stores the boxes themselves (not
@@ -380,7 +381,6 @@ impl Core {
             issue_scratch: Vec::with_capacity(config.iq_entries),
             due_scratch: Vec::with_capacity(config.rob_entries),
             store_done_scratch: Vec::with_capacity(config.stq_entries),
-            squash_scratch: Vec::with_capacity(config.rob_entries),
             lsq_squash_scratch: Vec::with_capacity(config.ldq_entries + config.stq_entries),
             // At most two operand subscriptions per IQ entry exist at any
             // moment, so this bound keeps the wakeup drain heap-free.
@@ -418,23 +418,14 @@ impl Core {
     /// the entry. Microarchitectural state (caches, predictors, TLB,
     /// cycle counter, statistics) is deliberately *preserved* so that
     /// attacker and victim programs can be run back-to-back on warm state.
-    pub fn load_program(&mut self, program: &Program) {
-        self.load_program_shared(Rc::new(program.clone()));
-    }
-
-    /// Like [`Core::load_program`] but takes shared ownership of the
-    /// program: reloading the same `Rc` (the attack-round pattern) is a
-    /// pointer bump instead of a deep copy of the code and data segments.
-    pub fn load_program_shared(&mut self, program: Rc<Program>) {
+    /// Takes shared ownership: reloading the same `Arc` (the attack-round
+    /// and sweep-engine pattern) is a pointer bump instead of a deep copy
+    /// of the code and data segments.
+    pub fn load_program(&mut self, program: Arc<Program>) {
         self.regfile.reset();
         // Drain (rather than clear) the ROB and fetch queue so in-flight
         // RAS-snapshot boxes return to the pool instead of being freed.
-        while let Some(mut entry) = self.rob.pop_head() {
-            if let Some(snap) = entry.ras_snapshot.take() {
-                self.ras_box_pool.push(snap);
-            }
-        }
-        self.rob.reset();
+        self.rob.clear_recycle(&mut self.ras_box_pool);
         self.iq.reset();
         self.lsq.reset();
         self.block_reasons.iter_mut().for_each(|r| *r = None);
@@ -469,13 +460,7 @@ impl Core {
     /// Maps an additional resident code region (and loads its data
     /// segments). Shared mappings survive [`Core::load_program`]; use
     /// [`Core::clear_shared_code`] to drop them.
-    pub fn map_shared_code(&mut self, program: &Program) {
-        self.map_shared_code_shared(Rc::new(program.clone()));
-    }
-
-    /// Like [`Core::map_shared_code`] with shared ownership: registering
-    /// an already-shared program is a pointer bump.
-    pub fn map_shared_code_shared(&mut self, program: Rc<Program>) {
+    pub fn map_shared_code(&mut self, program: Arc<Program>) {
         for seg in program.data() {
             let paddr = self.page_table.translate(seg.base);
             self.memory.write_bytes(paddr, &seg.bytes);
@@ -485,6 +470,59 @@ impl Core {
 
     /// Removes all shared code mappings.
     pub fn clear_shared_code(&mut self) {
+        self.shared_code.clear();
+    }
+
+    /// Returns the whole machine to the cold power-on state — caches,
+    /// predictors, TLB, page table, memory, clock, statistics — without
+    /// giving up any allocation. [`Core::load_program`] deliberately
+    /// keeps microarchitectural state warm across loads; this is its
+    /// complement, used by the sweep engine to reuse one core across
+    /// *independent* jobs, where any carried-over state would break
+    /// artifact determinism. The caller supplies a freshly built
+    /// security policy (policies are rebuilt rather than deep-reset:
+    /// they are small, and construction is the one reset path already
+    /// proven correct).
+    ///
+    /// After this call the core is observationally identical to
+    /// [`Core::new`] with the same configuration: the event wheel is
+    /// empty, so `next_stamp` can rewind to zero without any stale
+    /// completion surviving to alias a recycled stamp.
+    pub fn reset_cold(&mut self, policy: Box<dyn SecurityPolicy>) {
+        self.frontend.reset();
+        self.hierarchy.reset();
+        self.tlb.reset();
+        self.page_table.clear();
+        self.memory.reset();
+        self.policy = policy;
+        self.regfile.reset();
+        self.rob.clear_recycle(&mut self.ras_box_pool);
+        self.iq.reset();
+        self.lsq.reset();
+        self.block_reasons.iter_mut().for_each(|r| *r = None);
+        self.blocked_until.iter_mut().for_each(|c| *c = 0);
+        for fetched in self.fetch_queue.drain(..) {
+            if let Some(snap) = fetched.ras_snapshot {
+                self.ras_box_pool.push(snap);
+            }
+        }
+        self.events.clear();
+        self.pending_store_data.clear();
+        self.fq_unresolved_branches = 0;
+        self.rob_unresolved_branches = 0;
+        self.fence_seqs.clear();
+        self.cycle = 0;
+        self.next_seq = 0;
+        self.next_stamp = 0;
+        self.halted = false;
+        self.fetch_wedged = false;
+        self.fetch_stall_until = 0;
+        self.fetch_pc = 0;
+        self.last_commit_cycle = 0;
+        self.stats = PipelineStats::default();
+        self.trace = None;
+        self.sampler = None;
+        self.program = None;
         self.shared_code.clear();
     }
 
@@ -681,74 +719,101 @@ impl Core {
 
     fn commit_stage(&mut self) {
         for _ in 0..self.config.commit_width {
-            let Some(head) = self.rob.head() else { break };
-            if head.state != RobState::Completed {
+            // One bitmap bit test answers "may the head commit?".
+            if !self.rob.head_completed() {
                 break;
             }
-            let mut entry = self.rob.pop_head().expect("head exists");
-            if let Some(snap) = entry.ras_snapshot.take() {
-                self.ras_box_pool.push(snap);
+            let entry = *self.rob.head_hot().expect("head exists");
+            // The commit class (precomputed at dispatch) says whether the
+            // cold record is needed; `Simple` — the common case — commits
+            // off the hot record alone. Cold scalars are copied out here,
+            // before the pop invalidates the head slot.
+            let cold = match entry.class {
+                CommitClass::Simple | CommitClass::Control | CommitClass::Halt => None,
+                _ => {
+                    let c = self.rob.head_cold().expect("head exists");
+                    let store_size = match c.inst {
+                        Inst::Store { size, .. } => size.bytes(),
+                        _ => 0,
+                    };
+                    Some((
+                        c.mem_paddr,
+                        c.store_data,
+                        store_size,
+                        c.actual_next,
+                        c.branch_taken,
+                    ))
+                }
+            };
+            self.rob.pop_head_recycle(&mut self.ras_box_pool);
+            if self.trace.is_some() {
+                self.trace(TraceEvent::Commit {
+                    cycle: self.cycle,
+                    seq: entry.seq,
+                    pc: entry.pc,
+                });
             }
-            self.trace(TraceEvent::Commit {
-                cycle: self.cycle,
-                seq: entry.seq,
-                pc: entry.pc,
-            });
             self.last_commit_cycle = self.cycle;
             self.stats.committed += 1;
             if let Some((_, _, old)) = entry.dest {
                 self.regfile.release(old);
             }
-            match entry.inst {
-                Inst::Load { .. } => {
+            match entry.class {
+                CommitClass::Simple => {}
+                CommitClass::Control => {
+                    self.stats.committed_branches += 1;
+                }
+                CommitClass::Load => {
+                    let (mem_paddr, ..) = cold.expect("cold copied for loads");
                     self.stats.committed_loads += 1;
                     if entry.was_blocked {
                         self.stats.blocked_committed_loads += 1;
                     }
                     if entry.deferred_lru {
-                        if let Some(paddr) = entry.mem_paddr {
+                        if let Some(paddr) = mem_paddr {
                             self.hierarchy.touch_l1d(paddr);
                         }
                     }
                     self.lsq.release_load(entry.seq);
                     self.policy.on_lsq_release(entry.seq);
                 }
-                Inst::Store { size, .. } => {
+                CommitClass::Store => {
+                    let (mem_paddr, store_data, store_size, ..) =
+                        cold.expect("cold copied for stores");
                     self.stats.committed_stores += 1;
-                    let paddr = entry.mem_paddr.expect("committed store has an address");
-                    let data = entry.store_data.expect("committed store has data");
-                    self.memory.write(paddr, data, size.bytes());
+                    let paddr = mem_paddr.expect("committed store has an address");
+                    let data = store_data.expect("committed store has data");
+                    self.memory.write(paddr, data, store_size);
                     // Committed stores are architectural: they may fill the
                     // cache (write-allocate) without any security filter.
                     self.hierarchy.access_data(paddr, LruUpdate::Normal);
                     self.lsq.release_store(entry.seq);
                     self.policy.on_lsq_release(entry.seq);
                 }
-                Inst::Flush { .. } => {
-                    if let Some(paddr) = entry.mem_paddr {
+                CommitClass::Flush => {
+                    let (mem_paddr, ..) = cold.expect("cold copied for flushes");
+                    if let Some(paddr) = mem_paddr {
                         self.hierarchy.flush_line(paddr);
                     }
                 }
-                Inst::Branch { .. } => {
+                CommitClass::Branch => {
+                    let (.., actual_next, branch_taken) = cold.expect("cold copied for branches");
                     self.stats.committed_branches += 1;
-                    let taken = entry.branch_taken.unwrap_or(false);
-                    let target = taken.then_some(entry.actual_next.unwrap_or(0));
+                    let taken = branch_taken.unwrap_or(false);
+                    let target = taken.then_some(actual_next.unwrap_or(0));
                     self.frontend.update_branch(entry.pc, taken, target);
                 }
-                Inst::JumpIndirect { .. } => {
+                CommitClass::JumpIndirect => {
+                    let (.., actual_next, _) = cold.expect("cold copied for indirect jumps");
                     self.stats.committed_branches += 1;
-                    if let Some(t) = entry.actual_next {
+                    if let Some(t) = actual_next {
                         self.frontend.update_indirect(entry.pc, t);
                     }
                 }
-                Inst::Ret { .. } | Inst::Jump { .. } | Inst::Call { .. } => {
-                    self.stats.committed_branches += 1;
-                }
-                Inst::Halt => {
+                CommitClass::Halt => {
                     self.halted = true;
                     return;
                 }
-                _ => {}
             }
         }
     }
@@ -765,28 +830,32 @@ impl Core {
         self.events.drain_due(now, &mut due);
         let mut woken = std::mem::take(&mut self.woken_scratch);
         for event in due.iter().copied() {
-            let Some(entry) = self.rob.get_mut(event.seq) else {
+            let Some(entry) = self.rob.hot_mut(event.seq) else {
                 continue; // squashed while in flight
             };
             if entry.stamp != event.stamp {
                 continue; // squashed and the seq was recycled
             }
-            if entry.state != RobState::Issued {
+            if entry.state() != RobState::Issued {
                 continue;
             }
-            if let Some((_, preg, _)) = entry.dest {
+            let dest = entry.dest;
+            let slot = entry.iq_slot.take();
+            self.rob.mark_completed(event.seq);
+            if let Some((_, preg, _)) = dest {
                 self.regfile.write_and_wake(preg, event.value, &mut woken);
             }
-            entry.state = RobState::Completed;
-            let slot = entry.iq_slot.take();
-            self.trace(TraceEvent::Complete {
-                cycle: self.cycle,
-                seq: event.seq,
-            });
+            if self.trace.is_some() {
+                self.trace(TraceEvent::Complete {
+                    cycle: self.cycle,
+                    seq: event.seq,
+                });
+            }
             if event.is_load {
                 self.policy.on_mem_writeback(event.seq);
             }
             if let Some(slot) = slot {
+                let slot = slot as usize;
                 self.iq.free_slot(slot);
                 self.policy.on_slot_freed(slot);
                 self.block_reasons[slot] = None;
@@ -832,14 +901,14 @@ impl Core {
             }
         });
         for seq in completed.iter().copied() {
-            let Some(entry) = self.rob.get_mut(seq) else {
+            let Some(entry) = self.rob.hot(seq) else {
                 continue;
             };
             let data = self
                 .regfile
                 .read(entry.src_pregs[1].expect("stores have a data operand"));
-            entry.store_data = Some(data);
-            entry.state = RobState::Completed;
+            self.rob.cold_mut(seq).expect("in flight").store_data = Some(data);
+            self.rob.mark_completed(seq);
             self.lsq.resolve_store_data(seq, data);
             self.policy.on_mem_writeback(seq);
         }
@@ -945,17 +1014,16 @@ impl Core {
             let suspect = self.policy.suspect_on_issue(slot);
             self.iq.mark_issued(slot);
             self.block_reasons[slot] = None;
-            {
-                let rob_entry = self.rob.get_mut(seq).expect("in flight");
-                rob_entry.state = RobState::Issued;
-                rob_entry.suspect = suspect;
-            }
+            self.rob.mark_issued(seq);
+            self.rob.hot_mut(seq).expect("in flight").suspect = suspect;
             self.stats.issued += 1;
-            self.trace(TraceEvent::Issue {
-                cycle: self.cycle,
-                seq,
-                suspect,
-            });
+            if self.trace.is_some() {
+                self.trace(TraceEvent::Issue {
+                    cycle: self.cycle,
+                    seq,
+                    suspect,
+                });
+            }
             if entry.is_mem {
                 mem_issued += 1;
             }
@@ -964,8 +1032,7 @@ impl Core {
             let bounced = self.execute(seq, slot, suspect);
             if bounced {
                 // The entry stays queue-resident, un-issued.
-                let rob_entry = self.rob.get_mut(seq).expect("in flight");
-                rob_entry.state = RobState::Dispatched;
+                self.rob.mark_dispatched(seq);
                 continue;
             }
             // Successful issue: clear the security-matrix column and free
@@ -976,7 +1043,7 @@ impl Core {
             // slot until writeback; stores (even with pending data) and
             // everything else release it now.
             let keeps_slot = matches!(
-                self.rob.get(seq).map(|e| (e.state, e.inst.is_load())),
+                self.rob.hot(seq).map(|e| (e.state(), e.is_load())),
                 Some((RobState::Issued, true))
             );
             if keeps_slot {
@@ -984,8 +1051,7 @@ impl Core {
                 // writeback so a squash can find and free it precisely.
                 continue;
             }
-            let rob_entry = self.rob.get_mut(seq).expect("in flight");
-            rob_entry.iq_slot = None;
+            self.rob.hot_mut(seq).expect("in flight").iq_slot = None;
             self.iq.free_slot(slot);
             self.policy.on_slot_freed(slot);
         }
@@ -996,12 +1062,15 @@ impl Core {
     /// instruction bounced back to the IQ (filter block or store-address
     /// wait).
     fn execute(&mut self, seq: u64, slot: usize, suspect: bool) -> bool {
-        let entry = self.rob.get(seq).expect("in flight");
-        let inst = entry.inst;
+        let entry = self.rob.hot(seq).expect("in flight");
         let pc = entry.pc;
-        let predicted_next = entry.predicted_next;
         let src_pregs = entry.src_pregs;
         let stamp = entry.stamp;
+        // Execute is the dispatch/resolve path: the one place the hot
+        // loop legitimately reads the cold record.
+        let cold = self.rob.cold(seq).expect("in flight");
+        let inst = cold.inst;
+        let predicted_next = cold.predicted_next;
         let val =
             |idx: usize, rf: &RegFile| -> u64 { src_pregs[idx].map(|p| rf.read(p)).unwrap_or(0) };
 
@@ -1074,7 +1143,7 @@ impl Core {
             Inst::Flush { offset, .. } => {
                 let vaddr = val(0, &self.regfile).wrapping_add(offset as u64);
                 let (paddr, _) = self.tlb.translate(vaddr, &self.page_table);
-                let e = self.rob.get_mut(seq).expect("in flight");
+                let e = self.rob.cold_mut(seq).expect("in flight");
                 e.mem_vaddr = Some(vaddr);
                 e.mem_paddr = Some(paddr);
                 self.mark_completed(seq);
@@ -1090,21 +1159,17 @@ impl Core {
                 let vaddr = val(0, &self.regfile).wrapping_add(offset as u64);
                 let (paddr, _) = self.tlb.translate(vaddr, &self.page_table);
                 {
-                    let e = self.rob.get_mut(seq).expect("in flight");
+                    let e = self.rob.cold_mut(seq).expect("in flight");
                     e.mem_vaddr = Some(vaddr);
                     e.mem_paddr = Some(paddr);
                 }
                 self.lsq.resolve_store_addr(seq, vaddr);
                 self.policy.on_mem_address(seq, page_number(paddr), suspect);
-                let data_preg = self.rob.get(seq).expect("in flight").src_pregs[1];
-                let data_preg = data_preg.expect("stores have a data operand");
+                let data_preg = src_pregs[1].expect("stores have a data operand");
                 if self.regfile.is_ready(data_preg) {
                     let data = self.regfile.read(data_preg);
-                    {
-                        let e = self.rob.get_mut(seq).expect("in flight");
-                        e.store_data = Some(data);
-                        e.state = RobState::Completed;
-                    }
+                    self.rob.cold_mut(seq).expect("in flight").store_data = Some(data);
+                    self.rob.mark_completed(seq);
                     self.lsq.resolve_store_data(seq, data);
                     self.policy.on_mem_writeback(seq);
                 } else {
@@ -1113,7 +1178,7 @@ impl Core {
                 // Memory-order violation check: younger loads that already
                 // executed against this address must replay.
                 if let Some(load_seq) = self.lsq.violation_on_store(seq, vaddr, size.bytes()) {
-                    let redirect = self.rob.get(load_seq).expect("violating load in flight").pc;
+                    let redirect = self.rob.hot(load_seq).expect("violating load in flight").pc;
                     self.stats.violation_squashes += 1;
                     self.squash_from(load_seq.saturating_sub(1), redirect, SquashCause::MemOrder);
                 }
@@ -1160,7 +1225,7 @@ impl Core {
                 let (paddr, tlb_latency) = self.tlb.translate(vaddr, &self.page_table);
                 let l1_hit = self.hierarchy.probe_l1d(paddr);
                 {
-                    let e = self.rob.get_mut(seq).expect("in flight");
+                    let e = self.rob.cold_mut(seq).expect("in flight");
                     e.mem_vaddr = Some(vaddr);
                     e.mem_paddr = Some(paddr);
                 }
@@ -1209,7 +1274,7 @@ impl Core {
                             vaddr,
                             page: page_number(paddr),
                         });
-                        let rob_entry = self.rob.get_mut(seq).expect("in flight");
+                        let rob_entry = self.rob.hot_mut(seq).expect("in flight");
                         rob_entry.was_blocked = true;
                         self.iq.bounce(slot);
                         self.block_reasons[slot] = Some(BlockReason::Security);
@@ -1224,7 +1289,7 @@ impl Core {
                             .hierarchy
                             .access_data_with_prefetch(paddr, l1_update, !suspect);
                         if l1_update == LruUpdate::Deferred && outcome.l1_hit() {
-                            self.rob.get_mut(seq).expect("in flight").deferred_lru = true;
+                            self.rob.hot_mut(seq).expect("in flight").deferred_lru = true;
                         }
                         let memory_value = self.memory.read(paddr, size.bytes());
                         let value = self.lsq.overlay(seq, vaddr, size.bytes(), memory_value);
@@ -1264,21 +1329,21 @@ impl Core {
     }
 
     fn mark_completed(&mut self, seq: u64) {
-        self.rob.get_mut(seq).expect("in flight").state = RobState::Completed;
+        self.rob.mark_completed(seq);
     }
 
     fn resolve_control(&mut self, seq: u64, actual: u64, predicted: u64, taken: Option<bool>) {
         {
-            let entry = self.rob.get_mut(seq).expect("in flight");
-            entry.actual_next = Some(actual);
-            entry.branch_taken = taken;
-            entry.state = RobState::Completed;
-            if entry.inst.is_branch() {
-                self.rob_unresolved_branches = self.rob_unresolved_branches.saturating_sub(1);
-            }
+            let cold = self.rob.cold_mut(seq).expect("in flight");
+            cold.actual_next = Some(actual);
+            cold.branch_taken = taken;
+        }
+        self.rob.mark_completed(seq);
+        if self.rob.hot(seq).expect("in flight").is_branch {
+            self.rob_unresolved_branches = self.rob_unresolved_branches.saturating_sub(1);
         }
         if actual != predicted {
-            self.rob.get_mut(seq).expect("in flight").mispredicted = true;
+            self.rob.hot_mut(seq).expect("in flight").mispredicted = true;
             self.stats.mispredict_squashes += 1;
             self.squash_from(seq, actual, SquashCause::Mispredict);
         }
@@ -1287,12 +1352,9 @@ impl Core {
     /// Like [`resolve_control`] but for calls, whose link value was
     /// already written.
     fn resolve_control_after_value(&mut self, seq: u64, actual: u64, predicted: u64) {
-        {
-            let entry = self.rob.get_mut(seq).expect("in flight");
-            entry.actual_next = Some(actual);
-        }
+        self.rob.cold_mut(seq).expect("in flight").actual_next = Some(actual);
         if actual != predicted {
-            self.rob.get_mut(seq).expect("in flight").mispredicted = true;
+            self.rob.hot_mut(seq).expect("in flight").mispredicted = true;
             self.stats.mispredict_squashes += 1;
             self.squash_from(seq, actual, SquashCause::Mispredict);
         }
@@ -1311,16 +1373,23 @@ impl Core {
             redirect_pc,
             cause,
         });
-        let mut squashed = std::mem::take(&mut self.squash_scratch);
-        self.rob.squash_after_into(keep_seq, &mut squashed);
-        self.stats.squashed_insts += squashed.len() as u64;
-
-        // Walk back renaming, youngest first.
-        for entry in &squashed {
+        // Detach the ROB so its in-place squash walk can borrow the rest
+        // of the core. A squash used to copy every removed entry into a
+        // scratch buffer; the walk-back now happens directly on the ring,
+        // youngest first, moving nothing.
+        let mut rob = std::mem::take(&mut self.rob);
+        // The RAS must be restored to the state at the *oldest* squashed
+        // control instruction (its snapshot predates its own RAS effect).
+        // Walking youngest-first, every snapshot seen supersedes the one
+        // before it; the superseded boxes go straight back to the pool.
+        let mut ras_restore: Option<Box<condspec_frontend::ras::RasSnapshot>> = None;
+        let squashed = rob.squash_after_with(keep_seq, |entry, cold| {
+            // Walk back renaming, youngest first.
             if let Some((arch, new, old)) = entry.dest {
                 self.regfile.unrename(arch, new, old);
             }
             if let Some(slot) = entry.iq_slot {
+                let slot = slot as usize;
                 // Drop the entry's wakeup subscriptions so consumer lists
                 // stay tight. (Any subscription already wiped by a
                 // younger squashed entry's register release is a no-op.)
@@ -1336,10 +1405,17 @@ impl Core {
                 self.policy.on_slot_freed(slot);
                 self.block_reasons[slot] = None;
             }
-            if entry.inst.is_branch() && entry.state != RobState::Completed {
+            if entry.is_branch && entry.state() != RobState::Completed {
                 self.rob_unresolved_branches = self.rob_unresolved_branches.saturating_sub(1);
             }
-        }
+            if let Some(snap) = cold.ras_snapshot.take() {
+                if let Some(superseded) = ras_restore.replace(snap) {
+                    self.ras_box_pool.push(superseded);
+                }
+            }
+        });
+        self.rob = rob;
+        self.stats.squashed_insts += squashed;
         // Squashed fences are exactly the trailing deque entries younger
         // than the squash point (completed fences left at execute).
         while matches!(self.fence_seqs.back(), Some(&s) if s > keep_seq) {
@@ -1358,29 +1434,23 @@ impl Core {
         // because their dispatch stamp cannot match a reincarnation's.
         self.pending_store_data.retain(|(s, _)| *s <= keep_seq);
         self.next_seq = keep_seq + 1;
-        // Restore the RAS to the state at the oldest squashed control
-        // instruction (its snapshot predates its own RAS effect).
-        let rob_snapshot = squashed
-            .iter()
-            .rev() // oldest first
-            .find_map(|e| e.ras_snapshot.as_deref());
-        let queue_snapshot = self
+        // Restore the RAS: the oldest squashed control instruction's
+        // snapshot (collected by the squash walk above), falling back to
+        // the oldest snapshot still in the fetch queue.
+        if let Some(snap) = ras_restore {
+            self.frontend.restore_ras(&snap);
+            self.ras_box_pool.push(snap);
+        } else if let Some(snap) = self
             .fetch_queue
             .iter()
-            .find_map(|f| f.ras_snapshot.as_deref());
-        if let Some(snap) = rob_snapshot.or(queue_snapshot) {
-            // `snap` borrows `squashed` (a local) or `fetch_queue`, both
-            // disjoint from `frontend`, so no defensive clone is needed.
+            .find_map(|f| f.ras_snapshot.as_deref())
+        {
+            // `snap` borrows `fetch_queue`, disjoint from `frontend`, so
+            // no defensive clone is needed.
             self.frontend.restore_ras(snap);
         }
-        // The squashed entries' and flushed fetch queue's snapshots are
-        // dead now that the RAS is restored; recycle their boxes.
-        for entry in squashed.iter_mut() {
-            if let Some(snap) = entry.ras_snapshot.take() {
-                self.ras_box_pool.push(snap);
-            }
-        }
-        self.squash_scratch = squashed;
+        // The flushed fetch queue's snapshots are dead now that the RAS
+        // is restored; recycle their boxes.
         for fetched in self.fetch_queue.drain(..) {
             if let Some(snap) = fetched.ras_snapshot {
                 self.ras_box_pool.push(snap);
@@ -1425,33 +1495,31 @@ impl Core {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            let mut entry = RobEntry::new(seq, fetched.pc, inst, fetched.predicted_next);
-            entry.stamp = self.next_stamp;
+            let stamp = self.next_stamp;
             self.next_stamp += 1;
-            entry.ras_snapshot = fetched.ras_snapshot;
 
             // Capture operand mappings before renaming the destination
             // (handles `add r1, r1, r1`).
             let ops = operand_regs(&inst);
-            entry.src_pregs = [
+            let src_pregs = [
                 ops[0].map(|r| self.regfile.lookup(r)),
                 ops[1].map(|r| self.regfile.lookup(r)),
             ];
-            if let Some(arch) = inst.dest() {
+            let dest = inst.dest().map(|arch| {
                 let (new, old) = self
                     .regfile
                     .rename_dest(arch)
                     .expect("free_count checked above");
-                entry.dest = Some((arch, new, old));
-            }
+                (arch, new, old)
+            });
 
             let class = classify(&inst);
             // Stores issue on their address operand alone; the data
             // operand is captured when it becomes ready.
             let iq_srcs = if inst.is_store() {
-                [entry.src_pregs[0], None]
+                [src_pregs[0], None]
             } else {
-                entry.src_pregs
+                src_pregs
             };
             let iq_entry = IqEntry {
                 seq,
@@ -1463,7 +1531,6 @@ impl Core {
                 is_fence: inst.is_fence(),
             };
             let slot = self.iq.allocate(iq_entry).expect("IQ space checked above");
-            entry.iq_slot = Some(slot);
             // Event-driven wakeup: subscribe to each not-yet-ready source
             // so the producing writeback sets this entry's ready bit; an
             // all-ready entry is an issue candidate immediately.
@@ -1517,7 +1584,12 @@ impl Core {
                 seq,
                 pc: fetched.pc,
             });
-            self.rob.push(entry);
+            let (hot, cold) = self.rob.push(seq, fetched.pc, inst, fetched.predicted_next);
+            hot.stamp = stamp;
+            hot.src_pregs = src_pregs;
+            hot.dest = dest;
+            hot.iq_slot = Some(slot as u16);
+            cold.ras_snapshot = fetched.ras_snapshot;
         }
     }
 
@@ -1836,19 +1908,19 @@ impl Core {
                     }
                 }
                 Some(entry) => {
-                    let Some(rob_entry) = self.rob.get(entry.seq) else {
+                    let Some(rob_entry) = self.rob.hot(entry.seq) else {
                         return Err(format!(
                             "IQ slot {slot} holds seq {} which is not in the ROB",
                             entry.seq
                         ));
                     };
-                    if rob_entry.iq_slot != Some(slot) {
+                    if rob_entry.iq_slot != Some(slot as u16) {
                         return Err(format!(
                             "IQ slot {slot} / ROB seq {} disagree on ownership ({:?})",
                             entry.seq, rob_entry.iq_slot
                         ));
                     }
-                    if rob_entry.state == RobState::Completed {
+                    if rob_entry.state() == RobState::Completed {
                         return Err(format!(
                             "completed seq {} still occupies IQ slot {slot}",
                             entry.seq
@@ -1863,11 +1935,12 @@ impl Core {
             // belongs to a squashed instruction or a previous program and
             // will be dropped at delivery. A stamp-matching event must
             // target an instruction still waiting for it.
-            if let Some(entry) = self.rob.get(event.seq) {
-                if entry.stamp == event.stamp && entry.state != RobState::Issued {
+            if let Some(entry) = self.rob.hot(event.seq) {
+                if entry.stamp == event.stamp && entry.state() != RobState::Issued {
                     return Err(format!(
                         "pending completion event for seq {} in state {:?}",
-                        event.seq, entry.state
+                        event.seq,
+                        entry.state()
                     ));
                 }
             }
@@ -1878,6 +1951,28 @@ impl Core {
                     "pending store-data capture for seq {seq} which is not in flight"
                 ));
             }
+        }
+        // SoA coherence: the per-state bitmap words must agree with every
+        // resident entry's state, and no stale bit may survive on a free
+        // slot.
+        self.rob.check_bitmaps()?;
+        // Stamps are assigned from a monotone dispatch counter in seq
+        // order, so among resident entries they must strictly increase
+        // with seq (a squash + redispatch reuses seqs but never stamps).
+        let mut prev: Option<(u64, u64)> = None;
+        for hot in self.rob.iter_hot() {
+            if let Some((pseq, pstamp)) = prev {
+                if hot.seq != pseq + 1 {
+                    return Err(format!("ROB seqs not contiguous: {pseq} then {}", hot.seq));
+                }
+                if hot.stamp <= pstamp {
+                    return Err(format!(
+                        "ROB stamps not monotone: seq {pseq} stamp {pstamp}, seq {} stamp {}",
+                        hot.seq, hot.stamp
+                    ));
+                }
+            }
+            prev = Some((hot.seq, hot.stamp));
         }
         self.check_scheduler_coherence()
     }
@@ -1921,8 +2016,8 @@ impl Core {
         let cached = self.fence_seqs.front().copied();
         let scanned = self
             .rob
-            .iter()
-            .find(|e| e.inst.is_fence() && e.state != RobState::Completed)
+            .iter_hot()
+            .find(|e| e.is_fence() && e.state() != RobState::Completed)
             .map(|e| e.seq);
         if cached != scanned {
             return Err(format!(
@@ -1973,7 +2068,7 @@ mod tests {
         let mut b = ProgramBuilder::new(0x1000);
         build(&mut b);
         let program = b.build().expect("valid test program");
-        core.load_program(&program);
+        core.load_program(Arc::new(program));
         let result = core.run(1_000_000);
         assert_eq!(result.exit, ExitReason::Halted, "program must halt");
         core
@@ -2163,7 +2258,7 @@ mod tests {
         b.label("spin").unwrap();
         b.jump_to("spin"); // commits forever... actually commits jumps; use wedge instead
         let program = b.build().unwrap();
-        core.load_program(&program);
+        core.load_program(Arc::new(program));
         // An infinite loop commits instructions forever — CycleLimit.
         let result = core.run(50_000);
         assert_eq!(result.exit, ExitReason::CycleLimit);
@@ -2171,7 +2266,7 @@ mod tests {
         // A program with no instructions at the entry wedges fetch: Stuck.
         let mut core = Core::with_defaults();
         let empty = ProgramBuilder::new(0x1000).build().unwrap();
-        core.load_program(&empty);
+        core.load_program(Arc::new(empty));
         let result = core.run(400_000);
         assert_eq!(result.exit, ExitReason::Stuck);
     }
@@ -2226,7 +2321,7 @@ mod tests {
         for core in [&mut with_bypass, &mut without_bypass] {
             let mut b = ProgramBuilder::new(0x1000);
             build(&mut b);
-            core.load_program(&b.build().unwrap());
+            core.load_program(Arc::new(b.build().unwrap()));
             assert_eq!(core.run(1_000_000).exit, ExitReason::Halted);
         }
         for r in [Reg::R5, Reg::R6] {

@@ -105,6 +105,15 @@ impl EventWheel {
         self.len
     }
 
+    /// Drops every scheduled event, keeping bucket allocations.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.overflow.clear();
+        self.len = 0;
+    }
+
     /// Whether no event is scheduled.
     pub fn is_empty(&self) -> bool {
         self.len == 0

@@ -30,7 +30,7 @@
 //! b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
 //! b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
 //! b.halt();
-//! core.load_program(&b.build()?);
+//! core.load_program(std::sync::Arc::new(b.build()?));
 //! let result = core.run(100_000);
 //! assert_eq!(core.read_arch_reg(Reg::R1), 100);
 //! println!("IPC = {:.2}", core.stats().ipc());

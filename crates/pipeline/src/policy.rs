@@ -174,7 +174,12 @@ impl PolicyStats {
 /// The defense mechanism's hooks into the out-of-order core.
 ///
 /// See the [module documentation](self) for the call protocol.
-pub trait SecurityPolicy {
+///
+/// `Send` is a supertrait so a boxed policy — and therefore a whole
+/// [`Core`](crate::Core) — can move to a sweep worker thread; policies
+/// are plain parameter-and-counter structs, so this costs implementors
+/// nothing.
+pub trait SecurityPolicy: Send {
     /// Human-readable mechanism name (used in reports).
     fn name(&self) -> &'static str;
 

@@ -1,9 +1,27 @@
-//! Reorder buffer.
+//! Reorder buffer, stored structure-of-arrays.
+//!
+//! Every in-flight instruction is split across two parallel ring arrays:
+//! a packed **hot** record ([`RobHot`]: sequence/stamp, pipeline state,
+//! renaming, source physical registers, IQ slot, commit class and flag
+//! bits) that commit, issue, writeback and squash touch every cycle, and
+//! a **cold** record ([`RobCold`]: the decoded instruction, predicted and
+//! resolved next-PC, store data, memory addresses and the boxed RAS
+//! snapshot) touched only at dispatch, execute/resolve and the rare
+//! commit classes that need it. Alongside the arrays the ROB maintains
+//! per-state u64 bitmap words (`completed`, `issued`) indexed by physical
+//! ring slot, so the hot questions — "may the head commit?", "have all
+//! entries older than this fence completed?" — are single bit tests and
+//! word-wise mask checks instead of per-entry field loads.
+//!
+//! [`RobHot::state`] is private and every state transition goes through a
+//! [`Rob`] method ([`Rob::mark_issued`], [`Rob::mark_completed`],
+//! [`Rob::mark_dispatched`]), which is what keeps the bitmaps coherent
+//! with the per-entry state by construction; [`Rob::check_bitmaps`]
+//! verifies the correspondence for the invariant tests.
 
 use crate::regfile::PhysReg;
 use condspec_frontend::ras::RasSnapshot;
 use condspec_isa::{Inst, Reg};
-use std::collections::VecDeque;
 
 /// Progress of one in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,10 +34,53 @@ pub enum RobState {
     Completed,
 }
 
-/// One reorder-buffer entry. Fields are populated as the instruction flows
-/// through the pipeline.
-#[derive(Debug, Clone)]
-pub struct RobEntry {
+/// What commit must do for an instruction, precomputed at dispatch so the
+/// common case ([`CommitClass::Simple`]) never reads the cold array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitClass {
+    /// ALU ops, immediates, nops, fences: commit only pops the entry.
+    Simple,
+    /// Direct jumps, calls and returns: counted as committed branches.
+    Control,
+    /// Conditional branch: trains the direction predictor at commit.
+    Branch,
+    /// Indirect jump: trains the BTB at commit.
+    JumpIndirect,
+    /// Load: LSQ release plus deferred-LRU touch.
+    Load,
+    /// Store: the architectural memory + cache write happens at commit.
+    Store,
+    /// Cache-line flush takes effect at commit.
+    Flush,
+    /// Stops the simulation when it retires.
+    Halt,
+}
+
+impl CommitClass {
+    /// Classifies an instruction at dispatch.
+    pub fn of(inst: &Inst) -> Self {
+        match inst {
+            Inst::Load { .. } => CommitClass::Load,
+            Inst::Store { .. } => CommitClass::Store,
+            Inst::Branch { .. } => CommitClass::Branch,
+            Inst::JumpIndirect { .. } => CommitClass::JumpIndirect,
+            Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret { .. } => CommitClass::Control,
+            Inst::Flush { .. } => CommitClass::Flush,
+            Inst::Halt => CommitClass::Halt,
+            Inst::Alu { .. }
+            | Inst::AluImm { .. }
+            | Inst::LoadImm { .. }
+            | Inst::Fence
+            | Inst::Nop => CommitClass::Simple,
+        }
+    }
+}
+
+/// The per-cycle face of an in-flight instruction: everything commit,
+/// issue, writeback and squash read or write, packed into one copyable
+/// record so a stage touches a single cache line per instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct RobHot {
     /// Global sequence number (program order). Recycled: after a squash
     /// the next dispatch reuses the squashed numbers so resident entries
     /// stay contiguous.
@@ -31,33 +92,27 @@ pub struct RobEntry {
     pub stamp: u64,
     /// The instruction's PC.
     pub pc: u64,
-    /// The instruction itself.
-    pub inst: Inst,
     /// Renaming record: `(arch dest, new phys, previous phys)`.
     pub dest: Option<(Reg, PhysReg, PhysReg)>,
     /// Source operands' physical registers, in the instruction's
     /// positional operand order (unlike [`Inst::sources`], `r0` operands
     /// are represented — they map to the always-ready physical register 0).
     pub src_pregs: [Option<PhysReg>; 2],
-    /// Store data value, captured at store execute for the commit-time
-    /// memory write.
-    pub store_data: Option<u64>,
-    /// Pipeline progress.
-    pub state: RobState,
     /// The IQ slot while the instruction is queue-resident.
-    pub iq_slot: Option<usize>,
-    /// The next PC fetch predicted after this instruction.
-    pub predicted_next: u64,
-    /// The architecturally correct next PC, known at execute.
-    pub actual_next: Option<u64>,
-    /// Whether this control instruction mispredicted (set at execute).
-    pub mispredicted: bool,
-    /// Resolved direction for conditional branches.
-    pub branch_taken: Option<bool>,
-    /// Virtual address of a memory access (set at execute).
-    pub mem_vaddr: Option<u64>,
-    /// Physical address of a memory access (set at execute).
-    pub mem_paddr: Option<u64>,
+    pub iq_slot: Option<u16>,
+    /// What commit must do for this instruction.
+    pub class: CommitClass,
+    /// Pipeline progress. Private: transitions go through the [`Rob`]
+    /// methods so the state bitmaps stay coherent.
+    state: RobState,
+    /// Whether this is a resolution-redirecting control instruction
+    /// (conditional branch, indirect jump or return) — drives the
+    /// unresolved-branch counters. Not derivable from `class`: returns
+    /// share [`CommitClass::Control`] with jumps and calls.
+    pub is_branch: bool,
+    /// Whether this is a speculation fence. Not derivable from `class`:
+    /// fences commit as [`CommitClass::Simple`].
+    is_fence: bool,
     /// Suspect-speculation flag the instruction carried when it issued.
     pub suspect: bool,
     /// Whether a filter ever blocked this instruction.
@@ -65,48 +120,131 @@ pub struct RobEntry {
     /// A deferred L1D replacement update to apply at commit (§VII.A
     /// *delayed update* policy).
     pub deferred_lru: bool,
+    /// Whether this control instruction mispredicted (set at execute).
+    pub mispredicted: bool,
+}
+
+impl RobHot {
+    fn new(seq: u64, pc: u64, inst: &Inst) -> Self {
+        RobHot {
+            seq,
+            stamp: 0,
+            pc,
+            dest: None,
+            src_pregs: [None, None],
+            iq_slot: None,
+            class: CommitClass::of(inst),
+            state: RobState::Dispatched,
+            is_branch: inst.is_branch(),
+            is_fence: inst.is_fence(),
+            suspect: false,
+            was_blocked: false,
+            deferred_lru: false,
+            mispredicted: false,
+        }
+    }
+
+    /// Pipeline progress.
+    pub fn state(&self) -> RobState {
+        self.state
+    }
+
+    /// Whether the instruction is a load.
+    pub fn is_load(&self) -> bool {
+        self.class == CommitClass::Load
+    }
+
+    /// Whether the instruction is a speculation fence.
+    pub fn is_fence(&self) -> bool {
+        self.is_fence
+    }
+}
+
+/// Dispatch/resolve-time fields, read at most once or twice over an
+/// instruction's lifetime and kept out of the per-cycle scan path.
+#[derive(Debug, Clone)]
+pub struct RobCold {
+    /// The instruction itself.
+    pub inst: Inst,
+    /// The next PC fetch predicted after this instruction.
+    pub predicted_next: u64,
+    /// The architecturally correct next PC, known at execute.
+    pub actual_next: Option<u64>,
+    /// Resolved direction for conditional branches.
+    pub branch_taken: Option<bool>,
+    /// Store data value, captured at store execute for the commit-time
+    /// memory write.
+    pub store_data: Option<u64>,
+    /// Virtual address of a memory access (set at execute).
+    pub mem_vaddr: Option<u64>,
+    /// Physical address of a memory access (set at execute).
+    pub mem_paddr: Option<u64>,
     /// RAS state captured at fetch (control instructions only), restored
     /// on squash. Boxed: entries are copied at dispatch, commit and
     /// squash for *every* instruction, and an inline snapshot would more
-    /// than double the entry's size for a field most instructions never
+    /// than double the record's size for a field most instructions never
     /// set.
     pub ras_snapshot: Option<Box<RasSnapshot>>,
 }
 
-impl RobEntry {
-    /// Creates a freshly dispatched entry.
-    pub fn new(seq: u64, pc: u64, inst: Inst, predicted_next: u64) -> Self {
-        RobEntry {
-            seq,
-            stamp: 0,
-            pc,
-            inst,
-            dest: None,
-            src_pregs: [None, None],
-            store_data: None,
-            state: RobState::Dispatched,
-            iq_slot: None,
-            predicted_next,
+impl Default for RobCold {
+    fn default() -> Self {
+        RobCold {
+            inst: Inst::Nop,
+            predicted_next: 0,
             actual_next: None,
-            mispredicted: false,
             branch_taken: None,
+            store_data: None,
             mem_vaddr: None,
             mem_paddr: None,
-            suspect: false,
-            was_blocked: false,
-            deferred_lru: false,
             ras_snapshot: None,
         }
     }
 }
 
-/// The reorder buffer: a bounded FIFO of in-flight instructions with O(1)
-/// lookup by sequence number (sequence numbers of resident entries are
-/// always contiguous — dispatch appends, commit pops the head, squash
-/// removes a suffix).
+impl RobCold {
+    fn reset_for(&mut self, inst: Inst, predicted_next: u64) {
+        debug_assert!(self.ras_snapshot.is_none(), "RAS box leaked into a push");
+        self.inst = inst;
+        self.predicted_next = predicted_next;
+        self.actual_next = None;
+        self.branch_taken = None;
+        self.store_data = None;
+        self.mem_vaddr = None;
+        self.mem_paddr = None;
+    }
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], slot: usize) {
+    words[slot >> 6] |= 1u64 << (slot & 63);
+}
+
+#[inline]
+fn clear_bit(words: &mut [u64], slot: usize) {
+    words[slot >> 6] &= !(1u64 << (slot & 63));
+}
+
+#[inline]
+fn test_bit(words: &[u64], slot: usize) -> bool {
+    words[slot >> 6] >> (slot & 63) & 1 != 0
+}
+
+/// The reorder buffer: a bounded ring of in-flight instructions stored
+/// hot/cold structure-of-arrays, with O(1) lookup by sequence number
+/// (sequence numbers of resident entries are always contiguous — dispatch
+/// appends, commit pops the head, squash removes a suffix) and per-state
+/// bitmap words over the physical ring slots.
 #[derive(Debug, Clone, Default)]
 pub struct Rob {
-    entries: VecDeque<RobEntry>,
+    hot: Vec<RobHot>,
+    cold: Vec<RobCold>,
+    /// Bit set iff the slot holds an entry in [`RobState::Completed`].
+    completed: Vec<u64>,
+    /// Bit set iff the slot holds an entry in [`RobState::Issued`].
+    issued: Vec<u64>,
+    head: usize,
+    len: usize,
     capacity: usize,
 }
 
@@ -118,25 +256,31 @@ impl Rob {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ROB capacity must be nonzero");
+        let words = capacity.div_ceil(64);
         Rob {
-            entries: VecDeque::with_capacity(capacity),
+            hot: vec![RobHot::new(0, 0, &Inst::Nop); capacity],
+            cold: (0..capacity).map(|_| RobCold::default()).collect(),
+            completed: vec![0; words],
+            issued: vec![0; words],
+            head: 0,
+            len: 0,
             capacity,
         }
     }
 
     /// Whether the ROB has no free entries.
     pub fn is_full(&self) -> bool {
-        self.entries.len() == self.capacity
+        self.len == self.capacity
     }
 
     /// Whether the ROB is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Number of in-flight instructions.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Total entries.
@@ -144,92 +288,267 @@ impl Rob {
         self.capacity
     }
 
-    /// Appends a dispatched entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ROB is full or `entry.seq` is not contiguous with the
-    /// current tail.
-    pub fn push(&mut self, entry: RobEntry) {
-        assert!(!self.is_full(), "ROB overflow");
-        if let Some(back) = self.entries.back() {
-            assert_eq!(
-                entry.seq,
-                back.seq + 1,
-                "sequence numbers must be contiguous"
-            );
+    /// Physical ring slot of the entry `off` places past the head.
+    #[inline]
+    fn slot_at(&self, off: usize) -> usize {
+        debug_assert!(off < self.capacity);
+        let s = self.head + off;
+        if s >= self.capacity {
+            s - self.capacity
+        } else {
+            s
         }
-        self.entries.push_back(entry);
     }
 
-    fn index_of(&self, seq: u64) -> Option<usize> {
-        let front = self.entries.front()?.seq;
+    #[inline]
+    fn slot_of(&self, seq: u64) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let front = self.hot[self.head].seq;
         if seq < front {
             return None;
         }
-        let idx = (seq - front) as usize;
-        (idx < self.entries.len()).then_some(idx)
+        let off = (seq - front) as usize;
+        (off < self.len).then(|| self.slot_at(off))
+    }
+
+    /// Appends a freshly dispatched entry (state
+    /// [`RobState::Dispatched`]) and returns its hot and cold records for
+    /// the dispatcher to fill in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full or `seq` is not contiguous with the
+    /// current tail.
+    pub fn push(
+        &mut self,
+        seq: u64,
+        pc: u64,
+        inst: Inst,
+        predicted_next: u64,
+    ) -> (&mut RobHot, &mut RobCold) {
+        assert!(!self.is_full(), "ROB overflow");
+        if self.len > 0 {
+            let back = self.hot[self.slot_at(self.len - 1)].seq;
+            assert_eq!(seq, back + 1, "sequence numbers must be contiguous");
+        }
+        self.len += 1;
+        let slot = self.slot_at(self.len - 1);
+        clear_bit(&mut self.completed, slot);
+        clear_bit(&mut self.issued, slot);
+        self.hot[slot] = RobHot::new(seq, pc, &inst);
+        self.cold[slot].reset_for(inst, predicted_next);
+        (&mut self.hot[slot], &mut self.cold[slot])
     }
 
     /// Whether `seq` is still in flight.
     pub fn contains(&self, seq: u64) -> bool {
-        self.index_of(seq).is_some()
+        self.slot_of(seq).is_some()
     }
 
-    /// The entry for `seq`, if in flight.
-    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
-        self.index_of(seq).map(|i| &self.entries[i])
+    /// The hot record for `seq`, if in flight.
+    pub fn hot(&self, seq: u64) -> Option<&RobHot> {
+        self.slot_of(seq).map(|s| &self.hot[s])
     }
 
-    /// Mutable access to the entry for `seq`.
-    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        self.index_of(seq).map(move |i| &mut self.entries[i])
+    /// Mutable hot record for `seq`. State is not writable through this —
+    /// use [`Rob::mark_issued`] / [`Rob::mark_completed`] /
+    /// [`Rob::mark_dispatched`].
+    pub fn hot_mut(&mut self, seq: u64) -> Option<&mut RobHot> {
+        self.slot_of(seq).map(move |s| &mut self.hot[s])
     }
 
-    /// The oldest in-flight entry.
-    pub fn head(&self) -> Option<&RobEntry> {
-        self.entries.front()
+    /// The cold record for `seq`, if in flight.
+    pub fn cold(&self, seq: u64) -> Option<&RobCold> {
+        self.slot_of(seq).map(|s| &self.cold[s])
     }
 
-    /// Removes and returns the oldest entry (commit).
-    pub fn pop_head(&mut self) -> Option<RobEntry> {
-        self.entries.pop_front()
+    /// Mutable cold record for `seq`.
+    pub fn cold_mut(&mut self, seq: u64) -> Option<&mut RobCold> {
+        self.slot_of(seq).map(move |s| &mut self.cold[s])
     }
 
-    /// Removes every entry younger than `seq`, returning them
-    /// youngest-first (the order walk-back rename recovery requires).
-    pub fn squash_after(&mut self, seq: u64) -> Vec<RobEntry> {
-        let mut squashed = Vec::new();
-        self.squash_after_into(seq, &mut squashed);
+    /// The oldest in-flight entry's hot record.
+    pub fn head_hot(&self) -> Option<&RobHot> {
+        (self.len > 0).then(|| &self.hot[self.head])
+    }
+
+    /// The oldest in-flight entry's cold record.
+    pub fn head_cold(&self) -> Option<&RobCold> {
+        (self.len > 0).then(|| &self.cold[self.head])
+    }
+
+    /// Whether the head entry exists and has completed — the commit
+    /// stage's question, answered by one bitmap bit test.
+    #[inline]
+    pub fn head_completed(&self) -> bool {
+        self.len > 0 && test_bit(&self.completed, self.head)
+    }
+
+    /// Removes the oldest entry (commit), returning its hot record by
+    /// value and recycling its RAS-snapshot box into `pool`. Cold fields
+    /// must be read *before* the pop (see [`Rob::head_cold`]).
+    pub fn pop_head_recycle(&mut self, pool: &mut Vec<Box<RasSnapshot>>) -> Option<RobHot> {
+        if self.len == 0 {
+            return None;
+        }
+        let slot = self.head;
+        let hot = self.hot[slot];
+        if let Some(snap) = self.cold[slot].ras_snapshot.take() {
+            pool.push(snap);
+        }
+        clear_bit(&mut self.completed, slot);
+        clear_bit(&mut self.issued, slot);
+        self.head = if slot + 1 == self.capacity {
+            0
+        } else {
+            slot + 1
+        };
+        self.len -= 1;
+        Some(hot)
+    }
+
+    /// Transition `seq` to [`RobState::Issued`].
+    pub fn mark_issued(&mut self, seq: u64) {
+        let slot = self.slot_of(seq).expect("in flight");
+        debug_assert_eq!(self.hot[slot].state, RobState::Dispatched);
+        self.hot[slot].state = RobState::Issued;
+        set_bit(&mut self.issued, slot);
+    }
+
+    /// Transition `seq` back to [`RobState::Dispatched`] (a filter bounce
+    /// returns the instruction to the IQ un-issued).
+    pub fn mark_dispatched(&mut self, seq: u64) {
+        let slot = self.slot_of(seq).expect("in flight");
+        debug_assert_ne!(self.hot[slot].state, RobState::Completed);
+        self.hot[slot].state = RobState::Dispatched;
+        clear_bit(&mut self.issued, slot);
+    }
+
+    /// Transition `seq` to [`RobState::Completed`] (from either earlier
+    /// state: fences and address-resolved stores complete straight out of
+    /// issue).
+    pub fn mark_completed(&mut self, seq: u64) {
+        let slot = self.slot_of(seq).expect("in flight");
+        self.hot[slot].state = RobState::Completed;
+        clear_bit(&mut self.issued, slot);
+        set_bit(&mut self.completed, slot);
+    }
+
+    /// Removes every entry younger than `keep_seq`, youngest first (the
+    /// order walk-back rename recovery requires), invoking `f` with each
+    /// removed entry's hot record (by value) and cold record. The closure
+    /// must take the cold record's RAS-snapshot box (restore or recycle
+    /// it) — leaving one behind would leak it into the slot's next
+    /// occupant. Returns the number of squashed entries.
+    pub fn squash_after_with(
+        &mut self,
+        keep_seq: u64,
+        mut f: impl FnMut(RobHot, &mut RobCold),
+    ) -> u64 {
+        let mut squashed = 0;
+        while self.len > 0 {
+            let slot = self.slot_at(self.len - 1);
+            if self.hot[slot].seq <= keep_seq {
+                break;
+            }
+            let hot = self.hot[slot];
+            clear_bit(&mut self.completed, slot);
+            clear_bit(&mut self.issued, slot);
+            self.len -= 1;
+            f(hot, &mut self.cold[slot]);
+            debug_assert!(
+                self.cold[slot].ras_snapshot.is_none(),
+                "squash closure must take the RAS box"
+            );
+            squashed += 1;
+        }
         squashed
     }
 
-    /// Like [`Rob::squash_after`], but clears `out` and fills it in place
-    /// so callers can reuse one buffer across squashes.
-    pub fn squash_after_into(&mut self, seq: u64, out: &mut Vec<RobEntry>) {
-        out.clear();
-        while matches!(self.entries.back(), Some(e) if e.seq > seq) {
-            out.push(self.entries.pop_back().expect("checked non-empty"));
-        }
+    /// Discards every in-flight entry, recycling RAS-snapshot boxes into
+    /// `pool` and keeping the backing storage.
+    pub fn clear_recycle(&mut self, pool: &mut Vec<Box<RasSnapshot>>) {
+        while self.pop_head_recycle(pool).is_some() {}
+        self.head = 0;
     }
 
-    /// Discards every in-flight entry, keeping the backing storage.
-    pub fn reset(&mut self) {
-        self.entries.clear();
-    }
-
-    /// Iterates over in-flight entries oldest-first.
-    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
-        self.entries.iter()
+    /// Iterates over in-flight hot records oldest-first.
+    pub fn iter_hot(&self) -> impl Iterator<Item = &RobHot> {
+        (0..self.len).map(move |off| &self.hot[self.slot_at(off)])
     }
 
     /// Whether every entry older than `seq` has completed (used by fence
-    /// issue gating).
+    /// issue gating). Answered word-wise on the completed bitmap: the
+    /// occupied slot range `[head, slot_of(seq))` is split at the ring
+    /// wrap point and each contiguous piece is checked a u64 at a time.
     pub fn all_older_completed(&self, seq: u64) -> bool {
-        self.entries
-            .iter()
-            .take_while(|e| e.seq < seq)
-            .all(|e| e.state == RobState::Completed)
+        if self.len == 0 {
+            return true;
+        }
+        let front = self.hot[self.head].seq;
+        if seq <= front {
+            return true;
+        }
+        let older = ((seq - front) as usize).min(self.len);
+        let end = self.head + older;
+        if end <= self.capacity {
+            self.range_completed(self.head, end)
+        } else {
+            self.range_completed(self.head, self.capacity)
+                && self.range_completed(0, end - self.capacity)
+        }
+    }
+
+    /// Whether every slot in the non-wrapping range `[start, end)` has
+    /// its completed bit set.
+    fn range_completed(&self, start: usize, end: usize) -> bool {
+        if start >= end {
+            return true;
+        }
+        let first_word = start >> 6;
+        let last_word = (end - 1) >> 6;
+        for w in first_word..=last_word {
+            let lo = if w == first_word { start & 63 } else { 0 };
+            let hi = if w == last_word { (end - 1) & 63 } else { 63 };
+            let mask = (u64::MAX >> (63 - hi)) & (u64::MAX << lo);
+            if self.completed[w] & mask != mask {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Verifies that the state bitmaps agree with the per-entry states
+    /// and that no bit is set for an unoccupied slot. For the invariant
+    /// tests; the simulation loop never calls this.
+    pub fn check_bitmaps(&self) -> Result<(), String> {
+        let mut occupied = vec![false; self.capacity];
+        for off in 0..self.len {
+            let slot = self.slot_at(off);
+            occupied[slot] = true;
+            let state = self.hot[slot].state;
+            let (want_completed, want_issued) = match state {
+                RobState::Completed => (true, false),
+                RobState::Issued => (false, true),
+                RobState::Dispatched => (false, false),
+            };
+            if test_bit(&self.completed, slot) != want_completed
+                || test_bit(&self.issued, slot) != want_issued
+            {
+                return Err(format!(
+                    "slot {slot} (seq {}) state {state:?} disagrees with bitmaps",
+                    self.hot[slot].seq
+                ));
+            }
+        }
+        for (slot, occ) in occupied.iter().enumerate() {
+            if !occ && (test_bit(&self.completed, slot) || test_bit(&self.issued, slot)) {
+                return Err(format!("free slot {slot} has a stale bitmap bit"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -237,88 +556,152 @@ impl Rob {
 mod tests {
     use super::*;
 
-    fn entry(seq: u64) -> RobEntry {
-        RobEntry::new(seq, 0x100 + 4 * seq, Inst::Nop, 0x104 + 4 * seq)
+    fn push(rob: &mut Rob, seq: u64) {
+        rob.push(seq, 0x100 + 4 * seq, Inst::Nop, 0x104 + 4 * seq);
     }
 
     #[test]
     fn push_and_lookup() {
         let mut rob = Rob::new(8);
-        rob.push(entry(10));
-        rob.push(entry(11));
+        push(&mut rob, 10);
+        push(&mut rob, 11);
         assert!(rob.contains(10));
         assert!(rob.contains(11));
         assert!(!rob.contains(9));
         assert!(!rob.contains(12));
-        assert_eq!(rob.get(11).unwrap().pc, 0x100 + 44);
+        assert_eq!(rob.hot(11).unwrap().pc, 0x100 + 44);
     }
 
     #[test]
     fn head_pop_in_order() {
         let mut rob = Rob::new(4);
-        rob.push(entry(0));
-        rob.push(entry(1));
-        assert_eq!(rob.head().unwrap().seq, 0);
-        assert_eq!(rob.pop_head().unwrap().seq, 0);
-        assert_eq!(rob.head().unwrap().seq, 1);
+        let mut pool = Vec::new();
+        push(&mut rob, 0);
+        push(&mut rob, 1);
+        assert_eq!(rob.head_hot().unwrap().seq, 0);
+        assert_eq!(rob.pop_head_recycle(&mut pool).unwrap().seq, 0);
+        assert_eq!(rob.head_hot().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn ring_wraps_and_stays_coherent() {
+        // Capacity 3 forces the ring to wrap quickly; every state must
+        // stay consistent across many laps.
+        let mut rob = Rob::new(3);
+        let mut pool = Vec::new();
+        for seq in 0..20u64 {
+            push(&mut rob, seq);
+            rob.mark_issued(seq);
+            rob.mark_completed(seq);
+            if rob.is_full() {
+                assert!(rob.head_completed());
+                rob.pop_head_recycle(&mut pool);
+            }
+            rob.check_bitmaps().unwrap();
+        }
     }
 
     #[test]
     fn squash_after_removes_suffix_youngest_first() {
         let mut rob = Rob::new(8);
         for s in 0..5 {
-            rob.push(entry(s));
+            push(&mut rob, s);
         }
-        let squashed = rob.squash_after(2);
-        let seqs: Vec<u64> = squashed.iter().map(|e| e.seq).collect();
+        let mut seqs = Vec::new();
+        let n = rob.squash_after_with(2, |hot, _| seqs.push(hot.seq));
+        assert_eq!(n, 2);
         assert_eq!(seqs, vec![4, 3]);
         assert_eq!(rob.len(), 3);
         assert!(rob.contains(2));
         assert!(!rob.contains(3));
+        rob.check_bitmaps().unwrap();
     }
 
     #[test]
     fn squash_all_younger_than_head_is_noop() {
         let mut rob = Rob::new(4);
-        rob.push(entry(5));
-        assert!(rob.squash_after(5).is_empty());
-        assert!(rob.squash_after(7).is_empty());
+        push(&mut rob, 5);
+        assert_eq!(rob.squash_after_with(5, |_, _| {}), 0);
+        assert_eq!(rob.squash_after_with(7, |_, _| {}), 0);
     }
 
     #[test]
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
         let mut rob = Rob::new(1);
-        rob.push(entry(0));
-        rob.push(entry(1));
+        push(&mut rob, 0);
+        push(&mut rob, 1);
     }
 
     #[test]
     #[should_panic(expected = "contiguous")]
     fn non_contiguous_seq_panics() {
         let mut rob = Rob::new(4);
-        rob.push(entry(0));
-        rob.push(entry(2));
+        push(&mut rob, 0);
+        push(&mut rob, 2);
     }
 
     #[test]
     fn all_older_completed_gating() {
         let mut rob = Rob::new(4);
-        rob.push(entry(0));
-        rob.push(entry(1));
-        rob.push(entry(2));
+        push(&mut rob, 0);
+        push(&mut rob, 1);
+        push(&mut rob, 2);
         assert!(!rob.all_older_completed(2));
-        rob.get_mut(0).unwrap().state = RobState::Completed;
-        rob.get_mut(1).unwrap().state = RobState::Completed;
+        rob.mark_completed(0);
+        rob.mark_completed(1);
         assert!(rob.all_older_completed(2));
         assert!(rob.all_older_completed(0), "vacuously true for the head");
     }
 
     #[test]
-    fn get_mut_updates() {
+    fn all_older_completed_across_word_and_wrap_boundaries() {
+        // Capacity 100 spans two bitmap words; drive the head deep into
+        // the ring so the queried range wraps.
+        let mut rob = Rob::new(100);
+        let mut pool = Vec::new();
+        for seq in 0..90u64 {
+            push(&mut rob, seq);
+            rob.mark_completed(seq);
+            rob.pop_head_recycle(&mut pool);
+        }
+        // head is now at physical slot 90; fill across the wrap.
+        for seq in 90..170u64 {
+            push(&mut rob, seq);
+        }
+        // Complete everything older than 169 except a hole at 130.
+        for seq in (90..169u64).filter(|s| *s != 130) {
+            rob.mark_completed(seq);
+        }
+        assert!(!rob.all_older_completed(169), "hole at 130 blocks the scan");
+        assert!(rob.all_older_completed(130), "everything before the hole");
+        rob.mark_completed(130);
+        assert!(rob.all_older_completed(169), "range wraps the ring");
+        assert!(!rob.all_older_completed(170), "tail itself not completed");
+        rob.check_bitmaps().unwrap();
+    }
+
+    #[test]
+    fn state_transitions_keep_bitmaps_coherent() {
+        let mut rob = Rob::new(4);
+        push(&mut rob, 0);
+        assert_eq!(rob.hot(0).unwrap().state(), RobState::Dispatched);
+        assert!(!rob.head_completed());
+        rob.mark_issued(0);
+        assert_eq!(rob.hot(0).unwrap().state(), RobState::Issued);
+        rob.mark_dispatched(0); // filter bounce
+        assert_eq!(rob.hot(0).unwrap().state(), RobState::Dispatched);
+        rob.mark_issued(0);
+        rob.mark_completed(0);
+        assert!(rob.head_completed());
+        rob.check_bitmaps().unwrap();
+    }
+
+    #[test]
+    fn hot_mut_updates() {
         let mut rob = Rob::new(2);
-        rob.push(entry(0));
-        rob.get_mut(0).unwrap().suspect = true;
-        assert!(rob.get(0).unwrap().suspect);
+        push(&mut rob, 0);
+        rob.hot_mut(0).unwrap().suspect = true;
+        assert!(rob.hot(0).unwrap().suspect);
     }
 }

@@ -78,7 +78,7 @@ fn simple_load_program() -> condspec_isa::Program {
 #[test]
 fn blocked_loads_replay_and_still_produce_correct_values() {
     let mut core = core_with(CoreConfig::paper_default(), Box::new(BlockFirstN::new(3)));
-    core.load_program(&simple_load_program());
+    core.load_program(std::sync::Arc::new(simple_load_program()));
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
     assert_eq!(core.read_arch_reg(Reg::R2), 0xfeed);
     assert_eq!(
@@ -96,14 +96,14 @@ fn replay_penalty_delays_re_issue() {
     let mut config = CoreConfig::paper_default();
     config.block_replay_penalty = 50;
     let mut slow = core_with(config, Box::new(BlockFirstN::new(4)));
-    slow.load_program(&simple_load_program());
+    slow.load_program(std::sync::Arc::new(simple_load_program()));
     slow.run(100_000);
     let slow_cycles = slow.stats().cycles;
 
     let mut config = CoreConfig::paper_default();
     config.block_replay_penalty = 1;
     let mut fast = core_with(config, Box::new(BlockFirstN::new(4)));
-    fast.load_program(&simple_load_program());
+    fast.load_program(std::sync::Arc::new(simple_load_program()));
     fast.run(100_000);
     let fast_cycles = fast.stats().cycles;
 
@@ -134,7 +134,7 @@ fn nested_mispredictions_recover() {
     b.label("outer_taken").expect("fresh");
     b.alu_imm(AluOp::Add, Reg::R12, Reg::R12, 1);
     b.halt();
-    core.load_program(&b.build().expect("assembles"));
+    core.load_program(std::sync::Arc::new(b.build().expect("assembles")));
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
     assert_eq!(
         core.read_arch_reg(Reg::R10),
@@ -172,7 +172,7 @@ fn deep_recursion_overflows_ras_but_stays_correct() {
     b.load(Reg::R31, Reg::R1, 0);
     b.ret(Reg::R31);
     b.reserve(0x30000, 4096);
-    core.load_program(&b.build().expect("assembles"));
+    core.load_program(std::sync::Arc::new(b.build().expect("assembles")));
     assert_eq!(core.run(1_000_000).exit, ExitReason::Halted);
     assert_eq!(core.read_arch_reg(Reg::R2), 24);
 }
@@ -192,7 +192,7 @@ fn load_waits_for_older_store_data() {
     b.load(Reg::R3, Reg::R1, 0); // overlaps: must wait for the data
     b.halt();
     b.reserve(0x40000, 64);
-    core.load_program(&b.build().expect("assembles"));
+    core.load_program(std::sync::Arc::new(b.build().expect("assembles")));
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
     let expected = {
         let mut v = 3u64;
@@ -241,7 +241,7 @@ fn tiny_machine_survives_structural_pressure() {
     b.branch_to(BranchCond::LtU, Reg::R2, Reg::R3, "loop");
     b.halt();
     b.reserve(0x50000, 64);
-    core.load_program(&b.build().expect("assembles"));
+    core.load_program(std::sync::Arc::new(b.build().expect("assembles")));
     assert_eq!(core.run(1_000_000).exit, ExitReason::Halted);
     assert_eq!(core.read_arch_reg(Reg::R5), (0..30).sum::<u64>());
 }
@@ -264,7 +264,7 @@ fn violation_squash_restarts_from_the_oldest_violating_load() {
     b.load(Reg::R6, Reg::R1, 4); // overlaps the 8-byte store too
     b.halt();
     b.reserve(0x60000, 64);
-    core.load_program(&b.build().expect("assembles"));
+    core.load_program(std::sync::Arc::new(b.build().expect("assembles")));
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
     assert_eq!(core.read_arch_reg(Reg::R5), 0x99);
     assert_eq!(
@@ -296,7 +296,7 @@ fn fence_costs_cycles_but_changes_nothing_else() {
     };
     let run = |fences: bool| {
         let mut core = Core::with_defaults();
-        core.load_program(&build(fences));
+        core.load_program(std::sync::Arc::new(build(fences)));
         assert_eq!(core.run(1_000_000).exit, ExitReason::Halted);
         (core.read_arch_reg(Reg::R5), core.stats().cycles)
     };
@@ -314,7 +314,7 @@ fn fence_costs_cycles_but_changes_nothing_else() {
 fn trace_records_the_pipeline_story() {
     let mut core = core_with(CoreConfig::paper_default(), Box::new(BlockFirstN::new(1)));
     core.enable_trace(1024);
-    core.load_program(&simple_load_program());
+    core.load_program(std::sync::Arc::new(simple_load_program()));
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
     let trace = core.disable_trace().expect("tracing was enabled");
     use condspec_pipeline::TraceEvent;

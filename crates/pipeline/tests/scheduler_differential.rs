@@ -116,7 +116,7 @@ fn fresh_core() -> Core {
 /// ALU traffic (multiplies take the multi-cycle completion path),
 /// random loads/stores, dependent-load pointer-chase bursts, fences,
 /// and data-dependent forward branches that keep the predictor wrong.
-fn random_program(rng: &mut SplitMix64) -> Program {
+fn random_program(rng: &mut SplitMix64) -> std::sync::Arc<Program> {
     // Single-cycle ring permutation for the chase bursts.
     let mut idx: Vec<usize> = (0..RING_SLOTS).collect();
     for i in (1..RING_SLOTS).rev() {
@@ -178,16 +178,19 @@ fn random_program(rng: &mut SplitMix64) -> Program {
     let words: Vec<u64> = (0..DATA_WORDS as u64).map(|_| rng.next_u64()).collect();
     b.data_u64s(DATA_BASE, &words);
     b.data_u64s(RING_BASE, &ring);
-    b.build().expect("generated program assembles")
+    std::sync::Arc::new(b.build().expect("generated program assembles"))
 }
 
 /// Runs `program` to halt on a fresh core, checking the scheduler
 /// differential after every cycle, and returns the full trace, final
 /// stats and architectural register file.
-fn traced_run(program: &Program, trial: u64) -> (Vec<TraceEvent>, PipelineStats, Vec<u64>) {
+fn traced_run(
+    program: &std::sync::Arc<Program>,
+    trial: u64,
+) -> (Vec<TraceEvent>, PipelineStats, Vec<u64>) {
     let mut core = fresh_core();
     core.enable_trace(TRACE_CAPACITY);
-    core.load_program(program);
+    core.load_program(program.clone());
     let mut steps = 0;
     while !core.is_halted() {
         core.step();
@@ -216,7 +219,7 @@ fn run_fast_forward_matches_manual_stepping() {
         let program = random_program(&mut rng);
 
         let mut stepped = fresh_core();
-        stepped.load_program(&program);
+        stepped.load_program(program.clone());
         let mut steps = 0;
         while !stepped.is_halted() {
             stepped.step();
@@ -225,7 +228,7 @@ fn run_fast_forward_matches_manual_stepping() {
         }
 
         let mut ran = fresh_core();
-        ran.load_program(&program);
+        ran.load_program(program.clone());
         let result = ran.run(STEP_BUDGET);
         assert_eq!(
             result.exit,

@@ -79,12 +79,12 @@ fn squash_then_cold_load() -> Program {
     b.build().expect("assembles")
 }
 
-fn traced_run(program: &Program, capacity: usize) -> (Core, Vec<TraceEvent>) {
+fn traced_run(program: &std::sync::Arc<Program>, capacity: usize) -> (Core, Vec<TraceEvent>) {
     let mut core = core_with(Box::new(BlockFirstN {
         n: 0,
         attempts: HashMap::new(),
     }));
-    core.load_program(program);
+    core.load_program(program.clone());
     core.enable_trace(capacity);
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
     let trace = core.disable_trace().expect("tracing enabled");
@@ -94,7 +94,7 @@ fn traced_run(program: &Program, capacity: usize) -> (Core, Vec<TraceEvent>) {
 
 #[test]
 fn cycles_are_monotonic_and_lifecycle_stages_are_ordered_per_seq() {
-    let (_, events) = traced_run(&squash_then_cold_load(), 1 << 16);
+    let (_, events) = traced_run(&std::sync::Arc::new(squash_then_cold_load()), 1 << 16);
     assert!(!events.is_empty());
     for pair in events.windows(2) {
         assert!(
@@ -166,7 +166,7 @@ fn cycles_are_monotonic_and_lifecycle_stages_are_ordered_per_seq() {
 
 #[test]
 fn squash_is_recorded_with_cause_and_wrong_path_work_never_commits() {
-    let (core, events) = traced_run(&squash_then_cold_load(), 1 << 16);
+    let (core, events) = traced_run(&std::sync::Arc::new(squash_then_cold_load()), 1 << 16);
     let squashes: Vec<_> = events
         .iter()
         .filter_map(|e| match *e {
@@ -204,7 +204,7 @@ fn squash_is_recorded_with_cause_and_wrong_path_work_never_commits() {
 
 #[test]
 fn fast_forward_windows_contain_no_phantom_events() {
-    let (core, events) = traced_run(&squash_then_cold_load(), 1 << 16);
+    let (core, events) = traced_run(&std::sync::Arc::new(squash_then_cold_load()), 1 << 16);
     let windows: Vec<(u64, u64)> = events
         .iter()
         .filter_map(|e| match *e {
@@ -240,13 +240,13 @@ fn blocked_loads_trace_the_filter_and_the_faulting_page() {
     b.load(Reg::R2, Reg::R1, 0);
     b.halt();
     b.data_u64s(0x20000, &[0xbeef]);
-    let program = b.build().expect("assembles");
+    let program = std::sync::Arc::new(b.build().expect("assembles"));
 
     let mut core = core_with(Box::new(BlockFirstN {
         n: 3,
         attempts: HashMap::new(),
     }));
-    core.load_program(&program);
+    core.load_program(program.clone());
     core.enable_trace(1 << 14);
     assert_eq!(core.run(100_000).exit, ExitReason::Halted);
     let trace = core.disable_trace().expect("tracing enabled");
@@ -284,14 +284,14 @@ fn blocked_loads_trace_the_filter_and_the_faulting_page() {
 
 #[test]
 fn capacity_limits_are_enforced_with_exact_drop_accounting() {
-    let program = squash_then_cold_load();
+    let program = std::sync::Arc::new(squash_then_cold_load());
     let (_, full) = traced_run(&program, 1 << 16);
 
     let mut core = core_with(Box::new(BlockFirstN {
         n: 0,
         attempts: HashMap::new(),
     }));
-    core.load_program(&program);
+    core.load_program(program.clone());
     core.enable_trace(4);
     core.run(100_000);
     let small = core.disable_trace().expect("tracing enabled");
@@ -305,7 +305,7 @@ fn capacity_limits_are_enforced_with_exact_drop_accounting() {
         n: 0,
         attempts: HashMap::new(),
     }));
-    core.load_program(&program);
+    core.load_program(program.clone());
     core.enable_trace(0);
     core.run(100_000);
     let empty = core.disable_trace().expect("tracing enabled");

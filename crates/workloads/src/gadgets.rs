@@ -15,7 +15,7 @@
 //! non-shared-memory attacks of Table IV rows 5-6 invisible to TPBuf.
 
 use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Fixed virtual-address layout shared by all gadgets.
 pub mod layout {
@@ -123,7 +123,7 @@ pub struct SpectreGadget {
     /// The victim program, shared so loading it into a simulator is a
     /// reference-count bump rather than a deep copy (the probe-array data
     /// segments are large).
-    pub program: Rc<Program>,
+    pub program: Arc<Program>,
     /// Address of the attacker-controlled input word.
     pub input_addr: u64,
     /// Address of the bounds word (flush target), if the gadget has one.
@@ -191,7 +191,7 @@ impl SpectreGadget {
                 *target += condspec_isa::INST_BYTES;
             }
         }
-        gadget.program = Rc::new(Program::new(
+        gadget.program = Arc::new(Program::new(
             gadget.program.code_base(),
             insts,
             gadget.program.data().to_vec(),
@@ -235,7 +235,7 @@ impl SpectreGadget {
                 seg.bytes = secret.to_vec();
             }
         }
-        gadget.program = Rc::new(crate::gadgets::Program::new(
+        gadget.program = Arc::new(crate::gadgets::Program::new(
             program.code_base(),
             program.insts().to_vec(),
             data,
@@ -339,7 +339,7 @@ fn build_v1(mode: V1Mode) -> SpectreGadget {
             V1Mode::SamePage => GadgetKind::V1SamePage,
             V1Mode::SetStride => GadgetKind::V1SetStride,
         },
-        program: Rc::new(b.build().expect("gadget assembles")),
+        program: Arc::new(b.build().expect("gadget assembles")),
         input_addr: INPUT,
         len_addr: Some(LEN),
         secret_addr: SECRET,
@@ -388,7 +388,7 @@ fn build_v2() -> SpectreGadget {
     b.data_u64s(INPUT, &[0]);
     SpectreGadget {
         kind: GadgetKind::V2,
-        program: Rc::new(b.build().expect("gadget assembles")),
+        program: Arc::new(b.build().expect("gadget assembles")),
         input_addr: INPUT,
         len_addr: None,
         secret_addr: SECRET,
@@ -436,7 +436,7 @@ fn build_v4() -> SpectreGadget {
     b.data_u64s(INPUT, &[0]);
     SpectreGadget {
         kind: GadgetKind::V4,
-        program: Rc::new(b.build().expect("gadget assembles")),
+        program: Arc::new(b.build().expect("gadget assembles")),
         input_addr: INPUT,
         len_addr: None,
         secret_addr: SECRET,
@@ -488,7 +488,7 @@ fn build_rsb() -> SpectreGadget {
     b.data_u64s(INPUT, &[0]);
     SpectreGadget {
         kind: GadgetKind::Rsb,
-        program: Rc::new(b.build().expect("gadget assembles")),
+        program: Arc::new(b.build().expect("gadget assembles")),
         input_addr: INPUT,
         len_addr: None,
         secret_addr: SECRET,

@@ -11,9 +11,9 @@ const ITERS: u64 = 8;
 const BUDGET: u64 = 100_000_000;
 
 fn simulate(spec: &WorkloadSpec, defense: DefenseConfig) -> condspec::Report {
-    let program = build_program(spec, ITERS);
+    let program = std::sync::Arc::new(build_program(spec, ITERS));
     let mut sim = Simulator::new(SimConfig::new(defense));
-    sim.load_program(&program);
+    sim.load_program(program);
     let r = sim.run(BUDGET);
     assert!(sim.core().is_halted(), "{} must halt: {r:?}", spec.name);
     sim.report()

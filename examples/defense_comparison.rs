@@ -27,7 +27,7 @@ fn main() {
 
     for name in picks {
         let spec = by_name(name).expect("suite benchmark");
-        let program = build_program(&spec, 25);
+        let program = std::sync::Arc::new(build_program(&spec, 25));
         let mut cells = vec![name.to_string()];
         let mut origin_cycles = 1u64;
         let mut mismatch = 0.0;

@@ -48,7 +48,7 @@ fn main() {
     println!("Part 2: performance of the secure policies on Cache-hit + TPBuf\n");
     for name in ["GemsFDTD", "mcf", "sjeng"] {
         let spec = by_name(name).expect("suite benchmark");
-        let program = build_program(&spec, 20);
+        let program = std::sync::Arc::new(build_program(&spec, 20));
         let mut base_cycles = 1u64;
         print!("  {name:<10}");
         for (label, lru) in [

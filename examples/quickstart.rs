@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.branch_to(BranchCond::LtU, Reg::R2, Reg::R3, "loop");
     b.halt();
     b.data_u64s(0x2000, &[1, 2, 3, 4, 5, 6, 7, 8]);
-    let program = b.build()?;
+    let program = std::sync::Arc::new(b.build()?);
 
     // 2. Run it on every machine environment the paper evaluates.
     println!(

@@ -35,7 +35,7 @@ const CONDS: [BranchCond; 4] = [
 /// A small random-program generator: straight-line blocks of ALU and
 /// memory operations with occasional forward branches and a bounded
 /// backward loop, always ending in `halt`.
-fn rand_program(rng: &mut SplitMix64) -> Program {
+fn rand_program(rng: &mut SplitMix64) -> std::sync::Arc<Program> {
     let steps = rng.gen_usize(4, 60);
     let loop_count = rng.gen_range(1, 6);
     let mut b = ProgramBuilder::new(0x1000);
@@ -81,12 +81,12 @@ fn rand_program(rng: &mut SplitMix64) -> Program {
     b.branch_to(BranchCond::LtU, Reg::R6, Reg::R7, "top");
     b.halt();
     b.reserve(DATA_BASE, DATA_BYTES as usize);
-    b.build().expect("generated program assembles")
+    std::sync::Arc::new(b.build().expect("generated program assembles"))
 }
 
-fn final_state(program: &Program, config: SimConfig) -> (Vec<u64>, Vec<u64>) {
+fn final_state(program: &std::sync::Arc<Program>, config: SimConfig) -> (Vec<u64>, Vec<u64>) {
     let mut sim = Simulator::new(config);
-    sim.load_program(program);
+    sim.load_program(program.clone());
     let result = sim.run(10_000_000);
     assert_eq!(
         result.exit,

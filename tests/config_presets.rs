@@ -70,7 +70,7 @@ fn every_preset_builds_a_working_simulator() {
             let mut b = ProgramBuilder::new(0x1000);
             b.li(Reg::R1, 7);
             b.halt();
-            sim.run_to_halt(&b.build().expect("assembles"), 100_000);
+            sim.run_to_halt(&std::sync::Arc::new(b.build().expect("assembles")), 100_000);
             assert_eq!(sim.read_arch_reg(Reg::R1), 7, "{} {defense}", machine.name);
         }
     }

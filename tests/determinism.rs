@@ -10,7 +10,7 @@ use condspec_workloads::spec::{build_program, by_name};
 
 fn run_once(defense: DefenseConfig) -> (u64, u64, f64, Vec<u64>) {
     let spec = by_name("gobmk").expect("suite benchmark");
-    let program = build_program(&spec, 8);
+    let program = std::sync::Arc::new(build_program(&spec, 8));
     let mut sim = Simulator::new(SimConfig::new(defense));
     sim.run_to_halt(&program, 100_000_000);
     let report = sim.report();
@@ -48,7 +48,7 @@ fn attack_outcomes_are_deterministic() {
 #[test]
 fn occupancy_statistics_are_sane() {
     let spec = by_name("mcf").expect("suite benchmark");
-    let program = build_program(&spec, 5);
+    let program = std::sync::Arc::new(build_program(&spec, 5));
     let mut sim = Simulator::new(SimConfig::new(DefenseConfig::Origin));
     sim.run_to_halt(&program, 100_000_000);
     let stats = sim.core().stats();

@@ -33,7 +33,8 @@ fn run(icache_filter: bool) -> (bool, u64) {
     let mut config = SimConfig::new(DefenseConfig::CacheHitTpbuf);
     config.machine.core.icache_filter = icache_filter;
     let mut sim = Simulator::new(config);
-    sim.load_program(&program);
+    let program = std::sync::Arc::new(program);
+    sim.load_program(program.clone());
     // Warm every code line the correct path touches (the victim has run
     // before), leaving the wrong-path block cold.
     let code_end = program.code_end();
@@ -86,7 +87,7 @@ fn icache_filter_preserves_results_and_costs_little_on_straight_code() {
     b.alu_imm(AluOp::Xor, Reg::R3, Reg::R1, 5);
     b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
     b.halt();
-    let program = b.build().expect("assembles");
+    let program = std::sync::Arc::new(b.build().expect("assembles"));
 
     let mut cycles = Vec::new();
     for filter in [false, true] {

@@ -71,10 +71,10 @@ fn sampled_series_is_byte_identical_across_runs() {
 fn traced_gadget_round() -> condspec_pipeline::TraceBuffer {
     let gadget = SpectreGadget::build(GadgetKind::V1);
     let mut sim = Simulator::new(SimConfig::new(DefenseConfig::CacheHit));
-    sim.load_program_shared(gadget.program.clone());
+    sim.load_program(gadget.program.clone());
     sim.write_memory(gadget.input_addr, gadget.train_input, 8);
     sim.run(500_000);
-    sim.load_program_shared(gadget.program.clone());
+    sim.load_program(gadget.program.clone());
     sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
     if let Some(len) = gadget.len_addr {
         let pa = sim.core().page_table().translate(len);

@@ -10,9 +10,9 @@ const BUDGET: u64 = 100_000_000;
 
 fn cycles(bench: &str, defense: DefenseConfig) -> (u64, f64) {
     let spec = by_name(bench).expect("known benchmark");
-    let program = build_program(&spec, ITERS);
+    let program = std::sync::Arc::new(build_program(&spec, ITERS));
     let mut sim = Simulator::new(SimConfig::new(defense));
-    sim.load_program(&program);
+    sim.load_program(program.clone());
     let r = sim.run(BUDGET);
     assert!(sim.core().is_halted(), "{bench} must halt: {r:?}");
     (sim.report().cycles, sim.report().s_pattern_mismatch_rate)
@@ -112,11 +112,11 @@ fn cache_hit_filter_tracks_hit_rate() {
 fn sensitivity_presets_run_and_keep_ordering() {
     for machine in MachineConfig::sensitivity_presets() {
         let spec = by_name("gcc").expect("known benchmark");
-        let program = build_program(&spec, 12);
+        let program = std::sync::Arc::new(build_program(&spec, 12));
         let mut results = Vec::new();
         for defense in [DefenseConfig::Origin, DefenseConfig::Baseline] {
             let mut sim = Simulator::new(SimConfig::on_machine(defense, machine));
-            sim.load_program(&program);
+            sim.load_program(program.clone());
             let r = sim.run(BUDGET);
             assert!(sim.core().is_halted(), "{}: {r:?}", machine.name);
             results.push(sim.report().cycles);

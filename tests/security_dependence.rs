@@ -14,11 +14,11 @@ fn run_gadget(kind: GadgetKind, defense: DefenseConfig) -> condspec_pipeline::Po
     // One warm run, then two malicious triggers (as the attack drivers
     // do — the first round also warms the machine) with everything the
     // attacker would flush actually flushed.
-    sim.load_program(&gadget.program);
+    sim.load_program(gadget.program.clone());
     sim.write_memory(gadget.input_addr, gadget.train_input, 8);
     sim.run(500_000);
     for round in 0..2 {
-        sim.load_program(&gadget.program);
+        sim.load_program(gadget.program.clone());
         sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
         if let Some(len) = gadget.len_addr {
             let pa = sim.core().page_table().translate(len);
