@@ -85,4 +85,84 @@ for key in ("core.cycles", "core.ipc", "policy.blocks", "mem.l1d_hit_rate"):
 print(f"timeseries ok: {len(rows)} windows, {len(metrics)} metrics")
 EOF
 
+echo "==> result-store smoke (fig5 twice: the warm run re-simulates nothing)"
+# A scaled fig5 (2 measured + 1 warm-up iteration per benchmark job)
+# keeps the smoke fast; scaling changes every job hash and the sweep id,
+# so the store entries are honestly keyed to exactly this computation.
+store_root="target/perf-smoke/store"
+runs_cold="target/perf-smoke/runs-cold"
+runs_warm="target/perf-smoke/runs-warm"
+rm -rf "$store_root" "$runs_cold" "$runs_warm"
+cold_log="target/perf-smoke/fig5-cold.log"
+warm_log="target/perf-smoke/fig5-warm.log"
+./target/release/condspec sweep fig5 --jobs 2 --iters 2 --warmup 1 \
+    --store-root "$store_root" --root "$runs_cold" \
+    >/dev/null 2> "$cold_log"
+grep -q "result-store: 0 hits, 110 misses, 110 inserts" "$cold_log" || {
+    echo "cold fig5 store counters unexpected; log says:" >&2
+    grep "result-store" "$cold_log" >&2 || echo "(no result-store line)" >&2
+    exit 1
+}
+warm_out="target/perf-smoke/fig5-warm.out"
+./target/release/condspec sweep fig5 --jobs 2 --iters 2 --warmup 1 \
+    --store-root "$store_root" --root "$runs_warm" \
+    > "$warm_out" 2> "$warm_log"
+grep -q "result-store: 110 hits, 0 misses, 0 inserts" "$warm_log" || {
+    echo "warm fig5 store counters unexpected; log says:" >&2
+    grep "result-store" "$warm_log" >&2 || echo "(no result-store line)" >&2
+    exit 1
+}
+grep -q " 0 executed, 110 store hits," "$warm_out" || {
+    echo "warm fig5 re-simulated jobs; summary says:" >&2
+    grep "^sweep " "$warm_out" >&2
+    exit 1
+}
+# The job artifacts of the cold and warm runs are byte-identical; only
+# manifest.json differs (its per-job `source` column records simulated
+# vs store provenance).
+python3 - "$runs_cold" "$runs_warm" <<'EOF'
+import hashlib, pathlib, sys
+
+def digest(root):
+    (sweep_dir,) = [d for d in pathlib.Path(root).iterdir() if d.is_dir()]
+    return sweep_dir.name, {
+        f.name: hashlib.sha256(f.read_bytes()).hexdigest()
+        for f in sweep_dir.iterdir() if f.name != "manifest.json"
+    }
+
+cold_id, cold_files = digest(sys.argv[1])
+warm_id, warm_files = digest(sys.argv[2])
+assert cold_id == warm_id, f"sweep ids diverged: {cold_id} vs {warm_id}"
+assert len(cold_files) == 110, f"expected 110 artifacts, found {len(cold_files)}"
+assert cold_files == warm_files, "artifacts differ between cold and warm runs"
+print(f"store smoke ok: {len(cold_files)} artifacts byte-identical (sha256) for {cold_id}")
+EOF
+# Reports render identically from the cold run dir and from the warm
+# one backed by the store (even with run-dir artifacts deleted).
+sweep_id=$(basename "$runs_cold"/fig5-*)
+./target/release/condspec report "$sweep_id" --root "$runs_cold" \
+    > target/perf-smoke/fig5-report-cold.txt
+rm "$runs_warm/$sweep_id"/*.json
+cp "$runs_cold/$sweep_id/manifest.json" "$runs_warm/$sweep_id/manifest.json"
+./target/release/condspec report "$sweep_id" --root "$runs_warm" \
+    --store-root "$store_root" > target/perf-smoke/fig5-report-warm.txt
+cmp target/perf-smoke/fig5-report-cold.txt target/perf-smoke/fig5-report-warm.txt || {
+    echo "store-backed report differs from the run-dir report" >&2
+    exit 1
+}
+echo "report smoke ok: store-backed render matches the run-dir render"
+
+echo "==> store maintenance smoke (condspec store stats/verify)"
+store_stats="target/perf-smoke/store-stats.txt"
+./target/release/condspec store stats --root "$store_root" | tee "$store_stats"
+grep -q "store stats: 110 entries" "$store_stats" || {
+    echo "store stats line unexpected" >&2
+    exit 1
+}
+./target/release/condspec store verify --root "$store_root"
+rm -rf "$runs_cold" "$runs_warm"
+
+echo "==> serve smoke (daemon round-trip: submit, stream, report, 100% warm hits)"
+python3 ci/serve_smoke.py ./target/release/condspec target/perf-smoke
+
 echo "ci.sh: all checks passed"

@@ -30,4 +30,4 @@
 pub mod channel;
 pub mod spectre;
 
-pub use spectre::{run_variant, AttackOutcome, AttackScenario};
+pub use spectre::{run_variant, traced_variant_round, AttackOutcome, AttackScenario};

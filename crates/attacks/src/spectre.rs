@@ -181,6 +181,46 @@ pub fn run_variant(kind: GadgetKind, defense: DefenseConfig) -> AttackOutcome {
     }
 }
 
+/// Warms and trains a Spectre gadget, then runs one malicious round
+/// with pipeline tracing enabled and returns the trace (the last
+/// `events` pipeline events of the round).
+///
+/// This is the shared setup behind `condspec trace` and the serve
+/// daemon's trace endpoint: load the gadget, train with the in-bounds
+/// input, reload with the attack input, flush the bounds/pointer lines
+/// the variant needs cold, pre-poison the BTB for v2, and trace the
+/// attack run.
+pub fn traced_variant_round(
+    kind: GadgetKind,
+    defense: DefenseConfig,
+    events: usize,
+) -> condspec_pipeline::TraceBuffer {
+    let gadget = SpectreGadget::build(kind);
+    let mut sim = Simulator::new(SimConfig::new(defense));
+    // Warm + train, then trace one malicious round.
+    sim.load_program(gadget.program.clone());
+    sim.write_memory(gadget.input_addr, gadget.train_input, 8);
+    sim.run(RUN_BUDGET);
+    sim.load_program(gadget.program.clone());
+    sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
+    if let Some(len) = gadget.len_addr {
+        let pa = sim.core().page_table().translate(len);
+        sim.core_mut().hierarchy_mut().flush_line(pa);
+    }
+    if let Some(slot) = gadget.pointer_slot {
+        let pa = sim.core().page_table().translate(slot);
+        sim.core_mut().hierarchy_mut().flush_line(pa);
+    }
+    if kind == GadgetKind::V2 {
+        let jr = gadget.indirect_pc.expect("v2 gadget");
+        let target = gadget.gadget_entry.expect("v2 gadget");
+        sim.core_mut().frontend_mut().btb_mut().update(jr, target);
+    }
+    sim.core_mut().enable_trace(events);
+    sim.run(RUN_BUDGET);
+    sim.core_mut().disable_trace().expect("tracing enabled")
+}
+
 /// The SpectreRSB attack: the attacker runs an unbalanced-call program
 /// that leaves a stale entry on the shared return-address stack, pointing
 /// at attacker code that jumps into the victim's disclosure gadget. The

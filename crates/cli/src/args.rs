@@ -25,6 +25,17 @@ pub enum SeriesFormat {
     Csv,
 }
 
+/// Maintenance action for `condspec store`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreAction {
+    /// Entry/byte/stray-temp counts plus the on-disk summary line.
+    Stats,
+    /// Drop stale-fingerprint and damaged entries, reclaim bytes.
+    Gc,
+    /// Deep-scan every entry's envelope and payload checksum.
+    Verify,
+}
+
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -109,6 +120,10 @@ pub enum Command {
         sweep_id: String,
         /// Artifact root; `None` = `target/condspec-runs`.
         root: Option<String>,
+        /// Also resolve artifacts through the default result store.
+        store: bool,
+        /// Resolve through a store at this root (implies `store`).
+        store_root: Option<String>,
     },
     /// Run a named experiment sweep through the parallel engine.
     Sweep {
@@ -129,6 +144,36 @@ pub enum Command {
         /// Write wall-clock telemetry to `telemetry.json` in the sweep
         /// directory.
         telemetry: bool,
+        /// Consult/fill the default persistent result store.
+        store: bool,
+        /// Use a store at this root (implies `store`).
+        store_root: Option<String>,
+        /// Override benchmark outer iterations for every job.
+        iters: Option<u64>,
+        /// Override benchmark warmup iterations for every job.
+        warmup: Option<u64>,
+    },
+    /// Inspect or maintain the persistent result store offline.
+    Store {
+        /// What to do.
+        action: StoreAction,
+        /// Store root; `None` = `target/condspec-store` (or
+        /// `$CONDSPEC_STORE_ROOT`).
+        root: Option<String>,
+    },
+    /// Run the HTTP daemon: submit sweeps/jobs, stream progress, fetch
+    /// reports, traces and time series.
+    Serve {
+        /// Bind address; port 0 asks the OS for an ephemeral port.
+        addr: String,
+        /// Worker threads per sweep; 0 = all available cores.
+        jobs: usize,
+        /// Artifact root; `None` = `target/condspec-runs`.
+        root: Option<String>,
+        /// Store root; `None` = the default root (unless `no_store`).
+        store_root: Option<String>,
+        /// Run without a persistent store.
+        no_store: bool,
     },
     /// Measure simulator throughput over the fixed workload matrix.
     Perf {
@@ -176,8 +221,12 @@ USAGE:
                    [--iters <n>] [--window <cycles>] [--rows <n>]
                    [--format json|csv] [--out <file>]
   condspec sweep   <name> [--jobs <n>] [--resume] [--root <dir>] [--quiet]
-                   [--progress] [--telemetry]
-  condspec report  <sweep-id> [--root <dir>]
+                   [--progress] [--telemetry] [--store] [--store-root <dir>]
+                   [--iters <n>] [--warmup <n>]
+  condspec report  <sweep-id> [--root <dir>] [--store] [--store-root <dir>]
+  condspec store   <stats|gc|verify> [--root <dir>]
+  condspec serve   [--addr <host:port>] [--jobs <n>] [--root <dir>]
+                   [--store-root <dir>] [--no-store]
   condspec perf    [--quick] [--machine <name>] [--out <file>]
                    [--compare <baseline.json>]
   condspec list
@@ -189,7 +238,9 @@ DEFENSES:  origin, baseline, cache-hit, cache-hit-tpbuf
 MACHINES:  paper-default, a57, i7, xeon
 SWEEPS:    fig5, table4, table5, table6, lru, icache
            (artifacts land under target/condspec-runs/<sweep-id>/;
-            re-run with --resume to skip completed jobs)
+            re-run with --resume to skip completed jobs, or with
+            --store to reuse results from target/condspec-store —
+            override the store root with $CONDSPEC_STORE_ROOT)
 ";
 
 fn parse_defense(s: &str) -> Result<DefenseConfig, ParseError> {
@@ -449,7 +500,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 _ => return Err(ParseError("report requires a sweep id".into())),
             };
             let root = take_flag(&mut rest, "--root")?;
-            Command::Report { sweep_id, root }
+            let store = take_switch(&mut rest, "--store");
+            let store_root = take_flag(&mut rest, "--store-root")?;
+            Command::Report {
+                sweep_id,
+                root,
+                store,
+                store_root,
+            }
         }
         "sweep" => {
             let name = match rest.first() {
@@ -468,6 +526,23 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let progress = take_switch(&mut rest, "--progress");
             let telemetry = take_switch(&mut rest, "--telemetry");
             let root = take_flag(&mut rest, "--root")?;
+            let store = take_switch(&mut rest, "--store");
+            let store_root = take_flag(&mut rest, "--store-root")?;
+            let iters = take_flag(&mut rest, "--iters")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --iters `{s}`")))
+                })
+                .transpose()?;
+            if iters == Some(0) {
+                return Err(ParseError("--iters must be at least 1".into()));
+            }
+            let warmup = take_flag(&mut rest, "--warmup")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --warmup `{s}`")))
+                })
+                .transpose()?;
             Command::Sweep {
                 name,
                 jobs,
@@ -476,6 +551,52 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 quiet,
                 progress,
                 telemetry,
+                store,
+                store_root,
+                iters,
+                warmup,
+            }
+        }
+        "store" => {
+            let action = match rest.first().map(String::as_str) {
+                Some("stats") => StoreAction::Stats,
+                Some("gc") => StoreAction::Gc,
+                Some("verify") => StoreAction::Verify,
+                Some(other) if !other.starts_with("--") => {
+                    return Err(ParseError(format!("unknown store action `{other}`")));
+                }
+                _ => {
+                    return Err(ParseError(
+                        "store requires an action: stats, gc or verify".into(),
+                    ));
+                }
+            };
+            rest.remove(0);
+            let root = take_flag(&mut rest, "--root")?;
+            Command::Store { action, root }
+        }
+        "serve" => {
+            let addr = take_flag(&mut rest, "--addr")?
+                .unwrap_or_else(|| condspec_serve::DEFAULT_ADDR.to_string());
+            let jobs = take_flag(&mut rest, "--jobs")?
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| ParseError(format!("bad --jobs `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let root = take_flag(&mut rest, "--root")?;
+            let store_root = take_flag(&mut rest, "--store-root")?;
+            let no_store = take_switch(&mut rest, "--no-store");
+            if no_store && store_root.is_some() {
+                return Err(ParseError("--no-store conflicts with --store-root".into()));
+            }
+            Command::Serve {
+                addr,
+                jobs,
+                root,
+                store_root,
+                no_store,
             }
         }
         "perf" => {
@@ -697,14 +818,21 @@ mod tests {
             parse(&argv("report fig5-0123abcd")).unwrap(),
             Command::Report {
                 sweep_id: "fig5-0123abcd".to_string(),
-                root: None
+                root: None,
+                store: false,
+                store_root: None
             }
         );
         assert_eq!(
-            parse(&argv("report fig5-0123abcd --root /tmp/runs")).unwrap(),
+            parse(&argv(
+                "report fig5-0123abcd --root /tmp/runs --store-root /tmp/store"
+            ))
+            .unwrap(),
             Command::Report {
                 sweep_id: "fig5-0123abcd".to_string(),
-                root: Some("/tmp/runs".to_string())
+                root: Some("/tmp/runs".to_string()),
+                store: false,
+                store_root: Some("/tmp/store".to_string())
             }
         );
         assert!(parse(&argv("report")).is_err(), "report needs a sweep id");
@@ -722,7 +850,11 @@ mod tests {
                 root: None,
                 quiet: false,
                 progress: false,
-                telemetry: false
+                telemetry: false,
+                store: false,
+                store_root: None,
+                iters: None,
+                warmup: None
             }
         );
         assert_eq!(
@@ -737,7 +869,11 @@ mod tests {
                 root: Some("/tmp/runs".to_string()),
                 quiet: true,
                 progress: true,
-                telemetry: true
+                telemetry: true,
+                store: false,
+                store_root: None,
+                iters: None,
+                warmup: None
             }
         );
         assert!(parse(&argv("sweep")).is_err(), "sweep needs a name");
@@ -747,6 +883,103 @@ mod tests {
         );
         assert!(parse(&argv("sweep fig5 --jobs many")).is_err());
         assert!(parse(&argv("sweep fig5 stray")).is_err());
+    }
+
+    #[test]
+    fn sweep_store_and_scaling_flags_parse() {
+        match parse(&argv(
+            "sweep fig5 --store --store-root /tmp/store --iters 2 --warmup 1",
+        ))
+        .unwrap()
+        {
+            Command::Sweep {
+                store,
+                store_root,
+                iters,
+                warmup,
+                ..
+            } => {
+                assert!(store);
+                assert_eq!(store_root, Some("/tmp/store".to_string()));
+                assert_eq!(iters, Some(2));
+                assert_eq!(warmup, Some(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("sweep fig5 --iters 0")).is_err());
+        assert!(parse(&argv("sweep fig5 --iters many")).is_err());
+        assert!(parse(&argv("sweep fig5 --warmup many")).is_err());
+    }
+
+    #[test]
+    fn store_parses() {
+        assert_eq!(
+            parse(&argv("store stats")).unwrap(),
+            Command::Store {
+                action: StoreAction::Stats,
+                root: None
+            }
+        );
+        assert_eq!(
+            parse(&argv("store gc --root /tmp/store")).unwrap(),
+            Command::Store {
+                action: StoreAction::Gc,
+                root: Some("/tmp/store".to_string())
+            }
+        );
+        assert_eq!(
+            parse(&argv("store verify")).unwrap(),
+            Command::Store {
+                action: StoreAction::Verify,
+                root: None
+            }
+        );
+        assert!(parse(&argv("store")).is_err(), "store needs an action");
+        assert!(parse(&argv("store prune")).is_err(), "unknown action");
+        assert!(parse(&argv("store --root /tmp")).is_err());
+        assert!(parse(&argv("store stats stray")).is_err());
+    }
+
+    #[test]
+    fn serve_parses() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: condspec_serve::DEFAULT_ADDR.to_string(),
+                jobs: 0,
+                root: None,
+                store_root: None,
+                no_store: false
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --addr 127.0.0.1:0 --jobs 4 --root /tmp/runs --store-root /tmp/store"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".to_string(),
+                jobs: 4,
+                root: Some("/tmp/runs".to_string()),
+                store_root: Some("/tmp/store".to_string()),
+                no_store: false
+            }
+        );
+        assert_eq!(
+            parse(&argv("serve --no-store")).unwrap(),
+            Command::Serve {
+                addr: condspec_serve::DEFAULT_ADDR.to_string(),
+                jobs: 0,
+                root: None,
+                store_root: None,
+                no_store: true
+            }
+        );
+        assert!(
+            parse(&argv("serve --no-store --store-root /tmp")).is_err(),
+            "contradictory store flags"
+        );
+        assert!(parse(&argv("serve --jobs many")).is_err());
     }
 
     #[test]

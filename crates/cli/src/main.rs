@@ -4,12 +4,14 @@
 
 mod args;
 
-use args::{parse, Command, SeriesFormat, TraceFormat, USAGE};
+use args::{parse, Command, SeriesFormat, StoreAction, TraceFormat, USAGE};
 use condspec::{DefenseConfig, SimConfig, Simulator};
-use condspec_attacks::{run_variant, AttackScenario};
+use condspec_attacks::{run_variant, traced_variant_round, AttackScenario};
 use condspec_stats::TextTable;
+use condspec_store::ResultStore;
 use condspec_workloads::spec::{build_program, by_name, suite};
 use condspec_workloads::GadgetKind;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -27,6 +29,17 @@ fn defenses(selected: Option<DefenseConfig>) -> Vec<DefenseConfig> {
     match selected {
         Some(d) => vec![d],
         None => DefenseConfig::ALL.to_vec(),
+    }
+}
+
+/// Resolves the `--store`/`--store-root` pair shared by `sweep` and
+/// `report`: an explicit root wins, the bare switch selects the default
+/// root, neither disables the store.
+fn store_root_from(store: bool, store_root: Option<String>) -> Option<PathBuf> {
+    match store_root {
+        Some(dir) => Some(PathBuf::from(dir)),
+        None if store => Some(ResultStore::default_root()),
+        None => None,
     }
 }
 
@@ -102,32 +115,8 @@ fn run(cmd: Command) -> ExitCode {
             format,
             out,
         } => {
-            use condspec_workloads::gadgets::SpectreGadget;
             let defense = defense.unwrap_or(DefenseConfig::CacheHitTpbuf);
-            let gadget = SpectreGadget::build(kind);
-            let mut sim = Simulator::new(SimConfig::new(defense));
-            // Warm + train, then trace one malicious round.
-            sim.load_program(gadget.program.clone());
-            sim.write_memory(gadget.input_addr, gadget.train_input, 8);
-            sim.run(500_000);
-            sim.load_program(gadget.program.clone());
-            sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
-            if let Some(len) = gadget.len_addr {
-                let pa = sim.core().page_table().translate(len);
-                sim.core_mut().hierarchy_mut().flush_line(pa);
-            }
-            if let Some(slot) = gadget.pointer_slot {
-                let pa = sim.core().page_table().translate(slot);
-                sim.core_mut().hierarchy_mut().flush_line(pa);
-            }
-            if kind == GadgetKind::V2 {
-                let jr = gadget.indirect_pc.expect("v2 gadget");
-                let target = gadget.gadget_entry.expect("v2 gadget");
-                sim.core_mut().frontend_mut().btb_mut().update(jr, target);
-            }
-            sim.core_mut().enable_trace(events);
-            sim.run(500_000);
-            let trace = sim.core_mut().disable_trace().expect("tracing enabled");
+            let trace = traced_variant_round(kind, defense, events);
             let rendered = match format {
                 TraceFormat::Text => format!(
                     "{kind:?} attack round under {} — last {} pipeline events:\n\n{trace}",
@@ -205,11 +194,20 @@ fn run(cmd: Command) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Command::Report { sweep_id, root } => {
-            let root = std::path::PathBuf::from(
-                root.unwrap_or_else(|| condspec_engine::DEFAULT_ROOT.to_string()),
-            );
-            let report = match condspec_engine::load_sweep_report(&root, &sweep_id) {
+        Command::Report {
+            sweep_id,
+            root,
+            store,
+            store_root,
+        } => {
+            let root =
+                PathBuf::from(root.unwrap_or_else(|| condspec_engine::DEFAULT_ROOT.to_string()));
+            let store = store_root_from(store, store_root).map(ResultStore::open);
+            let report = match condspec_engine::load_sweep_report_with_store(
+                &root,
+                &sweep_id,
+                store.as_ref(),
+            ) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("report: {e}");
@@ -323,6 +321,10 @@ fn run(cmd: Command) -> ExitCode {
             quiet,
             progress,
             telemetry,
+            store,
+            store_root,
+            iters,
+            warmup,
         } => {
             let Some(sweep) = condspec_engine::Sweep::by_name(&name) else {
                 eprintln!(
@@ -337,6 +339,9 @@ fn run(cmd: Command) -> ExitCode {
                 quiet,
                 progress,
                 telemetry,
+                store: store_root_from(store, store_root),
+                bench_iterations: iters,
+                bench_warmup: warmup,
                 ..Default::default()
             };
             if let Some(root) = root {
@@ -349,11 +354,17 @@ fn run(cmd: Command) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            println!("{}", sweep.render(&outcome.results));
+            // Results are keyed by the scaled jobs' hashes, so render
+            // through the same scaled sweep that ran.
             println!(
-                "sweep {}: {} executed, {} skipped, {} failed — artifacts in {}",
+                "{}",
+                sweep.clone().scaled(iters, warmup).render(&outcome.results)
+            );
+            println!(
+                "sweep {}: {} executed, {} store hits, {} skipped, {} failed — artifacts in {}",
                 outcome.sweep_id,
                 outcome.executed,
+                outcome.store_hits,
                 outcome.skipped,
                 outcome.failed.len(),
                 outcome.dir.display()
@@ -365,6 +376,128 @@ fn run(cmd: Command) -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
+            }
+        }
+        Command::Store { action, root } => {
+            let store = ResultStore::open(
+                root.map(PathBuf::from)
+                    .unwrap_or_else(ResultStore::default_root),
+            );
+            match action {
+                StoreAction::Stats => {
+                    let stats = match store.stats() {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("store stats: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    println!("{}", stats.summary(store.root()));
+                    // Machine-readable copy for CI artifact capture.
+                    let mut registry = condspec_stats::MetricsRegistry::new();
+                    registry.set_counter("store.entries", stats.entries);
+                    registry.set_counter("store.bytes", stats.bytes);
+                    registry.set_counter("store.stray_tmp", stats.stray_tmp);
+                    println!("{}", registry.to_json().render());
+                    ExitCode::SUCCESS
+                }
+                StoreAction::Verify => {
+                    let report = match store.verify() {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("store verify: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    println!(
+                        "store verify: {} checked, {} ok, {} bad at {}",
+                        report.checked,
+                        report.ok,
+                        report.bad.len(),
+                        store.root().display()
+                    );
+                    for (path, reason) in &report.bad {
+                        eprintln!("bad entry {}: {reason}", path.display());
+                    }
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                StoreAction::Gc => {
+                    let fingerprint = condspec_engine::hash::code_fingerprint();
+                    let report = match store.gc(fingerprint) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("store gc: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    println!(
+                        "store gc: kept {}, removed {}, freed {} bytes at {}",
+                        report.kept,
+                        report.removed,
+                        report.bytes_freed,
+                        store.root().display()
+                    );
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        Command::Serve {
+            addr,
+            jobs,
+            root,
+            store_root,
+            no_store,
+        } => {
+            let config = condspec_serve::ServeConfig {
+                addr,
+                workers: jobs,
+                runs_root: root
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from(condspec_engine::DEFAULT_ROOT)),
+                store_root: if no_store {
+                    None
+                } else {
+                    Some(
+                        store_root
+                            .map(PathBuf::from)
+                            .unwrap_or_else(ResultStore::default_root),
+                    )
+                },
+            };
+            let server = match condspec_serve::Server::bind(&config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("serve: cannot bind {}: {e}", config.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match server.local_addr() {
+                Ok(local) => {
+                    // Scripts poll this exact line for the bound port
+                    // (ephemeral with --addr host:0), so flush it now.
+                    println!("condspec-serve listening on http://{local}");
+                    use std::io::Write as _;
+                    std::io::stdout().flush().ok();
+                }
+                Err(e) => {
+                    eprintln!("serve: no local address: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match config.store_root.as_deref() {
+                Some(store) => eprintln!("store: {}", store.display()),
+                None => eprintln!("store: disabled"),
+            }
+            match server.run() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         Command::Perf {

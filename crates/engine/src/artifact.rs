@@ -14,22 +14,43 @@
 //! instead of mixing artifacts from two generations. A job is
 //! *complete* iff its artifact file exists and parses; failed jobs
 //! write nothing and therefore re-run on `--resume`. Writes go through
-//! a temp file and rename, so a killed run never leaves a truncated
-//! artifact that a resume would mistake for a result.
+//! a uniquely named temp file and rename, so a killed run never leaves
+//! a truncated artifact that a resume would mistake for a result, and
+//! two writers landing on the same artifact (e.g. concurrent daemon
+//! submissions of one sweep) never scribble on each other's temp file.
+//!
+//! Artifact *contents* are strictly deterministic. The manifest's
+//! per-job `status` is too, but its `source` field records where each
+//! result came from this particular run (`simulated`, `store`,
+//! `resumed`) — byte-identity comparisons between runs should cover the
+//! job artifacts and rendered reports, not `manifest.json`.
 
 use condspec_stats::Json;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The default artifact root, relative to the working directory.
 pub const DEFAULT_ROOT: &str = "target/condspec-runs";
 
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Atomically writes `doc` (plus a trailing newline) to `path`.
 pub fn write_artifact(path: &Path, doc: &Json) -> io::Result<()> {
-    let tmp = path.with_extension("json.tmp");
+    // Temp name is unique per (process, write): concurrent writers of
+    // the same artifact each rename their own complete file.
+    let tmp = path.with_extension(format!(
+        "{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     fs::write(&tmp, doc.render() + "\n")?;
-    fs::rename(&tmp, path)
+    let renamed = fs::rename(&tmp, path);
+    if renamed.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    renamed
 }
 
 /// Loads the artifact at `path` if it exists and parses; `None` means
@@ -37,6 +58,56 @@ pub fn write_artifact(path: &Path, doc: &Json) -> io::Result<()> {
 pub fn load_artifact(path: &Path) -> Option<Json> {
     let text = fs::read_to_string(path).ok()?;
     Json::parse(&text).ok()
+}
+
+/// Where one job's result came from in a particular run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSource {
+    /// Simulated by this run's worker pool.
+    Simulated,
+    /// Served from the persistent result store.
+    Store,
+    /// Skipped by `--resume`: the artifact already existed on disk.
+    Resumed,
+}
+
+impl JobSource {
+    /// The stable manifest string.
+    pub fn key(&self) -> &'static str {
+        match self {
+            JobSource::Simulated => "simulated",
+            JobSource::Store => "store",
+            JobSource::Resumed => "resumed",
+        }
+    }
+}
+
+/// One job's row in the sweep manifest.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job's content hash (artifact file stem).
+    pub hash: String,
+    /// Human-readable job label.
+    pub label: String,
+    /// `"ok"` or `"failed"`.
+    pub status: &'static str,
+    /// Where the result came from (meaningless for failed jobs, which
+    /// record the source they *attempted*).
+    pub source: JobSource,
+}
+
+/// The manifest's sweep-level header.
+#[derive(Debug, Clone, Copy)]
+pub struct ManifestInfo<'a> {
+    /// The sweep's short name (`fig5`, ...).
+    pub sweep_name: &'a str,
+    /// The content-derived sweep id.
+    pub sweep_id: &'a str,
+    /// Measured-run iteration override applied to benchmark jobs, when
+    /// the sweep was scaled (`--iters`).
+    pub bench_iterations: Option<u64>,
+    /// Warm-up iteration override applied to benchmark jobs (`--warmup`).
+    pub bench_warmup: Option<u64>,
 }
 
 /// A sweep's artifact directory.
@@ -73,33 +144,34 @@ impl SweepDir {
         write_artifact(&self.artifact_path(job_hash), doc)
     }
 
-    /// Writes the sweep manifest. `statuses` is `(hash, label, status)`
-    /// per job, in sweep order; everything in the manifest is
-    /// deterministic, so manifests are byte-identical across runs of
-    /// the same sweep whatever the worker count.
-    pub fn write_manifest(
-        &self,
-        sweep_name: &str,
-        sweep_id: &str,
-        statuses: &[(String, String, &'static str)],
-    ) -> io::Result<()> {
+    /// Writes the sweep manifest: the sweep header plus one row per job
+    /// in sweep order. Job `status` values are deterministic; `source`
+    /// values describe this run (see the module docs).
+    pub fn write_manifest(&self, info: &ManifestInfo, statuses: &[JobStatus]) -> io::Result<()> {
         let jobs = statuses
             .iter()
-            .map(|(hash, label, status)| {
+            .map(|job| {
                 Json::object(vec![
-                    ("hash", Json::from(hash.as_str())),
-                    ("label", Json::from(label.as_str())),
-                    ("status", Json::from(*status)),
+                    ("hash", Json::from(job.hash.as_str())),
+                    ("label", Json::from(job.label.as_str())),
+                    ("status", Json::from(job.status)),
+                    ("source", Json::from(job.source.key())),
                 ])
             })
             .collect::<Vec<_>>();
-        let doc = Json::object(vec![
-            ("sweep", Json::from(sweep_name)),
-            ("sweep_id", Json::from(sweep_id)),
-            ("total", Json::from(statuses.len() as u64)),
-            ("jobs", Json::Array(jobs)),
-        ]);
-        write_artifact(&self.dir.join("manifest.json"), &doc)
+        let mut doc = vec![
+            ("sweep", Json::from(info.sweep_name)),
+            ("sweep_id", Json::from(info.sweep_id)),
+        ];
+        if let Some(iterations) = info.bench_iterations {
+            doc.push(("bench_iterations", Json::from(iterations)));
+        }
+        if let Some(warmup) = info.bench_warmup {
+            doc.push(("bench_warmup", Json::from(warmup)));
+        }
+        doc.push(("total", Json::from(statuses.len() as u64)));
+        doc.push(("jobs", Json::Array(jobs)));
+        write_artifact(&self.dir.join("manifest.json"), &Json::object(doc))
     }
 
     /// Loads the manifest, if present and well-formed.
@@ -143,22 +215,64 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_writes_of_one_artifact_leave_one_clean_file() {
+        let root = scratch("concurrent");
+        let dir = SweepDir::create(&root, "demo-0002").expect("create");
+        let doc = Json::object(vec![("x", Json::from(7u64))]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let dir = dir.clone();
+                let doc = doc.clone();
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        dir.write("aaaa", &doc).expect("write");
+                    }
+                });
+            }
+        });
+        assert_eq!(dir.completed("aaaa"), Some(doc));
+        let names: Vec<String> = fs::read_dir(dir.path())
+            .expect("read dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["aaaa.json"], "exactly one file, no strays");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn manifest_round_trip() {
         let root = scratch("manifest");
         let dir = SweepDir::create(&root, "demo-0001").expect("create");
         dir.write_manifest(
-            "demo",
-            "demo-0001",
+            &ManifestInfo {
+                sweep_name: "demo",
+                sweep_id: "demo-0001",
+                bench_iterations: Some(4),
+                bench_warmup: None,
+            },
             &[
-                ("aa".to_string(), "gcc/origin".to_string(), "ok"),
-                ("bb".to_string(), "gcc/baseline".to_string(), "failed"),
+                JobStatus {
+                    hash: "aa".to_string(),
+                    label: "gcc/origin".to_string(),
+                    status: "ok",
+                    source: JobSource::Store,
+                },
+                JobStatus {
+                    hash: "bb".to_string(),
+                    label: "gcc/baseline".to_string(),
+                    status: "failed",
+                    source: JobSource::Simulated,
+                },
             ],
         )
         .expect("write manifest");
         let m = dir.manifest().expect("manifest parses");
         assert_eq!(m.get("sweep").and_then(Json::as_str), Some("demo"));
         assert_eq!(m.get("total").and_then(Json::as_u64), Some(2));
+        assert_eq!(m.get("bench_iterations").and_then(Json::as_u64), Some(4));
+        assert_eq!(m.get("bench_warmup"), None);
         let jobs = m.get("jobs").and_then(Json::as_array).expect("jobs");
+        assert_eq!(jobs[0].get("source").and_then(Json::as_str), Some("store"));
         assert_eq!(jobs[1].get("status").and_then(Json::as_str), Some("failed"));
         fs::remove_dir_all(&root).ok();
     }

@@ -1,37 +1,75 @@
-//! Content hashing for job identity and sweep identity.
+//! Content hashing for job identity, sweep identity, and persistent
+//! store keys.
 //!
 //! Jobs are identified by an FNV-1a hash of their canonical key string;
 //! the hash names the artifact file (`<hash>.json`), so resumed runs can
-//! recognize already-completed work purely from the filesystem. FNV-1a
-//! is not cryptographic — collisions would silently merge two jobs — but
-//! over the ~10² short, highly-structured keys of a sweep the 64-bit
-//! space makes that a non-concern.
+//! recognize already-completed work purely from the filesystem. The
+//! *store key* used by the persistent result store extends that job
+//! content hash with two extra inputs:
+//!
+//! * the store **schema version** ([`STORE_SCHEMA_VERSION`]), so a
+//!   layout change orphans old entries instead of misreading them, and
+//! * a **code-generation fingerprint** ([`code_fingerprint`]) derived
+//!   from the workspace version and a manually bumped
+//!   [`RESULT_GENERATION`] counter. A change that alters simulation
+//!   *results* without touching any job key (a timing-model fix, a new
+//!   report field) must bump `RESULT_GENERATION`; every store key then
+//!   changes and entries written by older binaries read as misses
+//!   instead of silently serving stale results.
+//!
+//! FNV-1a is not cryptographic — collisions would silently merge two
+//! jobs — but over the ~10² short, highly-structured keys of a sweep the
+//! 64-bit space makes that a non-concern.
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+pub use condspec_stats::{fnv1a64, hex16};
 
-/// 64-bit FNV-1a over `bytes`.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
+/// Version of the persistent store's on-disk envelope layout this
+/// binary writes and reads (mixed into every store key).
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// Manually bumped result-semantics generation: increment whenever a
+/// change alters artifact *contents* for an unchanged job key, so
+/// hash-stable but semantics-changing code bumps invalidate the
+/// persistent store cleanly.
+pub const RESULT_GENERATION: u32 = 1;
+
+/// The code-generation fingerprint mixed into every store key:
+/// workspace version x store schema x result generation.
+pub fn code_fingerprint() -> u64 {
+    fnv1a64(
+        format!(
+            "condspec;version={};store-schema={STORE_SCHEMA_VERSION};result-gen={RESULT_GENERATION}",
+            env!("CARGO_PKG_VERSION")
+        )
+        .as_bytes(),
+    )
 }
 
-/// A hash rendered as a fixed-width, filesystem-safe hex string.
-pub fn hex16(hash: u64) -> String {
-    format!("{hash:016x}")
+/// The persistent-store key for a job canonical key under an explicit
+/// fingerprint. Exposed separately from [`store_key`] so tests (and
+/// hypothetical migration tools) can address entries written by a
+/// different code generation.
+pub fn store_key_with(canonical_key: &str, fingerprint: u64) -> String {
+    hex16(fnv1a64(
+        format!("{canonical_key};fingerprint={}", hex16(fingerprint)).as_bytes(),
+    ))
+}
+
+/// The persistent-store key for a job canonical key under *this*
+/// binary's code generation.
+pub fn store_key(canonical_key: &str) -> String {
+    store_key_with(canonical_key, code_fingerprint())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use condspec_stats::Json;
+    use condspec_store::ResultStore;
 
     #[test]
     fn known_vectors() {
-        // Standard FNV-1a test vectors.
+        // Standard FNV-1a test vectors (via the re-export).
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
@@ -42,5 +80,37 @@ mod tests {
         assert_eq!(hex16(0), "0000000000000000");
         assert_eq!(hex16(u64::MAX), "ffffffffffffffff");
         assert_eq!(hex16(0xdead_beef), "00000000deadbeef");
+    }
+
+    #[test]
+    fn store_keys_differ_from_job_hashes_and_track_the_fingerprint() {
+        let key = "kind=bench;benchmark=gcc";
+        assert_ne!(store_key(key), hex16(fnv1a64(key.as_bytes())));
+        assert_eq!(store_key(key), store_key_with(key, code_fingerprint()));
+        assert_ne!(store_key_with(key, 1), store_key_with(key, 2));
+    }
+
+    #[test]
+    fn flipping_the_fingerprint_misses_the_cache() {
+        // The invalidation property the fingerprint exists for: an entry
+        // inserted by one code generation must not be served to another.
+        let root =
+            std::env::temp_dir().join(format!("condspec-hash-fingerprint-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let store = ResultStore::open(&root);
+        let canonical = "kind=bench;benchmark=gcc;iters=40";
+        let artifact = Json::object(vec![("cycles", Json::from(1234u64))]);
+
+        let old_generation = code_fingerprint() ^ 1;
+        let old_key = store_key_with(canonical, old_generation);
+        store
+            .insert(&old_key, "job", "gcc/origin", old_generation, &artifact)
+            .expect("insert under the old generation");
+
+        // Same canonical key, current fingerprint: a clean miss.
+        assert_eq!(store.load(&store_key(canonical)), None);
+        // The old generation can still address its own entry.
+        assert_eq!(store.load(&old_key), Some(artifact));
+        std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -211,6 +211,15 @@ impl JobSpec {
         hex16(fnv1a64(self.canonical_key().as_bytes()))
     }
 
+    /// The job's persistent-store key: the content hash extended with
+    /// the store schema version and code-generation fingerprint (see
+    /// [`crate::hash::store_key`]). Distinct from [`JobSpec::hash_hex`]
+    /// so run-directory artifact names stay stable across versions
+    /// while store entries invalidate with the code that wrote them.
+    pub fn store_key(&self) -> String {
+        crate::hash::store_key(&self.canonical_key())
+    }
+
     /// A short human label for progress lines.
     pub fn label(&self) -> String {
         let what = match &self.workload {

@@ -9,11 +9,21 @@
 //! `target/condspec-runs/<sweep-id>/` so an interrupted sweep resumes
 //! where it stopped.
 //!
+//! On top of the per-run artifact directory sits the *persistent result
+//! store* (`condspec-store`): a content-addressed cache shared across
+//! runs, sweeps, and processes. When [`SweepOptions::store`] is set,
+//! workers consult the store before simulating and insert every fresh
+//! success, so re-running a sweep against a warm store simulates zero
+//! jobs — and still writes the full artifact directory, byte-identical
+//! to a cold run. The two cache layers are independently observable:
+//! the in-memory program cache reports `program-cache: ...` and the
+//! persistent store `result-store: ...` at the end of a run.
+//!
 //! Determinism is the design center: artifacts contain only simulation
 //! results (never wall-clock data), workers communicate results by job
 //! index, and sweep ids derive from job content — so a sweep's on-disk
 //! output is byte-identical whether it ran on one worker or sixteen,
-//! fresh or resumed.
+//! fresh or resumed, simulated or served from the store.
 //!
 //! ```no_run
 //! use condspec_engine::{run_sweep, Sweep, SweepOptions};
@@ -31,11 +41,13 @@ pub mod scheduler;
 pub mod sweep;
 pub mod telemetry;
 
-pub use artifact::{SweepDir, DEFAULT_ROOT};
+pub use artifact::{JobSource, JobStatus, ManifestInfo, SweepDir, DEFAULT_ROOT};
 pub use cache::{ProgramCache, WorkerContext};
+pub use condspec_store::ResultStore;
 pub use job::{JobSpec, MachinePreset, Workload};
 pub use scheduler::{
-    default_workers, run_jobs, run_jobs_cached, run_jobs_timed, JobResult, JobTiming,
+    default_workers, run_jobs, run_jobs_cached, run_jobs_stored, run_jobs_timed, JobResult,
+    JobTiming,
 };
 pub use sweep::{Sweep, SweepResults};
 pub use telemetry::SweepTelemetry;
@@ -55,6 +67,15 @@ pub struct SweepOptions {
     pub resume: bool,
     /// Artifact root directory (default [`DEFAULT_ROOT`]).
     pub root: PathBuf,
+    /// Persistent result-store root; `None` disables the store.
+    pub store: Option<PathBuf>,
+    /// Override the measured-run iteration count of every benchmark
+    /// job (`--iters`). Changes job hashes and the sweep id: a scaled
+    /// sweep is a different computation.
+    pub bench_iterations: Option<u64>,
+    /// Override the warm-up iteration count of every benchmark job
+    /// (`--warmup`).
+    pub bench_warmup: Option<u64>,
     /// Suppress stderr progress lines.
     pub quiet: bool,
     /// Render progress as a single live status line (overwritten in
@@ -72,11 +93,30 @@ impl Default for SweepOptions {
             workers: 0,
             resume: false,
             root: PathBuf::from(DEFAULT_ROOT),
+            store: None,
+            bench_iterations: None,
+            bench_warmup: None,
             quiet: false,
             progress: false,
             telemetry: false,
         }
     }
+}
+
+/// A live snapshot of a running sweep, handed to the
+/// [`run_sweep_observed`] observer after every job completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Jobs accounted for so far (including `--resume` skips).
+    pub done: usize,
+    /// Total jobs in the sweep.
+    pub total: usize,
+    /// Jobs actually simulated so far this run.
+    pub simulated: usize,
+    /// Jobs served from the persistent result store so far.
+    pub store_hits: usize,
+    /// Jobs failed so far.
+    pub failed: usize,
 }
 
 /// What a sweep run did.
@@ -86,14 +126,18 @@ pub struct SweepOutcome {
     pub dir: PathBuf,
     /// The content-derived sweep id.
     pub sweep_id: String,
-    /// Jobs actually simulated this run.
+    /// Jobs the worker pool actually ran this run — successful
+    /// simulations plus failed attempts; store hits and resume skips
+    /// excluded.
     pub executed: usize,
+    /// Jobs served from the persistent result store.
+    pub store_hits: usize,
     /// Jobs skipped because their artifact already existed.
     pub skipped: usize,
     /// Failed jobs as `(hash, label, error)`.
     pub failed: Vec<(String, String, String)>,
-    /// Every available artifact (freshly computed and resumed), keyed
-    /// by job hash.
+    /// Every available artifact (freshly computed, store-served, and
+    /// resumed), keyed by job hash.
     pub results: SweepResults,
 }
 
@@ -106,12 +150,14 @@ fn eta(done: usize, total: usize, started: Instant) -> String {
     format!("{:02}:{:02}", remaining / 60, remaining % 60)
 }
 
-/// Runs every job of `sweep` (honoring `--resume`), writes artifacts
-/// and the manifest, and returns the collected results.
+/// Runs every job of `sweep` (honoring `--resume` and the persistent
+/// store), writes artifacts and the manifest, and returns the collected
+/// results.
 ///
 /// Progress and ETA go to stderr only; nothing timing-dependent reaches
 /// the artifacts, so two runs of the same sweep produce byte-identical
-/// directories regardless of `opts.workers`.
+/// job artifacts regardless of `opts.workers` or store warmth (the
+/// manifest's per-job `source` field is the one run-dependent record).
 ///
 /// # Errors
 ///
@@ -119,6 +165,23 @@ fn eta(done: usize, total: usize, started: Instant) -> String {
 /// artifact or the manifest. Job panics are *not* errors: they mark the
 /// job failed and the sweep continues.
 pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome> {
+    run_sweep_observed(sweep, opts, |_| {})
+}
+
+/// [`run_sweep`] plus a progress observer: `observer` receives a
+/// [`SweepProgress`] snapshot after every job completion (on the
+/// calling thread, in completion order). The serve daemon streams these
+/// snapshots to HTTP clients; the CLI ignores them.
+pub fn run_sweep_observed(
+    sweep: &Sweep,
+    opts: &SweepOptions,
+    mut observer: impl FnMut(&SweepProgress),
+) -> io::Result<SweepOutcome> {
+    // Apply iteration scaling up front: everything downstream (hashes,
+    // sweep id, store keys, the manifest) sees the scaled sweep.
+    let sweep = sweep
+        .clone()
+        .scaled(opts.bench_iterations, opts.bench_warmup);
     let sweep_id = sweep.sweep_id();
     let dir = SweepDir::create(&opts.root, &sweep_id)?;
     let workers = if opts.workers == 0 {
@@ -126,9 +189,11 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome>
     } else {
         opts.workers
     };
+    let store = opts.store.as_deref().map(ResultStore::open);
 
     // Partition into resumable (artifact exists and parses) and pending.
     let mut results = SweepResults::new();
+    let mut sources: Vec<JobSource> = vec![JobSource::Resumed; sweep.jobs.len()];
     let mut pending: Vec<(usize, JobSpec)> = Vec::new();
     for (index, job) in sweep.jobs.iter().enumerate() {
         match opts
@@ -154,48 +219,80 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome>
     let specs: Vec<JobSpec> = pending.iter().map(|(_, j)| j.clone()).collect();
     let started = Instant::now();
     let total = specs.len();
-    let mut done = 0usize;
+    let mut progress = SweepProgress {
+        done: skipped,
+        total: sweep.jobs.len(),
+        simulated: 0,
+        store_hits: 0,
+        failed: 0,
+    };
     let mut write_error: Option<io::Error> = None;
     let mut telemetry = opts.telemetry.then(|| SweepTelemetry::new(workers));
     let programs = std::sync::Arc::new(ProgramCache::new());
-    let job_results = run_jobs_cached(&specs, workers, &programs, |slot, outcome, timing| {
-        done += 1;
-        let job = &specs[slot];
-        if let Ok(doc) = outcome {
-            if let Err(e) = dir.write(&job.hash_hex(), doc) {
-                write_error.get_or_insert(e);
+    let job_results = run_jobs_stored(
+        &specs,
+        workers,
+        &programs,
+        store.as_ref(),
+        |slot, outcome, timing, source| {
+            progress.done += 1;
+            match (outcome.is_ok(), source) {
+                (true, JobSource::Store) => progress.store_hits += 1,
+                (true, _) => progress.simulated += 1,
+                (false, _) => progress.failed += 1,
             }
-        }
-        if let Some(t) = telemetry.as_mut() {
-            t.record(job.hash_hex(), job.label(), outcome.is_ok(), *timing);
-        }
-        if !opts.quiet {
-            let state = if outcome.is_ok() { "done" } else { "FAILED" };
-            if opts.progress {
-                // One status line, overwritten in place; padded so a
-                // shorter label does not leave residue.
-                eprint!(
-                    "\r[{done}/{total} eta {}] {state} {:<40}",
-                    eta(done, total, started),
-                    job.label()
-                );
-            } else {
-                eprintln!(
-                    "[{done}/{total} eta {}] {state} {}",
-                    eta(done, total, started),
-                    job.label()
-                );
+            let job = &specs[slot];
+            if let Ok(doc) = outcome {
+                if let Err(e) = dir.write(&job.hash_hex(), doc) {
+                    write_error.get_or_insert(e);
+                }
             }
-            let _ = io::stderr().flush();
-        }
-    });
+            if let Some(t) = telemetry.as_mut() {
+                t.record(job.hash_hex(), job.label(), outcome.is_ok(), *timing);
+            }
+            if !opts.quiet {
+                // `store` marks a persistent-store hit; `done` a fresh
+                // simulation. (In-memory program-cache hits are not
+                // per-job events; they show in the end-of-run summary.)
+                let state = match (outcome.is_ok(), source) {
+                    (true, JobSource::Store) => "store",
+                    (true, _) => "done",
+                    (false, _) => "FAILED",
+                };
+                let done = progress.done - skipped;
+                if opts.progress {
+                    // One status line, overwritten in place; padded so a
+                    // shorter label does not leave residue.
+                    eprint!(
+                        "\r[{done}/{total} eta {}] {state} {:<40}",
+                        eta(done, total, started),
+                        job.label()
+                    );
+                } else {
+                    eprintln!(
+                        "[{done}/{total} eta {}] {state} {}",
+                        eta(done, total, started),
+                        job.label()
+                    );
+                }
+                let _ = io::stderr().flush();
+            }
+            observer(&progress);
+        },
+    );
     if !opts.quiet && opts.progress && total > 0 {
         eprintln!();
     }
     if !opts.quiet && total > 0 {
-        // e.g. `program-cache: 44 builds, 176 hits` — a fig5 sweep
-        // builds each distinct (benchmark, iterations) program once.
+        // Two independent cache layers, two summary lines:
+        // `program-cache` is in-memory and per-run (a fig5 sweep builds
+        // each distinct (benchmark, iterations) program once);
+        // `result-store` is persistent and cross-run (a warm store
+        // serves whole job results without simulating).
         eprintln!("{}", programs.summary());
+        if let Some(s) = &store {
+            eprintln!("{}", s.summary());
+        }
     }
     if let Some(e) = write_error {
         return Err(e);
@@ -210,7 +307,8 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome>
 
     // Fold fresh results in and derive per-job statuses in sweep order.
     let mut failed = Vec::new();
-    for ((_, job), (outcome, _)) in pending.iter().zip(job_results) {
+    for ((index, job), (outcome, _, source)) in pending.iter().zip(job_results) {
+        sources[*index] = source;
         match outcome {
             Ok(doc) => {
                 results.insert(job.hash_hex(), doc);
@@ -218,45 +316,61 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> io::Result<SweepOutcome>
             Err(message) => failed.push((job.hash_hex(), job.label(), message)),
         }
     }
-    let statuses: Vec<(String, String, &'static str)> = sweep
+    let statuses: Vec<JobStatus> = sweep
         .jobs
         .iter()
-        .map(|job| {
+        .zip(&sources)
+        .map(|(job, source)| {
             let hash = job.hash_hex();
             let status = if results.contains_key(&hash) {
                 "ok"
             } else {
                 "failed"
             };
-            (hash, job.label(), status)
+            JobStatus {
+                hash,
+                label: job.label(),
+                status,
+                source: *source,
+            }
         })
         .collect();
-    dir.write_manifest(sweep.name, &sweep_id, &statuses)?;
+    dir.write_manifest(
+        &ManifestInfo {
+            sweep_name: sweep.name,
+            sweep_id: &sweep_id,
+            bench_iterations: opts.bench_iterations,
+            bench_warmup: opts.bench_warmup,
+        },
+        &statuses,
+    )?;
 
     Ok(SweepOutcome {
         dir: dir.path().to_path_buf(),
         sweep_id,
-        executed: total,
+        executed: progress.simulated + progress.failed,
+        store_hits: progress.store_hits,
         skipped,
         failed,
         results,
     })
 }
 
-/// A sweep directory reloaded from disk — everything `condspec report`
-/// needs to re-render a finished (or partial) sweep without re-running
-/// any simulation.
+/// A sweep reloaded from disk — everything `condspec report` needs to
+/// re-render a finished (or partial) sweep without re-running any
+/// simulation.
 #[derive(Debug)]
 pub struct SweepReport {
-    /// The sweep definition the manifest names.
+    /// The sweep definition the manifest names (iteration-scaled when
+    /// the manifest records overrides).
     pub sweep: Sweep,
     /// The content-derived sweep id.
     pub sweep_id: String,
-    /// Artifacts found on disk, keyed by job hash.
+    /// Artifacts found (on disk or in the store), keyed by job hash.
     pub results: SweepResults,
     /// Jobs the manifest lists as failed, as `(hash, label)`.
     pub failed: Vec<(String, String)>,
-    /// Jobs with no artifact on disk (not yet run), as `(hash, label)`.
+    /// Jobs with no artifact anywhere (not yet run), as `(hash, label)`.
     pub missing: Vec<(String, String)>,
     /// The `telemetry.json` sidecar, when the sweep ran with
     /// [`SweepOptions::telemetry`].
@@ -271,9 +385,29 @@ pub struct SweepReport {
 /// is missing/malformed, or when the manifest names a sweep this binary
 /// does not know.
 pub fn load_sweep_report(root: &Path, sweep_id: &str) -> Result<SweepReport, String> {
+    load_sweep_report_with_store(root, sweep_id, None)
+}
+
+/// [`load_sweep_report`] with the persistent result store as a second
+/// artifact source: any job missing from the run directory is looked up
+/// in `store` by [`JobSpec::store_key`]. When the run directory itself
+/// is gone (or never existed), the sweep is reconstructed from the id's
+/// `<name>-<hash>` form and resolved entirely through the store — so
+/// `condspec report` works from a warm store alone. (Store-only
+/// reconstruction covers unscaled sweeps; a scaled sweep's iteration
+/// overrides live only in its manifest.)
+pub fn load_sweep_report_with_store(
+    root: &Path,
+    sweep_id: &str,
+    store: Option<&ResultStore>,
+) -> Result<SweepReport, String> {
     let dir = root.join(sweep_id);
     if !dir.is_dir() {
-        return Err(format!("no sweep directory at {}", dir.display()));
+        return match store {
+            Some(store) => load_report_from_store(sweep_id, store)
+                .map_err(|e| format!("no sweep directory at {} and {e}", dir.display())),
+            None => Err(format!("no sweep directory at {}", dir.display())),
+        };
     }
     let sweep_dir = SweepDir::create(root, sweep_id).map_err(|e| e.to_string())?;
     let manifest = sweep_dir
@@ -283,15 +417,22 @@ pub fn load_sweep_report(root: &Path, sweep_id: &str) -> Result<SweepReport, Str
         .get("sweep")
         .and_then(Json::as_str)
         .ok_or("manifest has no sweep name")?;
-    let sweep =
-        Sweep::by_name(name).ok_or_else(|| format!("manifest names unknown sweep `{name}`"))?;
+    let sweep = Sweep::by_name(name)
+        .ok_or_else(|| format!("manifest names unknown sweep `{name}`"))?
+        .scaled(
+            manifest.get("bench_iterations").and_then(Json::as_u64),
+            manifest.get("bench_warmup").and_then(Json::as_u64),
+        );
 
     let mut results = SweepResults::new();
     let mut failed = Vec::new();
     let mut missing = Vec::new();
     for job in &sweep.jobs {
         let hash = job.hash_hex();
-        match sweep_dir.completed(&hash) {
+        let found = sweep_dir
+            .completed(&hash)
+            .or_else(|| store.and_then(|s| s.load(&job.store_key())));
+        match found {
             Some(doc) => {
                 results.insert(hash, doc);
             }
@@ -321,5 +462,42 @@ pub fn load_sweep_report(root: &Path, sweep_id: &str) -> Result<SweepReport, Str
         failed,
         missing,
         telemetry,
+    })
+}
+
+/// Reconstructs a sweep report from the store alone: derive the sweep
+/// name from the id, rebuild the job list, and resolve every job by
+/// store key.
+fn load_report_from_store(sweep_id: &str, store: &ResultStore) -> Result<SweepReport, String> {
+    let (name, _) = sweep_id
+        .rsplit_once('-')
+        .ok_or_else(|| format!("`{sweep_id}` is not a <name>-<hash> sweep id"))?;
+    let sweep =
+        Sweep::by_name(name).ok_or_else(|| format!("`{sweep_id}` names unknown sweep `{name}`"))?;
+    if sweep.sweep_id() != sweep_id {
+        return Err(format!(
+            "`{sweep_id}` does not match this binary's `{name}` sweep ({}); \
+             the store cannot reconstruct scaled or older-generation sweeps \
+             without their manifest",
+            sweep.sweep_id()
+        ));
+    }
+    let mut results = SweepResults::new();
+    let mut missing = Vec::new();
+    for job in &sweep.jobs {
+        match store.load(&job.store_key()) {
+            Some(doc) => {
+                results.insert(job.hash_hex(), doc);
+            }
+            None => missing.push((job.hash_hex(), job.label())),
+        }
+    }
+    Ok(SweepReport {
+        sweep,
+        sweep_id: sweep_id.to_string(),
+        results,
+        failed: Vec::new(),
+        missing,
+        telemetry: None,
     })
 }

@@ -9,10 +9,21 @@
 //! everything derived from it — is independent of how many workers ran
 //! or how the OS interleaved them. Only scheduling varies with
 //! `workers`; results never do.
+//!
+//! When a persistent [`ResultStore`] is supplied
+//! ([`run_jobs_stored`]), each worker consults it before simulating:
+//! a valid entry under the job's store key is returned as-is (tagged
+//! [`JobSource::Store`]), and every freshly simulated success is
+//! inserted back — best-effort, since a read-only or full store must
+//! never fail a sweep. Store entries hold exactly the artifact the job
+//! would have produced, so a store hit is byte-identical to a
+//! simulation.
 
+use crate::artifact::JobSource;
 use crate::cache::{ProgramCache, WorkerContext};
 use crate::job::JobSpec;
 use condspec_stats::Json;
+use condspec_store::ResultStore;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -103,12 +114,41 @@ pub fn run_jobs_cached(
     programs: &Arc<ProgramCache>,
     mut on_done: impl FnMut(usize, &JobResult, &JobTiming),
 ) -> Vec<(JobResult, JobTiming)> {
+    run_jobs_stored(
+        jobs,
+        workers,
+        programs,
+        None,
+        |index, outcome, timing, _| on_done(index, outcome, timing),
+    )
+    .into_iter()
+    .map(|(outcome, timing, _)| (outcome, timing))
+    .collect()
+}
+
+/// [`run_jobs_cached`] plus the persistent result store: when `store`
+/// is given, each worker looks the job up by [`JobSpec::store_key`]
+/// before simulating and inserts every fresh success afterwards.
+/// `on_done` (and each returned triple) additionally carries the
+/// [`JobSource`] — [`JobSource::Store`] for a store hit,
+/// [`JobSource::Simulated`] otherwise (including failures, which are
+/// never stored). Store I/O errors on insert are swallowed: the
+/// simulation already succeeded, and a read-only store must not fail
+/// the sweep.
+pub fn run_jobs_stored(
+    jobs: &[JobSpec],
+    workers: usize,
+    programs: &Arc<ProgramCache>,
+    store: Option<&ResultStore>,
+    mut on_done: impl FnMut(usize, &JobResult, &JobTiming, JobSource),
+) -> Vec<(JobResult, JobTiming, JobSource)> {
     let workers = workers.max(1).min(jobs.len().max(1));
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, JobResult, JobTiming)>();
+    let (tx, rx) = mpsc::channel::<(usize, JobResult, JobTiming, JobSource)>();
     let started = Instant::now();
 
-    let mut results: Vec<Option<(JobResult, JobTiming)>> = (0..jobs.len()).map(|_| None).collect();
+    let mut results: Vec<Option<(JobResult, JobTiming, JobSource)>> =
+        (0..jobs.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         for worker in 0..workers {
             let tx = tx.clone();
@@ -119,27 +159,51 @@ pub fn run_jobs_cached(
                 let Some(spec) = jobs.get(index) else { break };
                 let queue_wait_ms = started.elapsed().as_millis() as u64;
                 let job_started = Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(|| spec.execute_with(&mut ctx)))
-                    .map_err(panic_message);
-                if outcome.is_err() {
-                    // The simulator may have unwound mid-cycle; never
-                    // reuse it for the next job.
-                    ctx.discard_simulator();
-                }
+                let stored = store.and_then(|s| s.load(&spec.store_key()));
+                let (outcome, source) = match stored {
+                    Some(doc) => (Ok(doc), JobSource::Store),
+                    None => {
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| spec.execute_with(&mut ctx)))
+                                .map_err(panic_message);
+                        match (&outcome, store) {
+                            (Ok(doc), Some(s)) => {
+                                // Best-effort: a store that cannot be
+                                // written to (read-only, disk full)
+                                // must not fail the job it just ran.
+                                let _ = s.insert(
+                                    &spec.store_key(),
+                                    &spec.hash_hex(),
+                                    &spec.label(),
+                                    crate::hash::code_fingerprint(),
+                                    doc,
+                                );
+                            }
+                            (Err(_), _) => {
+                                // The simulator may have unwound
+                                // mid-cycle; never reuse it for the
+                                // next job.
+                                ctx.discard_simulator();
+                            }
+                            _ => {}
+                        }
+                        (outcome, JobSource::Simulated)
+                    }
+                };
                 let timing = JobTiming {
                     worker,
                     queue_wait_ms,
                     wall_ms: job_started.elapsed().as_millis() as u64,
                 };
-                if tx.send((index, outcome, timing)).is_err() {
+                if tx.send((index, outcome, timing, source)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        for (index, outcome, timing) in rx {
-            on_done(index, &outcome, &timing);
-            results[index] = Some((outcome, timing));
+        for (index, outcome, timing, source) in rx {
+            on_done(index, &outcome, &timing, source);
+            results[index] = Some((outcome, timing, source));
         }
     });
     results
@@ -243,6 +307,38 @@ mod tests {
             results[2].as_ref().expect("job after panic halts").render(),
             expected
         );
+    }
+
+    #[test]
+    fn warm_store_serves_identical_results_and_skips_failures() {
+        let root =
+            std::env::temp_dir().join(format!("condspec-scheduler-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let store = ResultStore::open(&root);
+        let mut bad = tiny_job("gcc");
+        bad.budget = 10; // panics; must not be inserted into the store
+        let jobs = vec![tiny_job("gcc"), bad, tiny_job("mcf")];
+
+        let programs = Arc::new(ProgramCache::new());
+        let cold = run_jobs_stored(&jobs, 2, &programs, Some(&store), |_, _, _, source| {
+            assert_eq!(source, JobSource::Simulated, "cold store simulates");
+        });
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.inserts(), 2, "only successes are stored");
+
+        let warm = run_jobs_stored(&jobs, 2, &programs, Some(&store), |_, _, _, _| {});
+        assert_eq!(store.hits(), 2, "both successes hit on the second run");
+        assert_eq!(warm[0].2, JobSource::Store);
+        assert_eq!(warm[1].2, JobSource::Simulated, "the failure re-runs");
+        assert_eq!(warm[2].2, JobSource::Store);
+        for ((cold_result, _, _), (warm_result, _, _)) in cold.iter().zip(&warm) {
+            assert_eq!(
+                cold_result.as_ref().map(Json::render).ok(),
+                warm_result.as_ref().map(Json::render).ok(),
+                "a store hit is byte-identical to the simulation"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -64,6 +64,30 @@ impl Sweep {
         format!("{}-{}", self.name, hex16(fnv1a64(all.as_bytes())))
     }
 
+    /// Rescales every benchmark job to the given measured/warm-up
+    /// iteration counts (`None` keeps the sweep's own value). Attack
+    /// and variant jobs are untouched. Scaling changes job hashes and
+    /// therefore the sweep id — a scaled sweep is honestly a different
+    /// computation, with its own artifacts and store entries.
+    pub fn scaled(mut self, iterations: Option<u64>, warmup: Option<u64>) -> Sweep {
+        for job in &mut self.jobs {
+            if let Workload::Bench {
+                iterations: i,
+                warmup: w,
+                ..
+            } = &mut job.workload
+            {
+                if let Some(iterations) = iterations {
+                    *i = iterations;
+                }
+                if let Some(warmup) = warmup {
+                    *w = warmup;
+                }
+            }
+        }
+        self
+    }
+
     /// Renders the sweep's table from its artifacts.
     pub fn render(&self, results: &SweepResults) -> String {
         let table = match self.name {
@@ -635,5 +659,27 @@ mod tests {
     #[test]
     fn unknown_sweep_is_rejected() {
         assert!(Sweep::by_name("fig9").is_none());
+    }
+
+    #[test]
+    fn scaling_rewrites_bench_iterations_and_the_sweep_id() {
+        let base = icache();
+        let scaled = icache().scaled(Some(2), Some(1));
+        assert_ne!(base.sweep_id(), scaled.sweep_id(), "a scaled sweep is new");
+        for job in &scaled.jobs {
+            if let Workload::Bench {
+                iterations, warmup, ..
+            } = &job.workload
+            {
+                assert_eq!((*iterations, *warmup), (2, 1));
+            }
+        }
+        // Attack jobs are untouched, so table4 keeps its id.
+        assert_eq!(
+            table4().sweep_id(),
+            table4().scaled(Some(2), Some(1)).sweep_id()
+        );
+        // `None` keeps the sweep's own counts.
+        assert_eq!(base.sweep_id(), icache().scaled(None, None).sweep_id());
     }
 }

@@ -1,10 +1,14 @@
-//! Integration tests for the sweep engine's three core guarantees:
+//! Integration tests for the sweep engine's core guarantees:
 //! worker-count-independent byte-identical artifacts, resume that skips
-//! completed work, and panic isolation that fails one job without
-//! aborting the sweep.
+//! completed work, panic isolation that fails one job without aborting
+//! the sweep, and a persistent result store whose warm runs simulate
+//! nothing yet reproduce every artifact byte for byte.
 
 use condspec::DefenseConfig;
-use condspec_engine::{run_sweep, JobSpec, Sweep, SweepOptions, Workload};
+use condspec_engine::{
+    load_sweep_report_with_store, run_sweep, run_sweep_observed, JobSpec, ResultStore, Sweep,
+    SweepOptions, Workload,
+};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -48,11 +52,9 @@ fn mini_sweep() -> Sweep {
 fn options(root: &Path, workers: usize) -> SweepOptions {
     SweepOptions {
         workers,
-        resume: false,
         root: root.to_path_buf(),
         quiet: true,
-        progress: false,
-        telemetry: false,
+        ..SweepOptions::default()
     }
 }
 
@@ -151,5 +153,119 @@ fn a_panicking_job_fails_alone_and_reruns_on_resume() {
     let retried = run_sweep(&sweep, &resume).expect("resume");
     assert_eq!(retried.executed, 1, "only the failed job re-runs");
     assert_eq!(retried.skipped, sweep.jobs.len() - 1);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn a_warm_store_re_simulates_nothing_and_reproduces_every_artifact() {
+    let sweep = mini_sweep();
+    let cold_root = scratch("store-cold");
+    let warm_root = scratch("store-warm");
+    let store_root = scratch("store-db");
+    let with_store = |root: &Path| SweepOptions {
+        store: Some(store_root.clone()),
+        ..options(root, 2)
+    };
+
+    let cold = run_sweep(&sweep, &with_store(&cold_root)).expect("cold run");
+    assert_eq!(cold.executed, sweep.jobs.len());
+    assert_eq!(cold.store_hits, 0);
+
+    // Fresh run directory, warm store: zero simulations, and the
+    // observer sees store hits accumulate to the full sweep.
+    let mut last_progress = None;
+    let warm = run_sweep_observed(&sweep, &with_store(&warm_root), |p| {
+        last_progress = Some(*p);
+    })
+    .expect("warm run");
+    assert_eq!(warm.executed, 0, "warm store re-simulates nothing");
+    assert_eq!(warm.store_hits, sweep.jobs.len());
+    let progress = last_progress.expect("observer fired");
+    assert_eq!(progress.store_hits, sweep.jobs.len());
+    assert_eq!(progress.simulated, 0);
+
+    // Job artifacts are byte-identical between the cold and warm runs;
+    // only the manifest's `source` column differs.
+    let mut cold_files = dir_bytes(&cold.dir);
+    let mut warm_files = dir_bytes(&warm.dir);
+    assert!(cold_files.remove("manifest.json").is_some());
+    assert!(warm_files.remove("manifest.json").is_some());
+    assert_eq!(warm_files, cold_files, "store hits change no artifact");
+
+    // Satellite: the report resolves through the store even after the
+    // run directories are gone.
+    fs::remove_dir_all(&cold_root).ok();
+    fs::remove_dir_all(&warm_root).ok();
+    let store = ResultStore::open(&store_root);
+    let report = load_sweep_report_with_store(&cold_root, &cold.sweep_id, Some(&store));
+    // mini_sweep is a hand-shrunk fig5, so its id does not match the
+    // real fig5 — store-only reconstruction must refuse it honestly.
+    assert!(report.is_err(), "mismatched id is rejected, not misread");
+    fs::remove_dir_all(&store_root).ok();
+}
+
+#[test]
+fn report_falls_back_to_the_store_for_deleted_artifacts() {
+    // A real named sweep (scaled down), so `load_sweep_report` rebuilds
+    // the same job list from the manifest.
+    let sweep = Sweep::by_name("icache").expect("known sweep");
+    let root = scratch("store-fallback");
+    let store_root = scratch("store-fallback-db");
+    let opts = SweepOptions {
+        store: Some(store_root.clone()),
+        bench_iterations: Some(2),
+        bench_warmup: Some(1),
+        ..options(&root, 2)
+    };
+    let outcome = run_sweep(&sweep, &opts).expect("run");
+
+    // Delete one job artifact; the manifest stays.
+    let victim = sweep.clone().scaled(Some(2), Some(1)).jobs[0].hash_hex();
+    fs::remove_file(outcome.dir.join(format!("{victim}.json"))).expect("delete artifact");
+
+    let without = condspec_engine::load_sweep_report(&root, &outcome.sweep_id).expect("report");
+    assert_eq!(without.missing.len(), 1, "dir-only report misses the job");
+
+    let store = ResultStore::open(&store_root);
+    let with = load_sweep_report_with_store(&root, &outcome.sweep_id, Some(&store))
+        .expect("store-backed report");
+    assert!(with.missing.is_empty(), "the store fills the hole");
+    assert_eq!(with.results.len(), sweep.jobs.len());
+    assert_eq!(
+        with.results.get(&victim),
+        outcome.results.get(&victim),
+        "store-resolved artifact matches the original"
+    );
+    fs::remove_dir_all(&root).ok();
+    fs::remove_dir_all(&store_root).ok();
+}
+
+#[test]
+fn scaled_sweeps_round_trip_through_manifest_and_report() {
+    let root = scratch("scaled");
+    let sweep = Sweep::by_name("icache").expect("known sweep");
+    let opts = SweepOptions {
+        bench_iterations: Some(2),
+        bench_warmup: Some(1),
+        workers: 2,
+        root: root.clone(),
+        quiet: true,
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(&sweep, &opts).expect("scaled run");
+    assert_eq!(
+        outcome.sweep_id,
+        sweep.clone().scaled(Some(2), Some(1)).sweep_id(),
+        "the outcome id is the scaled sweep's id"
+    );
+    assert_ne!(outcome.sweep_id, sweep.sweep_id());
+
+    // The manifest records the overrides, so the report rebuilds the
+    // scaled job list and finds every artifact.
+    let report =
+        condspec_engine::load_sweep_report(&root, &outcome.sweep_id).expect("scaled report");
+    assert!(report.missing.is_empty(), "every scaled job resolves");
+    assert!(report.failed.is_empty());
+    assert_eq!(report.results.len(), sweep.jobs.len());
     fs::remove_dir_all(&root).ok();
 }

@@ -1,0 +1,242 @@
+//! A deliberately small HTTP/1.1 server core on `std::net` — just
+//! enough protocol for the condspec daemon: request-line + header
+//! parsing, `Content-Length` bodies, fixed responses, and chunked
+//! transfer encoding for progress streams. No external dependencies,
+//! no keep-alive (every response closes the connection), no TLS.
+//!
+//! The subset is intentionally strict about what it accepts: a
+//! malformed request gets a `400` and a closed socket, never a panic —
+//! the daemon shares a process with running sweeps.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request body (sweep submissions are tiny JSON
+/// documents; anything larger is a client error).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Maximum accepted header block size.
+const MAX_HEADER: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The path component of the request target (query stripped).
+    pub path: String,
+    /// Decoded query parameters in request order.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// First query value for `name`, if present.
+    pub fn query(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Any I/O error, plus `InvalidData` for requests that are not
+/// well-formed HTTP/1.x or exceed the size limits. The caller answers
+/// those with a 400.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), t.to_string(), v)
+        }
+        _ => return Err(bad("malformed request line")),
+    };
+    let _ = version;
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER {
+            return Err(bad("header block too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| bad("bad content-length"))?;
+            if content_length > MAX_BODY {
+                return Err(bad("body too large"));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Minimal percent-decoding (`%2f`, `+` as space) for query values.
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn bad(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response and flushes.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        status_text(status),
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Shorthand: a JSON response (the body should already be rendered).
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    respond(stream, status, "application/json", body)
+}
+
+/// Shorthand: a plain-text response.
+pub fn respond_text(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    respond(stream, status, "text/plain; charset=utf-8", body)
+}
+
+/// A chunked-transfer response in progress: call [`ChunkedResponse::chunk`]
+/// per payload piece, then [`ChunkedResponse::finish`].
+pub struct ChunkedResponse<'s> {
+    stream: &'s mut TcpStream,
+}
+
+impl<'s> ChunkedResponse<'s> {
+    /// Writes the response head and switches the connection to chunked
+    /// transfer encoding.
+    pub fn begin(
+        stream: &'s mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> io::Result<ChunkedResponse<'s>> {
+        write!(
+            stream,
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status_text(status)
+        )?;
+        stream.flush()?;
+        Ok(ChunkedResponse { stream })
+    }
+
+    /// Writes one chunk and flushes, so streaming clients see it
+    /// immediately. Empty payloads are skipped (an empty chunk would
+    /// terminate the stream).
+    pub fn chunk(&mut self, payload: &str) -> io::Result<()> {
+        if payload.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n{payload}\r\n", payload.len())?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked stream.
+    pub fn finish(self) -> io::Result<()> {
+        write!(self.stream, "0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_the_common_cases() {
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("a%2fb"), "a/b");
+        assert_eq!(percent_decode("dangling%"), "dangling%");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+    }
+}

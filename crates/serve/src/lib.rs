@@ -1,0 +1,544 @@
+//! `condspec-serve` — the sweep-as-a-service daemon of the Conditional
+//! Speculation reproduction.
+//!
+//! `condspec serve` turns the batch engine into a long-running service:
+//! an HTTP/1.1 micro-server (in-tree, on `std::net::TcpListener` — no
+//! external dependencies) accepts job and sweep submissions as JSON,
+//! shards them across the engine's panic-isolated worker pool, streams
+//! progress as newline-delimited JSON over chunked transfer encoding,
+//! and serves rendered reports, Perfetto traces, and time-series
+//! documents. Submissions run against the same persistent result store
+//! as the CLI, so a sweep submitted twice reports 100% store hits the
+//! second time — and a sweep the CLI already ran costs the daemon
+//! nothing.
+//!
+//! # API
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | GET  | `/` | endpoint index |
+//! | GET  | `/api/health` | liveness probe |
+//! | GET  | `/api/sweeps` | list submissions |
+//! | POST | `/api/sweeps` | submit `{"sweep", "iters"?, "warmup"?}` |
+//! | GET  | `/api/sweeps/<id>` | one submission's status |
+//! | GET  | `/api/sweeps/<id>/stream` | chunked progress stream (NDJSON) |
+//! | GET  | `/api/sweeps/<id>/report` | rendered report text |
+//! | GET  | `/api/report/<sweep-id>` | report from run dir and/or store |
+//! | POST | `/api/jobs` | run one job `{"kind", ...}` synchronously |
+//! | GET  | `/api/trace` | Perfetto trace of one attack round |
+//! | GET  | `/api/timeseries` | windowed time-series of one benchmark |
+//! | GET  | `/api/store/stats` | store stats + counters (metrics JSON) |
+//! | GET  | `/api/metrics` | daemon metrics registry |
+//! | POST | `/api/shutdown` | graceful stop |
+
+pub mod http;
+pub mod state;
+
+pub use state::{ServerState, Submission, SubmissionStatus};
+
+use condspec::DefenseConfig;
+use condspec_attacks::{traced_variant_round, AttackScenario};
+use condspec_engine::{
+    load_sweep_report_with_store, JobSpec, MachinePreset, ProgramCache, ResultStore, Sweep,
+    Workload,
+};
+use condspec_stats::{Json, MetricsRegistry};
+use condspec_workloads::GadgetKind;
+use http::{read_request, respond_json, respond_text, ChunkedResponse, Request};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The address `condspec serve` binds when `--addr` is not given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7877";
+
+/// How to run the daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 binds an ephemeral port.
+    pub addr: String,
+    /// Worker threads per sweep (0 = engine default).
+    pub workers: usize,
+    /// Artifact root for daemon-run sweeps.
+    pub runs_root: PathBuf,
+    /// Persistent store root; `None` disables the store.
+    pub store_root: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            workers: 0,
+            runs_root: PathBuf::from(condspec_engine::DEFAULT_ROOT),
+            store_root: Some(ResultStore::default_root()),
+        }
+    }
+}
+
+/// A bound daemon, ready to serve.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listen socket and initializes shared state. Nothing is
+    /// served until [`Server::run`].
+    pub fn bind(config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(ServerState::new(
+            config.workers,
+            config.runs_root.clone(),
+            config.store_root.clone(),
+        ));
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (for embedding and tests).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until `POST /api/shutdown`. One thread per connection;
+    /// running submissions own their own threads and finish
+    /// independently of connection handling.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                if let Err(e) = handle_connection(&state, addr, &mut stream) {
+                    // Client went away mid-response or sent garbage;
+                    // nothing to do but note it.
+                    let _ = e;
+                }
+            });
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    state: &Arc<ServerState>,
+    addr: SocketAddr,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return respond_json(stream, 400, &error_json(&e.to_string()));
+        }
+        Err(e) => return Err(e),
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", []) => respond_json(stream, 200, &index_json().render()),
+        ("GET", ["api", "health"]) => respond_json(
+            stream,
+            200,
+            &Json::object(vec![("ok", Json::from(true))]).render(),
+        ),
+        ("GET", ["api", "sweeps"]) => {
+            let list = state
+                .submissions()
+                .iter()
+                .map(Submission::to_json)
+                .collect();
+            respond_json(
+                stream,
+                200,
+                &Json::object(vec![("submissions", Json::Array(list))]).render(),
+            )
+        }
+        ("POST", ["api", "sweeps"]) => submit_sweep(state, stream, &request),
+        ("GET", ["api", "sweeps", id]) => match parse_id(id).and_then(|id| state.submission(id)) {
+            Some(s) => respond_json(stream, 200, &s.to_json().render()),
+            None => respond_json(stream, 404, &error_json("no such submission")),
+        },
+        ("GET", ["api", "sweeps", id, "stream"]) => match parse_id(id) {
+            Some(id) if state.submission(id).is_some() => stream_progress(state, stream, id),
+            _ => respond_json(stream, 404, &error_json("no such submission")),
+        },
+        ("GET", ["api", "sweeps", id, "report"]) => {
+            match parse_id(id).and_then(|id| state.submission(id)) {
+                Some(s) => match &s.report {
+                    Some(report) => respond_text(stream, 200, report),
+                    None => respond_json(
+                        stream,
+                        409,
+                        &error_json(&format!("submission is {}", s.status.key())),
+                    ),
+                },
+                None => respond_json(stream, 404, &error_json("no such submission")),
+            }
+        }
+        ("GET", ["api", "report", sweep_id]) => {
+            let store = state.store_root.as_deref().map(ResultStore::open);
+            match load_sweep_report_with_store(&state.runs_root, sweep_id, store.as_ref()) {
+                Ok(report) => respond_text(stream, 200, &report.sweep.render(&report.results)),
+                Err(e) => respond_json(stream, 404, &error_json(&e)),
+            }
+        }
+        ("POST", ["api", "jobs"]) => run_job(state, stream, &request),
+        ("GET", ["api", "trace"]) => serve_trace(stream, &request),
+        ("GET", ["api", "timeseries"]) => serve_timeseries(stream, &request),
+        ("GET", ["api", "store", "stats"]) => store_stats(state, stream),
+        ("GET", ["api", "metrics"]) => metrics(state, stream),
+        ("POST", ["api", "shutdown"]) => {
+            respond_json(
+                stream,
+                200,
+                &Json::object(vec![("shutting_down", Json::from(true))]).render(),
+            )?;
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(addr);
+            Ok(())
+        }
+        _ => respond_json(stream, 404, &error_json("no such endpoint")),
+    }
+}
+
+fn parse_id(text: &str) -> Option<u64> {
+    text.parse().ok()
+}
+
+fn error_json(message: &str) -> String {
+    Json::object(vec![("error", Json::from(message))]).render()
+}
+
+fn index_json() -> Json {
+    let endpoints = [
+        "GET /api/health",
+        "GET /api/sweeps",
+        "POST /api/sweeps",
+        "GET /api/sweeps/<id>",
+        "GET /api/sweeps/<id>/stream",
+        "GET /api/sweeps/<id>/report",
+        "GET /api/report/<sweep-id>",
+        "POST /api/jobs",
+        "GET /api/trace",
+        "GET /api/timeseries",
+        "GET /api/store/stats",
+        "GET /api/metrics",
+        "POST /api/shutdown",
+    ];
+    Json::object(vec![
+        ("service", Json::from("condspec-serve")),
+        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+        (
+            "endpoints",
+            Json::Array(endpoints.iter().map(|e| Json::from(*e)).collect()),
+        ),
+        (
+            "sweeps",
+            Json::Array(Sweep::NAMES.iter().map(|n| Json::from(*n)).collect()),
+        ),
+    ])
+}
+
+fn submit_sweep(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> io::Result<()> {
+    let Ok(body) = Json::parse(&request.body) else {
+        return respond_json(stream, 400, &error_json("body is not JSON"));
+    };
+    let Some(name) = body.get("sweep").and_then(Json::as_str) else {
+        return respond_json(stream, 400, &error_json("missing \"sweep\""));
+    };
+    let Some(sweep) = Sweep::by_name(name) else {
+        return respond_json(
+            stream,
+            400,
+            &error_json(&format!(
+                "unknown sweep `{name}` — available: {}",
+                Sweep::NAMES.join(", ")
+            )),
+        );
+    };
+    let iterations = body.get("iters").and_then(Json::as_u64);
+    let warmup = body.get("warmup").and_then(Json::as_u64);
+    let (id, sweep_id) = state.submit(sweep, iterations, warmup);
+    respond_json(
+        stream,
+        202,
+        &Json::object(vec![
+            ("submission", Json::from(id)),
+            ("sweep_id", Json::from(sweep_id.as_str())),
+        ])
+        .render(),
+    )
+}
+
+/// Streams progress snapshots as newline-delimited JSON until the
+/// submission finishes. Each chunk is one complete line, so clients can
+/// parse incrementally.
+fn stream_progress(state: &Arc<ServerState>, stream: &mut TcpStream, id: u64) -> io::Result<()> {
+    let mut chunked = ChunkedResponse::begin(stream, 200, "application/x-ndjson")?;
+    let mut last = String::new();
+    while let Some(s) = state.submission(id) {
+        let line = s.to_json().render();
+        if line != last {
+            chunked.chunk(&format!("{line}\n"))?;
+            last = line;
+        }
+        if matches!(s.status, SubmissionStatus::Done | SubmissionStatus::Error) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    chunked.finish()
+}
+
+/// Builds a [`JobSpec`] from a `POST /api/jobs` body.
+fn parse_job(body: &Json) -> Result<JobSpec, String> {
+    let defense = match body.get("defense").and_then(Json::as_str) {
+        Some(key) => {
+            DefenseConfig::from_key(key).ok_or_else(|| format!("unknown defense `{key}`"))?
+        }
+        None => return Err("missing \"defense\"".to_string()),
+    };
+    let kind = body
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing \"kind\" (bench | attack | variant)")?;
+    match kind {
+        "bench" => {
+            let benchmark = body
+                .get("benchmark")
+                .and_then(Json::as_str)
+                .ok_or("missing \"benchmark\"")?;
+            let spec = condspec_workloads::spec::by_name(benchmark)
+                .ok_or_else(|| format!("unknown benchmark `{benchmark}`"))?;
+            let mut job = JobSpec::bench(spec.name, defense);
+            if let Workload::Bench {
+                iterations, warmup, ..
+            } = &mut job.workload
+            {
+                if let Some(i) = body.get("iters").and_then(Json::as_u64) {
+                    *iterations = i;
+                }
+                if let Some(w) = body.get("warmup").and_then(Json::as_u64) {
+                    *warmup = w;
+                }
+            }
+            if let Some(key) = body.get("machine").and_then(Json::as_str) {
+                job.machine = MachinePreset::from_key(key)
+                    .ok_or_else(|| format!("unknown machine `{key}`"))?;
+            }
+            Ok(job)
+        }
+        "attack" => {
+            let key = body
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("missing \"scenario\"")?;
+            let scenario =
+                AttackScenario::from_key(key).ok_or_else(|| format!("unknown scenario `{key}`"))?;
+            Ok(JobSpec::attack(scenario, defense))
+        }
+        "variant" => {
+            let key = body
+                .get("variant")
+                .and_then(Json::as_str)
+                .ok_or("missing \"variant\"")?;
+            let kind =
+                GadgetKind::from_key(key).ok_or_else(|| format!("unknown variant `{key}`"))?;
+            Ok(JobSpec::variant(kind, defense))
+        }
+        other => Err(format!("unknown kind `{other}`")),
+    }
+}
+
+/// Runs one job synchronously through the scheduler (store-consulted,
+/// panic-isolated) and returns its artifact with provenance.
+fn run_job(state: &Arc<ServerState>, stream: &mut TcpStream, request: &Request) -> io::Result<()> {
+    let Ok(body) = Json::parse(&request.body) else {
+        return respond_json(stream, 400, &error_json("body is not JSON"));
+    };
+    let job = match parse_job(&body) {
+        Ok(j) => j,
+        Err(e) => return respond_json(stream, 400, &error_json(&e)),
+    };
+    let store = state.store_root.as_deref().map(ResultStore::open);
+    let programs = Arc::new(ProgramCache::new());
+    let mut results = condspec_engine::run_jobs_stored(
+        std::slice::from_ref(&job),
+        1,
+        &programs,
+        store.as_ref(),
+        |_, _, _, _| {},
+    );
+    let (outcome, _, source) = results.remove(0);
+    match outcome {
+        Ok(artifact) => respond_json(
+            stream,
+            200,
+            &Json::object(vec![
+                ("job", Json::from(job.hash_hex())),
+                ("label", Json::from(job.label())),
+                ("source", Json::from(source.key())),
+                ("artifact", artifact),
+            ])
+            .render(),
+        ),
+        Err(message) => respond_json(stream, 500, &error_json(&message)),
+    }
+}
+
+/// Perfetto (Chrome JSON) trace of one traced attack round.
+fn serve_trace(stream: &mut TcpStream, request: &Request) -> io::Result<()> {
+    let key = request.query("variant").unwrap_or("v1");
+    let Some(kind) = GadgetKind::from_key(key) else {
+        return respond_json(
+            stream,
+            400,
+            &error_json(&format!("unknown variant `{key}`")),
+        );
+    };
+    let defense = match request.query("defense") {
+        Some(key) => match DefenseConfig::from_key(key) {
+            Some(d) => d,
+            None => {
+                return respond_json(
+                    stream,
+                    400,
+                    &error_json(&format!("unknown defense `{key}`")),
+                )
+            }
+        },
+        None => DefenseConfig::CacheHitTpbuf,
+    };
+    let events = request
+        .query("events")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096usize);
+    let trace = traced_variant_round(kind, defense, events);
+    let doc = condspec_pipeline::perfetto::to_chrome_trace(&trace);
+    respond_json(stream, 200, &format!("{}\n", doc.render()))
+}
+
+/// Windowed time-series of one benchmark run, as JSON.
+fn serve_timeseries(stream: &mut TcpStream, request: &Request) -> io::Result<()> {
+    let Some(benchmark) = request.query("benchmark") else {
+        return respond_json(stream, 400, &error_json("missing ?benchmark="));
+    };
+    let Some(spec) = condspec_workloads::spec::by_name(benchmark) else {
+        return respond_json(
+            stream,
+            400,
+            &error_json(&format!("unknown benchmark `{benchmark}`")),
+        );
+    };
+    let defense = match request.query("defense") {
+        Some(key) => match DefenseConfig::from_key(key) {
+            Some(d) => d,
+            None => {
+                return respond_json(
+                    stream,
+                    400,
+                    &error_json(&format!("unknown defense `{key}`")),
+                )
+            }
+        },
+        None => DefenseConfig::CacheHitTpbuf,
+    };
+    let mut job = JobSpec::bench(spec.name, defense);
+    if let Workload::Bench {
+        iterations, warmup, ..
+    } = &mut job.workload
+    {
+        if let Some(i) = request.query("iters").and_then(|v| v.parse().ok()) {
+            *iterations = i;
+        }
+        if let Some(w) = request.query("warmup").and_then(|v| v.parse().ok()) {
+            *warmup = w;
+        }
+    }
+    let window = request
+        .query("window")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000u64);
+    let rows = request
+        .query("rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512usize);
+    let doc = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        job.execute_timeseries(window, rows)
+    }));
+    match doc {
+        Ok(doc) => respond_json(stream, 200, &format!("{}\n", doc.render())),
+        Err(_) => respond_json(stream, 500, &error_json("time-series run panicked")),
+    }
+}
+
+/// Store stats and counters, rendered through the metrics registry.
+fn store_stats(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
+    let Some(root) = state.store_root.as_deref() else {
+        return respond_json(
+            stream,
+            409,
+            &error_json("the store is disabled (--no-store)"),
+        );
+    };
+    let store = ResultStore::open(root);
+    let stats = match store.stats() {
+        Ok(s) => s,
+        Err(e) => return respond_json(stream, 500, &error_json(&e.to_string())),
+    };
+    let mut registry = MetricsRegistry::new();
+    registry.set_counter("store.entries", stats.entries);
+    registry.set_counter("store.bytes", stats.bytes);
+    registry.set_counter("store.stray_tmp", stats.stray_tmp);
+    registry.set_counter("store.hits", state.store_hits_total.load(Ordering::Relaxed));
+    registry.set_counter(
+        "store.inserts",
+        state.store_inserts_total.load(Ordering::Relaxed),
+    );
+    let doc = Json::object(vec![
+        ("root", Json::from(root.display().to_string())),
+        ("summary", Json::from(stats.summary(root))),
+        ("metrics", registry.to_json()),
+    ]);
+    respond_json(stream, 200, &format!("{}\n", doc.render()))
+}
+
+/// The daemon's metrics registry: request/submission counters plus the
+/// store's on-disk footprint and daemon-lifetime hit/insert totals.
+fn metrics(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
+    let mut registry = MetricsRegistry::new();
+    registry.set_counter("serve.requests", state.requests.load(Ordering::Relaxed));
+    registry.set_counter("serve.submissions", state.submissions().len() as u64);
+    registry.set_counter("store.hits", state.store_hits_total.load(Ordering::Relaxed));
+    registry.set_counter(
+        "store.inserts",
+        state.store_inserts_total.load(Ordering::Relaxed),
+    );
+    if let Some(root) = state.store_root.as_deref() {
+        if let Ok(stats) = ResultStore::open(root).stats() {
+            registry.set_counter("store.entries", stats.entries);
+            registry.set_counter("store.bytes", stats.bytes);
+            registry.set_counter("store.stray_tmp", stats.stray_tmp);
+        }
+    }
+    respond_json(stream, 200, &format!("{}\n", registry.to_json().render()))
+}

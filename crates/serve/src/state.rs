@@ -1,0 +1,239 @@
+//! Shared daemon state: the submission registry and the background
+//! sweep runner.
+//!
+//! A submission is one accepted sweep request. It runs on its own
+//! `std::thread`, which internally shards jobs across the engine's
+//! panic-isolated worker pool ([`run_sweep_observed`]); the observer
+//! publishes [`SweepProgress`] snapshots into the registry under a
+//! mutex, where streaming handlers poll them. Results land in the
+//! ordinary run directory and (when configured) the persistent result
+//! store, so a daemon-run sweep is indistinguishable on disk from a CLI
+//! run of the same sweep.
+
+use condspec_engine::{run_sweep_observed, Sweep, SweepOptions, SweepProgress, SweepResults};
+use condspec_stats::Json;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where a submission is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmissionStatus {
+    /// Accepted, thread not yet running the sweep.
+    Queued,
+    /// The sweep is executing.
+    Running,
+    /// Finished; all jobs accounted for (some may have failed).
+    Done,
+    /// The run itself errored (I/O), distinct from failed jobs.
+    Error,
+}
+
+impl SubmissionStatus {
+    /// Stable wire string.
+    pub fn key(&self) -> &'static str {
+        match self {
+            SubmissionStatus::Queued => "queued",
+            SubmissionStatus::Running => "running",
+            SubmissionStatus::Done => "done",
+            SubmissionStatus::Error => "error",
+        }
+    }
+}
+
+/// One accepted sweep submission.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Daemon-assigned id (monotonic per process).
+    pub id: u64,
+    /// The sweep's short name.
+    pub sweep: String,
+    /// The content-derived sweep id (of the scaled sweep).
+    pub sweep_id: String,
+    /// Lifecycle state.
+    pub status: SubmissionStatus,
+    /// Latest progress snapshot.
+    pub progress: SweepProgress,
+    /// Run error message when `status == Error`.
+    pub error: Option<String>,
+    /// Rendered report text, available once `Done`.
+    pub report: Option<String>,
+}
+
+impl Submission {
+    /// The submission as a wire JSON object (without the report body).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("id", Json::from(self.id)),
+            ("sweep", Json::from(self.sweep.as_str())),
+            ("sweep_id", Json::from(self.sweep_id.as_str())),
+            ("status", Json::from(self.status.key())),
+            ("done", Json::from(self.progress.done as u64)),
+            ("total", Json::from(self.progress.total as u64)),
+            ("simulated", Json::from(self.progress.simulated as u64)),
+            ("store_hits", Json::from(self.progress.store_hits as u64)),
+            ("failed", Json::from(self.progress.failed as u64)),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::from(e.as_str()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// State shared by every connection handler and submission thread.
+pub struct ServerState {
+    /// Worker threads per sweep (0 = engine default).
+    pub workers: usize,
+    /// Artifact root for daemon-run sweeps.
+    pub runs_root: PathBuf,
+    /// Persistent store root; `None` disables the store.
+    pub store_root: Option<PathBuf>,
+    /// Accepted submissions, newest last.
+    submissions: Mutex<Vec<Submission>>,
+    next_id: AtomicU64,
+    /// Total HTTP requests handled (for `/api/metrics`).
+    pub requests: AtomicU64,
+    /// Store hits across every finished submission (daemon lifetime).
+    pub store_hits_total: AtomicU64,
+    /// Store inserts (fresh simulations with the store on) across every
+    /// finished submission.
+    pub store_inserts_total: AtomicU64,
+    /// Set by `POST /api/shutdown`; the accept loop exits on the next
+    /// connection.
+    pub shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// Fresh state with no submissions.
+    pub fn new(workers: usize, runs_root: PathBuf, store_root: Option<PathBuf>) -> ServerState {
+        ServerState {
+            workers,
+            runs_root,
+            store_root,
+            submissions: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            requests: AtomicU64::new(0),
+            store_hits_total: AtomicU64::new(0),
+            store_inserts_total: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The sweep options a daemon submission runs with. `resume` is
+    /// deliberately off: repeat submissions must demonstrate their
+    /// cache hits through the *store* (observable, counted), not
+    /// through silent directory resume.
+    pub fn sweep_options(&self, iterations: Option<u64>, warmup: Option<u64>) -> SweepOptions {
+        SweepOptions {
+            workers: self.workers,
+            root: self.runs_root.clone(),
+            store: self.store_root.clone(),
+            bench_iterations: iterations,
+            bench_warmup: warmup,
+            quiet: true,
+            ..SweepOptions::default()
+        }
+    }
+
+    /// Registers a new submission and starts its sweep thread. Returns
+    /// `(submission id, sweep id)`.
+    pub fn submit(
+        self: &Arc<Self>,
+        sweep: Sweep,
+        iterations: Option<u64>,
+        warmup: Option<u64>,
+    ) -> (u64, String) {
+        let opts = self.sweep_options(iterations, warmup);
+        let scaled_id = sweep.clone().scaled(iterations, warmup).sweep_id();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submissions.lock().expect("registry").push(Submission {
+            id,
+            sweep: sweep.name.to_string(),
+            sweep_id: scaled_id.clone(),
+            status: SubmissionStatus::Queued,
+            progress: SweepProgress {
+                done: 0,
+                total: sweep.jobs.len(),
+                simulated: 0,
+                store_hits: 0,
+                failed: 0,
+            },
+            error: None,
+            report: None,
+        });
+
+        let state = Arc::clone(self);
+        std::thread::spawn(move || {
+            state.update(id, |s| s.status = SubmissionStatus::Running);
+            let outcome = run_sweep_observed(&sweep, &opts, |progress| {
+                let progress = *progress;
+                state.update(id, move |s| s.progress = progress);
+            });
+            match outcome {
+                Ok(outcome) => {
+                    if state.store_root.is_some() {
+                        state
+                            .store_hits_total
+                            .fetch_add(outcome.store_hits as u64, Ordering::Relaxed);
+                        state
+                            .store_inserts_total
+                            .fetch_add(outcome.executed as u64, Ordering::Relaxed);
+                    }
+                    let report = render_report(&sweep, iterations, warmup, &outcome.results);
+                    state.update(id, move |s| {
+                        s.status = SubmissionStatus::Done;
+                        s.report = Some(report);
+                    });
+                }
+                Err(e) => {
+                    let message = e.to_string();
+                    state.update(id, move |s| {
+                        s.status = SubmissionStatus::Error;
+                        s.error = Some(message);
+                    });
+                }
+            }
+        });
+        (id, scaled_id)
+    }
+
+    /// Applies `f` to the submission with `id`, if it exists.
+    fn update(&self, id: u64, f: impl FnOnce(&mut Submission)) {
+        let mut registry = self.submissions.lock().expect("registry");
+        if let Some(s) = registry.iter_mut().find(|s| s.id == id) {
+            f(s);
+        }
+    }
+
+    /// A snapshot of one submission.
+    pub fn submission(&self, id: u64) -> Option<Submission> {
+        self.submissions
+            .lock()
+            .expect("registry")
+            .iter()
+            .find(|s| s.id == id)
+            .cloned()
+    }
+
+    /// Snapshots of every submission, oldest first.
+    pub fn submissions(&self) -> Vec<Submission> {
+        self.submissions.lock().expect("registry").clone()
+    }
+}
+
+/// Renders a submission's report from its collected results. The scaled
+/// sweep renders through the same `Sweep::render` as the CLI, so a
+/// daemon report is byte-identical to `condspec report` on the same
+/// artifacts.
+fn render_report(
+    sweep: &Sweep,
+    iterations: Option<u64>,
+    warmup: Option<u64>,
+    results: &SweepResults,
+) -> String {
+    sweep.clone().scaled(iterations, warmup).render(results)
+}

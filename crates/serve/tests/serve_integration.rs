@@ -1,0 +1,251 @@
+//! End-to-end daemon tests over real sockets: submit a scaled sweep
+//! twice, watch the second submission come entirely from the persistent
+//! store, stream progress, fetch reports and traces, and shut down
+//! cleanly.
+
+use condspec_serve::{ServeConfig, Server};
+use condspec_stats::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("condspec-serve-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// One HTTP exchange: returns `(status, body)`. Chunked bodies are
+/// de-framed; the connection closes after every response.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let payload = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        dechunk(payload)
+    } else {
+        payload.to_string()
+    };
+    (status, payload)
+}
+
+/// Reassembles a chunked body.
+fn dechunk(mut payload: &str) -> String {
+    let mut out = String::new();
+    while let Some((size_line, rest)) = payload.split_once("\r\n") {
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else {
+            break;
+        };
+        if size == 0 {
+            break;
+        }
+        out.push_str(&rest[..size]);
+        payload = &rest[size + 2..]; // skip chunk body + CRLF
+    }
+    out
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, "GET", path, "")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(addr, "POST", path, body)
+}
+
+/// Polls a submission until it leaves the queued/running states.
+fn await_submission(addr: SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, body) = get(addr, &format!("/api/sweeps/{id}"));
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).expect("submission JSON");
+        match doc.get("status").and_then(Json::as_str) {
+            Some("done") | Some("error") => return doc,
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "submission {id} timed out");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn daemon_round_trip_with_warm_store_second_submission() {
+    let runs_root = scratch("runs");
+    let store_root = scratch("store");
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        runs_root: runs_root.clone(),
+        store_root: Some(store_root.clone()),
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run().expect("serve"));
+
+    // Liveness + index.
+    let (status, body) = get(addr, "/api/health");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\":true"), "{body}");
+    let (status, body) = get(addr, "/");
+    assert_eq!(status, 200);
+    assert!(body.contains("/api/sweeps"), "{body}");
+
+    // Bad submissions are rejected, not crashed on.
+    let (status, _) = post(addr, "/api/sweeps", "not json");
+    assert_eq!(status, 400);
+    let (status, body) = post(addr, "/api/sweeps", "{\"sweep\":\"fig9\"}");
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown sweep"), "{body}");
+    let (status, _) = get(addr, "/api/sweeps/999");
+    assert_eq!(status, 404);
+
+    // First submission: a scaled-down icache sweep, cold store.
+    let submit_body = "{\"sweep\":\"icache\",\"iters\":2,\"warmup\":1}";
+    let (status, body) = post(addr, "/api/sweeps", submit_body);
+    assert_eq!(status, 202, "{body}");
+    let accepted = Json::parse(&body).expect("submission receipt");
+    let first_id = accepted
+        .get("submission")
+        .and_then(Json::as_u64)
+        .expect("id");
+    let sweep_id = accepted
+        .get("sweep_id")
+        .and_then(Json::as_str)
+        .expect("sweep id")
+        .to_string();
+
+    let first = await_submission(addr, first_id);
+    assert_eq!(first.get("status").and_then(Json::as_str), Some("done"));
+    let total = first.get("total").and_then(Json::as_u64).expect("total");
+    assert!(total > 0);
+    assert_eq!(first.get("simulated").and_then(Json::as_u64), Some(total));
+    assert_eq!(first.get("store_hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(first.get("failed").and_then(Json::as_u64), Some(0));
+
+    // Second identical submission: 100% persistent-store hits.
+    let (status, body) = post(addr, "/api/sweeps", submit_body);
+    assert_eq!(status, 202, "{body}");
+    let second_id = Json::parse(&body)
+        .expect("receipt")
+        .get("submission")
+        .and_then(Json::as_u64)
+        .expect("id");
+    let second = await_submission(addr, second_id);
+    assert_eq!(second.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(second.get("store_hits").and_then(Json::as_u64), Some(total));
+    assert_eq!(second.get("simulated").and_then(Json::as_u64), Some(0));
+
+    // Reports: both submissions render identical text, and the
+    // by-sweep-id report endpoint agrees.
+    let (status, first_report) = get(addr, &format!("/api/sweeps/{first_id}/report"));
+    assert_eq!(status, 200);
+    assert!(first_report.contains("ICache-hit filter"), "{first_report}");
+    let (_, second_report) = get(addr, &format!("/api/sweeps/{second_id}/report"));
+    assert_eq!(second_report, first_report, "store hits change no cell");
+    let (status, by_id_report) = get(addr, &format!("/api/report/{sweep_id}"));
+    assert_eq!(status, 200);
+    assert_eq!(by_id_report, first_report);
+
+    // The progress stream replays to completion as parseable NDJSON.
+    let (status, stream_body) = get(addr, &format!("/api/sweeps/{first_id}/stream"));
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = stream_body.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "stream produced no snapshots");
+    let last = Json::parse(lines.last().expect("line")).expect("snapshot JSON");
+    assert_eq!(last.get("status").and_then(Json::as_str), Some("done"));
+
+    // Store stats + metrics reflect the two submissions.
+    let (status, body) = get(addr, "/api/store/stats");
+    assert_eq!(status, 200, "{body}");
+    let stats = Json::parse(&body).expect("stats JSON");
+    let metrics = stats.get("metrics").expect("metrics object");
+    assert_eq!(
+        metrics.get("store.entries").and_then(Json::as_u64),
+        Some(total),
+        "one store entry per job"
+    );
+    assert_eq!(
+        metrics.get("store.hits").and_then(Json::as_u64),
+        Some(total)
+    );
+    assert_eq!(
+        metrics.get("store.inserts").and_then(Json::as_u64),
+        Some(total)
+    );
+    let (status, body) = get(addr, "/api/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"serve.requests\""), "{body}");
+    assert!(body.contains("\"serve.submissions\":2"), "{body}");
+
+    // Single-job submission: a store hit for a job the sweep already ran.
+    let (status, body) = post(
+        addr,
+        "/api/jobs",
+        "{\"kind\":\"bench\",\"benchmark\":\"gcc\",\"defense\":\"cache-hit-tpbuf\",\
+         \"iters\":2,\"warmup\":1}",
+    );
+    assert_eq!(status, 200, "{body}");
+    let job = Json::parse(&body).expect("job JSON");
+    assert_eq!(job.get("source").and_then(Json::as_str), Some("store"));
+    assert!(job.get("artifact").and_then(|a| a.get("report")).is_some());
+    let (status, body) = post(
+        addr,
+        "/api/jobs",
+        "{\"kind\":\"variant\",\"variant\":\"v1\",\"defense\":\"origin\"}",
+    );
+    assert_eq!(status, 200, "{body}");
+    let job = Json::parse(&body).expect("job JSON");
+    assert_eq!(
+        job.get("artifact").and_then(|a| a.get("leaked")?.as_bool()),
+        Some(true),
+        "v1 leaks under origin"
+    );
+
+    // Trace and time-series endpoints.
+    let (status, body) = get(
+        addr,
+        "/api/trace?variant=v1&defense=cache-hit-tpbuf&events=64",
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("traceEvents"), "{body}");
+    let (status, _) = get(addr, "/api/trace?variant=vax");
+    assert_eq!(status, 400);
+    let (status, body) = get(
+        addr,
+        "/api/timeseries?benchmark=gcc&iters=2&warmup=1&window=2000&rows=16",
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("timeseries"), "{body}");
+    let (status, _) = get(addr, "/api/timeseries?benchmark=vax");
+    assert_eq!(status, 400);
+
+    // Graceful shutdown: the accept loop exits and the thread joins.
+    let (status, body) = post(addr, "/api/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting_down"), "{body}");
+    daemon.join().expect("daemon thread exits cleanly");
+
+    std::fs::remove_dir_all(&runs_root).ok();
+    std::fs::remove_dir_all(&store_root).ok();
+}

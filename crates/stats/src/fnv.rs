@@ -1,0 +1,47 @@
+//! FNV-1a content hashing shared by the artifact engine and the
+//! persistent result store.
+//!
+//! Both subsystems name filesystem objects after 64-bit FNV-1a hashes of
+//! canonical key strings. FNV-1a is not cryptographic — a collision
+//! would silently merge two objects — but over the short, highly
+//! structured keys involved (a few hundred per sweep, a few thousand in
+//! a long-lived store) the 64-bit space makes that a non-concern, and
+//! the store's payload checksum catches on-disk corruption separately.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A hash rendered as a fixed-width, filesystem-safe hex string.
+pub fn hex16(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex16(0), "0000000000000000");
+        assert_eq!(hex16(u64::MAX), "ffffffffffffffff");
+        assert_eq!(hex16(0xdead_beef), "00000000deadbeef");
+    }
+}

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod counter;
+pub mod fnv;
 pub mod histogram;
 pub mod json;
 pub mod metrics;
@@ -43,6 +44,7 @@ pub mod summary;
 pub mod table;
 
 pub use counter::{Counter, RateCounter};
+pub use fnv::{fnv1a64, hex16};
 pub use histogram::Histogram;
 pub use json::Json;
 pub use metrics::{MetricValue, MetricsRegistry};

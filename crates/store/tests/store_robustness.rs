@@ -1,0 +1,133 @@
+//! Robustness properties of the persistent result store: concurrent
+//! same-key inserts, corruption tolerance, and deep verification.
+
+use condspec_stats::Json;
+use condspec_store::ResultStore;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("condspec-store-it-{tag}-{}", std::process::id()))
+}
+
+fn artifact() -> Json {
+    Json::object(vec![
+        ("job", Json::from("0123456789abcdef")),
+        ("cycles", Json::from(176_878u64)),
+        ("ipc", Json::from(1.25)),
+    ])
+}
+
+const KEY: &str = "0123456789abcdef";
+
+#[test]
+fn concurrent_inserts_of_one_key_converge_to_identical_bytes() {
+    let root = scratch("concurrent");
+    fs::remove_dir_all(&root).ok();
+    let store = Arc::new(ResultStore::open(&root));
+
+    // Many threads race to insert the same key while others read it.
+    // The store key is a content hash, so every writer carries the same
+    // artifact; whichever rename lands last must leave exactly those
+    // bytes, and no reader may ever observe a torn entry.
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    if t % 2 == 0 {
+                        store
+                            .insert(KEY, "0123456789abcdef", "gcc/origin", 42, &artifact())
+                            .expect("insert never fails on a healthy filesystem");
+                    } else {
+                        // A read races the writers: either a miss (not
+                        // yet inserted) or the full artifact — never a
+                        // partial document, never a panic.
+                        if let Some(doc) = store.load(KEY) {
+                            assert_eq!(doc, artifact(), "reader saw a torn entry");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(store.load(KEY), Some(artifact()));
+    assert_eq!(store.corrupt(), 0, "no reader ever hit a torn entry");
+    // Exactly one object file, no leftover temp files.
+    let stats = store.stats().expect("stats");
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.stray_tmp, 0);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn truncated_entry_is_a_miss_and_reinsert_repairs_it() {
+    let root = scratch("truncated");
+    fs::remove_dir_all(&root).ok();
+    let store = ResultStore::open(&root);
+    store
+        .insert(KEY, "0123456789abcdef", "gcc/origin", 42, &artifact())
+        .expect("insert");
+    let path = store.object_path(KEY);
+
+    // Simulate a crash mid-write of a non-atomic writer: truncate the
+    // entry to half its length.
+    let full = fs::read_to_string(&path).expect("read entry");
+    fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+
+    assert_eq!(store.load(KEY), None, "truncated entry must read as a miss");
+    assert_eq!(store.corrupt(), 1);
+
+    // Re-inserting the same key repairs the entry in place.
+    store
+        .insert(KEY, "0123456789abcdef", "gcc/origin", 42, &artifact())
+        .expect("repair insert");
+    assert_eq!(store.load(KEY), Some(artifact()), "repair restores the hit");
+    assert_eq!(store.corrupt(), 1, "the repaired entry is clean");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn verify_flags_a_bit_flipped_entry() {
+    let root = scratch("bitflip");
+    fs::remove_dir_all(&root).ok();
+    let store = ResultStore::open(&root);
+    store
+        .insert(KEY, "0123456789abcdef", "gcc/origin", 42, &artifact())
+        .expect("insert");
+    let other = "fedcba9876543210";
+    store
+        .insert(other, "fedcba9876543210", "mcf/origin", 42, &artifact())
+        .expect("insert");
+    assert!(store.verify().expect("verify").is_clean());
+
+    // Flip one bit inside the artifact payload (the digit '6' in the
+    // cycles value) without breaking JSON syntax: the envelope still
+    // parses, but the payload checksum no longer matches.
+    let path = store.object_path(KEY);
+    let mut bytes = fs::read(&path).expect("read entry");
+    let pos = bytes
+        .windows(6)
+        .position(|w| w == b"176878")
+        .expect("cycles value present");
+    bytes[pos] ^= 0x01; // '1' -> '0'
+    fs::write(&path, &bytes).expect("rewrite");
+
+    let report = store.verify().expect("verify");
+    assert_eq!(report.checked, 2);
+    assert_eq!(report.ok, 1);
+    assert_eq!(report.bad.len(), 1, "exactly the flipped entry is flagged");
+    assert_eq!(report.bad[0].0, path);
+    assert!(
+        report.bad[0].1.contains("checksum"),
+        "reason names the checksum: {}",
+        report.bad[0].1
+    );
+
+    // And the damaged entry reads as a miss while the healthy one hits.
+    assert_eq!(store.load(KEY), None);
+    assert_eq!(store.load(other), Some(artifact()));
+    fs::remove_dir_all(&root).ok();
+}
