@@ -14,26 +14,35 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> perf smoke + regression guard (condspec perf --quick --compare)"
+echo "==> perf smoke + regression guard (condspec perf --quick --compare --stages)"
 cargo build --release -p condspec-cli
 perf_out="target/perf-smoke/simspeed.json"
+stage_out="target/perf-smoke/stagespeed.json"
 mkdir -p target/perf-smoke
-# One invocation validates the fresh report (schema + nonzero simulated
-# work and throughput in every matrix cell) and diffs it against the
-# committed baseline, exiting non-zero on any regression:
+# One invocation validates the fresh simspeed report (schema + nonzero
+# simulated work and throughput in every matrix cell), diffs it against
+# the committed baseline, then does the same for the per-stage
+# microbenchmark suite, exiting non-zero on any regression:
 #
-#   * simulated work (sim_cycles / committed_inst) per cell — exact
-#     equality on every host, because the simulator is deterministic.
-#     A legitimate timing-model change must regenerate the baseline:
+#   * simulated work (sim_cycles / committed_inst) per matrix cell and
+#     stage work (ops / checksum) per stage cell — exact equality on
+#     every host, because both are deterministic. A legitimate
+#     timing-model or stage-workload change must regenerate the
+#     baselines (DESIGN.md §8 records the procedure):
 #         ./target/release/condspec perf --quick --out /tmp/q.json
 #         python3 ci/make_perf_baseline.py /tmp/q.json > ci/perf-quick-baseline.json
-#   * host throughput (committed_inst_per_sec) per cell — compared only
-#     when this machine matches the baseline's host_tag (so the check
-#     self-skips on contributor hardware), failing below 0.70x.
-#     Set CONDSPEC_SKIP_PERF_GUARD=1 to skip the throughput comparison
-#     explicitly (e.g. a loaded or throttled machine).
+#         ./target/release/condspec perf --quick --stages --stage-out /tmp/s.json
+#         python3 ci/make_perf_baseline.py --stage /tmp/s.json > ci/stage-quick-baseline.json
+#   * host throughput (committed_inst/s, stage ops/s) per cell —
+#     compared only when this machine matches the baseline's recorded
+#     host (tag, rustc, CPU count; the mismatching field is named, so
+#     the check self-skips on contributor hardware), failing below
+#     0.70x. Set CONDSPEC_SKIP_PERF_GUARD=1 to skip the throughput
+#     comparison explicitly (e.g. a loaded or throttled machine).
 ./target/release/condspec perf --quick --out "$perf_out" \
-    --compare ci/perf-quick-baseline.json
+    --compare ci/perf-quick-baseline.json \
+    --stages --stage-out "$stage_out" \
+    --stage-baseline ci/stage-quick-baseline.json
 
 echo "==> engine program-cache smoke (one build per distinct program)"
 # The icache sweep (44 jobs: 22 benchmarks x {filter off, on}, all on

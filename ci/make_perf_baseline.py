@@ -1,33 +1,47 @@
 #!/usr/bin/env python3
-"""Wraps a `condspec perf --quick` report as the CI perf baseline.
+"""Wraps a `condspec perf --quick` report as a CI perf baseline.
 
 Usage:
     ./target/release/condspec perf --quick --out /tmp/q.json
     python3 ci/make_perf_baseline.py /tmp/q.json > ci/perf-quick-baseline.json
 
+    ./target/release/condspec perf --quick --stages --stage-out /tmp/s.json
+    python3 ci/make_perf_baseline.py --stage /tmp/s.json > ci/stage-quick-baseline.json
+
 The wrapper records the machine the throughput numbers were taken on
-(`host_tag`); ci.sh only compares committed-inst/s when it runs on a
-matching machine, but checks the deterministic simulated-work fields
-(sim_cycles, committed_inst) everywhere.
+(`host_tag`; the report's own `host` block additionally pins the rustc
+version and CPU count); ci.sh only compares throughput when it runs on
+a matching machine, but checks the deterministic simulated-work fields
+(sim_cycles/committed_inst, or stage ops/checksum) everywhere.
 """
 
 import json
 import os
 import sys
 
-SCHEMA = "condspec-simspeed-quick-baseline-v1"
+KINDS = {
+    # flag -> (report schema, wrapper schema)
+    "simspeed": ("condspec-simspeed-v1", "condspec-simspeed-quick-baseline-v1"),
+    "stagespeed": ("condspec-stagespeed-v1", "condspec-stagespeed-quick-baseline-v1"),
+}
 
 
 def main() -> None:
-    if len(sys.argv) != 2:
+    args = sys.argv[1:]
+    kind = "simspeed"
+    if args and args[0] == "--stage":
+        kind = "stagespeed"
+        args = args[1:]
+    if len(args) != 1:
         sys.exit(__doc__.strip())
-    report = json.load(open(sys.argv[1]))
-    if report.get("schema") != "condspec-simspeed-v1":
-        sys.exit(f"not a simspeed report: schema {report.get('schema')!r}")
+    report_schema, wrapper_schema = KINDS[kind]
+    report = json.load(open(args[0]))
+    if report.get("schema") != report_schema:
+        sys.exit(f"not a {kind} report: schema {report.get('schema')!r}")
     if report.get("mode") != "quick":
         sys.exit("baseline must be built from a --quick run")
     baseline = {
-        "schema": SCHEMA,
+        "schema": wrapper_schema,
         "host_tag": f"{os.uname().machine}-{os.cpu_count()}cpu",
         "report": report,
     }

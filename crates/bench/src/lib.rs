@@ -6,6 +6,7 @@
 //! collect the paper's metrics) lives here.
 
 pub mod perf;
+pub mod stage;
 
 use condspec::{DefenseConfig, LruPolicy, MachineConfig, Report, SimConfig, Simulator};
 use condspec_pipeline::PipelineStats;

@@ -49,6 +49,60 @@ const RING_SLOTS: usize = 16 * 1024;
 /// Cycle budget per gadget run (same as the attack harness).
 const GADGET_RUN_BUDGET: u64 = 500_000;
 
+/// The workload names of the matrix, in run order.
+pub const WORKLOADS: [&str; 3] = ["counting-loop", "pointer-chase", "spectre-gadget"];
+
+/// A `--only <workload>[:<defense>]` cell filter: restricts the matrix
+/// to one workload, optionally to a single defense column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellFilter {
+    /// The selected workload (one of [`WORKLOADS`]).
+    pub workload: &'static str,
+    /// The selected defense; `None` keeps all three columns.
+    pub defense: Option<DefenseConfig>,
+}
+
+impl CellFilter {
+    /// Parses `<workload>[:<defense>]`, validating both names.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (workload_name, defense_key) = match spec.split_once(':') {
+            Some((w, d)) => (w, Some(d)),
+            None => (spec, None),
+        };
+        let workload = WORKLOADS
+            .iter()
+            .copied()
+            .find(|w| *w == workload_name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown workload `{workload_name}` (expected one of: {})",
+                    WORKLOADS.join(", ")
+                )
+            })?;
+        let defense = defense_key
+            .map(|key| {
+                DEFENSES
+                    .iter()
+                    .copied()
+                    .find(|d| d.key() == key)
+                    .ok_or_else(|| {
+                        let keys: Vec<_> = DEFENSES.iter().map(|d| d.key()).collect();
+                        format!(
+                            "unknown defense `{key}` (expected one of: {})",
+                            keys.join(", ")
+                        )
+                    })
+            })
+            .transpose()?;
+        Ok(CellFilter { workload, defense })
+    }
+
+    /// Whether the filter keeps the `(workload, defense)` cell.
+    pub fn keeps(&self, workload: &str, defense: DefenseConfig) -> bool {
+        self.workload == workload && self.defense.map(|d| d == defense).unwrap_or(true)
+    }
+}
+
 /// Workload sizing for one `condspec perf` invocation.
 #[derive(Debug, Clone, Copy)]
 pub struct PerfOptions {
@@ -56,6 +110,8 @@ pub struct PerfOptions {
     pub machine: MachineConfig,
     /// Quick mode: ~50× less simulated work per cell (CI smoke).
     pub quick: bool,
+    /// Restricts the matrix to one workload (optionally one defense).
+    pub only: Option<CellFilter>,
 }
 
 impl PerfOptions {
@@ -64,6 +120,7 @@ impl PerfOptions {
         PerfOptions {
             machine: MachineConfig::paper_default(),
             quick: false,
+            only: None,
         }
     }
 
@@ -235,6 +292,11 @@ pub fn run_matrix(opts: &PerfOptions) -> Vec<PerfCell> {
         ),
     ] {
         for defense in DEFENSES {
+            if let Some(filter) = &opts.only {
+                if !filter.keeps(workload, defense) {
+                    continue;
+                }
+            }
             let config = SimConfig::on_machine(defense, opts.machine);
             let mut best: Option<PerfCell> = None;
             for _ in 0..opts.cell_repeats() {
@@ -279,6 +341,70 @@ pub fn host_tag() -> String {
     format!("{}-{cpus}cpu", std::env::consts::ARCH)
 }
 
+/// The identity wall-clock throughput numbers belong to: machine tag,
+/// compiler, and core count. Recorded in every simspeed/stagespeed
+/// report as the `host` block; [`compare`] refuses the throughput check
+/// with a message naming the mismatching field when any of them differ
+/// from the baseline's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Architecture + core-count tag (see [`host_tag`]).
+    pub tag: String,
+    /// `rustc -V` of the compiler that built this binary.
+    pub rustc: String,
+    /// Available parallelism when the report was produced.
+    pub cpus: u64,
+}
+
+impl HostInfo {
+    /// The identity of the running binary and machine.
+    pub fn current() -> Self {
+        HostInfo {
+            tag: host_tag(),
+            rustc: env!("CONDSPEC_RUSTC_VERSION").to_string(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Serializes as the report `host` block.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("tag", Json::Str(self.tag.clone())),
+            ("rustc", Json::Str(self.rustc.clone())),
+            ("cpus", Json::U64(self.cpus)),
+        ])
+    }
+
+    /// Why throughput from `baseline_host` is incomparable with this
+    /// host, naming the first mismatching field — or `None` when the
+    /// identities match. `baseline_host` is the baseline's `host` block
+    /// (reports before the block carry only a `host_tag` string; pass
+    /// `tag_only` then, and only the tag is checked).
+    pub fn incompatibility(&self, baseline_host: &Json) -> Option<String> {
+        let fields: [(&str, &str); 2] = [("tag", &self.tag), ("rustc", &self.rustc)];
+        for (key, current) in fields {
+            if let Some(base) = baseline_host.get(key).and_then(Json::as_str) {
+                if base != current {
+                    return Some(format!(
+                        "host {key} mismatch: baseline `{base}` vs current `{current}`"
+                    ));
+                }
+            }
+        }
+        if let Some(base) = baseline_host.get("cpus").and_then(Json::as_u64) {
+            if base != self.cpus {
+                return Some(format!(
+                    "host cpus mismatch: baseline {base} vs current {}",
+                    self.cpus
+                ));
+            }
+        }
+        None
+    }
+}
+
 /// Serializes a matrix run as the `condspec-simspeed-v1` document.
 pub fn to_json(opts: &PerfOptions, cells: &[PerfCell]) -> Json {
     Json::object([
@@ -289,6 +415,7 @@ pub fn to_json(opts: &PerfOptions, cells: &[PerfCell]) -> Json {
             Json::Str(if opts.quick { "quick" } else { "full" }.to_string()),
         ),
         ("host_tag", Json::Str(host_tag())),
+        ("host", HostInfo::current().to_json()),
         (
             "cells",
             Json::Array(
@@ -426,6 +553,41 @@ fn unwrap_baseline(baseline: &Json) -> Result<(&Json, Option<&str>), String> {
     }
 }
 
+/// The baseline's recorded host identity: its `host` block when
+/// present (wrapper level preferred), else a tag-only block synthesized
+/// from the legacy `host_tag` string.
+pub(crate) fn baseline_host(baseline: &Json, report: &Json, tag: Option<&str>) -> Option<Json> {
+    if let Some(block) = baseline.get("host").or_else(|| report.get("host")) {
+        return Some(block.clone());
+    }
+    tag.map(|t| Json::object([("tag", Json::Str(t.to_string()))]))
+}
+
+/// Resolves the throughput-check gate: `Ok(note)` when wall-clock rates
+/// may be compared, `Err(note)` when they must not be (the note names
+/// the reason — the skip is explicit, never silent).
+pub(crate) fn throughput_gate(
+    host: &HostInfo,
+    base_host: Option<&Json>,
+    skip: bool,
+) -> Result<String, String> {
+    if skip {
+        return Err("throughput check skipped: CONDSPEC_SKIP_PERF_GUARD set".to_string());
+    }
+    match base_host {
+        None => Err("throughput check skipped: baseline records no host identity".to_string()),
+        Some(block) => match host.incompatibility(block) {
+            Some(reason) => Err(format!(
+                "throughput check refused: {reason} (simulated-work equality still verified)"
+            )),
+            None => Ok(format!(
+                "throughput checked: host {} matches baseline, floor {MIN_THROUGHPUT_RATIO:.2}x",
+                host.tag
+            )),
+        },
+    }
+}
+
 fn cell_map(report: &Json) -> Result<Vec<(String, String, &Json)>, String> {
     report
         .get("cells")
@@ -468,20 +630,26 @@ fn cell_f64(cell: &Json, key: &str) -> Result<f64, String> {
 ///   so any drift means the timing model changed and the baseline must
 ///   be regenerated deliberately (see `ci/make_perf_baseline.py`).
 /// * **Throughput** (`committed_inst_per_sec`) — `current/baseline ≥`
-///   [`MIN_THROUGHPUT_RATIO`] per cell, but only when `host` matches
-///   the baseline's recorded `host_tag` (rates from different machines
-///   are incomparable) and `skip_throughput` is unset
-///   (`CONDSPEC_SKIP_PERF_GUARD=1` for loaded/throttled hosts).
+///   [`MIN_THROUGHPUT_RATIO`] per cell, but only when the current
+///   [`HostInfo`] matches the baseline's recorded host identity (rates
+///   from different machines or compilers are incomparable — the
+///   refusal names the mismatching field) and `skip_throughput` is
+///   unset (`CONDSPEC_SKIP_PERF_GUARD=1` for loaded/throttled hosts).
+///
+/// A current report produced with `--only` carries a subset of the
+/// baseline's cells; the subset is compared cell-for-cell. Cells
+/// present in the current report but absent from the baseline are a
+/// hard error (the matrix changed; regenerate the baseline).
 ///
 /// # Errors
 ///
 /// Returns a message (instead of a [`Comparison`]) when the documents
 /// are structurally incomparable: unknown schema, mode/machine
-/// mismatch, or differing cell sets.
+/// mismatch, or current cells the baseline does not cover.
 pub fn compare(
     current: &Json,
     baseline: &Json,
-    host: &str,
+    host: &HostInfo,
     skip_throughput: bool,
 ) -> Result<Comparison, String> {
     match current.get("schema").and_then(Json::as_str) {
@@ -501,42 +669,29 @@ pub fn compare(
 
     let base_cells = cell_map(base_report)?;
     let got_cells = cell_map(current)?;
-    let base_keys: Vec<_> = base_cells.iter().map(|(w, d, _)| (w, d)).collect();
-    let got_keys: Vec<_> = got_cells.iter().map(|(w, d, _)| (w, d)).collect();
-    if base_keys != got_keys {
-        return Err(format!(
-            "matrix shape changed: baseline {base_keys:?} vs current {got_keys:?}"
-        ));
+    if got_cells.is_empty() {
+        return Err("current report has no cells".to_string());
     }
 
-    let check_throughput = if skip_throughput {
-        None
-    } else {
-        match base_tag {
-            None => None,
-            Some(tag) if tag != host => None,
-            Some(_) => Some(()),
-        }
-    };
-    let throughput_note = if skip_throughput {
-        "throughput check skipped: CONDSPEC_SKIP_PERF_GUARD set".to_string()
-    } else {
-        match base_tag {
-            None => "throughput check skipped: baseline records no host_tag".to_string(),
-            Some(tag) if tag != host => format!(
-                "throughput check skipped: host {host} != baseline host {tag} \
-                 (simulated-work equality still verified)"
-            ),
-            Some(_) => format!(
-                "throughput checked: host {host} matches baseline, \
-                 floor {MIN_THROUGHPUT_RATIO:.2}x"
-            ),
-        }
+    let base_host = baseline_host(baseline, base_report, base_tag);
+    let gate = throughput_gate(host, base_host.as_ref(), skip_throughput);
+    let check_throughput = gate.is_ok();
+    let throughput_note = match gate {
+        Ok(note) | Err(note) => note,
     };
 
     let mut cells = Vec::new();
     let mut failures = Vec::new();
-    for ((workload, defense, base), (_, _, got)) in base_cells.iter().zip(&got_cells) {
+    for (workload, defense, got) in &got_cells {
+        let Some((_, _, base)) = base_cells
+            .iter()
+            .find(|(w, d, _)| w == workload && d == defense)
+        else {
+            return Err(format!(
+                "cell {workload}/{defense} is not in the baseline \
+                 (matrix changed — regenerate the baseline)"
+            ));
+        };
         let cell = CompareCell {
             workload: workload.clone(),
             defense: defense.clone(),
@@ -558,7 +713,7 @@ pub fn compare(
                 cell.sim_cycles.0, cell.sim_cycles.1, cell.committed.0, cell.committed.1,
             ));
         }
-        if check_throughput.is_some() {
+        if check_throughput {
             let ratio = cell.throughput_ratio();
             if ratio < MIN_THROUGHPUT_RATIO {
                 failures.push(format!(
@@ -610,6 +765,7 @@ mod tests {
         Json::parse(&format!(
             r#"{{"schema":"{SCHEMA}","machine":"paper-default","mode":"quick",
                  "host_tag":"test-host",
+                 "host":{{"tag":"test-host","rustc":"rustc 1.0.0","cpus":1}},
                  "cells":[{{"workload":"w","defense":"origin",
                             "sim_cycles":100,"committed_inst":{committed},
                             "wall_seconds":0.5,"sim_cycles_per_sec":200.0,
@@ -618,10 +774,18 @@ mod tests {
         .expect("test report parses")
     }
 
+    fn host(tag: &str) -> HostInfo {
+        HostInfo {
+            tag: tag.to_string(),
+            rustc: "rustc 1.0.0".to_string(),
+            cpus: 1,
+        }
+    }
+
     #[test]
     fn compare_accepts_identical_reports() {
         let report = tiny_report(50, 100.0);
-        let cmp = compare(&report, &report, "test-host", false).expect("comparable");
+        let cmp = compare(&report, &report, &host("test-host"), false).expect("comparable");
         assert!(cmp.passed(), "{:?}", cmp.failures);
         assert_eq!(cmp.cells.len(), 1);
         assert!(cmp.throughput_note.contains("throughput checked"));
@@ -632,25 +796,25 @@ mod tests {
         let cmp = compare(
             &tiny_report(51, 100.0),
             &tiny_report(50, 100.0),
-            "other-host",
+            &host("other-host"),
             false,
         )
         .expect("comparable");
         assert!(!cmp.passed());
         assert!(cmp.failures[0].contains("simulated work changed"));
-        assert!(cmp.throughput_note.contains("skipped"));
+        assert!(cmp.throughput_note.contains("refused"));
     }
 
     #[test]
     fn compare_gates_throughput_on_host_tag() {
         let slow = tiny_report(50, 100.0 * (MIN_THROUGHPUT_RATIO - 0.05));
         let base = tiny_report(50, 100.0);
-        let matched = compare(&slow, &base, "test-host", false).expect("comparable");
+        let matched = compare(&slow, &base, &host("test-host"), false).expect("comparable");
         assert!(!matched.passed());
         assert!(matched.failures[0].contains("regressed"));
-        let other = compare(&slow, &base, "other-host", false).expect("comparable");
+        let other = compare(&slow, &base, &host("other-host"), false).expect("comparable");
         assert!(other.passed(), "cross-host throughput is not comparable");
-        let skipped = compare(&slow, &base, "test-host", true).expect("comparable");
+        let skipped = compare(&slow, &base, &host("test-host"), true).expect("comparable");
         assert!(skipped.passed(), "env override skips the throughput gate");
         assert!(skipped.throughput_note.contains("CONDSPEC_SKIP_PERF_GUARD"));
     }
@@ -664,7 +828,7 @@ mod tests {
             report.render()
         ))
         .expect("wrapper parses");
-        let cmp = compare(&report, &wrapper, "test-host", false).expect("comparable");
+        let cmp = compare(&report, &wrapper, &host("test-host"), false).expect("comparable");
         assert!(cmp.passed());
         assert!(cmp.throughput_note.contains("throughput checked"));
     }
@@ -679,13 +843,92 @@ mod tests {
                 }
             }
         }
-        assert!(compare(&tiny_report(50, 100.0), &other_mode, "h", false).is_err());
+        assert!(compare(&tiny_report(50, 100.0), &other_mode, &host("h"), false).is_err());
         assert!(compare(
             &tiny_report(50, 100.0),
             &Json::parse("{\"schema\":\"nope\"}").unwrap(),
-            "h",
+            &host("h"),
             false
         )
         .is_err());
+    }
+
+    #[test]
+    fn compare_names_the_mismatching_host_field() {
+        let base = tiny_report(50, 100.0);
+        let slow = tiny_report(50, 100.0 * (MIN_THROUGHPUT_RATIO - 0.05));
+        let mut other = host("test-host");
+        other.rustc = "rustc 2.0.0".to_string();
+        let cmp = compare(&slow, &base, &other, false).expect("comparable");
+        assert!(
+            cmp.passed(),
+            "mismatched toolchain must not fail throughput"
+        );
+        assert!(
+            cmp.throughput_note.contains("rustc mismatch"),
+            "note names the field: {}",
+            cmp.throughput_note
+        );
+        let mut more_cpus = host("test-host");
+        more_cpus.cpus = 8;
+        let cmp = compare(&slow, &base, &more_cpus, false).expect("comparable");
+        assert!(cmp.throughput_note.contains("cpus mismatch"));
+    }
+
+    #[test]
+    fn compare_tolerates_an_only_subset_of_the_baseline() {
+        let full = Json::parse(&format!(
+            r#"{{"schema":"{SCHEMA}","machine":"paper-default","mode":"quick",
+                 "host_tag":"test-host",
+                 "cells":[{{"workload":"w","defense":"origin",
+                            "sim_cycles":100,"committed_inst":50,
+                            "wall_seconds":0.5,"sim_cycles_per_sec":200.0,
+                            "committed_inst_per_sec":100.0}},
+                          {{"workload":"w","defense":"cache-hit",
+                            "sim_cycles":120,"committed_inst":50,
+                            "wall_seconds":0.5,"sim_cycles_per_sec":240.0,
+                            "committed_inst_per_sec":100.0}}]}}"#
+        ))
+        .expect("full report parses");
+        let subset = tiny_report(50, 100.0);
+        let cmp = compare(&subset, &full, &host("test-host"), false).expect("comparable");
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert_eq!(cmp.cells.len(), 1, "only the overlapping cell compares");
+        // The reverse direction is a hard error: the baseline does not
+        // cover the current matrix.
+        assert!(compare(&full, &subset, &host("test-host"), false)
+            .unwrap_err()
+            .contains("not in the baseline"));
+    }
+
+    #[test]
+    fn cell_filter_parses_and_rejects() {
+        let f = CellFilter::parse("pointer-chase").expect("bare workload");
+        assert_eq!(f.workload, "pointer-chase");
+        assert_eq!(f.defense, None);
+        let f = CellFilter::parse("pointer-chase:origin").expect("with defense");
+        assert_eq!(f.defense, Some(DefenseConfig::Origin));
+        assert!(f.keeps("pointer-chase", DefenseConfig::Origin));
+        assert!(!f.keeps("pointer-chase", DefenseConfig::CacheHit));
+        assert!(!f.keeps("counting-loop", DefenseConfig::Origin));
+        assert!(CellFilter::parse("nope")
+            .unwrap_err()
+            .contains("unknown workload"));
+        assert!(CellFilter::parse("pointer-chase:nope")
+            .unwrap_err()
+            .contains("unknown defense"));
+    }
+
+    #[test]
+    fn only_filter_restricts_the_matrix() {
+        let opts = PerfOptions {
+            quick: true,
+            only: Some(CellFilter::parse("counting-loop:origin").unwrap()),
+            ..PerfOptions::paper_default()
+        };
+        let cells = run_matrix(&opts);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].workload, "counting-loop");
+        assert_eq!(cells[0].defense, DefenseConfig::Origin);
     }
 }

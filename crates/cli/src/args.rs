@@ -3,6 +3,7 @@
 
 use condspec::{DefenseConfig, MachineConfig};
 use condspec_attacks::AttackScenario;
+use condspec_bench::perf::CellFilter;
 use condspec_workloads::GadgetKind;
 use std::error::Error;
 use std::fmt;
@@ -181,11 +182,21 @@ pub enum Command {
         quick: bool,
         /// Machine preset (boxed: `MachineConfig` dwarfs the other variants).
         machine: Box<MachineConfig>,
+        /// Restrict the matrix to `<workload>[:<defense>]`.
+        only: Option<CellFilter>,
         /// Write the JSON document here instead of stdout.
         out: Option<String>,
         /// Baseline simspeed JSON to diff against; regressions exit
         /// non-zero (the CI perf guard).
         compare: Option<String>,
+        /// Also run the per-stage microbenchmark suite.
+        stages: bool,
+        /// Write the stagespeed JSON document here instead of stdout
+        /// (implies `--stages`).
+        stage_out: Option<String>,
+        /// Baseline stagespeed JSON to diff against; regressions exit
+        /// non-zero (implies `--stages`).
+        stage_baseline: Option<String>,
     },
     /// List the benchmark suite and machine presets.
     List,
@@ -228,7 +239,9 @@ USAGE:
   condspec serve   [--addr <host:port>] [--jobs <n>] [--root <dir>]
                    [--store-root <dir>] [--no-store]
   condspec perf    [--quick] [--machine <name>] [--out <file>]
-                   [--compare <baseline.json>]
+                   [--compare <baseline.json>] [--only <workload>[:<defense>]]
+                   [--stages] [--stage-out <file>]
+                   [--stage-baseline <baseline.json>]
   condspec list
   condspec help
 
@@ -607,13 +620,23 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .transpose()?
                     .unwrap_or_else(MachineConfig::paper_default),
             );
+            let only = take_flag(&mut rest, "--only")?
+                .map(|s| CellFilter::parse(&s).map_err(ParseError))
+                .transpose()?;
             let out = take_flag(&mut rest, "--out")?;
             let compare = take_flag(&mut rest, "--compare")?;
+            let stages_switch = take_switch(&mut rest, "--stages");
+            let stage_out = take_flag(&mut rest, "--stage-out")?;
+            let stage_baseline = take_flag(&mut rest, "--stage-baseline")?;
             Command::Perf {
                 quick,
                 machine,
+                only,
                 out,
                 compare,
+                stages: stages_switch || stage_out.is_some() || stage_baseline.is_some(),
+                stage_out,
+                stage_baseline,
             }
         }
         "list" => Command::List,
@@ -988,13 +1011,21 @@ mod tests {
             Command::Perf {
                 quick,
                 machine,
+                only,
                 out,
                 compare,
+                stages,
+                stage_out,
+                stage_baseline,
             } => {
                 assert!(!quick);
                 assert_eq!(machine.name, MachineConfig::paper_default().name);
+                assert_eq!(only, None);
                 assert_eq!(out, None);
                 assert_eq!(compare, None);
+                assert!(!stages);
+                assert_eq!(stage_out, None);
+                assert_eq!(stage_baseline, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1008,6 +1039,7 @@ mod tests {
                 machine,
                 out,
                 compare,
+                ..
             } => {
                 assert!(quick);
                 assert_eq!(machine.name, MachineConfig::xeon_like().name);
@@ -1018,6 +1050,46 @@ mod tests {
         }
         assert!(parse(&argv("perf --machine m1")).is_err());
         assert!(parse(&argv("perf stray")).is_err());
+    }
+
+    #[test]
+    fn perf_only_and_stage_flags_parse() {
+        match parse(&argv("perf --only pointer-chase:origin")).unwrap() {
+            Command::Perf { only, stages, .. } => {
+                let filter = only.expect("filter parsed");
+                assert_eq!(filter.workload, "pointer-chase");
+                assert_eq!(filter.defense, Some(DefenseConfig::Origin));
+                assert!(!stages);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("perf --only counting-loop")).unwrap() {
+            Command::Perf { only, .. } => {
+                assert_eq!(only.unwrap().defense, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("perf --only nope")).is_err());
+        assert!(parse(&argv("perf --only pointer-chase:nope")).is_err());
+
+        match parse(&argv("perf --stages")).unwrap() {
+            Command::Perf { stages, .. } => assert!(stages),
+            other => panic!("unexpected {other:?}"),
+        }
+        // --stage-out / --stage-baseline imply the suite.
+        match parse(&argv("perf --stage-out s.json --stage-baseline b.json")).unwrap() {
+            Command::Perf {
+                stages,
+                stage_out,
+                stage_baseline,
+                ..
+            } => {
+                assert!(stages);
+                assert_eq!(stage_out, Some("s.json".to_string()));
+                assert_eq!(stage_baseline, Some("b.json".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -92,18 +92,23 @@ pub struct SetAssocCache {
     tick: u64,
     set_shift: u32,
     set_mask: u64,
+    /// `set_shift + log2(sets)`, precomputed: `tag()` sits on the hot
+    /// lookup path of every cache level.
+    tag_shift: u32,
 }
 
 impl SetAssocCache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
+        let set_shift = config.line_bytes.trailing_zeros();
         SetAssocCache {
             config,
             lines: vec![LineState::default(); sets * config.ways],
             tick: 0,
-            set_shift: config.line_bytes.trailing_zeros(),
+            set_shift,
             set_mask: sets as u64 - 1,
+            tag_shift: set_shift + (sets as u64 - 1).count_ones(),
         }
     }
 
@@ -127,7 +132,7 @@ impl SetAssocCache {
 
     /// The tag for an address.
     pub fn tag(&self, addr: u64) -> u64 {
-        addr >> (self.set_shift + self.set_mask.count_ones())
+        addr >> self.tag_shift
     }
 
     fn set_slice(&self, set: usize) -> &[LineState] {
@@ -213,7 +218,7 @@ impl SetAssocCache {
     }
 
     fn line_base(&self, set: usize, tag: u64) -> u64 {
-        (tag << (self.set_shift + self.set_mask.count_ones())) | ((set as u64) << self.set_shift)
+        (tag << self.tag_shift) | ((set as u64) << self.set_shift)
     }
 
     /// Invalidates the line containing `addr`; returns whether it was

@@ -1,0 +1,176 @@
+//! Bit-word helpers shared by the SoA pipeline structures.
+//!
+//! The ROB, IQ and LSQ all keep per-state `u64` bitmap words indexed by
+//! physical slot; these are the word-level primitives they build their
+//! masked scans from. Ranges are half-open `[start, end)` over slot
+//! indices and must not wrap — ring structures split a wrapping range at
+//! the wrap point and call twice.
+
+/// Sets the bit for `slot`.
+#[inline]
+pub(crate) fn set_bit(words: &mut [u64], slot: usize) {
+    words[slot >> 6] |= 1u64 << (slot & 63);
+}
+
+/// Clears the bit for `slot`.
+#[inline]
+pub(crate) fn clear_bit(words: &mut [u64], slot: usize) {
+    words[slot >> 6] &= !(1u64 << (slot & 63));
+}
+
+/// Whether the bit for `slot` is set.
+#[inline]
+pub(crate) fn test_bit(words: &[u64], slot: usize) -> bool {
+    words[slot >> 6] >> (slot & 63) & 1 != 0
+}
+
+/// The word-aligned mask covering `[start, end)` within word `w`, or 0
+/// when the range does not touch the word.
+#[inline]
+fn word_mask(w: usize, start: usize, end: usize) -> u64 {
+    let word_start = w << 6;
+    let word_end = word_start + 64;
+    if end <= word_start || start >= word_end {
+        return 0;
+    }
+    let lo = start.max(word_start) - word_start;
+    let hi = end.min(word_end) - word_start;
+    if lo >= hi {
+        return 0;
+    }
+    // hi is in 1..=64; shift in two steps so hi == 64 is defined.
+    let upper = (!0u64 >> (64 - hi as u32)) | (1u64 << (hi - 1));
+    upper & (!0u64 << lo)
+}
+
+/// Clears every bit in `[start, end)`, word at a time.
+pub(crate) fn clear_range(words: &mut [u64], start: usize, end: usize) {
+    if start >= end {
+        return;
+    }
+    let (first, last) = (start >> 6, (end - 1) >> 6);
+    for (w, word) in words.iter_mut().enumerate().take(last + 1).skip(first) {
+        *word &= !word_mask(w, start, end);
+    }
+}
+
+/// Whether every bit in `[start, end)` is set (vacuously true when
+/// empty), word at a time.
+pub(crate) fn range_all_set(words: &[u64], start: usize, end: usize) -> bool {
+    if start >= end {
+        return true;
+    }
+    let (first, last) = (start >> 6, (end - 1) >> 6);
+    for (w, word) in words.iter().enumerate().take(last + 1).skip(first) {
+        let mask = word_mask(w, start, end);
+        if word & mask != mask {
+            return false;
+        }
+    }
+    true
+}
+
+/// Visits the set bits of `word_of(w)` restricted to `[start, end)`, in
+/// ascending slot order.
+#[inline]
+pub(crate) fn for_each_set_in_range(
+    word_of: impl Fn(usize) -> u64,
+    start: usize,
+    end: usize,
+    mut f: impl FnMut(usize),
+) {
+    if start >= end {
+        return;
+    }
+    for w in (start >> 6)..=((end - 1) >> 6) {
+        let mut mask = word_of(w) & word_mask(w, start, end);
+        while mask != 0 {
+            f((w << 6) + mask.trailing_zeros() as usize);
+            mask &= mask - 1;
+        }
+    }
+}
+
+/// The first set bit of `word_of(w)` in `[start, end)` (ascending) for
+/// which `pred` holds, if any. `pred` is the early-exit hook for scans
+/// like the memory-order-violation search.
+#[inline]
+pub(crate) fn find_set_in_range(
+    word_of: impl Fn(usize) -> u64,
+    start: usize,
+    end: usize,
+    mut pred: impl FnMut(usize) -> bool,
+) -> Option<usize> {
+    if start >= end {
+        return None;
+    }
+    for w in (start >> 6)..=((end - 1) >> 6) {
+        let mut mask = word_of(w) & word_mask(w, start, end);
+        while mask != 0 {
+            let slot = (w << 6) + mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if pred(slot) {
+                return Some(slot);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bit_ops() {
+        let mut words = vec![0u64; 3];
+        set_bit(&mut words, 0);
+        set_bit(&mut words, 63);
+        set_bit(&mut words, 64);
+        set_bit(&mut words, 130);
+        assert!(test_bit(&words, 0) && test_bit(&words, 63));
+        assert!(test_bit(&words, 64) && test_bit(&words, 130));
+        assert!(!test_bit(&words, 1) && !test_bit(&words, 129));
+        clear_bit(&mut words, 63);
+        assert!(!test_bit(&words, 63));
+        assert!(test_bit(&words, 0), "neighbours untouched");
+    }
+
+    #[test]
+    fn range_mask_edges() {
+        // Full word, word-straddling, and word-interior ranges.
+        assert_eq!(word_mask(0, 0, 64), !0u64);
+        assert_eq!(word_mask(0, 0, 1), 1);
+        assert_eq!(word_mask(0, 63, 64), 1 << 63);
+        assert_eq!(word_mask(1, 60, 70), 0b111111);
+        assert_eq!(word_mask(0, 60, 70), !0u64 << 60);
+        assert_eq!(word_mask(2, 60, 70), 0);
+    }
+
+    #[test]
+    fn clear_range_and_all_set() {
+        let mut words = vec![!0u64; 2];
+        assert!(range_all_set(&words, 0, 128));
+        assert!(range_all_set(&words, 5, 5), "empty range vacuously true");
+        clear_range(&mut words, 30, 70);
+        assert!(!range_all_set(&words, 0, 128));
+        assert!(range_all_set(&words, 0, 30));
+        assert!(range_all_set(&words, 70, 128));
+        assert!(!test_bit(&words, 30) && !test_bit(&words, 69));
+        assert!(test_bit(&words, 29) && test_bit(&words, 70));
+    }
+
+    #[test]
+    fn range_scans_ascend_and_respect_bounds() {
+        let mut words = vec![0u64; 2];
+        for slot in [3, 40, 64, 100] {
+            set_bit(&mut words, slot);
+        }
+        let mut seen = Vec::new();
+        for_each_set_in_range(|w| words[w], 4, 100, |s| seen.push(s));
+        assert_eq!(seen, vec![40, 64]);
+        let found = find_set_in_range(|w| words[w], 0, 128, |s| s > 50);
+        assert_eq!(found, Some(64), "predicate filters, ascending first");
+        assert_eq!(find_set_in_range(|w| words[w], 0, 128, |_| false), None);
+    }
+}

@@ -22,7 +22,7 @@
 //!   are detected and squashed at execute.
 
 use crate::events::{Completion, EventWheel};
-use crate::iq::{IqEntry, IssueQueue};
+use crate::iq::{IqHot, IssueQueue};
 use crate::lsq::Lsq;
 use crate::policy::{
     BlockFilter, DispatchInfo, InstClass, MemAccessQuery, MemDecision, NullPolicy, SecurityPolicy,
@@ -657,11 +657,18 @@ impl Core {
                 target = target.min(front.ready_cycle);
             }
         }
-        for (slot, entry) in self.iq.iter() {
-            if entry.blocked && self.blocked_until[slot] >= self.cycle {
-                target = target.min(self.blocked_until[slot]);
+        // Masked walk of the IQ's blocked bitmap word: only bounced
+        // entries can gate the jump, so don't scan the whole queue.
+        let blocked_until = &self.blocked_until;
+        let cycle = self.cycle;
+        let mut blocked_gate = target;
+        self.iq.for_each_blocked(|slot| {
+            let until = blocked_until[slot];
+            if until >= cycle {
+                blocked_gate = blocked_gate.min(until);
             }
-        }
+        });
+        target = blocked_gate;
         if let Some(at) = self.events.next_due(self.cycle, target) {
             target = target.min(at);
         }
@@ -967,7 +974,7 @@ impl Core {
             if entry.is_fence && !self.rob.all_older_completed(seq) {
                 continue;
             }
-            if entry.blocked {
+            if entry.blocked() {
                 if self.cycle < self.blocked_until[slot] {
                     continue;
                 }
@@ -1521,15 +1528,7 @@ impl Core {
             } else {
                 src_pregs
             };
-            let iq_entry = IqEntry {
-                seq,
-                class,
-                srcs: iq_srcs,
-                issued: false,
-                blocked: false,
-                is_mem: inst.is_mem(),
-                is_fence: inst.is_fence(),
-            };
+            let iq_entry = IqHot::new(seq, class, iq_srcs, inst.is_mem(), inst.is_fence());
             let slot = self.iq.allocate(iq_entry).expect("IQ space checked above");
             // Event-driven wakeup: subscribe to each not-yet-ready source
             // so the producing writeback sets this entry's ready bit; an
@@ -1929,6 +1928,9 @@ impl Core {
                 }
             }
         }
+        // Re-derive the LSQ's per-state bitmap words from its records
+        // (the IQ's are re-derived by the scheduler coherence check).
+        self.lsq.check_bitmaps()?;
         for event in self.events.iter() {
             // Events are lazily invalidated: one whose stamp no longer
             // matches the resident entry (or whose seq left the ROB)
@@ -1993,7 +1995,7 @@ impl Core {
     /// Diagnostic (allocates); used by the scheduler property tests, not
     /// by the simulation loop.
     pub fn check_scheduler_coherence(&self) -> Result<(), String> {
-        self.iq.check_coherence()?;
+        self.iq.check_bitmaps()?;
         // Candidate set: scoreboard vs operand scan.
         let mut fast = Vec::new();
         self.iq.collect_ready(&mut fast);
@@ -2002,7 +2004,7 @@ impl Core {
             .iq
             .iter()
             .filter(|(_, e)| {
-                !e.issued && e.srcs.iter().flatten().all(|p| self.regfile.is_ready(*p))
+                !e.issued() && e.srcs.iter().flatten().all(|p| self.regfile.is_ready(*p))
             })
             .map(|(slot, e)| (e.seq, slot))
             .collect();
@@ -2034,7 +2036,7 @@ impl Core {
                 slot,
                 seq: e.seq,
                 class: e.class,
-                issued: e.issued,
+                issued: e.issued(),
             })
             .collect();
         if dense != scan {

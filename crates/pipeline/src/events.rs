@@ -61,6 +61,10 @@ pub struct Completion {
 #[derive(Debug, Clone)]
 pub struct EventWheel {
     buckets: Vec<Vec<Completion>>,
+    /// One bit per bucket, set exactly when the bucket is non-empty, so
+    /// the idle fast-forward's next-due probe is a masked word scan
+    /// instead of a bucket-by-bucket walk.
+    occupancy: [u64; WHEEL_BUCKETS / 64],
     /// Events scheduled further out than the wheel span (unreachable with
     /// the shipped latency configurations, but kept for correctness).
     overflow: Vec<Completion>,
@@ -95,6 +99,7 @@ impl EventWheel {
             buckets: (0..WHEEL_BUCKETS)
                 .map(|_| Vec::with_capacity(capacity))
                 .collect(),
+            occupancy: [0; WHEEL_BUCKETS / 64],
             overflow: Vec::new(),
             len: 0,
         }
@@ -110,6 +115,7 @@ impl EventWheel {
         for bucket in &mut self.buckets {
             bucket.clear();
         }
+        self.occupancy = [0; WHEEL_BUCKETS / 64];
         self.overflow.clear();
         self.len = 0;
     }
@@ -125,7 +131,9 @@ impl EventWheel {
     pub fn schedule(&mut self, now: u64, event: Completion) {
         debug_assert!(event.at > now, "completion scheduled in the past");
         if event.at - now < WHEEL_BUCKETS as u64 {
-            self.buckets[(event.at & WHEEL_MASK) as usize].push(event);
+            let idx = (event.at & WHEEL_MASK) as usize;
+            self.buckets[idx].push(event);
+            self.occupancy[idx >> 6] |= 1u64 << (idx & 63);
         } else {
             self.overflow.push(event);
         }
@@ -146,16 +154,20 @@ impl EventWheel {
         // target bucket is preserved.
         if !self.overflow.is_empty() {
             let buckets = &mut self.buckets;
+            let occupancy = &mut self.occupancy;
             self.overflow.retain(|e| {
                 if e.at.saturating_sub(now) < WHEEL_BUCKETS as u64 {
-                    buckets[(e.at & WHEEL_MASK) as usize].push(*e);
+                    let idx = (e.at & WHEEL_MASK) as usize;
+                    buckets[idx].push(*e);
+                    occupancy[idx >> 6] |= 1u64 << (idx & 63);
                     false
                 } else {
                     true
                 }
             });
         }
-        let bucket = &mut self.buckets[(now & WHEEL_MASK) as usize];
+        let idx = (now & WHEEL_MASK) as usize;
+        let bucket = &mut self.buckets[idx];
         if bucket.iter().all(|e| e.at <= now) {
             // Common case: the bucket holds only this lap's events.
             out.append(bucket);
@@ -168,6 +180,9 @@ impl EventWheel {
                     true
                 }
             });
+        }
+        if bucket.is_empty() {
+            self.occupancy[idx >> 6] &= !(1u64 << (idx & 63));
         }
         self.len -= out.len();
     }
@@ -185,9 +200,50 @@ impl EventWheel {
     /// due bucket then holds nothing but this cycle's events, and any
     /// overflow event within a lap of `now` has already migrated in.
     pub fn due_now(&self, now: u64) -> bool {
-        let bucket = &self.buckets[(now & WHEEL_MASK) as usize];
-        debug_assert!(bucket.iter().all(|e| e.at == now), "bucket mixes laps");
-        !bucket.is_empty()
+        let idx = (now & WHEEL_MASK) as usize;
+        debug_assert!(
+            self.buckets[idx].iter().all(|e| e.at == now),
+            "bucket mixes laps"
+        );
+        debug_assert_eq!(
+            self.occupancy[idx >> 6] >> (idx & 63) & 1 != 0,
+            !self.buckets[idx].is_empty(),
+            "occupancy bit stale for bucket {idx}"
+        );
+        self.occupancy[idx >> 6] >> (idx & 63) & 1 != 0
+    }
+
+    /// The earliest occupied bucket at circular distance `0..=span` from
+    /// `now`'s bucket, as an absolute cycle — a masked scan of the
+    /// occupancy words (at most one lap, ≤ 17 word reads) instead of a
+    /// bucket-by-bucket walk.
+    fn next_occupied(&self, now: u64, span: u64) -> Option<u64> {
+        const WORDS: usize = WHEEL_BUCKETS / 64;
+        let start = (now & WHEEL_MASK) as usize;
+        let start_w = start >> 6;
+        let mut w = start_w;
+        let mut masked = self.occupancy[w] & (!0u64 << (start & 63));
+        let mut hops = 0;
+        loop {
+            if masked != 0 {
+                let bit = (w << 6) + masked.trailing_zeros() as usize;
+                let d = ((bit + WHEEL_BUCKETS - start) & WHEEL_MASK as usize) as u64;
+                // The first occupied bucket past the horizon means none
+                // inside it: the scan is in ascending distance order.
+                return (d <= span).then_some(now + d);
+            }
+            hops += 1;
+            if hops > WORDS {
+                return None;
+            }
+            w = (w + 1) & (WORDS - 1);
+            masked = self.occupancy[w];
+            if w == start_w {
+                // Wrapped a full lap: only the start word's low bits
+                // (largest distances) remain unexamined.
+                masked &= !(!0u64 << (start & 63));
+            }
+        }
     }
 
     /// The earliest cycle in `now..=horizon` at which an event is due, or
@@ -202,16 +258,14 @@ impl EventWheel {
             return None;
         }
         let span = (horizon - now).min(WHEEL_BUCKETS as u64 - 1);
-        let mut next = None;
-        for d in 0..=span {
-            let at = now + d;
-            let bucket = &self.buckets[(at & WHEEL_MASK) as usize];
-            if !bucket.is_empty() {
-                debug_assert!(bucket.iter().all(|e| e.at == at), "bucket mixes laps");
-                next = Some(at);
-                break;
-            }
-        }
+        let next = self.next_occupied(now, span);
+        debug_assert!(
+            next.is_none_or(|at| {
+                let bucket = &self.buckets[(at & WHEEL_MASK) as usize];
+                !bucket.is_empty() && bucket.iter().all(|e| e.at == at)
+            }),
+            "bucket mixes laps"
+        );
         let overflow_next = self
             .overflow
             .iter()
@@ -303,6 +357,39 @@ mod tests {
         }
         wheel.drain_due(later, &mut due);
         assert_eq!(due.len(), 1);
+    }
+
+    #[test]
+    fn next_due_matches_bucket_walk() {
+        // Drive the wheel across several laps with scattered events and
+        // check the occupancy-word scan against a naive bucket walk.
+        let mut wheel = EventWheel::new();
+        let mut due = Vec::new();
+        let mut pending: Vec<u64> = Vec::new();
+        let mut seq = 0;
+        for now in 0..(WHEEL_BUCKETS as u64 * 3) {
+            wheel.drain_due(now, &mut due);
+            pending.retain(|&at| at > now);
+            // A deterministic, irregular schedule: bursts at varying
+            // distances, including bucket collisions and the now bucket's
+            // word.
+            if now % 7 == 0 {
+                for delta in [1, 2, 63, 64, 100, 1023] {
+                    wheel.schedule(now, event(now + delta, seq));
+                    pending.push(now + delta);
+                    seq += 1;
+                }
+            }
+            for horizon in [now, now + 1, now + 90, now + WHEEL_BUCKETS as u64] {
+                let expect = pending.iter().copied().filter(|&at| at <= horizon).min();
+                assert_eq!(
+                    wheel.next_due(now, horizon),
+                    expect,
+                    "divergence at now={now} horizon={horizon}"
+                );
+            }
+            assert_eq!(wheel.due_now(now + 1), pending.contains(&(now + 1)));
+        }
     }
 
     #[test]

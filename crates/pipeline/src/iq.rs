@@ -1,70 +1,103 @@
-//! Issue queue with stable slot indices and a bitset scheduler scoreboard.
+//! Issue queue in hot/cold SoA form with per-state bitmap words.
 //!
 //! Slots are stable for the lifetime of an entry because the security
 //! dependence matrix (in the `condspec` crate) is indexed by IQ position,
 //! exactly like the paper's Figure 2.
 //!
-//! Scheduling state is kept in three per-slot bit masks maintained
-//! incrementally — `occupied`, `unissued` and `ops_ready` — so candidate
-//! collection is a word-wise `unissued & ops_ready` instead of re-testing
-//! every entry's operands each cycle. The `ops_ready` bits are driven by
-//! the register file's per-register consumer wakeup lists (see
-//! `regfile.rs`): a writeback wakes exactly its subscribers.
+//! The entry storage is a flat [`IqHot`] record array (`Copy`, no
+//! `Option` wrapping — validity lives in the `occupied` bitmap), mirroring
+//! `rob.rs`. Scheduling state is kept in four per-slot bit masks
+//! maintained incrementally — `occupied`, `unissued`, `ops_ready` and
+//! `blocked` — so candidate collection is a word-wise
+//! `unissued & ops_ready` and the idle fast-forward's blocked-entry scan
+//! is a masked-word walk instead of a full-capacity entry loop. The
+//! `ops_ready` bits are driven by the register file's per-register
+//! consumer wakeup lists (see `regfile.rs`): a writeback wakes exactly its
+//! subscribers.
 //!
 //! A dense, insertion-ordered snapshot of the occupied entries backs the
 //! per-dispatch [`IqEntryView`] slices, so the security-matrix snapshot no
 //! longer rebuilds from a full-capacity scan on every dispatch.
 
+use crate::bits;
 use crate::policy::{InstClass, IqEntryView};
 use crate::regfile::PhysReg;
 
-/// One issue-queue entry.
+/// The hot (per-cycle) record of one issue-queue entry.
+///
+/// Scheduler-visible state (`issued`, `blocked`) is private and mutated
+/// only through [`IssueQueue::mark_issued`] and [`IssueQueue::bounce`],
+/// which keep the bitmap words coherent with the records; freshly
+/// constructed entries are not-issued and not-blocked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct IqEntry {
+pub struct IqHot {
     /// Global sequence number.
     pub seq: u64,
     /// Classification for the security matrix.
     pub class: InstClass,
     /// Source physical registers that must be ready before issue.
     pub srcs: [Option<PhysReg>; 2],
-    /// Whether the entry has issued (and not been bounced back).
-    pub issued: bool,
-    /// Whether a hazard filter blocked the entry; it re-issues only once
-    /// its security dependences clear.
-    pub blocked: bool,
     /// Whether this is a memory instruction (consumes a cache port).
     pub is_mem: bool,
     /// Whether this is a fence.
     pub is_fence: bool,
+    issued: bool,
+    blocked: bool,
 }
 
-#[inline]
-fn word_bit(slot: usize) -> (usize, u64) {
-    (slot / 64, 1u64 << (slot % 64))
+impl IqHot {
+    /// A fresh, not-yet-issued entry.
+    pub fn new(
+        seq: u64,
+        class: InstClass,
+        srcs: [Option<PhysReg>; 2],
+        is_mem: bool,
+        is_fence: bool,
+    ) -> Self {
+        IqHot {
+            seq,
+            class,
+            srcs,
+            is_mem,
+            is_fence,
+            issued: false,
+            blocked: false,
+        }
+    }
+
+    /// Whether the entry has issued (and not been bounced back).
+    pub fn issued(&self) -> bool {
+        self.issued
+    }
+
+    /// Whether a hazard filter blocked the entry; it re-issues only once
+    /// its security dependences clear.
+    pub fn blocked(&self) -> bool {
+        self.blocked
+    }
 }
 
 /// Sentinel in `view_pos` for unoccupied slots.
 const NO_VIEW: usize = usize::MAX;
 
-/// A fixed-capacity issue queue with stable slots, a free list and an
-/// incrementally maintained scheduling scoreboard.
+/// A fixed-capacity issue queue with stable slots, a free list, SoA hot
+/// records and an incrementally maintained bitmap scoreboard.
 ///
-/// Entry state that the scheduler depends on (`issued`, operand
-/// readiness) is mutated only through [`IssueQueue::mark_issued`],
-/// [`IssueQueue::bounce`] and [`IssueQueue::set_ops_ready`], which keep
-/// the bit masks and the dense view list coherent with the entries.
+/// Entry state that the scheduler depends on (`issued`, `blocked`,
+/// operand readiness) is mutated only through
+/// [`IssueQueue::mark_issued`], [`IssueQueue::bounce`] and
+/// [`IssueQueue::set_ops_ready`], which keep the bit masks and the dense
+/// view list coherent with the records; [`IssueQueue::check_bitmaps`]
+/// re-derives every word from the records to verify that.
 ///
 /// # Examples
 ///
 /// ```
-/// use condspec_pipeline::iq::{IssueQueue, IqEntry};
+/// use condspec_pipeline::iq::{IssueQueue, IqHot};
 /// use condspec_pipeline::policy::InstClass;
 ///
 /// let mut iq = IssueQueue::new(4);
-/// let entry = IqEntry {
-///     seq: 0, class: InstClass::Other, srcs: [None, None],
-///     issued: false, blocked: false, is_mem: false, is_fence: false,
-/// };
+/// let entry = IqHot::new(0, InstClass::Other, [None, None], false, false);
 /// let slot = iq.allocate(entry).unwrap();
 /// iq.set_ops_ready(slot);
 /// let mut ready = Vec::new();
@@ -75,7 +108,9 @@ const NO_VIEW: usize = usize::MAX;
 /// ```
 #[derive(Debug, Clone)]
 pub struct IssueQueue {
-    slots: Vec<Option<IqEntry>>,
+    /// Flat hot records; `hot[slot]` is meaningful only when the
+    /// `occupied` bit for `slot` is set (stale otherwise).
+    hot: Vec<IqHot>,
     free: Vec<usize>,
     /// One bit per occupied slot.
     occupied: Vec<u64>,
@@ -89,6 +124,9 @@ pub struct IssueQueue {
     /// set once — at allocation or by a wakeup — and cleared only when
     /// the slot is freed.
     ops_ready: Vec<u64>,
+    /// One bit per occupied slot a hazard filter bounced (secure-blocked);
+    /// the idle fast-forward walks exactly these bits.
+    blocked: Vec<u64>,
     /// Dense snapshot of the occupied entries, insertion-ordered (holes
     /// closed by swap-remove), kept in sync by the mutation methods.
     views: Vec<IqEntryView>,
@@ -109,11 +147,12 @@ impl IssueQueue {
         assert!(capacity > 0, "IQ capacity must be nonzero");
         let words = capacity.div_ceil(64);
         IssueQueue {
-            slots: vec![None; capacity],
+            hot: vec![IqHot::new(0, InstClass::Other, [None, None], false, false); capacity],
             free: (0..capacity).rev().collect(),
             occupied: vec![0; words],
             unissued: vec![0; words],
             ops_ready: vec![0; words],
+            blocked: vec![0; words],
             views: Vec::with_capacity(capacity),
             view_pos: vec![NO_VIEW; capacity],
             views_scratch: Vec::with_capacity(capacity),
@@ -123,19 +162,19 @@ impl IssueQueue {
     /// Empties the queue, returning every slot to the free list. Keeps
     /// allocated storage so a reloaded core stays allocation-free.
     pub fn reset(&mut self) {
-        self.slots.iter_mut().for_each(|s| *s = None);
         self.free.clear();
-        self.free.extend((0..self.slots.len()).rev());
+        self.free.extend((0..self.hot.len()).rev());
         self.occupied.iter_mut().for_each(|w| *w = 0);
         self.unissued.iter_mut().for_each(|w| *w = 0);
         self.ops_ready.iter_mut().for_each(|w| *w = 0);
+        self.blocked.iter_mut().for_each(|w| *w = 0);
         self.views.clear();
         self.view_pos.iter_mut().for_each(|p| *p = NO_VIEW);
     }
 
     /// Number of slots.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.hot.len()
     }
 
     /// Number of occupied slots.
@@ -149,23 +188,24 @@ impl IssueQueue {
     }
 
     /// Inserts an entry, returning its slot, or `None` when full.
-    pub fn allocate(&mut self, entry: IqEntry) -> Option<usize> {
+    pub fn allocate(&mut self, entry: IqHot) -> Option<usize> {
         let slot = self.free.pop()?;
-        debug_assert!(self.slots[slot].is_none());
-        let (w, b) = word_bit(slot);
-        debug_assert_eq!(self.ops_ready[w] & b, 0, "stale ready bit on a free slot");
-        self.occupied[w] |= b;
-        if !entry.issued {
-            self.unissued[w] |= b;
-        }
+        debug_assert!(!bits::test_bit(&self.occupied, slot));
+        debug_assert!(
+            !bits::test_bit(&self.ops_ready, slot),
+            "stale ready bit on a free slot"
+        );
+        debug_assert!(!entry.issued && !entry.blocked);
+        bits::set_bit(&mut self.occupied, slot);
+        bits::set_bit(&mut self.unissued, slot);
         self.view_pos[slot] = self.views.len();
         self.views.push(IqEntryView {
             slot,
             seq: entry.seq,
             class: entry.class,
-            issued: entry.issued,
+            issued: false,
         });
-        self.slots[slot] = Some(entry);
+        self.hot[slot] = entry;
         Some(slot)
     }
 
@@ -176,14 +216,13 @@ impl IssueQueue {
     /// Panics if the slot is already free.
     pub fn free_slot(&mut self, slot: usize) {
         assert!(
-            self.slots[slot].is_some(),
+            bits::test_bit(&self.occupied, slot),
             "freeing an already-free IQ slot {slot}"
         );
-        self.slots[slot] = None;
-        let (w, b) = word_bit(slot);
-        self.occupied[w] &= !b;
-        self.unissued[w] &= !b;
-        self.ops_ready[w] &= !b;
+        bits::clear_bit(&mut self.occupied, slot);
+        bits::clear_bit(&mut self.unissued, slot);
+        bits::clear_bit(&mut self.ops_ready, slot);
+        bits::clear_bit(&mut self.blocked, slot);
         let pos = self.view_pos[slot];
         self.view_pos[slot] = NO_VIEW;
         self.views.swap_remove(pos);
@@ -194,8 +233,12 @@ impl IssueQueue {
     }
 
     /// The entry in `slot`, if occupied.
-    pub fn get(&self, slot: usize) -> Option<&IqEntry> {
-        self.slots.get(slot).and_then(|s| s.as_ref())
+    pub fn get(&self, slot: usize) -> Option<&IqHot> {
+        if slot < self.hot.len() && bits::test_bit(&self.occupied, slot) {
+            Some(&self.hot[slot])
+        } else {
+            None
+        }
     }
 
     /// Marks the entry as issued (clearing any blocked state).
@@ -204,11 +247,15 @@ impl IssueQueue {
     ///
     /// Panics if the slot is free.
     pub fn mark_issued(&mut self, slot: usize) {
-        let entry = self.slots[slot].as_mut().expect("mark_issued on free slot");
+        assert!(
+            bits::test_bit(&self.occupied, slot),
+            "mark_issued on free slot"
+        );
+        let entry = &mut self.hot[slot];
         entry.issued = true;
         entry.blocked = false;
-        let (w, b) = word_bit(slot);
-        self.unissued[w] &= !b;
+        bits::clear_bit(&mut self.unissued, slot);
+        bits::clear_bit(&mut self.blocked, slot);
         self.views[self.view_pos[slot]].issued = true;
     }
 
@@ -219,11 +266,12 @@ impl IssueQueue {
     ///
     /// Panics if the slot is free.
     pub fn bounce(&mut self, slot: usize) {
-        let entry = self.slots[slot].as_mut().expect("bounce on free slot");
+        assert!(bits::test_bit(&self.occupied, slot), "bounce on free slot");
+        let entry = &mut self.hot[slot];
         entry.issued = false;
         entry.blocked = true;
-        let (w, b) = word_bit(slot);
-        self.unissued[w] |= b;
+        bits::set_bit(&mut self.unissued, slot);
+        bits::set_bit(&mut self.blocked, slot);
         self.views[self.view_pos[slot]].issued = false;
     }
 
@@ -231,23 +279,49 @@ impl IssueQueue {
     /// Idempotent; called at allocation (all-ready dispatch) or when a
     /// wakeup observes the last outstanding operand becoming ready.
     pub fn set_ops_ready(&mut self, slot: usize) {
-        let (w, b) = word_bit(slot);
-        debug_assert_ne!(self.occupied[w] & b, 0, "ready bit for a free slot");
-        self.ops_ready[w] |= b;
+        debug_assert!(
+            bits::test_bit(&self.occupied, slot),
+            "ready bit for a free slot"
+        );
+        bits::set_bit(&mut self.ops_ready, slot);
     }
 
     /// Whether the operands-ready bit is set for `slot`.
     pub fn ops_ready(&self, slot: usize) -> bool {
-        let (w, b) = word_bit(slot);
-        self.ops_ready[w] & b != 0
+        bits::test_bit(&self.ops_ready, slot)
     }
 
-    /// Iterates over `(slot, entry)` for occupied slots.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &IqEntry)> {
-        self.slots
+    /// Iterates over `(slot, entry)` for occupied slots, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &IqHot)> {
+        self.occupied
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+            .flat_map(move |(w, &word)| {
+                let mut mask = word;
+                std::iter::from_fn(move || {
+                    if mask == 0 {
+                        return None;
+                    }
+                    let slot = w * 64 + mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    Some(slot)
+                })
+            })
+            .map(move |slot| (slot, &self.hot[slot]))
+    }
+
+    /// Calls `f(slot)` for every secure-blocked entry — a masked walk of
+    /// the `blocked` word, so the idle fast-forward touches only bounced
+    /// entries instead of scanning the whole queue.
+    #[inline]
+    pub fn for_each_blocked(&self, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.blocked.iter().enumerate() {
+            let mut mask = word;
+            while mask != 0 {
+                f(w * 64 + mask.trailing_zeros() as usize);
+                mask &= mask - 1;
+            }
+        }
     }
 
     /// Appends every not-issued entry whose operands are ready to `out`
@@ -259,10 +333,8 @@ impl IssueQueue {
             while mask != 0 {
                 let slot = w * 64 + mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                let entry = self.slots[slot]
-                    .as_ref()
-                    .expect("scoreboard bit set on a free slot");
-                out.push((entry.seq, slot));
+                debug_assert!(bits::test_bit(&self.occupied, slot));
+                out.push((self.hot[slot].seq, slot));
             }
         }
     }
@@ -281,14 +353,10 @@ impl IssueQueue {
     /// dispatch pattern); the returned slice borrows internal storage and
     /// is valid until the next mutation.
     pub fn views_excluding(&mut self, skip: usize) -> &[IqEntryView] {
-        let Some(pos) = self
-            .slots
-            .get(skip)
-            .and_then(|s| s.as_ref())
-            .map(|_| self.view_pos[skip])
-        else {
+        if skip >= self.hot.len() || !bits::test_bit(&self.occupied, skip) {
             return &self.views;
-        };
+        }
+        let pos = self.view_pos[skip];
         if pos + 1 == self.views.len() {
             return &self.views[..pos];
         }
@@ -307,7 +375,7 @@ impl IssueQueue {
             while mask != 0 {
                 let slot = w * 64 + mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                if self.slots[slot].as_ref().is_some_and(|e| e.seq > target) {
+                if self.hot[slot].seq > target {
                     self.free_slot(slot);
                     out.push(slot);
                 }
@@ -315,48 +383,65 @@ impl IssueQueue {
         }
     }
 
-    /// Checks that the scoreboard masks, dense view list and free list
-    /// agree with the entry storage. Diagnostic; used by the core's
-    /// invariant checker and the differential scheduler tests.
-    pub fn check_coherence(&self) -> Result<(), String> {
-        for slot in 0..self.slots.len() {
-            let (w, b) = word_bit(slot);
-            let occ = self.occupied[w] & b != 0;
-            match &self.slots[slot] {
-                Some(entry) => {
-                    if !occ {
-                        return Err(format!("occupied bit clear for live slot {slot}"));
-                    }
-                    if (self.unissued[w] & b != 0) == entry.issued {
-                        return Err(format!("unissued bit stale for slot {slot}"));
-                    }
-                    let pos = self.view_pos[slot];
-                    let Some(view) = self.views.get(pos) else {
-                        return Err(format!("view position out of range for slot {slot}"));
-                    };
-                    if view.slot != slot
-                        || view.seq != entry.seq
-                        || view.class != entry.class
-                        || view.issued != entry.issued
-                    {
-                        return Err(format!("dense view stale for slot {slot}: {view:?}"));
-                    }
+    /// Re-derives every bitmap word, the dense view list and the free
+    /// list from the hot records and verifies they agree with the
+    /// incrementally maintained state. Diagnostic; run from
+    /// `Core::check_invariants` and the differential scheduler tests,
+    /// mirroring `Rob::check_bitmaps`.
+    pub fn check_bitmaps(&self) -> Result<(), String> {
+        let mut free_seen = vec![false; self.hot.len()];
+        for &slot in &self.free {
+            if free_seen[slot] {
+                return Err(format!("slot {slot} appears twice in the IQ free list"));
+            }
+            free_seen[slot] = true;
+        }
+        for (slot, &free) in free_seen.iter().enumerate() {
+            let occ = bits::test_bit(&self.occupied, slot);
+            if occ == free {
+                return Err(format!(
+                    "occupied bit and free list disagree for slot {slot}"
+                ));
+            }
+            if occ {
+                let entry = &self.hot[slot];
+                if bits::test_bit(&self.unissued, slot) == entry.issued {
+                    return Err(format!("unissued bit stale for slot {slot}"));
                 }
-                None => {
-                    if occ || self.unissued[w] & b != 0 || self.ops_ready[w] & b != 0 {
-                        return Err(format!("scoreboard bit set for free slot {slot}"));
-                    }
-                    if self.view_pos[slot] != NO_VIEW {
-                        return Err(format!("free slot {slot} still has a view position"));
-                    }
+                if bits::test_bit(&self.blocked, slot) != entry.blocked {
+                    return Err(format!("blocked bit stale for slot {slot}"));
+                }
+                if entry.issued && entry.blocked {
+                    return Err(format!("slot {slot} both issued and blocked"));
+                }
+                let pos = self.view_pos[slot];
+                let Some(view) = self.views.get(pos) else {
+                    return Err(format!("view position out of range for slot {slot}"));
+                };
+                if view.slot != slot
+                    || view.seq != entry.seq
+                    || view.class != entry.class
+                    || view.issued != entry.issued
+                {
+                    return Err(format!("dense view stale for slot {slot}: {view:?}"));
+                }
+            } else {
+                if bits::test_bit(&self.unissued, slot)
+                    || bits::test_bit(&self.ops_ready, slot)
+                    || bits::test_bit(&self.blocked, slot)
+                {
+                    return Err(format!("scoreboard bit set for free slot {slot}"));
+                }
+                if self.view_pos[slot] != NO_VIEW {
+                    return Err(format!("free slot {slot} still has a view position"));
                 }
             }
         }
-        if self.views.len() != self.slots.len() - self.free.len() {
+        if self.views.len() != self.hot.len() - self.free.len() {
             return Err(format!(
                 "dense view count {} != occupancy {}",
                 self.views.len(),
-                self.slots.len() - self.free.len()
+                self.hot.len() - self.free.len()
             ));
         }
         Ok(())
@@ -367,22 +452,20 @@ impl IssueQueue {
 mod tests {
     use super::*;
 
-    fn entry(seq: u64) -> IqEntry {
-        IqEntry {
-            seq,
-            class: InstClass::Other,
-            srcs: [None, None],
-            issued: false,
-            blocked: false,
-            is_mem: false,
-            is_fence: false,
-        }
+    fn entry(seq: u64) -> IqHot {
+        IqHot::new(seq, InstClass::Other, [None, None], false, false)
     }
 
     fn ready_set(iq: &IssueQueue) -> Vec<(u64, usize)> {
         let mut out = Vec::new();
         iq.collect_ready(&mut out);
         out.sort_unstable();
+        out
+    }
+
+    fn blocked_set(iq: &IssueQueue) -> Vec<usize> {
+        let mut out = Vec::new();
+        iq.for_each_blocked(|s| out.push(s));
         out
     }
 
@@ -394,7 +477,7 @@ mod tests {
         assert!(iq.is_full());
         assert!(iq.allocate(entry(2)).is_none());
         assert_eq!(iq.occupancy(), 2);
-        iq.check_coherence().unwrap();
+        iq.check_bitmaps().unwrap();
     }
 
     #[test]
@@ -407,7 +490,7 @@ mod tests {
         assert_eq!(iq.get(s1).unwrap().seq, 1, "other slots untouched");
         let s2 = iq.allocate(entry(2)).unwrap();
         assert_eq!(s2, s0, "freed slot is reused");
-        iq.check_coherence().unwrap();
+        iq.check_bitmaps().unwrap();
     }
 
     #[test]
@@ -422,8 +505,26 @@ mod tests {
         assert_eq!(views[0].slot, s0);
         iq.bounce(s0);
         assert!(!iq.views()[0].issued, "bounce un-issues the view");
-        assert!(iq.get(s0).unwrap().blocked);
-        iq.check_coherence().unwrap();
+        assert!(iq.get(s0).unwrap().blocked());
+        iq.check_bitmaps().unwrap();
+    }
+
+    #[test]
+    fn blocked_bitmap_tracks_bounce_and_reissue() {
+        let mut iq = IssueQueue::new(130); // spans three words
+        let a = iq.allocate(entry(1)).unwrap();
+        let b = iq.allocate(entry(2)).unwrap();
+        assert!(blocked_set(&iq).is_empty());
+        iq.mark_issued(a);
+        iq.bounce(a);
+        iq.mark_issued(b);
+        iq.bounce(b);
+        assert_eq!(blocked_set(&iq), vec![a, b]);
+        iq.mark_issued(a);
+        assert_eq!(blocked_set(&iq), vec![b], "re-issue clears the bit");
+        iq.free_slot(b);
+        assert!(blocked_set(&iq).is_empty(), "free clears the bit");
+        iq.check_bitmaps().unwrap();
     }
 
     #[test]
@@ -453,7 +554,7 @@ mod tests {
         let mut seqs: Vec<u64> = iq.views().iter().map(|v| v.seq).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, vec![0, 2, 4]);
-        iq.check_coherence().unwrap();
+        iq.check_bitmaps().unwrap();
     }
 
     #[test]
@@ -461,11 +562,14 @@ mod tests {
         let mut iq = IssueQueue::new(3);
         let s = iq.allocate(entry(0)).unwrap();
         iq.set_ops_ready(s);
+        iq.mark_issued(s);
+        iq.bounce(s);
         iq.allocate(entry(1)).unwrap();
         iq.reset();
         assert_eq!(iq.occupancy(), 0);
         assert!(ready_set(&iq).is_empty(), "reset clears the scoreboard");
-        iq.check_coherence().unwrap();
+        assert!(blocked_set(&iq).is_empty(), "reset clears blocked bits");
+        iq.check_bitmaps().unwrap();
         // All slots allocatable again, lowest index first.
         assert_eq!(iq.allocate(entry(2)), Some(0));
     }
@@ -481,7 +585,7 @@ mod tests {
         assert_eq!(removed.len(), 1);
         assert_eq!(iq.occupancy(), 2);
         assert!(iq.iter().all(|(_, e)| e.seq <= 5));
-        iq.check_coherence().unwrap();
+        iq.check_bitmaps().unwrap();
     }
 
     #[test]
@@ -505,7 +609,7 @@ mod tests {
         iq.set_ops_ready(b);
         iq.free_slot(b);
         assert_eq!(ready_set(&iq), vec![(10, a), (12, c)]);
-        iq.check_coherence().unwrap();
+        iq.check_bitmaps().unwrap();
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! # }
 //! ```
 
+pub(crate) mod bits;
 pub mod core;
 pub mod events;
 pub mod iq;

@@ -7,41 +7,69 @@
 //! unknown (the speculation Spectre V4 exploits); when such a store later
 //! resolves to an overlapping address, the violation is detected and the
 //! core squashes from the offending load.
+//!
+//! Both queues are seq-ordered rings in hot/cold SoA form, mirroring
+//! `rob.rs`: flat `Copy` record arrays ([`LoadHot`], [`StoreHot`]) whose
+//! validity lives in per-state u64 bitmap words (`valid`/`executed` for
+//! loads; `valid`/`addr_known`/`data_known` for stores). Entries are
+//! allocated at the tail in program order, so a sequence number maps to a
+//! ring offset by binary search, the "any older store with an unknown
+//! address" check is a masked-word `range_all_set`, and the forwarding /
+//! violation searches are masked-word scans over exactly the candidate
+//! bits instead of per-entry queue walks. Squash is a word-wise range
+//! clear at the tail. [`Lsq::check_bitmaps`] re-derives every word from
+//! the records, and the `lsq_differential` property test checks the whole
+//! API against a naive O(n²) reference model.
 
-use std::collections::VecDeque;
+use crate::bits;
 
-/// An in-flight load.
+/// The hot record of one in-flight load. `addr` is meaningful only once
+/// the `executed` bit is set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LoadEntry {
-    /// Global sequence number.
-    pub seq: u64,
-    /// Resolved virtual address (at execute).
-    pub addr: Option<u64>,
-    /// Access size in bytes.
-    pub size: u64,
-    /// Whether the load has obtained its value.
-    pub executed: bool,
+struct LoadHot {
+    seq: u64,
+    addr: u64,
+    size: u64,
+    executed: bool,
     /// Whether it executed while an older store's address was unknown.
-    pub bypassed_unknown_store: bool,
+    bypassed_unknown_store: bool,
 }
 
-/// An in-flight store. Address and data resolve independently, as in a
-/// real LSQ: the store issues and resolves its address once the base
-/// register is ready; the data may arrive later.
+/// The hot record of one in-flight store. Address and data resolve
+/// independently, as in a real LSQ: the store issues and resolves its
+/// address once the base register is ready; the data may arrive later.
+/// `addr`/`data` are meaningful only once the matching `*_known` bit is
+/// set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StoreEntry {
-    /// Global sequence number.
-    pub seq: u64,
-    /// Resolved virtual address.
-    pub addr: Option<u64>,
-    /// Access size in bytes.
-    pub size: u64,
-    /// Store data, once available for forwarding.
-    pub data: Option<u64>,
+struct StoreHot {
+    seq: u64,
+    addr: u64,
+    size: u64,
+    data: u64,
+    addr_known: bool,
+    data_known: bool,
 }
 
 fn ranges_overlap(a: u64, a_len: u64, b: u64, b_len: u64) -> bool {
     a < b + b_len && b < a + a_len
+}
+
+/// Splits the ring-offset range `[a, b)` of a queue with head slot
+/// `head` and capacity `cap` into up to two contiguous physical slot
+/// ranges, oldest piece first. Empty pieces come out as `(0, 0)`.
+fn ring_pieces(head: usize, cap: usize, a: usize, b: usize) -> [(usize, usize); 2] {
+    if a >= b {
+        return [(0, 0), (0, 0)];
+    }
+    let sa = head + a;
+    let sb = head + b;
+    if sa >= cap {
+        [(sa - cap, sb - cap), (0, 0)]
+    } else if sb <= cap {
+        [(sa, sb), (0, 0)]
+    } else {
+        [(sa, cap), (0, sb - cap)]
+    }
 }
 
 /// Combined load/store queues.
@@ -61,10 +89,22 @@ fn ranges_overlap(a: u64, a_len: u64, b: u64, b_len: u64) -> bool {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Lsq {
-    loads: VecDeque<LoadEntry>,
-    stores: VecDeque<StoreEntry>,
-    load_capacity: usize,
-    store_capacity: usize,
+    load_hot: Vec<LoadHot>,
+    /// One bit per slot inside the load ring window.
+    load_valid: Vec<u64>,
+    /// One bit per valid load that has obtained its value.
+    load_executed: Vec<u64>,
+    load_head: usize,
+    load_len: usize,
+    store_hot: Vec<StoreHot>,
+    /// One bit per slot inside the store ring window.
+    store_valid: Vec<u64>,
+    /// One bit per valid store whose address has resolved.
+    store_addr_known: Vec<u64>,
+    /// One bit per valid store whose data is available for forwarding.
+    store_data_known: Vec<u64>,
+    store_head: usize,
+    store_len: usize,
 }
 
 impl Lsq {
@@ -78,22 +118,152 @@ impl Lsq {
             load_capacity > 0 && store_capacity > 0,
             "LSQ capacities must be nonzero"
         );
+        let load_words = load_capacity.div_ceil(64);
+        let store_words = store_capacity.div_ceil(64);
         Lsq {
-            loads: VecDeque::with_capacity(load_capacity),
-            stores: VecDeque::with_capacity(store_capacity),
-            load_capacity,
-            store_capacity,
+            load_hot: vec![
+                LoadHot {
+                    seq: 0,
+                    addr: 0,
+                    size: 0,
+                    executed: false,
+                    bypassed_unknown_store: false,
+                };
+                load_capacity
+            ],
+            load_valid: vec![0; load_words],
+            load_executed: vec![0; load_words],
+            load_head: 0,
+            load_len: 0,
+            store_hot: vec![
+                StoreHot {
+                    seq: 0,
+                    addr: 0,
+                    size: 0,
+                    data: 0,
+                    addr_known: false,
+                    data_known: false,
+                };
+                store_capacity
+            ],
+            store_valid: vec![0; store_words],
+            store_addr_known: vec![0; store_words],
+            store_data_known: vec![0; store_words],
+            store_head: 0,
+            store_len: 0,
         }
+    }
+
+    #[inline]
+    fn load_slot(&self, off: usize) -> usize {
+        let s = self.load_head + off;
+        if s >= self.load_hot.len() {
+            s - self.load_hot.len()
+        } else {
+            s
+        }
+    }
+
+    #[inline]
+    fn store_slot(&self, off: usize) -> usize {
+        let s = self.store_head + off;
+        if s >= self.store_hot.len() {
+            s - self.store_hot.len()
+        } else {
+            s
+        }
+    }
+
+    /// Number of loads with sequence number strictly below `seq` — the
+    /// ring offset where `seq` would sit. Binary search over the
+    /// seq-ordered window.
+    fn load_lower_bound(&self, seq: u64) -> usize {
+        let (mut lo, mut hi) = (0, self.load_len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.load_hot[self.load_slot(mid)].seq < seq {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Number of loads with sequence number `<= target`.
+    fn load_count_le(&self, target: u64) -> usize {
+        let (mut lo, mut hi) = (0, self.load_len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.load_hot[self.load_slot(mid)].seq <= target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Number of stores with sequence number strictly below `seq`.
+    fn store_lower_bound(&self, seq: u64) -> usize {
+        let (mut lo, mut hi) = (0, self.store_len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.store_hot[self.store_slot(mid)].seq < seq {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Number of stores with sequence number `<= target`.
+    fn store_count_le(&self, target: u64) -> usize {
+        let (mut lo, mut hi) = (0, self.store_len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.store_hot[self.store_slot(mid)].seq <= target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The slot of the store with exactly `seq`, if resident.
+    fn find_store(&self, seq: u64) -> Option<usize> {
+        let off = self.store_lower_bound(seq);
+        if off < self.store_len {
+            let slot = self.store_slot(off);
+            if self.store_hot[slot].seq == seq {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// The slot of the load with exactly `seq`, if resident.
+    fn find_load(&self, seq: u64) -> Option<usize> {
+        let off = self.load_lower_bound(seq);
+        if off < self.load_len {
+            let slot = self.load_slot(off);
+            if self.load_hot[slot].seq == seq {
+                return Some(slot);
+            }
+        }
+        None
     }
 
     /// Whether a load can be dispatched.
     pub fn load_has_space(&self) -> bool {
-        self.loads.len() < self.load_capacity
+        self.load_len < self.load_hot.len()
     }
 
     /// Whether a store can be dispatched.
     pub fn store_has_space(&self) -> bool {
-        self.stores.len() < self.store_capacity
+        self.store_len < self.store_hot.len()
     }
 
     /// Allocates a load entry at dispatch (program order).
@@ -103,14 +273,21 @@ impl Lsq {
         if !self.load_has_space() {
             return None;
         }
-        debug_assert!(self.loads.back().is_none_or(|l| l.seq < seq));
-        self.loads.push_back(LoadEntry {
+        debug_assert!(
+            self.load_len == 0 || self.load_hot[self.load_slot(self.load_len - 1)].seq < seq
+        );
+        let slot = self.load_slot(self.load_len);
+        debug_assert!(!bits::test_bit(&self.load_valid, slot));
+        debug_assert!(!bits::test_bit(&self.load_executed, slot));
+        self.load_hot[slot] = LoadHot {
             seq,
-            addr: None,
+            addr: 0,
             size,
             executed: false,
             bypassed_unknown_store: false,
-        });
+        };
+        bits::set_bit(&mut self.load_valid, slot);
+        self.load_len += 1;
         Some(())
     }
 
@@ -121,13 +298,23 @@ impl Lsq {
         if !self.store_has_space() {
             return None;
         }
-        debug_assert!(self.stores.back().is_none_or(|s| s.seq < seq));
-        self.stores.push_back(StoreEntry {
+        debug_assert!(
+            self.store_len == 0 || self.store_hot[self.store_slot(self.store_len - 1)].seq < seq
+        );
+        let slot = self.store_slot(self.store_len);
+        debug_assert!(!bits::test_bit(&self.store_valid, slot));
+        debug_assert!(!bits::test_bit(&self.store_addr_known, slot));
+        debug_assert!(!bits::test_bit(&self.store_data_known, slot));
+        self.store_hot[slot] = StoreHot {
             seq,
-            addr: None,
+            addr: 0,
             size,
-            data: None,
-        });
+            data: 0,
+            addr_known: false,
+            data_known: false,
+        };
+        bits::set_bit(&mut self.store_valid, slot);
+        self.store_len += 1;
         Some(())
     }
 
@@ -137,12 +324,12 @@ impl Lsq {
     ///
     /// Panics if the store is not in the queue.
     pub fn resolve_store_addr(&mut self, seq: u64, addr: u64) {
-        let entry = self
-            .stores
-            .iter_mut()
-            .find(|s| s.seq == seq)
+        let slot = self
+            .find_store(seq)
             .expect("resolving a store that is not in the STQ");
-        entry.addr = Some(addr);
+        self.store_hot[slot].addr = addr;
+        self.store_hot[slot].addr_known = true;
+        bits::set_bit(&mut self.store_addr_known, slot);
     }
 
     /// Records a store's data once its source register is ready.
@@ -151,12 +338,12 @@ impl Lsq {
     ///
     /// Panics if the store is not in the queue.
     pub fn resolve_store_data(&mut self, seq: u64, data: u64) {
-        let entry = self
-            .stores
-            .iter_mut()
-            .find(|s| s.seq == seq)
+        let slot = self
+            .find_store(seq)
             .expect("resolving data for a store that is not in the STQ");
-        entry.data = Some(data);
+        self.store_hot[slot].data = data;
+        self.store_hot[slot].data_known = true;
+        bits::set_bit(&mut self.store_data_known, slot);
     }
 
     /// Records a load's resolved address and execution status.
@@ -165,36 +352,59 @@ impl Lsq {
     ///
     /// Panics if the load is not in the queue.
     pub fn resolve_load(&mut self, seq: u64, addr: u64, bypassed: bool) {
-        let entry = self
-            .loads
-            .iter_mut()
-            .find(|l| l.seq == seq)
+        let slot = self
+            .find_load(seq)
             .expect("resolving a load that is not in the LDQ");
-        entry.addr = Some(addr);
-        entry.executed = true;
-        entry.bypassed_unknown_store = bypassed;
+        self.load_hot[slot].addr = addr;
+        self.load_hot[slot].executed = true;
+        self.load_hot[slot].bypassed_unknown_store = bypassed;
+        bits::set_bit(&mut self.load_executed, slot);
     }
 
-    /// Whether any store older than `seq` has an unresolved address.
+    /// Whether any store older than `seq` has an unresolved address: a
+    /// masked-word "are all `addr_known` bits set over the older range"
+    /// test.
     pub fn older_store_unknown(&self, seq: u64) -> bool {
-        self.stores.iter().any(|s| s.seq < seq && s.addr.is_none())
+        let k = self.store_lower_bound(seq);
+        let cap = self.store_hot.len();
+        for (start, end) in ring_pieces(self.store_head, cap, 0, k) {
+            if !bits::range_all_set(&self.store_addr_known, start, end) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Whether any older store has a resolved address overlapping the
     /// load but data that is not yet available (the load must wait — it
-    /// can neither forward nor safely read memory).
+    /// can neither forward nor safely read memory). Scans only the
+    /// `addr_known & !data_known` bits over the older range.
     pub fn older_store_data_unknown(&self, seq: u64, addr: u64, size: u64) -> bool {
-        self.stores.iter().any(|s| {
-            s.seq < seq
-                && s.data.is_none()
-                && matches!(s.addr, Some(sa) if ranges_overlap(addr, size, sa, s.size))
-        })
+        let k = self.store_lower_bound(seq);
+        let cap = self.store_hot.len();
+        for (start, end) in ring_pieces(self.store_head, cap, 0, k) {
+            let hit = bits::find_set_in_range(
+                |w| self.store_addr_known[w] & !self.store_data_known[w],
+                start,
+                end,
+                |slot| {
+                    let s = &self.store_hot[slot];
+                    ranges_overlap(addr, size, s.addr, s.size)
+                },
+            );
+            if hit.is_some() {
+                return true;
+            }
+        }
+        false
     }
 
     /// Composes a load value: starts from `memory_value` (the bytes
     /// currently in committed memory at `addr`) and overlays bytes written
     /// by older in-flight stores, oldest first, so the youngest matching
-    /// store wins per byte.
+    /// store wins per byte. The candidate set is the
+    /// `addr_known & data_known` bits over the older range, visited in
+    /// ascending ring order (= ascending seq).
     ///
     /// Callers must have checked [`older_store_data_unknown`] first;
     /// overlapping stores without data are skipped here.
@@ -202,19 +412,27 @@ impl Lsq {
     /// [`older_store_data_unknown`]: Lsq::older_store_data_unknown
     pub fn overlay(&self, seq: u64, addr: u64, size: u64, memory_value: u64) -> u64 {
         let mut bytes = memory_value.to_le_bytes();
-        for store in self.stores.iter().filter(|s| s.seq < seq) {
-            let Some(saddr) = store.addr else { continue };
-            let Some(data) = store.data else { continue };
-            if !ranges_overlap(addr, size, saddr, store.size) {
-                continue;
-            }
-            let sdata = data.to_le_bytes();
-            for i in 0..store.size {
-                let byte_addr = saddr + i;
-                if byte_addr >= addr && byte_addr < addr + size {
-                    bytes[(byte_addr - addr) as usize] = sdata[i as usize];
-                }
-            }
+        let k = self.store_lower_bound(seq);
+        let cap = self.store_hot.len();
+        for (start, end) in ring_pieces(self.store_head, cap, 0, k) {
+            bits::for_each_set_in_range(
+                |w| self.store_addr_known[w] & self.store_data_known[w],
+                start,
+                end,
+                |slot| {
+                    let store = &self.store_hot[slot];
+                    if !ranges_overlap(addr, size, store.addr, store.size) {
+                        return;
+                    }
+                    let sdata = store.data.to_le_bytes();
+                    for i in 0..store.size {
+                        let byte_addr = store.addr + i;
+                        if byte_addr >= addr && byte_addr < addr + size {
+                            bytes[(byte_addr - addr) as usize] = sdata[i as usize];
+                        }
+                    }
+                },
+            );
         }
         let mut value = u64::from_le_bytes(bytes);
         if size < 8 {
@@ -226,31 +444,53 @@ impl Lsq {
     /// Checks whether resolving a store at `addr` exposes a memory-order
     /// violation: a *younger* load that already executed with an
     /// overlapping address. Returns the oldest such load's sequence
-    /// number (the squash point).
+    /// number (the squash point). Scans the `executed` bits over the
+    /// younger range in ascending seq order, so the first overlap found
+    /// is the answer.
     pub fn violation_on_store(&self, store_seq: u64, addr: u64, size: u64) -> Option<u64> {
-        self.loads
-            .iter()
-            .filter(|l| l.seq > store_seq && l.executed)
-            .filter(|l| {
-                l.addr
-                    .map(|la| ranges_overlap(la, l.size, addr, size))
-                    .unwrap_or(false)
-            })
-            .map(|l| l.seq)
-            .min()
+        let k = self.load_count_le(store_seq);
+        let cap = self.load_hot.len();
+        for (start, end) in ring_pieces(self.load_head, cap, k, self.load_len) {
+            let hit = bits::find_set_in_range(
+                |w| self.load_executed[w],
+                start,
+                end,
+                |slot| {
+                    let l = &self.load_hot[slot];
+                    ranges_overlap(l.addr, l.size, addr, size)
+                },
+            );
+            if let Some(slot) = hit {
+                return Some(self.load_hot[slot].seq);
+            }
+        }
+        None
     }
 
     /// Removes the oldest load if it has sequence number `seq` (commit).
     pub fn release_load(&mut self, seq: u64) {
-        if matches!(self.loads.front(), Some(l) if l.seq == seq) {
-            self.loads.pop_front();
+        if self.load_len > 0 && self.load_hot[self.load_head].seq == seq {
+            bits::clear_bit(&mut self.load_valid, self.load_head);
+            bits::clear_bit(&mut self.load_executed, self.load_head);
+            self.load_head = self.load_slot(1);
+            self.load_len -= 1;
+            if self.load_len == 0 {
+                self.load_head = 0;
+            }
         }
     }
 
     /// Removes the oldest store if it has sequence number `seq` (commit).
     pub fn release_store(&mut self, seq: u64) {
-        if matches!(self.stores.front(), Some(s) if s.seq == seq) {
-            self.stores.pop_front();
+        if self.store_len > 0 && self.store_hot[self.store_head].seq == seq {
+            bits::clear_bit(&mut self.store_valid, self.store_head);
+            bits::clear_bit(&mut self.store_addr_known, self.store_head);
+            bits::clear_bit(&mut self.store_data_known, self.store_head);
+            self.store_head = self.store_slot(1);
+            self.store_len -= 1;
+            if self.store_len == 0 {
+                self.store_head = 0;
+            }
         }
     }
 
@@ -263,31 +503,117 @@ impl Lsq {
     }
 
     /// Like [`Lsq::squash_after`], but clears `out` and fills it in place
-    /// so callers can reuse one buffer across squashes.
+    /// so callers can reuse one buffer across squashes. The removed
+    /// sequence numbers come out youngest-first, loads before stores
+    /// (the order the TPBuf release notifications rely on); the bitmap
+    /// words are cleared with word-wise range clears at the tail.
     pub fn squash_after_into(&mut self, target: u64, out: &mut Vec<u64>) {
         out.clear();
-        while matches!(self.loads.back(), Some(l) if l.seq > target) {
-            out.push(self.loads.pop_back().expect("checked").seq);
+        let load_cut = self.load_count_le(target);
+        for off in (load_cut..self.load_len).rev() {
+            out.push(self.load_hot[self.load_slot(off)].seq);
         }
-        while matches!(self.stores.back(), Some(s) if s.seq > target) {
-            out.push(self.stores.pop_back().expect("checked").seq);
+        let cap = self.load_hot.len();
+        for (start, end) in ring_pieces(self.load_head, cap, load_cut, self.load_len) {
+            bits::clear_range(&mut self.load_valid, start, end);
+            bits::clear_range(&mut self.load_executed, start, end);
+        }
+        self.load_len = load_cut;
+        if self.load_len == 0 {
+            self.load_head = 0;
+        }
+        let store_cut = self.store_count_le(target);
+        for off in (store_cut..self.store_len).rev() {
+            out.push(self.store_hot[self.store_slot(off)].seq);
+        }
+        let cap = self.store_hot.len();
+        for (start, end) in ring_pieces(self.store_head, cap, store_cut, self.store_len) {
+            bits::clear_range(&mut self.store_valid, start, end);
+            bits::clear_range(&mut self.store_addr_known, start, end);
+            bits::clear_range(&mut self.store_data_known, start, end);
+        }
+        self.store_len = store_cut;
+        if self.store_len == 0 {
+            self.store_head = 0;
         }
     }
 
     /// Empties both queues, keeping the backing storage.
     pub fn reset(&mut self) {
-        self.loads.clear();
-        self.stores.clear();
+        self.load_valid.iter_mut().for_each(|w| *w = 0);
+        self.load_executed.iter_mut().for_each(|w| *w = 0);
+        self.load_head = 0;
+        self.load_len = 0;
+        self.store_valid.iter_mut().for_each(|w| *w = 0);
+        self.store_addr_known.iter_mut().for_each(|w| *w = 0);
+        self.store_data_known.iter_mut().for_each(|w| *w = 0);
+        self.store_head = 0;
+        self.store_len = 0;
     }
 
     /// Number of in-flight loads.
     pub fn load_count(&self) -> usize {
-        self.loads.len()
+        self.load_len
     }
 
     /// Number of in-flight stores.
     pub fn store_count(&self) -> usize {
-        self.stores.len()
+        self.store_len
+    }
+
+    /// Re-derives every bitmap word from the hot records and the ring
+    /// windows and verifies they agree with the incrementally maintained
+    /// state. Diagnostic; run from `Core::check_invariants`, mirroring
+    /// `Rob::check_bitmaps`.
+    pub fn check_bitmaps(&self) -> Result<(), String> {
+        if self.load_len > self.load_hot.len() || self.store_len > self.store_hot.len() {
+            return Err("LSQ ring length exceeds capacity".to_string());
+        }
+        let mut in_load_window = vec![false; self.load_hot.len()];
+        let mut prev_seq = None;
+        for off in 0..self.load_len {
+            let slot = self.load_slot(off);
+            in_load_window[slot] = true;
+            let seq = self.load_hot[slot].seq;
+            if prev_seq.is_some_and(|p| p >= seq) {
+                return Err(format!("load ring not seq-ordered at offset {off}"));
+            }
+            prev_seq = Some(seq);
+        }
+        for (slot, &in_window) in in_load_window.iter().enumerate() {
+            if bits::test_bit(&self.load_valid, slot) != in_window {
+                return Err(format!("load valid bit stale for slot {slot}"));
+            }
+            let executed = in_window && self.load_hot[slot].executed;
+            if bits::test_bit(&self.load_executed, slot) != executed {
+                return Err(format!("load executed bit stale for slot {slot}"));
+            }
+        }
+        let mut in_store_window = vec![false; self.store_hot.len()];
+        let mut prev_seq = None;
+        for off in 0..self.store_len {
+            let slot = self.store_slot(off);
+            in_store_window[slot] = true;
+            let seq = self.store_hot[slot].seq;
+            if prev_seq.is_some_and(|p| p >= seq) {
+                return Err(format!("store ring not seq-ordered at offset {off}"));
+            }
+            prev_seq = Some(seq);
+        }
+        for (slot, &in_window) in in_store_window.iter().enumerate() {
+            if bits::test_bit(&self.store_valid, slot) != in_window {
+                return Err(format!("store valid bit stale for slot {slot}"));
+            }
+            let addr_known = in_window && self.store_hot[slot].addr_known;
+            if bits::test_bit(&self.store_addr_known, slot) != addr_known {
+                return Err(format!("store addr-known bit stale for slot {slot}"));
+            }
+            let data_known = in_window && self.store_hot[slot].data_known;
+            if bits::test_bit(&self.store_data_known, slot) != data_known {
+                return Err(format!("store data-known bit stale for slot {slot}"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -305,12 +631,21 @@ mod tests {
     }
 
     #[test]
+    fn ring_pieces_split() {
+        assert_eq!(ring_pieces(0, 8, 0, 3), [(0, 3), (0, 0)]);
+        assert_eq!(ring_pieces(6, 8, 0, 4), [(6, 8), (0, 2)]);
+        assert_eq!(ring_pieces(6, 8, 2, 4), [(0, 2), (0, 0)]);
+        assert_eq!(ring_pieces(3, 8, 1, 1), [(0, 0), (0, 0)]);
+    }
+
+    #[test]
     fn capacity_limits() {
         let mut lsq = Lsq::new(1, 1);
         assert!(lsq.allocate_load(1, 8).is_some());
         assert!(lsq.allocate_load(2, 8).is_none());
         assert!(lsq.allocate_store(3, 8).is_some());
         assert!(lsq.allocate_store(4, 8).is_none());
+        lsq.check_bitmaps().unwrap();
     }
 
     #[test]
@@ -345,6 +680,30 @@ mod tests {
     }
 
     #[test]
+    fn youngest_store_wins_across_ring_wrap() {
+        let mut lsq = Lsq::new(4, 4);
+        // Advance the store head so the older range wraps the ring edge.
+        for seq in 1..=3 {
+            lsq.allocate_store(seq, 8);
+            lsq.resolve_store_addr(seq, 0x900);
+            lsq.resolve_store_data(seq, 0);
+            lsq.release_store(seq);
+        }
+        lsq.allocate_store(10, 8);
+        lsq.allocate_store(11, 8);
+        lsq.resolve_store_addr(10, 0x100);
+        lsq.resolve_store_data(10, 0x1111);
+        lsq.resolve_store_addr(11, 0x100);
+        lsq.resolve_store_data(11, 0x2222);
+        assert_eq!(
+            lsq.overlay(12, 0x100, 8, 0),
+            0x2222,
+            "seq order respected even though the younger store sits at a lower slot"
+        );
+        lsq.check_bitmaps().unwrap();
+    }
+
+    #[test]
     fn younger_stores_do_not_forward() {
         let mut lsq = Lsq::new(4, 4);
         lsq.allocate_store(5, 8);
@@ -376,6 +735,7 @@ mod tests {
             !lsq.older_store_unknown(1),
             "only strictly older stores count"
         );
+        lsq.check_bitmaps().unwrap();
     }
 
     #[test]
@@ -410,11 +770,35 @@ mod tests {
         lsq.allocate_store(2, 8);
         lsq.allocate_load(3, 8);
         let removed = lsq.squash_after(1);
-        assert_eq!(removed.len(), 2);
+        assert_eq!(removed, vec![3, 2], "loads youngest-first, then stores");
         assert_eq!(lsq.load_count(), 1);
         assert_eq!(lsq.store_count(), 0);
         lsq.release_load(1);
         assert_eq!(lsq.load_count(), 0);
         lsq.release_load(99); // not the head: no-op
+        lsq.check_bitmaps().unwrap();
+    }
+
+    #[test]
+    fn squash_clears_wrapped_tail_bits() {
+        let mut lsq = Lsq::new(4, 4);
+        for seq in 1..=3 {
+            lsq.allocate_load(seq, 8);
+            lsq.release_load(seq);
+        }
+        // Window now wraps: offsets 0..3 sit at slots 3, 0, 1.
+        lsq.allocate_load(10, 8);
+        lsq.allocate_load(11, 8);
+        lsq.allocate_load(12, 8);
+        lsq.resolve_load(11, 0x100, false);
+        lsq.resolve_load(12, 0x108, false);
+        let removed = lsq.squash_after(10);
+        assert_eq!(removed, vec![12, 11]);
+        assert_eq!(lsq.load_count(), 1);
+        lsq.check_bitmaps().unwrap();
+        // The cleared slots are immediately reusable.
+        lsq.allocate_load(20, 8).unwrap();
+        lsq.allocate_load(21, 8).unwrap();
+        lsq.check_bitmaps().unwrap();
     }
 }

@@ -1,0 +1,344 @@
+//! Differential property test for the SoA load/store queues.
+//!
+//! The [`Lsq`] answers its ordering and forwarding queries with masked
+//! bitmap-word scans over a hot/cold ring layout; this test replays the
+//! same random operation streams through a naive reference model — two
+//! plain `Vec`s walked entry by entry, O(n²) overall — and asserts every
+//! observable result matches: the unknown-address and unknown-data
+//! checks, the byte-granular forwarding overlay, the memory-order
+//! violation search, the head-gated releases, the youngest-first squash
+//! output, and the queue occupancies. After every operation
+//! [`Lsq::check_bitmaps`] re-derives the bitmap words from the records,
+//! so any incremental-maintenance bug surfaces at the exact step that
+//! introduced it.
+//!
+//! Streams run at several queue capacities (including non-multiples of
+//! the word size) with frequent releases, so the ring windows wrap the
+//! physical array edge and the masked scans exercise their split-range
+//! paths.
+
+use condspec_pipeline::lsq::Lsq;
+use condspec_stats::SplitMix64;
+
+const DATA_BASE: u64 = 0x0800_0000;
+/// Byte span addresses are drawn from; small enough that overlaps,
+/// partial overlaps and youngest-wins collisions are all common.
+const ADDR_SPAN: u64 = 48;
+const SIZES: [u64; 4] = [1, 2, 4, 8];
+const OPS_PER_TRIAL: usize = 600;
+
+/// Naive reference: flat vectors in program (= seq) order, every query
+/// a full scan. Mirrors the documented `Lsq` semantics literally.
+#[derive(Default)]
+struct RefModel {
+    loads: Vec<RefLoad>,
+    stores: Vec<RefStore>,
+}
+
+struct RefLoad {
+    seq: u64,
+    addr: u64,
+    size: u64,
+    executed: bool,
+}
+
+struct RefStore {
+    seq: u64,
+    addr: u64,
+    size: u64,
+    data: u64,
+    addr_known: bool,
+    data_known: bool,
+}
+
+fn overlap(a: u64, a_len: u64, b: u64, b_len: u64) -> bool {
+    a < b + b_len && b < a + a_len
+}
+
+impl RefModel {
+    fn older_store_unknown(&self, seq: u64) -> bool {
+        self.stores.iter().any(|s| s.seq < seq && !s.addr_known)
+    }
+
+    fn older_store_data_unknown(&self, seq: u64, addr: u64, size: u64) -> bool {
+        self.stores.iter().any(|s| {
+            s.seq < seq && s.addr_known && !s.data_known && overlap(addr, size, s.addr, s.size)
+        })
+    }
+
+    fn overlay(&self, seq: u64, addr: u64, size: u64, memory_value: u64) -> u64 {
+        let mut bytes = memory_value.to_le_bytes();
+        // Oldest first, so the youngest overlapping store wins per byte.
+        for s in &self.stores {
+            if s.seq >= seq || !s.addr_known || !s.data_known {
+                continue;
+            }
+            let sdata = s.data.to_le_bytes();
+            for i in 0..s.size {
+                let byte_addr = s.addr + i;
+                if byte_addr >= addr && byte_addr < addr + size {
+                    bytes[(byte_addr - addr) as usize] = sdata[i as usize];
+                }
+            }
+        }
+        let mut value = u64::from_le_bytes(bytes);
+        if size < 8 {
+            value &= (1u64 << (8 * size)) - 1;
+        }
+        value
+    }
+
+    fn violation_on_store(&self, store_seq: u64, addr: u64, size: u64) -> Option<u64> {
+        self.loads
+            .iter()
+            .find(|l| l.seq > store_seq && l.executed && overlap(l.addr, l.size, addr, size))
+            .map(|l| l.seq)
+    }
+
+    fn release_load(&mut self, seq: u64) {
+        if self.loads.first().is_some_and(|l| l.seq == seq) {
+            self.loads.remove(0);
+        }
+    }
+
+    fn release_store(&mut self, seq: u64) {
+        if self.stores.first().is_some_and(|s| s.seq == seq) {
+            self.stores.remove(0);
+        }
+    }
+
+    fn squash_after(&mut self, target: u64) -> Vec<u64> {
+        let mut removed = Vec::new();
+        while self.loads.last().is_some_and(|l| l.seq > target) {
+            removed.push(self.loads.pop().unwrap().seq);
+        }
+        while self.stores.last().is_some_and(|s| s.seq > target) {
+            removed.push(self.stores.pop().unwrap().seq);
+        }
+        removed
+    }
+}
+
+fn random_addr(rng: &mut SplitMix64) -> u64 {
+    DATA_BASE + rng.next_u64() % ADDR_SPAN
+}
+
+fn random_size(rng: &mut SplitMix64) -> u64 {
+    SIZES[(rng.next_u64() % SIZES.len() as u64) as usize]
+}
+
+/// Compares every query both models can answer for the probe point
+/// `(seq, addr, size)` — typically a resident load, sometimes an
+/// arbitrary younger-than-everything probe.
+fn compare_queries(lsq: &Lsq, model: &RefModel, seq: u64, addr: u64, size: u64, mem: u64) {
+    assert_eq!(
+        lsq.older_store_unknown(seq),
+        model.older_store_unknown(seq),
+        "older_store_unknown(seq={seq}) diverged"
+    );
+    assert_eq!(
+        lsq.older_store_data_unknown(seq, addr, size),
+        model.older_store_data_unknown(seq, addr, size),
+        "older_store_data_unknown(seq={seq}, addr={addr:#x}, size={size}) diverged"
+    );
+    assert_eq!(
+        lsq.overlay(seq, addr, size, mem),
+        model.overlay(seq, addr, size, mem),
+        "overlay(seq={seq}, addr={addr:#x}, size={size}, mem={mem:#x}) diverged"
+    );
+}
+
+fn run_trial(seed: u64, load_cap: usize, store_cap: usize) {
+    let mut rng = SplitMix64::new(seed);
+    let mut lsq = Lsq::new(load_cap, store_cap);
+    let mut model = RefModel::default();
+    let mut next_seq: u64 = 1;
+
+    for op in 0..OPS_PER_TRIAL {
+        match rng.next_u64() % 20 {
+            // Dispatch a load.
+            0..=3 => {
+                if lsq.load_has_space() {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    let size = random_size(&mut rng);
+                    lsq.allocate_load(seq, size).unwrap();
+                    model.loads.push(RefLoad {
+                        seq,
+                        addr: 0,
+                        size,
+                        executed: false,
+                    });
+                } else {
+                    assert_eq!(model.loads.len(), load_cap);
+                }
+            }
+            // Dispatch a store.
+            4..=7 => {
+                if lsq.store_has_space() {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    let size = random_size(&mut rng);
+                    lsq.allocate_store(seq, size).unwrap();
+                    model.stores.push(RefStore {
+                        seq,
+                        addr: 0,
+                        size,
+                        data: 0,
+                        addr_known: false,
+                        data_known: false,
+                    });
+                } else {
+                    assert_eq!(model.stores.len(), store_cap);
+                }
+            }
+            // Execute a pending load, bypassing like the core would:
+            // a load executes speculatively whether or not older store
+            // addresses are known, and records the bypass flag.
+            8..=10 => {
+                let pending: Vec<usize> = (0..model.loads.len())
+                    .filter(|&i| !model.loads[i].executed)
+                    .collect();
+                if let Some(&i) = pick(&mut rng, &pending) {
+                    let addr = random_addr(&mut rng);
+                    let seq = model.loads[i].seq;
+                    let bypassed = lsq.older_store_unknown(seq);
+                    assert_eq!(bypassed, model.older_store_unknown(seq));
+                    model.loads[i].addr = addr;
+                    model.loads[i].executed = true;
+                    lsq.resolve_load(seq, addr, bypassed);
+                }
+            }
+            // Resolve a store address and run the violation search the
+            // core runs at that moment.
+            11..=12 => {
+                let pending: Vec<usize> = (0..model.stores.len())
+                    .filter(|&i| !model.stores[i].addr_known)
+                    .collect();
+                if let Some(&i) = pick(&mut rng, &pending) {
+                    let addr = random_addr(&mut rng);
+                    let store = &mut model.stores[i];
+                    store.addr = addr;
+                    store.addr_known = true;
+                    let (seq, size) = (store.seq, store.size);
+                    lsq.resolve_store_addr(seq, addr);
+                    assert_eq!(
+                        lsq.violation_on_store(seq, addr, size),
+                        model.violation_on_store(seq, addr, size),
+                        "violation_on_store(seq={seq}) diverged at op {op}"
+                    );
+                }
+            }
+            // Resolve a store's data.
+            13..=14 => {
+                let pending: Vec<usize> = (0..model.stores.len())
+                    .filter(|&i| model.stores[i].addr_known && !model.stores[i].data_known)
+                    .collect();
+                if let Some(&i) = pick(&mut rng, &pending) {
+                    let data = rng.next_u64();
+                    let store = &mut model.stores[i];
+                    store.data = data;
+                    store.data_known = true;
+                    lsq.resolve_store_data(store.seq, data);
+                }
+            }
+            // Commit: release the head load and/or store. A wrong
+            // sequence number must be a no-op in both models.
+            15..=16 => {
+                if rng.next_u64().is_multiple_of(8) {
+                    lsq.release_load(u64::MAX);
+                    lsq.release_store(u64::MAX);
+                    model.release_load(u64::MAX);
+                    model.release_store(u64::MAX);
+                } else {
+                    if let Some(l) = model.loads.first() {
+                        let seq = l.seq;
+                        lsq.release_load(seq);
+                        model.release_load(seq);
+                    }
+                    if let Some(s) = model.stores.first() {
+                        let seq = s.seq;
+                        lsq.release_store(seq);
+                        model.release_store(seq);
+                    }
+                }
+            }
+            // Squash everything younger than a random recent point.
+            17 => {
+                let target = if next_seq > 1 {
+                    1 + rng.next_u64() % next_seq
+                } else {
+                    0
+                };
+                assert_eq!(
+                    lsq.squash_after(target),
+                    model.squash_after(target),
+                    "squash_after({target}) removal order diverged at op {op}"
+                );
+            }
+            // Probe the forwarding queries from a random viewpoint.
+            _ => {
+                let seq = if !model.loads.is_empty() && rng.next_u64().is_multiple_of(2) {
+                    model.loads[(rng.next_u64() % model.loads.len() as u64) as usize].seq
+                } else {
+                    next_seq
+                };
+                let addr = random_addr(&mut rng);
+                let size = random_size(&mut rng);
+                let mem = rng.next_u64();
+                compare_queries(&lsq, &model, seq, addr, size, mem);
+            }
+        }
+        lsq.check_bitmaps()
+            .unwrap_or_else(|e| panic!("bitmap invariant broken at op {op}: {e}"));
+        assert_eq!(lsq.load_count(), model.loads.len(), "load_count at op {op}");
+        assert_eq!(
+            lsq.store_count(),
+            model.stores.len(),
+            "store_count at op {op}"
+        );
+    }
+}
+
+fn pick<'a>(rng: &mut SplitMix64, candidates: &'a [usize]) -> Option<&'a usize> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(&candidates[(rng.next_u64() % candidates.len() as u64) as usize])
+    }
+}
+
+#[test]
+fn lsq_matches_naive_reference_across_random_streams() {
+    // Capacities chosen to wrap the rings often and to sit both on and
+    // off 64-bit word boundaries.
+    for (trial, &(load_cap, store_cap)) in [(8, 8), (5, 3), (16, 16), (3, 5), (64, 64), (7, 13)]
+        .iter()
+        .enumerate()
+    {
+        for rep in 0..3 {
+            run_trial(
+                0x15c4_d1ff_0000 + (trial as u64) * 97 + rep,
+                load_cap,
+                store_cap,
+            );
+        }
+    }
+}
+
+#[test]
+fn lsq_reset_clears_everything() {
+    let mut lsq = Lsq::new(4, 4);
+    lsq.allocate_store(1, 8);
+    lsq.allocate_load(2, 8);
+    lsq.resolve_store_addr(1, DATA_BASE);
+    lsq.reset();
+    lsq.check_bitmaps().unwrap();
+    assert_eq!(lsq.load_count(), 0);
+    assert_eq!(lsq.store_count(), 0);
+    assert!(!lsq.older_store_unknown(u64::MAX));
+    // The cleared slots are immediately reusable from slot zero.
+    lsq.allocate_load(10, 8).unwrap();
+    lsq.allocate_store(11, 8).unwrap();
+    lsq.check_bitmaps().unwrap();
+}
