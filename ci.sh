@@ -171,6 +171,51 @@ grep -q "store stats: 110 entries" "$store_stats" || {
 ./target/release/condspec store verify --root "$store_root"
 rm -rf "$runs_cold" "$runs_warm"
 
+echo "==> sampled-run smoke (functional checkpoints -> detailed windows -> stitched report)"
+# A sampled run functionally fast-forwards to evenly spaced checkpoints,
+# files them in the result store (counted separately from job results),
+# runs a detailed window from each, and stitches the windows into a
+# whole-program estimate. The whole pipeline is deterministic, so two
+# runs render byte-identical reports.
+sampled_bin="target/perf-smoke/gcc.bin"
+sampled_store="target/perf-smoke/sampled-store"
+sampled_out="target/perf-smoke/sampled-run.txt"
+sampled_log="target/perf-smoke/sampled-run.log"
+rm -rf "$sampled_store"
+./target/release/condspec save --name gcc --file "$sampled_bin"
+./target/release/condspec run --file "$sampled_bin" --mode sampled \
+    --checkpoints 4 --window 2000 --store --store-root "$sampled_store" \
+    > "$sampled_out" 2> "$sampled_log"
+grep -q "filed 4 checkpoints" "$sampled_log" || {
+    echo "sampled run did not file its checkpoints; log says:" >&2
+    cat "$sampled_log" >&2
+    exit 1
+}
+grep -q "stitched estimate:" "$sampled_out" || {
+    echo "sampled run produced no stitched estimate:" >&2
+    cat "$sampled_out" >&2
+    exit 1
+}
+./target/release/condspec run --file "$sampled_bin" --mode sampled \
+    --checkpoints 4 --window 2000 --store --store-root "$sampled_store" \
+    > "$sampled_out.rerun" 2>/dev/null
+# The header line carries the run's wall time; everything below it (the
+# per-window table and the stitched estimate) must be byte-identical.
+cmp <(tail -n +2 "$sampled_out") <(tail -n +2 "$sampled_out.rerun") || {
+    echo "sampled runs are not deterministic" >&2
+    diff "$sampled_out" "$sampled_out.rerun" >&2 || true
+    exit 1
+}
+rm "$sampled_out.rerun"
+./target/release/condspec store stats --root "$sampled_store" \
+    > target/perf-smoke/sampled-store-stats.txt
+grep -q "4 checkpoints" target/perf-smoke/sampled-store-stats.txt || {
+    echo "store stats does not count the filed checkpoints" >&2
+    cat target/perf-smoke/sampled-store-stats.txt >&2
+    exit 1
+}
+echo "sampled smoke ok: $(grep 'stitched estimate:' "$sampled_out")"
+
 echo "==> serve smoke (daemon round-trip: submit, stream, report, 100% warm hits)"
 python3 ci/serve_smoke.py ./target/release/condspec target/perf-smoke
 

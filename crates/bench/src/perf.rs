@@ -21,8 +21,15 @@
 //! the code's speed, not the host scheduler's mood. The result
 //! serializes as the `condspec-simspeed-v1` JSON schema recorded in
 //! `BENCH_simspeed.json`.
+//!
+//! Beyond the detailed matrix, the report carries **functional** rows
+//! (architectural-only execution — the sampled-run fast-forward engine)
+//! and **sampled** rows (the full SimPoint-style pipeline: functional
+//! fast-forward, detailed windows, weighted stitch), tagged with a
+//! per-cell `mode` field. A detailed cell carries no `mode` field, so
+//! baselines from before the field still compare.
 
-use condspec::{DefenseConfig, MachineConfig, SimConfig, Simulator};
+use condspec::{run_sampled, DefenseConfig, MachineConfig, SampledOptions, SimConfig, Simulator};
 use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
 use condspec_stats::{Json, SplitMix64};
 use condspec_workloads::gadgets::SpectreGadget;
@@ -148,6 +155,22 @@ impl PerfOptions {
         }
     }
 
+    fn sampled_checkpoints(&self) -> usize {
+        if self.quick {
+            4
+        } else {
+            8
+        }
+    }
+
+    fn sampled_window(&self) -> u64 {
+        if self.quick {
+            2_000
+        } else {
+            20_000
+        }
+    }
+
     /// Timed repetitions per cell; the fastest wall time is reported.
     ///
     /// The simulated work is deterministic, so repeats only re-measure
@@ -161,6 +184,30 @@ impl PerfOptions {
     }
 }
 
+/// How a perf cell simulates its workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellMode {
+    /// Cycle-accurate out-of-order pipeline.
+    Detailed,
+    /// Architectural-only execution (no cycle model; `sim_cycles` is 0).
+    Functional,
+    /// Functional fast-forward + detailed windows + weighted stitch;
+    /// `sim_cycles` is the stitched whole-program estimate and
+    /// `committed_inst` the whole program the run represents.
+    Sampled,
+}
+
+impl CellMode {
+    /// The cell's `mode` key (`detailed` / `functional` / `sampled`).
+    pub fn key(self) -> &'static str {
+        match self {
+            CellMode::Detailed => "detailed",
+            CellMode::Functional => "functional",
+            CellMode::Sampled => "sampled",
+        }
+    }
+}
+
 /// One workload × defense measurement.
 #[derive(Debug, Clone)]
 pub struct PerfCell {
@@ -168,7 +215,9 @@ pub struct PerfCell {
     pub workload: &'static str,
     /// Defense environment.
     pub defense: DefenseConfig,
-    /// Simulated cycles (deterministic).
+    /// Simulation mode of this cell.
+    pub mode: CellMode,
+    /// Simulated cycles (deterministic; 0 for functional cells).
     pub sim_cycles: u64,
     /// Committed instructions (deterministic).
     pub committed: u64,
@@ -269,12 +318,98 @@ fn run_gadget_cell(gadget: &SpectreGadget, config: SimConfig, rounds: u32) -> (u
     (cycles, committed)
 }
 
+/// Architectural-only execution of `program` to its halt: no cycle
+/// model exists, so the cell reports zero simulated cycles.
+fn run_functional_cell(program: &std::sync::Arc<Program>, config: SimConfig) -> (u64, u64) {
+    let mut sim = Simulator::new(config);
+    sim.load_program(program.clone());
+    let result = sim
+        .run_functional(SampledOptions::default().max_insts)
+        .expect("a fresh simulator runs functionally");
+    assert_eq!(
+        result.exit,
+        condspec::FunctionalExit::Halted,
+        "perf workloads halt"
+    );
+    (0, result.retired)
+}
+
+/// The full sampled pipeline end to end: functional count + capture
+/// passes, a detailed window per checkpoint, weighted stitch. Reports
+/// the stitched cycle estimate over the whole program's instructions,
+/// so `committed_inst_per_sec` is the effective whole-program rate the
+/// sampling buys.
+fn run_sampled_cell(
+    workload: &str,
+    program: &std::sync::Arc<Program>,
+    config: SimConfig,
+    checkpoints: usize,
+    window: u64,
+) -> (u64, u64) {
+    let mut sim = Simulator::new(config);
+    let opts = SampledOptions {
+        checkpoints,
+        window,
+        warmup: window / 10,
+        ..SampledOptions::default()
+    };
+    let sampled = run_sampled(&mut sim, program, workload, &opts).expect("sampled run completes");
+    (sampled.report.cycles, sampled.total_insts)
+}
+
+/// Times one cell: `repeats` runs of `runner`, fastest wall time kept,
+/// identical simulated work asserted across repeats.
+fn measure_cell(
+    workload: &'static str,
+    defense: DefenseConfig,
+    mode: CellMode,
+    repeats: u32,
+    runner: &dyn Fn() -> (u64, u64),
+) -> PerfCell {
+    let mut best: Option<PerfCell> = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let (sim_cycles, committed) = runner();
+        let wall_seconds = start.elapsed().as_secs_f64();
+        match &mut best {
+            None => {
+                best = Some(PerfCell {
+                    workload,
+                    defense,
+                    mode,
+                    sim_cycles,
+                    committed,
+                    wall_seconds,
+                });
+            }
+            Some(cell) => {
+                assert_eq!(
+                    (cell.sim_cycles, cell.committed),
+                    (sim_cycles, committed),
+                    "{workload}/{}/{}: simulated work must be deterministic",
+                    defense.key(),
+                    mode.key(),
+                );
+                cell.wall_seconds = cell.wall_seconds.min(wall_seconds);
+            }
+        }
+    }
+    best.expect("at least one repeat")
+}
+
 /// Runs the full workload × defense matrix, returning cells in a fixed
-/// order (workloads outer, [`DEFENSES`] inner).
+/// order: the detailed matrix (workloads outer, [`DEFENSES`] inner),
+/// then the functional rows, then the sampled rows.
 pub fn run_matrix(opts: &PerfOptions) -> Vec<PerfCell> {
     let counting = std::sync::Arc::new(counting_loop(opts.counting_iterations()));
     let chase = std::sync::Arc::new(pointer_chase(opts.chase_iterations()));
     let gadget = SpectreGadget::build(GadgetKind::V1);
+    let keeps = |workload: &str, defense: DefenseConfig| {
+        opts.only
+            .as_ref()
+            .map(|f| f.keeps(workload, defense))
+            .unwrap_or(true)
+    };
     let mut cells = Vec::new();
     for (workload, runner) in [
         (
@@ -292,40 +427,60 @@ pub fn run_matrix(opts: &PerfOptions) -> Vec<PerfCell> {
         ),
     ] {
         for defense in DEFENSES {
-            if let Some(filter) = &opts.only {
-                if !filter.keeps(workload, defense) {
-                    continue;
-                }
+            if !keeps(workload, defense) {
+                continue;
             }
             let config = SimConfig::on_machine(defense, opts.machine);
-            let mut best: Option<PerfCell> = None;
-            for _ in 0..opts.cell_repeats() {
-                let start = Instant::now();
-                let (sim_cycles, committed) = runner(config);
-                let wall_seconds = start.elapsed().as_secs_f64();
-                match &mut best {
-                    None => {
-                        best = Some(PerfCell {
-                            workload,
-                            defense,
-                            sim_cycles,
-                            committed,
-                            wall_seconds,
-                        });
-                    }
-                    Some(cell) => {
-                        assert_eq!(
-                            (cell.sim_cycles, cell.committed),
-                            (sim_cycles, committed),
-                            "{workload}/{}: simulated work must be deterministic",
-                            defense.key(),
-                        );
-                        cell.wall_seconds = cell.wall_seconds.min(wall_seconds);
-                    }
-                }
-            }
-            cells.push(best.expect("at least one repeat"));
+            cells.push(measure_cell(
+                workload,
+                defense,
+                CellMode::Detailed,
+                opts.cell_repeats(),
+                &|| runner(config),
+            ));
         }
+    }
+
+    // Functional rows: the fast-forward engine on the two halting
+    // workloads. Execution is architectural-only, so the defense column
+    // is nominal — Origin, the no-defense environment.
+    for (workload, program) in [("counting-loop", &counting), ("pointer-chase", &chase)] {
+        if !keeps(workload, DefenseConfig::Origin) {
+            continue;
+        }
+        let config = SimConfig::on_machine(DefenseConfig::Origin, opts.machine);
+        cells.push(measure_cell(
+            workload,
+            DefenseConfig::Origin,
+            CellMode::Functional,
+            opts.cell_repeats(),
+            &|| run_functional_cell(program, config),
+        ));
+    }
+
+    // Sampled rows: the full sampled pipeline under the paper's
+    // complete defense, where detailed simulation is slowest and
+    // sampling buys the most.
+    for (workload, program) in [("counting-loop", &counting), ("pointer-chase", &chase)] {
+        if !keeps(workload, DefenseConfig::CacheHitTpbuf) {
+            continue;
+        }
+        let config = SimConfig::on_machine(DefenseConfig::CacheHitTpbuf, opts.machine);
+        cells.push(measure_cell(
+            workload,
+            DefenseConfig::CacheHitTpbuf,
+            CellMode::Sampled,
+            opts.cell_repeats(),
+            &|| {
+                run_sampled_cell(
+                    workload,
+                    program,
+                    config,
+                    opts.sampled_checkpoints(),
+                    opts.sampled_window(),
+                )
+            },
+        ));
     }
     cells
 }
@@ -422,15 +577,24 @@ pub fn to_json(opts: &PerfOptions, cells: &[PerfCell]) -> Json {
                 cells
                     .iter()
                     .map(|c| {
-                        Json::object([
+                        let mut fields = vec![
                             ("workload", Json::Str(c.workload.to_string())),
                             ("defense", Json::Str(c.defense.key().to_string())),
+                        ];
+                        // Detailed cells carry no mode field, so
+                        // baselines from before the field still parse
+                        // and compare.
+                        if c.mode != CellMode::Detailed {
+                            fields.push(("mode", Json::Str(c.mode.key().to_string())));
+                        }
+                        fields.extend([
                             ("sim_cycles", Json::U64(c.sim_cycles)),
                             ("committed_inst", Json::U64(c.committed)),
                             ("wall_seconds", Json::F64(c.wall_seconds)),
                             ("sim_cycles_per_sec", Json::F64(c.cycles_per_sec())),
                             ("committed_inst_per_sec", Json::F64(c.committed_per_sec())),
-                        ])
+                        ]);
+                        Json::object(fields)
                     })
                     .collect(),
             ),
@@ -458,15 +622,40 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             .get("workload")
             .and_then(Json::as_str)
             .unwrap_or("<unnamed>");
+        let mode = cell
+            .get("mode")
+            .and_then(Json::as_str)
+            .unwrap_or("detailed");
+        if !["detailed", "functional", "sampled"].contains(&mode) {
+            return Err(format!("cell {label}: unknown mode `{mode}`"));
+        }
         let nonzero_u64 = |key: &str| {
             cell.get(key)
                 .and_then(Json::as_u64)
                 .filter(|&v| v > 0)
                 .ok_or(format!("cell {label}: {key} missing or zero"))
         };
-        nonzero_u64("sim_cycles")?;
+        // Functional cells have no cycle model: sim_cycles must be
+        // present but is exactly zero.
+        if mode == "functional" {
+            match cell.get("sim_cycles").and_then(Json::as_u64) {
+                Some(0) => {}
+                other => {
+                    return Err(format!(
+                        "cell {label}: functional sim_cycles must be 0 ({other:?})"
+                    ))
+                }
+            }
+        } else {
+            nonzero_u64("sim_cycles")?;
+        }
         nonzero_u64("committed_inst")?;
-        for key in ["sim_cycles_per_sec", "committed_inst_per_sec"] {
+        let rate_keys: &[&str] = if mode == "functional" {
+            &["committed_inst_per_sec"]
+        } else {
+            &["sim_cycles_per_sec", "committed_inst_per_sec"]
+        };
+        for key in rate_keys {
             match cell.get(key).and_then(Json::as_f64) {
                 Some(v) if v > 0.0 && v.is_finite() => {}
                 other => return Err(format!("cell {label}: {key} not positive ({other:?})")),
@@ -490,6 +679,8 @@ pub struct CompareCell {
     pub workload: String,
     /// Defense key.
     pub defense: String,
+    /// Cell mode (`detailed` when the report predates the field).
+    pub mode: String,
     /// `(baseline, current)` simulated cycles — must be equal.
     pub sim_cycles: (u64, u64),
     /// `(baseline, current)` committed instructions — must be equal.
@@ -588,7 +779,7 @@ pub(crate) fn throughput_gate(
     }
 }
 
-fn cell_map(report: &Json) -> Result<Vec<(String, String, &Json)>, String> {
+fn cell_map(report: &Json) -> Result<Vec<(String, String, String, &Json)>, String> {
     report
         .get("cells")
         .and_then(Json::as_array)
@@ -603,7 +794,17 @@ fn cell_map(report: &Json) -> Result<Vec<(String, String, &Json)>, String> {
                 .get("defense")
                 .and_then(Json::as_str)
                 .ok_or("cell missing defense")?;
-            Ok((workload.to_string(), defense.to_string(), cell))
+            // Cells from before the per-cell mode field are detailed.
+            let mode = cell
+                .get("mode")
+                .and_then(Json::as_str)
+                .unwrap_or("detailed");
+            Ok((
+                workload.to_string(),
+                defense.to_string(),
+                mode.to_string(),
+                cell,
+            ))
         })
         .collect()
 }
@@ -682,19 +883,27 @@ pub fn compare(
 
     let mut cells = Vec::new();
     let mut failures = Vec::new();
-    for (workload, defense, got) in &got_cells {
-        let Some((_, _, base)) = base_cells
+    for (workload, defense, mode, got) in &got_cells {
+        let Some((_, _, _, base)) = base_cells
             .iter()
-            .find(|(w, d, _)| w == workload && d == defense)
+            .find(|(w, d, m, _)| w == workload && d == defense && m == mode)
         else {
             return Err(format!(
-                "cell {workload}/{defense} is not in the baseline \
+                "cell {workload}/{defense}/{mode} is not in the baseline \
                  (matrix changed — regenerate the baseline)"
             ));
+        };
+        // Detailed cells keep their historical two-part label so existing
+        // baseline tooling output stays familiar.
+        let label = if mode == "detailed" {
+            format!("{workload}/{defense}")
+        } else {
+            format!("{workload}/{defense}/{mode}")
         };
         let cell = CompareCell {
             workload: workload.clone(),
             defense: defense.clone(),
+            mode: mode.clone(),
             sim_cycles: (cell_u64(base, "sim_cycles")?, cell_u64(got, "sim_cycles")?),
             committed: (
                 cell_u64(base, "committed_inst")?,
@@ -707,7 +916,7 @@ pub fn compare(
         };
         if !cell.work_matches() {
             failures.push(format!(
-                "{workload}/{defense}: simulated work changed — cycles {} -> {}, committed {} -> {}; \
+                "{label}: simulated work changed — cycles {} -> {}, committed {} -> {}; \
                  the run is no longer identical to the committed baseline (regenerate the baseline \
                  if the timing-model change is intentional)",
                 cell.sim_cycles.0, cell.sim_cycles.1, cell.committed.0, cell.committed.1,
@@ -717,7 +926,7 @@ pub fn compare(
             let ratio = cell.throughput_ratio();
             if ratio < MIN_THROUGHPUT_RATIO {
                 failures.push(format!(
-                    "{workload}/{defense}: committed-inst/s regressed {:.0} -> {:.0} ({ratio:.2}x, \
+                    "{label}: committed-inst/s regressed {:.0} -> {:.0} ({ratio:.2}x, \
                      floor {MIN_THROUGHPUT_RATIO:.2}x)",
                     cell.committed_per_sec.0, cell.committed_per_sec.1,
                 ));
@@ -744,12 +953,22 @@ mod tests {
         };
         let a = run_matrix(&opts);
         let b = run_matrix(&opts);
-        assert_eq!(a.len(), 9, "3 workloads x 3 defenses");
+        assert_eq!(a.len(), 13, "9 detailed + 2 functional + 2 sampled");
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.sim_cycles, y.sim_cycles, "{} {:?}", x.workload, x.defense);
             assert_eq!(x.committed, y.committed, "{} {:?}", x.workload, x.defense);
-            assert!(x.sim_cycles > 0 && x.committed > 0);
+            match x.mode {
+                // Functional cells simulate no cycles at all, by design.
+                CellMode::Functional => assert_eq!(x.sim_cycles, 0),
+                _ => assert!(x.sim_cycles > 0),
+            }
+            assert!(x.committed > 0);
         }
+        assert_eq!(
+            a.iter().filter(|c| c.mode == CellMode::Functional).count(),
+            2
+        );
+        assert_eq!(a.iter().filter(|c| c.mode == CellMode::Sampled).count(), 2);
         let doc = to_json(&opts, &a);
         let parsed = Json::parse(&doc.render()).expect("round-trips");
         validate(&parsed).expect("valid document");
@@ -927,8 +1146,14 @@ mod tests {
             ..PerfOptions::paper_default()
         };
         let cells = run_matrix(&opts);
-        assert_eq!(cells.len(), 1);
-        assert_eq!(cells[0].workload, "counting-loop");
-        assert_eq!(cells[0].defense, DefenseConfig::Origin);
+        // counting-loop:origin matches one detailed cell and the
+        // functional cell (functional rows run under Origin).
+        assert_eq!(cells.len(), 2);
+        for cell in &cells {
+            assert_eq!(cell.workload, "counting-loop");
+            assert_eq!(cell.defense, DefenseConfig::Origin);
+        }
+        assert_eq!(cells[0].mode, CellMode::Detailed);
+        assert_eq!(cells[1].mode, CellMode::Functional);
     }
 }

@@ -17,6 +17,19 @@ pub enum TraceFormat {
     Perfetto,
 }
 
+/// Simulation mode for `condspec run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Cycle-accurate out-of-order pipeline (default).
+    Detailed,
+    /// Architectural-only execution: no IQ/LSQ/ROB/cache modelling,
+    /// two orders of magnitude faster — the sampled-run fast-forward.
+    Functional,
+    /// SimPoint-style sampling: functional fast-forward to evenly
+    /// spaced checkpoints, a detailed window at each, weighted stitch.
+    Sampled,
+}
+
 /// Output format for `condspec timeseries`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SeriesFormat {
@@ -73,6 +86,18 @@ pub enum Command {
         defense: Option<DefenseConfig>,
         /// Cycle budget.
         max_cycles: u64,
+        /// How to simulate: detailed, functional, or sampled.
+        mode: RunMode,
+        /// Sampled mode: number of evenly spaced checkpoints / windows.
+        checkpoints: usize,
+        /// Sampled mode: detailed instructions measured per window.
+        window: u64,
+        /// Sampled mode: file the plan's checkpoints in the default
+        /// persistent store.
+        store: bool,
+        /// Sampled mode: file checkpoints in a store at this root
+        /// (implies `store`).
+        store_root: Option<String>,
     },
     /// Serialize a generated benchmark to a program file.
     Save {
@@ -225,6 +250,8 @@ USAGE:
   condspec variant --kind <v1|v2|v4|rsb|v1-same-page|v1-set-stride> [--defense <name>]
   condspec bench   --name <benchmark> [--defense <name>] [--machine <name>] [--iters <n>]
   condspec run     --file <prog.bin> [--defense <name>] [--max-cycles <n>]
+                   [--mode detailed|functional|sampled] [--checkpoints <n>]
+                   [--window <insts>] [--store] [--store-root <dir>]
   condspec save    --name <benchmark> --file <prog.bin> [--iters <n>]
   condspec trace   --kind <variant> [--defense <name>] [--events <n>]
                    [--format text|perfetto] [--out <file>]
@@ -396,10 +423,52 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 })
                 .transpose()?
                 .unwrap_or(100_000_000);
+            let mode = match take_flag(&mut rest, "--mode")?.as_deref() {
+                None | Some("detailed") => RunMode::Detailed,
+                Some("functional") => RunMode::Functional,
+                Some("sampled") => RunMode::Sampled,
+                Some(other) => {
+                    return Err(ParseError(format!(
+                        "unknown run mode `{other}` — available: detailed, functional, sampled"
+                    )));
+                }
+            };
+            let checkpoints = take_flag(&mut rest, "--checkpoints")?
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| ParseError(format!("bad --checkpoints `{s}`")))
+                })
+                .transpose()?;
+            if checkpoints == Some(0) {
+                return Err(ParseError("--checkpoints must be at least 1".into()));
+            }
+            let window = take_flag(&mut rest, "--window")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --window `{s}`")))
+                })
+                .transpose()?;
+            if window == Some(0) {
+                return Err(ParseError("--window must be at least 1 instruction".into()));
+            }
+            let store = take_switch(&mut rest, "--store");
+            let store_root = take_flag(&mut rest, "--store-root")?;
+            if mode != RunMode::Sampled
+                && (checkpoints.is_some() || window.is_some() || store || store_root.is_some())
+            {
+                return Err(ParseError(
+                    "--checkpoints/--window/--store only apply to --mode sampled".into(),
+                ));
+            }
             Command::Run {
                 file,
                 defense,
                 max_cycles,
+                mode,
+                checkpoints: checkpoints.unwrap_or(condspec::DEFAULT_CHECKPOINTS),
+                window: window.unwrap_or(condspec::DEFAULT_WINDOW),
+                store,
+                store_root,
             }
         }
         "save" => {
@@ -728,10 +797,20 @@ mod tests {
                 file,
                 defense,
                 max_cycles,
+                mode,
+                checkpoints,
+                window,
+                store,
+                store_root,
             } => {
                 assert_eq!(file, "p.bin");
                 assert_eq!(defense, Some(DefenseConfig::Origin));
                 assert_eq!(max_cycles, 99);
+                assert_eq!(mode, RunMode::Detailed);
+                assert_eq!(checkpoints, condspec::DEFAULT_CHECKPOINTS);
+                assert_eq!(window, condspec::DEFAULT_WINDOW);
+                assert!(!store);
+                assert_eq!(store_root, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -749,6 +828,45 @@ mod tests {
         }
         assert!(parse(&argv("run")).is_err());
         assert!(parse(&argv("save --name gcc")).is_err());
+    }
+
+    #[test]
+    fn run_modes_parse() {
+        match parse(&argv("run --file p.bin --mode functional")).unwrap() {
+            Command::Run { mode, .. } => assert_eq!(mode, RunMode::Functional),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "run --file p.bin --mode sampled --checkpoints 4 --window 5000 \
+             --store-root /tmp/store",
+        ))
+        .unwrap()
+        {
+            Command::Run {
+                mode,
+                checkpoints,
+                window,
+                store_root,
+                ..
+            } => {
+                assert_eq!(mode, RunMode::Sampled);
+                assert_eq!(checkpoints, 4);
+                assert_eq!(window, 5000);
+                assert_eq!(store_root, Some("/tmp/store".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run --file p.bin --mode turbo")).is_err());
+        assert!(parse(&argv("run --file p.bin --mode sampled --checkpoints 0")).is_err());
+        assert!(parse(&argv("run --file p.bin --mode sampled --window 0")).is_err());
+        assert!(
+            parse(&argv("run --file p.bin --checkpoints 4")).is_err(),
+            "sampling knobs need --mode sampled"
+        );
+        assert!(
+            parse(&argv("run --file p.bin --mode functional --store")).is_err(),
+            "checkpoint filing needs --mode sampled"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 mod args;
 
-use args::{parse, Command, SeriesFormat, StoreAction, TraceFormat, USAGE};
+use args::{parse, Command, RunMode, SeriesFormat, StoreAction, TraceFormat, USAGE};
 use condspec::{DefenseConfig, SimConfig, Simulator};
 use condspec_attacks::{run_variant, traced_variant_round, AttackScenario};
 use condspec_stats::TextTable;
@@ -252,6 +252,11 @@ fn run(cmd: Command) -> ExitCode {
             file,
             defense,
             max_cycles,
+            mode,
+            checkpoints,
+            window,
+            store,
+            store_root,
         } => {
             let bytes = match std::fs::read(&file) {
                 Ok(b) => b,
@@ -270,25 +275,158 @@ fn run(cmd: Command) -> ExitCode {
             let defense = defense.unwrap_or(DefenseConfig::Origin);
             let program = std::sync::Arc::new(program);
             let mut sim = Simulator::new(SimConfig::new(defense));
-            sim.load_program(program.clone());
-            let result = sim.run(max_cycles);
-            let r = sim.report();
-            println!(
-                "{file}: {} instructions, exit {:?} after {} cycles under {}",
-                program.len(),
-                result.exit,
-                result.cycles,
-                defense.label()
-            );
-            println!("IPC {:.2}, L1D hit {:.1}%", r.ipc, r.l1d_hit_rate * 100.0);
-            println!("nonzero architectural registers:");
-            for reg in condspec_isa::Reg::ALL {
-                let v = sim.read_arch_reg(reg);
-                if v != 0 {
-                    println!("  {reg} = {v:#x}");
+            match mode {
+                RunMode::Detailed => {
+                    sim.load_program(program.clone());
+                    let result = sim.run(max_cycles);
+                    let r = sim.report();
+                    println!(
+                        "{file}: {} instructions, exit {:?} after {} cycles under {}",
+                        program.len(),
+                        result.exit,
+                        result.cycles,
+                        defense.label()
+                    );
+                    println!("IPC {:.2}, L1D hit {:.1}%", r.ipc, r.l1d_hit_rate * 100.0);
+                    println!("nonzero architectural registers:");
+                    for reg in condspec_isa::Reg::ALL {
+                        let v = sim.read_arch_reg(reg);
+                        if v != 0 {
+                            println!("  {reg} = {v:#x}");
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                RunMode::Functional => {
+                    sim.load_program(program.clone());
+                    let started = std::time::Instant::now();
+                    let result =
+                        match sim.run_functional(condspec::SampledOptions::default().max_insts) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                eprintln!("functional run failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                    let wall = started.elapsed().as_secs_f64();
+                    println!(
+                        "{file}: functional run retired {} instructions, exit {:?} in {wall:.3}s \
+                         ({:.1} Minst/s)",
+                        result.retired,
+                        result.exit,
+                        result.retired as f64 / wall.max(1e-9) / 1e6
+                    );
+                    println!("nonzero architectural registers:");
+                    for reg in condspec_isa::Reg::ALL {
+                        let v = sim.read_arch_reg(reg);
+                        if v != 0 {
+                            println!("  {reg} = {v:#x}");
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                RunMode::Sampled => {
+                    let workload = std::path::Path::new(&file)
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or(file.as_str())
+                        .to_string();
+                    let opts = condspec::SampledOptions {
+                        checkpoints,
+                        window,
+                        warmup: window / 10,
+                        max_cycles,
+                        ..condspec::SampledOptions::default()
+                    };
+                    let started = std::time::Instant::now();
+                    let plan =
+                        match condspec::SampledPlan::build(&mut sim, &program, &workload, &opts) {
+                            Ok(p) => p,
+                            Err(e) => {
+                                eprintln!("sampled planning failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                    if let Some(root) = store_root_from(store, store_root) {
+                        let store = ResultStore::open(root);
+                        let fingerprint = condspec_engine::hash::code_fingerprint();
+                        for w in &plan.windows {
+                            let key = condspec_engine::checkpoint_store_key(
+                                &workload,
+                                &w.checkpoint.machine,
+                                plan.total_insts,
+                                w.start_inst,
+                            );
+                            let identity = format!(
+                                "kind=checkpoint;workload={workload};machine={};total={};inst={}",
+                                w.checkpoint.machine, plan.total_insts, w.start_inst
+                            );
+                            let label = format!("{workload}@{}", w.start_inst);
+                            if let Err(e) = store.insert_checkpoint(
+                                &key,
+                                &identity,
+                                &label,
+                                fingerprint,
+                                &w.checkpoint.to_json(),
+                            ) {
+                                eprintln!("cannot file checkpoint {label}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                        eprintln!(
+                            "filed {} checkpoints in {}",
+                            plan.windows.len(),
+                            store.root().display()
+                        );
+                    }
+                    let mut windows = Vec::with_capacity(plan.windows.len());
+                    for w in &plan.windows {
+                        match condspec::run_window(&mut sim, w, &program, &opts) {
+                            Ok(measured) => windows.push(measured),
+                            Err(e) => {
+                                eprintln!("sampled run failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    let stitched = condspec::stitch_reports(plan.total_insts, &windows);
+                    let wall = started.elapsed().as_secs_f64();
+                    let mut t = TextTable::with_columns(&[
+                        "window",
+                        "start inst",
+                        "segment",
+                        "measured",
+                        "IPC",
+                        "L1D hit",
+                    ]);
+                    for w in &windows {
+                        t.row(vec![
+                            w.index.to_string(),
+                            w.start_inst.to_string(),
+                            w.segment_len.to_string(),
+                            w.report.committed.to_string(),
+                            format!("{:.2}", w.report.ipc),
+                            format!("{:.1}%", w.report.l1d_hit_rate * 100.0),
+                        ]);
+                    }
+                    println!(
+                        "{file}: sampled run under {} — {} instructions, {} windows of \
+                         {window} insts in {wall:.3}s",
+                        defense.label(),
+                        plan.total_insts,
+                        windows.len()
+                    );
+                    println!("{t}");
+                    println!(
+                        "stitched estimate: {} cycles, IPC {:.2}, L1D hit {:.1}%, blocked {:.1}%",
+                        stitched.cycles,
+                        stitched.ipc,
+                        stitched.l1d_hit_rate * 100.0,
+                        stitched.blocked_rate * 100.0
+                    );
+                    ExitCode::SUCCESS
                 }
             }
-            ExitCode::SUCCESS
         }
         Command::Save {
             name,
@@ -397,6 +535,8 @@ fn run(cmd: Command) -> ExitCode {
                     let mut registry = condspec_stats::MetricsRegistry::new();
                     registry.set_counter("store.entries", stats.entries);
                     registry.set_counter("store.bytes", stats.bytes);
+                    registry.set_counter("store.checkpoints", stats.checkpoints);
+                    registry.set_counter("store.checkpoint_bytes", stats.checkpoint_bytes);
                     registry.set_counter("store.stray_tmp", stats.stray_tmp);
                     println!("{}", registry.to_json().render());
                     ExitCode::SUCCESS
@@ -535,6 +675,7 @@ fn run(cmd: Command) -> ExitCode {
             let mut t = TextTable::with_columns(&[
                 "workload",
                 "defense",
+                "mode",
                 "sim cycles",
                 "committed",
                 "Mcycles/s",
@@ -544,6 +685,7 @@ fn run(cmd: Command) -> ExitCode {
                 t.row(vec![
                     c.workload.to_string(),
                     c.defense.label().to_string(),
+                    c.mode.key().to_string(),
                     c.sim_cycles.to_string(),
                     c.committed.to_string(),
                     format!("{:.2}", c.cycles_per_sec() / 1e6),
@@ -588,6 +730,7 @@ fn run(cmd: Command) -> ExitCode {
                 let mut t = TextTable::with_columns(&[
                     "workload",
                     "defense",
+                    "mode",
                     "sim work",
                     "base Minst/s",
                     "now Minst/s",
@@ -597,6 +740,7 @@ fn run(cmd: Command) -> ExitCode {
                     t.row(vec![
                         c.workload.clone(),
                         c.defense.clone(),
+                        c.mode.clone(),
                         if c.work_matches() {
                             "identical".to_string()
                         } else {

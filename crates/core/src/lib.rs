@@ -50,18 +50,25 @@
 //! # }
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod defense;
 pub mod matrix;
+pub mod sampled;
 pub mod sim;
 pub mod tpbuf;
 
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use config::{DefenseConfig, MachineConfig, SimConfig};
 pub use defense::{ConditionalSpeculation, DependenceKinds, FilterMode, LruPolicy};
 pub use matrix::SecurityDependenceMatrix;
+pub use sampled::{
+    plan_one_window, plan_segments, run_sampled, run_window, stitch_reports, SampledOptions,
+    SampledPlan, SampledReport, WindowPlan, WindowReport, DEFAULT_CHECKPOINTS, DEFAULT_WINDOW,
+};
 pub use sim::{Report, Simulator};
 pub use tpbuf::TpBuf;
 
 // Re-export the commonly paired pipeline types so downstream crates can
 // depend on `condspec` alone for most uses.
-pub use condspec_pipeline::{ExitReason, RunResult};
+pub use condspec_pipeline::{ExitReason, FunctionalExit, FunctionalResult, RunResult};

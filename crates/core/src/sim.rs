@@ -1,11 +1,12 @@
 //! The top-level simulator facade: a configured core plus reporting.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{DefenseConfig, SimConfig};
 use crate::defense::ConditionalSpeculation;
 use condspec_frontend::FrontEnd;
 use condspec_isa::{Program, Reg};
 use condspec_mem::{CacheHierarchy, PageTable, Tlb};
-use condspec_pipeline::{Core, ExitReason, NullPolicy, RunResult};
+use condspec_pipeline::{Core, ExitReason, FunctionalResult, NullPolicy, RunResult};
 use condspec_stats::Json;
 use std::sync::Arc;
 
@@ -266,6 +267,75 @@ impl Simulator {
         self.reset_stats();
         self.run_to_halt(measured, max_cycles);
         self.report()
+    }
+
+    /// Quiesces the core at an instruction boundary and captures a
+    /// restorable [`Checkpoint`] tagged with this machine's preset name.
+    ///
+    /// `workload` names the program the checkpoint belongs to and
+    /// `inst_index` is its position on the whole-program instruction
+    /// axis (instructions retired before the capture point).
+    pub fn capture_checkpoint(&mut self, workload: &str, inst_index: u64) -> Checkpoint {
+        self.core.quiesce();
+        let snapshot = self
+            .core
+            .capture_snapshot()
+            .expect("a quiesced core always snapshots");
+        Checkpoint {
+            machine: self.config.machine.name.to_string(),
+            workload: workload.to_string(),
+            inst_index,
+            snapshot,
+        }
+    }
+
+    /// Restores `checkpoint` into this machine: cold-resets everything,
+    /// installs the captured state, and rebuilds the security policy
+    /// from this simulator's configuration (checkpoints are
+    /// policy-agnostic — a quiesced boundary has no policy transient
+    /// state — so one functional checkpoint serves every defense).
+    ///
+    /// `program` must be the same program the checkpoint was captured
+    /// from; it is re-attached for fetch, not re-loaded (restoring does
+    /// not reset architectural state or re-copy data segments).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the checkpoint was captured on a different machine
+    /// preset: cache, TLB and predictor geometry must match.
+    pub fn restore_checkpoint(
+        &mut self,
+        checkpoint: &Checkpoint,
+        program: Arc<Program>,
+    ) -> Result<(), String> {
+        if checkpoint.machine != self.config.machine.name {
+            return Err(format!(
+                "checkpoint was captured on machine `{}`; this simulator is `{}`",
+                checkpoint.machine, self.config.machine.name
+            ));
+        }
+        let policy = Self::build_policy(&self.config);
+        self.core
+            .restore_snapshot(&checkpoint.snapshot, program, policy);
+        Ok(())
+    }
+
+    /// Retires up to `max_insts` instructions architecturally with no
+    /// pipeline, cache or predictor modelling — the sampled-run
+    /// fast-forward mode (see [`Core::run_functional`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the core has in-flight instructions or no program.
+    pub fn run_functional(&mut self, max_insts: u64) -> Result<FunctionalResult, String> {
+        self.core.run_functional(max_insts)
+    }
+
+    /// Runs the detailed model until `target` further instructions
+    /// commit (the sampled-run measurement window; see
+    /// [`Core::run_until_committed`]).
+    pub fn run_until_committed(&mut self, target: u64, max_cycles: u64) -> RunResult {
+        self.core.run_until_committed(target, max_cycles)
     }
 
     /// Produces the evaluation report for the current statistics window.

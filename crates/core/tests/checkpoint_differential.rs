@@ -1,0 +1,141 @@
+//! Differential test for checkpoint capture/restore fidelity — the
+//! correctness backbone of the sampled-run mode.
+//!
+//! A [`Checkpoint`](condspec::Checkpoint) claims to capture *everything*
+//! observable about a quiesced core: architectural state, cache and TLB
+//! contents, trained predictors, and the dispatch clocks. If that claim
+//! holds, a detailed window run from a restored checkpoint is cycle-for-
+//! cycle identical to simply continuing the simulator the checkpoint was
+//! captured from — same cycles, same committed-instruction count, same
+//! cache and TPBuf statistics. This test pins that equivalence under
+//! every defense over random gadget programs, plus the policy-agnostic
+//! property sampled runs rely on: one checkpoint restores into *any*
+//! defense without perturbing architectural results.
+
+mod gadgets;
+
+use condspec::{DefenseConfig, ExitReason, SimConfig, Simulator};
+use condspec_isa::Reg;
+use condspec_stats::SplitMix64;
+use gadgets::{random_gadget_program, DATA_BASE, DATA_WORDS};
+use std::sync::Arc;
+
+const TRIALS_PER_DEFENSE: usize = 4;
+const BUDGET: u64 = 400_000;
+
+fn arch_state(sim: &Simulator) -> (Vec<u64>, Vec<u64>) {
+    let regs = Reg::ALL.iter().map(|r| sim.read_arch_reg(*r)).collect();
+    let data = (0..DATA_WORDS as u64)
+        .map(|w| sim.read_memory(DATA_BASE + 8 * w, 8))
+        .collect();
+    (regs, data)
+}
+
+/// The program's architectural instruction count, measured functionally
+/// — gadget programs vary in length, so the capture point and window
+/// are sized as thirds of the whole run (wide enough on both sides that
+/// commit-width overshoot cannot swallow the halt).
+fn total_insts(config: SimConfig, program: &Arc<condspec_isa::Program>) -> u64 {
+    let mut sim = Simulator::new(config);
+    sim.load_program(Arc::clone(program));
+    let result = sim.run_functional(BUDGET).expect("fresh core runs");
+    assert_eq!(result.exit, condspec::FunctionalExit::Halted);
+    result.retired
+}
+
+#[test]
+fn detailed_window_from_checkpoint_matches_continuation() {
+    let mut rng = SplitMix64::new(0xc4ec_1904_0000_0001);
+    for defense in DefenseConfig::ALL {
+        let config = SimConfig::new(defense);
+        for trial in 0..TRIALS_PER_DEFENSE {
+            let program = random_gadget_program(&mut rng);
+            let label = format!("{defense:?} trial {trial}");
+            let total = total_insts(config, &program);
+            let (lead_in, window) = (total / 3, total / 3);
+            assert!(lead_in >= 10, "{label}: program long enough to split");
+
+            // Continuation arm: run the detailed model lead_in
+            // instructions in, capture, and keep going over the window
+            // on the *same* simulator.
+            let mut origin = Simulator::new(config);
+            origin.load_program(Arc::clone(&program));
+            let lead = origin.run_until_committed(lead_in, BUDGET);
+            assert_eq!(lead.exit, ExitReason::CommitLimit, "{label}: lead-in");
+            let checkpoint = origin.capture_checkpoint("gadget", lead_in);
+            origin.reset_stats();
+            let expected_exit = origin.run_until_committed(window, BUDGET).exit;
+            let expected = origin.report();
+            assert!(expected.committed > 0, "{label}: window measured work");
+
+            // Restored arm: a fresh simulator restores the checkpoint
+            // and runs the identical window.
+            let mut restored = Simulator::new(config);
+            restored
+                .restore_checkpoint(&checkpoint, Arc::clone(&program))
+                .expect("same machine preset restores");
+            restored.reset_stats();
+            let exit = restored.run_until_committed(window, BUDGET).exit;
+            assert_eq!(exit, expected_exit, "{label}: exit reason");
+            // The full report covers cycles, committed instructions, the
+            // cache-side rates (L1D, suspect-hit) and the TPBuf-side
+            // S-Pattern mismatch rate in one comparison.
+            assert_eq!(restored.report(), expected, "{label}: window report");
+            assert_eq!(
+                arch_state(&restored),
+                arch_state(&origin),
+                "{label}: architectural state after the window"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoints_are_policy_agnostic() {
+    // A quiesced boundary holds no security-policy transient state, so a
+    // checkpoint captured under one defense must restore into any other
+    // and produce that defense's own from-start architectural results.
+    let mut rng = SplitMix64::new(0xc4ec_1904_0000_0002);
+    let program = random_gadget_program(&mut rng);
+    let origin_config = SimConfig::new(DefenseConfig::Origin);
+    let lead_in = total_insts(origin_config, &program) / 3;
+
+    let mut origin = Simulator::new(origin_config);
+    origin.load_program(Arc::clone(&program));
+    let lead = origin.run_until_committed(lead_in, BUDGET);
+    assert_eq!(lead.exit, ExitReason::CommitLimit);
+    let checkpoint = origin.capture_checkpoint("gadget", lead_in);
+
+    for defense in DefenseConfig::ALL {
+        let config = SimConfig::new(defense);
+        let mut from_start = Simulator::new(config);
+        from_start.run_to_halt(&program, BUDGET);
+
+        let mut restored = Simulator::new(config);
+        restored
+            .restore_checkpoint(&checkpoint, Arc::clone(&program))
+            .expect("cross-defense restore succeeds");
+        let run = restored.run_until_committed(BUDGET, BUDGET);
+        assert_eq!(run.exit, ExitReason::Halted, "{defense:?}: runs to halt");
+        // Timing differs (the defenses block different loads and the
+        // restored run skips the lead-in) but the architectural outcome
+        // must not.
+        let (_, from_start_data) = arch_state(&from_start);
+        let (_, restored_data) = arch_state(&restored);
+        assert_eq!(restored_data, from_start_data, "{defense:?}: memory");
+    }
+}
+
+#[test]
+fn restore_rejects_a_machine_mismatch() {
+    let mut rng = SplitMix64::new(0xc4ec_1904_0000_0003);
+    let program = random_gadget_program(&mut rng);
+    let mut sim = Simulator::new(SimConfig::new(DefenseConfig::CacheHitTpbuf));
+    sim.load_program(Arc::clone(&program));
+    let mut checkpoint = sim.capture_checkpoint("gadget", 0);
+    checkpoint.machine = "somewhere-else".to_string();
+    let err = sim
+        .restore_checkpoint(&checkpoint, program)
+        .expect_err("mismatched machine preset must refuse");
+    assert!(err.contains("somewhere-else"), "{err}");
+}

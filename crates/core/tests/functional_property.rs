@@ -1,0 +1,90 @@
+//! Property test: the functional fast-forward interpreter and the
+//! detailed out-of-order pipeline are *architecturally* the same
+//! machine.
+//!
+//! The functional interpreter (no pipeline, no caches, no predictors,
+//! no wrong path) is the reference: whatever it retires is the
+//! program's architectural truth. A detailed run of the same program —
+//! wrong-path speculation, squashes, blocked loads and all — must
+//! commit exactly the same instruction stream (per-PC), retire the same
+//! count, and land on the same registers and memory. Any divergence
+//! means the detailed commit path leaked wrong-path state, and the
+//! sampled-run mode's fast-forward would silently corrupt every window
+//! downstream of it.
+//!
+//! Programs are the random Spectre-gadget kernels shared with the other
+//! differential tests, run under every defense (the commit stream is
+//! defense-invariant: defenses change timing, never architecture).
+
+mod gadgets;
+
+use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_isa::Reg;
+use condspec_pipeline::{FunctionalExit, TraceEvent};
+use condspec_stats::SplitMix64;
+use gadgets::{random_gadget_program, DATA_BASE, DATA_WORDS};
+use std::sync::Arc;
+
+const TRIALS_PER_DEFENSE: usize = 6;
+const BUDGET: u64 = 400_000;
+/// Far more than a gadget program's instruction count, so a full commit
+/// trace always fits and nothing is dropped.
+const TRACE_CAPACITY: usize = 1 << 14;
+
+fn arch_state(sim: &Simulator) -> (Vec<u64>, Vec<u64>) {
+    let regs = Reg::ALL.iter().map(|r| sim.read_arch_reg(*r)).collect();
+    let data = (0..DATA_WORDS as u64)
+        .map(|w| sim.read_memory(DATA_BASE + 8 * w, 8))
+        .collect();
+    (regs, data)
+}
+
+#[test]
+fn functional_and_detailed_commit_the_same_architectural_trace() {
+    let mut rng = SplitMix64::new(0xf1c7_10a1_0000_0001);
+    for defense in DefenseConfig::ALL {
+        let config = SimConfig::new(defense);
+        for trial in 0..TRIALS_PER_DEFENSE {
+            let program = random_gadget_program(&mut rng);
+            let label = format!("{defense:?} trial {trial}");
+
+            // Reference: the functional interpreter's retirement trace.
+            let mut func = Simulator::new(config);
+            func.load_program(Arc::clone(&program));
+            let mut reference = Vec::new();
+            let result = func
+                .core_mut()
+                .run_functional_traced(BUDGET, |pc, _inst| reference.push(pc))
+                .expect("a freshly loaded core runs functionally");
+            assert_eq!(result.exit, FunctionalExit::Halted, "{label}");
+            assert_eq!(result.retired as usize, reference.len(), "{label}");
+            assert!(!reference.is_empty(), "{label}: program does work");
+
+            // Candidate: the detailed pipeline's committed-PC stream.
+            let mut detailed = Simulator::new(config);
+            detailed.core_mut().enable_trace(TRACE_CAPACITY);
+            detailed.run_to_halt(&program, BUDGET);
+            let trace = detailed.core().trace_buffer().expect("tracing was enabled");
+            assert_eq!(trace.dropped(), 0, "{label}: trace must be complete");
+            let committed: Vec<u64> = trace
+                .events()
+                .filter_map(|e| match e {
+                    TraceEvent::Commit { pc, .. } => Some(*pc),
+                    _ => None,
+                })
+                .collect();
+
+            assert_eq!(committed, reference, "{label}: committed-PC stream");
+            assert_eq!(
+                detailed.core().stats().committed,
+                result.retired,
+                "{label}: retired count"
+            );
+            assert_eq!(
+                arch_state(&detailed),
+                arch_state(&func),
+                "{label}: final registers and memory"
+            );
+        }
+    }
+}

@@ -23,74 +23,14 @@
 //!
 //! [`Core::step`]: condspec_pipeline::core::Core::step
 
+mod gadgets;
+
 use condspec::{DefenseConfig, SimConfig, Simulator};
-use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
 use condspec_stats::SplitMix64;
+use gadgets::{random_gadget_program, DATA_BASE, DATA_WORDS};
 
-const CODE_BASE: u64 = 0x0040_0000;
-const DATA_BASE: u64 = 0x0800_0000;
-const DATA_WORDS: usize = 96;
 const TRIALS_PER_DEFENSE: usize = 8;
-const GADGETS_PER_PROGRAM: usize = 24;
 const BUDGET: u64 = 400_000;
-
-const SCRATCH: [Reg; 5] = [Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8];
-
-fn reg(rng: &mut SplitMix64) -> Reg {
-    SCRATCH[rng.next_u64() as usize % SCRATCH.len()]
-}
-
-fn word_offset(rng: &mut SplitMix64) -> i64 {
-    (rng.next_u64() as usize % DATA_WORDS) as i64 * 8
-}
-
-/// A random gadget-shaped program: each block draws from ALU filler,
-/// plain memory traffic, or a bounds-check branch guarding a dependent
-/// load pair (the Spectre-v1 shape), so speculation repeatedly runs
-/// ahead through suspect loads and gets squashed.
-fn random_gadget_program(rng: &mut SplitMix64) -> std::sync::Arc<Program> {
-    let mut b = ProgramBuilder::new(CODE_BASE);
-    b.li(Reg::R2, DATA_BASE);
-    b.li(Reg::R3, (DATA_WORDS / 2) as u64); // "bounds" the checks compare against
-    for (i, r) in SCRATCH.iter().enumerate() {
-        b.li(*r, rng.next_u64() >> (16 + i));
-    }
-    for block in 0..GADGETS_PER_PROGRAM {
-        match rng.next_u64() % 4 {
-            0 => {
-                let op =
-                    [AluOp::Add, AluOp::Xor, AluOp::Sub, AluOp::Mul][rng.next_u64() as usize % 4];
-                b.alu(op, reg(rng), reg(rng), reg(rng));
-            }
-            1 => {
-                b.load(reg(rng), Reg::R2, word_offset(rng));
-            }
-            2 => {
-                b.store(reg(rng), Reg::R2, word_offset(rng));
-            }
-            _ => {
-                // The v1 shape: clamp an index, bounds-check it, and
-                // under the check run a dependent load chain whose
-                // first load's data feeds the second's address.
-                let label = format!("oob{block}");
-                let idx = reg(rng);
-                b.alu_imm(AluOp::And, Reg::R9, idx, (DATA_WORDS - 1) as i64);
-                b.branch_to(BranchCond::GeU, Reg::R9, Reg::R3, &label);
-                b.alu_imm(AluOp::Shl, Reg::R9, Reg::R9, 3);
-                b.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R2);
-                b.load(Reg::R9, Reg::R9, 0);
-                b.alu_imm(AluOp::And, Reg::R9, Reg::R9, (DATA_WORDS - 1) as i64 * 8);
-                b.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R2);
-                b.load(reg(rng), Reg::R9, 0);
-                b.label(&label).expect("unique per block");
-            }
-        }
-    }
-    b.halt();
-    let words: Vec<u64> = (0..DATA_WORDS as u64).map(|_| rng.next_u64()).collect();
-    b.data_u64s(DATA_BASE, &words);
-    std::sync::Arc::new(b.build().expect("generated program assembles"))
-}
 
 /// Everything observable about one finished run.
 #[derive(Debug, PartialEq, Eq)]

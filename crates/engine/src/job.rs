@@ -12,7 +12,10 @@
 
 use crate::cache::WorkerContext;
 use crate::hash::{fnv1a64, hex16};
-use condspec::{DefenseConfig, DependenceKinds, LruPolicy, MachineConfig, SimConfig, Simulator};
+use condspec::{
+    plan_one_window, run_window, DefenseConfig, DependenceKinds, LruPolicy, MachineConfig,
+    SampledOptions, SimConfig, Simulator,
+};
 use condspec_attacks::{run_variant, AttackScenario};
 use condspec_stats::Json;
 use condspec_workloads::spec::{build_program, by_name};
@@ -97,6 +100,29 @@ pub enum Workload {
         /// Outer iterations of the warm-up run.
         warmup: u64,
     },
+    /// One detailed measurement window of a sampled benchmark run:
+    /// functional fast-forward to the window's segment start, detailed
+    /// warm-up, statistics reset, detailed measurement. Window jobs are
+    /// independent of each other, so a sampled run fans one job per
+    /// segment across the worker pool and stitches the window reports
+    /// afterwards (`run_sampled_bench`).
+    BenchWindow {
+        /// Benchmark name from the suite.
+        benchmark: &'static str,
+        /// Outer iterations of the sampled program. There is no
+        /// separate warm-up program — each window warms up in detail
+        /// from its checkpoint instead.
+        iterations: u64,
+        /// Number of evenly spaced segments the run is split into.
+        checkpoints: usize,
+        /// Detailed instructions measured per window.
+        window: u64,
+        /// Detailed warm-up instructions before the window's
+        /// statistics reset.
+        window_warmup: u64,
+        /// Which segment this job measures, `0..checkpoints`.
+        window_index: usize,
+    },
     /// An end-to-end side-channel attack (one Table IV cell).
     Attack {
         /// The attack classification.
@@ -137,6 +163,34 @@ impl JobSpec {
                 benchmark,
                 iterations: DEFAULT_ITERATIONS,
                 warmup: DEFAULT_WARMUP,
+            },
+            defense,
+            machine: MachinePreset::PaperDefault,
+            lru: LruPolicy::Update,
+            branch_only: false,
+            icache_filter: false,
+            budget: DEFAULT_BUDGET,
+        }
+    }
+
+    /// One window job of a sampled benchmark run on the paper-default
+    /// machine, with the default sampling grid (`opts` of a sampled
+    /// run's [`SampledOptions::default`] minus the budgets, which come
+    /// from the job).
+    pub fn bench_window(
+        benchmark: &'static str,
+        defense: DefenseConfig,
+        window_index: usize,
+    ) -> JobSpec {
+        let defaults = SampledOptions::default();
+        JobSpec {
+            workload: Workload::BenchWindow {
+                benchmark,
+                iterations: DEFAULT_ITERATIONS,
+                checkpoints: defaults.checkpoints,
+                window: defaults.window,
+                window_warmup: defaults.warmup,
+                window_index,
             },
             defense,
             machine: MachinePreset::PaperDefault,
@@ -189,6 +243,24 @@ impl JobSpec {
                 u8::from(self.icache_filter),
                 self.budget,
             ),
+            Workload::BenchWindow {
+                benchmark,
+                iterations,
+                checkpoints,
+                window,
+                window_warmup,
+                window_index,
+            } => format!(
+                "kind=bench-window;benchmark={benchmark};iters={iterations};\
+                 checkpoints={checkpoints};window={window};wwarmup={window_warmup};\
+                 index={window_index};defense={};machine={};lru={};deps={};icache={};budget={}",
+                self.defense.key(),
+                self.machine.key(),
+                self.lru.key(),
+                if self.branch_only { "branch" } else { "all" },
+                u8::from(self.icache_filter),
+                self.budget,
+            ),
             Workload::Attack { scenario } => {
                 format!(
                     "kind=attack;scenario={};defense={}",
@@ -224,6 +296,11 @@ impl JobSpec {
     pub fn label(&self) -> String {
         let what = match &self.workload {
             Workload::Bench { benchmark, .. } => (*benchmark).to_string(),
+            Workload::BenchWindow {
+                benchmark,
+                window_index,
+                ..
+            } => format!("{benchmark}#w{window_index}"),
             Workload::Attack { scenario } => scenario.key().to_string(),
             Workload::Variant { kind } => kind.key().to_string(),
         };
@@ -306,6 +383,33 @@ impl JobSpec {
                     "icache_fetch_stalls",
                     Json::from(sim.core().stats().icache_fetch_stalls),
                 ));
+            }
+            Workload::BenchWindow {
+                benchmark,
+                iterations,
+                checkpoints,
+                window,
+                window_warmup,
+                window_index,
+            } => {
+                let program = ctx.programs().get_or_build(benchmark, *iterations);
+                let sim = ctx.simulator(self.sim_config());
+                let opts = SampledOptions {
+                    checkpoints: *checkpoints,
+                    window: *window,
+                    warmup: *window_warmup,
+                    max_cycles: self.budget,
+                    ..SampledOptions::default()
+                };
+                let (total_insts, plan) =
+                    plan_one_window(sim, &program, benchmark, &opts, *window_index)
+                        .unwrap_or_else(|e| panic!("window planning failed: {e}"));
+                let measured = run_window(sim, &plan, &program, &opts)
+                    .unwrap_or_else(|e| panic!("window run failed: {e}"));
+                doc.push(("report", measured.report.to_json()));
+                doc.push(("total_insts", Json::from(total_insts)));
+                doc.push(("start_inst", Json::from(plan.start_inst)));
+                doc.push(("segment_len", Json::from(plan.segment_len)));
             }
             Workload::Attack { scenario } => {
                 let outcome = scenario.run(self.defense);
@@ -391,6 +495,59 @@ mod tests {
         let mut d = a.clone();
         d.lru = LruPolicy::Delayed;
         assert_ne!(a.hash_hex(), d.hash_hex(), "lru policy changes the hash");
+    }
+
+    #[test]
+    fn window_jobs_never_collide_with_detailed_jobs() {
+        // The sampled-mode satellite: a window job's store entry must
+        // never be mistaken for a detailed bench entry (or vice versa),
+        // whatever the shared fields. The distinct `kind=` prefix
+        // guarantees it.
+        let detailed = JobSpec::bench("gcc", DefenseConfig::Origin);
+        let window = JobSpec::bench_window("gcc", DefenseConfig::Origin, 0);
+        assert_ne!(detailed.hash_hex(), window.hash_hex());
+        assert_ne!(detailed.store_key(), window.store_key());
+        assert!(window.canonical_key().starts_with("kind=bench-window;"));
+    }
+
+    #[test]
+    fn every_window_parameter_changes_the_hash() {
+        let base = JobSpec::bench_window("gcc", DefenseConfig::Origin, 0);
+        let mutate = |f: &dyn Fn(&mut Workload)| {
+            let mut j = base.clone();
+            f(&mut j.workload);
+            j
+        };
+        let variants = [
+            mutate(&|w| {
+                if let Workload::BenchWindow { window_index, .. } = w {
+                    *window_index = 1;
+                }
+            }),
+            mutate(&|w| {
+                if let Workload::BenchWindow { checkpoints, .. } = w {
+                    *checkpoints = 16;
+                }
+            }),
+            mutate(&|w| {
+                if let Workload::BenchWindow { window, .. } = w {
+                    *window = 123;
+                }
+            }),
+            mutate(&|w| {
+                if let Workload::BenchWindow { window_warmup, .. } = w {
+                    *window_warmup = 7;
+                }
+            }),
+            mutate(&|w| {
+                if let Workload::BenchWindow { iterations, .. } = w {
+                    *iterations = 3;
+                }
+            }),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base.hash_hex(), v.hash_hex(), "variant {i}");
+        }
     }
 
     #[test]

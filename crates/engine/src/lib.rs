@@ -37,6 +37,7 @@ pub mod artifact;
 pub mod cache;
 pub mod hash;
 pub mod job;
+pub mod sampled;
 pub mod scheduler;
 pub mod sweep;
 pub mod telemetry;
@@ -45,6 +46,7 @@ pub use artifact::{JobSource, JobStatus, ManifestInfo, SweepDir, DEFAULT_ROOT};
 pub use cache::{ProgramCache, WorkerContext};
 pub use condspec_store::ResultStore;
 pub use job::{JobSpec, MachinePreset, Workload};
+pub use sampled::{checkpoint_store_key, run_sampled_bench, SampledBenchOutcome, SampledBenchSpec};
 pub use scheduler::{
     default_workers, run_jobs, run_jobs_cached, run_jobs_stored, run_jobs_timed, JobResult,
     JobTiming,

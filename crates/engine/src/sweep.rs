@@ -71,18 +71,27 @@ impl Sweep {
     /// computation, with its own artifacts and store entries.
     pub fn scaled(mut self, iterations: Option<u64>, warmup: Option<u64>) -> Sweep {
         for job in &mut self.jobs {
-            if let Workload::Bench {
-                iterations: i,
-                warmup: w,
-                ..
-            } = &mut job.workload
-            {
-                if let Some(iterations) = iterations {
-                    *i = iterations;
+            match &mut job.workload {
+                Workload::Bench {
+                    iterations: i,
+                    warmup: w,
+                    ..
+                } => {
+                    if let Some(iterations) = iterations {
+                        *i = iterations;
+                    }
+                    if let Some(warmup) = warmup {
+                        *w = warmup;
+                    }
                 }
-                if let Some(warmup) = warmup {
-                    *w = warmup;
+                // Window jobs have no warm-up program: each window
+                // warms up in detail from its checkpoint instead.
+                Workload::BenchWindow { iterations: i, .. } => {
+                    if let Some(iterations) = iterations {
+                        *i = iterations;
+                    }
                 }
+                Workload::Attack { .. } | Workload::Variant { .. } => {}
             }
         }
         self
@@ -654,6 +663,22 @@ mod tests {
             let rendered = sweep.render(&SweepResults::new());
             assert!(rendered.contains('-'), "{name} renders placeholders");
         }
+    }
+
+    #[test]
+    fn scaling_rewrites_window_jobs_and_rehashes() {
+        let sweep = Sweep {
+            name: "windows",
+            title: "window jobs",
+            jobs: vec![JobSpec::bench_window("gcc", DefenseConfig::Origin, 1)],
+        };
+        let base_id = sweep.sweep_id();
+        let scaled = sweep.scaled(Some(3), Some(1));
+        assert_ne!(base_id, scaled.sweep_id(), "window jobs re-hash");
+        let Workload::BenchWindow { iterations, .. } = &scaled.jobs[0].workload else {
+            panic!("workload kind must survive scaling");
+        };
+        assert_eq!(*iterations, 3);
     }
 
     #[test]

@@ -83,6 +83,13 @@ impl BranchTargetBuffer {
     pub fn capacity(&self) -> usize {
         self.entries.len()
     }
+
+    /// Every installed `(pc, target)` pair in slot order. The tag is the
+    /// full PC, so replaying each pair through [`BranchTargetBuffer::update`]
+    /// reconstructs the table exactly.
+    pub fn installed_entries(&self) -> Vec<(u64, u64)> {
+        self.entries.iter().filter_map(|e| *e).collect()
+    }
 }
 
 #[cfg(test)]

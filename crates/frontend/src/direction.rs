@@ -129,6 +129,53 @@ impl DirectionPredictor {
     pub fn kind(&self) -> PredictorKind {
         self.kind
     }
+
+    /// Every table plus the global history, for checkpointing.
+    pub fn snapshot_tables(&self) -> DirectionSnapshot {
+        DirectionSnapshot {
+            bimodal: self.bimodal.clone(),
+            gshare: self.gshare.clone(),
+            chooser: self.chooser.clone(),
+            history: self.history,
+        }
+    }
+
+    /// Restores tables captured by [`DirectionPredictor::snapshot_tables`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's table sizes do not match this predictor.
+    pub fn restore_tables(&mut self, snap: &DirectionSnapshot) {
+        assert_eq!(
+            snap.bimodal.len(),
+            self.bimodal.len(),
+            "table size mismatch"
+        );
+        assert_eq!(snap.gshare.len(), self.gshare.len(), "table size mismatch");
+        assert_eq!(
+            snap.chooser.len(),
+            self.chooser.len(),
+            "table size mismatch"
+        );
+        self.bimodal.copy_from_slice(&snap.bimodal);
+        self.gshare.copy_from_slice(&snap.gshare);
+        self.chooser.copy_from_slice(&snap.chooser);
+        self.history = snap.history;
+    }
+}
+
+/// Captured direction-predictor state: all three counter tables plus the
+/// global branch history register.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirectionSnapshot {
+    /// Per-PC 2-bit counters.
+    pub bimodal: Vec<u8>,
+    /// History-XOR-PC indexed 2-bit counters.
+    pub gshare: Vec<u8>,
+    /// Tournament chooser counters.
+    pub chooser: Vec<u8>,
+    /// Global history register.
+    pub history: u64,
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ pub mod direction;
 pub mod ras;
 
 pub use btb::BranchTargetBuffer;
-pub use direction::{DirectionPredictor, PredictorKind};
+pub use direction::{DirectionPredictor, DirectionSnapshot, PredictorKind};
 pub use ras::ReturnAddressStack;
 
 use condspec_stats::RateCounter;
@@ -185,6 +185,47 @@ impl FrontEnd {
     pub fn restore_ras(&mut self, snap: &ras::RasSnapshot) {
         self.ras.restore(snap);
     }
+
+    /// Captures the trained state of all three predictors (direction
+    /// tables + history, BTB entries, RAS contents). Accuracy statistics
+    /// are not part of the snapshot.
+    pub fn snapshot(&self) -> FrontEndSnapshot {
+        FrontEndSnapshot {
+            direction: self.direction.snapshot_tables(),
+            btb: self.btb.installed_entries(),
+            ras: self.ras.entries().to_vec(),
+        }
+    }
+
+    /// Restores trained state captured by [`FrontEnd::snapshot`] into a
+    /// front end of the same configuration. Statistics are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's table sizes do not match this front end.
+    pub fn restore(&mut self, snap: &FrontEndSnapshot) {
+        self.direction.restore_tables(&snap.direction);
+        self.btb.reset();
+        for &(pc, target) in &snap.btb {
+            self.btb.update(pc, target);
+        }
+        self.ras.clear();
+        for &addr in &snap.ras {
+            self.ras.push(addr);
+        }
+    }
+}
+
+/// Captured trained state of a [`FrontEnd`]: direction-predictor tables,
+/// installed BTB entries and the return-address stack, oldest first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrontEndSnapshot {
+    /// Direction-predictor tables and history.
+    pub direction: direction::DirectionSnapshot,
+    /// Installed `(pc, target)` BTB pairs in slot order.
+    pub btb: Vec<(u64, u64)>,
+    /// RAS return addresses, oldest first.
+    pub ras: Vec<u64>,
 }
 
 #[cfg(test)]

@@ -157,6 +157,13 @@ impl ReturnAddressStack {
         self.entries.clear();
         self.entries.extend_from_slice(snap.as_slice());
     }
+
+    /// The stacked return addresses, oldest first (checkpoint capture;
+    /// replaying them through [`ReturnAddressStack::push`] reconstructs
+    /// the stack).
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
 }
 
 #[cfg(test)]

@@ -261,6 +261,37 @@ impl SetAssocCache {
         v.into_iter().map(|(_, a)| a).collect()
     }
 
+    /// Per-line `(valid, tag, stamp)` state plus the replacement clock,
+    /// in line-array order — everything [`SetAssocCache::restore_lines`]
+    /// needs to reproduce this cache exactly (geometry comes from the
+    /// config, which the caller re-creates).
+    pub fn snapshot_lines(&self) -> (Vec<(bool, u64, u64)>, u64) {
+        (
+            self.lines
+                .iter()
+                .map(|l| (l.valid, l.tag, l.stamp))
+                .collect(),
+            self.tick,
+        )
+    }
+
+    /// Restores per-line state captured by [`SetAssocCache::snapshot_lines`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` does not match this cache's geometry.
+    pub fn restore_lines(&mut self, lines: &[(bool, u64, u64)], tick: u64) {
+        assert_eq!(
+            lines.len(),
+            self.lines.len(),
+            "line count must match geometry"
+        );
+        for (slot, &(valid, tag, stamp)) in self.lines.iter_mut().zip(lines) {
+            *slot = LineState { valid, tag, stamp };
+        }
+        self.tick = tick;
+    }
+
     /// All set-aligned addresses that map to the same set as `addr`,
     /// starting at `search_base`, useful for building eviction sets in
     /// Prime+Probe. Returns `count` distinct line addresses.

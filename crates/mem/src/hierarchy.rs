@@ -98,6 +98,29 @@ pub struct HierarchyStats {
     pub prefetches: u64,
 }
 
+/// One cache level's complete replacement state: per-line
+/// `(valid, tag, stamp)` in line-array order plus the LRU clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Per-line `(valid, tag, stamp)`.
+    pub lines: Vec<(bool, u64, u64)>,
+    /// The level's global LRU timestamp counter.
+    pub tick: u64,
+}
+
+/// Every level of a [`CacheHierarchy`], captured for checkpointing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierarchySnapshot {
+    /// L1 instruction cache.
+    pub l1i: CacheSnapshot,
+    /// L1 data cache.
+    pub l1d: CacheSnapshot,
+    /// Unified L2.
+    pub l2: CacheSnapshot,
+    /// Unified L3, if configured.
+    pub l3: Option<CacheSnapshot>,
+}
+
 /// A multi-level, inclusive cache hierarchy.
 ///
 /// Timing model: each level has a fixed hit latency; a miss at level *n*
@@ -343,6 +366,40 @@ impl CacheHierarchy {
             l3.reset();
         }
         self.stats = HierarchyStats::default();
+    }
+
+    /// Captures every level's line state and replacement clock.
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        let snap = |c: &SetAssocCache| {
+            let (lines, tick) = c.snapshot_lines();
+            CacheSnapshot { lines, tick }
+        };
+        HierarchySnapshot {
+            l1i: snap(&self.l1i),
+            l1d: snap(&self.l1d),
+            l2: snap(&self.l2),
+            l3: self.l3.as_ref().map(snap),
+        }
+    }
+
+    /// Restores a [`CacheHierarchy::snapshot`]. Statistics are untouched
+    /// (checkpoints never carry stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's geometry (level presence or line counts)
+    /// does not match this hierarchy.
+    pub fn restore(&mut self, snapshot: &HierarchySnapshot) {
+        self.l1i
+            .restore_lines(&snapshot.l1i.lines, snapshot.l1i.tick);
+        self.l1d
+            .restore_lines(&snapshot.l1d.lines, snapshot.l1d.tick);
+        self.l2.restore_lines(&snapshot.l2.lines, snapshot.l2.tick);
+        match (self.l3.as_mut(), snapshot.l3.as_ref()) {
+            (Some(l3), Some(s)) => l3.restore_lines(&s.lines, s.tick),
+            (None, None) => {}
+            _ => panic!("snapshot L3 presence does not match hierarchy"),
+        }
     }
 
     /// The latency a demand access would see, without changing state: the

@@ -39,6 +39,8 @@ pub mod tlb;
 
 pub use addr::{line_addr, page_number, page_offset, PAGE_BITS, PAGE_SIZE};
 pub use cache::{CacheConfig, LruUpdate, SetAssocCache};
-pub use hierarchy::{AccessOutcome, CacheHierarchy, HierarchyConfig, Level};
+pub use hierarchy::{
+    AccessOutcome, CacheHierarchy, CacheSnapshot, HierarchyConfig, HierarchySnapshot, Level,
+};
 pub use memory::MainMemory;
 pub use tlb::{PageTable, Tlb, TlbConfig};

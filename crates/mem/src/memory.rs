@@ -158,6 +158,28 @@ impl MainMemory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Every resident page as `(page_number, bytes)`, sorted by page
+    /// number so snapshots serialize deterministically.
+    pub fn snapshot_pages(&self) -> Vec<(u64, &[u8; PAGE_SIZE as usize])> {
+        let mut v: Vec<_> = self.pages.iter().map(|(pn, p)| (*pn, &**p)).collect();
+        v.sort_unstable_by_key(|(pn, _)| *pn);
+        v
+    }
+
+    /// Replaces the full contents of one page (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly one page long.
+    pub fn restore_page(&mut self, pn: u64, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            PAGE_SIZE as usize,
+            "page must be {PAGE_SIZE} bytes"
+        );
+        self.page_mut(pn).copy_from_slice(bytes);
+    }
 }
 
 #[cfg(test)]

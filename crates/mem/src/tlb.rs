@@ -78,6 +78,14 @@ impl PageTable {
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// Every explicit `(vpn, ppn)` mapping, sorted by virtual page number
+    /// so snapshots serialize deterministically.
+    pub fn snapshot_mappings(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<_> = self.map.iter().map(|(&vpn, &ppn)| (vpn, ppn)).collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// TLB configuration.
@@ -200,6 +208,25 @@ impl Tlb {
     /// Current number of cached translations.
     pub fn occupancy(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Cached `(vpn, ppn, last-use tick)` entries plus the replacement
+    /// clock, in insertion order.
+    pub fn snapshot_entries(&self) -> (Vec<(u64, u64, u64)>, u64) {
+        (self.entries.clone(), self.tick)
+    }
+
+    /// Restores entries captured by [`Tlb::snapshot_entries`]. Statistics
+    /// are untouched (checkpoints never carry stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more entries than the TLB holds.
+    pub fn restore_entries(&mut self, entries: &[(u64, u64, u64)], tick: u64) {
+        assert!(entries.len() <= self.config.entries, "too many TLB entries");
+        self.entries.clear();
+        self.entries.extend_from_slice(entries);
+        self.tick = tick;
     }
 }
 

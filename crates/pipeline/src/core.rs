@@ -30,6 +30,7 @@ use crate::policy::{
 use crate::regfile::RegFile;
 use crate::rob::{CommitClass, Rob, RobState};
 use crate::sampler::TimeSeriesSampler;
+use crate::snapshot::CoreSnapshot;
 use crate::stats::PipelineStats;
 use crate::trace::{SquashCause, TraceBuffer, TraceEvent};
 use condspec_frontend::FrontEnd;
@@ -153,6 +154,30 @@ pub enum ExitReason {
     /// No instruction committed for a long time (deadlock watchdog) —
     /// indicates a malformed program (e.g. running off the end of code).
     Stuck,
+    /// The commit target of [`Core::run_until_committed`] was reached.
+    CommitLimit,
+}
+
+/// Why [`Core::run_functional`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionalExit {
+    /// A `halt` instruction retired.
+    Halted,
+    /// The instruction budget was exhausted.
+    InstLimit,
+    /// The PC left every mapped code region — a malformed program (the
+    /// detailed pipeline reports the same condition as
+    /// [`ExitReason::Stuck`] after wedging fetch).
+    FetchFault,
+}
+
+/// Result of a [`Core::run_functional`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalResult {
+    /// Why functional execution ended.
+    pub exit: FunctionalExit,
+    /// Instructions retired by this call (the halt included).
+    pub retired: u64,
 }
 
 /// Result of a [`Core::run`] call.
@@ -1741,6 +1766,363 @@ impl Core {
     }
 
     // ------------------------------------------------------------------
+    // Checkpoint / functional execution
+    // ------------------------------------------------------------------
+
+    /// Whether the pipeline holds no in-flight work: empty ROB and fetch
+    /// queue, no pending store data and no dispatched fences. At such a
+    /// boundary the IQ, LSQ, security dependence matrix and TPBuf are
+    /// empty too (each tracks a subset of the in-flight instructions),
+    /// so the machine state collapses to a [`CoreSnapshot`].
+    pub fn is_quiesced(&self) -> bool {
+        self.rob.is_empty()
+            && self.fetch_queue.is_empty()
+            && self.pending_store_data.is_empty()
+            && self.fence_seqs.is_empty()
+    }
+
+    /// Drains the pipeline to the nearest architectural instruction
+    /// boundary: every uncommitted instruction is squashed and fetch is
+    /// redirected to the next architectural PC. The discarded work simply
+    /// re-executes when the core resumes, so quiescing never changes
+    /// architectural results — only timing (and the squash statistics).
+    ///
+    /// Afterwards [`Core::is_quiesced`] holds and any pending fetch
+    /// stall is cleared, making the state canonical for
+    /// [`Core::capture_snapshot`].
+    pub fn quiesce(&mut self) {
+        // The squash walk expresses "discard everything younger than
+        // keep_seq"; discarding the head itself needs keep = head-1,
+        // which cannot be expressed when the head is seq 0. Step until
+        // the head commits (it is the oldest instruction, so it always
+        // makes progress), moving the head seq past 0.
+        while matches!(self.rob.head_hot(), Some(h) if h.seq == 0) {
+            self.step();
+        }
+        if let Some(head) = self.rob.head_hot().copied() {
+            // The head has not committed: it is the next architectural
+            // instruction. Squash it and everything younger.
+            self.squash_from(head.seq - 1, head.pc, SquashCause::Quiesce);
+        } else if let Some(front_pc) = self.fetch_queue.front().map(|f| f.pc) {
+            // Nothing dispatched, but decode holds fetched instructions:
+            // rewind fetch to the queue front and restore the RAS to the
+            // oldest snapshot (which predates every speculative RAS
+            // effect of the queued instructions).
+            if let Some(snap) = self
+                .fetch_queue
+                .iter()
+                .find_map(|f| f.ras_snapshot.as_deref())
+            {
+                self.frontend.restore_ras(snap);
+            }
+            for fetched in self.fetch_queue.drain(..) {
+                if let Some(snap) = fetched.ras_snapshot {
+                    self.ras_box_pool.push(snap);
+                }
+            }
+            self.fq_unresolved_branches = 0;
+            self.fetch_pc = front_pc;
+            self.fetch_wedged = false;
+        }
+        self.fetch_stall_until = self.cycle;
+        debug_assert!(self.is_quiesced(), "quiesce left in-flight state");
+    }
+
+    /// Captures the complete state of a quiesced core (see
+    /// [`CoreSnapshot`] for the exact inventory). Call [`Core::quiesce`]
+    /// first if the pipeline may hold in-flight work.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pipeline is not quiesced.
+    pub fn capture_snapshot(&self) -> Result<CoreSnapshot, String> {
+        if !self.is_quiesced() {
+            return Err(format!(
+                "cannot checkpoint a busy pipeline ({} ROB entries, {} fetched instructions); \
+                 call quiesce() first",
+                self.rob.len(),
+                self.fetch_queue.len()
+            ));
+        }
+        debug_assert_eq!(self.iq.occupancy(), 0, "IQ entry without a ROB entry");
+        let (tlb_entries, tlb_tick) = self.tlb.snapshot_entries();
+        Ok(CoreSnapshot {
+            cycle: self.cycle,
+            fetch_pc: self.fetch_pc,
+            next_seq: self.next_seq,
+            next_stamp: self.next_stamp,
+            halted: self.halted,
+            arch_regs: self.regfile.arch_values(),
+            memory_pages: self
+                .memory
+                .snapshot_pages()
+                .into_iter()
+                .map(|(pn, bytes)| (pn, bytes.to_vec()))
+                .collect(),
+            page_table: self.page_table.snapshot_mappings(),
+            tlb_entries,
+            tlb_tick,
+            hierarchy: self.hierarchy.snapshot(),
+            frontend: self.frontend.snapshot(),
+        })
+    }
+
+    /// Restores a captured snapshot into this core, which must have the
+    /// same configuration as the capturing one. The caller supplies the
+    /// program (snapshots store state, not code) and a freshly built
+    /// security policy, exactly as [`Core::reset_cold`] does.
+    ///
+    /// The program's data segments are *not* re-copied into memory —
+    /// the snapshot's pages already hold their current contents — which
+    /// is why this must not go through [`Core::load_program`]. Shared
+    /// code mappings are not part of a snapshot; map them again
+    /// afterwards if the continuation needs them.
+    ///
+    /// After this call the core is observationally identical to the
+    /// capturing core at the capture point: continuing either one in
+    /// detailed mode produces identical statistics and state.
+    pub fn restore_snapshot(
+        &mut self,
+        snap: &CoreSnapshot,
+        program: Arc<Program>,
+        policy: Box<dyn SecurityPolicy>,
+    ) {
+        self.reset_cold(policy);
+        for (pn, bytes) in &snap.memory_pages {
+            self.memory.restore_page(*pn, bytes);
+        }
+        for &(vpn, ppn) in &snap.page_table {
+            self.page_table.map(vpn, ppn);
+        }
+        self.tlb.restore_entries(&snap.tlb_entries, snap.tlb_tick);
+        self.hierarchy.restore(&snap.hierarchy);
+        self.frontend.restore(&snap.frontend);
+        for (i, &v) in snap.arch_regs.iter().enumerate().skip(1) {
+            self.regfile
+                .write_arch(Reg::from_index(i).expect("i < 32"), v);
+        }
+        self.cycle = snap.cycle;
+        self.fetch_pc = snap.fetch_pc;
+        self.next_seq = snap.next_seq;
+        self.next_stamp = snap.next_stamp;
+        self.halted = snap.halted;
+        self.fetch_wedged = false;
+        self.fetch_stall_until = snap.cycle;
+        self.last_commit_cycle = snap.cycle;
+        self.program = Some(program);
+    }
+
+    /// Runs until halt, the cycle budget, the watchdog, **or** until
+    /// `target` more instructions have committed — the detailed-window
+    /// primitive of sampled simulation. Identical to [`Core::run`]
+    /// except for the extra exit condition; the commit count may
+    /// overshoot the target by up to `commit_width - 1` (the check sits
+    /// between full cycles), which the caller reads back from
+    /// [`RunResult::committed`].
+    pub fn run_until_committed(&mut self, target: u64, max_cycles: u64) -> RunResult {
+        let start_cycle = self.cycle;
+        let start_committed = self.stats.committed;
+        let goal = start_committed.saturating_add(target);
+        let limit = start_cycle.saturating_add(max_cycles);
+        let mut exit = ExitReason::CycleLimit;
+        let mut before = self.activity_signature();
+        while self.cycle < limit {
+            if self.halted {
+                exit = ExitReason::Halted;
+                break;
+            }
+            if self.stats.committed >= goal {
+                exit = ExitReason::CommitLimit;
+                break;
+            }
+            if self.cycle - self.last_commit_cycle > STUCK_THRESHOLD {
+                exit = ExitReason::Stuck;
+                break;
+            }
+            self.step();
+            let after = self.activity_signature();
+            if after == before {
+                self.fast_forward_idle(limit);
+            } else {
+                before = after;
+            }
+        }
+        if self.halted {
+            exit = ExitReason::Halted;
+        } else if exit == ExitReason::CycleLimit && self.stats.committed >= goal {
+            exit = ExitReason::CommitLimit;
+        }
+        RunResult {
+            exit,
+            cycles: self.cycle - start_cycle,
+            committed: self.stats.committed - start_committed,
+        }
+    }
+
+    /// Retires up to `max_insts` instructions *functionally*: pure
+    /// architectural interpretation with no pipeline, cache, TLB,
+    /// predictor or statistics modelling — the fast-forward engine of
+    /// sampled simulation (tens of Minst/s against the detailed model's
+    /// hundreds of Kinst/s).
+    ///
+    /// Functional stepping touches exactly four pieces of state: the
+    /// architectural registers, memory (stores apply immediately —
+    /// retirement is in-order), the fetch PC and the halted flag.
+    /// Everything else — the cycle clock, all statistics, caches, TLB
+    /// and predictors — is left untouched, so a checkpoint captured
+    /// after a functional fast-forward carries cold (or pre-existing)
+    /// microarchitectural state by construction.
+    ///
+    /// `Flush` retires as a no-op (there is no cache model to flush);
+    /// `Fence` and `Nop` likewise. Loads and stores translate through
+    /// the page table directly (no TLB).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pipeline is not quiesced (functional and
+    /// detailed execution cannot interleave mid-flight) or no program is
+    /// loaded.
+    pub fn run_functional(&mut self, max_insts: u64) -> Result<FunctionalResult, String> {
+        self.functional_loop(max_insts, |_, _| {})
+    }
+
+    /// [`Core::run_functional`] with a per-retirement hook `(pc, inst)`,
+    /// for differential testing against the detailed pipeline's commit
+    /// stream. The hook makes this the *reference* architectural trace:
+    /// functional execution has no wrong path.
+    pub fn run_functional_traced(
+        &mut self,
+        max_insts: u64,
+        on_retire: impl FnMut(u64, &Inst),
+    ) -> Result<FunctionalResult, String> {
+        self.functional_loop(max_insts, on_retire)
+    }
+
+    fn functional_loop(
+        &mut self,
+        max_insts: u64,
+        mut on_retire: impl FnMut(u64, &Inst),
+    ) -> Result<FunctionalResult, String> {
+        if !self.is_quiesced() {
+            return Err("cannot run functionally with in-flight detailed state; \
+                 call quiesce() first"
+                .to_string());
+        }
+        let Some(program) = self.program.clone() else {
+            return Err("no program loaded".to_string());
+        };
+        if self.halted {
+            return Ok(FunctionalResult {
+                exit: FunctionalExit::Halted,
+                retired: 0,
+            });
+        }
+        // Interpret against a local register array; the rename fabric is
+        // synced once at exit. Index 0 is never written (r0).
+        let mut regs = self.regfile.arch_values();
+        let mut pc = self.fetch_pc;
+        let mut retired = 0u64;
+        let mut exit = FunctionalExit::InstLimit;
+        while retired < max_insts {
+            let inst = match program.fetch(pc) {
+                Some(inst) => inst,
+                None => match self.shared_code.iter().find_map(|p| p.fetch(pc)) {
+                    Some(inst) => inst,
+                    None => {
+                        exit = FunctionalExit::FetchFault;
+                        break;
+                    }
+                },
+            };
+            let mut next = pc + INST_BYTES;
+            match inst {
+                Inst::Alu { op, rd, rs1, rs2 } => {
+                    let v = op.eval(regs[rs1.index()], regs[rs2.index()]);
+                    if !rd.is_zero() {
+                        regs[rd.index()] = v;
+                    }
+                }
+                Inst::AluImm { op, rd, rs1, imm } => {
+                    let v = op.eval(regs[rs1.index()], imm as u64);
+                    if !rd.is_zero() {
+                        regs[rd.index()] = v;
+                    }
+                }
+                Inst::LoadImm { rd, imm } => {
+                    if !rd.is_zero() {
+                        regs[rd.index()] = imm;
+                    }
+                }
+                Inst::Load {
+                    rd,
+                    base,
+                    offset,
+                    size,
+                } => {
+                    let vaddr = regs[base.index()].wrapping_add(offset as u64);
+                    let paddr = self.page_table.translate(vaddr);
+                    let v = self.memory.read(paddr, size.bytes());
+                    if !rd.is_zero() {
+                        regs[rd.index()] = v;
+                    }
+                }
+                Inst::Store {
+                    src,
+                    base,
+                    offset,
+                    size,
+                } => {
+                    let vaddr = regs[base.index()].wrapping_add(offset as u64);
+                    let paddr = self.page_table.translate(vaddr);
+                    self.memory.write(paddr, regs[src.index()], size.bytes());
+                }
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    if cond.eval(regs[rs1.index()], regs[rs2.index()]) {
+                        next = target;
+                    }
+                }
+                Inst::Jump { target } => {
+                    next = target;
+                }
+                Inst::Call { target, link } => {
+                    if !link.is_zero() {
+                        regs[link.index()] = pc + INST_BYTES;
+                    }
+                    next = target;
+                }
+                Inst::Ret { link } => {
+                    next = regs[link.index()];
+                }
+                Inst::JumpIndirect { base, offset } => {
+                    next = regs[base.index()].wrapping_add(offset as u64);
+                }
+                Inst::Flush { .. } | Inst::Fence | Inst::Nop => {}
+                Inst::Halt => {
+                    retired += 1;
+                    on_retire(pc, &inst);
+                    self.halted = true;
+                    exit = FunctionalExit::Halted;
+                    break;
+                }
+            }
+            retired += 1;
+            on_retire(pc, &inst);
+            pc = next;
+        }
+        for (i, &v) in regs.iter().enumerate().skip(1) {
+            self.regfile
+                .write_arch(Reg::from_index(i).expect("i < 32"), v);
+        }
+        self.fetch_pc = pc;
+        Ok(FunctionalResult { exit, retired })
+    }
+
+    // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
 
@@ -2291,6 +2673,136 @@ mod tests {
             "simple loop should sustain decent IPC, got {ipc}"
         );
         assert!(ipc <= 4.0, "cannot exceed machine width");
+    }
+
+    #[test]
+    fn functional_matches_detailed_architectural_state() {
+        let build = |b: &mut ProgramBuilder| {
+            b.li(Reg::R1, 0);
+            b.li(Reg::R2, 50);
+            b.li(Reg::R9, 0x20000);
+            b.label("loop").unwrap();
+            b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+            b.alu(AluOp::Xor, Reg::R3, Reg::R1, Reg::R2);
+            b.store(Reg::R3, Reg::R9, 0);
+            b.load(Reg::R4, Reg::R9, 0);
+            b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
+            b.halt();
+            b.reserve(0x20000, 64);
+        };
+        let mut detailed = Core::with_defaults();
+        let mut b = ProgramBuilder::new(0x1000);
+        build(&mut b);
+        let program = Arc::new(b.build().unwrap());
+        detailed.load_program(Arc::clone(&program));
+        let r = detailed.run(1_000_000);
+        assert_eq!(r.exit, ExitReason::Halted);
+
+        let mut functional = Core::with_defaults();
+        functional.load_program(program);
+        let f = functional.run_functional(1_000_000).unwrap();
+        assert_eq!(f.exit, FunctionalExit::Halted);
+        assert_eq!(f.retired, detailed.stats().committed);
+        for reg in Reg::ALL {
+            assert_eq!(
+                functional.read_arch_reg(reg),
+                detailed.read_arch_reg(reg),
+                "{reg} diverged"
+            );
+        }
+        assert_eq!(
+            functional.read_memory(0x20000, 8),
+            detailed.read_memory(0x20000, 8)
+        );
+    }
+
+    #[test]
+    fn quiesce_capture_restore_continues_identically() {
+        let build = |b: &mut ProgramBuilder| {
+            b.li(Reg::R1, 0);
+            b.li(Reg::R2, 400);
+            b.li(Reg::R9, 0x20000);
+            b.label("loop").unwrap();
+            b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+            b.store(Reg::R1, Reg::R9, 0);
+            b.load(Reg::R4, Reg::R9, 0);
+            b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
+            b.halt();
+            b.reserve(0x20000, 64);
+        };
+        let mut b = ProgramBuilder::new(0x1000);
+        build(&mut b);
+        let program = Arc::new(b.build().unwrap());
+
+        // Run mid-loop, quiesce at an arbitrary point, capture.
+        let mut original = Core::with_defaults();
+        original.load_program(Arc::clone(&program));
+        original.run(700);
+        assert!(!original.is_halted(), "must stop mid-program");
+        original.quiesce();
+        let snap = original.capture_snapshot().expect("quiesced");
+
+        // Restore into a fresh core and continue both to halt.
+        let mut restored = Core::with_defaults();
+        restored.restore_snapshot(&snap, Arc::clone(&program), Box::new(NullPolicy));
+        assert_eq!(restored.capture_snapshot().expect("clean"), snap);
+        original.reset_stats();
+        restored.reset_stats();
+        let ro = original.run(1_000_000);
+        let rr = restored.run(1_000_000);
+        assert_eq!(ro.exit, ExitReason::Halted);
+        assert_eq!(rr.exit, ExitReason::Halted);
+        assert_eq!(ro.cycles, rr.cycles, "identical window timing");
+        assert_eq!(ro.committed, rr.committed);
+        assert_eq!(original.cycle(), restored.cycle());
+        for reg in Reg::ALL {
+            assert_eq!(original.read_arch_reg(reg), restored.read_arch_reg(reg));
+        }
+    }
+
+    #[test]
+    fn run_until_committed_stops_at_target() {
+        let mut core = Core::with_defaults();
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 10_000);
+        b.label("loop").unwrap();
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
+        b.halt();
+        core.load_program(Arc::new(b.build().unwrap()));
+        let r = core.run_until_committed(500, 1_000_000);
+        assert_eq!(r.exit, ExitReason::CommitLimit);
+        assert!(r.committed >= 500);
+        assert!(
+            r.committed < 500 + core.config().commit_width as u64,
+            "overshoot bounded by commit width"
+        );
+    }
+
+    #[test]
+    fn functional_rejects_busy_pipeline() {
+        let mut core = run_program(|b| {
+            b.li(Reg::R1, 7);
+            b.halt();
+        });
+        assert!(core.run_functional(10).is_ok(), "halted core is quiesced");
+        let mut busy = Core::with_defaults();
+        let mut b = ProgramBuilder::new(0x1000);
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 1000);
+        b.label("loop").unwrap();
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
+        b.halt();
+        busy.load_program(Arc::new(b.build().unwrap()));
+        while busy.is_quiesced() {
+            busy.step();
+        }
+        assert!(busy.run_functional(10).is_err());
+        assert!(busy.capture_snapshot().is_err());
+        busy.quiesce();
+        assert!(busy.run_functional(10).is_ok());
     }
 
     #[test]

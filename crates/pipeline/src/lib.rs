@@ -48,14 +48,16 @@ pub mod policy;
 pub mod regfile;
 pub mod rob;
 pub mod sampler;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 
-pub use crate::core::{Core, CoreConfig, ExitReason, RunResult};
+pub use crate::core::{Core, CoreConfig, ExitReason, FunctionalExit, FunctionalResult, RunResult};
 pub use policy::{
     BlockFilter, DispatchInfo, InstClass, IqEntryView, MemAccessQuery, MemDecision, NullPolicy,
     PolicyStats, SecurityPolicy,
 };
 pub use sampler::{SampleRow, TimeSeriesSampler, TIMESERIES_SCHEMA};
+pub use snapshot::CoreSnapshot;
 pub use stats::PipelineStats;
 pub use trace::{SquashCause, TraceBuffer, TraceEvent};

@@ -212,6 +212,36 @@ impl RegFile {
             self.values[self.lookup(arch) as usize]
         }
     }
+
+    /// Writes the architectural value of `arch` through the current
+    /// rename map. Writes to `r0` are discarded.
+    ///
+    /// Only valid when the pipeline is quiesced (no in-flight producers
+    /// or consumers): the mapped physical register must already be ready
+    /// and have no wakeup subscribers. Used by functional execution to
+    /// sync its register state back into the rename fabric, and by
+    /// checkpoint restore.
+    pub fn write_arch(&mut self, arch: Reg, value: u64) {
+        if arch.is_zero() {
+            return;
+        }
+        let preg = self.lookup(arch);
+        debug_assert!(
+            self.ready[preg as usize],
+            "write_arch to in-flight p{preg}; core must be quiesced"
+        );
+        self.write(preg, value);
+    }
+
+    /// All 32 architectural register values through the current rename
+    /// map (checkpoint capture). Index 0 is always zero.
+    pub fn arch_values(&self) -> [u64; NUM_ARCH_REGS] {
+        let mut out = [0u64; NUM_ARCH_REGS];
+        for (i, slot) in out.iter_mut().enumerate().skip(1) {
+            *slot = self.values[self.rename[i] as usize];
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,82 @@
+//! Raw captured state of a quiesced [`Core`](crate::Core) — the
+//! substance of a simulation checkpoint.
+//!
+//! A snapshot can only be taken at a *quiesced* instruction boundary:
+//! no in-flight ROB/IQ/LSQ entries, an empty fetch queue and no pending
+//! store data (see [`Core::is_quiesced`](crate::Core::is_quiesced)).
+//! At such a boundary the machine's entire observable state collapses to
+//! the fields below:
+//!
+//! * **Architectural**: the 32 register values (read through the rename
+//!   map, which is clean at a boundary), resident memory pages, explicit
+//!   page-table mappings, the next fetch PC and the halted flag.
+//! * **Microarchitectural**: every cache level's valid/tag/LRU-stamp
+//!   state, TLB entries, and the trained front end (direction tables,
+//!   BTB, RAS).
+//! * **Clocks**: the absolute cycle plus the `next_seq`/`next_stamp`
+//!   dispatch counters, so a restored core continues with the exact
+//!   numbering a checkpointed-and-continued core would use.
+//!
+//! Deliberately *not* captured:
+//!
+//! * **Statistics** — a detailed window resets them at its start.
+//! * **Security-policy transient state** — the dependence matrix tracks
+//!   only IQ-resident instructions and the TPBuf mirrors LSQ residency,
+//!   so both are provably empty at a quiesced boundary.
+//! * **Event-wheel contents** — only stale (stamp-mismatched) events can
+//!   exist at a boundary; they are dropped at delivery and never change
+//!   architectural state or statistics.
+
+use condspec_frontend::FrontEndSnapshot;
+use condspec_isa::reg::NUM_ARCH_REGS;
+use condspec_mem::HierarchySnapshot;
+
+/// A complete capture of a quiesced core, restorable into any core of
+/// the same configuration via
+/// [`Core::restore_snapshot`](crate::Core::restore_snapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreSnapshot {
+    /// Absolute cycle at the capture point.
+    pub cycle: u64,
+    /// The next architectural PC (fetch target).
+    pub fetch_pc: u64,
+    /// The next ROB sequence number.
+    pub next_seq: u64,
+    /// The monotone dispatch-stamp counter.
+    pub next_stamp: u64,
+    /// Whether a halt has committed.
+    pub halted: bool,
+    /// All 32 architectural register values; index 0 is always zero.
+    pub arch_regs: [u64; NUM_ARCH_REGS],
+    /// Resident physical memory pages, sorted by page number.
+    pub memory_pages: Vec<(u64, Vec<u8>)>,
+    /// Explicit `(vpn, ppn)` page-table mappings, sorted by vpn.
+    pub page_table: Vec<(u64, u64)>,
+    /// TLB `(vpn, ppn, last-use tick)` entries, residency order.
+    pub tlb_entries: Vec<(u64, u64, u64)>,
+    /// The TLB's LRU tick counter.
+    pub tlb_tick: u64,
+    /// All cache levels' line state and LRU ticks.
+    pub hierarchy: HierarchySnapshot,
+    /// Trained predictor state (direction tables, BTB, RAS).
+    pub frontend: FrontEndSnapshot,
+}
+
+impl Default for CoreSnapshot {
+    fn default() -> Self {
+        CoreSnapshot {
+            cycle: 0,
+            fetch_pc: 0,
+            next_seq: 0,
+            next_stamp: 0,
+            halted: false,
+            arch_regs: [0; NUM_ARCH_REGS],
+            memory_pages: Vec::new(),
+            page_table: Vec::new(),
+            tlb_entries: Vec::new(),
+            tlb_tick: 0,
+            hierarchy: HierarchySnapshot::default(),
+            frontend: FrontEndSnapshot::default(),
+        }
+    }
+}

@@ -24,6 +24,13 @@ pub enum SquashCause {
     /// A memory-order violation: a store's address resolved under an
     /// already-executed younger load to the same bytes.
     MemOrder,
+    /// A deliberate pipeline drain ([`Core::quiesce`]): all speculative
+    /// work is discarded so the core reaches a checkpointable
+    /// architectural boundary. The squashed instructions re-execute when
+    /// the core resumes.
+    ///
+    /// [`Core::quiesce`]: crate::Core::quiesce
+    Quiesce,
 }
 
 impl SquashCause {
@@ -32,6 +39,7 @@ impl SquashCause {
         match self {
             SquashCause::Mispredict => "mispredict",
             SquashCause::MemOrder => "mem-order",
+            SquashCause::Quiesce => "quiesce",
         }
     }
 }

@@ -19,7 +19,7 @@
 //! | GET  | `/` | endpoint index |
 //! | GET  | `/api/health` | liveness probe |
 //! | GET  | `/api/sweeps` | list submissions |
-//! | POST | `/api/sweeps` | submit `{"sweep", "iters"?, "warmup"?}` |
+//! | POST | `/api/sweeps` | submit `{"sweep", "iters"?, "warmup"?, "mode"?}` |
 //! | GET  | `/api/sweeps/<id>` | one submission's status |
 //! | GET  | `/api/sweeps/<id>/stream` | chunked progress stream (NDJSON) |
 //! | GET  | `/api/sweeps/<id>/report` | rendered report text |
@@ -27,6 +27,7 @@
 //! | POST | `/api/jobs` | run one job `{"kind", ...}` synchronously |
 //! | GET  | `/api/trace` | Perfetto trace of one attack round |
 //! | GET  | `/api/timeseries` | windowed time-series of one benchmark |
+//! | GET  | `/api/checkpoints` | list stored checkpoint objects |
 //! | GET  | `/api/store/stats` | store stats + counters (metrics JSON) |
 //! | GET  | `/api/metrics` | daemon metrics registry |
 //! | POST | `/api/shutdown` | graceful stop |
@@ -34,7 +35,7 @@
 pub mod http;
 pub mod state;
 
-pub use state::{ServerState, Submission, SubmissionStatus};
+pub use state::{ServerState, Submission, SubmissionStatus, SubmitMode};
 
 use condspec::DefenseConfig;
 use condspec_attacks::{traced_variant_round, AttackScenario};
@@ -199,6 +200,7 @@ fn handle_connection(
         ("POST", ["api", "jobs"]) => run_job(state, stream, &request),
         ("GET", ["api", "trace"]) => serve_trace(stream, &request),
         ("GET", ["api", "timeseries"]) => serve_timeseries(stream, &request),
+        ("GET", ["api", "checkpoints"]) => list_checkpoints(state, stream),
         ("GET", ["api", "store", "stats"]) => store_stats(state, stream),
         ("GET", ["api", "metrics"]) => metrics(state, stream),
         ("POST", ["api", "shutdown"]) => {
@@ -236,6 +238,7 @@ fn index_json() -> Json {
         "POST /api/jobs",
         "GET /api/trace",
         "GET /api/timeseries",
+        "GET /api/checkpoints",
         "GET /api/store/stats",
         "GET /api/metrics",
         "POST /api/shutdown",
@@ -277,7 +280,22 @@ fn submit_sweep(
     };
     let iterations = body.get("iters").and_then(Json::as_u64);
     let warmup = body.get("warmup").and_then(Json::as_u64);
-    let (id, sweep_id) = state.submit(sweep, iterations, warmup);
+    let mode = match body.get("mode").and_then(Json::as_str) {
+        None => SubmitMode::Detailed,
+        Some(key) => match SubmitMode::from_key(key) {
+            Some(mode) => mode,
+            None => {
+                return respond_json(
+                    stream,
+                    400,
+                    &error_json(&format!(
+                        "unknown mode `{key}` — available: detailed, sampled"
+                    )),
+                )
+            }
+        },
+    };
+    let (id, sweep_id) = state.submit(sweep, iterations, warmup, mode);
     respond_json(
         stream,
         202,
@@ -491,6 +509,40 @@ fn serve_timeseries(stream: &mut TcpStream, request: &Request) -> io::Result<()>
     }
 }
 
+/// The checkpoint objects currently in the persistent store, in key
+/// order: one row per checkpoint with its store key, identity string,
+/// label, and payload size.
+fn list_checkpoints(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
+    let Some(root) = state.store_root.as_deref() else {
+        return respond_json(
+            stream,
+            409,
+            &error_json("the store is disabled (--no-store)"),
+        );
+    };
+    let store = ResultStore::open(root);
+    let entries = match store.list_checkpoints() {
+        Ok(entries) => entries,
+        Err(e) => return respond_json(stream, 500, &error_json(&e.to_string())),
+    };
+    let rows: Vec<Json> = entries
+        .iter()
+        .map(|entry| {
+            Json::object(vec![
+                ("key", Json::from(entry.key.as_str())),
+                ("identity", Json::from(entry.job.as_str())),
+                ("label", Json::from(entry.label.as_str())),
+                ("bytes", Json::from(entry.bytes)),
+            ])
+        })
+        .collect();
+    let doc = Json::object(vec![
+        ("count", Json::from(rows.len() as u64)),
+        ("checkpoints", Json::Array(rows)),
+    ]);
+    respond_json(stream, 200, &format!("{}\n", doc.render()))
+}
+
 /// Store stats and counters, rendered through the metrics registry.
 fn store_stats(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
     let Some(root) = state.store_root.as_deref() else {
@@ -508,6 +560,8 @@ fn store_stats(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<(
     let mut registry = MetricsRegistry::new();
     registry.set_counter("store.entries", stats.entries);
     registry.set_counter("store.bytes", stats.bytes);
+    registry.set_counter("store.checkpoints", stats.checkpoints);
+    registry.set_counter("store.checkpoint_bytes", stats.checkpoint_bytes);
     registry.set_counter("store.stray_tmp", stats.stray_tmp);
     registry.set_counter("store.hits", state.store_hits_total.load(Ordering::Relaxed));
     registry.set_counter(
@@ -537,6 +591,8 @@ fn metrics(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
         if let Ok(stats) = ResultStore::open(root).stats() {
             registry.set_counter("store.entries", stats.entries);
             registry.set_counter("store.bytes", stats.bytes);
+            registry.set_counter("store.checkpoints", stats.checkpoints);
+            registry.set_counter("store.checkpoint_bytes", stats.checkpoint_bytes);
             registry.set_counter("store.stray_tmp", stats.stray_tmp);
         }
     }

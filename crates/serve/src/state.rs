@@ -10,7 +10,10 @@
 //! store, so a daemon-run sweep is indistinguishable on disk from a CLI
 //! run of the same sweep.
 
-use condspec_engine::{run_sweep_observed, Sweep, SweepOptions, SweepProgress, SweepResults};
+use condspec_engine::{
+    default_workers, run_jobs_stored, run_sampled_bench, run_sweep_observed, JobSource,
+    ProgramCache, ResultStore, SampledBenchSpec, Sweep, SweepOptions, SweepProgress, SweepResults,
+};
 use condspec_stats::Json;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,6 +44,38 @@ impl SubmissionStatus {
     }
 }
 
+/// How a submission runs its benchmark jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubmitMode {
+    /// Full detailed simulation of every job (the CLI default).
+    #[default]
+    Detailed,
+    /// SimPoint-style sampling: each benchmark job runs as a functional
+    /// count pass plus parallel detailed windows, stitched into a
+    /// whole-program estimate. Attack and variant jobs (which have no
+    /// sampled form) still run detailed.
+    Sampled,
+}
+
+impl SubmitMode {
+    /// Stable wire string.
+    pub fn key(&self) -> &'static str {
+        match self {
+            SubmitMode::Detailed => "detailed",
+            SubmitMode::Sampled => "sampled",
+        }
+    }
+
+    /// Parses a wire string; the inverse of [`SubmitMode::key`].
+    pub fn from_key(key: &str) -> Option<SubmitMode> {
+        match key {
+            "detailed" => Some(SubmitMode::Detailed),
+            "sampled" => Some(SubmitMode::Sampled),
+            _ => None,
+        }
+    }
+}
+
 /// One accepted sweep submission.
 #[derive(Debug, Clone)]
 pub struct Submission {
@@ -50,6 +85,8 @@ pub struct Submission {
     pub sweep: String,
     /// The content-derived sweep id (of the scaled sweep).
     pub sweep_id: String,
+    /// How the submission runs its benchmark jobs.
+    pub mode: SubmitMode,
     /// Lifecycle state.
     pub status: SubmissionStatus,
     /// Latest progress snapshot.
@@ -67,6 +104,7 @@ impl Submission {
             ("id", Json::from(self.id)),
             ("sweep", Json::from(self.sweep.as_str())),
             ("sweep_id", Json::from(self.sweep_id.as_str())),
+            ("mode", Json::from(self.mode.key())),
             ("status", Json::from(self.status.key())),
             ("done", Json::from(self.progress.done as u64)),
             ("total", Json::from(self.progress.total as u64)),
@@ -146,6 +184,7 @@ impl ServerState {
         sweep: Sweep,
         iterations: Option<u64>,
         warmup: Option<u64>,
+        mode: SubmitMode,
     ) -> (u64, String) {
         let opts = self.sweep_options(iterations, warmup);
         let scaled_id = sweep.clone().scaled(iterations, warmup).sweep_id();
@@ -154,6 +193,7 @@ impl ServerState {
             id,
             sweep: sweep.name.to_string(),
             sweep_id: scaled_id.clone(),
+            mode,
             status: SubmissionStatus::Queued,
             progress: SweepProgress {
                 done: 0,
@@ -169,31 +209,60 @@ impl ServerState {
         let state = Arc::clone(self);
         std::thread::spawn(move || {
             state.update(id, |s| s.status = SubmissionStatus::Running);
-            let outcome = run_sweep_observed(&sweep, &opts, |progress| {
-                let progress = *progress;
-                state.update(id, move |s| s.progress = progress);
-            });
-            match outcome {
-                Ok(outcome) => {
+            match mode {
+                SubmitMode::Detailed => {
+                    let outcome = run_sweep_observed(&sweep, &opts, |progress| {
+                        let progress = *progress;
+                        state.update(id, move |s| s.progress = progress);
+                    });
+                    match outcome {
+                        Ok(outcome) => {
+                            if state.store_root.is_some() {
+                                state
+                                    .store_hits_total
+                                    .fetch_add(outcome.store_hits as u64, Ordering::Relaxed);
+                                state
+                                    .store_inserts_total
+                                    .fetch_add(outcome.executed as u64, Ordering::Relaxed);
+                            }
+                            let report =
+                                render_report(&sweep, iterations, warmup, &outcome.results);
+                            state.update(id, move |s| {
+                                s.status = SubmissionStatus::Done;
+                                s.report = Some(report);
+                            });
+                        }
+                        Err(e) => {
+                            let message = e.to_string();
+                            state.update(id, move |s| {
+                                s.status = SubmissionStatus::Error;
+                                s.error = Some(message);
+                            });
+                        }
+                    }
+                }
+                SubmitMode::Sampled => {
+                    let scaled = sweep.clone().scaled(iterations, warmup);
+                    let workers = if state.workers == 0 {
+                        default_workers()
+                    } else {
+                        state.workers
+                    };
+                    let (results, hits, inserts) =
+                        run_sampled_submission(&scaled, workers, state.store_root.clone(), |p| {
+                            let p = *p;
+                            state.update(id, move |s| s.progress = p);
+                        });
                     if state.store_root.is_some() {
-                        state
-                            .store_hits_total
-                            .fetch_add(outcome.store_hits as u64, Ordering::Relaxed);
+                        state.store_hits_total.fetch_add(hits, Ordering::Relaxed);
                         state
                             .store_inserts_total
-                            .fetch_add(outcome.executed as u64, Ordering::Relaxed);
+                            .fetch_add(inserts, Ordering::Relaxed);
                     }
-                    let report = render_report(&sweep, iterations, warmup, &outcome.results);
+                    let report = scaled.render(&results);
                     state.update(id, move |s| {
                         s.status = SubmissionStatus::Done;
                         s.report = Some(report);
-                    });
-                }
-                Err(e) => {
-                    let message = e.to_string();
-                    state.update(id, move |s| {
-                        s.status = SubmissionStatus::Error;
-                        s.error = Some(message);
                     });
                 }
             }
@@ -223,6 +292,82 @@ impl ServerState {
     pub fn submissions(&self) -> Vec<Submission> {
         self.submissions.lock().expect("registry").clone()
     }
+}
+
+/// Runs a sampled-mode submission: every benchmark job becomes a
+/// functional count pass plus parallel detailed windows
+/// (`run_sampled_bench`), whose stitched whole-program report lands
+/// under the job's hash so the sweep's ordinary renderer draws the
+/// table; attack and variant jobs run detailed through the scheduler.
+/// Returns the collected results plus the submission's window-level
+/// store hit/insert counts (a sampled job fans into many window jobs,
+/// each individually store-cached).
+fn run_sampled_submission(
+    sweep: &Sweep,
+    workers: usize,
+    store_root: Option<PathBuf>,
+    mut on_progress: impl FnMut(&SweepProgress),
+) -> (SweepResults, u64, u64) {
+    let store = store_root.map(ResultStore::open);
+    let programs = Arc::new(ProgramCache::new());
+    let mut results = SweepResults::new();
+    let (mut window_hits, mut window_inserts) = (0u64, 0u64);
+    let mut progress = SweepProgress {
+        done: 0,
+        total: sweep.jobs.len(),
+        simulated: 0,
+        store_hits: 0,
+        failed: 0,
+    };
+    for job in &sweep.jobs {
+        match SampledBenchSpec::from_bench_job(job) {
+            Some(spec) => match run_sampled_bench(&spec, workers, store.as_ref()) {
+                Ok(outcome) => {
+                    window_hits += outcome.store_hits as u64;
+                    window_inserts += outcome.executed as u64;
+                    if outcome.executed == 0 && outcome.store_hits > 0 {
+                        progress.store_hits += 1;
+                    } else {
+                        progress.simulated += 1;
+                    }
+                    results.insert(
+                        job.hash_hex(),
+                        Json::object(vec![
+                            ("job", Json::from(job.hash_hex())),
+                            ("key", Json::from(job.canonical_key())),
+                            ("mode", Json::from("sampled")),
+                            ("total_insts", Json::from(outcome.total_insts)),
+                            ("report", outcome.report.to_json()),
+                        ]),
+                    );
+                }
+                Err(_) => progress.failed += 1,
+            },
+            None => {
+                let mut run = run_jobs_stored(
+                    std::slice::from_ref(job),
+                    1,
+                    &programs,
+                    store.as_ref(),
+                    |_, _, _, _| {},
+                );
+                let (outcome, _, source) = run.remove(0);
+                match outcome {
+                    Ok(doc) => {
+                        match source {
+                            JobSource::Store => progress.store_hits += 1,
+                            _ => progress.simulated += 1,
+                        }
+                        results.insert(job.hash_hex(), doc);
+                    }
+                    Err(_) => progress.failed += 1,
+                }
+            }
+        }
+        progress.done += 1;
+        on_progress(&progress);
+    }
+    (results, window_hits, window_inserts)
 }
 
 /// Renders a submission's report from its collected results. The scaled

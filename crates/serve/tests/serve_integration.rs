@@ -198,6 +198,73 @@ fn daemon_round_trip_with_warm_store_second_submission() {
     assert!(body.contains("\"serve.requests\""), "{body}");
     assert!(body.contains("\"serve.submissions\":2"), "{body}");
 
+    // Sampled-mode submission: same sweep, SimPoint-style windows.
+    let (status, body) = post(
+        addr,
+        "/api/sweeps",
+        "{\"sweep\":\"icache\",\"iters\":2,\"warmup\":1,\"mode\":\"vax\"}",
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown mode"), "{body}");
+    let (status, body) = post(
+        addr,
+        "/api/sweeps",
+        "{\"sweep\":\"icache\",\"iters\":2,\"warmup\":1,\"mode\":\"sampled\"}",
+    );
+    assert_eq!(status, 202, "{body}");
+    let sampled_id = Json::parse(&body)
+        .expect("receipt")
+        .get("submission")
+        .and_then(Json::as_u64)
+        .expect("id");
+    let sampled = await_submission(addr, sampled_id);
+    assert_eq!(sampled.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(sampled.get("mode").and_then(Json::as_str), Some("sampled"));
+    assert_eq!(sampled.get("failed").and_then(Json::as_u64), Some(0));
+    let (status, sampled_report) = get(addr, &format!("/api/sweeps/{sampled_id}/report"));
+    assert_eq!(status, 200);
+    assert!(
+        sampled_report.contains("ICache-hit filter"),
+        "{sampled_report}"
+    );
+
+    // Checkpoint objects: the listing starts empty, reflects inserts,
+    // and the store stats count checkpoints separately from results.
+    let (status, body) = get(addr, "/api/checkpoints");
+    assert_eq!(status, 200, "{body}");
+    let listing = Json::parse(&body).expect("checkpoints JSON");
+    assert_eq!(listing.get("count").and_then(Json::as_u64), Some(0));
+    let store = condspec_engine::ResultStore::open(&store_root);
+    let key = condspec_engine::checkpoint_store_key("gcc", "paper-default", 1000, 500);
+    store
+        .insert_checkpoint(
+            &key,
+            "kind=checkpoint;workload=gcc;machine=paper-default;total=1000;inst=500",
+            "gcc@500",
+            7,
+            &Json::object(vec![("schema", Json::from("condspec-checkpoint-v1"))]),
+        )
+        .expect("insert checkpoint");
+    let (status, body) = get(addr, "/api/checkpoints");
+    assert_eq!(status, 200, "{body}");
+    let listing = Json::parse(&body).expect("checkpoints JSON");
+    assert_eq!(listing.get("count").and_then(Json::as_u64), Some(1));
+    let row = listing
+        .get("checkpoints")
+        .and_then(Json::as_array)
+        .and_then(<[Json]>::first)
+        .expect("one row");
+    assert_eq!(row.get("key").and_then(Json::as_str), Some(key.as_str()));
+    assert_eq!(row.get("label").and_then(Json::as_str), Some("gcc@500"));
+    let (status, body) = get(addr, "/api/store/stats");
+    assert_eq!(status, 200, "{body}");
+    let stats = Json::parse(&body).expect("stats JSON");
+    let metrics = stats.get("metrics").expect("metrics object");
+    assert_eq!(
+        metrics.get("store.checkpoints").and_then(Json::as_u64),
+        Some(1)
+    );
+
     // Single-job submission: a store hit for a job the sweep already ran.
     let (status, body) = post(
         addr,

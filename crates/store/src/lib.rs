@@ -21,6 +21,14 @@
 //!     "artifact": { ... the job's artifact document ... } }
 //! ```
 //!
+//! A parallel `checkpoints/` fan-out holds simulator checkpoints
+//! (`condspec-checkpoint-v1` documents from sampled runs) through the
+//! identical envelope machinery
+//! ([`ResultStore::insert_checkpoint`]/[`ResultStore::load_checkpoint`]),
+//! counted separately by [`ResultStore::stats`] and listable with
+//! [`ResultStore::list_checkpoints`]. [`ResultStore::verify`] and
+//! [`ResultStore::gc`] cover both directories.
+//!
 //! Robustness rules, in priority order:
 //!
 //! * **A damaged entry is a miss, never a panic.** Truncated files,
@@ -70,13 +78,19 @@ pub struct ResultStore {
 }
 
 /// Shallow scan of a store: entry count and total payload bytes.
+/// Checkpoint objects (under `checkpoints/`) are counted separately
+/// from result entries (under `objects/`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreStats {
-    /// Entries present (every `*.json` under `objects/`).
+    /// Result entries present (every `*.json` under `objects/`).
     pub entries: u64,
-    /// Total bytes across those entries.
+    /// Total bytes across those result entries.
     pub bytes: u64,
-    /// Stray temp files from interrupted writes.
+    /// Checkpoint objects present (every `*.json` under `checkpoints/`).
+    pub checkpoints: u64,
+    /// Total bytes across those checkpoint objects.
+    pub checkpoint_bytes: u64,
+    /// Stray temp files from interrupted writes (both directories).
     pub stray_tmp: u64,
 }
 
@@ -84,13 +98,30 @@ impl StoreStats {
     /// The one-line summary `condspec store stats` prints.
     pub fn summary(&self, root: &Path) -> String {
         format!(
-            "store stats: {} entries, {} bytes, {} stray tmp files at {}",
+            "store stats: {} entries, {} bytes, {} checkpoints, {} checkpoint bytes, \
+             {} stray tmp files at {}",
             self.entries,
             self.bytes,
+            self.checkpoints,
+            self.checkpoint_bytes,
             self.stray_tmp,
             root.display()
         )
     }
+}
+
+/// One checkpoint object, as listed by [`ResultStore::list_checkpoints`]
+/// (the serve daemon's `GET /api/checkpoints` rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointEntry {
+    /// The checkpoint's store key.
+    pub key: String,
+    /// The identity hash recorded at insert time.
+    pub job: String,
+    /// Human label (`<workload>@<inst_index>` by convention).
+    pub label: String,
+    /// On-disk envelope size in bytes.
+    pub bytes: u64,
 }
 
 /// Outcome of a deep [`ResultStore::verify`] scan.
@@ -155,22 +186,35 @@ impl ResultStore {
         self.root.join("objects")
     }
 
-    /// The on-disk path for a store key. Keys are validated to be
-    /// lowercase hex so a malformed key can never escape the store
-    /// directory; invalid keys map to a reserved `invalid` shard and
-    /// simply never hit.
-    pub fn object_path(&self, key: &str) -> PathBuf {
+    fn checkpoints_dir(&self) -> PathBuf {
+        self.root.join("checkpoints")
+    }
+
+    fn keyed_path(base: PathBuf, key: &str) -> PathBuf {
         if key.len() >= 2
             && key
                 .bytes()
                 .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
         {
-            self.objects_dir()
-                .join(&key[..2])
-                .join(format!("{key}.json"))
+            base.join(&key[..2]).join(format!("{key}.json"))
         } else {
-            self.objects_dir().join("invalid").join("invalid.json")
+            base.join("invalid").join("invalid.json")
         }
+    }
+
+    /// The on-disk path for a store key. Keys are validated to be
+    /// lowercase hex so a malformed key can never escape the store
+    /// directory; invalid keys map to a reserved `invalid` shard and
+    /// simply never hit.
+    pub fn object_path(&self, key: &str) -> PathBuf {
+        Self::keyed_path(self.objects_dir(), key)
+    }
+
+    /// The on-disk path for a checkpoint key, under the parallel
+    /// `checkpoints/` fan-out. Same key validation as
+    /// [`ResultStore::object_path`].
+    pub fn checkpoint_path(&self, key: &str) -> PathBuf {
+        Self::keyed_path(self.checkpoints_dir(), key)
     }
 
     /// Loads the artifact stored under `key`, or `None` on any miss:
@@ -181,7 +225,18 @@ impl ResultStore {
     ///
     /// [`insert`]: ResultStore::insert
     pub fn load(&self, key: &str) -> Option<Json> {
-        match self.load_envelope(key) {
+        self.load_at(self.object_path(key), key)
+    }
+
+    /// [`ResultStore::load`] against the `checkpoints/` directory: the
+    /// serialized `condspec-checkpoint-v1` document stored under `key`,
+    /// with the same damage-is-a-miss semantics and counters.
+    pub fn load_checkpoint(&self, key: &str) -> Option<Json> {
+        self.load_at(self.checkpoint_path(key), key)
+    }
+
+    fn load_at(&self, path: PathBuf, key: &str) -> Option<Json> {
+        match self.load_envelope(path, key) {
             Ok(envelope) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 // Envelope was fully validated; artifact is present.
@@ -199,8 +254,7 @@ impl ResultStore {
         }
     }
 
-    fn load_envelope(&self, key: &str) -> Result<Envelope, LoadMiss> {
-        let path = self.object_path(key);
+    fn load_envelope(&self, path: PathBuf, key: &str) -> Result<Envelope, LoadMiss> {
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(LoadMiss::Absent),
@@ -237,7 +291,48 @@ impl ResultStore {
         fingerprint: u64,
         artifact: &Json,
     ) -> io::Result<()> {
-        let path = self.object_path(key);
+        self.insert_at(
+            self.object_path(key),
+            key,
+            job,
+            label,
+            fingerprint,
+            artifact,
+        )
+    }
+
+    /// [`ResultStore::insert`] against the `checkpoints/` directory:
+    /// atomically writes the serialized checkpoint document under `key`
+    /// through the same envelope machinery, so checkpoints are
+    /// content-addressed and shareable across processes like any other
+    /// store object.
+    pub fn insert_checkpoint(
+        &self,
+        key: &str,
+        job: &str,
+        label: &str,
+        fingerprint: u64,
+        checkpoint: &Json,
+    ) -> io::Result<()> {
+        self.insert_at(
+            self.checkpoint_path(key),
+            key,
+            job,
+            label,
+            fingerprint,
+            checkpoint,
+        )
+    }
+
+    fn insert_at(
+        &self,
+        path: PathBuf,
+        key: &str,
+        job: &str,
+        label: &str,
+        fingerprint: u64,
+        artifact: &Json,
+    ) -> io::Result<()> {
         let dir = path.parent().expect("object paths always have a shard dir");
         fs::create_dir_all(dir)?;
         let envelope = Envelope {
@@ -306,13 +401,12 @@ impl ResultStore {
         registry.set_counter("store.corrupt", self.corrupt());
     }
 
-    fn walk_entries(&self) -> io::Result<Vec<PathBuf>> {
+    fn walk_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
         let mut entries = Vec::new();
-        let objects = self.objects_dir();
-        if !objects.is_dir() {
+        if !dir.is_dir() {
             return Ok(entries);
         }
-        for shard in read_dir_sorted(&objects)? {
+        for shard in read_dir_sorted(dir)? {
             if !shard.is_dir() {
                 continue;
             }
@@ -321,7 +415,16 @@ impl ResultStore {
         Ok(entries)
     }
 
-    /// Shallow scan: entry count, total bytes, stray temp files.
+    fn walk_entries(&self) -> io::Result<Vec<PathBuf>> {
+        Self::walk_dir(&self.objects_dir())
+    }
+
+    fn walk_checkpoints(&self) -> io::Result<Vec<PathBuf>> {
+        Self::walk_dir(&self.checkpoints_dir())
+    }
+
+    /// Shallow scan: result-entry and checkpoint counts, total bytes,
+    /// stray temp files.
     ///
     /// # Errors
     ///
@@ -337,7 +440,46 @@ impl ResultStore {
                 stats.bytes += len;
             }
         }
+        for path in self.walk_checkpoints()? {
+            let len = fs::metadata(&path)?.len();
+            if path.extension().is_some_and(|x| x == "tmp") {
+                stats.stray_tmp += 1;
+            } else if path.extension().is_some_and(|x| x == "json") {
+                stats.checkpoints += 1;
+                stats.checkpoint_bytes += len;
+            }
+        }
         Ok(stats)
+    }
+
+    /// Lists every checkpoint object in the store, in key order.
+    /// Damaged envelopes are skipped (a listing must never fail on one
+    /// corrupt file — the deep scan for that is [`ResultStore::verify`]).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error walking the `checkpoints/` directory.
+    pub fn list_checkpoints(&self) -> io::Result<Vec<CheckpointEntry>> {
+        let mut listed = Vec::new();
+        for path in self.walk_checkpoints()? {
+            if path.extension().is_none_or(|x| x != "json") {
+                continue;
+            }
+            let bytes = fs::metadata(&path)?.len();
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(envelope) = Envelope::parse(&text) else {
+                continue;
+            };
+            listed.push(CheckpointEntry {
+                key: envelope.key,
+                job: envelope.job,
+                label: envelope.label,
+                bytes,
+            });
+        }
+        Ok(listed)
     }
 
     /// Deep scan: parses every entry and re-checks its envelope (schema,
@@ -350,7 +492,9 @@ impl ResultStore {
     /// reported in `bad`, not returned as errors.
     pub fn verify(&self) -> io::Result<VerifyReport> {
         let mut report = VerifyReport::default();
-        for path in self.walk_entries()? {
+        let mut paths = self.walk_entries()?;
+        paths.extend(self.walk_checkpoints()?);
+        for path in paths {
             if path.extension().is_none_or(|x| x != "json") {
                 continue;
             }
@@ -391,7 +535,9 @@ impl ResultStore {
     pub fn gc(&self, keep_fingerprint: u64) -> io::Result<GcReport> {
         let keep = hex16(keep_fingerprint);
         let mut report = GcReport::default();
-        for path in self.walk_entries()? {
+        let mut paths = self.walk_entries()?;
+        paths.extend(self.walk_checkpoints()?);
+        for path in paths {
             let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             if path.extension().is_some_and(|x| x == "tmp") {
                 fs::remove_file(&path)?;
@@ -597,6 +743,66 @@ mod tests {
         assert!(report.bytes_freed > 0);
         assert_eq!(store.load("bb00bb00bb00bb00"), Some(artifact(2)));
         assert_eq!(store.load("aa00aa00aa00aa00"), None);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn checkpoints_live_beside_results_without_colliding() {
+        let root = scratch("checkpoints");
+        let store = ResultStore::open(&root);
+        let key = "cc00cc00cc00cc00";
+        // The same key as a result and as a checkpoint are distinct
+        // objects: the two directories never alias.
+        store
+            .insert(key, "j1", "gcc/origin", 1, &artifact(1))
+            .unwrap();
+        store
+            .insert_checkpoint(key, "j1", "gcc@0", 1, &artifact(2))
+            .unwrap();
+        assert_eq!(store.load(key), Some(artifact(1)));
+        assert_eq!(store.load_checkpoint(key), Some(artifact(2)));
+        assert_eq!(store.load_checkpoint("dd00dd00dd00dd00"), None);
+
+        let stats = store.stats().expect("stats");
+        assert_eq!((stats.entries, stats.checkpoints), (1, 1));
+        assert!(stats.checkpoint_bytes > 0);
+        assert!(stats.summary(store.root()).contains("1 checkpoints"));
+
+        let listed = store.list_checkpoints().expect("list");
+        assert_eq!(
+            listed,
+            vec![CheckpointEntry {
+                key: key.to_string(),
+                job: "j1".to_string(),
+                label: "gcc@0".to_string(),
+                bytes: stats.checkpoint_bytes,
+            }]
+        );
+
+        let verify = store.verify().expect("verify");
+        assert_eq!((verify.checked, verify.ok), (2, 2), "both dirs scanned");
+
+        // Malformed checkpoint keys stay inside the store too.
+        assert!(store
+            .checkpoint_path("../../etc/passwd")
+            .starts_with(root.join("checkpoints")));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn gc_covers_the_checkpoint_directory() {
+        let root = scratch("gc-checkpoints");
+        let store = ResultStore::open(&root);
+        store
+            .insert_checkpoint("aa00aa00aa00aa00", "j1", "gcc@0", 1, &artifact(1))
+            .unwrap();
+        store
+            .insert_checkpoint("bb00bb00bb00bb00", "j2", "gcc@9", 2, &artifact(2))
+            .unwrap();
+        let report = store.gc(2).expect("gc");
+        assert_eq!((report.kept, report.removed), (1, 1));
+        assert_eq!(store.load_checkpoint("aa00aa00aa00aa00"), None);
+        assert_eq!(store.load_checkpoint("bb00bb00bb00bb00"), Some(artifact(2)));
         fs::remove_dir_all(&root).ok();
     }
 

@@ -1,0 +1,112 @@
+//! End-to-end speedup of the sampled-simulation mode on a long run:
+//! functional fast-forward to 8 evenly spaced checkpoints, one detailed
+//! window per checkpoint on its own thread, weighted stitch — measured
+//! against full detailed simulation of the same program.
+//!
+//! ```text
+//! cargo run --release --example sampled_speedup
+//! ```
+//!
+//! The workload is a 100M-instruction counting loop (the perf harness's
+//! peak-commit-pressure shape) under the full Cache-hit + TPBuf defense.
+//! The numbers this prints are recorded in EXPERIMENTS.md.
+
+use condspec::{
+    run_window, stitch_reports, DefenseConfig, SampledOptions, SampledPlan, SimConfig, Simulator,
+};
+use condspec_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Loop iterations: 2 instructions per iteration (add + branch) plus
+/// setup and halt ≈ 200M instructions total.
+const ITERS: u64 = 100_000_000;
+/// Cycle budget: the loop runs at IPC 2, so 200M instructions fit
+/// comfortably in 200M cycles.
+const BUDGET: u64 = 200_000_000;
+
+fn counting_loop() -> Arc<Program> {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(Reg::R1, 0);
+    b.li(Reg::R2, ITERS);
+    b.label("loop").expect("fresh label");
+    b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+    b.branch_to(BranchCond::LtU, Reg::R1, Reg::R2, "loop");
+    b.halt();
+    Arc::new(b.build().expect("counting loop assembles"))
+}
+
+fn main() {
+    let program = counting_loop();
+    let config = SimConfig::new(DefenseConfig::CacheHitTpbuf);
+    let opts = SampledOptions {
+        checkpoints: 8,
+        window: 150_000,
+        warmup: 15_000,
+        max_cycles: BUDGET,
+        ..SampledOptions::default()
+    };
+
+    // Sampled arm: plan (two functional passes), then every window on
+    // its own thread with its own simulator — exactly the shape the
+    // engine's worker pool runs, minus the store.
+    let sampled_started = Instant::now();
+    let mut planner = Simulator::new(config);
+    let plan = SampledPlan::build(&mut planner, &program, "counting-loop", &opts)
+        .expect("sampled planning succeeds");
+    let plan_wall = sampled_started.elapsed().as_secs_f64();
+    let mut windows: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .windows
+            .iter()
+            .map(|w| {
+                let program = Arc::clone(&program);
+                scope.spawn(move || {
+                    let mut sim = Simulator::new(config);
+                    run_window(&mut sim, w, &program, &opts).expect("window runs")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    windows.sort_by_key(|w| w.index);
+    let stitched = stitch_reports(plan.total_insts, &windows);
+    let sampled_wall = sampled_started.elapsed().as_secs_f64();
+
+    // Detailed arm: the whole program, cycle by cycle.
+    let detailed_started = Instant::now();
+    let mut sim = Simulator::new(config);
+    sim.run_to_halt(&program, BUDGET);
+    let detailed = sim.report();
+    let detailed_wall = detailed_started.elapsed().as_secs_f64();
+
+    let cycle_error =
+        (stitched.cycles as f64 - detailed.cycles as f64).abs() / detailed.cycles as f64;
+    println!(
+        "workload: counting-loop, {} instructions under {}",
+        plan.total_insts, detailed.defense
+    );
+    println!(
+        "detailed: {} cycles (IPC {:.3}) in {detailed_wall:.2}s ({:.1} Minst/s)",
+        detailed.cycles,
+        detailed.ipc,
+        plan.total_insts as f64 / detailed_wall / 1e6
+    );
+    println!(
+        "sampled:  {} cycles (IPC {:.3}) in {sampled_wall:.2}s ({:.1} Minst/s) \
+         — plan {plan_wall:.2}s + {} windows of {} insts",
+        stitched.cycles,
+        stitched.ipc,
+        plan.total_insts as f64 / sampled_wall / 1e6,
+        windows.len(),
+        opts.window
+    );
+    println!(
+        "speedup: {:.1}x, stitched-cycle error {:.3}%",
+        detailed_wall / sampled_wall,
+        cycle_error * 100.0
+    );
+}
