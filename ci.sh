@@ -216,6 +216,33 @@ grep -q "4 checkpoints" target/perf-smoke/sampled-store-stats.txt || {
 }
 echo "sampled smoke ok: $(grep 'stitched estimate:' "$sampled_out")"
 
+echo "==> leak-oracle smoke (condspec leaks --quick, deterministic, claim reproduced)"
+# The quick corpus probes one conditional-branch gadget and one
+# return-stack gadget under every defense; the matrix must reproduce the
+# paper's security claim, and two runs must agree byte-for-byte (the
+# probes, like everything else in the simulator, are deterministic). The
+# full-corpus JSON document is the CI artifact.
+leaks_out="target/perf-smoke/leaks-quick.txt"
+./target/release/condspec leaks --quick > "$leaks_out"
+grep -q "security claim .*: REPRODUCED" "$leaks_out" || {
+    echo "leak matrix does not reproduce the security claim:" >&2
+    cat "$leaks_out" >&2
+    exit 1
+}
+grep -q "LEAKS(" "$leaks_out" || {
+    echo "leak matrix flags no Origin leak:" >&2
+    cat "$leaks_out" >&2
+    exit 1
+}
+./target/release/condspec leaks --quick > "$leaks_out.rerun"
+cmp "$leaks_out" "$leaks_out.rerun" || {
+    echo "leak probes are not deterministic" >&2
+    exit 1
+}
+rm "$leaks_out.rerun"
+./target/release/condspec leaks --all --out target/perf-smoke/leaks.json > /dev/null
+echo "leak smoke ok: $(grep 'security claim' "$leaks_out")"
+
 echo "==> serve smoke (daemon round-trip: submit, stream, report, 100% warm hits)"
 python3 ci/serve_smoke.py ./target/release/condspec target/perf-smoke
 

@@ -30,4 +30,6 @@
 pub mod channel;
 pub mod spectre;
 
-pub use spectre::{run_variant, traced_variant_round, AttackOutcome, AttackScenario};
+pub use spectre::{
+    leak_probe, run_variant, traced_variant_round, AttackOutcome, AttackScenario, LeakProbeOutcome,
+};

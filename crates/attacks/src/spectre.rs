@@ -3,6 +3,7 @@
 
 use crate::channel;
 use condspec::{DefenseConfig, SimConfig, Simulator};
+use condspec_pipeline::{LeakReport, TaintConfig, TraceEvent};
 use condspec_workloads::gadgets::{GadgetKind, SpectreGadget};
 use std::collections::{HashMap, HashSet};
 
@@ -219,6 +220,118 @@ pub fn traced_variant_round(
     sim.core_mut().enable_trace(events);
     sim.run(RUN_BUDGET);
     sim.core_mut().disable_trace().expect("tracing enabled")
+}
+
+/// Result of one taint-oracle leak probe (see [`leak_probe`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakProbeOutcome {
+    /// Per-channel leak totals of the malicious round.
+    pub leaks: LeakReport,
+    /// The round's [`TraceEvent::Leak`] records, in resolution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl LeakProbeOutcome {
+    /// Whether a cache-channel leak survived a squash — the oracle's
+    /// verdict that the gadget transmitted through the paper's threat
+    /// model. TLB and TPBuf survivors are reported but excluded: they
+    /// are the paper's admitted blind spots, not its claim.
+    pub fn cache_leaked(&self) -> bool {
+        self.leaks.cache_survived() > 0
+    }
+}
+
+/// Trace capacity for leak probes: comfortably above the pipeline event
+/// count of one gadget round, so leak records are never pushed out of
+/// the bounded buffer.
+const LEAK_TRACE_EVENTS: usize = 1 << 17;
+
+/// Runs one Spectre gadget round under the taint-tracking leak oracle
+/// and reports every channel a secret-tainted value reached.
+///
+/// The harness mirrors the end-to-end attacks — train the predictors,
+/// flush the channel, trigger the victim with the malicious input — but
+/// the verdict comes from the oracle watching information flow inside
+/// the pipeline, not from an attacker reading the channel back. The
+/// planted secret's physical bytes are the taint source.
+pub fn leak_probe(kind: GadgetKind, defense: DefenseConfig) -> LeakProbeOutcome {
+    let gadget = SpectreGadget::build(kind);
+    let mut sim = Simulator::new(SimConfig::new(defense));
+
+    // Warm + train exactly like the end-to-end attacks.
+    let pollution = (kind == GadgetKind::Rsb).then(|| {
+        std::sync::Arc::new(condspec_workloads::gadgets::rsb_pollution_program(
+            gadget.gadget_entry.expect("rsb gadget"),
+        ))
+    });
+    match kind {
+        GadgetKind::V1 | GadgetKind::V1SamePage | GadgetKind::V1SetStride => {
+            train(&mut sim, &gadget, 8);
+        }
+        GadgetKind::V2 | GadgetKind::V4 => {
+            sim.load_program(gadget.program.clone());
+            sim.run(RUN_BUDGET);
+        }
+        GadgetKind::Rsb => {
+            let pollution = pollution.clone().expect("built above");
+            sim.core_mut().map_shared_code(pollution);
+            sim.load_program(gadget.program.clone());
+            sim.run(RUN_BUDGET);
+        }
+    }
+
+    // Taint the planted secret's physical bytes and watch the malicious
+    // round.
+    let secret_pa = sim.core().page_table().translate(gadget.secret_addr);
+    let secret_len = gadget.planted_secret_bytes().len() as u64;
+    sim.core_mut()
+        .enable_taint(TaintConfig::range(secret_pa, secret_len));
+    sim.core_mut().enable_trace(LEAK_TRACE_EVENTS);
+
+    // Two malicious rounds, like the end-to-end attacks: the first warms
+    // the victim's own lines (a cold secret line can stall the tainted
+    // value past the branch resolution and close the window).
+    for _ in 0..ROUNDS {
+        if let Some(pollution) = &pollution {
+            // Re-plant the dangling RAS entry before every trigger.
+            sim.load_program(pollution.clone());
+            sim.run(RUN_BUDGET);
+            assert!(sim.core().is_halted(), "pollution run must complete");
+        }
+        sim.load_program(gadget.program.clone());
+        sim.write_memory(gadget.input_addr, gadget.attack_input, 8);
+        channel::flush_region(
+            &mut sim,
+            gadget.probe_base,
+            gadget.probe_stride,
+            gadget.probe_slots,
+        );
+        if let Some(len) = gadget.len_addr {
+            channel::flush_line(&mut sim, len);
+        }
+        if let Some(slot) = gadget.pointer_slot {
+            channel::flush_line(&mut sim, slot);
+        }
+        if kind == GadgetKind::V2 {
+            let jr = gadget.indirect_pc.expect("v2 has an indirect jump");
+            let target = gadget.gadget_entry.expect("v2 has a gadget");
+            sim.core_mut().frontend_mut().btb_mut().update(jr, target);
+        }
+        sim.run(RUN_BUDGET);
+        assert!(sim.core().is_halted(), "leak probe run must complete");
+    }
+
+    let oracle = sim.core_mut().disable_taint().expect("taint enabled");
+    let trace = sim.core_mut().disable_trace().expect("tracing enabled");
+    let events = trace
+        .events()
+        .filter(|e| matches!(e, TraceEvent::Leak { .. }))
+        .copied()
+        .collect();
+    LeakProbeOutcome {
+        leaks: oracle.report(),
+        events,
+    }
 }
 
 /// The SpectreRSB attack: the attacker runs an unbalanced-call program

@@ -171,6 +171,21 @@ impl PerfOptions {
         }
     }
 
+    /// Detailed warmup before each measured window. The full-size
+    /// pointer chase walks a 16K-slot ring, so a warmup that is a
+    /// fraction of the window leaves the cache cold and the stitched
+    /// estimate ~5× too slow; one ring pass (~50K instructions) fixes
+    /// the bias. Quick-mode segments are shorter than this, and
+    /// `run_window` clamps warmup into the segment, so the large value
+    /// is safe in both modes.
+    fn sampled_warmup(&self) -> u64 {
+        if self.quick {
+            self.sampled_window() / 10
+        } else {
+            50_000
+        }
+    }
+
     /// Timed repetitions per cell; the fastest wall time is reported.
     ///
     /// The simulated work is deterministic, so repeats only re-measure
@@ -345,12 +360,13 @@ fn run_sampled_cell(
     config: SimConfig,
     checkpoints: usize,
     window: u64,
+    warmup: u64,
 ) -> (u64, u64) {
     let mut sim = Simulator::new(config);
     let opts = SampledOptions {
         checkpoints,
         window,
-        warmup: window / 10,
+        warmup,
         ..SampledOptions::default()
     };
     let sampled = run_sampled(&mut sim, program, workload, &opts).expect("sampled run completes");
@@ -478,6 +494,7 @@ pub fn run_matrix(opts: &PerfOptions) -> Vec<PerfCell> {
                     config,
                     opts.sampled_checkpoints(),
                     opts.sampled_window(),
+                    opts.sampled_warmup(),
                 )
             },
         ));

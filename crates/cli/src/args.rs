@@ -67,6 +67,18 @@ pub enum Command {
         /// `None` = all four environments.
         defense: Option<DefenseConfig>,
     },
+    /// Run the taint-oracle leak probes and print the leak matrix.
+    Leaks {
+        /// `None` = the Table IV corpus (v1, v2, v4, rsb).
+        gadget: Option<GadgetKind>,
+        /// `None` = all four environments.
+        defense: Option<DefenseConfig>,
+        /// Restrict the corpus to one conditional-branch gadget and one
+        /// return-stack gadget (v1, rsb) for smoke runs.
+        quick: bool,
+        /// Also write the per-cell JSON documents here.
+        out: Option<String>,
+    },
     /// Run one calibrated benchmark and print its report.
     Bench {
         /// Benchmark name from the suite.
@@ -248,6 +260,8 @@ condspec — Conditional Speculation (HPCA 2019) reproduction driver
 USAGE:
   condspec attack  [--scenario <name>] [--defense <name>]
   condspec variant --kind <v1|v2|v4|rsb|v1-same-page|v1-set-stride> [--defense <name>]
+  condspec leaks   [--gadget <variant> | --all | --quick] [--defense <name>]
+                   [--out <leaks.json>]
   condspec bench   --name <benchmark> [--defense <name>] [--machine <name>] [--iters <n>]
   condspec run     --file <prog.bin> [--defense <name>] [--max-cycles <n>]
                    [--mode detailed|functional|sampled] [--checkpoints <n>]
@@ -276,7 +290,7 @@ SCENARIOS: flush-reload, flush-flush, evict-reload, prime-probe,
            prime-probe-noshare, evict-time
 DEFENSES:  origin, baseline, cache-hit, cache-hit-tpbuf
 MACHINES:  paper-default, a57, i7, xeon
-SWEEPS:    fig5, table4, table5, table6, lru, icache
+SWEEPS:    fig5, table4, table5, table6, lru, icache, leaks
            (artifacts land under target/condspec-runs/<sweep-id>/;
             re-run with --resume to skip completed jobs, or with
             --store to reuse results from target/condspec-store —
@@ -382,6 +396,29 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Command::Variant {
                 kind: parse_kind(&kind)?,
                 defense,
+            }
+        }
+        "leaks" => {
+            let gadget = take_flag(&mut rest, "--gadget")?
+                .map(|s| parse_kind(&s))
+                .transpose()?;
+            let all = take_switch(&mut rest, "--all");
+            let quick = take_switch(&mut rest, "--quick");
+            if gadget.is_some() && (all || quick) {
+                return Err(ParseError("--gadget conflicts with --all/--quick".into()));
+            }
+            if all && quick {
+                return Err(ParseError("--all conflicts with --quick".into()));
+            }
+            let defense = take_flag(&mut rest, "--defense")?
+                .map(|s| parse_defense(&s))
+                .transpose()?;
+            let out = take_flag(&mut rest, "--out")?;
+            Command::Leaks {
+                gadget,
+                defense,
+                quick,
+                out,
             }
         }
         "bench" => {
@@ -766,6 +803,52 @@ mod tests {
                 defense: Some(DefenseConfig::Baseline)
             }
         );
+    }
+
+    #[test]
+    fn leaks_defaults_to_full_matrix() {
+        assert_eq!(
+            parse(&argv("leaks")).unwrap(),
+            Command::Leaks {
+                gadget: None,
+                defense: None,
+                quick: false,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("leaks --all")).unwrap(),
+            parse(&argv("leaks")).unwrap()
+        );
+    }
+
+    #[test]
+    fn leaks_with_flags() {
+        assert_eq!(
+            parse(&argv("leaks --gadget rsb --defense cache-hit --out m.json")).unwrap(),
+            Command::Leaks {
+                gadget: Some(GadgetKind::Rsb),
+                defense: Some(DefenseConfig::CacheHit),
+                quick: false,
+                out: Some("m.json".into()),
+            }
+        );
+        assert_eq!(
+            parse(&argv("leaks --quick")).unwrap(),
+            Command::Leaks {
+                gadget: None,
+                defense: None,
+                quick: true,
+                out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn leaks_rejects_conflicting_corpus_flags() {
+        assert!(parse(&argv("leaks --gadget v1 --quick")).is_err());
+        assert!(parse(&argv("leaks --gadget v1 --all")).is_err());
+        assert!(parse(&argv("leaks --all --quick")).is_err());
     }
 
     #[test]

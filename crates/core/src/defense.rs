@@ -298,6 +298,14 @@ impl SecurityPolicy for ConditionalSpeculation {
         self.tpbuf.record_address(seq, ppn, suspect);
     }
 
+    fn records_page_addresses(&self) -> bool {
+        // The model bookkeeps the TPBuf in every mode, but only the
+        // cache-hit + TPBuf configuration ships the structure in
+        // hardware, so only there does a recorded page constitute
+        // observable microarchitectural state.
+        self.mode == FilterMode::CacheHitTpbuf
+    }
+
     fn on_mem_writeback(&mut self, seq: u64) {
         self.tpbuf.record_writeback(seq);
     }

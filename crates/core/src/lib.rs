@@ -66,7 +66,7 @@ pub use sampled::{
     plan_one_window, plan_segments, run_sampled, run_window, stitch_reports, SampledOptions,
     SampledPlan, SampledReport, WindowPlan, WindowReport, DEFAULT_CHECKPOINTS, DEFAULT_WINDOW,
 };
-pub use sim::{Report, Simulator};
+pub use sim::{leak_report_from_json, leak_report_to_json, Report, Simulator};
 pub use tpbuf::TpBuf;
 
 // Re-export the commonly paired pipeline types so downstream crates can

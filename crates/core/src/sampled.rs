@@ -355,6 +355,9 @@ pub fn stitch_reports(total_insts: u64, windows: &[WindowReport]) -> Report {
         icache_fetch_stalls: scaled(|r| r.icache_fetch_stalls),
         avg_rob_occupancy: weighted(|r| r.avg_rob_occupancy),
         avg_iq_occupancy: weighted(|r| r.avg_iq_occupancy),
+        // Leak totals are event counts, not rates; extrapolating them
+        // from sampled windows would be meaningless.
+        leaks: None,
     }
 }
 

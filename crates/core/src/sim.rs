@@ -6,7 +6,7 @@ use crate::defense::ConditionalSpeculation;
 use condspec_frontend::FrontEnd;
 use condspec_isa::{Program, Reg};
 use condspec_mem::{CacheHierarchy, PageTable, Tlb};
-use condspec_pipeline::{Core, ExitReason, FunctionalResult, NullPolicy, RunResult};
+use condspec_pipeline::{Core, ExitReason, FunctionalResult, LeakReport, NullPolicy, RunResult};
 use condspec_stats::Json;
 use std::sync::Arc;
 
@@ -50,13 +50,16 @@ pub struct Report {
     pub avg_rob_occupancy: f64,
     /// Mean issue-queue occupancy over the window.
     pub avg_iq_occupancy: f64,
+    /// Taint-oracle leak totals; `None` unless the oracle was enabled
+    /// (see [`Core::enable_taint`]).
+    pub leaks: Option<LeakReport>,
 }
 
 impl Report {
     /// Serializes the report as a [`Json`] object with stable,
     /// insertion-ordered keys. The inverse of [`Report::from_json`].
     pub fn to_json(&self) -> Json {
-        Json::object(vec![
+        let mut fields = vec![
             ("defense", Json::from(self.defense.key())),
             ("cycles", Json::from(self.cycles)),
             ("committed", Json::from(self.committed)),
@@ -76,7 +79,13 @@ impl Report {
             ("icache_fetch_stalls", Json::from(self.icache_fetch_stalls)),
             ("avg_rob_occupancy", Json::from(self.avg_rob_occupancy)),
             ("avg_iq_occupancy", Json::from(self.avg_iq_occupancy)),
-        ])
+        ];
+        // Appended only when the oracle ran, so artifacts from plain
+        // performance runs stay byte-identical to pre-oracle builds.
+        if let Some(leaks) = &self.leaks {
+            fields.push(("leaks", leak_report_to_json(leaks)));
+        }
+        Json::object(fields)
     }
 
     /// Reconstructs a report from [`Report::to_json`] output. Returns
@@ -104,8 +113,46 @@ impl Report {
             icache_fetch_stalls: u64_or_zero("icache_fetch_stalls"),
             avg_rob_occupancy: f64_or_zero("avg_rob_occupancy"),
             avg_iq_occupancy: f64_or_zero("avg_iq_occupancy"),
+            leaks: json.get("leaks").and_then(leak_report_from_json),
         })
     }
+}
+
+/// Serializes a [`LeakReport`] with stable, insertion-ordered keys. The
+/// inverse of [`leak_report_from_json`].
+pub fn leak_report_to_json(leaks: &LeakReport) -> Json {
+    Json::object(vec![
+        ("cache_fills", Json::from(leaks.cache_fills)),
+        (
+            "cache_fills_survived",
+            Json::from(leaks.cache_fills_survived),
+        ),
+        ("cache_lru", Json::from(leaks.cache_lru)),
+        ("cache_lru_survived", Json::from(leaks.cache_lru_survived)),
+        ("tlb_fills", Json::from(leaks.tlb_fills)),
+        ("tlb_fills_survived", Json::from(leaks.tlb_fills_survived)),
+        ("tpbuf_inserts", Json::from(leaks.tpbuf_inserts)),
+        (
+            "tpbuf_inserts_survived",
+            Json::from(leaks.tpbuf_inserts_survived),
+        ),
+    ])
+}
+
+/// Reconstructs a [`LeakReport`] from [`leak_report_to_json`] output.
+/// Returns `None` when a field is missing or has the wrong type.
+pub fn leak_report_from_json(json: &Json) -> Option<LeakReport> {
+    let field = |key: &str| json.get(key).and_then(Json::as_u64);
+    Some(LeakReport {
+        cache_fills: field("cache_fills")?,
+        cache_fills_survived: field("cache_fills_survived")?,
+        cache_lru: field("cache_lru")?,
+        cache_lru_survived: field("cache_lru_survived")?,
+        tlb_fills: field("tlb_fills")?,
+        tlb_fills_survived: field("tlb_fills_survived")?,
+        tpbuf_inserts: field("tpbuf_inserts")?,
+        tpbuf_inserts_survived: field("tpbuf_inserts_survived")?,
+    })
 }
 
 /// A configured machine: the out-of-order core with the chosen defense
@@ -359,6 +406,7 @@ impl Simulator {
             icache_fetch_stalls: pstats.icache_fetch_stalls,
             avg_rob_occupancy: pstats.avg_rob_occupancy(),
             avg_iq_occupancy: pstats.avg_iq_occupancy(),
+            leaks: self.core.leak_report(),
         }
     }
 

@@ -13,10 +13,10 @@
 use crate::cache::WorkerContext;
 use crate::hash::{fnv1a64, hex16};
 use condspec::{
-    plan_one_window, run_window, DefenseConfig, DependenceKinds, LruPolicy, MachineConfig,
-    SampledOptions, SimConfig, Simulator,
+    leak_report_to_json, plan_one_window, run_window, DefenseConfig, DependenceKinds, LruPolicy,
+    MachineConfig, SampledOptions, SimConfig, Simulator,
 };
-use condspec_attacks::{run_variant, AttackScenario};
+use condspec_attacks::{leak_probe, run_variant, AttackScenario};
 use condspec_stats::Json;
 use condspec_workloads::spec::{build_program, by_name};
 use condspec_workloads::GadgetKind;
@@ -133,6 +133,14 @@ pub enum Workload {
         /// The gadget kind.
         kind: GadgetKind,
     },
+    /// A Spectre gadget round under the taint-tracking leak oracle: the
+    /// verdict comes from watching secret-tainted values reach
+    /// persistent microarchitectural state, not from reading the side
+    /// channel back.
+    LeakProbe {
+        /// The gadget kind.
+        kind: GadgetKind,
+    },
 }
 
 /// One fully-specified simulation job.
@@ -222,6 +230,14 @@ impl JobSpec {
         }
     }
 
+    /// A taint-oracle leak-probe job.
+    pub fn leak_probe(kind: GadgetKind, defense: DefenseConfig) -> JobSpec {
+        JobSpec {
+            workload: Workload::LeakProbe { kind },
+            ..JobSpec::attack(AttackScenario::FlushReloadShared, defense)
+        }
+    }
+
     /// The canonical `field=value;...` identity string. Every field
     /// that influences the result appears here; fields that cannot
     /// influence a workload class (e.g. the machine preset of an
@@ -275,6 +291,13 @@ impl JobSpec {
                     self.defense.key()
                 )
             }
+            Workload::LeakProbe { kind } => {
+                format!(
+                    "kind=leak-probe;variant={};defense={}",
+                    kind.key(),
+                    self.defense.key()
+                )
+            }
         }
     }
 
@@ -303,6 +326,7 @@ impl JobSpec {
             } => format!("{benchmark}#w{window_index}"),
             Workload::Attack { scenario } => scenario.key().to_string(),
             Workload::Variant { kind } => kind.key().to_string(),
+            Workload::LeakProbe { kind } => format!("leaks:{}", kind.key()),
         };
         let mut label = format!("{what}/{}", self.defense.key());
         if self.machine != MachinePreset::PaperDefault {
@@ -428,6 +452,12 @@ impl JobSpec {
             Workload::Variant { kind } => {
                 let outcome = run_variant(*kind, self.defense);
                 doc.push(("leaked", Json::from(outcome.leaked())));
+            }
+            Workload::LeakProbe { kind } => {
+                let outcome = leak_probe(*kind, self.defense);
+                doc.push(("cache_leaked", Json::from(outcome.cache_leaked())));
+                doc.push(("leaks", leak_report_to_json(&outcome.leaks)));
+                doc.push(("leak_events", Json::from(outcome.events.len() as u64)));
             }
         }
         Json::object(doc)

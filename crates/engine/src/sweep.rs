@@ -37,7 +37,9 @@ pub struct Sweep {
 
 impl Sweep {
     /// All sweep names, in CLI help order.
-    pub const NAMES: [&'static str; 6] = ["fig5", "table4", "table5", "table6", "lru", "icache"];
+    pub const NAMES: [&'static str; 7] = [
+        "fig5", "table4", "table5", "table6", "lru", "icache", "leaks",
+    ];
 
     /// Builds a sweep by name.
     pub fn by_name(name: &str) -> Option<Sweep> {
@@ -48,6 +50,7 @@ impl Sweep {
             "table6" => Some(table6()),
             "lru" => Some(lru()),
             "icache" => Some(icache()),
+            "leaks" => Some(leaks()),
             _ => None,
         }
     }
@@ -91,7 +94,8 @@ impl Sweep {
                         *i = iterations;
                     }
                 }
-                Workload::Attack { .. } | Workload::Variant { .. } => {}
+                Workload::Attack { .. } | Workload::Variant { .. } | Workload::LeakProbe { .. } => {
+                }
             }
         }
         self
@@ -106,6 +110,7 @@ impl Sweep {
             "table6" => render_table6(results),
             "lru" => render_lru(results),
             "icache" => render_icache(results),
+            "leaks" => render_leaks(results),
             _ => unreachable!("sweeps are only constructed by name"),
         };
         format!("\n{}\n\n{table}", self.title)
@@ -593,6 +598,98 @@ fn render_icache(results: &SweepResults) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// Leak matrix — taint-oracle information-flow verdicts
+// ---------------------------------------------------------------------
+
+/// The taint-oracle leak matrix: every Table IV Spectre variant probed
+/// under every defense, with the verdict coming from information flow
+/// inside the pipeline instead of an attacker's channel readout.
+pub fn leaks() -> Sweep {
+    let mut jobs = Vec::new();
+    for kind in TABLE4_VARIANTS {
+        for defense in DefenseConfig::ALL {
+            jobs.push(JobSpec::leak_probe(kind, defense));
+        }
+    }
+    Sweep {
+        name: "leaks",
+        title: "Leak matrix — squash-surviving taint flows per defense (taint oracle)",
+        jobs,
+    }
+}
+
+fn leak_u64(results: &SweepResults, job: &JobSpec, field: &str) -> Option<u64> {
+    artifact(results, job)?.get("leaks")?.get(field)?.as_u64()
+}
+
+fn render_leaks(results: &SweepResults) -> String {
+    let mut table = TextTable::with_columns(&[
+        "Gadget",
+        "Origin",
+        "Baseline",
+        "Cache-hit",
+        "Cache-hit+TPBuf",
+    ]);
+    let mut claim_holds = Some(true);
+    for kind in TABLE4_VARIANTS {
+        let mut cells = vec![kind.key().to_string()];
+        for defense in DefenseConfig::ALL {
+            let job = JobSpec::leak_probe(kind, defense);
+            let survived = leak_u64(results, &job, "cache_fills_survived")
+                .zip(leak_u64(results, &job, "cache_lru_survived"))
+                .map(|(f, l)| f + l);
+            cells.push(match survived {
+                Some(0) => "clean".to_string(),
+                Some(n) => "LEAKS".to_string() + &format!("({n})"),
+                None => "-".to_string(),
+            });
+            let expected_leak = defense == DefenseConfig::Origin;
+            claim_holds = match (claim_holds, survived) {
+                (Some(ok), Some(n)) => Some(ok && ((n > 0) == expected_leak)),
+                _ => None,
+            };
+        }
+        table.row(cells);
+    }
+
+    let mut blind = TextTable::with_columns(&[
+        "Gadget",
+        "Origin",
+        "Baseline",
+        "Cache-hit",
+        "Cache-hit+TPBuf",
+    ]);
+    for kind in TABLE4_VARIANTS {
+        let mut cells = vec![kind.key().to_string()];
+        for defense in DefenseConfig::ALL {
+            let job = JobSpec::leak_probe(kind, defense);
+            let tlb = leak_u64(results, &job, "tlb_fills_survived");
+            let tpbuf = leak_u64(results, &job, "tpbuf_inserts_survived");
+            cells.push(match (tlb, tpbuf) {
+                (Some(t), Some(p)) => format!("tlb:{t} tpbuf:{p}"),
+                _ => "-".to_string(),
+            });
+        }
+        blind.row(cells);
+    }
+
+    format!(
+        "{table}\nsecurity claim (cache channels: Origin leaks on every gadget, \
+         every defense on none): {}\n\n\
+         Blind spots — squash-surviving non-cache flows the paper's threat \
+         model does not cover (TLB fills, TPBuf training):\n\n{blind}\n\
+         A tlb count > 0 under a defense means the blocked load had already \
+         translated its secret-dependent address; the defenses filter the \
+         cache, not the TLB.\n",
+        match claim_holds {
+            Some(true) => "REPRODUCED",
+            Some(false) => "VIOLATED",
+            None => "incomplete",
+        }
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,6 +702,7 @@ mod tests {
         assert_eq!(table6().jobs.len(), 22 * 3 * 4);
         assert_eq!(lru().jobs.len(), 22 * 3);
         assert_eq!(icache().jobs.len(), 22 * 2);
+        assert_eq!(leaks().jobs.len(), 4 * 4);
     }
 
     #[test]

@@ -32,11 +32,12 @@ use crate::rob::{CommitClass, Rob, RobState};
 use crate::sampler::TimeSeriesSampler;
 use crate::snapshot::CoreSnapshot;
 use crate::stats::PipelineStats;
-use crate::trace::{SquashCause, TraceBuffer, TraceEvent};
+use crate::taint::{LeakReport, TaintConfig, TaintOracle};
+use crate::trace::{LeakChannel, SquashCause, TraceBuffer, TraceEvent};
 use condspec_frontend::FrontEnd;
 use condspec_isa::{Inst, Program, Reg, INST_BYTES};
 use condspec_mem::{page_number, CacheHierarchy, LruUpdate, MainMemory, PageTable, Tlb};
-use condspec_stats::MetricsRegistry;
+use condspec_stats::{Histogram, MetricsRegistry};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -299,6 +300,10 @@ pub struct Core {
     /// Windowed time-series sampler, off (`None`) by default; boxed so
     /// the disabled case costs the hot loop one pointer-sized branch.
     sampler: Option<Box<TimeSeriesSampler>>,
+    /// Taint-tracking leak oracle, off (`None`) by default; boxed for the
+    /// same reason — with the oracle off the hot loop pays one `Option`
+    /// branch per hook and allocates nothing.
+    taint: Option<Box<TaintOracle>>,
 
     // Per-cycle scratch buffers. Each is cleared and refilled where it is
     // used (via `mem::take` so `&mut self` stage methods can run while it
@@ -423,6 +428,7 @@ impl Core {
             stats: PipelineStats::default(),
             trace: None,
             sampler: None,
+            taint: None,
         }
     }
 
@@ -475,10 +481,23 @@ impl Core {
         self.next_seq = 0;
         self.last_commit_cycle = self.cycle;
         self.policy.reset_transient();
+        // Pipeline taint state dies with the pipeline; leaks still pending
+        // resolve as squash-surviving (their instructions never commit and
+        // the microarchitectural state persists across the reload).
+        if let Some(oracle) = self.taint.as_deref_mut() {
+            oracle.on_program_load();
+        }
         for seg in program.data() {
             let paddr = self.page_table.translate(seg.base);
             self.memory.write_bytes(paddr, &seg.bytes);
+            if let Some(oracle) = self.taint.as_deref_mut() {
+                oracle.clear_bytes(paddr, seg.bytes.len() as u64);
+            }
         }
+        if let Some(oracle) = self.taint.as_deref_mut() {
+            oracle.mark_config_ranges();
+        }
+        self.drain_leak_events();
         self.program = Some(program);
     }
 
@@ -547,6 +566,7 @@ impl Core {
         self.stats = PipelineStats::default();
         self.trace = None;
         self.sampler = None;
+        self.taint = None;
         self.program = None;
         self.shared_code.clear();
     }
@@ -732,6 +752,25 @@ impl Core {
         self.stats.rob_occupancy_sum += self.rob.len() as u64;
         self.stats.iq_occupancy_sum += self.iq.occupancy() as u64;
         self.sample_tick();
+        self.drain_leak_events();
+    }
+
+    /// Moves leak events resolved this step by the oracle into the trace
+    /// buffer. One `Option` branch when the oracle is off or idle.
+    #[inline]
+    fn drain_leak_events(&mut self) {
+        let events = match self.taint.as_deref_mut() {
+            Some(oracle) if oracle.has_events() => oracle.take_events(),
+            _ => return,
+        };
+        if self.trace.is_some() {
+            for event in events.iter().copied() {
+                self.trace(event);
+            }
+        }
+        if let Some(oracle) = self.taint.as_deref_mut() {
+            oracle.restore_event_buffer(events);
+        }
     }
 
     /// Cuts a sample window if the cycle that just ended reached the
@@ -787,6 +826,11 @@ impl Core {
             }
             self.last_commit_cycle = self.cycle;
             self.stats.committed += 1;
+            if let Some(oracle) = self.taint.as_deref_mut() {
+                // Pending leaks of a committing instruction were
+                // architectural flows: resolve with survived_squash=false.
+                oracle.on_commit(entry.seq);
+            }
             if let Some((_, _, old)) = entry.dest {
                 self.regfile.release(old);
             }
@@ -816,6 +860,11 @@ impl Core {
                     let paddr = mem_paddr.expect("committed store has an address");
                     let data = store_data.expect("committed store has data");
                     self.memory.write(paddr, data, store_size);
+                    if let Some(oracle) = self.taint.as_deref_mut() {
+                        // The store's data taint becomes the bytes' taint
+                        // (a clean store scrubs previously tainted bytes).
+                        oracle.on_store_commit(entry.seq, paddr, store_size);
+                    }
                     // Committed stores are architectural: they may fill the
                     // cache (write-allocate) without any security filter.
                     self.hierarchy.access_data(paddr, LruUpdate::Normal);
@@ -936,13 +985,16 @@ impl Core {
             let Some(entry) = self.rob.hot(seq) else {
                 continue;
             };
-            let data = self
-                .regfile
-                .read(entry.src_pregs[1].expect("stores have a data operand"));
+            let data_preg = entry.src_pregs[1].expect("stores have a data operand");
+            let data = self.regfile.read(data_preg);
             self.rob.cold_mut(seq).expect("in flight").store_data = Some(data);
             self.rob.mark_completed(seq);
             self.lsq.resolve_store_data(seq, data);
             self.policy.on_mem_writeback(seq);
+            if let Some(oracle) = self.taint.as_deref_mut() {
+                let tainted = oracle.reg(data_preg);
+                oracle.on_store_data(seq, tainted);
+            }
         }
         self.store_done_scratch = completed;
     }
@@ -1098,6 +1150,7 @@ impl Core {
         let pc = entry.pc;
         let src_pregs = entry.src_pregs;
         let stamp = entry.stamp;
+        let dest_preg = entry.dest.map(|(_, new, _)| new);
         // Execute is the dispatch/resolve path: the one place the hot
         // loop legitimately reads the cold record.
         let cold = self.rob.cold(seq).expect("in flight");
@@ -1109,6 +1162,10 @@ impl Core {
         match inst {
             Inst::Alu { op, .. } => {
                 let result = op.eval(val(0, &self.regfile), val(1, &self.regfile));
+                if let Some(oracle) = self.taint.as_deref_mut() {
+                    let tainted = oracle.srcs_tainted(&src_pregs);
+                    oracle.set_dest(dest_preg, tainted);
+                }
                 if op == condspec_isa::AluOp::Mul && self.config.mul_latency > 1 {
                     self.events.schedule(
                         self.cycle,
@@ -1127,6 +1184,10 @@ impl Core {
             }
             Inst::AluImm { op, imm, .. } => {
                 let result = op.eval(val(0, &self.regfile), imm as u64);
+                if let Some(oracle) = self.taint.as_deref_mut() {
+                    let tainted = oracle.srcs_tainted(&src_pregs);
+                    oracle.set_dest(dest_preg, tainted);
+                }
                 self.complete_with_value(seq, stamp, result);
                 false
             }
@@ -1174,7 +1235,24 @@ impl Core {
             }
             Inst::Flush { offset, .. } => {
                 let vaddr = val(0, &self.regfile).wrapping_add(offset as u64);
+                let addr_tainted = self
+                    .taint
+                    .as_deref()
+                    .is_some_and(|o| o.srcs_tainted(&src_pregs));
+                let tlb_misses_before = addr_tainted.then(|| self.tlb.stats().misses());
                 let (paddr, _) = self.tlb.translate(vaddr, &self.page_table);
+                if let Some(before) = tlb_misses_before {
+                    let tlb_filled = self.tlb.stats().misses() > before;
+                    let cycle = self.cycle;
+                    let oracle = self.taint.as_deref_mut().expect("tainted implies oracle");
+                    if tlb_filled {
+                        oracle.record_leak(seq, cycle, LeakChannel::TlbFill, paddr, false);
+                    }
+                    // A tainted-address flush evicts a secret-selected
+                    // line; the eviction applies at commit, so a squash
+                    // drops the record.
+                    oracle.record_leak(seq, cycle, LeakChannel::CacheFill, paddr, true);
+                }
                 let e = self.rob.cold_mut(seq).expect("in flight");
                 e.mem_vaddr = Some(vaddr);
                 e.mem_paddr = Some(paddr);
@@ -1189,6 +1267,11 @@ impl Core {
                 // issued store no longer holds younger accesses
                 // security-dependent.
                 let vaddr = val(0, &self.regfile).wrapping_add(offset as u64);
+                let addr_tainted = self
+                    .taint
+                    .as_deref()
+                    .is_some_and(|o| src_pregs[0].is_some_and(|p| o.reg(p)));
+                let tlb_misses_before = addr_tainted.then(|| self.tlb.stats().misses());
                 let (paddr, _) = self.tlb.translate(vaddr, &self.page_table);
                 {
                     let e = self.rob.cold_mut(seq).expect("in flight");
@@ -1197,6 +1280,21 @@ impl Core {
                 }
                 self.lsq.resolve_store_addr(seq, vaddr);
                 self.policy.on_mem_address(seq, page_number(paddr), suspect);
+                if let Some(oracle) = self.taint.as_deref_mut() {
+                    oracle.on_store_addr(seq, vaddr, size.bytes());
+                }
+                if let Some(before) = tlb_misses_before {
+                    let tlb_filled = self.tlb.stats().misses() > before;
+                    let records_pages = self.policy.records_page_addresses();
+                    let cycle = self.cycle;
+                    let oracle = self.taint.as_deref_mut().expect("tainted implies oracle");
+                    if tlb_filled {
+                        oracle.record_leak(seq, cycle, LeakChannel::TlbFill, paddr, false);
+                    }
+                    if records_pages {
+                        oracle.record_leak(seq, cycle, LeakChannel::TpbufInsert, paddr, false);
+                    }
+                }
                 let data_preg = src_pregs[1].expect("stores have a data operand");
                 if self.regfile.is_ready(data_preg) {
                     let data = self.regfile.read(data_preg);
@@ -1204,6 +1302,10 @@ impl Core {
                     self.rob.mark_completed(seq);
                     self.lsq.resolve_store_data(seq, data);
                     self.policy.on_mem_writeback(seq);
+                    if let Some(oracle) = self.taint.as_deref_mut() {
+                        let tainted = oracle.reg(data_preg);
+                        oracle.on_store_data(seq, tainted);
+                    }
                 } else {
                     self.pending_store_data.push((seq, data_preg));
                 }
@@ -1254,6 +1356,11 @@ impl Core {
                     self.blocked_until[slot] = self.cycle + self.config.block_replay_penalty;
                     return true;
                 }
+                let addr_tainted = self
+                    .taint
+                    .as_deref()
+                    .is_some_and(|o| src_pregs[0].is_some_and(|p| o.reg(p)));
+                let tlb_misses_before = addr_tainted.then(|| self.tlb.stats().misses());
                 let (paddr, tlb_latency) = self.tlb.translate(vaddr, &self.page_table);
                 let l1_hit = self.hierarchy.probe_l1d(paddr);
                 {
@@ -1262,6 +1369,23 @@ impl Core {
                     e.mem_paddr = Some(paddr);
                 }
                 self.policy.on_mem_address(seq, page_number(paddr), suspect);
+                // Translation and TPBuf recording happen *before* the
+                // security filters get to veto the access — exactly the
+                // paper's blind spot: even a load the filter then blocks
+                // has already planted a TLB entry (and, under the TPBuf
+                // policy, an S-Pattern page).
+                if let Some(before) = tlb_misses_before {
+                    let tlb_filled = self.tlb.stats().misses() > before;
+                    let records_pages = self.policy.records_page_addresses();
+                    let cycle = self.cycle;
+                    let oracle = self.taint.as_deref_mut().expect("tainted implies oracle");
+                    if tlb_filled {
+                        oracle.record_leak(seq, cycle, LeakChannel::TlbFill, paddr, false);
+                    }
+                    if records_pages {
+                        oracle.record_leak(seq, cycle, LeakChannel::TpbufInsert, paddr, false);
+                    }
+                }
                 if suspect {
                     self.stats.suspect_l1.record(l1_hit);
                 } else {
@@ -1327,6 +1451,46 @@ impl Core {
                         let value = self.lsq.overlay(seq, vaddr, size.bytes(), memory_value);
                         self.lsq.resolve_load(seq, vaddr, older_unknown);
                         self.stats.load_accesses += 1;
+                        if let Some(oracle) = self.taint.as_deref_mut() {
+                            let cycle = self.cycle;
+                            if addr_tainted {
+                                if !outcome.l1_hit() {
+                                    oracle.record_leak(
+                                        seq,
+                                        cycle,
+                                        LeakChannel::CacheFill,
+                                        paddr,
+                                        false,
+                                    );
+                                } else {
+                                    match l1_update {
+                                        LruUpdate::Normal => oracle.record_leak(
+                                            seq,
+                                            cycle,
+                                            LeakChannel::CacheLru,
+                                            paddr,
+                                            false,
+                                        ),
+                                        // The deferred touch only happens
+                                        // at commit; a squash drops it.
+                                        LruUpdate::Deferred => oracle.record_leak(
+                                            seq,
+                                            cycle,
+                                            LeakChannel::CacheLru,
+                                            paddr,
+                                            true,
+                                        ),
+                                        LruUpdate::None => {}
+                                    }
+                                }
+                            }
+                            // Load-value taint: tainted address (the value
+                            // was secret-selected), tainted memory bytes,
+                            // or tainted forwarded store data.
+                            let value_taint = addr_tainted
+                                || oracle.load_value_taint(seq, vaddr, paddr, size.bytes());
+                            oracle.set_dest(dest_preg, value_taint);
+                        }
                         self.events.schedule(
                             self.cycle,
                             Completion {
@@ -1459,6 +1623,12 @@ impl Core {
             self.policy.on_lsq_release(seq);
         }
         self.lsq_squash_scratch = lsq_squashed;
+        if let Some(oracle) = self.taint.as_deref_mut() {
+            // Pending leaks of the squashed instructions resolve now:
+            // cache fills and TLB entries survive the squash, TPBuf
+            // entries were just released with their LSQ slots.
+            oracle.on_squash(keep_seq);
+        }
         // Squashed sequence numbers are recycled (the next dispatch reuses
         // them), keeping ROB sequence numbers contiguous. Completion
         // events still in flight for squashed instructions are NOT swept
@@ -1492,6 +1662,7 @@ impl Core {
         self.fetch_pc = redirect_pc;
         self.fetch_wedged = false;
         self.fetch_stall_until = self.cycle + self.config.redirect_penalty;
+        self.drain_leak_events();
     }
 
     // ------------------------------------------------------------------
@@ -1544,6 +1715,13 @@ impl Core {
                     .expect("free_count checked above");
                 (arch, new, old)
             });
+            if let Some(oracle) = self.taint.as_deref_mut() {
+                // A freshly renamed destination holds no value: clean
+                // until its producer writes it.
+                if let Some((_, new, _)) = dest {
+                    oracle.on_rename(new);
+                }
+            }
 
             let class = classify(&inst);
             // Stores issue on their address operand alone; the data
@@ -1763,6 +1941,35 @@ impl Core {
     /// The current sampler, if sampling is enabled.
     pub fn sampler(&self) -> Option<&TimeSeriesSampler> {
         self.sampler.as_deref()
+    }
+
+    /// Turns on the taint-tracking leak oracle. `config` names the
+    /// physical-address byte ranges that hold secrets; from then on the
+    /// oracle tracks their flow through registers and memory and records
+    /// a leak every time a tainted value reaches microarchitecturally
+    /// persistent state (cache fill, LRU update, TLB fill, TPBuf
+    /// insertion). Re-enabling replaces the oracle.
+    pub fn enable_taint(&mut self, config: TaintConfig) {
+        let mut oracle = Box::new(TaintOracle::new(self.config.phys_regs, config));
+        oracle.mark_config_ranges();
+        self.taint = Some(oracle);
+    }
+
+    /// Turns the leak oracle off and returns it (with any still-pending
+    /// leak events drained into the trace buffer first), if any.
+    pub fn disable_taint(&mut self) -> Option<Box<TaintOracle>> {
+        self.drain_leak_events();
+        self.taint.take()
+    }
+
+    /// The current leak oracle, if taint tracking is enabled.
+    pub fn taint_oracle(&self) -> Option<&TaintOracle> {
+        self.taint.as_deref()
+    }
+
+    /// The leak totals accumulated so far, if taint tracking is enabled.
+    pub fn leak_report(&self) -> Option<LeakReport> {
+        self.taint.as_deref().map(|oracle| oracle.report())
     }
 
     // ------------------------------------------------------------------
@@ -2199,6 +2406,25 @@ impl Core {
         if let Some(sampler) = self.sampler.as_deref() {
             registry.set_histogram("core.window_ipc_x100", sampler.ipc_histogram());
         }
+        if let Some(oracle) = self.taint.as_deref() {
+            let l = oracle.report();
+            registry.set_counter("leak.cache_fills", l.cache_fills);
+            registry.set_counter("leak.cache_fills_survived", l.cache_fills_survived);
+            registry.set_counter("leak.cache_lru", l.cache_lru);
+            registry.set_counter("leak.cache_lru_survived", l.cache_lru_survived);
+            registry.set_counter("leak.tlb_fills", l.tlb_fills);
+            registry.set_counter("leak.tlb_fills_survived", l.tlb_fills_survived);
+            registry.set_counter("leak.tpbuf_inserts", l.tpbuf_inserts);
+            registry.set_counter("leak.tpbuf_inserts_survived", l.tpbuf_inserts_survived);
+            let mut by_channel = Histogram::new(1, LeakChannel::ALL.len());
+            for (index, channel) in LeakChannel::ALL.iter().copied().enumerate() {
+                let (_, survived) = l.channel(channel);
+                for _ in 0..survived {
+                    by_channel.record(index as u64);
+                }
+            }
+            registry.set_histogram("leak.survived_by_channel", by_channel);
+        }
     }
 
     /// The architectural value of `reg` (through the current rename map —
@@ -2213,10 +2439,14 @@ impl Core {
         self.memory.read(self.page_table.translate(vaddr), size)
     }
 
-    /// Writes simulated memory at a *virtual* address.
+    /// Writes simulated memory at a *virtual* address. An external write
+    /// carries attacker-known data, so it scrubs the bytes' taint.
     pub fn write_memory(&mut self, vaddr: u64, value: u64, size: u64) {
         let paddr = self.page_table.translate(vaddr);
         self.memory.write(paddr, value, size);
+        if let Some(oracle) = self.taint.as_deref_mut() {
+            oracle.clear_bytes(paddr, size);
+        }
     }
 
     /// The cache hierarchy (attack orchestration: flush/prime/probe).

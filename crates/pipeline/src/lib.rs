@@ -50,6 +50,7 @@ pub mod rob;
 pub mod sampler;
 pub mod snapshot;
 pub mod stats;
+pub mod taint;
 pub mod trace;
 
 pub use crate::core::{Core, CoreConfig, ExitReason, FunctionalExit, FunctionalResult, RunResult};
@@ -60,4 +61,5 @@ pub use policy::{
 pub use sampler::{SampleRow, TimeSeriesSampler, TIMESERIES_SCHEMA};
 pub use snapshot::CoreSnapshot;
 pub use stats::PipelineStats;
-pub use trace::{SquashCause, TraceBuffer, TraceEvent};
+pub use taint::{LeakReport, TaintConfig, TaintOracle};
+pub use trace::{LeakChannel, SquashCause, TraceBuffer, TraceEvent};

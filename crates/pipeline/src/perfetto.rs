@@ -33,7 +33,7 @@ pub const TRACE_SCHEMA: &str = "condspec-trace-v1";
 const PID: u64 = 1;
 
 /// Per-stage thread tracks, in display order.
-const TRACKS: [(u64, &str); 7] = [
+const TRACKS: [(u64, &str); 8] = [
     (1, "dispatch"),
     (2, "issue"),
     (3, "memory"),
@@ -41,6 +41,7 @@ const TRACKS: [(u64, &str); 7] = [
     (5, "commit"),
     (6, "control"),
     (7, "scheduler"),
+    (8, "leak"),
 ];
 
 /// The thread track an event is drawn on.
@@ -55,6 +56,7 @@ fn tid(event: &TraceEvent) -> u64 {
         TraceEvent::Complete { .. } | TraceEvent::Commit { .. } => 5,
         TraceEvent::Squash { .. } => 6,
         TraceEvent::FastForward { .. } => 7,
+        TraceEvent::Leak { .. } => 8,
     }
 }
 
@@ -72,6 +74,7 @@ fn name(event: &TraceEvent) -> &'static str {
         TraceEvent::Commit { .. } => "commit",
         TraceEvent::Squash { .. } => "squash",
         TraceEvent::FastForward { .. } => "fast-forward",
+        TraceEvent::Leak { .. } => "leak",
     }
 }
 
@@ -126,6 +129,18 @@ fn args(event: &TraceEvent) -> Json {
             ("redirect_pc", hex(redirect_pc)),
         ]),
         TraceEvent::FastForward { skipped, .. } => Json::object([("skipped", Json::from(skipped))]),
+        TraceEvent::Leak {
+            seq,
+            channel,
+            addr,
+            survived_squash,
+            ..
+        } => Json::object([
+            ("seq", Json::from(seq)),
+            ("channel", Json::from(channel.key())),
+            ("addr", hex(addr)),
+            ("survived_squash", Json::from(survived_squash)),
+        ]),
     }
 }
 
@@ -369,6 +384,36 @@ mod tests {
             .map(|e| e.get("id").and_then(Json::as_str).unwrap().to_string())
             .collect();
         assert_eq!(ids, vec!["seq3.0", "seq3.1"]);
+    }
+
+    #[test]
+    fn leak_events_land_on_the_leak_track_with_payload() {
+        use crate::trace::LeakChannel;
+        let mut t = TraceBuffer::new(8);
+        t.push(TraceEvent::Leak {
+            cycle: 40,
+            seq: 11,
+            channel: LeakChannel::TpbufInsert,
+            addr: 0x102a000,
+            survived_squash: true,
+        });
+        let doc = to_chrome_trace(&t);
+        let slice = events(&doc)
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("leak"))
+            .expect("leak slice exported");
+        assert_eq!(slice.get("tid").and_then(Json::as_u64), Some(8));
+        assert_eq!(slice.get("cat").and_then(Json::as_str), Some("leak"));
+        let args = slice.get("args").expect("args");
+        assert_eq!(
+            args.get("channel").and_then(Json::as_str),
+            Some("tpbuf-insert")
+        );
+        assert_eq!(args.get("addr").and_then(Json::as_str), Some("0x102a000"));
+        assert_eq!(
+            args.get("survived_squash").and_then(Json::as_bool),
+            Some(true)
+        );
     }
 
     #[test]

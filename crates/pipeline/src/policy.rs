@@ -229,6 +229,13 @@ pub trait SecurityPolicy: Send {
         let _ = (seq, ppn, suspect);
     }
 
+    /// Whether [`SecurityPolicy::on_mem_address`] actually stores the page
+    /// number in a hardware structure (the TPBuf). The taint oracle uses
+    /// this to decide if an address resolution plants observable state.
+    fn records_page_addresses(&self) -> bool {
+        false
+    }
+
     /// A memory instruction's data became available to consumers (TPBuf W
     /// bit).
     fn on_mem_writeback(&mut self, seq: u64) {

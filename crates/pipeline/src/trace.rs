@@ -50,6 +50,59 @@ impl fmt::Display for SquashCause {
     }
 }
 
+/// Which persistent microarchitectural structure a tainted value
+/// influenced (the taint oracle's channel taxonomy).
+///
+/// The cache channels are the paper's threat model; the TLB and TPBuf
+/// channels are its admitted blind spots — structures the defenses
+/// update before their block decision, so secret-dependent state can
+/// persist even on a protected core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeakChannel {
+    /// A line fill brought a secret-selected address into the cache
+    /// hierarchy.
+    CacheFill,
+    /// A hit on a secret-selected address updated cache replacement
+    /// (LRU) state.
+    CacheLru,
+    /// A translation of a secret-selected address installed a TLB entry.
+    TlbFill,
+    /// A secret-selected page number was recorded in the TPBuf.
+    TpbufInsert,
+}
+
+impl LeakChannel {
+    /// All channels, in report order (cache channels first).
+    pub const ALL: [LeakChannel; 4] = [
+        LeakChannel::CacheFill,
+        LeakChannel::CacheLru,
+        LeakChannel::TlbFill,
+        LeakChannel::TpbufInsert,
+    ];
+
+    /// A stable machine-readable key (metrics names, JSON fields).
+    pub fn key(&self) -> &'static str {
+        match self {
+            LeakChannel::CacheFill => "cache-fill",
+            LeakChannel::CacheLru => "cache-lru",
+            LeakChannel::TlbFill => "tlb-fill",
+            LeakChannel::TpbufInsert => "tpbuf-insert",
+        }
+    }
+
+    /// Whether this channel is part of the paper's cache-based threat
+    /// model (as opposed to an admitted blind spot).
+    pub fn is_cache(&self) -> bool {
+        matches!(self, LeakChannel::CacheFill | LeakChannel::CacheLru)
+    }
+}
+
+impl fmt::Display for LeakChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
 /// One recorded pipeline event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -161,6 +214,26 @@ pub enum TraceEvent {
         /// Number of cycles skipped.
         skipped: u64,
     },
+    /// The taint oracle observed a tainted value influencing persistent
+    /// microarchitectural state. `cycle` is when the state changed (the
+    /// fill/update cycle); `survived_squash` is resolved retroactively —
+    /// the event is emitted once the leaking instruction either commits
+    /// (`false`) or is squashed with the state change left behind
+    /// (`true`, the Spectre signature).
+    Leak {
+        /// Cycle the persistent state changed.
+        cycle: u64,
+        /// Global sequence number of the leaking instruction.
+        seq: u64,
+        /// Which persistent structure was influenced.
+        channel: LeakChannel,
+        /// The tainted physical address (page-granular channels record
+        /// the page base).
+        addr: u64,
+        /// Whether the leaking instruction was later squashed, leaving
+        /// the state change behind as a wrong-path side effect.
+        survived_squash: bool,
+    },
 }
 
 impl TraceEvent {
@@ -177,7 +250,8 @@ impl TraceEvent {
             | TraceEvent::Complete { cycle, .. }
             | TraceEvent::Commit { cycle, .. }
             | TraceEvent::Squash { cycle, .. }
-            | TraceEvent::FastForward { cycle, .. } => *cycle,
+            | TraceEvent::FastForward { cycle, .. }
+            | TraceEvent::Leak { cycle, .. } => *cycle,
         }
     }
 
@@ -196,6 +270,7 @@ impl TraceEvent {
             | TraceEvent::FenceHold { .. } => "security",
             TraceEvent::Squash { .. } => "control",
             TraceEvent::FastForward { .. } => "scheduler",
+            TraceEvent::Leak { .. } => "leak",
         }
     }
 }
@@ -266,6 +341,23 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::FastForward { cycle, skipped } => {
                 write!(f, "[{cycle:>8}] fastfwd  skipped={skipped}")
+            }
+            TraceEvent::Leak {
+                cycle,
+                seq,
+                channel,
+                addr,
+                survived_squash,
+            } => {
+                let fate = if *survived_squash {
+                    " survived-squash"
+                } else {
+                    ""
+                };
+                write!(
+                    f,
+                    "[{cycle:>8}] LEAK     seq={seq} channel={channel} addr={addr:#x}{fate}"
+                )
             }
         }
     }
@@ -454,6 +546,45 @@ mod tests {
         assert!(ff.to_string().contains("skipped=40"));
         assert_eq!(ff.category(), "scheduler");
         assert_eq!(ff.cycle(), 100);
+    }
+
+    #[test]
+    fn leak_event_formats_and_categorizes() {
+        let survived = TraceEvent::Leak {
+            cycle: 77,
+            seq: 12,
+            channel: LeakChannel::CacheFill,
+            addr: 0x102a000,
+            survived_squash: true,
+        };
+        let s = survived.to_string();
+        assert!(s.contains("LEAK"), "{s}");
+        assert!(s.contains("cache-fill"), "{s}");
+        assert!(s.contains("0x102a000"), "{s}");
+        assert!(s.contains("survived-squash"), "{s}");
+        assert_eq!(survived.category(), "leak");
+        assert_eq!(survived.cycle(), 77);
+
+        let committed = TraceEvent::Leak {
+            cycle: 5,
+            seq: 3,
+            channel: LeakChannel::TlbFill,
+            addr: 0x1000,
+            survived_squash: false,
+        };
+        assert!(!committed.to_string().contains("survived-squash"));
+        assert!(committed.to_string().contains("tlb-fill"));
+    }
+
+    #[test]
+    fn leak_channel_keys_are_stable_and_unique() {
+        let keys: std::collections::HashSet<&str> =
+            LeakChannel::ALL.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), 4);
+        assert!(LeakChannel::CacheFill.is_cache());
+        assert!(LeakChannel::CacheLru.is_cache());
+        assert!(!LeakChannel::TlbFill.is_cache());
+        assert!(!LeakChannel::TpbufInsert.is_cache());
     }
 
     #[test]

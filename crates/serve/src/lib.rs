@@ -17,7 +17,9 @@
 //! | Method | Path | Purpose |
 //! |---|---|---|
 //! | GET  | `/` | endpoint index |
+//! | GET  | `/healthz` | health: version, uptime, store root, jobs in flight |
 //! | GET  | `/api/health` | liveness probe |
+//! | GET  | `/api/leaks` | taint-oracle leak matrix (`?variant=`, `?defense=`) |
 //! | GET  | `/api/sweeps` | list submissions |
 //! | POST | `/api/sweeps` | submit `{"sweep", "iters"?, "warmup"?, "mode"?}` |
 //! | GET  | `/api/sweeps/<id>` | one submission's status |
@@ -37,8 +39,8 @@ pub mod state;
 
 pub use state::{ServerState, Submission, SubmissionStatus, SubmitMode};
 
-use condspec::DefenseConfig;
-use condspec_attacks::{traced_variant_round, AttackScenario};
+use condspec::{leak_report_to_json, DefenseConfig};
+use condspec_attacks::{leak_probe, traced_variant_round, AttackScenario};
 use condspec_engine::{
     load_sweep_report_with_store, JobSpec, MachinePreset, ProgramCache, ResultStore, Sweep,
     Workload,
@@ -156,6 +158,8 @@ fn handle_connection(
             200,
             &Json::object(vec![("ok", Json::from(true))]).render(),
         ),
+        ("GET", ["healthz"]) => healthz(state, stream),
+        ("GET", ["api", "leaks"]) => serve_leaks(stream, &request),
         ("GET", ["api", "sweeps"]) => {
             let list = state
                 .submissions()
@@ -228,7 +232,9 @@ fn error_json(message: &str) -> String {
 
 fn index_json() -> Json {
     let endpoints = [
+        "GET /healthz",
         "GET /api/health",
+        "GET /api/leaks",
         "GET /api/sweeps",
         "POST /api/sweeps",
         "GET /api/sweeps/<id>",
@@ -421,6 +427,90 @@ fn run_job(state: &Arc<ServerState>, stream: &mut TcpStream, request: &Request) 
         ),
         Err(message) => respond_json(stream, 500, &error_json(&message)),
     }
+}
+
+/// `GET /healthz` — operational health beyond the bare liveness probe:
+/// build version, seconds of uptime, the store root (or null when the
+/// store is disabled), and how many submissions are queued or running.
+fn healthz(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
+    let doc = Json::object(vec![
+        ("ok", Json::from(true)),
+        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+        ("uptime_secs", Json::from(state.started.elapsed().as_secs())),
+        (
+            "store_root",
+            match state.store_root.as_deref() {
+                Some(root) => Json::from(root.display().to_string()),
+                None => Json::Null,
+            },
+        ),
+        ("jobs_in_flight", Json::from(state.in_flight() as u64)),
+    ]);
+    respond_json(stream, 200, &format!("{}\n", doc.render()))
+}
+
+/// `GET /api/leaks` — the taint-oracle leak matrix over the Table IV
+/// gadget corpus and all four defenses, one probe per cell
+/// (`?variant=`/`?defense=` restrict either axis). The claim verdict
+/// quantifies over defenses, so it is present only when every defense
+/// column ran.
+fn serve_leaks(stream: &mut TcpStream, request: &Request) -> io::Result<()> {
+    let corpus: Vec<GadgetKind> = match request.query("variant") {
+        Some(key) => match GadgetKind::from_key(key) {
+            Some(kind) => vec![kind],
+            None => {
+                return respond_json(
+                    stream,
+                    400,
+                    &error_json(&format!("unknown variant `{key}`")),
+                )
+            }
+        },
+        None => vec![
+            GadgetKind::V1,
+            GadgetKind::V2,
+            GadgetKind::V4,
+            GadgetKind::Rsb,
+        ],
+    };
+    let defenses: Vec<DefenseConfig> = match request.query("defense") {
+        Some(key) => match DefenseConfig::from_key(key) {
+            Some(d) => vec![d],
+            None => {
+                return respond_json(
+                    stream,
+                    400,
+                    &error_json(&format!("unknown defense `{key}`")),
+                )
+            }
+        },
+        None => DefenseConfig::ALL.to_vec(),
+    };
+    let claim_checkable = defenses.len() == DefenseConfig::ALL.len();
+
+    let mut cells = Vec::new();
+    let mut violated = false;
+    for kind in &corpus {
+        for defense in &defenses {
+            let outcome = leak_probe(*kind, *defense);
+            violated |= (*defense == DefenseConfig::Origin) != outcome.cache_leaked();
+            cells.push(Json::object(vec![
+                ("variant", Json::from(kind.key())),
+                ("defense", Json::from(defense.key())),
+                ("cache_leaked", Json::from(outcome.cache_leaked())),
+                ("leaks", leak_report_to_json(&outcome.leaks)),
+                ("leak_events", Json::from(outcome.events.len() as u64)),
+            ]));
+        }
+    }
+    let mut fields = vec![("cells", Json::Array(cells))];
+    if claim_checkable {
+        fields.push((
+            "claim",
+            Json::from(if violated { "VIOLATED" } else { "REPRODUCED" }),
+        ));
+    }
+    respond_json(stream, 200, &format!("{}\n", Json::object(fields).render()))
 }
 
 /// Perfetto (Chrome JSON) trace of one traced attack round.

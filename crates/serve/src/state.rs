@@ -143,6 +143,8 @@ pub struct ServerState {
     /// Set by `POST /api/shutdown`; the accept loop exits on the next
     /// connection.
     pub shutdown: AtomicBool,
+    /// When the state was created; `/healthz` reports uptime from here.
+    pub started: std::time::Instant,
 }
 
 impl ServerState {
@@ -158,7 +160,24 @@ impl ServerState {
             store_hits_total: AtomicU64::new(0),
             store_inserts_total: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            started: std::time::Instant::now(),
         }
+    }
+
+    /// Submissions still queued or running (the `/healthz` "jobs in
+    /// flight" figure).
+    pub fn in_flight(&self) -> usize {
+        self.submissions
+            .lock()
+            .expect("registry")
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.status,
+                    SubmissionStatus::Queued | SubmissionStatus::Running
+                )
+            })
+            .count()
     }
 
     /// The sweep options a daemon submission runs with. `resume` is

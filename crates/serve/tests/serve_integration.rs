@@ -111,6 +111,47 @@ fn daemon_round_trip_with_warm_store_second_submission() {
     assert_eq!(status, 200);
     assert!(body.contains("/api/sweeps"), "{body}");
 
+    // Health endpoint: version, uptime, store root, jobs in flight.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    let health = Json::parse(&body).expect("healthz JSON");
+    assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        health.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(health.get("uptime_secs").and_then(Json::as_u64).is_some());
+    assert_eq!(
+        health.get("store_root").and_then(Json::as_str),
+        Some(store_root.display().to_string().as_str())
+    );
+    assert_eq!(health.get("jobs_in_flight").and_then(Json::as_u64), Some(0));
+
+    // Leak matrix endpoint: one cell when both axes are pinned, claim
+    // verdict only when every defense column runs.
+    let (status, body) = get(addr, "/api/leaks?variant=v1&defense=origin");
+    assert_eq!(status, 200, "{body}");
+    let leaks = Json::parse(&body).expect("leaks JSON");
+    let cells = leaks.get("cells").and_then(Json::as_array).expect("cells");
+    assert_eq!(cells.len(), 1);
+    assert_eq!(
+        cells[0].get("cache_leaked").and_then(Json::as_bool),
+        Some(true),
+        "v1 leaks through the cache under origin"
+    );
+    assert!(leaks.get("claim").is_none(), "single column has no verdict");
+    let (status, body) = get(addr, "/api/leaks?variant=rsb");
+    assert_eq!(status, 200, "{body}");
+    let leaks = Json::parse(&body).expect("leaks JSON");
+    let cells = leaks.get("cells").and_then(Json::as_array).expect("cells");
+    assert_eq!(cells.len(), 4, "one cell per defense");
+    assert_eq!(
+        leaks.get("claim").and_then(Json::as_str),
+        Some("REPRODUCED")
+    );
+    let (status, _) = get(addr, "/api/leaks?variant=vax");
+    assert_eq!(status, 400);
+
     // Bad submissions are rejected, not crashed on.
     let (status, _) = post(addr, "/api/sweeps", "not json");
     assert_eq!(status, 400);
