@@ -243,6 +243,92 @@ rm "$leaks_out.rerun"
 ./target/release/condspec leaks --all --out target/perf-smoke/leaks.json > /dev/null
 echo "leak smoke ok: $(grep 'security claim' "$leaks_out")"
 
+echo "==> distributed sweep smoke (2 workers race one store root, zero duplicates)"
+# Two `condspec worker` processes attach to one fresh store root and
+# drain the scaled fig5 sweep through the claims/ lease protocol: every
+# job is simulated by exactly one shard (the duplicate-insert counter
+# stays 0 in both logs and the insert counts sum to the job count), and
+# a coordinator collect pass afterwards sees 110/110 store hits. The
+# merged artifacts must be byte-identical to a single-process run.
+dist_store="target/perf-smoke/dist-store"
+dist_runs="target/perf-smoke/dist-runs"
+runs_single="target/perf-smoke/runs-single"
+rm -rf "$dist_store" "$dist_runs" "$runs_single"
+wa_out="target/perf-smoke/dist-worker-a.out"
+wb_out="target/perf-smoke/dist-worker-b.out"
+./target/release/condspec worker fig5 --iters 2 --warmup 1 \
+    --store-root "$dist_store" --owner shard-a \
+    > "$wa_out" 2> "$wa_out.log" &
+worker_a=$!
+./target/release/condspec worker fig5 --iters 2 --warmup 1 \
+    --store-root "$dist_store" --owner shard-b \
+    > "$wb_out" 2> "$wb_out.log" &
+worker_b=$!
+wait "$worker_a" || { echo "worker shard-a failed:" >&2; cat "$wa_out.log" >&2; exit 1; }
+wait "$worker_b" || { echo "worker shard-b failed:" >&2; cat "$wb_out.log" >&2; exit 1; }
+for out in "$wa_out" "$wb_out"; do
+    grep -q "0 duplicate simulations" "$out" || {
+        echo "a shard simulated a job twice; $out says:" >&2
+        grep "claims:" "$out" >&2 || echo "(no claims line)" >&2
+        exit 1
+    }
+done
+python3 - "$wa_out" "$wb_out" <<'EOF'
+import re, sys
+
+inserts = []
+for path in sys.argv[1:]:
+    text = open(path).read()
+    m = re.search(r"result-store: \d+ hits, \d+ misses, (\d+) inserts", text)
+    assert m, f"{path} has no result-store line"
+    inserts.append(int(m.group(1)))
+assert sum(inserts) == 110, f"shards inserted {inserts} — expected a sum of 110"
+assert all(n > 0 for n in inserts), f"one shard did no work: {inserts}"
+print(f"work split ok: shard inserts {inserts} sum to 110")
+EOF
+dist_out="target/perf-smoke/dist-collect.out"
+./target/release/condspec sweep fig5 --jobs 2 --iters 2 --warmup 1 \
+    --store-root "$dist_store" --root "$dist_runs" --owner collect \
+    > "$dist_out" 2>/dev/null
+grep -q " 0 executed, 110 store hits," "$dist_out" || {
+    echo "collect pass re-simulated sharded jobs; summary says:" >&2
+    grep "^sweep " "$dist_out" >&2
+    exit 1
+}
+# Merged artifacts are byte-identical to a single-process run (rendered
+# from the earlier smoke's warm store — same scaled sweep, all hits).
+./target/release/condspec sweep fig5 --jobs 2 --iters 2 --warmup 1 \
+    --store-root "$store_root" --root "$runs_single" >/dev/null 2>&1
+python3 - "$runs_single" "$dist_runs" <<'EOF'
+import hashlib, pathlib, sys
+
+def digest(root):
+    (sweep_dir,) = [d for d in pathlib.Path(root).iterdir() if d.is_dir()]
+    return sweep_dir.name, {
+        f.name: hashlib.sha256(f.read_bytes()).hexdigest()
+        for f in sweep_dir.iterdir() if f.name != "manifest.json"
+    }
+
+single_id, single_files = digest(sys.argv[1])
+dist_id, dist_files = digest(sys.argv[2])
+assert single_id == dist_id, f"sweep ids diverged: {single_id} vs {dist_id}"
+assert len(dist_files) == 110, f"expected 110 artifacts, found {len(dist_files)}"
+assert single_files == dist_files, "sharded artifacts differ from the single-process run"
+print(f"distributed smoke ok: {len(dist_files)} artifacts byte-identical (sha256) for {dist_id}")
+EOF
+# The per-shard provenance manifest (every row carries the owner that
+# simulated it) is kept as a CI artifact.
+cp "$dist_runs"/fig5-*/manifest.json target/perf-smoke/dist-manifest.json
+grep -q '"owner":"shard-a"' target/perf-smoke/dist-manifest.json || {
+    echo "manifest records no shard-a provenance" >&2
+    exit 1
+}
+grep -q '"owner":"shard-b"' target/perf-smoke/dist-manifest.json || {
+    echo "manifest records no shard-b provenance" >&2
+    exit 1
+}
+rm -rf "$dist_runs" "$runs_single"
+
 echo "==> serve smoke (daemon round-trip: submit, stream, report, 100% warm hits)"
 python3 ci/serve_smoke.py ./target/release/condspec target/perf-smoke
 

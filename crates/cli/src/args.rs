@@ -190,6 +190,46 @@ pub enum Command {
         iters: Option<u64>,
         /// Override benchmark warmup iterations for every job.
         warmup: Option<u64>,
+        /// Shard across this many local worker processes (claim-based
+        /// draining over the store; implies `store`). 1 = no sharding.
+        shards: usize,
+        /// Owner id for claim-mode runs; `None` = `shard-<pid>`.
+        owner: Option<String>,
+        /// Stale-lease steal timeout in milliseconds (claim mode).
+        steal_after_ms: Option<u64>,
+        /// Submit to a running daemon as a distributed sweep and stream
+        /// progress instead of simulating locally.
+        attach: Option<String>,
+    },
+    /// Drain sweep jobs as one shard of a distributed run: claim over a
+    /// shared store root, or pull work from a daemon via `--attach`.
+    Worker {
+        /// Sweep name to drain (local store mode; ignored with
+        /// `--attach`, where the daemon names the work).
+        sweep: Option<String>,
+        /// Pull work from this daemon address instead of a local store.
+        attach: Option<String>,
+        /// Store root; `None` = `target/condspec-store` (or
+        /// `$CONDSPEC_STORE_ROOT`).
+        store_root: Option<String>,
+        /// Owner id recorded in leases and provenance; `None` =
+        /// `shard-<pid>`.
+        owner: Option<String>,
+        /// Worker threads; 0 = all available cores.
+        jobs: usize,
+        /// Stale-lease steal timeout in milliseconds.
+        steal_after_ms: Option<u64>,
+        /// Idle poll interval in milliseconds (`--attach` mode).
+        poll_ms: u64,
+        /// `--attach` mode: exit when the daemon reports no pending
+        /// work instead of polling forever.
+        drain: bool,
+        /// Override benchmark outer iterations for every job (local
+        /// store mode).
+        iters: Option<u64>,
+        /// Override benchmark warmup iterations for every job (local
+        /// store mode).
+        warmup: Option<u64>,
     },
     /// Inspect or maintain the persistent result store offline.
     Store {
@@ -274,7 +314,11 @@ USAGE:
                    [--format json|csv] [--out <file>]
   condspec sweep   <name> [--jobs <n>] [--resume] [--root <dir>] [--quiet]
                    [--progress] [--telemetry] [--store] [--store-root <dir>]
-                   [--iters <n>] [--warmup <n>]
+                   [--iters <n>] [--warmup <n>] [--shards <n>] [--owner <id>]
+                   [--steal-after-ms <n>] [--attach <host:port>]
+  condspec worker  [<sweep>] [--attach <host:port>] [--store-root <dir>]
+                   [--owner <id>] [--jobs <n>] [--steal-after-ms <n>]
+                   [--poll-ms <n>] [--drain] [--iters <n>] [--warmup <n>]
   condspec report  <sweep-id> [--root <dir>] [--store] [--store-root <dir>]
   condspec store   <stats|gc|verify> [--root <dir>]
   condspec serve   [--addr <host:port>] [--jobs <n>] [--root <dir>]
@@ -662,6 +706,30 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         .map_err(|_| ParseError(format!("bad --warmup `{s}`")))
                 })
                 .transpose()?;
+            let shards = take_flag(&mut rest, "--shards")?
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| ParseError(format!("bad --shards `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(1);
+            if shards == 0 {
+                return Err(ParseError("--shards must be at least 1".into()));
+            }
+            let owner = take_flag(&mut rest, "--owner")?;
+            let steal_after_ms = take_flag(&mut rest, "--steal-after-ms")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --steal-after-ms `{s}`")))
+                })
+                .transpose()?;
+            if steal_after_ms == Some(0) {
+                return Err(ParseError("--steal-after-ms must be at least 1".into()));
+            }
+            let attach = take_flag(&mut rest, "--attach")?;
+            if attach.is_some() && shards > 1 {
+                return Err(ParseError("--attach conflicts with --shards".into()));
+            }
             Command::Sweep {
                 name,
                 jobs,
@@ -672,6 +740,75 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 telemetry,
                 store,
                 store_root,
+                iters,
+                warmup,
+                shards,
+                owner,
+                steal_after_ms,
+                attach,
+            }
+        }
+        "worker" => {
+            let sweep = match rest.first() {
+                Some(first) if !first.starts_with("--") => Some(rest.remove(0)),
+                _ => None,
+            };
+            let attach = take_flag(&mut rest, "--attach")?;
+            if sweep.is_none() && attach.is_none() {
+                return Err(ParseError(
+                    "worker requires a sweep name (store mode) or --attach <host:port>".into(),
+                ));
+            }
+            let store_root = take_flag(&mut rest, "--store-root")?;
+            let owner = take_flag(&mut rest, "--owner")?;
+            let jobs = take_flag(&mut rest, "--jobs")?
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| ParseError(format!("bad --jobs `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let steal_after_ms = take_flag(&mut rest, "--steal-after-ms")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --steal-after-ms `{s}`")))
+                })
+                .transpose()?;
+            if steal_after_ms == Some(0) {
+                return Err(ParseError("--steal-after-ms must be at least 1".into()));
+            }
+            let poll_ms = take_flag(&mut rest, "--poll-ms")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --poll-ms `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(200);
+            let drain = take_switch(&mut rest, "--drain");
+            let iters = take_flag(&mut rest, "--iters")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --iters `{s}`")))
+                })
+                .transpose()?;
+            if iters == Some(0) {
+                return Err(ParseError("--iters must be at least 1".into()));
+            }
+            let warmup = take_flag(&mut rest, "--warmup")?
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| ParseError(format!("bad --warmup `{s}`")))
+                })
+                .transpose()?;
+            Command::Worker {
+                sweep,
+                attach,
+                store_root,
+                owner,
+                jobs,
+                steal_after_ms,
+                poll_ms,
+                drain,
                 iters,
                 warmup,
             }
@@ -1078,7 +1215,11 @@ mod tests {
                 store: false,
                 store_root: None,
                 iters: None,
-                warmup: None
+                warmup: None,
+                shards: 1,
+                owner: None,
+                steal_after_ms: None,
+                attach: None
             }
         );
         assert_eq!(
@@ -1097,7 +1238,11 @@ mod tests {
                 store: false,
                 store_root: None,
                 iters: None,
-                warmup: None
+                warmup: None,
+                shards: 1,
+                owner: None,
+                steal_after_ms: None,
+                attach: None
             }
         );
         assert!(parse(&argv("sweep")).is_err(), "sweep needs a name");
@@ -1133,6 +1278,101 @@ mod tests {
         assert!(parse(&argv("sweep fig5 --iters 0")).is_err());
         assert!(parse(&argv("sweep fig5 --iters many")).is_err());
         assert!(parse(&argv("sweep fig5 --warmup many")).is_err());
+    }
+
+    #[test]
+    fn sweep_sharding_flags_parse() {
+        match parse(&argv(
+            "sweep fig5 --shards 4 --owner shard-a --steal-after-ms 500 --store-root /tmp/s",
+        ))
+        .unwrap()
+        {
+            Command::Sweep {
+                shards,
+                owner,
+                steal_after_ms,
+                attach,
+                ..
+            } => {
+                assert_eq!(shards, 4);
+                assert_eq!(owner, Some("shard-a".to_string()));
+                assert_eq!(steal_after_ms, Some(500));
+                assert_eq!(attach, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("sweep leaks --attach 127.0.0.1:7877")).unwrap() {
+            Command::Sweep { attach, shards, .. } => {
+                assert_eq!(attach, Some("127.0.0.1:7877".to_string()));
+                assert_eq!(shards, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("sweep fig5 --shards 0")).is_err());
+        assert!(parse(&argv("sweep fig5 --shards many")).is_err());
+        assert!(parse(&argv("sweep fig5 --steal-after-ms 0")).is_err());
+        assert!(
+            parse(&argv("sweep fig5 --shards 2 --attach 127.0.0.1:7877")).is_err(),
+            "local sharding and daemon attach are different modes"
+        );
+    }
+
+    #[test]
+    fn worker_parses() {
+        assert_eq!(
+            parse(&argv("worker fig5 --store-root /tmp/s --owner w1 --jobs 2")).unwrap(),
+            Command::Worker {
+                sweep: Some("fig5".to_string()),
+                attach: None,
+                store_root: Some("/tmp/s".to_string()),
+                owner: Some("w1".to_string()),
+                jobs: 2,
+                steal_after_ms: None,
+                poll_ms: 200,
+                drain: false,
+                iters: None,
+                warmup: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("worker --attach 127.0.0.1:7877 --poll-ms 50 --drain")).unwrap(),
+            Command::Worker {
+                sweep: None,
+                attach: Some("127.0.0.1:7877".to_string()),
+                store_root: None,
+                owner: None,
+                jobs: 0,
+                steal_after_ms: None,
+                poll_ms: 50,
+                drain: true,
+                iters: None,
+                warmup: None,
+            }
+        );
+        match parse(&argv(
+            "worker fig5 --steal-after-ms 250 --iters 2 --warmup 1",
+        ))
+        .unwrap()
+        {
+            Command::Worker {
+                steal_after_ms,
+                iters,
+                warmup,
+                ..
+            } => {
+                assert_eq!(steal_after_ms, Some(250));
+                assert_eq!(iters, Some(2));
+                assert_eq!(warmup, Some(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            parse(&argv("worker")).is_err(),
+            "needs a sweep or an address"
+        );
+        assert!(parse(&argv("worker fig5 --steal-after-ms 0")).is_err());
+        assert!(parse(&argv("worker fig5 --jobs many")).is_err());
+        assert!(parse(&argv("worker fig5 stray")).is_err());
     }
 
     #[test]

@@ -469,6 +469,10 @@ fn run(cmd: Command) -> ExitCode {
             store_root,
             iters,
             warmup,
+            shards,
+            owner,
+            steal_after_ms,
+            attach,
         } => {
             let Some(sweep) = condspec_engine::Sweep::by_name(&name) else {
                 eprintln!(
@@ -477,27 +481,91 @@ fn run(cmd: Command) -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             };
+            if let Some(addr) = attach {
+                return run_attached_sweep(&addr, &name, iters, warmup);
+            }
+            // Any sharding knob switches the scheduler to claim-based
+            // draining, which needs a store as the shared substrate.
+            let claim_mode = shards > 1 || owner.is_some() || steal_after_ms.is_some();
+            let store_path = store_root_from(store || claim_mode, store_root);
+            let owner_id = owner.unwrap_or_else(condspec_engine::ClaimOptions::default_owner);
             let mut opts = condspec_engine::SweepOptions {
                 workers: jobs,
                 resume,
                 quiet,
                 progress,
                 telemetry,
-                store: store_root_from(store, store_root),
+                store: store_path.clone(),
                 bench_iterations: iters,
                 bench_warmup: warmup,
                 ..Default::default()
             };
+            if claim_mode {
+                let mut claim = condspec_engine::ClaimOptions::new(owner_id.clone());
+                if let Some(ms) = steal_after_ms {
+                    claim.steal_after = std::time::Duration::from_millis(ms);
+                }
+                opts.claim = Some(claim);
+            }
             if let Some(root) = root {
                 opts.root = root.into();
+            }
+            // The coordinator is shard 0; the rest are spawned `condspec
+            // worker` children draining the same store root.
+            let mut children = Vec::new();
+            if shards > 1 {
+                let exe = match std::env::current_exe() {
+                    Ok(exe) => exe,
+                    Err(e) => {
+                        eprintln!("sweep {name}: cannot locate own executable: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let store_dir = store_path.as_ref().expect("claim mode implies a store");
+                for shard in 1..shards {
+                    let mut cmd = std::process::Command::new(&exe);
+                    cmd.arg("worker")
+                        .arg(&name)
+                        .arg("--store-root")
+                        .arg(store_dir)
+                        .arg("--owner")
+                        .arg(format!("{owner_id}-{shard}"));
+                    if jobs > 0 {
+                        cmd.arg("--jobs").arg(jobs.to_string());
+                    }
+                    if let Some(ms) = steal_after_ms {
+                        cmd.arg("--steal-after-ms").arg(ms.to_string());
+                    }
+                    if let Some(i) = iters {
+                        cmd.arg("--iters").arg(i.to_string());
+                    }
+                    if let Some(w) = warmup {
+                        cmd.arg("--warmup").arg(w.to_string());
+                    }
+                    cmd.stdout(std::process::Stdio::null());
+                    match cmd.spawn() {
+                        Ok(child) => children.push(child),
+                        Err(e) => {
+                            eprintln!("sweep {name}: cannot spawn worker shard {shard}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
             }
             let outcome = match condspec_engine::run_sweep(&sweep, &opts) {
                 Ok(o) => o,
                 Err(e) => {
+                    for mut child in children {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
                     eprintln!("sweep {name} failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            for mut child in children {
+                let _ = child.wait();
+            }
             // Results are keyed by the scaled jobs' hashes, so render
             // through the same scaled sweep that ran.
             println!(
@@ -513,10 +581,106 @@ fn run(cmd: Command) -> ExitCode {
                 outcome.failed.len(),
                 outcome.dir.display()
             );
+            if outcome.remote > 0 {
+                println!(
+                    "sweep {}: {} of the store hits were simulated by other shards",
+                    outcome.sweep_id, outcome.remote
+                );
+            }
             for (hash, label, error) in &outcome.failed {
                 eprintln!("failed job {hash} ({label}): {error}");
             }
             if outcome.failed.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Command::Worker {
+            sweep,
+            attach,
+            store_root,
+            owner,
+            jobs,
+            steal_after_ms,
+            poll_ms,
+            drain,
+            iters,
+            warmup,
+        } => {
+            let owner = owner.unwrap_or_else(condspec_engine::ClaimOptions::default_owner);
+            if let Some(addr) = attach {
+                return run_remote_worker(&addr, &owner, poll_ms, drain);
+            }
+            let name = sweep.expect("parser requires a sweep without --attach");
+            let Some(sweep) = condspec_engine::Sweep::by_name(&name) else {
+                eprintln!(
+                    "unknown sweep `{name}` — available: {}",
+                    condspec_engine::Sweep::NAMES.join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            let scaled = sweep.scaled(iters, warmup);
+            let store = ResultStore::open(
+                store_root
+                    .map(PathBuf::from)
+                    .unwrap_or_else(ResultStore::default_root),
+            );
+            let mut claim = condspec_engine::ClaimOptions::new(owner.clone());
+            if let Some(ms) = steal_after_ms {
+                claim.steal_after = std::time::Duration::from_millis(ms);
+            }
+            let programs = std::sync::Arc::new(condspec_engine::ProgramCache::new());
+            let total = scaled.jobs.len();
+            let started = std::time::Instant::now();
+            let mut done = 0usize;
+            let results = condspec_engine::run_jobs_claimed(
+                &scaled.jobs,
+                jobs,
+                &programs,
+                &store,
+                &claim,
+                |slot, job| {
+                    done += 1;
+                    let state = match (&job.outcome, job.source) {
+                        (Err(_), _) => "FAILED".to_string(),
+                        (Ok(_), condspec_engine::JobSource::Simulated) => "simulated".to_string(),
+                        (Ok(_), _) => match &job.origin {
+                            Some(origin) => format!("store@{origin}"),
+                            None => "store".to_string(),
+                        },
+                    };
+                    eprintln!(
+                        "worker {owner}: [{done}/{total}] {} [{state}]",
+                        scaled.jobs[slot].label()
+                    );
+                },
+            );
+            let simulated = results
+                .iter()
+                .filter(|r| r.outcome.is_ok() && r.source == condspec_engine::JobSource::Simulated)
+                .count();
+            let via_store = results
+                .iter()
+                .filter(|r| r.outcome.is_ok() && r.source == condspec_engine::JobSource::Store)
+                .count();
+            let failed: Vec<_> = results
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.outcome.as_ref().err().map(|e| (i, e)))
+                .collect();
+            println!(
+                "worker {owner}: {total} jobs — {simulated} simulated, {via_store} via store, \
+                 {} failed in {:.1}s",
+                failed.len(),
+                started.elapsed().as_secs_f64()
+            );
+            println!("{}", store.summary());
+            println!("{}", store.claims_summary());
+            for (i, error) in &failed {
+                eprintln!("failed job {} ({}): {error}", i, scaled.jobs[*i].label());
+            }
+            if failed.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -543,6 +707,7 @@ fn run(cmd: Command) -> ExitCode {
                     registry.set_counter("store.bytes", stats.bytes);
                     registry.set_counter("store.checkpoints", stats.checkpoints);
                     registry.set_counter("store.checkpoint_bytes", stats.checkpoint_bytes);
+                    registry.set_counter("store.leases", stats.leases);
                     registry.set_counter("store.stray_tmp", stats.stray_tmp);
                     println!("{}", registry.to_json().render());
                     ExitCode::SUCCESS
@@ -556,10 +721,11 @@ fn run(cmd: Command) -> ExitCode {
                         }
                     };
                     println!(
-                        "store verify: {} checked, {} ok, {} bad at {}",
+                        "store verify: {} checked, {} ok, {} bad, {} leases at {}",
                         report.checked,
                         report.ok,
                         report.bad.len(),
+                        report.leases,
                         store.root().display()
                     );
                     for (path, reason) in &report.bad {
@@ -581,9 +747,10 @@ fn run(cmd: Command) -> ExitCode {
                         }
                     };
                     println!(
-                        "store gc: kept {}, removed {}, freed {} bytes at {}",
+                        "store gc: kept {}, removed {}, pruned {} stale leases, freed {} bytes at {}",
                         report.kept,
                         report.removed,
+                        report.stale_leases,
                         report.bytes_freed,
                         store.root().display()
                     );
@@ -924,6 +1091,273 @@ fn run(cmd: Command) -> ExitCode {
             ExitCode::SUCCESS
         }
     }
+}
+
+/// `condspec sweep --attach` — submit the sweep to a running daemon as
+/// a distributed run, poll its status until it finishes (printing
+/// progress transitions to stderr), then print the rendered report.
+fn run_attached_sweep(addr: &str, name: &str, iters: Option<u64>, warmup: Option<u64>) -> ExitCode {
+    use condspec_serve::http::{client_get, client_post};
+    use condspec_stats::Json;
+    let mut fields = vec![
+        ("sweep", Json::from(name)),
+        ("distributed", Json::from(true)),
+    ];
+    if let Some(i) = iters {
+        fields.push(("iters", Json::from(i)));
+    }
+    if let Some(w) = warmup {
+        fields.push(("warmup", Json::from(w)));
+    }
+    let (status, text) = match client_post(addr, "/api/sweeps", &Json::object(fields).render()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep {name}: cannot reach {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if status != 202 {
+        eprintln!("sweep {name}: daemon rejected the submission ({status}): {text}");
+        return ExitCode::FAILURE;
+    }
+    let Some(id) = Json::parse(&text)
+        .ok()
+        .and_then(|doc| doc.get("submission").and_then(Json::as_u64))
+    else {
+        eprintln!("sweep {name}: malformed submission response: {text}");
+        return ExitCode::FAILURE;
+    };
+    eprintln!("sweep {name}: submitted to http://{addr} as distributed submission {id}");
+    let mut last = String::new();
+    loop {
+        let (status, text) = match client_get(addr, &format!("/api/sweeps/{id}")) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("sweep {name}: lost the daemon at {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if status != 200 {
+            eprintln!("sweep {name}: status poll failed ({status}): {text}");
+            return ExitCode::FAILURE;
+        }
+        let Ok(doc) = Json::parse(&text) else {
+            eprintln!("sweep {name}: malformed status: {text}");
+            return ExitCode::FAILURE;
+        };
+        let field = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let mut line = format!(
+            "sweep {name}: {}/{} done — {} simulated, {} store hits, {} failed",
+            field("done"),
+            field("total"),
+            field("simulated"),
+            field("store_hits"),
+            field("failed"),
+        );
+        if let Some(workers) = doc.get("workers").and_then(Json::as_array) {
+            let shares: Vec<String> = workers
+                .iter()
+                .map(|w| {
+                    format!(
+                        "simulated@{}: {}",
+                        w.get("owner").and_then(Json::as_str).unwrap_or("?"),
+                        w.get("simulated").and_then(Json::as_u64).unwrap_or(0)
+                    )
+                })
+                .collect();
+            line.push_str(&format!(" ({})", shares.join(", ")));
+        }
+        if line != last {
+            eprintln!("{line}");
+            last = line;
+        }
+        match doc.get("status").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("error") => {
+                let message = doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error");
+                eprintln!("sweep {name}: daemon run failed: {message}");
+                return ExitCode::FAILURE;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(250)),
+        }
+    }
+    match client_get(addr, &format!("/api/sweeps/{id}/report")) {
+        Ok((200, report)) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Ok((status, text)) => {
+            eprintln!("sweep {name}: cannot fetch report ({status}): {text}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sweep {name}: cannot fetch report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `condspec worker --attach` — pull jobs from a daemon's work queue
+/// over HTTP: claim, simulate locally (panic-isolated, program-cached),
+/// report the artifact, repeat. A heartbeat thread renews the claim
+/// while a job runs so the daemon doesn't requeue it mid-simulation.
+fn run_remote_worker(addr: &str, owner: &str, poll_ms: u64, drain: bool) -> ExitCode {
+    use condspec_serve::http::client_post;
+    use condspec_stats::Json;
+    let programs = std::sync::Arc::new(condspec_engine::ProgramCache::new());
+    let mut completed = 0u64;
+    let mut job_failures = 0u64;
+    eprintln!("worker {owner}: attached to http://{addr}");
+    loop {
+        let claim_body = Json::object(vec![("owner", Json::from(owner))]).render();
+        let text = match client_post(addr, "/api/work/claim", &claim_body) {
+            Ok((200, text)) => text,
+            Ok((status, text)) => {
+                eprintln!("worker {owner}: claim failed ({status}): {text}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("worker {owner}: cannot reach {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            eprintln!("worker {owner}: malformed claim response: {text}");
+            return ExitCode::FAILURE;
+        };
+        if doc.get("idle").and_then(Json::as_bool) == Some(true) {
+            let active = doc.get("active").and_then(Json::as_u64).unwrap_or(0);
+            if drain && active == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(1)));
+            continue;
+        }
+        let (Some(submission), Some(index), Some(sweep_name), Some(key)) = (
+            doc.get("submission").and_then(Json::as_u64),
+            doc.get("index").and_then(Json::as_u64),
+            doc.get("sweep").and_then(Json::as_str),
+            doc.get("key").and_then(Json::as_str),
+        ) else {
+            eprintln!("worker {owner}: malformed work descriptor: {text}");
+            return ExitCode::FAILURE;
+        };
+        let label = doc.get("label").and_then(Json::as_str).unwrap_or("?");
+        let claim_timeout_ms = doc
+            .get("claim_timeout_ms")
+            .and_then(Json::as_u64)
+            .unwrap_or(60_000);
+        let iters = doc.get("iters").and_then(Json::as_u64);
+        let warmup = doc.get("warmup").and_then(Json::as_u64);
+
+        // Reconstruct the job from (sweep, index, scaling) and verify
+        // its store key, so a coordinator and worker built from
+        // different code can never silently run the wrong job.
+        let job = condspec_engine::Sweep::by_name(sweep_name)
+            .ok_or_else(|| format!("unknown sweep `{sweep_name}`"))
+            .and_then(|sweep| {
+                let scaled = sweep.scaled(iters, warmup);
+                scaled
+                    .jobs
+                    .get(index as usize)
+                    .cloned()
+                    .ok_or_else(|| format!("index {index} out of range for `{sweep_name}`"))
+            })
+            .and_then(|job| {
+                if job.store_key() == key {
+                    Ok(job)
+                } else {
+                    Err(format!(
+                        "job key mismatch for `{label}` (coordinator {key}, worker {}) — \
+                         version skew between coordinator and worker?",
+                        job.store_key()
+                    ))
+                }
+            });
+        let outcome = match job {
+            Ok(job) => {
+                // Renew the claim while the job simulates.
+                let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let beat = std::time::Duration::from_millis((claim_timeout_ms / 4).max(50));
+                let heartbeat = {
+                    let stop = std::sync::Arc::clone(&stop);
+                    let addr = addr.to_string();
+                    let body = Json::object(vec![
+                        ("owner", Json::from(owner)),
+                        ("submission", Json::from(submission)),
+                        ("index", Json::from(index)),
+                    ])
+                    .render();
+                    std::thread::spawn(move || {
+                        let mut since = std::time::Instant::now();
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            if since.elapsed() >= beat {
+                                let _ = client_post(&addr, "/api/work/heartbeat", &body);
+                                since = std::time::Instant::now();
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                    })
+                };
+                let mut results = condspec_engine::run_jobs_stored(
+                    std::slice::from_ref(&job),
+                    1,
+                    &programs,
+                    None,
+                    |_, _, _, _| {},
+                );
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                let _ = heartbeat.join();
+                let (outcome, _, _) = results.remove(0);
+                outcome
+            }
+            Err(message) => Err(message),
+        };
+        let mut fields = vec![
+            ("owner", Json::from(owner)),
+            ("submission", Json::from(submission)),
+            ("index", Json::from(index)),
+        ];
+        let failed = outcome.is_err();
+        match outcome {
+            Ok(artifact) => fields.push(("artifact", artifact)),
+            Err(message) => fields.push(("error", Json::from(message.as_str()))),
+        }
+        match client_post(addr, "/api/work/result", &Json::object(fields).render()) {
+            Ok((200, ack)) => {
+                completed += 1;
+                if failed {
+                    job_failures += 1;
+                }
+                let remaining = Json::parse(&ack)
+                    .ok()
+                    .and_then(|doc| doc.get("remaining").and_then(Json::as_u64));
+                match remaining {
+                    Some(n) => eprintln!(
+                        "worker {owner}: {label} {} ({n} remaining)",
+                        if failed { "FAILED" } else { "done" }
+                    ),
+                    None => eprintln!(
+                        "worker {owner}: {label} {}",
+                        if failed { "FAILED" } else { "done" }
+                    ),
+                }
+            }
+            Ok((status, text)) => {
+                eprintln!("worker {owner}: result rejected ({status}): {text}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("worker {owner}: cannot report result: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("worker {owner}: {completed} jobs completed, {job_failures} failed");
+    ExitCode::SUCCESS
 }
 
 /// `condspec leaks` — run the taint-oracle probes over the selected

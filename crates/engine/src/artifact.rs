@@ -94,6 +94,10 @@ pub struct JobStatus {
     /// Where the result came from (meaningless for failed jobs, which
     /// record the source they *attempted*).
     pub source: JobSource,
+    /// Per-shard provenance under claim-mode sharding: the owner id of
+    /// the worker that simulated this job (ours, or the shard recorded
+    /// in the store entry we loaded). `None` outside claim mode.
+    pub owner: Option<String>,
 }
 
 /// The manifest's sweep-level header.
@@ -151,12 +155,16 @@ impl SweepDir {
         let jobs = statuses
             .iter()
             .map(|job| {
-                Json::object(vec![
+                let mut row = vec![
                     ("hash", Json::from(job.hash.as_str())),
                     ("label", Json::from(job.label.as_str())),
                     ("status", Json::from(job.status)),
                     ("source", Json::from(job.source.key())),
-                ])
+                ];
+                if let Some(owner) = &job.owner {
+                    row.push(("owner", Json::from(owner.as_str())));
+                }
+                Json::object(row)
             })
             .collect::<Vec<_>>();
         let mut doc = vec![
@@ -256,12 +264,14 @@ mod tests {
                     label: "gcc/origin".to_string(),
                     status: "ok",
                     source: JobSource::Store,
+                    owner: Some("shard-a".to_string()),
                 },
                 JobStatus {
                     hash: "bb".to_string(),
                     label: "gcc/baseline".to_string(),
                     status: "failed",
                     source: JobSource::Simulated,
+                    owner: None,
                 },
             ],
         )
@@ -273,7 +283,9 @@ mod tests {
         assert_eq!(m.get("bench_warmup"), None);
         let jobs = m.get("jobs").and_then(Json::as_array).expect("jobs");
         assert_eq!(jobs[0].get("source").and_then(Json::as_str), Some("store"));
+        assert_eq!(jobs[0].get("owner").and_then(Json::as_str), Some("shard-a"));
         assert_eq!(jobs[1].get("status").and_then(Json::as_str), Some("failed"));
+        assert_eq!(jobs[1].get("owner"), None);
         fs::remove_dir_all(&root).ok();
     }
 }

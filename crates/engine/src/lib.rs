@@ -48,8 +48,8 @@ pub use condspec_store::ResultStore;
 pub use job::{JobSpec, MachinePreset, Workload};
 pub use sampled::{checkpoint_store_key, run_sampled_bench, SampledBenchOutcome, SampledBenchSpec};
 pub use scheduler::{
-    default_workers, run_jobs, run_jobs_cached, run_jobs_stored, run_jobs_timed, JobResult,
-    JobTiming,
+    default_workers, run_jobs, run_jobs_cached, run_jobs_claimed, run_jobs_stored, run_jobs_timed,
+    ClaimOptions, ClaimedJob, JobResult, JobTiming,
 };
 pub use sweep::{Sweep, SweepResults};
 pub use telemetry::SweepTelemetry;
@@ -87,6 +87,11 @@ pub struct SweepOptions {
     /// sweep directory. Off by default: the file is nondeterministic by
     /// nature and excluded from the byte-identical artifact guarantee.
     pub telemetry: bool,
+    /// Drain jobs through the store's lease protocol
+    /// ([`run_jobs_claimed`]) instead of the local cursor, so other
+    /// worker processes sharing [`SweepOptions::store`] can shard the
+    /// sweep. Requires `store`; ignored without one.
+    pub claim: Option<ClaimOptions>,
 }
 
 impl Default for SweepOptions {
@@ -101,6 +106,7 @@ impl Default for SweepOptions {
             quiet: false,
             progress: false,
             telemetry: false,
+            claim: None,
         }
     }
 }
@@ -117,6 +123,12 @@ pub struct SweepProgress {
     pub simulated: usize,
     /// Jobs served from the persistent result store so far.
     pub store_hits: usize,
+    /// Of those store hits, jobs completed by *other* shards while this
+    /// run was draining (claim mode only). Always
+    /// `done == simulated + store_hits + failed` and
+    /// `remote <= store_hits`, whether jobs were dispatched locally or
+    /// reported by remote shards.
+    pub remote: usize,
     /// Jobs failed so far.
     pub failed: usize,
 }
@@ -134,6 +146,9 @@ pub struct SweepOutcome {
     pub executed: usize,
     /// Jobs served from the persistent result store.
     pub store_hits: usize,
+    /// Of those store hits, jobs another shard completed while this run
+    /// was draining (claim mode only).
+    pub remote: usize,
     /// Jobs skipped because their artifact already existed.
     pub skipped: usize,
     /// Failed jobs as `(hash, label, error)`.
@@ -226,20 +241,33 @@ pub fn run_sweep_observed(
         total: sweep.jobs.len(),
         simulated: 0,
         store_hits: 0,
+        remote: 0,
         failed: 0,
     };
     let mut write_error: Option<io::Error> = None;
     let mut telemetry = opts.telemetry.then(|| SweepTelemetry::new(workers));
     let programs = std::sync::Arc::new(ProgramCache::new());
-    let job_results = run_jobs_stored(
-        &specs,
-        workers,
-        &programs,
-        store.as_ref(),
-        |slot, outcome, timing, source| {
+    // Shared accounting for both dispatch modes: every job — locally
+    // simulated, served from the store, or completed by a remote shard
+    // — passes through here exactly once, so the progress counters (and
+    // the NDJSON stream built on them) never over- or under-count. The
+    // closure is scoped to the dispatch block so its mutable borrows
+    // end with it.
+    let job_results: Vec<(JobResult, JobTiming, JobSource, Option<String>)> = {
+        let mut account = |slot: usize,
+                           outcome: &JobResult,
+                           timing: &JobTiming,
+                           source: JobSource,
+                           origin: Option<&str>,
+                           remote: bool| {
             progress.done += 1;
             match (outcome.is_ok(), source) {
-                (true, JobSource::Store) => progress.store_hits += 1,
+                (true, JobSource::Store) => {
+                    progress.store_hits += 1;
+                    if remote {
+                        progress.remote += 1;
+                    }
+                }
                 (true, _) => progress.simulated += 1,
                 (false, _) => progress.failed += 1,
             }
@@ -256,10 +284,15 @@ pub fn run_sweep_observed(
                 // `store` marks a persistent-store hit; `done` a fresh
                 // simulation. (In-memory program-cache hits are not
                 // per-job events; they show in the end-of-run summary.)
+                // In claim mode a store hit carries its inserting shard:
+                // `store@<owner>` is the per-shard provenance line.
                 let state = match (outcome.is_ok(), source) {
-                    (true, JobSource::Store) => "store",
-                    (true, _) => "done",
-                    (false, _) => "FAILED",
+                    (true, JobSource::Store) => match origin {
+                        Some(owner) => format!("store@{owner}"),
+                        None => "store".to_string(),
+                    },
+                    (true, _) => "done".to_string(),
+                    (false, _) => "FAILED".to_string(),
                 };
                 let done = progress.done - skipped;
                 if opts.progress {
@@ -280,8 +313,35 @@ pub fn run_sweep_observed(
                 let _ = io::stderr().flush();
             }
             observer(&progress);
-        },
-    );
+        };
+        match (store.as_ref(), &opts.claim) {
+            (Some(s), Some(claim)) => {
+                run_jobs_claimed(&specs, workers, &programs, s, claim, |slot, done| {
+                    account(
+                        slot,
+                        &done.outcome,
+                        &done.timing,
+                        done.source,
+                        done.origin.as_deref(),
+                        done.remote,
+                    )
+                })
+                .into_iter()
+                .map(|c| (c.outcome, c.timing, c.source, c.origin))
+                .collect()
+            }
+            _ => run_jobs_stored(
+                &specs,
+                workers,
+                &programs,
+                store.as_ref(),
+                |slot, outcome, timing, source| account(slot, outcome, timing, source, None, false),
+            )
+            .into_iter()
+            .map(|(outcome, timing, source)| (outcome, timing, source, None))
+            .collect(),
+        }
+    };
     if !opts.quiet && opts.progress && total > 0 {
         eprintln!();
     }
@@ -294,6 +354,11 @@ pub fn run_sweep_observed(
         eprintln!("{}", programs.summary());
         if let Some(s) = &store {
             eprintln!("{}", s.summary());
+            if opts.claim.is_some() {
+                // The claim-protocol line CI greps for its trailing
+                // `0 duplicate simulations`.
+                eprintln!("{}", s.claims_summary());
+            }
         }
     }
     if let Some(e) = write_error {
@@ -309,8 +374,10 @@ pub fn run_sweep_observed(
 
     // Fold fresh results in and derive per-job statuses in sweep order.
     let mut failed = Vec::new();
-    for ((index, job), (outcome, _, source)) in pending.iter().zip(job_results) {
+    let mut origins: Vec<Option<String>> = vec![None; sweep.jobs.len()];
+    for ((index, job), (outcome, _, source, origin)) in pending.iter().zip(job_results) {
         sources[*index] = source;
+        origins[*index] = origin;
         match outcome {
             Ok(doc) => {
                 results.insert(job.hash_hex(), doc);
@@ -321,8 +388,8 @@ pub fn run_sweep_observed(
     let statuses: Vec<JobStatus> = sweep
         .jobs
         .iter()
-        .zip(&sources)
-        .map(|(job, source)| {
+        .zip(sources.iter().zip(&origins))
+        .map(|(job, (source, origin))| {
             let hash = job.hash_hex();
             let status = if results.contains_key(&hash) {
                 "ok"
@@ -334,6 +401,7 @@ pub fn run_sweep_observed(
                 label: job.label(),
                 status,
                 source: *source,
+                owner: origin.clone(),
             }
         })
         .collect();
@@ -352,6 +420,7 @@ pub fn run_sweep_observed(
         sweep_id,
         executed: progress.simulated + progress.failed,
         store_hits: progress.store_hits,
+        remote: progress.remote,
         skipped,
         failed,
         results,

@@ -23,12 +23,13 @@ use crate::artifact::JobSource;
 use crate::cache::{ProgramCache, WorkerContext};
 use crate::job::JobSpec;
 use condspec_stats::Json;
-use condspec_store::ResultStore;
+use condspec_store::{ClaimStatus, ResultStore};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// The outcome of one job: its artifact document, or the panic message
 /// of a failed run.
@@ -205,6 +206,254 @@ pub fn run_jobs_stored(
             on_done(index, &outcome, &timing, source);
             results[index] = Some((outcome, timing, source));
         }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job reports exactly once"))
+        .collect()
+}
+
+/// How a claim-mode pool identifies itself and judges other owners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimOptions {
+    /// This process's owner id, recorded in every lease and insert it
+    /// makes (per-shard provenance).
+    pub owner: String,
+    /// Time without a heartbeat after which another owner's lease is
+    /// presumed orphaned and stolen.
+    pub steal_after: Duration,
+    /// How long to sleep between re-checks of jobs held by live owners.
+    pub poll: Duration,
+}
+
+impl ClaimOptions {
+    /// Options for `owner` with the default steal timeout and poll
+    /// interval.
+    pub fn new(owner: impl Into<String>) -> ClaimOptions {
+        ClaimOptions {
+            owner: owner.into(),
+            steal_after: condspec_store::DEFAULT_STEAL_TIMEOUT,
+            poll: Duration::from_millis(50),
+        }
+    }
+
+    /// The owner id used when the caller does not pick one:
+    /// `shard-<pid>`, unique per process on one host.
+    pub fn default_owner() -> String {
+        format!("shard-{}", std::process::id())
+    }
+}
+
+impl Default for ClaimOptions {
+    fn default() -> ClaimOptions {
+        ClaimOptions::new(ClaimOptions::default_owner())
+    }
+}
+
+/// One job's outcome under claim-based draining ([`run_jobs_claimed`]).
+#[derive(Debug, Clone)]
+pub struct ClaimedJob {
+    /// The artifact document, or the failure message.
+    pub outcome: JobResult,
+    /// Wall-clock telemetry (for store-resolved jobs, the time spent
+    /// waiting and loading, not simulating).
+    pub timing: JobTiming,
+    /// [`JobSource::Simulated`] when this pool ran the job,
+    /// [`JobSource::Store`] when the result came from the store.
+    pub source: JobSource,
+    /// The owner id that simulated the job, when known: ours for local
+    /// simulations, the inserting shard's for store hits (absent for
+    /// entries written outside the claim protocol).
+    pub origin: Option<String>,
+    /// True when the store result was inserted by a different owner
+    /// than this pool — another shard (or an earlier run under another
+    /// owner id) did the simulating. Always false for local
+    /// simulations.
+    pub remote: bool,
+}
+
+/// Claim-based draining: the distributed generalization of
+/// [`run_jobs_stored`]'s cursor loop. Any number of pools — in other
+/// processes or on other hosts sharing the store root — run this over
+/// the same job list and cooperatively complete it exactly once:
+///
+/// 1. a store hit resolves the job immediately;
+/// 2. otherwise the worker claims the job's lease (stealing stale
+///    ones), simulates, inserts with its owner id and releases;
+/// 3. jobs leased by a live owner are deferred, then polled until
+///    their result appears in the store (remote completion) or their
+///    lease goes stale and is stolen (remote death).
+///
+/// A background thread heartbeats every lease this pool holds at a
+/// quarter of `claim.steal_after`, so long simulations are never
+/// mistaken for dead owners. Results are returned in input order and
+/// are byte-identical to a solo [`run_jobs_stored`] run; only the
+/// `timing`/`origin`/`remote` annotations vary with scheduling.
+pub fn run_jobs_claimed(
+    jobs: &[JobSpec],
+    workers: usize,
+    programs: &Arc<ProgramCache>,
+    store: &ResultStore,
+    claim: &ClaimOptions,
+    mut on_done: impl FnMut(usize, &ClaimedJob),
+) -> Vec<ClaimedJob> {
+    let workers = workers.max(1).min(jobs.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let deferred: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
+    let held: Vec<Mutex<Option<String>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, ClaimedJob)>();
+    let started = Instant::now();
+
+    let mut results: Vec<Option<ClaimedJob>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        // Heartbeat thread: renews every lease a worker currently holds
+        // so a long simulation is never stolen from a live pool.
+        {
+            let held = &held;
+            let stop = &stop;
+            let beat =
+                (claim.steal_after / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+            let owner = claim.owner.clone();
+            scope.spawn(move || {
+                let tick = Duration::from_millis(10).min(beat);
+                let mut since_beat = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    since_beat += tick;
+                    if since_beat < beat {
+                        continue;
+                    }
+                    since_beat = Duration::ZERO;
+                    for slot in held {
+                        let key = slot.lock().expect("heartbeat slot").clone();
+                        if let Some(key) = key {
+                            let _ = store.heartbeat(&key, &owner);
+                        }
+                    }
+                }
+            });
+        }
+        for worker in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let deferred = &deferred;
+            let held = &held;
+            let claim = &claim;
+            let mut ctx = WorkerContext::new(Arc::clone(programs));
+            scope.spawn(move || {
+                let resolve = |index: usize, ctx: &mut WorkerContext| {
+                    let spec = &jobs[index];
+                    let key = spec.store_key();
+                    let queue_wait_ms = started.elapsed().as_millis() as u64;
+                    let job_started = Instant::now();
+                    let timing = |job_started: Instant| JobTiming {
+                        worker,
+                        queue_wait_ms,
+                        wall_ms: job_started.elapsed().as_millis() as u64,
+                    };
+                    if let Some((doc, origin)) = store.load_with_origin(&key) {
+                        let remote = origin.as_deref().is_some_and(|o| o != claim.owner);
+                        return Some(ClaimedJob {
+                            outcome: Ok(doc),
+                            timing: timing(job_started),
+                            source: JobSource::Store,
+                            origin,
+                            remote,
+                        });
+                    }
+                    match store.try_claim(&key, &claim.owner, claim.steal_after) {
+                        Ok(ClaimStatus::Acquired) | Ok(ClaimStatus::Stolen) => {}
+                        Ok(ClaimStatus::Busy { .. }) => return None,
+                        // A store root we cannot even write leases to:
+                        // fall through and simulate unclaimed rather
+                        // than wedge the sweep (inserts are idempotent).
+                        Err(_) => {}
+                    }
+                    // The previous holder may have inserted just before
+                    // releasing; re-check now that we hold the lease.
+                    if let Some((doc, origin)) = store.load_with_origin(&key) {
+                        let _ = store.release(&key, &claim.owner);
+                        let remote = origin.as_deref().is_some_and(|o| o != claim.owner);
+                        return Some(ClaimedJob {
+                            outcome: Ok(doc),
+                            timing: timing(job_started),
+                            source: JobSource::Store,
+                            origin,
+                            remote,
+                        });
+                    }
+                    *held[worker].lock().expect("held slot") = Some(key.clone());
+                    let outcome = catch_unwind(AssertUnwindSafe(|| spec.execute_with(ctx)))
+                        .map_err(panic_message);
+                    *held[worker].lock().expect("held slot") = None;
+                    match &outcome {
+                        Ok(doc) => {
+                            // Best-effort, like run_jobs_stored: a
+                            // read-only store must not fail the job.
+                            let _ = store.insert_claimed(
+                                &key,
+                                &spec.hash_hex(),
+                                &spec.label(),
+                                crate::hash::code_fingerprint(),
+                                doc,
+                                &claim.owner,
+                            );
+                        }
+                        Err(_) => {
+                            ctx.discard_simulator();
+                            let _ = store.release(&key, &claim.owner);
+                        }
+                    }
+                    Some(ClaimedJob {
+                        outcome,
+                        timing: timing(job_started),
+                        source: JobSource::Simulated,
+                        origin: Some(claim.owner.clone()),
+                        remote: false,
+                    })
+                };
+                // Phase 1: drain the cursor, deferring live-leased jobs.
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs.len() {
+                        break;
+                    }
+                    match resolve(index, &mut ctx) {
+                        Some(done) => {
+                            if tx.send((index, done)).is_err() {
+                                return;
+                            }
+                        }
+                        None => deferred.lock().expect("deferred queue").push_back(index),
+                    }
+                }
+                // Phase 2: poll deferred jobs until each resolves — the
+                // remote owner inserts (store hit) or dies (its lease
+                // goes stale and is stolen here).
+                loop {
+                    let index = deferred.lock().expect("deferred queue").pop_front();
+                    let Some(index) = index else { break };
+                    match resolve(index, &mut ctx) {
+                        Some(done) => {
+                            if tx.send((index, done)).is_err() {
+                                return;
+                            }
+                        }
+                        None => {
+                            deferred.lock().expect("deferred queue").push_back(index);
+                            std::thread::sleep(claim.poll);
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (index, done) in rx {
+            on_done(index, &done);
+            results[index] = Some(done);
+        }
+        stop.store(true, Ordering::Relaxed);
     });
     results
         .into_iter()

@@ -1,17 +1,21 @@
 //! Integration tests for the sweep engine's core guarantees:
 //! worker-count-independent byte-identical artifacts, resume that skips
 //! completed work, panic isolation that fails one job without aborting
-//! the sweep, and a persistent result store whose warm runs simulate
-//! nothing yet reproduce every artifact byte for byte.
+//! the sweep, a persistent result store whose warm runs simulate
+//! nothing yet reproduce every artifact byte for byte, and claim-based
+//! sharding where concurrent pools split a sweep without duplicating or
+//! losing a single job.
 
 use condspec::DefenseConfig;
 use condspec_engine::{
-    load_sweep_report_with_store, run_sweep, run_sweep_observed, JobSpec, ResultStore, Sweep,
-    SweepOptions, Workload,
+    load_sweep_report_with_store, run_jobs_claimed, run_sweep, run_sweep_observed, ClaimOptions,
+    JobSource, JobSpec, ProgramCache, ResultStore, Sweep, SweepOptions, Workload,
 };
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("condspec-engine-{tag}-{}", std::process::id()));
@@ -237,6 +241,195 @@ fn report_falls_back_to_the_store_for_deleted_artifacts() {
         "store-resolved artifact matches the original"
     );
     fs::remove_dir_all(&root).ok();
+    fs::remove_dir_all(&store_root).ok();
+}
+
+#[test]
+fn two_pools_racing_one_store_split_the_work_without_duplicates() {
+    let sweep = mini_sweep();
+    let store_root = scratch("claims-race");
+    let solo_root = scratch("claims-race-solo");
+
+    // Two worker pools — separate ResultStore instances on one root,
+    // distinct owners — drain the same job list concurrently, exactly
+    // as two `condspec worker` processes would.
+    let store_a = ResultStore::open(&store_root);
+    let store_b = ResultStore::open(&store_root);
+    let (results_a, results_b) = std::thread::scope(|scope| {
+        let jobs = &sweep.jobs;
+        let a = scope.spawn(|| {
+            let programs = Arc::new(ProgramCache::new());
+            run_jobs_claimed(
+                jobs,
+                1,
+                &programs,
+                &store_a,
+                &ClaimOptions::new("shard-a"),
+                |_, _| {},
+            )
+        });
+        let b = scope.spawn(|| {
+            let programs = Arc::new(ProgramCache::new());
+            run_jobs_claimed(
+                jobs,
+                1,
+                &programs,
+                &store_b,
+                &ClaimOptions::new("shard-b"),
+                |_, _| {},
+            )
+        });
+        (a.join().expect("pool a"), b.join().expect("pool b"))
+    });
+
+    // Exactly one pool simulated each job: the insert counters prove
+    // the split, the duplicate counters prove its exclusivity.
+    assert_eq!(
+        store_a.inserts() + store_b.inserts(),
+        sweep.jobs.len() as u64,
+        "every job inserted exactly once across the two pools"
+    );
+    assert_eq!(store_a.duplicate_inserts(), 0);
+    assert_eq!(store_b.duplicate_inserts(), 0);
+
+    // Both pools resolve the complete sweep, and their artifact
+    // documents are identical to an uncontended solo run.
+    let solo_store = ResultStore::open(&solo_root);
+    let programs = Arc::new(ProgramCache::new());
+    let solo = run_jobs_claimed(
+        &sweep.jobs,
+        2,
+        &programs,
+        &solo_store,
+        &ClaimOptions::new("solo"),
+        |_, _| {},
+    );
+    for (index, reference) in solo.iter().enumerate() {
+        let expected = reference.outcome.as_ref().expect("solo job ok");
+        for (pool, results) in [("a", &results_a), ("b", &results_b)] {
+            let got = results[index]
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("pool {pool} job {index} failed: {e}"));
+            assert_eq!(got, expected, "pool {pool} job {index} artifact differs");
+        }
+        // Provenance: whoever simulated it is recorded; the other pool
+        // sees that owner through the store envelope.
+        let origin_a = results_a[index].origin.as_deref().expect("origin known");
+        let origin_b = results_b[index].origin.as_deref().expect("origin known");
+        assert_eq!(origin_a, origin_b);
+        assert!(matches!(origin_a, "shard-a" | "shard-b"));
+    }
+    let simulated = |results: &[condspec_engine::ClaimedJob]| -> usize {
+        results
+            .iter()
+            .filter(|r| r.source == JobSource::Simulated)
+            .count()
+    };
+    assert_eq!(
+        simulated(&results_a) + simulated(&results_b),
+        sweep.jobs.len(),
+        "simulation happened exactly once per job"
+    );
+    // No leases survive a clean drain.
+    assert_eq!(store_a.leases().expect("lease listing").len(), 0);
+
+    fs::remove_dir_all(&store_root).ok();
+    fs::remove_dir_all(&solo_root).ok();
+}
+
+#[test]
+fn a_dead_owners_leases_are_stolen_and_the_sweep_completes() {
+    let sweep = mini_sweep();
+    let store_root = scratch("claims-steal");
+    let store = ResultStore::open(&store_root);
+
+    // A crashed worker left leases on two jobs: claimed, never
+    // heartbeated, never released.
+    for job in &sweep.jobs[..2] {
+        let status = store
+            .try_claim(&job.store_key(), "dead-worker", Duration::from_secs(3600))
+            .expect("pre-claim");
+        assert_eq!(status, condspec_store::ClaimStatus::Acquired);
+    }
+
+    // A live pool with a short steal timeout drains the sweep anyway.
+    let live = ResultStore::open(&store_root);
+    let programs = Arc::new(ProgramCache::new());
+    let claim = ClaimOptions {
+        steal_after: Duration::from_millis(50),
+        poll: Duration::from_millis(10),
+        ..ClaimOptions::new("live-worker")
+    };
+    let results = run_jobs_claimed(&sweep.jobs, 2, &programs, &live, &claim, |_, _| {});
+
+    assert!(live.steals() >= 1, "the stale leases were stolen");
+    assert_eq!(live.inserts(), sweep.jobs.len() as u64);
+    assert_eq!(live.duplicate_inserts(), 0);
+    for (index, result) in results.iter().enumerate() {
+        assert!(
+            result.outcome.is_ok(),
+            "job {index} lost to the dead worker's lease"
+        );
+        assert_eq!(result.origin.as_deref(), Some("live-worker"));
+    }
+    assert_eq!(
+        live.leases().expect("lease listing").len(),
+        0,
+        "stolen leases were released on insert"
+    );
+    fs::remove_dir_all(&store_root).ok();
+}
+
+#[test]
+fn claim_mode_sweeps_account_every_job_once_in_the_manifest() {
+    let sweep = mini_sweep();
+    let root = scratch("claims-sweep");
+    let warm_root = scratch("claims-sweep-warm");
+    let store_root = scratch("claims-sweep-db");
+
+    let mut opts = options(&root, 2);
+    opts.store = Some(store_root.clone());
+    opts.claim = Some(ClaimOptions::new("shard-cold"));
+    let cold = run_sweep(&sweep, &opts).expect("cold claim-mode run");
+    assert_eq!(cold.executed, sweep.jobs.len());
+    assert_eq!(cold.store_hits, 0);
+    assert_eq!(cold.remote, 0);
+
+    // Every manifest row is accounted exactly once and carries the
+    // simulating shard's owner id.
+    let manifest = fs::read_to_string(cold.dir.join("manifest.json")).expect("manifest");
+    assert_eq!(
+        manifest.matches("\"owner\":\"shard-cold\"").count(),
+        sweep.jobs.len(),
+        "per-shard provenance on every row: {manifest}"
+    );
+
+    // A second claim-mode run under a different owner resolves fully
+    // from the store and reports the original simulator as origin.
+    let mut warm_opts = options(&warm_root, 2);
+    warm_opts.store = Some(store_root.clone());
+    warm_opts.claim = Some(ClaimOptions::new("shard-warm"));
+    let mut last_progress = None;
+    let warm = run_sweep_observed(&sweep, &warm_opts, |p| last_progress = Some(*p))
+        .expect("warm claim-mode run");
+    assert_eq!(warm.executed, 0);
+    assert_eq!(warm.store_hits, sweep.jobs.len());
+    let progress = last_progress.expect("observer fired");
+    assert_eq!(
+        progress.done,
+        progress.simulated + progress.store_hits + progress.failed,
+        "progress invariant holds in claim mode"
+    );
+    let warm_manifest = fs::read_to_string(warm.dir.join("manifest.json")).expect("manifest");
+    assert_eq!(
+        warm_manifest.matches("\"owner\":\"shard-cold\"").count(),
+        sweep.jobs.len(),
+        "store hits attribute the shard that simulated them: {warm_manifest}"
+    );
+
+    fs::remove_dir_all(&root).ok();
+    fs::remove_dir_all(&warm_root).ok();
     fs::remove_dir_all(&store_root).ok();
 }
 

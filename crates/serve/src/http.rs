@@ -226,6 +226,98 @@ impl<'s> ChunkedResponse<'s> {
     }
 }
 
+/// A minimal blocking HTTP/1.1 client request against `addr` — the
+/// counterpart of this module's server core, used by `condspec worker
+/// --attach` to talk to a coordinating daemon. Returns the status code
+/// and body; handles `Content-Length` and chunked responses, and reads
+/// to EOF otherwise (the server closes every connection).
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("truncated response headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+
+    let body = if chunked {
+        let mut out = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            if reader.read_line(&mut size_line)? == 0 {
+                break;
+            }
+            let size =
+                usize::from_str_radix(size_line.trim(), 16).map_err(|_| bad("bad chunk size"))?;
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size + 2];
+            reader.read_exact(&mut chunk)?;
+            chunk.truncate(size);
+            out.extend_from_slice(&chunk);
+        }
+        out
+    } else if let Some(len) = content_length {
+        let mut out = vec![0u8; len];
+        reader.read_exact(&mut out)?;
+        out
+    } else {
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out)?;
+        out
+    };
+    let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?;
+    Ok((status, body))
+}
+
+/// Shorthand: a GET through [`client_request`].
+pub fn client_get(addr: &str, path: &str) -> io::Result<(u16, String)> {
+    client_request(addr, "GET", path, "")
+}
+
+/// Shorthand: a POST through [`client_request`].
+pub fn client_post(addr: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    client_request(addr, "POST", path, body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,7 +21,10 @@
 //! | GET  | `/api/health` | liveness probe |
 //! | GET  | `/api/leaks` | taint-oracle leak matrix (`?variant=`, `?defense=`) |
 //! | GET  | `/api/sweeps` | list submissions |
-//! | POST | `/api/sweeps` | submit `{"sweep", "iters"?, "warmup"?, "mode"?}` |
+//! | POST | `/api/sweeps` | submit `{"sweep", "iters"?, "warmup"?, "mode"?, "distributed"?, "claim_timeout_ms"?}` |
+//! | POST | `/api/work/claim` | worker pulls one job `{"owner"}` |
+//! | POST | `/api/work/result` | worker reports `{"owner", "submission", "index", "artifact"\|"error"}` |
+//! | POST | `/api/work/heartbeat` | renew liveness/claim `{"owner", "submission"?, "index"?}` |
 //! | GET  | `/api/sweeps/<id>` | one submission's status |
 //! | GET  | `/api/sweeps/<id>/stream` | chunked progress stream (NDJSON) |
 //! | GET  | `/api/sweeps/<id>/report` | rendered report text |
@@ -37,7 +40,7 @@
 pub mod http;
 pub mod state;
 
-pub use state::{ServerState, Submission, SubmissionStatus, SubmitMode};
+pub use state::{ServerState, Submission, SubmissionStatus, SubmitMode, WorkerEntry};
 
 use condspec::{leak_report_to_json, DefenseConfig};
 use condspec_attacks::{leak_probe, traced_variant_round, AttackScenario};
@@ -173,6 +176,9 @@ fn handle_connection(
             )
         }
         ("POST", ["api", "sweeps"]) => submit_sweep(state, stream, &request),
+        ("POST", ["api", "work", "claim"]) => work_claim(state, stream, &request),
+        ("POST", ["api", "work", "result"]) => work_result(state, stream, &request),
+        ("POST", ["api", "work", "heartbeat"]) => work_heartbeat(state, stream, &request),
         ("GET", ["api", "sweeps", id]) => match parse_id(id).and_then(|id| state.submission(id)) {
             Some(s) => respond_json(stream, 200, &s.to_json().render()),
             None => respond_json(stream, 404, &error_json("no such submission")),
@@ -237,6 +243,9 @@ fn index_json() -> Json {
         "GET /api/leaks",
         "GET /api/sweeps",
         "POST /api/sweeps",
+        "POST /api/work/claim",
+        "POST /api/work/result",
+        "POST /api/work/heartbeat",
         "GET /api/sweeps/<id>",
         "GET /api/sweeps/<id>/stream",
         "GET /api/sweeps/<id>/report",
@@ -286,6 +295,25 @@ fn submit_sweep(
     };
     let iterations = body.get("iters").and_then(Json::as_u64);
     let warmup = body.get("warmup").and_then(Json::as_u64);
+    if body.get("distributed").and_then(Json::as_bool) == Some(true) {
+        let claim_timeout = body
+            .get("claim_timeout_ms")
+            .and_then(Json::as_u64)
+            .map(Duration::from_millis);
+        return match state.submit_distributed(sweep, iterations, warmup, claim_timeout) {
+            Ok((id, sweep_id)) => respond_json(
+                stream,
+                202,
+                &Json::object(vec![
+                    ("submission", Json::from(id)),
+                    ("sweep_id", Json::from(sweep_id.as_str())),
+                    ("distributed", Json::from(true)),
+                ])
+                .render(),
+            ),
+            Err(e) => respond_json(stream, 500, &error_json(&e.to_string())),
+        };
+    }
     let mode = match body.get("mode").and_then(Json::as_str) {
         None => SubmitMode::Detailed,
         Some(key) => match SubmitMode::from_key(key) {
@@ -311,6 +339,83 @@ fn submit_sweep(
         ])
         .render(),
     )
+}
+
+/// `POST /api/work/claim` — a worker pulls one pending job from the
+/// distributed queues. The response is either a job descriptor
+/// (`submission`, `index`, `sweep`, `key`, ...) or `{"idle": true}`.
+fn work_claim(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> io::Result<()> {
+    let Ok(body) = Json::parse(&request.body) else {
+        return respond_json(stream, 400, &error_json("body is not JSON"));
+    };
+    let Some(owner) = body.get("owner").and_then(Json::as_str) else {
+        return respond_json(stream, 400, &error_json("missing \"owner\""));
+    };
+    let doc = state.claim_work(owner);
+    respond_json(stream, 200, &format!("{}\n", doc.render()))
+}
+
+/// `POST /api/work/result` — a worker reports the outcome of a claimed
+/// job: `artifact` (the simulated result document) on success, `error`
+/// (a message) on failure. First report wins; a late duplicate gets
+/// `{"ok": true, "duplicate": true}` and changes nothing.
+fn work_result(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> io::Result<()> {
+    let Ok(body) = Json::parse(&request.body) else {
+        return respond_json(stream, 400, &error_json("body is not JSON"));
+    };
+    let Some(owner) = body.get("owner").and_then(Json::as_str) else {
+        return respond_json(stream, 400, &error_json("missing \"owner\""));
+    };
+    let Some(submission) = body.get("submission").and_then(Json::as_u64) else {
+        return respond_json(stream, 400, &error_json("missing \"submission\""));
+    };
+    let Some(index) = body.get("index").and_then(Json::as_u64) else {
+        return respond_json(stream, 400, &error_json("missing \"index\""));
+    };
+    let outcome = match body.get("artifact") {
+        Some(artifact) => Ok(artifact.clone()),
+        None => match body.get("error").and_then(Json::as_str) {
+            Some(message) => Err(message.to_string()),
+            None => {
+                return respond_json(
+                    stream,
+                    400,
+                    &error_json("missing \"artifact\" or \"error\""),
+                )
+            }
+        },
+    };
+    match state.work_result(owner, submission, index as usize, outcome) {
+        Ok(doc) => respond_json(stream, 200, &format!("{}\n", doc.render())),
+        Err(e) => respond_json(stream, 404, &error_json(&e)),
+    }
+}
+
+/// `POST /api/work/heartbeat` — renews a worker's liveness (and, when
+/// `submission`/`index` name a held claim, that claim's lease).
+fn work_heartbeat(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> io::Result<()> {
+    let Ok(body) = Json::parse(&request.body) else {
+        return respond_json(stream, 400, &error_json("body is not JSON"));
+    };
+    let Some(owner) = body.get("owner").and_then(Json::as_str) else {
+        return respond_json(stream, 400, &error_json("missing \"owner\""));
+    };
+    let submission = body.get("submission").and_then(Json::as_u64);
+    let index = body.get("index").and_then(Json::as_u64).map(|i| i as usize);
+    let doc = state.work_heartbeat(owner, submission, index);
+    respond_json(stream, 200, &format!("{}\n", doc.render()))
 }
 
 /// Streams progress snapshots as newline-delimited JSON until the
@@ -431,8 +536,31 @@ fn run_job(state: &Arc<ServerState>, stream: &mut TcpStream, request: &Request) 
 
 /// `GET /healthz` — operational health beyond the bare liveness probe:
 /// build version, seconds of uptime, the store root (or null when the
-/// store is disabled), and how many submissions are queued or running.
+/// store is disabled), how many submissions are queued or running, and
+/// the distributed-work picture: connected workers (with per-worker
+/// last-heartbeat age and completion count) and leases in flight (serve
+/// claims handed out plus on-disk store leases).
 fn healthz(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
+    let workers = state.workers_snapshot();
+    let worker_rows: Vec<Json> = workers
+        .iter()
+        .map(|w| {
+            Json::object(vec![
+                ("owner", Json::from(w.owner.as_str())),
+                ("completed", Json::from(w.completed)),
+                (
+                    "last_heartbeat_secs",
+                    Json::from(w.last_seen.elapsed().as_secs()),
+                ),
+            ])
+        })
+        .collect();
+    let store_leases = state
+        .store_root
+        .as_deref()
+        .and_then(|root| ResultStore::open(root).leases().ok())
+        .map(|leases| leases.len())
+        .unwrap_or(0);
     let doc = Json::object(vec![
         ("ok", Json::from(true)),
         ("version", Json::from(env!("CARGO_PKG_VERSION"))),
@@ -445,6 +573,12 @@ fn healthz(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
             },
         ),
         ("jobs_in_flight", Json::from(state.in_flight() as u64)),
+        ("workers_connected", Json::from(workers.len() as u64)),
+        ("workers", Json::Array(worker_rows)),
+        (
+            "leases_in_flight",
+            Json::from((state.work_claims_in_flight() + store_leases) as u64),
+        ),
     ]);
     respond_json(stream, 200, &format!("{}\n", doc.render()))
 }
@@ -652,6 +786,7 @@ fn store_stats(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<(
     registry.set_counter("store.bytes", stats.bytes);
     registry.set_counter("store.checkpoints", stats.checkpoints);
     registry.set_counter("store.checkpoint_bytes", stats.checkpoint_bytes);
+    registry.set_counter("store.leases", stats.leases);
     registry.set_counter("store.stray_tmp", stats.stray_tmp);
     registry.set_counter("store.hits", state.store_hits_total.load(Ordering::Relaxed));
     registry.set_counter(
@@ -683,6 +818,7 @@ fn metrics(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
             registry.set_counter("store.bytes", stats.bytes);
             registry.set_counter("store.checkpoints", stats.checkpoints);
             registry.set_counter("store.checkpoint_bytes", stats.checkpoint_bytes);
+            registry.set_counter("store.leases", stats.leases);
             registry.set_counter("store.stray_tmp", stats.stray_tmp);
         }
     }

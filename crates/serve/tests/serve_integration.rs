@@ -89,6 +89,313 @@ fn await_submission(addr: SocketAddr, id: u64) -> Json {
     }
 }
 
+/// One pull-model worker: claims jobs over the work API, simulates them
+/// in-process, reports results, and exits once the daemon is idle with
+/// no active distributed runs. Returns the number of jobs it completed.
+fn drive_worker(addr: SocketAddr, owner: &str) -> u64 {
+    let programs = std::sync::Arc::new(condspec_engine::ProgramCache::new());
+    let mut completed = 0u64;
+    loop {
+        let (status, body) = post(
+            addr,
+            "/api/work/claim",
+            &format!("{{\"owner\":\"{owner}\"}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).expect("claim JSON");
+        if doc.get("idle").and_then(Json::as_bool) == Some(true) {
+            if doc.get("active").and_then(Json::as_u64) == Some(0) {
+                return completed;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            continue;
+        }
+        let submission = doc
+            .get("submission")
+            .and_then(Json::as_u64)
+            .expect("submission id");
+        let index = doc.get("index").and_then(Json::as_u64).expect("index");
+        let sweep_name = doc.get("sweep").and_then(Json::as_str).expect("sweep name");
+        let key = doc.get("key").and_then(Json::as_str).expect("store key");
+        assert!(
+            doc.get("claim_timeout_ms").and_then(Json::as_u64).is_some(),
+            "descriptor names its requeue window: {doc:?}"
+        );
+        // Reconstruct the job exactly as `condspec worker --attach` does:
+        // from the sweep name + index, validated against the store key.
+        let sweep = condspec_engine::Sweep::by_name(sweep_name)
+            .expect("known sweep")
+            .scaled(
+                doc.get("iters").and_then(Json::as_u64),
+                doc.get("warmup").and_then(Json::as_u64),
+            );
+        let job = sweep.jobs[index as usize].clone();
+        assert_eq!(
+            job.store_key(),
+            key,
+            "descriptor key matches reconstruction"
+        );
+        let mut results = condspec_engine::run_jobs_stored(
+            std::slice::from_ref(&job),
+            1,
+            &programs,
+            None,
+            |_, _, _, _| {},
+        );
+        let (outcome, _, _) = results.pop().expect("one result");
+        let mut fields = vec![
+            ("owner", Json::from(owner)),
+            ("submission", Json::from(submission)),
+            ("index", Json::from(index)),
+        ];
+        match outcome {
+            Ok(artifact) => fields.push(("artifact", artifact)),
+            Err(message) => fields.push(("error", Json::from(message.as_str()))),
+        }
+        let (status, ack) = post(addr, "/api/work/result", &Json::object(fields).render());
+        assert_eq!(status, 200, "{ack}");
+        let ack = Json::parse(&ack).expect("ack JSON");
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+        completed += 1;
+    }
+}
+
+#[test]
+fn distributed_submission_is_drained_by_pull_workers() {
+    let runs_root = scratch("dist-runs");
+    let store_root = scratch("dist-store");
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        runs_root: runs_root.clone(),
+        store_root: Some(store_root.clone()),
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run().expect("serve"));
+
+    // With no distributed runs registered, a claim reports idle.
+    let (status, body) = post(addr, "/api/work/claim", "{\"owner\":\"scout\"}");
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).expect("claim JSON");
+    assert_eq!(doc.get("idle").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("active").and_then(Json::as_u64), Some(0));
+    let (status, _) = post(addr, "/api/work/claim", "{}");
+    assert_eq!(status, 400, "owner is required");
+
+    // A distributed submission queues every job for remote workers.
+    let (status, body) = post(
+        addr,
+        "/api/sweeps",
+        "{\"sweep\":\"icache\",\"iters\":2,\"warmup\":1,\"distributed\":true}",
+    );
+    assert_eq!(status, 202, "{body}");
+    let receipt = Json::parse(&body).expect("receipt");
+    let id = receipt
+        .get("submission")
+        .and_then(Json::as_u64)
+        .expect("id");
+    assert_eq!(
+        receipt.get("distributed").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // Two in-process workers race the pull API until the queue drains.
+    let (c1, c2) = std::thread::scope(|scope| {
+        let w1 = scope.spawn(move || drive_worker(addr, "w1"));
+        let w2 = scope.spawn(move || drive_worker(addr, "w2"));
+        (w1.join().expect("w1"), w2.join().expect("w2"))
+    });
+
+    let done = await_submission(addr, id);
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+    let total = done.get("total").and_then(Json::as_u64).expect("total");
+    assert_eq!(c1 + c2, total, "every job reported exactly once");
+    assert_eq!(done.get("simulated").and_then(Json::as_u64), Some(total));
+    assert_eq!(done.get("store_hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(done.get("failed").and_then(Json::as_u64), Some(0));
+    // All simulation was remote, and the per-worker split is reported.
+    assert_eq!(done.get("remote").and_then(Json::as_u64), Some(total));
+    let workers = done
+        .get("workers")
+        .and_then(Json::as_array)
+        .expect("workers array");
+    let credited: u64 = workers
+        .iter()
+        .map(|w| w.get("simulated").and_then(Json::as_u64).expect("count"))
+        .sum();
+    assert_eq!(credited, total);
+    for w in workers {
+        let owner = w.get("owner").and_then(Json::as_str).expect("owner");
+        assert!(matches!(owner, "w1" | "w2"), "unexpected worker {owner}");
+    }
+
+    // The manifest carries per-shard provenance and the report renders.
+    let (status, report) = get(addr, &format!("/api/sweeps/{id}/report"));
+    assert_eq!(status, 200);
+    assert!(report.contains("ICache-hit filter"), "{report}");
+    let run_dir = std::fs::read_dir(&runs_root)
+        .expect("runs root")
+        .map(|e| e.expect("entry").path())
+        .find(|p| p.is_dir())
+        .expect("run dir");
+    let manifest = std::fs::read_to_string(run_dir.join("manifest.json")).expect("manifest");
+    let owned =
+        manifest.matches("\"owner\":\"w1\"").count() + manifest.matches("\"owner\":\"w2\"").count();
+    assert_eq!(owned as u64, total, "every row names its shard: {manifest}");
+
+    // /healthz shows the fleet: connected workers with heartbeat ages,
+    // and no claims in flight once the queue is drained.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    let health = Json::parse(&body).expect("healthz JSON");
+    let connected = health
+        .get("workers_connected")
+        .and_then(Json::as_u64)
+        .expect("workers_connected");
+    assert!(connected >= 3, "scout + both workers seen: {body}");
+    let fleet = health
+        .get("workers")
+        .and_then(Json::as_array)
+        .expect("workers");
+    assert!(fleet.iter().any(|w| {
+        w.get("owner").and_then(Json::as_str) == Some("w1")
+            && w.get("last_heartbeat_secs")
+                .and_then(Json::as_u64)
+                .is_some()
+    }));
+    assert_eq!(
+        health.get("leases_in_flight").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    // Requeue-on-disconnect: a ghost worker claims a job from a fresh
+    // (cold-key) submission with a 100ms window and vanishes; the claim
+    // expires and the same job is re-issued to a live worker.
+    let (status, body) = post(
+        addr,
+        "/api/sweeps",
+        "{\"sweep\":\"icache\",\"iters\":3,\"warmup\":1,\"distributed\":true,\
+         \"claim_timeout_ms\":100}",
+    );
+    assert_eq!(status, 202, "{body}");
+    let second = Json::parse(&body)
+        .expect("receipt")
+        .get("submission")
+        .and_then(Json::as_u64)
+        .expect("id");
+    let (status, body) = post(addr, "/api/work/claim", "{\"owner\":\"ghost\"}");
+    assert_eq!(status, 200, "{body}");
+    let ghost_claim = Json::parse(&body).expect("claim JSON");
+    assert_eq!(
+        ghost_claim.get("submission").and_then(Json::as_u64),
+        Some(second)
+    );
+    let ghost_index = ghost_claim
+        .get("index")
+        .and_then(Json::as_u64)
+        .expect("index");
+    assert_eq!(
+        ghost_claim.get("claim_timeout_ms").and_then(Json::as_u64),
+        Some(100)
+    );
+    std::thread::sleep(Duration::from_millis(150));
+
+    // A heartbeat from someone else does not renew the expired claim...
+    let (_, body) = post(
+        addr,
+        "/api/work/heartbeat",
+        &format!("{{\"owner\":\"rescuer\",\"submission\":{second},\"index\":{ghost_index}}}"),
+    );
+    let beat = Json::parse(&body).expect("heartbeat JSON");
+    assert_eq!(beat.get("held").and_then(Json::as_bool), Some(false));
+
+    // ...and the next claim re-issues the ghost's job.
+    let (status, body) = post(addr, "/api/work/claim", "{\"owner\":\"rescuer\"}");
+    assert_eq!(status, 200, "{body}");
+    let reissued = Json::parse(&body).expect("claim JSON");
+    assert_eq!(
+        reissued.get("submission").and_then(Json::as_u64),
+        Some(second)
+    );
+    assert_eq!(
+        reissued.get("index").and_then(Json::as_u64),
+        Some(ghost_index)
+    );
+
+    // Holding the claim, the rescuer's heartbeat renews it.
+    let (_, body) = post(
+        addr,
+        "/api/work/heartbeat",
+        &format!("{{\"owner\":\"rescuer\",\"submission\":{second},\"index\":{ghost_index}}}"),
+    );
+    let beat = Json::parse(&body).expect("heartbeat JSON");
+    assert_eq!(beat.get("held").and_then(Json::as_bool), Some(true));
+
+    // The rescuer simulates and reports the job; the ghost's late
+    // report for the same index is acknowledged as a duplicate.
+    let programs = std::sync::Arc::new(condspec_engine::ProgramCache::new());
+    let sweep = condspec_engine::Sweep::by_name("icache")
+        .expect("icache")
+        .scaled(Some(3), Some(1));
+    let job = sweep.jobs[ghost_index as usize].clone();
+    let mut results = condspec_engine::run_jobs_stored(
+        std::slice::from_ref(&job),
+        1,
+        &programs,
+        None,
+        |_, _, _, _| {},
+    );
+    let artifact = results.pop().expect("result").0.expect("job ok");
+    let (status, body) = post(
+        addr,
+        "/api/work/result",
+        &Json::object(vec![
+            ("owner", Json::from("rescuer")),
+            ("submission", Json::from(second)),
+            ("index", Json::from(ghost_index)),
+            ("artifact", artifact),
+        ])
+        .render(),
+    );
+    assert_eq!(status, 200, "{body}");
+    let ack = Json::parse(&body).expect("ack JSON");
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(ack.get("duplicate").is_none(), "first report wins: {body}");
+    let (status, body) = post(
+        addr,
+        "/api/work/result",
+        &format!(
+            "{{\"owner\":\"ghost\",\"submission\":{second},\"index\":{ghost_index},\
+             \"error\":\"stale claim\"}}"
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+    let ack = Json::parse(&body).expect("ack JSON");
+    assert_eq!(ack.get("duplicate").and_then(Json::as_bool), Some(true));
+    let (_, body) = get(addr, &format!("/api/sweeps/{second}"));
+    let snapshot = Json::parse(&body).expect("submission JSON");
+    assert_eq!(
+        snapshot.get("failed").and_then(Json::as_u64),
+        Some(0),
+        "the duplicate error report changed nothing: {body}"
+    );
+    // Unknown submissions and out-of-range indices are client errors.
+    let (status, _) = post(
+        addr,
+        "/api/work/result",
+        "{\"owner\":\"x\",\"submission\":999,\"index\":0,\"error\":\"nope\"}",
+    );
+    assert_eq!(status, 404);
+
+    let (status, body) = post(addr, "/api/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    daemon.join().expect("daemon thread exits cleanly");
+
+    std::fs::remove_dir_all(&runs_root).ok();
+    std::fs::remove_dir_all(&store_root).ok();
+}
+
 #[test]
 fn daemon_round_trip_with_warm_store_second_submission() {
     let runs_root = scratch("runs");

@@ -45,13 +45,23 @@
 //! * **Reads never require locks.** All bookkeeping is atomic counters;
 //!   the store is `Sync` and shared freely across the worker pool.
 //!
+//! A third fan-out, `claims/`, holds lease files for distributed work
+//! claiming — any number of worker processes attach to one store root
+//! and drain a sweep without duplicating simulations. See the
+//! [`claims`] module docs for the protocol.
+//!
 //! [`JobSpec`]: https://docs.rs/condspec-engine
+
+pub mod claims;
+
+pub use claims::{ClaimStatus, LeaseInfo, DEFAULT_STEAL_TIMEOUT, LEASE_SCHEMA};
 
 use condspec_stats::{fnv1a64, hex16, Json, MetricsRegistry};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Schema identifier written into every store envelope. Bumping it
 /// orphans all existing entries (they fail the schema check and read as
@@ -75,6 +85,10 @@ pub struct ResultStore {
     inserts: AtomicU64,
     corrupt: AtomicU64,
     tmp_seq: AtomicU64,
+    claims: AtomicU64,
+    steals: AtomicU64,
+    releases: AtomicU64,
+    duplicate_inserts: AtomicU64,
 }
 
 /// Shallow scan of a store: entry count and total payload bytes.
@@ -90,7 +104,9 @@ pub struct StoreStats {
     pub checkpoints: u64,
     /// Total bytes across those checkpoint objects.
     pub checkpoint_bytes: u64,
-    /// Stray temp files from interrupted writes (both directories).
+    /// In-flight work leases (every `*.json` under `claims/`).
+    pub leases: u64,
+    /// Stray temp files from interrupted writes (all directories).
     pub stray_tmp: u64,
 }
 
@@ -99,11 +115,12 @@ impl StoreStats {
     pub fn summary(&self, root: &Path) -> String {
         format!(
             "store stats: {} entries, {} bytes, {} checkpoints, {} checkpoint bytes, \
-             {} stray tmp files at {}",
+             {} leases, {} stray tmp files at {}",
             self.entries,
             self.bytes,
             self.checkpoints,
             self.checkpoint_bytes,
+            self.leases,
             self.stray_tmp,
             root.display()
         )
@@ -133,6 +150,9 @@ pub struct VerifyReport {
     pub ok: u64,
     /// Damaged entries as `(path, reason)`.
     pub bad: Vec<(PathBuf, String)>,
+    /// Work leases in flight under `claims/` (not envelope-checked —
+    /// leases are transient; a crashed fleet shows up here).
+    pub leases: u64,
 }
 
 impl VerifyReport {
@@ -150,6 +170,8 @@ pub struct GcReport {
     /// Entries removed (stale fingerprint or damaged) plus stray temp
     /// files.
     pub removed: u64,
+    /// Stale work leases pruned from `claims/`.
+    pub stale_leases: u64,
     /// Bytes reclaimed.
     pub bytes_freed: u64,
 }
@@ -165,6 +187,10 @@ impl ResultStore {
             inserts: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
+            claims: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            releases: AtomicU64::new(0),
+            duplicate_inserts: AtomicU64::new(0),
         }
     }
 
@@ -235,6 +261,31 @@ impl ResultStore {
         self.load_at(self.checkpoint_path(key), key)
     }
 
+    /// [`ResultStore::load`] that also returns the owner id recorded by
+    /// an [`insert_claimed`] — the per-shard provenance a merged sweep
+    /// reports. Entries written by a plain [`insert`] have no owner.
+    ///
+    /// [`insert`]: ResultStore::insert
+    /// [`insert_claimed`]: ResultStore::insert_claimed
+    pub fn load_with_origin(&self, key: &str) -> Option<(Json, Option<String>)> {
+        match self.load_envelope(self.object_path(key), key) {
+            Ok(envelope) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let owner = envelope.owner.clone();
+                envelope.into_artifact().map(|doc| (doc, owner))
+            }
+            Err(LoadMiss::Absent) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(LoadMiss::Damaged(_)) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
     fn load_at(&self, path: PathBuf, key: &str) -> Option<Json> {
         match self.load_envelope(path, key) {
             Ok(envelope) => {
@@ -291,13 +342,14 @@ impl ResultStore {
         fingerprint: u64,
         artifact: &Json,
     ) -> io::Result<()> {
-        self.insert_at(
+        self.insert_at_owned(
             self.object_path(key),
             key,
             job,
             label,
             fingerprint,
             artifact,
+            None,
         )
     }
 
@@ -314,17 +366,19 @@ impl ResultStore {
         fingerprint: u64,
         checkpoint: &Json,
     ) -> io::Result<()> {
-        self.insert_at(
+        self.insert_at_owned(
             self.checkpoint_path(key),
             key,
             job,
             label,
             fingerprint,
             checkpoint,
+            None,
         )
     }
 
-    fn insert_at(
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert_at_owned(
         &self,
         path: PathBuf,
         key: &str,
@@ -332,6 +386,7 @@ impl ResultStore {
         label: &str,
         fingerprint: u64,
         artifact: &Json,
+        owner: Option<&str>,
     ) -> io::Result<()> {
         let dir = path.parent().expect("object paths always have a shard dir");
         fs::create_dir_all(dir)?;
@@ -340,6 +395,7 @@ impl ResultStore {
             job: job.to_string(),
             label: label.to_string(),
             fingerprint: hex16(fingerprint),
+            owner: owner.map(str::to_string),
             artifact: Some(artifact.clone()),
         };
         // Unique temp name per (process, insert): two threads — or two
@@ -399,6 +455,10 @@ impl ResultStore {
         registry.set_counter("store.misses", self.misses());
         registry.set_counter("store.inserts", self.inserts());
         registry.set_counter("store.corrupt", self.corrupt());
+        registry.set_counter("store.claims", self.claims());
+        registry.set_counter("store.steals", self.steals());
+        registry.set_counter("store.releases", self.releases());
+        registry.set_counter("store.duplicate_inserts", self.duplicate_inserts());
     }
 
     fn walk_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
@@ -447,6 +507,13 @@ impl ResultStore {
             } else if path.extension().is_some_and(|x| x == "json") {
                 stats.checkpoints += 1;
                 stats.checkpoint_bytes += len;
+            }
+        }
+        for path in Self::walk_dir(&self.claims_dir())? {
+            if path.extension().is_some_and(|x| x == "tmp") {
+                stats.stray_tmp += 1;
+            } else if path.extension().is_some_and(|x| x == "json") {
+                stats.leases += 1;
             }
         }
         Ok(stats)
@@ -522,17 +589,33 @@ impl ResultStore {
                 Err(reason) => report.bad.push((path, reason)),
             }
         }
+        report.leases = self.leases()?.len() as u64;
         Ok(report)
     }
 
     /// Removes stale and damaged entries: anything whose fingerprint is
-    /// not `keep_fingerprint`, anything that fails verification, and
-    /// stray temp files. Clean, current-generation entries are kept.
+    /// not `keep_fingerprint`, anything that fails verification, stray
+    /// temp files, and work leases older than [`DEFAULT_STEAL_TIMEOUT`]
+    /// (a crashed fleet can't silently pin keys). Clean,
+    /// current-generation entries and live leases are kept.
     ///
     /// # Errors
     ///
     /// Any I/O error walking the store or deleting a file.
     pub fn gc(&self, keep_fingerprint: u64) -> io::Result<GcReport> {
+        self.gc_with(keep_fingerprint, DEFAULT_STEAL_TIMEOUT)
+    }
+
+    /// [`ResultStore::gc`] with an explicit lease staleness cutoff.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error walking the store or deleting a file.
+    pub fn gc_with(
+        &self,
+        keep_fingerprint: u64,
+        lease_stale_after: Duration,
+    ) -> io::Result<GcReport> {
         let keep = hex16(keep_fingerprint);
         let mut report = GcReport::default();
         let mut paths = self.walk_entries()?;
@@ -566,6 +649,10 @@ impl ResultStore {
                 report.bytes_freed += len;
             }
         }
+        let (stale, tmp, bytes) = self.gc_claims(lease_stale_after)?;
+        report.stale_leases = stale;
+        report.removed += tmp;
+        report.bytes_freed += bytes;
         Ok(report)
     }
 }
@@ -592,6 +679,7 @@ struct Envelope {
     job: String,
     label: String,
     fingerprint: String,
+    owner: Option<String>,
     artifact: Option<Json>,
 }
 
@@ -599,16 +687,19 @@ impl Envelope {
     fn render(&self) -> String {
         let artifact = self.artifact.clone().expect("render requires an artifact");
         let payload_fnv = hex16(fnv1a64(artifact.render().as_bytes()));
-        Json::object(vec![
+        let mut fields = vec![
             ("schema", Json::from(STORE_SCHEMA)),
             ("key", Json::from(self.key.as_str())),
             ("job", Json::from(self.job.as_str())),
             ("label", Json::from(self.label.as_str())),
             ("fingerprint", Json::from(self.fingerprint.as_str())),
-            ("payload_fnv", Json::from(payload_fnv)),
-            ("artifact", artifact),
-        ])
-        .render()
+        ];
+        if let Some(owner) = &self.owner {
+            fields.push(("owner", Json::from(owner.as_str())));
+        }
+        fields.push(("payload_fnv", Json::from(payload_fnv)));
+        fields.push(("artifact", artifact));
+        Json::object(fields).render()
     }
 
     /// Parses and fully validates an envelope: schema, required fields,
@@ -640,11 +731,15 @@ impl Envelope {
                 "payload checksum mismatch: envelope says {payload_fnv}, artifact hashes to {actual}"
             ));
         }
+        // The inserting owner is provenance, not identity: optional, and
+        // entries written before the claims protocol existed lack it.
+        let owner = doc.get("owner").and_then(Json::as_str).map(str::to_string);
         Ok(Envelope {
             key,
             job,
             label,
             fingerprint,
+            owner,
             artifact: Some(artifact),
         })
     }
